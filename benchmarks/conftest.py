@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` file regenerates one paper artifact (figure or
+table) under pytest-benchmark, asserting the paper's *shape* claims on
+the result.  Heavy system simulations run once per benchmark
+(``pedantic(rounds=1)``); analytic sweeps use the default calibrated
+timing loop.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a heavy experiment with a single round."""
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return _run

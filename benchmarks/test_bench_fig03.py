@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 3 (radio flow-energy grid).
+
+Paper targets: mean 14.3 J, min 10.5 J, max 17.6 J over the
+rate x size grid; overhead dominates (small spread despite a 60,000x
+spread in bytes).
+"""
+
+import pytest
+
+from repro.figures import fig03_radio_flows
+
+
+def test_bench_fig03_grid(benchmark):
+    result = benchmark(fig03_radio_flows.run, seed=1)
+    # Shape: the activation overhead dominates the grid.
+    assert result.mean_j == pytest.approx(14.3, rel=0.15)
+    assert result.max_j / result.min_j < 2.0
+    # Energy grows with offered load, comparing grid corners.
+    low_corner = [e for r, s, e in result.rows if r == 1 and s == 1][0]
+    high_corner = [e for r, s, e in result.rows
+                   if r == 40 and s == 1500][0]
+    assert high_corner > low_corner

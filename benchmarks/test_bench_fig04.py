@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 4 (radio activation power trace).
+
+Paper targets: ~9.5 J per activation cycle (8.8-11.9 envelope), 20 s
+idle timeout, one activation per 40 s keep-alive packet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.figures import fig04_activation
+
+
+def test_bench_fig04_activation_trace(run_once):
+    result = run_once(fig04_activation.run,
+                      duration_s=400.0, interval_s=40.0, seed=4)
+    assert result.activation_count == 10
+    assert result.mean_cycle_j == pytest.approx(9.5, rel=0.15)
+    assert min(result.cycle_energies) > 8.0
+    assert max(result.cycle_energies) < 13.0
+    # The trace itself shows distinct plateaus: significant time at
+    # baseline and significant time elevated.
+    baseline = 0.699
+    elevated = np.count_nonzero(result.watts > baseline + 0.2)
+    at_base = np.count_nonzero(result.watts < baseline + 0.05)
+    assert elevated > 0.3 * len(result.watts)
+    assert at_base > 0.2 * len(result.watts)

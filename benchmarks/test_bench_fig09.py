@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 9 (isolation under forking).
+
+Paper targets: A pinned at ~68 mW throughout; B's family (B + B1 + B2)
+sums to B's original share; the stacked estimates total ~137 mW and
+track the measured CPU power (~139 mW).
+"""
+
+import pytest
+
+from repro.figures import fig09_isolation
+
+
+def test_bench_fig09_isolation(run_once):
+    result = run_once(fig09_isolation.run, duration_s=60.0)
+    rows = {c.metric: c for c in result.comparisons}
+    # Isolation: A unchanged before and after B's forks.
+    assert rows["A steady power"].measured == pytest.approx(0.0685,
+                                                            rel=0.03)
+    assert rows["A power before forks"].measured == pytest.approx(
+        0.0685, rel=0.05)
+    # Subdivision: B halves itself, children get quarters.
+    assert rows["B steady power (after both forks)"].measured == \
+        pytest.approx(0.03425, rel=0.05)
+    assert rows["B1 steady power"].measured == pytest.approx(0.017125,
+                                                             rel=0.08)
+    # Accounting matches measurement.
+    assert rows["stacked estimate sum"].measured == pytest.approx(
+        rows["measured CPU power"].measured, rel=0.05)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 10 (viewer without adaptation).
+
+Paper targets: constant full-quality downloads; the reserve drains to
+~0 early in each batch and the run crawls to ~2500 s.
+"""
+
+import pytest
+
+from repro.figures import fig10_viewer_noscale
+
+
+def test_bench_fig10_noscale(run_once):
+    result = run_once(fig10_viewer_noscale.run, seed=10)
+    # Long, stall-dominated run (paper axis: ~2500 s).
+    assert result.runtime_s == pytest.approx(2500.0, rel=0.15)
+    # Every image at full quality, constant bytes per image.
+    assert result.stats.mean_quality() == 1.0
+    _, kib = result.stats.bytes_per_image_series()
+    assert max(kib) - min(kib) < 1.0
+    # The reserve empties (that is what stalls the transfers)...
+    assert result.min_reserve_j < 1e-3
+    # ...and the downloader actually stalled for most of the run.
+    assert result.stats.total_stall_seconds > 0.5 * result.runtime_s

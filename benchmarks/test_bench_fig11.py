@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 (viewer with adaptation).
+
+Paper targets: >=5x faster than the non-adaptive run, per-image bytes
+shrink as energy tightens, the reserve never reaches zero.
+"""
+
+import pytest
+
+from repro.figures import fig11_viewer_scale
+
+
+def test_bench_fig11_adaptive(run_once):
+    result = run_once(fig11_viewer_scale.run, seed=10)
+    # "The images downloaded 5 times more quickly."
+    assert result.speedup >= 5.0
+    # "dropped below the threshold, but never to zero"
+    assert result.adaptive.min_reserve_j > 0.0
+    # Quality/bytes decline across a batch.
+    first_batch = result.adaptive.stats.images[:8]
+    assert first_batch[0].quality == 1.0
+    assert first_batch[-1].quality < 0.5
+    # The adaptive run barely stalls.
+    assert result.adaptive.stats.total_stall_seconds < 5.0

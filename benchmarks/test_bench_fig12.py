@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 12 (foreground/background + hoarding).
+
+Paper targets: (a) clean handoffs at 137 mW; (b) at 300 mW the retired
+app keeps spending its hoard, competes 50/50 during the other's
+foreground interval, and the last app burns ~90% CPU after retirement.
+"""
+
+import pytest
+
+from repro.figures import fig12_background
+
+
+def test_bench_fig12_both_panels(run_once):
+    pair = run_once(fig12_background.run, duration_s=60.0)
+
+    a_rows = {c.metric: c for c in pair.panel_a.comparisons}
+    # (a) Background share ~7 mW, foreground ~full CPU, clean return.
+    assert a_rows["A background power (0-10 s)"].measured == \
+        pytest.approx(0.007, rel=0.1)
+    assert a_rows["A foreground power (10-20 s)"].measured == \
+        pytest.approx(0.137, rel=0.1)
+    assert a_rows["A power after retirement (22-30 s)"].measured == \
+        pytest.approx(0.007, rel=0.1)
+
+    b_rows = {c.metric: c for c in pair.panel_b.comparisons}
+    # (b) Hoard: full CPU after retirement, 50/50 contention, ~90% tail.
+    assert b_rows["A power after retirement (20-30 s)"].measured > 0.10
+    assert b_rows["A share during B's turn (30-36 s)"].measured == \
+        pytest.approx(0.0685, rel=0.1)
+    assert b_rows["B power after retirement (41-50 s)"].measured > 0.10

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 13 (staggered vs cooperative radio).
+
+Paper targets: the uncooperative pair staggers activations (~2/min);
+the cooperative pair pools and activates once per minute, with both
+apps riding the same cycle and completing the same number of polls.
+"""
+
+import pytest
+
+from repro.figures import fig13_cooperative
+
+
+def test_bench_fig13_pair(run_once):
+    result = run_once(fig13_cooperative.run,
+                      duration_s=fig13_cooperative.EXPERIMENT_SECONDS)
+    minutes = result.coop.duration_s / 60.0
+    # (a) staggered: ~two activations per minute.
+    assert result.uncoop.activations / minutes == pytest.approx(2.0,
+                                                                rel=0.1)
+    # (b) pooled: ~one activation per minute.
+    assert result.coop.activations / minutes == pytest.approx(1.0,
+                                                              rel=0.15)
+    # Cooperation at least ~1.5x less active radio time.
+    assert (result.uncoop.active_time_s
+            > 1.5 * result.coop.active_time_s)
+    # Work parity: same polls completed.
+    assert result.coop.polls_completed >= result.uncoop.polls_completed - 1

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 14 (netd pooled reserve level).
+
+Paper targets: the pool saws between ~125% of the activation cost and
+a positive floor — "the reserve does not empty to 0".
+"""
+
+import numpy as np
+import pytest
+
+from repro.figures import fig14_netd_reserve
+
+
+def test_bench_fig14_pool_sawtooth(run_once):
+    result = run_once(fig14_netd_reserve.run, seed=14)
+    # Fills to ~125% of 9.5 J before each activation.
+    assert result.peak_j == pytest.approx(11.875, rel=0.1)
+    # Never back to zero once running.
+    assert result.floor_after_first_fill_j > 0.5
+    # Debits of roughly one activation cost.
+    assert (result.peak_j - result.floor_after_first_fill_j
+            == pytest.approx(9.5, rel=0.15))
+    # It is a sawtooth: many rises and falls, not a flat line.
+    diffs = np.diff(result.levels)
+    assert (diffs > 0).any() and (diffs < -1.0).any()

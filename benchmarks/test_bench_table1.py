@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 1 (cooperative sharing summary).
+
+Paper targets over 1201 s: cooperation cuts total energy ~12.5%,
+active radio time ~46.3%, active energy ~44.2%, at equal work.
+"""
+
+import pytest
+
+from repro.figures import table1_summary
+
+
+def test_bench_table1(run_once):
+    result = run_once(table1_summary.run)
+    rows = {r[0]: r for r in result.measured_rows()}
+
+    # Who wins: cooperation, on every row.
+    assert rows["Total Energy (J)"][2] < rows["Total Energy (J)"][1]
+    assert rows["Active Time (s)"][2] < rows["Active Time (s)"][1]
+    assert rows["Active Energy (J)"][2] < rows["Active Energy (J)"][1]
+
+    # By roughly the paper's factors.
+    assert rows["Total Energy (J)"][3] == pytest.approx(0.125, abs=0.06)
+    assert rows["Active Time (s)"][3] == pytest.approx(0.463, abs=0.10)
+    assert rows["Active Energy (J)"][3] == pytest.approx(0.442, abs=0.10)
+
+    # Equal work in equal time.
+    assert result.coop.duration_s == result.uncoop.duration_s
+    assert result.coop.polls_completed >= result.uncoop.polls_completed - 1

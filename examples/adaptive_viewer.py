@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The energy-aware image gallery (§5.3/§6.2), adaptive vs not.
+
+A downloader thread fetches batches of interlaced PNG images from a
+gallery server, funded by a 2 mW tap into its own reserve.  The user
+pauses between batches — 40 s at first, 5 s less each time — so less
+energy accumulates before each successive batch.
+
+The *adaptive* viewer watches its reserve level and requests only a
+fraction of each interlaced image when energy runs low: lower quality,
+but it keeps moving.  The *non-adaptive* viewer always fetches full
+images and stalls whenever the reserve empties.
+
+Run with::
+
+    python examples/adaptive_viewer.py
+"""
+
+from repro.apps.image_viewer import (ViewerConfig, ViewerStats,
+                                     image_viewer_downloader)
+from repro.figures.fig10_viewer_noscale import (DOWNLOADER_TAP_W,
+                                                PAPER_RESERVE_START_J,
+                                                build_system)
+from repro.units import fmt_duration
+
+
+def run(adaptive: bool) -> ViewerStats:
+    system = build_system(seed=1)
+    reserve = system.powered_reserve(DOWNLOADER_TAP_W, name="downloader")
+    system.battery_reserve.transfer_to(reserve, PAPER_RESERVE_START_J)
+    stats = ViewerStats()
+    config = ViewerConfig(adaptive=adaptive)
+    process = system.spawn(image_viewer_downloader(config, stats),
+                           "viewer", reserve=reserve)
+    system.run_until(lambda: process.finished, max_s=6000.0)
+    return stats
+
+
+def describe(label: str, stats: ViewerStats) -> None:
+    print(f"\n{label}")
+    print(f"  finished in       : {fmt_duration(stats.finished_at)}")
+    print(f"  images downloaded : {len(stats.images)}")
+    print(f"  mean quality      : {stats.mean_quality() * 100:.0f}%")
+    print(f"  data transferred  : {stats.total_bytes / 2**20:.1f} MiB")
+    print(f"  time stalled      : "
+          f"{fmt_duration(stats.total_stall_seconds)}")
+    kib = [record.nbytes / 1024 for record in stats.images[:8]]
+    print("  first batch (KiB) : "
+          + ", ".join(f"{k:.0f}" for k in kib))
+
+
+def main() -> None:
+    print("downloading 9 batches of 8 images, pauses 40,35,30,... s")
+    adaptive = run(adaptive=True)
+    plain = run(adaptive=False)
+    describe("ADAPTIVE (interlaced partial fetches)", adaptive)
+    describe("NON-ADAPTIVE (full images, stalls when broke)", plain)
+    speedup = plain.finished_at / adaptive.finished_at
+    print(f"\nadaptation finished {speedup:.1f}x sooner "
+          f"(paper: 'less than one-fifth the time')")
+
+
+if __name__ == "__main__":
+    main()

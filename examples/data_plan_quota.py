@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Reserves beyond energy: data-plan and SMS quotas (paper §9).
+
+"Since data plans are frequently offered in terms of megabyte quotas,
+Cinder's mechanisms could be repurposed to limit application network
+access by replacing the logical battery with a pool of network bytes.
+Similarly, reserves could also be used to enforce SMS text message
+quotas."
+
+This example builds a 100 MiB monthly plan as the root reserve of a
+second resource graph, rations it to three apps with taps (a steady
+drip for mail, a big slice for maps, a burst-friendly Figure 6b
+arrangement for the browser), and shows the kernel refusing an app
+that exhausts its quota — no billing surprises.
+
+Run with::
+
+    python examples/data_plan_quota.py
+"""
+
+from repro.core.decay import DecayPolicy
+from repro.core.graph import ResourceGraph
+from repro.core.policy import shared_rate_limit
+from repro.core.reserve import NETWORK_BYTES, SMS_MESSAGES
+from repro.errors import ReserveEmptyError
+from repro.units import MiB, as_MiB
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def main() -> None:
+    # The "battery" is the monthly plan.  Bytes do not decay.
+    plan = ResourceGraph(float(MiB(100)), kind=NETWORK_BYTES,
+                         root_name="data-plan",
+                         decay=DecayPolicy(enabled=False))
+    print(f"monthly plan: {as_MiB(plan.root.level):.0f} MiB\n")
+
+    # Mail drips ~1 MiB/day; maps gets a 30 MiB slice up front;
+    # the browser gets 2 MiB/day with a burst bank (Figure 6b shape).
+    mail = plan.create_reserve(name="mail")
+    plan.create_tap(plan.root, mail, MiB(1) / SECONDS_PER_DAY,
+                    name="mail.drip")
+    maps = plan.create_reserve(name="maps", source=plan.root,
+                               level=float(MiB(30)))
+    browser = shared_rate_limit(plan, plan.root,
+                                MiB(2) / SECONDS_PER_DAY,
+                                back_fraction=1.0 / SECONDS_PER_DAY,
+                                name="browser")
+
+    # Simulate a week, with the apps spending.
+    for day in range(7):
+        for _ in range(24):
+            plan.step(3600.0)
+        mail.consume(min(mail.level, float(MiB(0.8))))       # daily sync
+        maps.consume(float(MiB(2.5)))                        # a trip
+        browser.reserve.consume(min(browser.reserve.level,
+                                    float(MiB(1.5))))        # browsing
+
+    print("after one week:")
+    for reserve in (mail, maps, browser.reserve):
+        print(f"  {reserve.name:8s} level {as_MiB(reserve.level):6.2f} MiB"
+              f"   used {as_MiB(reserve.total_consumed):6.2f} MiB")
+    print(f"  plan remaining: {as_MiB(plan.root.level):.2f} MiB")
+
+    # Quota enforcement: maps tries to grab more than it has left.
+    try:
+        maps.consume(float(MiB(50)))
+    except ReserveEmptyError as exc:
+        print(f"\nmaps over quota -> kernel refuses: {exc}")
+
+    # SMS quotas work the same way with a message-count root.
+    sms = ResourceGraph(100.0, kind=SMS_MESSAGES, root_name="sms-plan",
+                        decay=DecayPolicy(enabled=False))
+    kid = sms.create_reserve(name="kid", source=sms.root, level=10.0)
+    for _ in range(10):
+        kid.consume(1.0)
+    try:
+        kid.consume(1.0)
+    except ReserveEmptyError:
+        print("kid's 10-message SMS quota exhausted -> blocked, "
+              "parent's 90 remain untouched")
+    print(f"\nconservation: plan error {plan.conservation_error():.2e}, "
+          f"sms error {sms.conservation_error():.2e}")
+
+
+if __name__ == "__main__":
+    main()

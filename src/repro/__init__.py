@@ -1,0 +1,50 @@
+"""repro: a simulation reproduction of the Cinder operating system.
+
+    Roy, Rumble, Stutsman, Levis, Mazières, Zeldovich.
+    "Energy Management in Mobile Devices with the Cinder Operating
+    System."  EuroSys 2011.
+
+Cinder treats energy as a first-class OS resource through two kernel
+abstractions: **reserves** (quantities) and **taps** (rates), composed
+into a battery-rooted resource consumption graph that gives
+applications isolation, delegation and subdivision of energy.
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.kernel`  — HiStar-style substrate: labels, containers,
+  threads, gates (caller-pays IPC billing).
+* :mod:`repro.core`    — the contribution: reserves, taps, the graph,
+  decay, the energy-aware scheduler, accounting.
+* :mod:`repro.energy`  — the HTC Dream power model, simulated meter,
+  battery and calibration.
+* :mod:`repro.sim`     — the discrete-time engine and process model.
+* :mod:`repro.hw`      — the two-core MSM7201A chipset, smdd, rild.
+* :mod:`repro.net`     — the radio state machine and netd, the
+  cooperative network stack.
+* :mod:`repro.apps`    — energywrap, browser/plugin, image viewer,
+  task manager, mail/RSS daemons.
+* :mod:`repro.figures` — one module per paper figure/table.
+
+Quickstart::
+
+    from repro.sim import CinderSystem, spinner
+    from repro.units import mW
+
+    system = CinderSystem(battery_joules=15_000.0)
+    app = system.powered_reserve(mW(750), name="browser")
+    system.spawn(spinner(), "browser", reserve=app)
+    system.run(10.0)
+"""
+
+from .core import (ConsumptionLedger, DecayPolicy, EnergyAwareScheduler,
+                   Reserve, ResourceGraph, Tap, TapType)
+from .kernel import Kernel, Label, ObjRef
+from .sim import CinderSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Reserve", "ResourceGraph", "Tap", "TapType", "EnergyAwareScheduler",
+    "DecayPolicy", "ConsumptionLedger", "Kernel", "Label", "ObjRef",
+    "CinderSystem", "__version__",
+]

@@ -1,0 +1,28 @@
+"""Applications from the paper's §5: the users of reserves and taps."""
+
+from .browser import (BrowserApp, BrowserConfig, BrowserStats,
+                      ExtensionMailbox)
+from .energywrap import WrappedProcess, energywrap, wrap_child
+from .image_viewer import (ImageRecord, ViewerConfig, ViewerStats,
+                           choose_fraction, image_viewer_downloader)
+from .mail import MailConfig, MailStats, mail_fetcher
+from .plugin import (PluginSandbox, bursty_plugin, make_plugin_sandbox,
+                     runaway_plugin)
+from .rss import RssConfig, RssStats, rss_downloader
+from .sms import SmsSender, SmsStats, sms_burst_program
+from .task_manager import (DEFAULT_BACKGROUND_POOL_W, DEFAULT_FOREGROUND_W,
+                           ManagedApp, TaskManager)
+
+__all__ = [
+    "BrowserApp", "BrowserConfig", "BrowserStats", "ExtensionMailbox",
+    "WrappedProcess", "energywrap", "wrap_child",
+    "ImageRecord", "ViewerConfig", "ViewerStats", "choose_fraction",
+    "image_viewer_downloader",
+    "MailConfig", "MailStats", "mail_fetcher",
+    "PluginSandbox", "bursty_plugin", "make_plugin_sandbox",
+    "runaway_plugin",
+    "RssConfig", "RssStats", "rss_downloader",
+    "SmsSender", "SmsStats", "sms_burst_program",
+    "DEFAULT_BACKGROUND_POOL_W", "DEFAULT_FOREGROUND_W", "ManagedApp",
+    "TaskManager",
+]

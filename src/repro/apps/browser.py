@@ -1,0 +1,201 @@
+"""The energy-constrained web browser and its extension (paper §5.2).
+
+"Cinder includes a simple graphical web browser based on links2 ...
+augmented with an extension running in a separate process, whose
+energy usage is subdivided and isolated from the browser.  The browser
+can send requests to the extension process (for ad blocking, etc.),
+and if the extension is unresponsive due to lack of energy the browser
+can display the unaugmented page."
+
+The browser's defensive posture is Figure 6: the extension draws from
+its own reserve, fed by a low-rate tap from the browser's reserve (6a),
+optionally with backward proportional taps so unused energy is shared
+rather than hoarded (6b).  Per-page taps (§5.2) are modeled too:
+opening a page adds a tap into the extension reserve; closing the page
+deletes it, revoking that power source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..core.policy import SharedChild, shared_rate_limit
+from ..core.reserve import Reserve
+from ..core.tap import Tap, TapType
+from ..errors import SimulationError
+from ..sim.engine import CinderSystem
+from ..sim.process import CpuBurn, ProcessContext, Sleep, WaitFor
+from ..units import mW
+
+
+class ExtensionMailbox:
+    """A tiny request/reply channel between browser and extension."""
+
+    def __init__(self) -> None:
+        self._requests: List[int] = []
+        self._replies: Dict[int, bool] = {}
+        self._next_id = 0
+
+    def post(self) -> int:
+        """Browser side: submit a filtering request; returns its id."""
+        request_id = self._next_id
+        self._next_id += 1
+        self._requests.append(request_id)
+        return request_id
+
+    def take(self) -> Optional[int]:
+        """Extension side: pop the oldest pending request."""
+        if self._requests:
+            return self._requests.pop(0)
+        return None
+
+    def reply(self, request_id: int) -> None:
+        """Extension side: mark a request serviced."""
+        self._replies[request_id] = True
+
+    def has_reply(self, request_id: int) -> bool:
+        """Browser side: did the extension answer yet?"""
+        return self._replies.get(request_id, False)
+
+    @property
+    def pending(self) -> int:
+        return len(self._requests)
+
+
+@dataclass
+class BrowserStats:
+    """Outcome counters for the browser loop."""
+
+    pages_loaded: int = 0
+    pages_augmented: int = 0
+    pages_plain: int = 0
+
+    @property
+    def augmented_fraction(self) -> float:
+        if self.pages_loaded == 0:
+            return 0.0
+        return self.pages_augmented / self.pages_loaded
+
+
+@dataclass
+class BrowserConfig:
+    """Workload knobs."""
+
+    pages: int = 20
+    #: CPU seconds the browser spends rendering one page.
+    render_cpu_s: float = 0.2
+    #: CPU seconds the extension spends filtering one page.
+    filter_cpu_s: float = 0.3
+    #: How long the browser waits before giving up on the extension.
+    extension_timeout_s: float = 3.0
+    #: Think time between pages.
+    think_s: float = 1.0
+
+
+class BrowserApp:
+    """Wiring for the browser + extension pair (Figure 6)."""
+
+    def __init__(
+        self,
+        system: CinderSystem,
+        browser_watts: float = mW(700),
+        extension_watts: float = mW(70),
+        back_fraction: float = 0.1,
+        share_unused: bool = True,
+        config: Optional[BrowserConfig] = None,
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else BrowserConfig()
+        graph = system.graph
+        battery = system.battery_reserve
+
+        self.browser_reserve = graph.create_reserve(name="browser")
+        graph.create_tap(battery, self.browser_reserve, browser_watts,
+                         name="browser.in")
+        if share_unused:
+            # Figure 6b: both reserves return unused energy upstream.
+            graph.create_tap(self.browser_reserve, battery, back_fraction,
+                             TapType.PROPORTIONAL, name="browser.back")
+            child = shared_rate_limit(graph, self.browser_reserve,
+                                      extension_watts, back_fraction,
+                                      name="extension")
+            self.extension_reserve = child.reserve
+            self.extension_tap: Tap = child.forward
+        else:
+            # Figure 6a: plain subdivision, no sharing of the unused.
+            self.extension_reserve = graph.create_reserve(name="extension")
+            self.extension_tap = graph.create_tap(
+                self.browser_reserve, self.extension_reserve,
+                extension_watts, name="extension.in")
+
+        self.mailbox = ExtensionMailbox()
+        self.stats = BrowserStats()
+        self._page_taps: Dict[str, Tap] = {}
+
+    # -- per-page taps (§5.2) -------------------------------------------------------
+
+    def open_page(self, page_id: str, watts: float = mW(10)) -> Tap:
+        """Scale extension power with open pages: one tap per page."""
+        if page_id in self._page_taps:
+            raise SimulationError(f"page {page_id!r} already open")
+        tap = self.system.graph.create_tap(
+            self.browser_reserve, self.extension_reserve, watts,
+            name=f"page.{page_id}")
+        self._page_taps[page_id] = tap
+        return tap
+
+    def close_page(self, page_id: str) -> None:
+        """Navigating away garbage-collects the page's tap (§5.2)."""
+        tap = self._page_taps.pop(page_id, None)
+        if tap is None:
+            raise SimulationError(f"page {page_id!r} is not open")
+        self.system.graph.delete_tap(tap)
+
+    @property
+    def open_pages(self) -> int:
+        return len(self._page_taps)
+
+    # -- the two programs -------------------------------------------------------------
+
+    def browser_program(self) -> Callable[[ProcessContext], Generator]:
+        """Render pages, asking the extension to augment each one."""
+        config, mailbox, stats = self.config, self.mailbox, self.stats
+
+        def program(ctx: ProcessContext) -> Generator:
+            for _ in range(config.pages):
+                yield CpuBurn(config.render_cpu_s)
+                request_id = mailbox.post()
+                deadline = ctx.now + config.extension_timeout_s
+                yield WaitFor(lambda rid=request_id, dl=deadline:
+                              mailbox.has_reply(rid) or ctx.now >= dl)
+                stats.pages_loaded += 1
+                if mailbox.has_reply(request_id):
+                    stats.pages_augmented += 1
+                else:
+                    # Unresponsive extension: show the plain page (§5.2).
+                    stats.pages_plain += 1
+                yield Sleep(config.think_s)
+        return program
+
+    def extension_program(self) -> Callable[[ProcessContext], Generator]:
+        """Service filtering requests as energy allows."""
+        config, mailbox = self.config, self.mailbox
+
+        def program(ctx: ProcessContext) -> Generator:
+            while True:
+                yield WaitFor(lambda: mailbox.pending > 0)
+                request_id = mailbox.take()
+                if request_id is None:
+                    continue
+                yield CpuBurn(config.filter_cpu_s)
+                mailbox.reply(request_id)
+        return program
+
+    def launch(self) -> None:
+        """Spawn both processes with their reserves attached."""
+        self.system.spawn(self.browser_program(), "browser",
+                          reserve=self.browser_reserve)
+        self.system.spawn(self.extension_program(), "extension",
+                          reserve=self.extension_reserve)

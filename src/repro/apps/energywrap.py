@@ -1,0 +1,110 @@
+"""energywrap: sandbox any program with an energy rate (paper §5.1).
+
+"energywrap takes a rate limit and a path to an application binary.
+The utility creates a new reserve and attaches it to the reserve in
+which energywrap started by a tap with the rate given as input.  After
+forking, energywrap begins drawing resources from the newly allocated
+reserve rather than the original reserve of the parent process and
+executes the specified program."
+
+This module follows the paper's Figure 5 excerpt through the *syscall
+layer* — ``reserve_create``, ``tap_create``, ``tap_set_rate``,
+``self_set_active_reserve`` — so the label checks and ObjRef plumbing
+run exactly as a C caller would exercise them.  Like the original, it
+composes: a wrapped program can itself call :func:`energywrap` on its
+children (§6.1's B wrapping B1 and B2 is built this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from ..core.reserve import Reserve
+from ..core.tap import Tap
+from ..kernel import syscalls
+from ..kernel.objects import ObjRef
+from ..kernel.thread_obj import Thread
+from ..sim.engine import CinderSystem
+from ..sim.process import Process, ProcessContext
+from ..units import as_mW
+
+
+@dataclass
+class WrappedProcess:
+    """What energywrap returns: the process plus its sandbox objects."""
+
+    process: Process
+    reserve: Reserve
+    tap: Tap
+
+    @property
+    def rate_watts(self) -> float:
+        """The sandbox's configured rate limit."""
+        return self.tap.rate
+
+
+def energywrap(
+    system: CinderSystem,
+    rate_watts: float,
+    program: Callable[[ProcessContext], Generator],
+    name: str,
+    source: Optional[Reserve] = None,
+    shell_thread: Optional[Thread] = None,
+) -> WrappedProcess:
+    """Run ``program`` limited to ``rate_watts``, Figure 5 style.
+
+    ``source`` is the reserve the sandbox draws from (the caller's own
+    reserve when wrapping children; the battery for top-level use).
+    ``shell_thread`` is the thread performing the syscalls — it needs
+    observe/modify on ``source``; a fresh root-labeled thread is used
+    if omitted, mirroring a shell invocation.
+    """
+    kernel = system.kernel
+    container_id = kernel.root_container.object_id
+    if source is None:
+        source = system.battery_reserve
+    if shell_thread is None:
+        shell_thread = kernel.create_thread(name=f"{name}.energywrap")
+
+    # Figure 5, line by line (sans error handling):
+    # res_id = reserve_create(container_id, res_label);
+    res_id = syscalls.reserve_create(kernel, shell_thread, container_id,
+                                     name=f"{name}.reserve")
+    res = ObjRef(container_id, res_id)
+    # tap_id = tap_create(container_id, root_reserve, res, tap_label);
+    tap_id = syscalls.tap_create(kernel, shell_thread, container_id,
+                                 kernel.ref_for(source), res,
+                                 name=f"{name}.tap")
+    tap_ref = ObjRef(container_id, tap_id)
+    # tap_set_rate(tap, TAP_TYPE_CONST, <mW>);
+    syscalls.tap_set_rate(kernel, shell_thread, tap_ref,
+                          syscalls.TAP_TYPE_CONST, as_mW(rate_watts))
+
+    # if (fork() == 0) { self_set_active_reserve(res); execv(...); }
+    process = system.spawn(program, name)
+    syscalls.self_set_active_reserve(kernel, process.thread, res)
+
+    reserve = kernel.resolve(res)
+    tap = kernel.resolve(tap_ref)
+    assert isinstance(reserve, Reserve) and isinstance(tap, Tap)
+    return WrappedProcess(process=process, reserve=reserve, tap=tap)
+
+
+def wrap_child(
+    system: CinderSystem,
+    parent: Process,
+    rate_watts: float,
+    program: Callable[[ProcessContext], Generator],
+    name: str,
+) -> WrappedProcess:
+    """Wrap a child under the *parent's own* reserve (§6.1).
+
+    "Rather than have its children draw from B's own reserve, B
+    creates two new reserves subdividing and delegating its power to
+    each using two taps" — the child's tap drains the parent's
+    reserve, so the parent's policies compose with the system's.
+    """
+    return energywrap(system, rate_watts, program, name,
+                      source=parent.thread.active_reserve,
+                      shell_thread=parent.thread)

@@ -1,0 +1,114 @@
+"""Plugin sandboxing: subdivision with reclaim and anti-hoarding.
+
+Companion to :mod:`repro.apps.browser`, isolating the *plugin* side of
+§5.2: a possibly untrusted Flash-style plugin gets "full control over
+a fraction of its [host's] energy allotment" while the host stays
+protected.  Exposes the Figure 6b proportional-tap arrangement as a
+reusable sandbox, plus the §5.2.2 hoarding probes used by tests:
+``reserve_clone`` semantics and the fast-to-slow transfer rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from ..core.graph import ResourceGraph
+from ..core.policy import SharedChild, shared_rate_limit
+from ..core.reserve import Reserve
+from ..errors import HoardingError
+from ..kernel.labels import Label, NO_PRIVILEGES, PrivilegeSet, fresh_category
+from ..sim.process import CpuBurn, ProcessContext, Sleep
+
+
+@dataclass
+class PluginSandbox:
+    """A plugin's energy cage within its host application."""
+
+    graph: ResourceGraph
+    host_reserve: Reserve
+    child: SharedChild
+    #: The host's privilege over the sandbox taps.
+    host_privileges: PrivilegeSet
+
+    @property
+    def reserve(self) -> Reserve:
+        """The plugin's own reserve."""
+        return self.child.reserve
+
+    @property
+    def burst_capacity_joules(self) -> float:
+        """How much the plugin can bank for bursts (Figure 6b's 700 mJ)."""
+        return self.child.equilibrium_level
+
+    def try_hoard(self, amount: float,
+                  privileges: PrivilegeSet = NO_PRIVILEGES) -> Reserve:
+        """What a malicious plugin would do: stash energy in a fresh
+        reserve with no backward taps.
+
+        Under the §5.2.2 ``reserve_clone`` discipline this *fails*:
+        the clone inherits the backward taps the plugin cannot remove,
+        and a raw checked transfer to a slower-draining reserve raises
+        :class:`~repro.errors.HoardingError`.  Returns the clone so
+        tests can verify the inherited drains.
+        """
+        clone = self.graph.clone_reserve(self.reserve, privileges,
+                                         name=f"{self.reserve.name}/stash")
+        # The checked transfer only succeeds because the clone drains
+        # at least as fast as the original (inherited taps).
+        self.graph.checked_transfer(self.reserve, clone, amount, privileges)
+        return clone
+
+
+def make_plugin_sandbox(
+    graph: ResourceGraph,
+    host_reserve: Reserve,
+    plugin_watts: float,
+    back_fraction: float = 0.1,
+    name: str = "plugin",
+) -> PluginSandbox:
+    """Build the Figure 6b cage: feed + backward proportional tap.
+
+    The sandbox taps are labeled with a fresh category owned by the
+    host, so the plugin can neither raise its feed nor remove its
+    taxation.
+    """
+    # Level 0 = an integrity category: the plugin cannot modify (remove
+    # or retune) the sandbox taps, only the host's privilege can.
+    category = fresh_category(f"{name}-sandbox")
+    host_privileges = PrivilegeSet(frozenset({category}))
+    tap_label = Label({category: 0})
+    child = shared_rate_limit(graph, host_reserve, plugin_watts,
+                              back_fraction, name=name)
+    child.forward.label = tap_label
+    child.backward.label = tap_label
+    return PluginSandbox(graph=graph, host_reserve=host_reserve,
+                         child=child, host_privileges=host_privileges)
+
+
+def bursty_plugin(
+    burst_cpu_s: float = 0.5,
+    idle_s: float = 5.0,
+    bursts: Optional[int] = None,
+) -> Callable[[ProcessContext], Generator]:
+    """A plugin that alternates hungry bursts with idle stretches.
+
+    The Figure 6b design exists exactly for this profile: the reserve
+    banks up to the equilibrium level during idle periods, funds the
+    burst at full device power, then returns the excess.
+    """
+    def program(ctx: ProcessContext) -> Generator:
+        count = 0
+        while bursts is None or count < bursts:
+            yield CpuBurn(burst_cpu_s)
+            yield Sleep(idle_s)
+            count += 1
+    return program
+
+
+def runaway_plugin() -> Callable[[ProcessContext], Generator]:
+    """A buggy/malicious plugin that spins forever (§2.2's motivation)."""
+    def program(ctx: ProcessContext) -> Generator:
+        yield CpuBurn(math.inf)
+    return program

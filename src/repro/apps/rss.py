@@ -1,0 +1,74 @@
+"""The RSS feed downloader daemon (paper §5.5, §6.4).
+
+The second Figure 13 daemon: starts at t=0 with a 60 second poll
+interval.  Structurally identical to the mail fetcher; kept separate
+because the experiments (and Figure 7/8) treat them as distinct
+principals with their own reserves and taps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+from ..sim.process import NetRequest, ProcessContext, SleepUntil
+from ..units import KiB
+
+
+@dataclass
+class RssConfig:
+    """§6.4 parameters for the RSS downloader."""
+
+    poll_period_s: float = 60.0
+    start_offset_s: float = 0.0
+    #: Conditional-GET request headers.
+    bytes_out: int = 512
+    #: Expected feed document size per poll.
+    bytes_in: int = KiB(60)
+    destination: str = "rss"
+    max_polls: Optional[int] = None
+
+
+@dataclass
+class RssStats:
+    """What the downloader observed."""
+
+    polls_completed: int = 0
+    items_fetched: int = 0
+    total_bytes: int = 0
+    total_billed_joules: float = 0.0
+    total_wait_seconds: float = 0.0
+    poll_times: List[float] = field(default_factory=list)
+
+    def checks_per_hour(self, elapsed_s: float) -> float:
+        """Service quality: feed refreshes per hour actually achieved."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.polls_completed * 3600.0 / elapsed_s
+
+
+def rss_downloader(config: RssConfig, stats: RssStats
+                   ) -> Callable[[ProcessContext], Generator]:
+    """The daemon program: poll the feed on a fixed grid."""
+    def program(ctx: ProcessContext) -> Generator:
+        if config.start_offset_s > 0:
+            yield SleepUntil(config.start_offset_s)
+        polls = 0
+        while config.max_polls is None or polls < config.max_polls:
+            reply = yield NetRequest(
+                bytes_out=config.bytes_out,
+                bytes_in=config.bytes_in,
+                destination=config.destination,
+            )
+            polls += 1
+            stats.polls_completed += 1
+            stats.total_bytes += reply.bytes_in + reply.bytes_out
+            stats.total_billed_joules += reply.billed_joules
+            stats.total_wait_seconds += reply.wait_seconds
+            stats.poll_times.append(ctx.now)
+            if isinstance(reply.response, dict):
+                stats.items_fetched += int(reply.response.get("items", 0))
+            next_poll = config.start_offset_s + polls * config.poll_period_s
+            if next_poll > ctx.now:
+                yield SleepUntil(next_poll)
+    return program

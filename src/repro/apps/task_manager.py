@@ -1,0 +1,147 @@
+"""The task manager: foreground/background energy policy (paper §5.4).
+
+Figure 7's arrangement: each application's reserve is fed by two taps —
+one from a *foreground* reserve (high-rate feed from the battery) and
+one from a *background* reserve (low-rate feed).  "An application's
+tap to the background reserve always allows energy to flow; however,
+the foreground tap is set to a rate of 0 while the application is
+running in the background, and is set to a high value when the
+application is running in the foreground.  The task manager is the
+creator of the tap connecting the application to the foreground
+reserve and, by default, is the only thread privileged to modify the
+parameters on the tap."
+
+The privilege claim is enforced here with a real label: foreground
+taps carry a category only the manager's thread owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.policy import ForegroundBackgroundSlot, foreground_background_slot
+from ..core.reserve import Reserve
+from ..errors import SchedulerError
+from ..kernel.labels import Label, PrivilegeSet, fresh_category
+from ..kernel.thread_obj import Thread
+from ..sim.engine import CinderSystem
+from ..units import mW
+
+#: Figure 12 defaults: 14 mW shared by the background pool, 137 mW
+#: (the exact CPU cost) to the foreground app.
+DEFAULT_BACKGROUND_POOL_W = mW(14)
+DEFAULT_FOREGROUND_W = mW(137)
+
+
+@dataclass
+class ManagedApp:
+    """One application under task-manager control."""
+
+    name: str
+    slot: ForegroundBackgroundSlot
+
+    @property
+    def reserve(self) -> Reserve:
+        return self.slot.reserve
+
+
+class TaskManager:
+    """Owns the Figure 7 reserve topology and the focus policy."""
+
+    def __init__(
+        self,
+        system: CinderSystem,
+        foreground_watts: float = DEFAULT_FOREGROUND_W,
+        background_pool_watts: float = DEFAULT_BACKGROUND_POOL_W,
+    ) -> None:
+        self.system = system
+        self.foreground_watts = foreground_watts
+        self.background_pool_watts = background_pool_watts
+        graph = system.graph
+        battery = system.battery_reserve
+
+        # The manager's privilege: a category only it owns.  Foreground
+        # taps carry it at level 0 (an integrity category): information
+        # cannot flow from ordinary threads *into* the tap, so only the
+        # manager may retune it (§5.4), while anyone may observe it.
+        self._category = fresh_category("task-manager")
+        self.privileges = PrivilegeSet(frozenset({self._category}))
+        self._tap_label = Label({self._category: 0})
+
+        self.foreground_pool = graph.create_reserve(name="fg.pool")
+        graph.create_tap(battery, self.foreground_pool, foreground_watts,
+                         name="fg.pool.in")
+        self.background_pool = graph.create_reserve(name="bg.pool")
+        graph.create_tap(battery, self.background_pool,
+                         background_pool_watts, name="bg.pool.in")
+
+        self._apps: Dict[str, ManagedApp] = {}
+        self._focused: Optional[str] = None
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_app(self, name: str, thread: Optional[Thread] = None
+                ) -> ManagedApp:
+        """Register an app: wire its dual-tap slot, rebalance shares."""
+        if name in self._apps:
+            raise SchedulerError(f"app {name!r} already managed")
+        slot = foreground_background_slot(
+            self.system.graph, self.foreground_pool, self.background_pool,
+            name=name)
+        slot.foreground.label = self._tap_label
+        app = ManagedApp(name=name, slot=slot)
+        self._apps[name] = app
+        if thread is not None:
+            thread.set_active_reserve(slot.reserve)
+        self._rebalance_background()
+        return app
+
+    def _rebalance_background(self) -> None:
+        """Split the background pool's feed evenly across apps."""
+        if not self._apps:
+            return
+        share = self.background_pool_watts / len(self._apps)
+        for app in self._apps.values():
+            app.slot.background.set_rate(share)
+
+    # -- focus policy ------------------------------------------------------------------
+
+    def focus(self, name: str) -> None:
+        """Bring ``name`` to the foreground; everyone else goes back."""
+        if name not in self._apps:
+            raise SchedulerError(f"no managed app {name!r}")
+        for app_name, app in self._apps.items():
+            if app_name == name:
+                app.slot.bring_to_foreground(self.foreground_watts)
+            else:
+                app.slot.send_to_background()
+        self._focused = name
+
+    def unfocus(self) -> None:
+        """Send everything to the background (home screen)."""
+        for app in self._apps.values():
+            app.slot.send_to_background()
+        self._focused = None
+
+    @property
+    def focused(self) -> Optional[str]:
+        """The currently foregrounded app name, if any."""
+        return self._focused
+
+    def apps(self) -> List[ManagedApp]:
+        """Managed apps in registration order."""
+        return list(self._apps.values())
+
+    def app(self, name: str) -> ManagedApp:
+        """Look up one managed app."""
+        return self._apps[name]
+
+    # -- scripting helper (the Figure 12 schedules) ---------------------------------------
+
+    def schedule_focus(self, when: float, name: Optional[str]) -> None:
+        """At time ``when``, focus ``name`` (None = all background)."""
+        if name is None:
+            self.system.schedule_at(when, self.unfocus)
+        else:
+            self.system.schedule_at(when, lambda: self.focus(name))

@@ -1,0 +1,20 @@
+"""Baseline systems the paper compares against.
+
+ECOSystem's *currentcy* (§2.1/§2.3/§8.1): flat per-application energy
+accounts without delegation or subdivision.  Implemented so the
+comparison experiments can show concretely where Cinder's reserves and
+taps win.
+"""
+
+from .comparison import (PluginScenarioResult, PoolingScenarioResult,
+                         plugin_scenario_cinder, plugin_scenario_currentcy,
+                         pooling_scenario_cinder,
+                         pooling_scenario_currentcy)
+from .currentcy import CurrentcyAccount, CurrentcyManager
+
+__all__ = [
+    "PluginScenarioResult", "PoolingScenarioResult",
+    "plugin_scenario_cinder", "plugin_scenario_currentcy",
+    "pooling_scenario_cinder", "pooling_scenario_currentcy",
+    "CurrentcyAccount", "CurrentcyManager",
+]

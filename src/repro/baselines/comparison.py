@@ -1,0 +1,164 @@
+"""Head-to-head: Cinder's reserves/taps vs the currentcy baseline.
+
+Two scenarios straight from the paper's motivation (§2.2/§2.3):
+
+1. **Plugin protection** (subdivision + isolation).  A browser hosts a
+   greedy plugin.  Under Cinder the browser subdivides: the plugin's
+   reserve is fed by a low-rate tap and the browser keeps the rest.
+   Under currentcy the plugin *shares the browser's account* ("child
+   processes share the resources of their parent"), so a greedy plugin
+   starves the browser's own rendering.
+
+2. **Radio pooling** (delegation).  Two daemons each earn half the
+   radio's activation cost per poll period.  Under Cinder they pool
+   through netd and the radio turns on every period.  Under currentcy
+   accounts cannot combine balances, so neither ever affords an
+   activation alone (until ~two periods' worth accumulates — half the
+   service rate at the same total income).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReserveEmptyError
+from .currentcy import CurrentcyManager
+
+#: Scenario constants (scaled-down versions of the paper's numbers).
+CPU_WATTS = 0.137
+ACTIVATION_J = 9.5
+
+
+@dataclass
+class PluginScenarioResult:
+    """Outcome of the plugin-protection scenario for one system."""
+
+    system: str
+    browser_work_joules: float
+    plugin_work_joules: float
+
+    @property
+    def browser_share(self) -> float:
+        total = self.browser_work_joules + self.plugin_work_joules
+        if total == 0:
+            return 0.0
+        return self.browser_work_joules / total
+
+
+def plugin_scenario_cinder(duration_s: float = 60.0,
+                           browser_watts: float = 0.1,
+                           plugin_fraction: float = 0.2,
+                           dt: float = 0.01) -> PluginScenarioResult:
+    """Cinder: the browser subdivides; the plugin cannot exceed its tap."""
+    from ..core.decay import DecayPolicy
+    from ..core.graph import ResourceGraph
+
+    graph = ResourceGraph(10_000.0, decay=DecayPolicy(enabled=False))
+    browser = graph.create_reserve(name="browser")
+    graph.create_tap(graph.root, browser, browser_watts)
+    plugin = graph.create_reserve(name="plugin")
+    graph.create_tap(browser, plugin, browser_watts * plugin_fraction)
+
+    browser_work = plugin_work = 0.0
+    steps = int(duration_s / dt)
+    for _ in range(steps):
+        graph.step(dt)
+        quantum = CPU_WATTS * dt
+        # The plugin is greedy: it spends whenever it can.
+        if plugin.can_afford(quantum):
+            plugin.consume(quantum)
+            plugin_work += quantum
+        if browser.can_afford(quantum):
+            browser.consume(quantum)
+            browser_work += quantum
+    return PluginScenarioResult("cinder", browser_work, plugin_work)
+
+
+def plugin_scenario_currentcy(duration_s: float = 60.0,
+                              browser_watts: float = 0.1,
+                              dt: float = 0.01) -> PluginScenarioResult:
+    """ECOSystem: the plugin shares the browser's account and, being
+    greedy and scheduled first, eats the browser's income."""
+    manager = CurrentcyManager(10_000.0, epoch_s=1.0,
+                               budget_watts=browser_watts)
+    account = manager.add_account("browser", share=1.0)
+    manager.fork_into("browser", "plugin")  # the only option (§2.3)
+
+    browser_work = plugin_work = 0.0
+    steps = int(duration_s / dt)
+    for _ in range(steps):
+        manager.step(dt)
+        quantum = CPU_WATTS * dt
+        # Greedy plugin spends first from the *shared* account.
+        if account.can_spend(quantum):
+            account.spend(quantum)
+            plugin_work += quantum
+        if account.can_spend(quantum):
+            account.spend(quantum)
+            browser_work += quantum
+    return PluginScenarioResult("currentcy", browser_work, plugin_work)
+
+
+@dataclass
+class PoolingScenarioResult:
+    """Outcome of the radio-pooling scenario for one system."""
+
+    system: str
+    activations: int
+    duration_s: float
+
+    @property
+    def activations_per_period(self) -> float:
+        periods = self.duration_s / 60.0
+        return self.activations / periods if periods else 0.0
+
+
+def pooling_scenario_cinder(duration_s: float = 600.0,
+                            dt: float = 0.1) -> PoolingScenarioResult:
+    """Cinder: two daemons pool via a netd-style shared reserve."""
+    from ..core.decay import DecayPolicy
+    from ..core.graph import ResourceGraph
+
+    graph = ResourceGraph(100_000.0, decay=DecayPolicy(enabled=False))
+    per_app_watts = (ACTIVATION_J / 2.0) / 60.0  # half a cycle per minute
+    apps = []
+    for name in ("mail", "rss"):
+        reserve = graph.create_reserve(name=name)
+        graph.create_tap(graph.root, reserve, per_app_watts)
+        apps.append(reserve)
+    pool = graph.create_reserve(name="pool", decay_exempt=True)
+
+    activations = 0
+    steps = int(duration_s / dt)
+    for _ in range(steps):
+        graph.step(dt)
+        # Both daemons always want the radio: contribute and check.
+        for reserve in apps:
+            reserve.transfer_to(pool, reserve.level)
+        if pool.can_afford(ACTIVATION_J):
+            pool.consume(ACTIVATION_J)
+            activations += 1
+    return PoolingScenarioResult("cinder", activations, duration_s)
+
+
+def pooling_scenario_currentcy(duration_s: float = 600.0,
+                               dt: float = 0.1) -> PoolingScenarioResult:
+    """ECOSystem: separate accounts cannot combine for the power-up."""
+    per_app_watts = (ACTIVATION_J / 2.0) / 60.0
+    manager = CurrentcyManager(100_000.0, epoch_s=1.0,
+                               budget_watts=2 * per_app_watts)
+    accounts = [manager.add_account("mail", share=1.0,
+                                    cap=10 * ACTIVATION_J),
+                manager.add_account("rss", share=1.0,
+                                    cap=10 * ACTIVATION_J)]
+
+    activations = 0
+    steps = int(duration_s / dt)
+    for _ in range(steps):
+        manager.step(dt)
+        for account in accounts:
+            # Each app must afford the radio *alone*.
+            if account.can_spend(ACTIVATION_J):
+                account.spend(ACTIVATION_J)
+                activations += 1
+    return PoolingScenarioResult("currentcy", activations, duration_s)

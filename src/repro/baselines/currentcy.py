@@ -1,0 +1,161 @@
+"""The ECOSystem "currentcy" baseline (paper §2.1, §2.3, §8.1).
+
+ECOSystem [Zeng 2002, 2003] is the prior system Cinder measures its
+abstractions against.  Its model:
+
+* Energy is minted as **currentcy** and handed to *applications* —
+  "a flat hierarchy of energy principals" — at each accounting epoch.
+* Each application has an **allotment** (its per-epoch income) and a
+  **cap** ("the ability to spend a certain amount of energy, up to a
+  fixed cap"); unspent currentcy accumulates up to the cap and is
+  discarded beyond it.
+* Children share their parent's container: "child processes share the
+  resources of their parent" — there is no subdivision, so a browser
+  cannot protect itself from its plugin (§2.3's example).
+* There is no delegation: applications cannot pool currentcy for a
+  shared expense like a radio power-up (§2.3: "prior systems do not
+  permit delegation").
+
+This module implements that model faithfully enough to *demonstrate*
+those limitations next to Cinder's reserves and taps — see
+``repro.figures.ablation_baseline`` and the comparison tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import EnergyError, ReserveEmptyError
+
+
+@dataclass
+class CurrentcyAccount:
+    """One application's flat energy account."""
+
+    name: str
+    #: Currentcy minted for this account each epoch (joules/epoch).
+    allotment: float
+    #: Hard ceiling on accumulated currentcy (the ECOSystem cap).
+    cap: float
+    balance: float = 0.0
+    total_spent: float = 0.0
+    total_discarded: float = 0.0
+    #: Threads/processes sharing this account (the flat hierarchy:
+    #: children land in their parent's account).
+    members: List[str] = field(default_factory=list)
+
+    def credit(self, amount: float) -> float:
+        """Epoch income; excess over the cap is discarded."""
+        if amount < 0:
+            raise EnergyError("cannot credit a negative amount")
+        accepted = min(amount, max(0.0, self.cap - self.balance))
+        self.balance += accepted
+        self.total_discarded += amount - accepted
+        return accepted
+
+    def spend(self, amount: float) -> float:
+        """Debit the account; refuses overdrafts like the original."""
+        if amount < 0:
+            raise EnergyError("cannot spend a negative amount")
+        if self.balance < amount:
+            raise ReserveEmptyError(
+                f"account {self.name!r}: need {amount:.6g}, have "
+                f"{self.balance:.6g}")
+        self.balance -= amount
+        self.total_spent += amount
+        return amount
+
+    def can_spend(self, amount: float) -> bool:
+        """True if the balance covers ``amount``."""
+        return self.balance >= amount
+
+
+class CurrentcyManager:
+    """Epoch-based minting over a shared battery budget.
+
+    ECOSystem mints currentcy proportionally to a target discharge
+    rate; we model that as a fixed joules-per-epoch budget divided
+    among accounts by their allotment weights.
+    """
+
+    def __init__(self, battery_joules: float, epoch_s: float = 1.0,
+                 budget_watts: float = 1.0) -> None:
+        if epoch_s <= 0:
+            raise EnergyError("epoch must be positive")
+        if budget_watts < 0:
+            raise EnergyError("budget must be non-negative")
+        self.battery_joules = float(battery_joules)
+        self.epoch_s = epoch_s
+        self.budget_watts = budget_watts
+        self._accounts: Dict[str, CurrentcyAccount] = {}
+        self._elapsed_in_epoch = 0.0
+        self.epochs = 0
+
+    # -- accounts -----------------------------------------------------------------
+
+    def add_account(self, name: str, share: float,
+                    cap: Optional[float] = None) -> CurrentcyAccount:
+        """Register an application with a share of the epoch budget.
+
+        ``share`` is a weight; allotments are (re)computed whenever
+        membership changes so the budget is fully distributed.
+        """
+        if name in self._accounts:
+            raise EnergyError(f"account {name!r} exists")
+        account = CurrentcyAccount(name=name, allotment=share,
+                                   cap=cap if cap is not None
+                                   else self.budget_watts * self.epoch_s * 10)
+        account.members.append(name)
+        self._accounts[name] = account
+        return account
+
+    def account(self, name: str) -> CurrentcyAccount:
+        """Look up an account."""
+        return self._accounts[name]
+
+    def account_of(self, member: str) -> CurrentcyAccount:
+        """The account a process belongs to (flat hierarchy lookup)."""
+        for acct in self._accounts.values():
+            if member in acct.members:
+                return acct
+        raise EnergyError(f"no account holds member {member!r}")
+
+    def fork_into(self, parent_member: str, child: str) -> CurrentcyAccount:
+        """ECOSystem fork semantics: the child *shares* the parent's
+        account (§2.3) — no subdivision, no protection."""
+        account = self.account_of(parent_member)
+        account.members.append(child)
+        return account
+
+    # -- minting -------------------------------------------------------------------
+
+    def _mint(self) -> None:
+        total_share = sum(a.allotment for a in self._accounts.values())
+        if total_share <= 0:
+            return
+        epoch_joules = min(self.budget_watts * self.epoch_s,
+                           self.battery_joules)
+        self.battery_joules -= epoch_joules
+        for account in self._accounts.values():
+            account.credit(epoch_joules * account.allotment / total_share)
+        self.epochs += 1
+
+    def step(self, dt: float) -> None:
+        """Advance time; mint at epoch boundaries."""
+        if dt < 0:
+            raise EnergyError("dt must be non-negative")
+        self._elapsed_in_epoch += dt
+        while self._elapsed_in_epoch >= self.epoch_s - 1e-12:
+            self._elapsed_in_epoch -= self.epoch_s
+            self._mint()
+
+    # -- the limitations, as queries -------------------------------------------------
+
+    def can_delegate(self) -> bool:
+        """ECOSystem cannot delegate (§2.3)."""
+        return False
+
+    def can_subdivide(self) -> bool:
+        """ECOSystem cannot subdivide within an application (§2.3)."""
+        return False

@@ -1,0 +1,33 @@
+"""Cinder's contribution: reserves, taps, and the consumption graph.
+
+* :class:`Reserve` — a right to use a quantity of a resource (§3.2).
+* :class:`Tap` — a rate limit on flow between reserves (§3.3).
+* :class:`ResourceGraph` — the battery-rooted graph they form (§3.4).
+* :class:`DecayPolicy` — the global anti-hoarding half-life (§5.2.2).
+* :class:`EnergyAwareScheduler` — reserve-gated CPU scheduling (§3.2).
+* :class:`ConsumptionLedger` — per-principal accounting (§6 figures).
+"""
+
+from .accounting import ConsumptionLedger, ConsumptionRecord
+from .decay import DEFAULT_HALF_LIFE_S, DecayPolicy
+from .graph import ResourceGraph
+from .planner import (LifetimeBudget, PlannedAllocation,
+                      income_for_poll_interval, poll_interval_for)
+from .policy import (ForegroundBackgroundSlot, RateLimitedChild, SharedChild,
+                     foreground_background_slot, rate_limit,
+                     shared_rate_limit)
+from .reserve import ENERGY, NETWORK_BYTES, SMS_MESSAGES, Reserve
+from .scheduler import EnergyAwareScheduler
+from .tap import TAP_TYPE_CONST, TAP_TYPE_PROPORTIONAL, Tap, TapType
+
+__all__ = [
+    "ConsumptionLedger", "ConsumptionRecord",
+    "DEFAULT_HALF_LIFE_S", "DecayPolicy", "ResourceGraph",
+    "LifetimeBudget", "PlannedAllocation", "income_for_poll_interval",
+    "poll_interval_for",
+    "ForegroundBackgroundSlot", "RateLimitedChild", "SharedChild",
+    "foreground_background_slot", "rate_limit", "shared_rate_limit",
+    "ENERGY", "NETWORK_BYTES", "SMS_MESSAGES", "Reserve",
+    "EnergyAwareScheduler",
+    "TAP_TYPE_CONST", "TAP_TYPE_PROPORTIONAL", "Tap", "TapType",
+]

@@ -1,0 +1,131 @@
+"""Per-principal consumption accounting.
+
+Reserves already track their own totals (paper §3.2); this ledger adds
+the cross-cutting view the paper's figures need: *which principal*
+consumed *how much*, *on which component*, *when*.  Figure 9 and
+Figure 12 are stacked plots of exactly these records, windowed into
+per-second power estimates.
+
+HiStar's gate-based IPC makes attribution trivial — the thread that
+entered the gate is the principal — so the ledger simply keys on the
+thread (or any string principal) handed to :meth:`record`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ConsumptionRecord:
+    """One billed consumption event."""
+
+    time: float
+    principal: str
+    component: str
+    joules: float
+
+
+class ConsumptionLedger:
+    """An append-only log of consumption events with windowed queries."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        #: Callable returning current simulation time; default 0 forever.
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._records: List[ConsumptionRecord] = []
+        self._times: List[float] = []
+        self._total_by_principal: Dict[str, float] = defaultdict(float)
+        self._total_by_component: Dict[str, float] = defaultdict(float)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the ledger to a simulation clock."""
+        self._clock = clock
+
+    # -- recording -----------------------------------------------------------------
+
+    def record(self, principal: str, component: str, joules: float,
+               time: Optional[float] = None) -> None:
+        """Append one event (time defaults to the bound clock)."""
+        when = self._clock() if time is None else time
+        if self._times and when < self._times[-1]:
+            # Ledger must stay sorted for the window queries; clamp
+            # slightly-late records to the log head.
+            when = self._times[-1]
+        record = ConsumptionRecord(when, principal, component, joules)
+        self._records.append(record)
+        self._times.append(when)
+        self._total_by_principal[principal] += joules
+        self._total_by_component[component] += joules
+
+    # -- totals ---------------------------------------------------------------------
+
+    def total(self) -> float:
+        """All joules ever recorded."""
+        return sum(self._total_by_principal.values())
+
+    def total_for(self, principal: str) -> float:
+        """Joules recorded against one principal."""
+        return self._total_by_principal.get(principal, 0.0)
+
+    def total_for_component(self, component: str) -> float:
+        """Joules recorded against one component."""
+        return self._total_by_component.get(component, 0.0)
+
+    def principals(self) -> List[str]:
+        """All principals seen, in first-appearance order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.principal not in seen:
+                seen.append(record.principal)
+        return seen
+
+    # -- windowed queries -------------------------------------------------------------
+
+    def window(self, start: float, end: float) -> List[ConsumptionRecord]:
+        """Records with ``start <= time < end``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return self._records[lo:hi]
+
+    def energy_in_window(self, principal: str, start: float,
+                         end: float) -> float:
+        """Joules billed to ``principal`` within [start, end)."""
+        return sum(r.joules for r in self.window(start, end)
+                   if r.principal == principal)
+
+    def power_series(self, principal: str, t_end: float,
+                     bin_s: float = 1.0,
+                     component: Optional[str] = None
+                     ) -> Tuple[List[float], List[float]]:
+        """(times, watts): windowed average power for one principal.
+
+        This is "Cinder's CPU energy accounting estimates" as plotted
+        in Figures 9 and 12: energy billed per bin divided by bin
+        width.
+        """
+        times: List[float] = []
+        watts: List[float] = []
+        start = 0.0
+        while start < t_end:
+            end = min(start + bin_s, t_end)
+            joules = sum(
+                r.joules for r in self.window(start, end)
+                if r.principal == principal
+                and (component is None or r.component == component))
+            times.append(start)
+            width = end - start
+            watts.append(joules / width if width > 0 else 0.0)
+            start = end
+        return times, watts
+
+    def stacked_power_series(self, principals: Iterable[str], t_end: float,
+                             bin_s: float = 1.0
+                             ) -> Dict[str, Tuple[List[float], List[float]]]:
+        """Power series for several principals (the stacked-plot input)."""
+        return {p: self.power_series(p, t_end, bin_s) for p in principals}
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,73 @@
+"""Global resource decay: the anti-hoarding backstop (paper §5.2.2).
+
+"Cinder prevents hoarding by imposing a global, long-term decay of
+resources across all reserves; every reserve has an implicit
+proportional backward tap to the battery.  By default, Cinder is
+configured to leak 50% of reserve resources after a period of 10
+minutes."
+
+We implement the implicit tap as a continuous exponential: over ``dt``
+seconds a non-exempt reserve loses ``1 - exp(-lambda * dt)`` of its
+level, with ``lambda = ln 2 / half_life``, and the proceeds return to
+the root reserve.  Continuous form means the configured half-life is
+honoured for any engine tick size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from ..errors import EnergyError
+from .reserve import Reserve
+
+#: Paper default: 50 % leak over 10 minutes.
+DEFAULT_HALF_LIFE_S = 600.0
+
+
+class DecayPolicy:
+    """The system-wide implicit backward tap."""
+
+    def __init__(self, half_life_s: float = DEFAULT_HALF_LIFE_S,
+                 enabled: bool = True) -> None:
+        if half_life_s <= 0:
+            raise EnergyError("half-life must be positive")
+        self.half_life_s = half_life_s
+        self.enabled = enabled
+        #: Cumulative units reclaimed to the root.
+        self.total_reclaimed = 0.0
+
+    @property
+    def lam(self) -> float:
+        """The continuous decay constant lambda = ln 2 / half-life."""
+        return math.log(2.0) / self.half_life_s
+
+    def fraction_for(self, dt: float) -> float:
+        """Fraction of a reserve's level leaked over ``dt`` seconds."""
+        if dt < 0:
+            raise EnergyError("dt must be non-negative")
+        if not self.enabled or dt == 0:
+            return 0.0
+        return 1.0 - math.exp(-self.lam * dt)
+
+    def apply(self, reserves: Iterable[Reserve], root: Optional[Reserve],
+              dt: float) -> float:
+        """Leak every non-exempt reserve toward ``root``; returns total.
+
+        The root itself never decays (it *is* the battery).  If
+        ``root`` is None the energy is dropped — only used by tests
+        that check the leak rate in isolation.
+        """
+        fraction = self.fraction_for(dt)
+        if fraction == 0.0:
+            return 0.0
+        reclaimed = 0.0
+        for reserve in reserves:
+            if not reserve.alive or reserve is root:
+                continue
+            lost = reserve.decay(fraction)
+            if lost > 0.0 and root is not None:
+                root.deposit(lost)
+            reclaimed += lost
+        self.total_reclaimed += reclaimed
+        return reclaimed

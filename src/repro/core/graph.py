@@ -1,0 +1,306 @@
+"""The resource consumption graph (paper §3.4).
+
+"Reserves and taps form a directed graph of resource consumption
+rights.  The root of the graph is a reserve representing the system
+battery; all other reserves are a subdivision of this root reserve."
+
+:class:`ResourceGraph` owns the root reserve, registers every reserve
+and tap, executes the periodic batch flow, applies the global decay,
+and can audit conservation: no operation in the graph creates or
+destroys resource — energy leaves only by being *consumed* (tracked
+per reserve) and enters only by explicit external deposit (battery
+charging).
+
+The module also implements the paper's sketched-but-not-adopted
+anti-hoarding primitives (§5.2.2): :meth:`ResourceGraph.clone_reserve`
+(``reserve_clone()``) and :meth:`ResourceGraph.checked_transfer`, which
+forbids moving resources from a fast-draining reserve to a
+slower-draining one without the privilege to remove the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import EnergyError, HoardingError, NoSuchObjectError, TapError
+from ..kernel.labels import Label, NO_PRIVILEGES, PrivilegeSet, can_modify
+from .decay import DecayPolicy
+from .reserve import ENERGY, Reserve
+from .tap import Tap, TapType
+
+
+class ResourceGraph:
+    """Registry and engine for one resource kind's reserves and taps."""
+
+    def __init__(
+        self,
+        root_level: float,
+        kind: str = ENERGY,
+        root_capacity: Optional[float] = None,
+        root_name: str = "battery",
+        decay: Optional[DecayPolicy] = None,
+    ) -> None:
+        self.kind = kind
+        self.root = Reserve(
+            level=root_level,
+            kind=kind,
+            capacity=root_capacity,
+            decay_exempt=True,
+            name=root_name,
+        )
+        self._reserves: List[Reserve] = [self.root]
+        self._taps: List[Tap] = []
+        self.decay_policy = decay if decay is not None else DecayPolicy()
+        self._initial_energy = float(root_level)
+        self._external_deposits = 0.0
+        #: Consumption history carried by reserves that were deleted.
+        self._retired_consumed = 0.0
+        #: Levels dropped by un-reclaimed reserve deletion.
+        self._leaked = 0.0
+        #: Simulation time of the last step (informational).
+        self.time = 0.0
+
+    # -- registration -----------------------------------------------------------
+
+    def create_reserve(self, level: float = 0.0, name: str = "",
+                       label: Optional[Label] = None,
+                       capacity: Optional[float] = None,
+                       decay_exempt: bool = False,
+                       source: Optional[Reserve] = None) -> Reserve:
+        """Create and register a reserve.
+
+        If ``source`` is given, the initial ``level`` is *moved out of*
+        ``source`` (subdivision); otherwise a non-zero level would
+        create energy from nothing, so it is only allowed for non-root
+        bookkeeping kinds when ``source is None`` and ``level == 0``.
+        """
+        if source is None and level != 0.0:
+            raise EnergyError(
+                "a reserve's initial level must be subdivided from an "
+                "existing reserve (pass source=...)")
+        reserve = Reserve(level=0.0, kind=self.kind, capacity=capacity,
+                          decay_exempt=decay_exempt, label=label, name=name)
+        if source is not None and level > 0.0:
+            source.transfer_to(reserve, level)
+            if abs(reserve.level - level) > 1e-12:
+                raise EnergyError(
+                    f"source {source.name!r} could not fund {level:.6g}")
+        self._reserves.append(reserve)
+        return reserve
+
+    def adopt_reserve(self, reserve: Reserve) -> Reserve:
+        """Register an externally-constructed reserve (kind must match)."""
+        if reserve.kind != self.kind:
+            raise EnergyError(
+                f"graph holds {self.kind}, reserve holds {reserve.kind}")
+        if reserve not in self._reserves:
+            # Adopted levels count as external input to the graph.
+            self._external_deposits += max(0.0, reserve.level)
+            self._reserves.append(reserve)
+        return reserve
+
+    def create_tap(self, source: Reserve, sink: Reserve, rate: float,
+                   tap_type: TapType = TapType.CONST,
+                   name: str = "", label: Optional[Label] = None,
+                   privileges: PrivilegeSet = NO_PRIVILEGES) -> Tap:
+        """Create and register a tap between two registered reserves."""
+        for endpoint in (source, sink):
+            if endpoint not in self._reserves:
+                raise TapError(
+                    f"reserve {endpoint.name!r} is not part of this graph")
+        tap = Tap(source, sink, rate=rate, tap_type=tap_type,
+                  label=label, privileges=privileges, name=name)
+        self._taps.append(tap)
+        return tap
+
+    def delete_tap(self, tap: Tap) -> None:
+        """Remove a tap (revocation; §5.2's per-page tap GC)."""
+        tap.mark_dead()
+        if tap in self._taps:
+            self._taps.remove(tap)
+
+    def delete_reserve(self, reserve: Reserve,
+                       reclaim_to: Optional[Reserve] = None) -> None:
+        """Delete a reserve, its taps, and optionally reclaim its level."""
+        if reserve is self.root:
+            raise EnergyError("cannot delete the root reserve")
+        if reclaim_to is not None and reserve.alive and reserve.level > 0:
+            reserve.transfer_to(reclaim_to, reserve.level)
+        for tap in [t for t in self._taps
+                    if t.source is reserve or t.sink is reserve]:
+            self.delete_tap(tap)
+        reserve.mark_dead()
+        self._retire(reserve)
+
+    def _retire(self, reserve: Reserve) -> None:
+        """Drop a dead reserve from the registry, keeping its history."""
+        if reserve in self._reserves:
+            self._reserves.remove(reserve)
+            self._retired_consumed += reserve.total_consumed
+            self._leaked += reserve.leaked_at_death
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def reserves(self) -> List[Reserve]:
+        """Live registered reserves (copy)."""
+        return [r for r in self._reserves if r.alive]
+
+    @property
+    def taps(self) -> List[Tap]:
+        """Live registered taps (copy)."""
+        return [t for t in self._taps if t.alive]
+
+    def taps_from(self, reserve: Reserve) -> List[Tap]:
+        """Taps whose source is ``reserve``."""
+        return [t for t in self.taps if t.source is reserve]
+
+    def taps_into(self, reserve: Reserve) -> List[Tap]:
+        """Taps whose sink is ``reserve``."""
+        return [t for t in self.taps if t.sink is reserve]
+
+    def backward_taps_of(self, reserve: Reserve) -> List[Tap]:
+        """Proportional taps draining ``reserve`` (the §5.2.1 kind)."""
+        return [t for t in self.taps_from(reserve)
+                if t.tap_type is TapType.PROPORTIONAL]
+
+    def drain_rate_of(self, reserve: Reserve) -> float:
+        """Sum of proportional drain fractions applied to ``reserve``.
+
+        Includes the implicit global decay unless the reserve is
+        exempt.  This is the quantity the §5.2.2 transfer rule
+        compares.
+        """
+        rate = sum(t.rate for t in self.backward_taps_of(reserve)
+                   if t.enabled)
+        if not reserve.decay_exempt and self.decay_policy.enabled:
+            rate += self.decay_policy.lam
+        return rate
+
+    def total_level(self) -> float:
+        """Sum of all live reserve levels (may include debt)."""
+        return sum(r.level for r in self.reserves)
+
+    def total_consumed(self) -> float:
+        """Total resource consumed (left the graph as work) so far."""
+        return (sum(r.total_consumed for r in self._reserves)
+                + self._retired_consumed)
+
+    def total_leaked(self) -> float:
+        """Resource dropped by un-reclaimed reserve deletion."""
+        return self._leaked + sum(r.leaked_at_death for r in self._reserves)
+
+    def conservation_error(self) -> float:
+        """initial + external - (levels + consumed + leaked); ~0 always."""
+        return (self._initial_energy + self._external_deposits
+                - self.total_level() - self.total_consumed()
+                - self.total_leaked())
+
+    def sweep_dead(self) -> int:
+        """Drop registry entries whose objects died externally.
+
+        Containers mark objects dead when a subtree is deleted; this
+        sweep keeps the graph registry consistent afterwards.  Returns
+        the number of entries removed.
+        """
+        removed = 0
+        for tap in [t for t in self._taps
+                    if not (t.alive and t.source.alive and t.sink.alive)]:
+            tap.mark_dead()
+            self._taps.remove(tap)
+            removed += 1
+        for reserve in [r for r in self._reserves
+                        if not r.alive and r is not self.root]:
+            self._retire(reserve)
+            removed += 1
+        return removed
+
+    # -- external input ------------------------------------------------------------
+
+    def external_deposit(self, amount: float,
+                         into: Optional[Reserve] = None) -> float:
+        """Model battery charging: add resource from outside the graph."""
+        target = into if into is not None else self.root
+        accepted = target.deposit(amount)
+        self._external_deposits += accepted
+        return accepted
+
+    # -- stepping -------------------------------------------------------------------
+
+    def step(self, dt: float) -> float:
+        """One batch round: flow every tap, then apply global decay.
+
+        Returns the total amount moved by taps this round.  Taps fire
+        in creation order, mirroring the kernel's batch execution
+        (§3.3); within one tick ordering effects are bounded by
+        ``rate * dt``.
+        """
+        if dt < 0:
+            raise EnergyError("dt must be non-negative")
+        moved = 0.0
+        for tap in self._taps:
+            if tap.alive:
+                moved += tap.flow(dt)
+        self.decay_policy.apply(self._reserves, self.root, dt)
+        self.time += dt
+        return moved
+
+    # -- §5.2.2: the fundamental anti-hoarding alternative ---------------------------
+
+    def clone_reserve(self, reserve: Reserve,
+                      privileges: PrivilegeSet = NO_PRIVILEGES,
+                      name: str = "") -> Reserve:
+        """``reserve_clone()``: new empty reserve inheriting drains.
+
+        Duplicates onto the clone every backward proportional tap of
+        the original that ``privileges`` cannot remove (cannot modify),
+        so taxation cannot be dodged by moving resources sideways.
+        """
+        clone = self.create_reserve(name=name or f"{reserve.name}/clone",
+                                    label=reserve.label)
+        for tap in self.backward_taps_of(reserve):
+            if can_modify(reserve.label, privileges, tap.label):
+                continue  # caller could remove this tap anyway
+            self.create_tap(clone, tap.sink, tap.rate,
+                            TapType.PROPORTIONAL,
+                            name=f"{tap.name}/cloned", label=tap.label)
+        return clone
+
+    def checked_transfer(self, source: Reserve, sink: Reserve,
+                         amount: float,
+                         privileges: PrivilegeSet = NO_PRIVILEGES) -> float:
+        """Transfer refusing fast->slow drain moves (§5.2.2).
+
+        Allowed iff the sink drains at least as fast as the portion of
+        the source's drain the caller is not privileged to remove.
+        """
+        protected_rate = sum(
+            t.rate for t in self.backward_taps_of(source)
+            if t.enabled and not can_modify(source.label, privileges, t.label))
+        if not source.decay_exempt and self.decay_policy.enabled:
+            protected_rate += self.decay_policy.lam
+        sink_rate = self.drain_rate_of(sink)
+        if sink_rate + 1e-15 < protected_rate:
+            raise HoardingError(
+                f"transfer {source.name!r} -> {sink.name!r} would slow the "
+                f"drain from {protected_rate:.6g}/s to {sink_rate:.6g}/s")
+        return source.transfer_to(sink, amount)
+
+    # -- visualisation -----------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the consumption graph (docs/debugging)."""
+        lines = ["digraph cinder {", "  rankdir=LR;"]
+        for reserve in self.reserves:
+            shape = "doubleoctagon" if reserve is self.root else "box"
+            lines.append(
+                f'  r{reserve.object_id} [shape={shape} '
+                f'label="{reserve.name}\\n{reserve.level:.3g}"];')
+        for tap in self.taps:
+            style = "solid" if tap.tap_type is TapType.CONST else "dashed"
+            unit = "u/s" if tap.tap_type is TapType.CONST else "/s"
+            lines.append(
+                f'  r{tap.source.object_id} -> r{tap.sink.object_id} '
+                f'[style={style} label="{tap.rate:.3g}{unit}"];')
+        lines.append("}")
+        return "\n".join(lines)

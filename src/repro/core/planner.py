@@ -1,0 +1,171 @@
+"""Lifetime budgeting: from a target battery life to tap rates.
+
+The paper's introduction motivates Cinder with exactly this:
+"today's systems cannot do something as simple as controlling email
+polling to ensure a full day of device use."  With reserves and taps
+the planning problem becomes arithmetic: a device that must last
+`T` seconds on `E` joules may hand out at most `E/T - P_baseline`
+watts of discretionary power, and a tap enforces each grant.
+
+:class:`LifetimeBudget` solves the allocation: fixed-rate grants are
+honored first, weighted grants split the remainder, and
+:meth:`LifetimeBudget.apply` wires the corresponding reserves and taps
+into a resource graph.  :func:`poll_interval_for` answers the email
+question directly — the fastest polling interval a given power income
+can sustain through netd's activation gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import EnergyError
+from .graph import ResourceGraph
+from .policy import RateLimitedChild, rate_limit
+from .reserve import Reserve
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One application's requested share of the budget."""
+
+    name: str
+    #: Fixed watts (exact) or None for a weighted share.
+    watts: Optional[float] = None
+    #: Weight for splitting the post-fixed remainder.
+    weight: float = 1.0
+
+
+@dataclass
+class PlannedAllocation:
+    """A solved allocation: name -> watts."""
+
+    target_lifetime_s: float
+    discretionary_watts: float
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_allocated_watts(self) -> float:
+        return sum(self.rates.values())
+
+    def lifetime_with_baseline(self, battery_joules: float,
+                               baseline_watts: float) -> float:
+        """Worst-case lifetime if every grant is fully spent."""
+        draw = baseline_watts + self.total_allocated_watts
+        if draw <= 0:
+            return float("inf")
+        return battery_joules / draw
+
+
+class LifetimeBudget:
+    """Solve tap rates from a target lifetime.
+
+    ``baseline_watts`` is the undelegatable platform draw over the
+    planning horizon (for a mostly-suspended phone this is the suspend
+    draw, not the 699 mW awake idle).
+    """
+
+    def __init__(self, battery_joules: float, target_lifetime_s: float,
+                 baseline_watts: float = 0.0,
+                 safety_margin: float = 0.05) -> None:
+        if battery_joules <= 0 or target_lifetime_s <= 0:
+            raise EnergyError("battery and lifetime must be positive")
+        if not 0.0 <= safety_margin < 1.0:
+            raise EnergyError("safety margin must be in [0, 1)")
+        self.battery_joules = battery_joules
+        self.target_lifetime_s = target_lifetime_s
+        self.baseline_watts = baseline_watts
+        self.safety_margin = safety_margin
+        self._grants: List[Grant] = []
+
+    @property
+    def discretionary_watts(self) -> float:
+        """Power available to applications after baseline and margin."""
+        total = self.battery_joules / self.target_lifetime_s
+        available = total * (1.0 - self.safety_margin) - self.baseline_watts
+        return max(0.0, available)
+
+    # -- building the plan ---------------------------------------------------------
+
+    def grant(self, name: str, watts: Optional[float] = None,
+              weight: float = 1.0) -> "LifetimeBudget":
+        """Add an application (chainable)."""
+        if any(g.name == name for g in self._grants):
+            raise EnergyError(f"grant {name!r} already exists")
+        if watts is not None and watts < 0:
+            raise EnergyError("fixed grants must be non-negative")
+        if weight < 0:
+            raise EnergyError("weights must be non-negative")
+        self._grants.append(Grant(name, watts, weight))
+        return self
+
+    def solve(self) -> PlannedAllocation:
+        """Allocate: fixed grants first, weights split the rest.
+
+        Raises :class:`EnergyError` if the fixed grants alone exceed
+        the discretionary budget — the planner refuses plans that
+        cannot meet the lifetime target.
+        """
+        budget = self.discretionary_watts
+        fixed = sum(g.watts for g in self._grants if g.watts is not None)
+        if fixed > budget * (1.0 + 1e-9):
+            raise EnergyError(
+                f"fixed grants ({fixed:.4g} W) exceed the discretionary "
+                f"budget ({budget:.4g} W) for a "
+                f"{self.target_lifetime_s:.0f} s lifetime")
+        remainder = budget - fixed
+        total_weight = sum(g.weight for g in self._grants
+                           if g.watts is None)
+        plan = PlannedAllocation(self.target_lifetime_s, budget)
+        for g in self._grants:
+            if g.watts is not None:
+                plan.rates[g.name] = g.watts
+            elif total_weight > 0:
+                plan.rates[g.name] = remainder * g.weight / total_weight
+            else:
+                plan.rates[g.name] = 0.0
+        return plan
+
+    def apply(self, graph: ResourceGraph,
+              source: Optional[Reserve] = None
+              ) -> Dict[str, RateLimitedChild]:
+        """Wire the solved plan into ``graph`` as reserves + taps."""
+        plan = self.solve()
+        parent = source if source is not None else graph.root
+        children = {}
+        for name, watts in plan.rates.items():
+            children[name] = rate_limit(graph, parent, watts, name=name)
+        return children
+
+
+def poll_interval_for(income_watts: float, activation_joules: float = 9.5,
+                      margin: float = 1.25,
+                      data_joules: float = 0.0,
+                      sharers: int = 1) -> float:
+    """The fastest sustainable poll interval for a background daemon.
+
+    A poll through netd costs ``margin * activation + data`` joules
+    when the radio is idle; ``sharers`` daemons pooling (Figure 13b)
+    split the activation.  Income must cover one poll per interval:
+
+        interval = (margin * activation / sharers + data) / income
+    """
+    if income_watts <= 0:
+        return float("inf")
+    if sharers < 1:
+        raise EnergyError("sharers must be >= 1")
+    per_poll = margin * activation_joules / sharers + data_joules
+    return per_poll / income_watts
+
+
+def income_for_poll_interval(interval_s: float,
+                             activation_joules: float = 9.5,
+                             margin: float = 1.25,
+                             data_joules: float = 0.0,
+                             sharers: int = 1) -> float:
+    """Inverse of :func:`poll_interval_for`: required tap rate."""
+    if interval_s <= 0:
+        raise EnergyError("interval must be positive")
+    per_poll = margin * activation_joules / sharers + data_joules
+    return per_poll / interval_s

@@ -1,0 +1,125 @@
+"""Reusable policy fragments built from reserves and taps.
+
+The paper's application sections (§5.1–5.4) repeatedly wire the same
+small sub-graphs: a rate-limited child (energywrap, Figure 1), a
+shared-when-idle child (Figure 6b's constant-in / proportional-back
+pair), and the foreground/background dual-tap arrangement (Figure 7).
+These helpers build those shapes so applications and tests state the
+policy, not the plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kernel.labels import Label
+from .graph import ResourceGraph
+from .reserve import Reserve
+from .tap import Tap, TapType
+
+
+@dataclass
+class RateLimitedChild:
+    """A child reserve fed from a parent at a fixed rate (Figure 1)."""
+
+    reserve: Reserve
+    tap: Tap
+
+
+def rate_limit(graph: ResourceGraph, parent: Reserve, watts: float,
+               name: str = "", label: Optional[Label] = None
+               ) -> RateLimitedChild:
+    """Create a reserve fed by a constant ``watts`` tap from ``parent``.
+
+    This is exactly what ``energywrap`` builds before exec'ing its
+    target (Figure 5).
+    """
+    reserve = graph.create_reserve(name=name or "limited", label=label)
+    tap = graph.create_tap(parent, reserve, watts, TapType.CONST,
+                           name=f"{reserve.name}.in", label=label)
+    return RateLimitedChild(reserve, tap)
+
+
+@dataclass
+class SharedChild:
+    """Figure 6b: constant feed plus proportional backflow.
+
+    The child may draw up to ``watts`` on average, can burst from the
+    accumulated level, but returns unused energy to the parent; at
+    equilibrium the reserve holds ``watts / back_fraction`` joules
+    (700 mJ for 70 mW and 0.1/s in the paper).
+    """
+
+    reserve: Reserve
+    forward: Tap
+    backward: Tap
+
+    @property
+    def equilibrium_level(self) -> float:
+        """Level at which backflow exactly cancels the feed."""
+        if self.backward.rate == 0.0:
+            return float("inf")
+        return self.forward.rate / self.backward.rate
+
+
+def shared_rate_limit(graph: ResourceGraph, parent: Reserve, watts: float,
+                      back_fraction: float = 0.1, name: str = "",
+                      label: Optional[Label] = None) -> SharedChild:
+    """Create the Figure 6b sub-graph under ``parent``."""
+    reserve = graph.create_reserve(name=name or "shared", label=label)
+    forward = graph.create_tap(parent, reserve, watts, TapType.CONST,
+                               name=f"{reserve.name}.in", label=label)
+    backward = graph.create_tap(reserve, parent, back_fraction,
+                                TapType.PROPORTIONAL,
+                                name=f"{reserve.name}.back", label=label)
+    return SharedChild(reserve, forward, backward)
+
+
+@dataclass
+class ForegroundBackgroundSlot:
+    """Figure 7: one application's dual-fed reserve.
+
+    ``background`` always flows; ``foreground`` is 0 while backgrounded
+    and raised by the task manager when the app is brought forward.
+    """
+
+    reserve: Reserve
+    foreground: Tap
+    background: Tap
+
+    def bring_to_foreground(self, watts: float) -> None:
+        """Open the foreground tap at ``watts``."""
+        self.foreground.set_rate(watts)
+
+    def send_to_background(self) -> None:
+        """Close the foreground tap (rate 0); background tap still flows."""
+        self.foreground.set_rate(0.0)
+
+    @property
+    def in_foreground(self) -> bool:
+        """True if the foreground tap is currently open."""
+        return self.foreground.rate > 0.0
+
+
+def foreground_background_slot(
+    graph: ResourceGraph,
+    foreground_pool: Reserve,
+    background_pool: Reserve,
+    name: str = "",
+    label: Optional[Label] = None,
+) -> ForegroundBackgroundSlot:
+    """Wire one app into the Figure 7 foreground/background scheme.
+
+    The app's reserve starts backgrounded (foreground tap at 0); the
+    background tap's rate is owned by the task manager, which divides
+    the background pool's feed among the resident apps.
+    """
+    reserve = graph.create_reserve(name=name or "app", label=label)
+    foreground = graph.create_tap(foreground_pool, reserve, 0.0,
+                                  TapType.CONST,
+                                  name=f"{reserve.name}.fg", label=label)
+    background = graph.create_tap(background_pool, reserve, 0.0,
+                                  TapType.CONST,
+                                  name=f"{reserve.name}.bg", label=label)
+    return ForegroundBackgroundSlot(reserve, foreground, background)

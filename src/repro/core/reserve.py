@@ -1,0 +1,226 @@
+"""Reserves: the right to use a quantity of a resource (paper §3.2).
+
+A reserve holds a scalar level of some resource — joules for energy,
+but the abstraction is resource-kind generic (the paper's §9 suggests
+network bytes and SMS quotas; we support those too).  The kernel
+decrements the level as the resource is consumed and refuses actions
+for which the reserve is too shallow.  Key behaviours reproduced here:
+
+* **Subdivision** — ``subdivide`` splits off a child reserve holding
+  part of the level (the paper's 1000 mJ -> 800/200 example).
+* **Transfer** — raw reserve-to-reserve movement ("a thread can also
+  perform a reserve-to-reserve transfer provided it is permitted to
+  modify both reserves").
+* **Debt** — "threads can debit their own reserves up to or into debt
+  even if the cost can only be determined after-the-fact" (§5.5.2);
+  used for incoming packets and by the scheduler's quantum charging.
+* **Accounting** — reserves track cumulative consumption so
+  applications can build energy-aware features (§3.2); the image
+  viewer polls exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import DebtLimitError, EnergyError, ReserveEmptyError
+from ..kernel.labels import Label
+from ..kernel.objects import KernelObject, ObjectType
+
+#: Resource kinds known to the package.  Reserves of different kinds
+#: never exchange contents.
+ENERGY = "energy"          # joules
+NETWORK_BYTES = "net-bytes"  # bytes of data-plan quota (paper §9)
+SMS_MESSAGES = "sms"       # text-message quota (paper §9)
+
+
+class Reserve(KernelObject):
+    """A label-protected store of resource consumption rights."""
+
+    TYPE = ObjectType.RESERVE
+
+    def __init__(
+        self,
+        level: float = 0.0,
+        kind: str = ENERGY,
+        capacity: Optional[float] = None,
+        debt_limit: float = math.inf,
+        decay_exempt: bool = False,
+        label: Optional[Label] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(label=label, name=name)
+        if level < 0:
+            raise EnergyError("initial reserve level must be non-negative")
+        if capacity is not None and capacity < level:
+            raise EnergyError("capacity smaller than initial level")
+        if debt_limit < 0:
+            raise EnergyError("debt limit must be non-negative")
+        self.kind = kind
+        self._level = float(level)
+        self.capacity = capacity
+        #: Maximum magnitude the level may go below zero.
+        self.debt_limit = float(debt_limit)
+        #: Exempt from the global half-life decay (root + netd; §5.5.2).
+        self.decay_exempt = decay_exempt
+        # -- cumulative statistics (accounting, §3.2) --
+        self.total_consumed = 0.0
+        self.total_deposited = 0.0
+        self.total_transferred_in = 0.0
+        self.total_transferred_out = 0.0
+        self.total_decayed = 0.0
+        self.consume_failures = 0
+        #: Level dropped when the reserve died un-reclaimed.
+        self.leaked_at_death = 0.0
+
+    # -- level access ---------------------------------------------------------
+
+    @property
+    def level(self) -> float:
+        """Current level; negative values mean the reserve is in debt."""
+        return self._level
+
+    @property
+    def in_debt(self) -> bool:
+        """True if the level is below zero."""
+        return self._level < 0.0
+
+    @property
+    def headroom(self) -> float:
+        """How much more can be deposited (inf when uncapped)."""
+        if self.capacity is None:
+            return math.inf
+        return max(0.0, self.capacity - self._level)
+
+    def can_afford(self, amount: float) -> bool:
+        """True if ``amount`` could be consumed without entering debt."""
+        return self._level >= amount
+
+    # -- consumption ------------------------------------------------------------
+
+    def consume(self, amount: float, allow_debt: bool = False) -> float:
+        """Remove ``amount`` from the reserve; returns the amount removed.
+
+        Without ``allow_debt``, raises :class:`ReserveEmptyError` if the
+        level is insufficient — the kernel "prevents threads from
+        performing actions for which their reserves do not have
+        sufficient resources" (§3.2).  With ``allow_debt``, the level
+        may go negative down to ``-debt_limit``.
+        """
+        self.ensure_alive()
+        if amount < 0:
+            raise EnergyError("cannot consume a negative amount")
+        if amount == 0:
+            return 0.0
+        if not allow_debt and self._level < amount:
+            self.consume_failures += 1
+            raise ReserveEmptyError(
+                f"reserve {self.name!r}: need {amount:.6g}, have "
+                f"{self._level:.6g}")
+        if allow_debt and self._level - amount < -self.debt_limit:
+            self.consume_failures += 1
+            raise DebtLimitError(
+                f"reserve {self.name!r}: debit of {amount:.6g} would exceed "
+                f"debt limit {self.debt_limit:.6g}")
+        self._level -= amount
+        self.total_consumed += amount
+        return amount
+
+    def deposit(self, amount: float) -> float:
+        """Add up to ``amount``; returns the amount actually accepted.
+
+        Deposits are clamped to ``capacity`` — the remainder is the
+        caller's to keep (taps leave it in their source reserve).
+        """
+        self.ensure_alive()
+        if amount < 0:
+            raise EnergyError("cannot deposit a negative amount")
+        accepted = min(amount, self.headroom)
+        self._level += accepted
+        self.total_deposited += accepted
+        return accepted
+
+    # -- transfer & subdivision ----------------------------------------------
+
+    def transfer_to(self, other: "Reserve", amount: float) -> float:
+        """Move up to ``amount`` into ``other``; returns amount moved.
+
+        Both reserves must hold the same resource kind.  The amount is
+        clamped to this reserve's (non-negative) level and the target's
+        headroom, so a transfer never creates debt or overflow.
+        """
+        self.ensure_alive()
+        other.ensure_alive()
+        if other is self:
+            return 0.0
+        if other.kind != self.kind:
+            raise EnergyError(
+                f"cannot transfer {self.kind} into a {other.kind} reserve")
+        if amount < 0:
+            raise EnergyError("cannot transfer a negative amount")
+        moved = min(amount, max(0.0, self._level), other.headroom)
+        if moved <= 0.0:
+            return 0.0
+        self._level -= moved
+        other._level += moved
+        self.total_transferred_out += moved
+        other.total_transferred_in += moved
+        return moved
+
+    def subdivide(self, amount: float, label: Optional[Label] = None,
+                  name: str = "") -> "Reserve":
+        """Split off a child reserve seeded with ``amount`` (§3.2).
+
+        Raises if this reserve cannot afford the split.
+        """
+        self.ensure_alive()
+        if amount < 0:
+            raise EnergyError("cannot subdivide a negative amount")
+        if self._level < amount:
+            raise ReserveEmptyError(
+                f"reserve {self.name!r}: cannot split off {amount:.6g} "
+                f"from level {self._level:.6g}")
+        child = Reserve(
+            level=0.0,
+            kind=self.kind,
+            label=label if label is not None else self.label,
+            name=name or f"{self.name}/sub",
+        )
+        self._level -= amount
+        child._level = amount
+        self.total_transferred_out += amount
+        child.total_transferred_in += amount
+        return child
+
+    # -- decay support -----------------------------------------------------------
+
+    def decay(self, fraction: float) -> float:
+        """Remove ``fraction`` of a positive level; returns the amount.
+
+        Called by the decay engine, which routes the proceeds back to
+        the root reserve.  Exempt or indebted reserves lose nothing.
+        """
+        self.ensure_alive()
+        if not 0.0 <= fraction <= 1.0:
+            raise EnergyError(f"decay fraction {fraction} out of [0, 1]")
+        if self.decay_exempt or self._level <= 0.0:
+            return 0.0
+        lost = self._level * fraction
+        self._level -= lost
+        self.total_decayed += lost
+        return lost
+
+    # -- misc -------------------------------------------------------------------
+
+    def on_delete(self) -> None:
+        # A dying reserve's remaining energy is dropped (the graph's
+        # ``delete_reserve(reclaim_to=...)`` sends it to a parent first
+        # when revocation should recover the energy).  Record the drop
+        # so conservation audits can still balance.
+        self.leaked_at_death = max(0.0, self._level)
+        self._level = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<reserve #{self.object_id} {self.name!r} "
+                f"{self._level:.6g} {self.kind}>")

@@ -1,0 +1,29 @@
+"""Energy accounting substrate: the HTC Dream power model (paper §4).
+
+Offline-measured constants (§4.2), the radio's non-linear cost model
+(§4.3), a simulated Agilent E3644A meter for "measured" traces, the
+physical battery with its coarse ARM9 gauge (§4.1), and the §9
+gauge-based model refinement.
+"""
+
+from .battery import Battery
+from .calibrate import UsageInterval, intervals_from_gauge, refit_from_gauge
+from .cpu import (ARITHMETIC_LOOP, MEMORY_STREAM, TYPICAL_APP, CpuComponent,
+                  InstructionMix)
+from .meter import DEFAULT_SAMPLE_INTERVAL_S, PowerMeter
+from .model import (DREAM_BACKLIGHT_W, DREAM_BATTERY_FULL_J, DREAM_BATTERY_J,
+                    DREAM_CPU_ARITHMETIC_W, DREAM_CPU_MEMORY_FACTOR,
+                    DREAM_CPU_WORST_W, DREAM_IDLE_W, CpuPowerParams,
+                    DreamPowerModel, laptop_model)
+from .radio_model import RadioPowerParams
+from .states import PowerState, PowerStateRegistry
+
+__all__ = [
+    "Battery", "UsageInterval", "intervals_from_gauge", "refit_from_gauge",
+    "ARITHMETIC_LOOP", "MEMORY_STREAM", "TYPICAL_APP", "CpuComponent",
+    "InstructionMix", "DEFAULT_SAMPLE_INTERVAL_S", "PowerMeter",
+    "DREAM_BACKLIGHT_W", "DREAM_BATTERY_FULL_J", "DREAM_BATTERY_J",
+    "DREAM_CPU_ARITHMETIC_W", "DREAM_CPU_MEMORY_FACTOR", "DREAM_CPU_WORST_W",
+    "DREAM_IDLE_W", "CpuPowerParams", "DreamPowerModel", "laptop_model",
+    "RadioPowerParams", "PowerState", "PowerStateRegistry",
+]

@@ -1,0 +1,85 @@
+"""Battery model: physical charge state and the coarse ARM9 gauge.
+
+Two views of the same battery, deliberately kept distinct:
+
+* the **root reserve** of the resource graph — the *logical* energy
+  budget Cinder subdivides among applications (paper §3.4);
+* the **physical charge**, drained by everything the meter sees
+  (baseline idle draw included), exposed only as "an integer from 0 to
+  100" because the closed ARM9 owns the battery sensors (§4.1).
+
+Keeping them separate mirrors the platform reality the paper works
+around: Cinder budgets with its model while the hardware reports a
+coarse gauge, and §9's future work is exactly reconciling the two —
+see :meth:`Battery.gauge_history` and
+:func:`repro.energy.calibrate.refit_from_gauge`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import EnergyError, HardwareError
+from .model import DREAM_BATTERY_FULL_J
+
+
+class Battery:
+    """Physical battery with a coarse percentage gauge."""
+
+    def __init__(self, capacity_joules: float = DREAM_BATTERY_FULL_J,
+                 charge_joules: Optional[float] = None) -> None:
+        if capacity_joules <= 0:
+            raise EnergyError("battery capacity must be positive")
+        self.capacity_joules = float(capacity_joules)
+        self._charge = (self.capacity_joules if charge_joules is None
+                        else float(charge_joules))
+        if not 0.0 <= self._charge <= self.capacity_joules:
+            raise EnergyError("charge must lie within [0, capacity]")
+        self._gauge_history: List[Tuple[float, int]] = []
+
+    # -- physical state ----------------------------------------------------------
+
+    @property
+    def charge_joules(self) -> float:
+        """Remaining physical energy."""
+        return self._charge
+
+    @property
+    def empty(self) -> bool:
+        """True when fully drained."""
+        return self._charge <= 0.0
+
+    def drain(self, joules: float) -> float:
+        """Remove energy (clamped at empty); returns amount removed."""
+        if joules < 0:
+            raise EnergyError("cannot drain a negative amount")
+        removed = min(joules, self._charge)
+        self._charge -= removed
+        return removed
+
+    def charge(self, joules: float) -> float:
+        """Add energy (clamped at capacity); returns amount added."""
+        if joules < 0:
+            raise EnergyError("cannot charge a negative amount")
+        added = min(joules, self.capacity_joules - self._charge)
+        self._charge += added
+        return added
+
+    # -- the ARM9's interface (§4.1) -----------------------------------------------
+
+    def gauge(self) -> int:
+        """The only reading the closed ARM9 exposes: an int in 0..100."""
+        fraction = self._charge / self.capacity_joules
+        return max(0, min(100, int(round(fraction * 100))))
+
+    def record_gauge(self, time_s: float) -> int:
+        """Sample the gauge, keeping a history for model refinement (§9)."""
+        reading = self.gauge()
+        if self._gauge_history and time_s < self._gauge_history[-1][0]:
+            raise HardwareError("gauge samples must be time-ordered")
+        self._gauge_history.append((time_s, reading))
+        return reading
+
+    def gauge_history(self) -> List[Tuple[float, int]]:
+        """(time, percent) samples recorded so far (copy)."""
+        return list(self._gauge_history)

@@ -1,0 +1,88 @@
+"""Model refinement from the coarse battery gauge (paper §9).
+
+"Using the HTC Dream's limited battery level information Cinder could
+adapt its energy model based on past component and application usage,
+dynamically refining its costs."
+
+Given (a) the ARM9's 0–100 gauge history and (b) the per-component
+state durations Cinder already tracks (§4.2), we re-fit the
+per-component power increments by least squares: each gauge step of
+1 % corresponds to ``capacity / 100`` joules drained, and the drain
+over an interval is ``baseline * dt + sum_i watts_i * busy_i``.  With
+enough intervals of varied component activity the system of equations
+is overdetermined and :func:`numpy.linalg.lstsq` recovers the watts.
+
+This is deliberately the *simple* version the paper gestures at —
+"evaluating the complex and dynamic system this would yield will
+require additional research".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EnergyError
+
+
+@dataclass(frozen=True)
+class UsageInterval:
+    """One observation window: wall time plus component busy seconds."""
+
+    duration_s: float
+    busy_seconds: Dict[str, float]
+    #: Joules drained over the window (from gauge deltas).
+    drained_joules: float
+
+
+def intervals_from_gauge(
+    gauge_history: Sequence[Tuple[float, int]],
+    capacity_joules: float,
+    busy_log: Sequence[Tuple[float, Dict[str, float]]],
+) -> List[UsageInterval]:
+    """Pair gauge steps with cumulative component busy-time logs.
+
+    ``busy_log`` holds (time, {component: cumulative busy seconds})
+    snapshots taken at the same instants as the gauge samples.
+    """
+    if len(gauge_history) != len(busy_log):
+        raise EnergyError("gauge history and busy log must align")
+    joules_per_percent = capacity_joules / 100.0
+    intervals: List[UsageInterval] = []
+    for (t0, g0), (t1, g1), (_, b0), (_, b1) in zip(
+            gauge_history, gauge_history[1:], busy_log, busy_log[1:]):
+        if t1 <= t0:
+            raise EnergyError("gauge samples must be strictly ordered")
+        drained = (g0 - g1) * joules_per_percent
+        busy = {component: b1.get(component, 0.0) - b0.get(component, 0.0)
+                for component in set(b0) | set(b1)}
+        intervals.append(UsageInterval(t1 - t0, busy, max(0.0, drained)))
+    return intervals
+
+
+def refit_from_gauge(intervals: Sequence[UsageInterval],
+                     components: Sequence[str]
+                     ) -> Tuple[float, Dict[str, float]]:
+    """Least-squares re-fit of (baseline watts, per-component watts).
+
+    Returns ``(baseline, {component: watts})``.  Negative solutions are
+    clamped to zero — a fit artifact of coarse gauges, not physics.
+    """
+    if not intervals:
+        raise EnergyError("need at least one interval")
+    rows = []
+    targets = []
+    for interval in intervals:
+        row = [interval.duration_s]
+        row.extend(interval.busy_seconds.get(c, 0.0) for c in components)
+        rows.append(row)
+        targets.append(interval.drained_joules)
+    matrix = np.asarray(rows, dtype=float)
+    vector = np.asarray(targets, dtype=float)
+    solution, *_ = np.linalg.lstsq(matrix, vector, rcond=None)
+    baseline = max(0.0, float(solution[0]))
+    watts = {component: max(0.0, float(value))
+             for component, value in zip(components, solution[1:])}
+    return baseline, watts

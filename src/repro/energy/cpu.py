@@ -1,0 +1,92 @@
+"""CPU component model (paper §4.2).
+
+The Dream's ARM11 "lacks a floating point unit, leaving us with only
+integer, control flow, and memory instructions", and has no
+performance counters, so Cinder bills the worst case.  This module
+models the gap between *billed* and *true* CPU power for experiments
+that compare model estimates against the meter (Fig. 9's dotted line
+sits slightly below the 137 mW billing when the workload is not
+purely memory-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareError
+from .model import CpuPowerParams
+
+
+#: The instruction classes the ARM11 offers (no FPU).
+INSTRUCTION_CLASSES = ("integer", "control", "memory")
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of each instruction class in a workload."""
+
+    integer: float = 1.0
+    control: float = 0.0
+    memory: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.integer + self.control + self.memory
+        if any(f < 0 for f in (self.integer, self.control, self.memory)):
+            raise HardwareError("instruction fractions must be non-negative")
+        if abs(total - 1.0) > 1e-9:
+            raise HardwareError(f"instruction mix sums to {total}, not 1")
+
+
+#: Canned mixes used by workloads and tests.
+ARITHMETIC_LOOP = InstructionMix(integer=0.9, control=0.1, memory=0.0)
+MEMORY_STREAM = InstructionMix(integer=0.1, control=0.1, memory=0.8)
+TYPICAL_APP = InstructionMix(integer=0.5, control=0.2, memory=0.3)
+
+
+class CpuComponent:
+    """True-power CPU model with busy-time accounting."""
+
+    def __init__(self, params: CpuPowerParams = CpuPowerParams(),
+                 mix: InstructionMix = TYPICAL_APP) -> None:
+        self.params = params
+        self.mix = mix
+        self.busy_seconds = 0.0
+        self.idle_seconds = 0.0
+        self.true_energy_joules = 0.0
+        self.billed_energy_joules = 0.0
+
+    def true_watts(self) -> float:
+        """Actual increment for the current instruction mix.
+
+        Memory instructions scale the arithmetic-loop power by the
+        measured 13 %; integer/control draw the base amount.
+        """
+        scale = 1.0 + (self.params.memory_factor - 1.0) * self.mix.memory
+        return self.params.arithmetic_watts * scale
+
+    def billed_watts(self) -> float:
+        """What Cinder charges (worst case unless counters exist)."""
+        return self.params.active_watts(self.mix.memory)
+
+    def run(self, dt: float) -> float:
+        """Account ``dt`` busy seconds; returns true energy used."""
+        if dt < 0:
+            raise HardwareError("dt must be non-negative")
+        self.busy_seconds += dt
+        true = self.true_watts() * dt
+        self.true_energy_joules += true
+        self.billed_energy_joules += self.billed_watts() * dt
+        return true
+
+    def idle(self, dt: float) -> None:
+        """Account ``dt`` idle seconds (no increment over baseline)."""
+        if dt < 0:
+            raise HardwareError("dt must be non-negative")
+        self.idle_seconds += dt
+
+    @property
+    def overbilling_fraction(self) -> float:
+        """How far billing exceeds truth (0 when the mix is all-memory)."""
+        if self.true_energy_joules == 0.0:
+            return 0.0
+        return (self.billed_energy_joules / self.true_energy_joules) - 1.0

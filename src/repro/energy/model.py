@@ -1,0 +1,149 @@
+"""The HTC Dream power model (paper §4.2–§4.3).
+
+Measured constants, quoted from the paper:
+
+* "While idling in Cinder, the Dream uses about **699 mW** and another
+  **555 mW** when the backlight is on."
+* "Spinning the CPU increases consumption by **137 mW**."
+* "Memory-intensive instruction streams increase CPU power draw by
+  **13 %** over a simple arithmetic loop" — but the Dream has no
+  counters to observe the mix, so the model "assumes the worst case
+  power draw (all memory intensive operations)".
+* Radio: a single activation cycle "consumes an additional **9.5 J**
+  of energy over baseline (minimum 8.8 J, maximum 11.9 J)" and the
+  device "fully sleeps after **20 seconds**" of inactivity (§4.3).
+
+Derived values: the activation plateau's mean extra draw is
+9.5 J / 20 s = 475 mW, which also reconciles Table 1 (1064 J over
+949 active seconds ≈ 1.12 W ≈ 699 mW baseline + radio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import mW
+from .radio_model import RadioPowerParams
+from .states import PowerStateRegistry
+
+# -- §4.2 constants ------------------------------------------------------------
+
+#: System draw with screen off, CPU idle, radio asleep.
+DREAM_IDLE_W = mW(699)
+#: Additional draw with the backlight on.
+DREAM_BACKLIGHT_W = mW(555)
+#: Additional draw while the CPU executes (simple arithmetic loop).
+DREAM_CPU_ARITHMETIC_W = mW(137)
+#: Memory-bound streams draw 13 % more than the arithmetic loop.
+DREAM_CPU_MEMORY_FACTOR = 1.13
+#: Worst-case CPU increment — what Cinder's model charges (§4.2).
+DREAM_CPU_WORST_W = DREAM_CPU_ARITHMETIC_W * DREAM_CPU_MEMORY_FACTOR
+
+#: The Figure 1 example battery (15 kJ).
+DREAM_BATTERY_J = 15_000.0
+#: A full HTC Dream battery (1150 mAh @ 3.7 V nominal ~ 15.3 kJ); the
+#: examples' 15 kJ round number is deliberately close.
+DREAM_BATTERY_FULL_J = 15_300.0
+
+#: Nominal supply voltage used to derive current readings on the meter.
+DREAM_SUPPLY_VOLTAGE = 3.7
+
+
+@dataclass(frozen=True)
+class CpuPowerParams:
+    """CPU model knobs (§4.2)."""
+
+    arithmetic_watts: float = DREAM_CPU_ARITHMETIC_W
+    memory_factor: float = DREAM_CPU_MEMORY_FACTOR
+    #: The Dream cannot observe the instruction mix, so Cinder assumes
+    #: every instruction is memory-intensive.
+    assume_worst_case: bool = True
+
+    def active_watts(self, memory_fraction: float = 1.0) -> float:
+        """Increment for a CPU running a given memory-op fraction.
+
+        With ``assume_worst_case`` the fraction is ignored and the
+        worst case billed — exactly the paper's accounting choice.
+        """
+        if self.assume_worst_case:
+            memory_fraction = 1.0
+        memory_fraction = min(1.0, max(0.0, memory_fraction))
+        scale = 1.0 + (self.memory_factor - 1.0) * memory_fraction
+        return self.arithmetic_watts * scale
+
+
+@dataclass
+class DreamPowerModel:
+    """The full platform model used by the simulator and the figures."""
+
+    idle_watts: float = DREAM_IDLE_W
+    backlight_watts: float = DREAM_BACKLIGHT_W
+    cpu: CpuPowerParams = field(default_factory=CpuPowerParams)
+    radio: RadioPowerParams = field(default_factory=RadioPowerParams)
+    supply_voltage: float = DREAM_SUPPLY_VOLTAGE
+
+    @property
+    def cpu_active_watts(self) -> float:
+        """The increment the scheduler bills per busy quantum.
+
+        §6.1 bills "running the CPU" at 137 mW — the measured spinning
+        cost.  The worst-case all-memory figure (+13 %) is available
+        as :attr:`cpu_worst_watts` for the instruction-mix ablation.
+        """
+        return self.cpu.arithmetic_watts
+
+    @property
+    def cpu_worst_watts(self) -> float:
+        """The all-memory worst case Cinder would bill without counters."""
+        return self.cpu.active_watts()
+
+    def registry(self) -> PowerStateRegistry:
+        """Compile into a (component, state) -> watts registry."""
+        registry = PowerStateRegistry(baseline_watts=self.idle_watts)
+        registry.register("cpu", "idle", 0.0)
+        registry.register("cpu", "active", self.cpu_active_watts)
+        registry.register("cpu", "active-arith", self.cpu.arithmetic_watts)
+        registry.register("backlight", "off", 0.0)
+        registry.register("backlight", "on", self.backlight_watts)
+        registry.register("radio", "idle", 0.0)
+        registry.register("radio", "ramp", self.radio.ramp_extra_watts)
+        registry.register("radio", "active", self.radio.plateau_watts)
+        return registry
+
+    def system_power(self, cpu_busy: bool = False, backlight_on: bool = False,
+                     radio_watts: float = 0.0) -> float:
+        """Instantaneous system draw for a simple state combination."""
+        power = self.idle_watts
+        if cpu_busy:
+            power += self.cpu_active_watts
+        if backlight_on:
+            power += self.backlight_watts
+        return power + radio_watts
+
+
+def laptop_model() -> "DreamPowerModel":
+    """The Lenovo T60p stand-in used for the §6.2 image viewer runs.
+
+    The paper ran the image-viewer experiment on a laptop, where the
+    network interface has a *linear* cost (no dominant activation
+    spike) — the viewer experiment is about reserve-level adaptation,
+    not radio non-linearity.  We model that by zeroing the radio's
+    fixed costs and leaving a per-byte marginal cost.
+    """
+    radio = RadioPowerParams(
+        activation_joules_mean=0.0,
+        activation_joules_min=0.0,
+        activation_joules_max=0.0,
+        idle_timeout_s=0.0,
+        plateau_watts=0.0,
+        ramp_extra_watts=0.0,
+        per_packet_joules=0.0,
+        # WiFi-class marginal transfer energy, dominant term for the viewer.
+        per_byte_joules=20e-9,
+        throughput_bytes_per_s=2_000_000,
+    )
+    return DreamPowerModel(
+        idle_watts=18.0,       # T60p idle, screen on
+        backlight_watts=0.0,   # folded into idle for the laptop
+        radio=radio,
+    )

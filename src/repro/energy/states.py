@@ -1,0 +1,97 @@
+"""Component power-state registry.
+
+The paper's energy model (§4.2) "uses device states and their duration
+to estimate energy consumption" — the standard offline-measurement
+technique of ECOSystem, PowerScope and Quanto.  This registry is the
+lookup table such a model compiles to: ``(component, state) -> watts``.
+
+The watts stored here are *increments over the platform baseline*, the
+way the paper reports them ("spinning the CPU increases consumption by
+137 mW"), so summing the active increments plus the baseline gives the
+system draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import HardwareError
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """One row of the offline-measured model."""
+
+    component: str
+    state: str
+    watts: float
+
+    def key(self) -> Tuple[str, str]:
+        return (self.component, self.state)
+
+
+class PowerStateRegistry:
+    """The compiled device-state power model."""
+
+    def __init__(self, baseline_watts: float = 0.0) -> None:
+        if baseline_watts < 0:
+            raise HardwareError("baseline power must be non-negative")
+        #: Platform draw with every component in its lowest state.
+        self.baseline_watts = baseline_watts
+        self._states: Dict[Tuple[str, str], PowerState] = {}
+
+    def register(self, component: str, state: str, watts: float) -> PowerState:
+        """Add or replace one (component, state) measurement."""
+        if watts < 0:
+            raise HardwareError(
+                f"negative increment for {component}/{state}")
+        row = PowerState(component, state, watts)
+        self._states[row.key()] = row
+        return row
+
+    def power(self, component: str, state: str) -> float:
+        """The increment over baseline for ``component`` in ``state``."""
+        try:
+            return self._states[(component, state)].watts
+        except KeyError:
+            raise HardwareError(
+                f"no measurement for {component!r} in state {state!r}")
+
+    def has(self, component: str, state: str) -> bool:
+        """True if the pair has been measured."""
+        return (component, state) in self._states
+
+    def components(self) -> List[str]:
+        """Component names present, sorted."""
+        return sorted({component for component, _ in self._states})
+
+    def states_of(self, component: str) -> List[str]:
+        """State names measured for ``component``, sorted."""
+        return sorted(state for comp, state in self._states
+                      if comp == component)
+
+    def system_power(self, active: Dict[str, str]) -> float:
+        """Baseline plus the increments of each component's state.
+
+        ``active`` maps component -> current state; unmentioned
+        components contribute nothing (their low state is the
+        baseline).
+        """
+        return self.baseline_watts + sum(
+            self.power(component, state) for component, state in active.items())
+
+    def estimate_energy(self, intervals: Iterable[Tuple[str, str, float]],
+                        include_baseline_for: float = 0.0) -> float:
+        """Integrate the model over (component, state, seconds) tuples.
+
+        ``include_baseline_for`` adds baseline draw for that many
+        seconds — the caller decides the wall-clock span since
+        component intervals may overlap.
+        """
+        total = self.baseline_watts * include_baseline_for
+        for component, state, seconds in intervals:
+            if seconds < 0:
+                raise HardwareError("negative interval duration")
+            total += self.power(component, state) * seconds
+        return total

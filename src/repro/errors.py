@@ -1,0 +1,86 @@
+"""Exception hierarchy for the Cinder reproduction.
+
+Kernel-style errors deliberately mirror the error conditions a real
+Cinder/HiStar kernel would return from syscalls (permission failures,
+missing objects, resource exhaustion), so application code written
+against :mod:`repro.kernel.syscalls` handles failures the way the
+paper's C applications do.
+"""
+
+from __future__ import annotations
+
+
+class CinderError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class LabelError(CinderError):
+    """An information-flow or privilege check failed."""
+
+
+class PermissionError_(LabelError):
+    """A thread lacked the privileges to observe/modify/use an object.
+
+    Named with a trailing underscore to avoid shadowing the builtin; the
+    public API re-exports it as ``KernelPermissionError``.
+    """
+
+
+#: Public alias for the permission failure (avoids the builtin name).
+KernelPermissionError = PermissionError_
+
+
+class ObjectError(CinderError):
+    """Problems locating or using kernel objects."""
+
+
+class NoSuchObjectError(ObjectError):
+    """An object id did not resolve (deleted, GC'd, or never existed)."""
+
+
+class ObjectTypeError(ObjectError):
+    """An object was not of the expected kernel type."""
+
+
+class ContainerError(ObjectError):
+    """Container-specific failures (e.g., adding to a dead container)."""
+
+
+class EnergyError(CinderError):
+    """Resource/energy management failures."""
+
+
+class ReserveEmptyError(EnergyError):
+    """A consume was attempted against an empty (or too-shallow) reserve."""
+
+
+class DebtLimitError(EnergyError):
+    """A forced debit would push a reserve past its debt limit."""
+
+
+class TapError(EnergyError):
+    """Invalid tap configuration (bad rate, missing endpoint, self-loop)."""
+
+
+class HoardingError(EnergyError):
+    """A transfer violates the anti-hoarding rules of ``reserve_clone``."""
+
+
+class SchedulerError(CinderError):
+    """Scheduler misconfiguration (e.g., thread with no reserve)."""
+
+
+class SimulationError(CinderError):
+    """Engine-level failures (time going backward, double-registration)."""
+
+
+class GateError(CinderError):
+    """Gate call failures (no service bound, re-entrancy violations)."""
+
+
+class HardwareError(CinderError):
+    """Simulated hardware faults (mailbox overflow, bad ARM9 command)."""
+
+
+class NetworkError(CinderError):
+    """Network stack failures (unknown host, oversized datagram)."""

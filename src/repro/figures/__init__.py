@@ -1,0 +1,47 @@
+"""Figure and table reproductions: one module per paper artifact.
+
+Each module exposes ``run(...) -> Result`` and ``render(result) ->
+str``; ``python -m repro.figures`` regenerates everything.  The
+benchmark harness under ``benchmarks/`` wraps the same ``run``
+functions with pytest-benchmark.
+
+Index (see DESIGN.md §4 for workloads and parameters):
+
+========  ==============================================
+artifact  module
+========  ==============================================
+Fig. 3    :mod:`repro.figures.fig03_radio_flows`
+Fig. 4    :mod:`repro.figures.fig04_activation`
+Fig. 9    :mod:`repro.figures.fig09_isolation`
+Fig. 10   :mod:`repro.figures.fig10_viewer_noscale`
+Fig. 11   :mod:`repro.figures.fig11_viewer_scale`
+Fig. 12   :mod:`repro.figures.fig12_background`
+Fig. 13   :mod:`repro.figures.fig13_cooperative`
+Fig. 14   :mod:`repro.figures.fig14_netd_reserve`
+Table 1   :mod:`repro.figures.table1_summary`
+========  ==============================================
+"""
+
+from . import (ablations, diagrams, fig03_radio_flows, fig04_activation,
+               fig09_isolation, fig10_viewer_noscale, fig11_viewer_scale,
+               fig12_background, fig13_cooperative, fig14_netd_reserve,
+               table1_summary)
+from .common import Comparison, FigureResult, ascii_chart, comparison_table
+
+#: (artifact label, module) in paper order.
+ALL_FIGURES = [
+    ("Figure 3", fig03_radio_flows),
+    ("Figure 4", fig04_activation),
+    ("Figure 9", fig09_isolation),
+    ("Figure 10", fig10_viewer_noscale),
+    ("Figure 11", fig11_viewer_scale),
+    ("Figure 12", fig12_background),
+    ("Figure 13", fig13_cooperative),
+    ("Figure 14", fig14_netd_reserve),
+    ("Table 1", table1_summary),
+]
+
+__all__ = [
+    "ALL_FIGURES", "Comparison", "FigureResult", "ascii_chart",
+    "comparison_table", "ablations", "diagrams",
+]

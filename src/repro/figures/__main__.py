@@ -1,0 +1,29 @@
+"""Regenerate every figure and table: ``python -m repro.figures``."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_FIGURES
+
+
+def main(argv: list) -> int:
+    """Run all artifacts (or those whose label matches an argument)."""
+    wanted = [arg.lower() for arg in argv]
+    for label, module in ALL_FIGURES:
+        if wanted and not any(w in label.lower() for w in wanted):
+            continue
+        started = time.time()
+        result = module.run()
+        elapsed = time.time() - started
+        print("=" * 72)
+        print(f"{label}  ({module.__name__}, {elapsed:.1f}s)")
+        print("=" * 72)
+        print(module.render(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,217 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Each function isolates one mechanism and sweeps its parameter:
+
+* **Decay half-life** (§5.2.2's 10-minute choice): how long a
+  Figure 12b-style hoard survives after the app retires to the
+  background.
+* **netd activation margin** (Figure 14's 125 %): the pool's residual
+  floor and the first-activation latency.
+* **Tick size** (the batch-transfer period, §3.3): duty cycles and
+  tap equilibria must be invariant.
+* **CPU billing policy** (§4.2's worst-case assumption): how much the
+  model over-bills for non-memory-bound workloads vs counter-based
+  billing.
+* **Cinder vs currentcy** (§2.3): the browser-share and pooling
+  comparisons from :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..baselines.comparison import (plugin_scenario_cinder,
+                                    plugin_scenario_currentcy,
+                                    pooling_scenario_cinder,
+                                    pooling_scenario_currentcy)
+from ..core.decay import DecayPolicy
+from ..core.graph import ResourceGraph
+from ..energy.cpu import ARITHMETIC_LOOP, MEMORY_STREAM, CpuComponent
+from ..energy.model import CpuPowerParams
+from ..sim.engine import CinderSystem
+from ..sim.workload import periodic_poller, spinner
+from ..units import KiB, mW
+
+
+# -- decay half-life --------------------------------------------------------------
+
+
+@dataclass
+class DecayAblationRow:
+    """Hoard survival under one half-life setting."""
+
+    half_life_s: float
+    hoard_joules: float
+    survival_s: float  # time until 90% of the hoard is gone
+
+
+def decay_half_life_ablation(
+    half_lives_s: Tuple[float, ...] = (60.0, 300.0, 600.0, 1800.0),
+    hoard_joules: float = 1.6,
+) -> List[DecayAblationRow]:
+    """How fast each half-life reclaims a Figure 12b hoard.
+
+    An idle reserve holds the hoard; nothing feeds it.  The 10-minute
+    default lets a briefly-foregrounded app do "an elevated amount of
+    work briefly" (§6.3) while bounding long-term hoarding.
+    """
+    rows = []
+    for half_life in half_lives_s:
+        graph = ResourceGraph(1000.0, decay=DecayPolicy(half_life))
+        hoard = graph.create_reserve(name="hoard", source=graph.root,
+                                     level=hoard_joules)
+        elapsed = 0.0
+        dt = 1.0
+        while hoard.level > 0.1 * hoard_joules and elapsed < 50_000:
+            graph.step(dt)
+            elapsed += dt
+        rows.append(DecayAblationRow(half_life, hoard_joules, elapsed))
+    return rows
+
+
+# -- netd activation margin -------------------------------------------------------
+
+
+@dataclass
+class MarginAblationRow:
+    """Pooling behavior under one activation margin."""
+
+    margin: float
+    first_activation_s: float
+    pool_floor_j: float
+    activations: int
+
+
+def netd_margin_ablation(
+    margins: Tuple[float, ...] = (1.0, 1.25, 1.5),
+    duration_s: float = 400.0,
+) -> List[MarginAblationRow]:
+    """Sweep the Figure 14 margin.
+
+    1.0 leaves the pool empty after each power-up (risking transfers
+    the pool cannot cover); larger margins delay the first activation
+    but leave a healthier floor.
+    """
+    rows = []
+    # Income held fixed across the sweep (sized for the largest margin)
+    # so the margin alone moves the first-activation latency.
+    per_app = (max(margins) * 9.5) / 120.0
+    for margin in margins:
+        system = CinderSystem(tick_s=0.02, decay_enabled=False, seed=1)
+        system.netd.activation_margin = margin
+        for name in ("mail", "rss"):
+            reserve = system.powered_reserve(per_app, name=name)
+            system.spawn(periodic_poller(name, 60.0, 0.0,
+                                         bytes_in=KiB(30)),
+                         name, reserve=reserve)
+        system.watch_reserve(system.netd.pool, "pool")
+        system.run(duration_s)
+        series = system.trace.series("pool")
+        levels = series.values
+        times = series.times
+        # first activation = first drop of ~an activation cost
+        first = float("nan")
+        for i in range(1, len(levels)):
+            if levels[i - 1] - levels[i] > 5.0:
+                first = float(times[i])
+                break
+        import numpy as np
+        after = levels[np.argmax(levels > 5.0):] if (levels > 5.0).any() \
+            else levels
+        rows.append(MarginAblationRow(
+            margin, first, float(after.min()) if len(after) else 0.0,
+            system.radio.activation_count))
+    return rows
+
+
+# -- tick size invariance ------------------------------------------------------------
+
+
+@dataclass
+class TickAblationRow:
+    """Scheduler/tap behavior at one tick size."""
+
+    tick_s: float
+    duty_cycle: float
+    equilibrium_j: float
+
+
+def tick_size_ablation(
+    ticks_s: Tuple[float, ...] = (0.002, 0.01, 0.05),
+    duration_s: float = 80.0,
+) -> List[TickAblationRow]:
+    """Duty cycle (68.5 mW tap on a 137 mW CPU => 50 %) and the
+    Figure 6b equilibrium (70 mW / 0.1/s => 700 mJ) across tick sizes.
+    """
+    from ..core.policy import shared_rate_limit
+
+    rows = []
+    for tick in ticks_s:
+        system = CinderSystem(tick_s=tick, decay_enabled=False, seed=2)
+        reserve = system.powered_reserve(mW(68.5), name="app")
+        process = system.spawn(spinner(), "app", reserve=reserve)
+        child = shared_rate_limit(system.graph, system.battery_reserve,
+                                  mW(70), 0.1, name="bank")
+        system.run(duration_s)
+        duty = process.thread.cpu_time / duration_s
+        rows.append(TickAblationRow(tick, duty, child.reserve.level))
+    return rows
+
+
+# -- CPU billing policy --------------------------------------------------------------
+
+
+@dataclass
+class BillingAblationRow:
+    """Over-billing for one workload under one policy."""
+
+    workload: str
+    worst_case: bool
+    overbilling_fraction: float
+
+
+def cpu_billing_ablation() -> List[BillingAblationRow]:
+    """§4.2: the Dream lacks counters, so Cinder assumes all-memory.
+
+    With counters (Koala/Mantis-style, §8.2) billing tracks truth; the
+    ablation quantifies what the worst-case assumption costs each
+    workload class.
+    """
+    rows = []
+    for name, mix in (("arithmetic", ARITHMETIC_LOOP),
+                      ("memory-stream", MEMORY_STREAM)):
+        for worst in (True, False):
+            cpu = CpuComponent(CpuPowerParams(assume_worst_case=worst),
+                               mix=mix)
+            cpu.run(100.0)
+            rows.append(BillingAblationRow(name, worst,
+                                           cpu.overbilling_fraction))
+    return rows
+
+
+# -- Cinder vs currentcy ----------------------------------------------------------------
+
+
+@dataclass
+class BaselineComparisonResult:
+    """Both §2.3 scenarios, both systems."""
+
+    cinder_browser_share: float
+    currentcy_browser_share: float
+    cinder_first_activation_ok: bool
+    currentcy_first_activation_ok: bool
+
+
+def baseline_comparison(duration_s: float = 90.0) -> BaselineComparisonResult:
+    """Quantify what delegation and subdivision buy over currentcy."""
+    cinder_plugin = plugin_scenario_cinder()
+    eco_plugin = plugin_scenario_currentcy()
+    cinder_pool = pooling_scenario_cinder(duration_s=duration_s)
+    eco_pool = pooling_scenario_currentcy(duration_s=duration_s)
+    return BaselineComparisonResult(
+        cinder_browser_share=cinder_plugin.browser_share,
+        currentcy_browser_share=eco_plugin.browser_share,
+        cinder_first_activation_ok=cinder_pool.activations >= 1,
+        currentcy_first_activation_ok=eco_pool.activations >= 1,
+    )

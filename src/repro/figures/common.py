@@ -1,0 +1,135 @@
+"""Shared scaffolding for the figure/table reproductions.
+
+Every ``figures.figNN_*`` module exposes ``run(...) -> <Result>`` and
+``render(result) -> str``; this module provides the pieces they share:
+paper-vs-measured comparison rows, fixed-width tables, and a terminal
+ASCII chart for eyeballing traces without matplotlib (which is not
+available offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured row for EXPERIMENTS.md."""
+
+    metric: str
+    paper: float
+    measured: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (inf when the paper value is zero)."""
+        if self.paper == 0:
+            return float("inf")
+        return self.measured / self.paper
+
+    def row(self) -> Tuple[str, str, str, str]:
+        return (self.metric,
+                f"{self.paper:g} {self.unit}".strip(),
+                f"{self.measured:.4g} {self.unit}".strip(),
+                f"{self.ratio:.2f}x" if np.isfinite(self.ratio) else "-")
+
+
+def comparison_table(comparisons: Sequence[Comparison]) -> str:
+    """Render comparisons as a fixed-width table."""
+    rows = [("metric", "paper", "measured", "ratio")]
+    rows.extend(c.row() for c in comparisons)
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    lines = []
+    for index, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """A plain fixed-width table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(headers)] + text_rows
+    widths = [max(len(row[i]) for row in all_rows)
+              for i in range(len(headers))]
+    lines = ["  ".join(cell.ljust(widths[i])
+                       for i, cell in enumerate(row)).rstrip()
+             for row in all_rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_chart(times: Sequence[float], values: Sequence[float],
+                width: int = 72, height: int = 12,
+                title: str = "", unit: str = "") -> str:
+    """A quick terminal line chart (column maxima, row buckets)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return f"{title}: (no data)"
+    vmin, vmax = float(values.min()), float(values.max())
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    t0, t1 = float(times.min()), float(times.max())
+    span = (t1 - t0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    columns = np.clip(((times - t0) / span * (width - 1)).astype(int),
+                      0, width - 1)
+    # Plot the max value per column so spikes stay visible.
+    col_value = np.full(width, np.nan)
+    for column, value in zip(columns, values):
+        if np.isnan(col_value[column]) or value > col_value[column]:
+            col_value[column] = value
+    for column in range(width):
+        if np.isnan(col_value[column]):
+            continue
+        level = (col_value[column] - vmin) / (vmax - vmin)
+        row = int(round(level * (height - 1)))
+        grid[height - 1 - row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{vmax:.3g} {unit}".rstrip())
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append(f"{vmin:.3g} {unit}".rstrip()
+                 + f"  [{t0:.0f} .. {t1:.0f} s]")
+    return "\n".join(lines)
+
+
+def window_mean(times: Sequence[float], values: Sequence[float],
+                start: float, end: float) -> float:
+    """Mean of samples within [start, end)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    mask = (times >= start) & (times < end)
+    if not mask.any():
+        return 0.0
+    return float(values[mask].mean())
+
+
+@dataclass
+class FigureResult:
+    """Base class for figure results: comparisons + free-form notes."""
+
+    comparisons: List[Comparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, metric: str, paper: float, measured: float,
+            unit: str = "", note: str = "") -> None:
+        """Record one paper-vs-measured comparison."""
+        self.comparisons.append(Comparison(metric, paper, measured, unit,
+                                           note))
+
+    def summary(self) -> str:
+        """The comparison table plus notes."""
+        parts = [comparison_table(self.comparisons)] if self.comparisons else []
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

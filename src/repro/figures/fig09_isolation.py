@@ -1,0 +1,120 @@
+"""Figure 9: isolation, subdivision and delegation under forking.
+
+Paper: "Stacked graph of Cinder's CPU energy accounting estimates
+during isolated process execution.  Process A's energy consumption is
+isolated from other processes' energy use despite B's periodic
+spawning of child processes (B1 and B2).  The sum of the estimated
+power of the individual processes closely matches the measured true
+power consumption of the CPU of about 139 mW."
+
+Setup (§6.1): A and B each get ~68 mW taps (half the 137 mW CPU).  At
+~5 s B forks B1, at ~10 s B forks B2 — each child fed by a tap from
+*B's own reserve* at one quarter of B's rate, so after both forks B
+nets half its original power and A is untouched.
+
+Shape targets: A holds ~68 mW throughout; B steps 68 -> 51 -> 34 mW;
+B1 and B2 arrive at ~17 mW each; the stacked sum tracks the measured
+CPU power (~137-139 mW).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..sim.engine import CinderSystem
+from ..sim.process import Process
+from ..sim.workload import forking_spinner, spinner
+from ..units import mW
+from .common import FigureResult, format_table, window_mean
+
+PAPER_CPU_W = 0.137
+PAPER_MEASURED_CPU_W = 0.139
+PAPER_APP_W = 0.0685
+PAPER_CHILD_W = PAPER_APP_W / 4.0
+
+
+@dataclass
+class Fig9Result(FigureResult):
+    """Stacked per-process power estimates plus the measured line."""
+
+    #: principal -> (bin times, watts); 1 s bins like the paper's plot.
+    series: Dict[str, Tuple[List[float], List[float]]] = field(
+        default_factory=dict)
+    measured_cpu_w: float = 0.0
+    stacked_sum_w: float = 0.0
+
+
+def run(duration_s: float = 60.0, fork1_s: float = 5.0,
+        fork2_s: float = 10.0, seed: int = 9) -> Fig9Result:
+    """Run the §6.1 experiment."""
+    system = CinderSystem(tick_s=0.01, seed=seed)
+    reserve_a = system.powered_reserve(mW(68.5), name="A")
+    reserve_b = system.powered_reserve(mW(68.5), name="B")
+
+    def wire_child(child: Process) -> None:
+        """B subdivides: child reserve fed at 1/4 of B's rate from B."""
+        child_reserve = system.graph.create_reserve(name=child.name)
+        system.graph.create_tap(reserve_b, child_reserve, mW(68.5) / 4.0,
+                                name=f"{child.name}.in")
+        child.thread.set_active_reserve(child_reserve)
+
+    forks = {fork1_s: ("B1", wire_child), fork2_s: ("B2", wire_child)}
+    system.spawn(spinner(), "A", reserve=reserve_a)
+    system.spawn(forking_spinner(forks), "B", reserve=reserve_b)
+    system.run(duration_s)
+    system.meter.flush()
+
+    result = Fig9Result()
+    principals = ["A", "B", "B1", "B2"]
+    result.series = system.ledger.stacked_power_series(
+        principals, duration_s, bin_s=1.0)
+    result.measured_cpu_w = (system.meter.mean_power_between(0, duration_s)
+                             - system.model.idle_watts)
+    # steady-state means over the final 30 s (all forks done)
+    steady = {p: window_mean(*result.series[p], duration_s - 30.0,
+                             duration_s) for p in principals}
+    result.stacked_sum_w = sum(steady.values())
+
+    result.add("A steady power", PAPER_APP_W, steady["A"], "W")
+    result.add("B steady power (after both forks)", PAPER_APP_W / 2.0,
+               steady["B"], "W")
+    result.add("B1 steady power", PAPER_CHILD_W, steady["B1"], "W")
+    result.add("B2 steady power", PAPER_CHILD_W, steady["B2"], "W")
+    result.add("stacked estimate sum", PAPER_CPU_W, result.stacked_sum_w,
+               "W")
+    result.add("measured CPU power", PAPER_MEASURED_CPU_W,
+               result.measured_cpu_w, "W")
+    # The isolation claim: A's share before vs after B's forks.
+    before = window_mean(*result.series["A"], 0.0, fork1_s)
+    result.add("A power before forks", PAPER_APP_W, before, "W",
+               note="isolation: unchanged by B's children")
+    return result
+
+
+def render(result: Fig9Result) -> str:
+    """Per-second stacked estimates plus the comparison table."""
+    rows = []
+    times = result.series["A"][0]
+    for second in range(0, len(times), 5):
+        row = [f"{times[second]:.0f}s"]
+        for principal in ("A", "B", "B1", "B2"):
+            watts = result.series[principal][1]
+            row.append(f"{watts[second] * 1e3:.1f}")
+        rows.append(row)
+    parts = [
+        "Figure 9 - stacked CPU accounting estimates (mW), 5 s cadence",
+        format_table(("t", "A", "B", "B1", "B2"), rows),
+        "",
+        result.summary(),
+    ]
+    return "\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - console entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,145 @@
+"""Figure 12: foreground/background control, and hoarding (§6.3).
+
+Paper: two processes spin on the CPU, sharing a 14 mW background pool
+(~10 % of the 137 mW CPU).  The task manager brings A to the
+foreground for 10-20 s and B for 30-40 s.
+
+(a) foreground tap = 137 mW — exactly the CPU's cost.  Clean
+handoffs: the foregrounded app jumps to ~137 mW, drops back to its
+~7 mW background share immediately on retirement.
+
+(b) foreground tap = 300 mW — more than the CPU can spend.  The
+foregrounded app *accumulates* the excess; after retirement it keeps
+running off its hoard: A competes with B at ~50/50 while B is
+foregrounded, and B uses ~90 % of the CPU after 40 s until its hoard
+drains.  This is the experiment motivating the global decay (§5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..apps.task_manager import TaskManager
+from ..sim.engine import CinderSystem
+from ..sim.workload import spinner
+from ..units import mW
+from .common import FigureResult, format_table, window_mean
+
+PAPER_CPU_W = 0.137
+PAPER_BG_POOL_W = 0.014
+
+
+@dataclass
+class Fig12Result(FigureResult):
+    """Stacked estimates for one panel (a or b)."""
+
+    foreground_watts: float = 0.0
+    series: Dict[str, Tuple[List[float], List[float]]] = field(
+        default_factory=dict)
+    measured_minus_idle: Tuple[List[float], List[float]] = field(
+        default_factory=lambda: ([], []))
+
+
+def run_panel(foreground_watts: float, duration_s: float = 60.0,
+              seed: int = 12) -> Fig12Result:
+    """One Figure 12 panel with the paper's focus schedule."""
+    system = CinderSystem(tick_s=0.01, seed=seed)
+    manager = TaskManager(system, foreground_watts=foreground_watts,
+                          background_pool_watts=PAPER_BG_POOL_W)
+    process_a = system.spawn(spinner(), "A")
+    process_b = system.spawn(spinner(), "B")
+    manager.add_app("A", process_a.thread)
+    manager.add_app("B", process_b.thread)
+
+    manager.schedule_focus(10.0, "A")
+    manager.schedule_focus(20.0, None)
+    manager.schedule_focus(30.0, "B")
+    manager.schedule_focus(40.0, None)
+    system.run(duration_s)
+    system.meter.flush()
+
+    result = Fig12Result(foreground_watts=foreground_watts)
+    result.series = system.ledger.stacked_power_series(
+        ["A", "B"], duration_s, bin_s=1.0)
+    times, watts = system.meter.samples()
+    idle = system.model.idle_watts
+    result.measured_minus_idle = (
+        list(times), [max(0.0, w - idle) for w in watts])
+
+    a_times, a_watts = result.series["A"]
+    b_times, b_watts = result.series["B"]
+    bg_share = PAPER_BG_POOL_W / 2.0
+    result.add("A background power (0-10 s)", bg_share,
+               window_mean(a_times, a_watts, 2.0, 10.0), "W")
+    # The foregrounded app cannot bill more than the CPU costs, and the
+    # background app still claims its ~5 % of quanta.
+    result.add("A foreground power (10-20 s)", PAPER_CPU_W,
+               window_mean(a_times, a_watts, 12.0, 20.0), "W")
+    if foreground_watts <= PAPER_CPU_W:
+        # (a): clean handoff — A returns to background share at 20 s.
+        result.add("A power after retirement (22-30 s)", bg_share,
+                   window_mean(a_times, a_watts, 22.0, 30.0), "W")
+        result.add("B foreground power (30-40 s)", PAPER_CPU_W,
+                   window_mean(b_times, b_watts, 32.0, 40.0), "W")
+    else:
+        # (b): hoarding — A keeps spending after retirement, competes
+        # ~50/50 during B's foreground interval, and B burns its hoard
+        # at ~90 % CPU after 40 s.
+        result.add("A power after retirement (20-30 s)", PAPER_CPU_W,
+                   window_mean(a_times, a_watts, 21.0, 29.0), "W",
+                   note="hoard spends at full CPU")
+        result.add("A share during B's turn (30-36 s)", PAPER_CPU_W / 2,
+                   window_mean(a_times, a_watts, 30.0, 36.0), "W",
+                   note="paper: 'each receives a 50% share'")
+        result.add("B share during its turn (30-36 s)", PAPER_CPU_W / 2,
+                   window_mean(b_times, b_watts, 30.0, 36.0), "W")
+        result.add("B power after retirement (41-50 s)",
+                   0.9 * PAPER_CPU_W,
+                   window_mean(b_times, b_watts, 41.0, 50.0), "W",
+                   note="paper: '~90% of the CPU until it exhausts'")
+    return result
+
+
+@dataclass
+class Fig12Pair:
+    """Both panels."""
+
+    panel_a: Fig12Result
+    panel_b: Fig12Result
+
+
+def run(duration_s: float = 60.0, seed: int = 12) -> Fig12Pair:
+    """Run both Figure 12 panels."""
+    return Fig12Pair(
+        panel_a=run_panel(mW(137), duration_s, seed),
+        panel_b=run_panel(mW(300), duration_s, seed),
+    )
+
+
+def render(pair: Fig12Pair) -> str:
+    """Per-second tables for both panels plus comparisons."""
+    parts = []
+    for label, result in (("(a) fg tap = 137 mW", pair.panel_a),
+                          ("(b) fg tap = 300 mW", pair.panel_b)):
+        rows = []
+        times = result.series["A"][0]
+        for second in range(0, len(times), 5):
+            rows.append((
+                f"{times[second]:.0f}s",
+                f"{result.series['A'][1][second] * 1e3:.1f}",
+                f"{result.series['B'][1][second] * 1e3:.1f}",
+            ))
+        parts.append(f"Figure 12 {label} - accounting estimates (mW)")
+        parts.append(format_table(("t", "A", "B"), rows))
+        parts.append(result.summary())
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - console entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,191 @@
+"""Figure 13: uncooperative vs cooperative radio access (§6.4).
+
+Paper: "Two background applications, a pop3 mail and an RSS fetcher,
+each poll every sixty seconds.  a) Since they are not coordinated,
+their use of the radio is staggered, resulting in increased power
+consumption ... b) The same mail and RSS background applications using
+reserves and limits to coordinate their access to the radio data path.
+Enough energy is allocated to each application to turn the radio on
+every two minutes.  By pooling their resources, they are able to turn
+the radio on at most every sixty seconds."
+
+Setup: the RSS fetcher starts at t=0, the mail fetcher 15 s later,
+both with 60 s poll intervals, for 1201 s (Table 1's span).  In the
+cooperative run each app's tap supplies exactly enough to fund a
+(margin-inflated) radio activation every two minutes:
+``1.25 * 9.5 J / 120 s ~= 99 mW``.  (The paper's Figure 8 caption says
+37.5 mW apiece, which cannot fund its own stated "every two minutes"
+activation budget of 9.5 J; we keep the *behavioral* spec — see
+EXPERIMENTS.md.)
+
+Shape targets: staggered activations roughly double active radio time;
+cooperative runs activate once per minute with both apps riding the
+same cycle.
+
+Stagger note: the paper says the mail daemon starts 15 s after the RSS
+daemon, but its Figure 13a trace shows *non-overlapping* staggered
+activations ("neither takes advantage of the other having brought the
+radio out of the low power idle state") — impossible with a 15 s
+offset under a 20 s idle timeout, where the second poll would always
+catch the radio still active.  The uncooperative baseline therefore
+defaults to the anti-phase offset (30 s) that matches the paper's
+observed trace; pass ``uncoop_offset_s=15.0`` for the literal-text
+schedule.  EXPERIMENTS.md discusses the discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.mail import MailConfig, MailStats, mail_fetcher
+from ..apps.rss import RssConfig, RssStats, rss_downloader
+from ..sim.engine import CinderSystem
+from .common import FigureResult, ascii_chart
+
+#: Table 1's experiment length.
+EXPERIMENT_SECONDS = 1201.0
+
+
+@dataclass
+class CoopRun:
+    """Everything one §6.4 run produces."""
+
+    cooperative: bool
+    system: CinderSystem = None  # type: ignore[assignment]
+    mail_stats: MailStats = field(default_factory=MailStats)
+    rss_stats: RssStats = field(default_factory=RssStats)
+    duration_s: float = EXPERIMENT_SECONDS
+
+    # -- Table 1 quantities ---------------------------------------------------------
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.system.meter.total_energy_joules
+
+    @property
+    def active_threshold_w(self) -> float:
+        """Samples above this are 'radio active' (baseline + margin)."""
+        return self.system.model.idle_watts + 0.1
+
+    @property
+    def active_time_s(self) -> float:
+        return self.system.meter.time_above(self.active_threshold_w)
+
+    @property
+    def active_energy_j(self) -> float:
+        return self.system.meter.energy_above(self.active_threshold_w)
+
+    @property
+    def activations(self) -> int:
+        return self.system.radio.activation_count
+
+    @property
+    def polls_completed(self) -> int:
+        return self.mail_stats.polls_completed + self.rss_stats.polls_completed
+
+    def power_trace(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.system.meter.samples()
+
+
+def run_one(cooperative: bool, duration_s: float = EXPERIMENT_SECONDS,
+            seed: int = 13, tick_s: float = 0.01,
+            mail_offset_s: Optional[float] = None) -> CoopRun:
+    """One §6.4 run: cooperative (netd pooling) or unrestricted.
+
+    ``mail_offset_s`` defaults to 15 s (the paper's text) for the
+    cooperative run — pooling makes the offset irrelevant — and to
+    30 s for the uncooperative run, matching the non-overlapping
+    staggered activations of the paper's Figure 13a trace (see the
+    module docstring).
+    """
+    system = CinderSystem(
+        tick_s=tick_s, seed=seed,
+        cooperative_netd=cooperative,
+        unrestricted_netd=not cooperative,
+    )
+    run = CoopRun(cooperative=cooperative, system=system,
+                  duration_s=duration_s)
+
+    if mail_offset_s is None:
+        mail_offset_s = 15.0 if cooperative else 30.0
+    mail_config = MailConfig(start_offset_s=mail_offset_s)
+    rss_config = RssConfig()
+    if cooperative:
+        # "Enough energy ... to turn the radio on every two minutes."
+        per_app_watts = (system.netd.activation_margin
+                         * system.radio.params.activation_cost) / 120.0
+        mail_reserve = system.powered_reserve(per_app_watts, name="mail")
+        rss_reserve = system.powered_reserve(per_app_watts, name="rss")
+    else:
+        mail_reserve = rss_reserve = None
+
+    system.spawn(mail_fetcher(mail_config, run.mail_stats), "mail",
+                 reserve=mail_reserve)
+    system.spawn(rss_downloader(rss_config, run.rss_stats), "rss",
+                 reserve=rss_reserve)
+    system.watch_reserve(system.netd.pool, "netd.pool")
+    system.run(duration_s)
+    system.meter.flush()
+    return run
+
+
+@dataclass
+class Fig13Result(FigureResult):
+    """Both runs side by side."""
+
+    uncoop: CoopRun = None  # type: ignore[assignment]
+    coop: CoopRun = None    # type: ignore[assignment]
+
+
+def run(duration_s: float = EXPERIMENT_SECONDS, seed: int = 13,
+        tick_s: float = 0.01) -> Fig13Result:
+    """Run the Figure 13 pair and compare activation behavior."""
+    result = Fig13Result()
+    result.uncoop = run_one(False, duration_s, seed, tick_s)
+    result.coop = run_one(True, duration_s, seed, tick_s)
+
+    minutes = duration_s / 60.0
+    result.add("uncoop activations / min", 2.0,
+               result.uncoop.activations / minutes,
+               note="staggered: each poll wakes the radio")
+    result.add("coop activations / min", 1.0,
+               result.coop.activations / minutes,
+               note="pooled: both apps ride one cycle")
+    result.add("coop active-time reduction", 0.463,
+               1.0 - result.coop.active_time_s
+               / max(1e-9, result.uncoop.active_time_s),
+               note="paper Table 1: 46.3%")
+    result.add("work parity (polls coop/uncoop)", 1.0,
+               result.coop.polls_completed
+               / max(1, result.uncoop.polls_completed),
+               note="same work in the same time")
+    return result
+
+
+def render(result: Fig13Result) -> str:
+    """Both power traces plus the comparison table."""
+    parts = ["Figure 13 - radio access power traces (1201 s)"]
+    for label, run_ in (("(a) uncooperative", result.uncoop),
+                        ("(b) cooperative", result.coop)):
+        times, watts = run_.power_trace()
+        parts.append(ascii_chart(times, watts, height=8,
+                                 title=f"{label}: system power", unit="W"))
+        parts.append(
+            f"    activations={run_.activations} "
+            f"active={run_.active_time_s:.0f}s "
+            f"energy={run_.total_energy_j:.0f}J "
+            f"polls={run_.polls_completed}")
+    parts.append("")
+    parts.append(result.summary())
+    return "\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - console entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

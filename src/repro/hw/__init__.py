@@ -1,0 +1,15 @@
+"""The HTC Dream hardware substrate (paper §4.1, §7).
+
+A two-core MSM7201A chipset simulation: a closed ARM9 owning the radio
+and battery sensor, a shared-memory mailbox, and the user-level smdd
+and rild daemons that export ARM9 services as HiStar gates.
+"""
+
+from .msm7201a import ClosedArm9, Msm7201a, SharedMemoryMailbox
+from .rild import RilStats, RildDaemon
+from .smdd import SmddDaemon
+
+__all__ = [
+    "ClosedArm9", "Msm7201a", "SharedMemoryMailbox",
+    "RilStats", "RildDaemon", "SmddDaemon",
+]

@@ -1,0 +1,155 @@
+"""The MSM7201A two-core chipset (paper §4.1, §7, Figures 2/15/16).
+
+"The MSM7201A chipset includes two cores: the ARM11 runs application
+code (Cinder), while a secure ARM9 controls the radio and other
+sensitive features.  Accessing these features requires communicating
+between the cores using a combination of shared memory and interrupt
+lines."
+
+The structural constraints the paper works around are enforced here:
+
+* the ARM9 is **closed** — the ARM11 side can only send it commands
+  over the mailbox; there is no command to change the radio's 20 s
+  inactivity timeout ("Because the ARM9 is closed, Cinder cannot
+  change this inactivity timeout", §4.3);
+* the battery sensor is ARM9-owned and reports only an **integer from
+  0 to 100** (§4.1).
+
+The mailbox rides a real :class:`~repro.kernel.segment.Segment`, as on
+the hardware, and smdd maps that segment to export gate services.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..energy.battery import Battery
+from ..errors import HardwareError
+from ..kernel.segment import Segment
+from ..net.radio import RadioDevice
+
+#: Mailbox framing: a 4-byte big-endian length prefix, then JSON.
+_LEN_BYTES = 4
+
+
+class SharedMemoryMailbox:
+    """The shared segment + interrupt line between the two cores."""
+
+    def __init__(self, segment: Optional[Segment] = None) -> None:
+        self.segment = segment if segment is not None else Segment(
+            size=4096, name="smd.shared")
+        self._request_ready = False
+        self._reply_ready = False
+
+    # -- ARM11 side -----------------------------------------------------------------
+
+    def post_request(self, message: Dict[str, Any]) -> None:
+        """Write a command and raise the 'interrupt'."""
+        if self._request_ready:
+            raise HardwareError("mailbox busy: previous request unserviced")
+        payload = json.dumps(message).encode()
+        if len(payload) + _LEN_BYTES > self.segment.size:
+            raise HardwareError(
+                f"mailbox overflow: {len(payload)} byte message")
+        self.segment.write(len(payload).to_bytes(_LEN_BYTES, "big"), 0)
+        self.segment.write(payload, _LEN_BYTES)
+        self._request_ready = True
+        self._reply_ready = False
+
+    def read_reply(self) -> Dict[str, Any]:
+        """Collect the ARM9's answer."""
+        if not self._reply_ready:
+            raise HardwareError("no reply pending")
+        self._reply_ready = False
+        return self._read()
+
+    # -- ARM9 side --------------------------------------------------------------------
+
+    def take_request(self) -> Dict[str, Any]:
+        """ARM9 interrupt handler: consume the pending command."""
+        if not self._request_ready:
+            raise HardwareError("no request pending")
+        self._request_ready = False
+        return self._read()
+
+    def post_reply(self, message: Dict[str, Any]) -> None:
+        """ARM9 writes its answer back."""
+        payload = json.dumps(message).encode()
+        self.segment.write(len(payload).to_bytes(_LEN_BYTES, "big"), 0)
+        self.segment.write(payload, _LEN_BYTES)
+        self._reply_ready = True
+
+    def _read(self) -> Dict[str, Any]:
+        length = int.from_bytes(self.segment.read(0, _LEN_BYTES), "big")
+        return json.loads(self.segment.read(_LEN_BYTES, length).decode())
+
+
+class ClosedArm9:
+    """The secure coprocessor: radio, battery sensor, (stub) GPS.
+
+    Its command set is *fixed*; anything else returns an error reply,
+    never an exception into the caller — the real firmware does not
+    crash because Cinder asked nicely.
+    """
+
+    COMMANDS = ("radio_tx", "radio_status", "battery_level", "gps_fix",
+                "sms_send")
+
+    def __init__(self, radio: RadioDevice, battery: Battery,
+                 clock: Callable[[], float]) -> None:
+        self.radio = radio
+        self.battery = battery
+        self._clock = clock
+        self.sms_sent = 0
+
+    def handle(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Service one mailbox command."""
+        name = command.get("cmd")
+        now = self._clock()
+        if name == "radio_tx":
+            nbytes = int(command.get("nbytes", 0))
+            npackets = int(command.get("npackets", 0))
+            owner = str(command.get("owner", ""))
+            transfer = self.radio.begin_transfer(now, nbytes, npackets,
+                                                 owner=owner)
+            return {"ok": True, "done_at": transfer.end}
+        if name == "radio_status":
+            return {"ok": True, "active": self.radio.is_active(),
+                    "activations": self.radio.activation_count}
+        if name == "battery_level":
+            # The famous integer 0..100 — all you get (§4.1).
+            return {"ok": True, "level": self.battery.gauge()}
+        if name == "gps_fix":
+            return {"ok": True, "lat": 37.4275, "lon": -122.1697,
+                    "source": "stub"}
+        if name == "sms_send":
+            self.sms_sent += 1
+            return {"ok": True, "queued": self.sms_sent}
+        if name == "set_radio_timeout":
+            # Deliberately rejected: the timeout is firmware-fixed (§4.3).
+            return {"ok": False, "error": "unsupported command"}
+        return {"ok": False, "error": f"unknown command {name!r}"}
+
+
+@dataclass
+class Msm7201a:
+    """The assembled chipset: mailbox + closed coprocessor."""
+
+    mailbox: SharedMemoryMailbox
+    arm9: ClosedArm9
+
+    @classmethod
+    def build(cls, radio: RadioDevice, battery: Battery,
+              clock: Callable[[], float]) -> "Msm7201a":
+        """Wire a chipset around existing radio/battery models."""
+        return cls(mailbox=SharedMemoryMailbox(),
+                   arm9=ClosedArm9(radio, battery, clock))
+
+    def call(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """One full ARM11 -> ARM9 -> ARM11 round trip."""
+        self.mailbox.post_request(command)
+        request = self.mailbox.take_request()
+        self.mailbox.post_reply(self.arm9.handle(request))
+        return self.mailbox.read_reply()

@@ -1,0 +1,82 @@
+"""rild: the radio interface layer daemon (paper §7, Figure 16).
+
+On Android the RIL is an open generic library plus a closed,
+binary-only ``libril.so``; Cinder had to run the blob behind a
+compatibility shim.  Structurally, rild sits between consumers (netd,
+the dialer) and smdd: it translates radio-level requests (dial, SMS,
+data) into mailbox commands, and exports its own gates.
+
+In this reproduction rild demonstrates the full §5.5.1 billing chain:
+``app thread -> netd gate -> rild gate -> smdd gate -> ARM9``, with
+every hop executing on the app's thread and charging the app's
+reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import HardwareError, NetworkError
+from ..kernel.address_space import AddressSpace
+from ..kernel.gate import Gate
+from ..kernel.kernel import Kernel
+from ..kernel.thread_obj import Thread
+from .smdd import SmddDaemon
+
+#: Marshalling cost per RIL request, billed to the caller.
+RILD_CALL_CPU_S = 0.0005
+
+
+@dataclass
+class RilStats:
+    """What the daemon has done so far."""
+
+    data_calls: int = 0
+    sms_sent: int = 0
+    voice_calls: int = 0
+    status_queries: int = 0
+
+
+class RildDaemon:
+    """The RIL front-end: gates for data, SMS, voice, status."""
+
+    def __init__(self, kernel: Kernel, smdd: SmddDaemon,
+                 cpu_watts: float) -> None:
+        self.kernel = kernel
+        self.smdd = smdd
+        self.cpu_watts = cpu_watts
+        self.space: AddressSpace = kernel.create_address_space(name="rild")
+        self.gate: Gate = kernel.create_gate(
+            self._service, target_space=self.space, name="rild.request")
+        self.stats = RilStats()
+
+    def _service(self, thread: Thread, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict) or "op" not in request:
+            raise HardwareError("rild expects an {'op': ...} dict")
+        thread.charge(self.cpu_watts * RILD_CALL_CPU_S)
+        op = request["op"]
+        if op == "data_tx":
+            self.stats.data_calls += 1
+            return self.smdd.call(thread, {
+                "cmd": "radio_tx",
+                "nbytes": int(request.get("nbytes", 0)),
+                "npackets": int(request.get("npackets", 0)),
+            })
+        if op == "sms":
+            self.stats.sms_sent += 1
+            return self.smdd.call(thread, {"cmd": "sms_send"})
+        if op == "dial":
+            # Voice works, "but as it does not yet have a port of the
+            # audio library, calls are silent" (§7).
+            self.stats.voice_calls += 1
+            return {"ok": True, "audio": "silent",
+                    "number": request.get("number", "")}
+        if op == "status":
+            self.stats.status_queries += 1
+            return self.smdd.call(thread, {"cmd": "radio_status"})
+        raise NetworkError(f"rild: unknown op {op!r}")
+
+    def request(self, thread: Thread, op: Dict[str, Any]) -> Dict[str, Any]:
+        """Issue a RIL request through the gate (caller is billed)."""
+        return self.gate.call(thread, op)

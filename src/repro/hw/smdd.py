@@ -1,0 +1,58 @@
+"""smdd: the user-level shared-memory daemon (paper §7, Figure 16).
+
+"We first mapped the shared memory segment into a privileged
+user-level process and ported the Android Linux kernel's shared memory
+device to userspace.  This daemon, smdd, exports ARM9 services via
+gate calls to other consumers, including the radio interface library."
+
+smdd is the *only* process that touches the mailbox segment; everyone
+else goes through its gate.  Because gate callers execute the service
+with their own active reserve, the energy cost of poking the ARM9 is
+billed to whichever application ultimately asked — the §5.5.1
+accounting property, demonstrated end-to-end in the hw tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import HardwareError
+from ..kernel.address_space import AddressSpace
+from ..kernel.gate import Gate
+from ..kernel.kernel import Kernel
+from ..kernel.thread_obj import Thread
+from .msm7201a import Msm7201a
+
+#: Nominal CPU seconds of marshalling per mailbox round trip; billed
+#: to the calling thread's reserve through ``thread.charge``.
+SMDD_CALL_CPU_S = 0.0005
+
+
+class SmddDaemon:
+    """Exports the ARM9 command set as a single gate service."""
+
+    def __init__(self, kernel: Kernel, chipset: Msm7201a,
+                 cpu_watts: float) -> None:
+        self.kernel = kernel
+        self.chipset = chipset
+        self.cpu_watts = cpu_watts
+        #: smdd's own address space; gate callers enter it (Figure 16).
+        self.space: AddressSpace = kernel.create_address_space(name="smdd")
+        self.space.map_segment(self.chipset.mailbox.segment, 0x1000_0000)
+        self.gate: Gate = kernel.create_gate(
+            self._service, target_space=self.space, name="smdd.call")
+        self.calls = 0
+
+    def _service(self, thread: Thread, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict) or "cmd" not in request:
+            raise HardwareError("smdd expects a {'cmd': ...} dict")
+        # Marshalling work happens on the *caller's* thread, in smdd's
+        # address space — so the caller pays for it (§5.5.1).
+        thread.charge(self.cpu_watts * SMDD_CALL_CPU_S)
+        self.calls += 1
+        return self.chipset.call(dict(request, owner=thread.name))
+
+    def call(self, thread: Thread, command: Dict[str, Any]
+             ) -> Dict[str, Any]:
+        """Convenience wrapper: go through the gate properly."""
+        return self.gate.call(thread, command)

@@ -1,0 +1,27 @@
+"""HiStar-style kernel substrate: objects, labels, containers, gates.
+
+Cinder extends HiStar (Zeldovich et al., OSDI 2006) with two new kernel
+object types; this subpackage provides the six originals plus the
+label machinery and the gate-call IPC whose caller-pays billing Cinder
+relies on (paper §3.1, §5.5.1).
+"""
+
+from .address_space import AddressSpace, Mapping
+from .container import Container
+from .device import Device
+from .gate import Gate
+from .kernel import Kernel
+from .labels import (Category, Label, NO_PRIVILEGES, PUBLIC, PrivilegeSet,
+                     can_modify, can_observe, can_use_reserve,
+                     fresh_category)
+from .objects import KernelObject, ObjRef, ObjectType
+from .segment import Segment
+from .thread_obj import Thread, ThreadState
+
+__all__ = [
+    "AddressSpace", "Mapping", "Container", "Device", "Gate", "Kernel",
+    "Category", "Label", "NO_PRIVILEGES", "PUBLIC", "PrivilegeSet",
+    "can_modify", "can_observe", "can_use_reserve", "fresh_category",
+    "KernelObject", "ObjRef", "ObjectType", "Segment", "Thread",
+    "ThreadState",
+]

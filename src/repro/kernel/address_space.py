@@ -1,0 +1,78 @@
+"""Address spaces: mappings from virtual regions to segments.
+
+A HiStar *process* is a convention: a container holding an address
+space and one or more threads (paper §7.1).  Gate calls move a thread
+*between* address spaces, which is the hinge of Cinder's IPC billing:
+the thread keeps its own reserves while running the server's code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ObjectError
+from .labels import Label
+from .objects import KernelObject, ObjectType
+from .segment import Segment
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One virtual region backed by a segment."""
+
+    va: int
+    segment: Segment
+    writable: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.va + self.segment.size
+
+
+class AddressSpace(KernelObject):
+    """An ordered set of non-overlapping segment mappings."""
+
+    TYPE = ObjectType.ADDRESS_SPACE
+
+    def __init__(self, label: Optional[Label] = None, name: str = "") -> None:
+        super().__init__(label=label, name=name)
+        self._mappings: List[Mapping] = []
+
+    def map_segment(self, segment: Segment, va: int,
+                    writable: bool = True) -> Mapping:
+        """Map ``segment`` at virtual address ``va``."""
+        self.ensure_alive()
+        segment.ensure_alive()
+        new = Mapping(va, segment, writable)
+        for existing in self._mappings:
+            if new.va < existing.end and existing.va < new.end:
+                raise ObjectError(
+                    f"mapping at {va:#x} overlaps existing at {existing.va:#x}")
+        self._mappings.append(new)
+        self._mappings.sort(key=lambda m: m.va)
+        return new
+
+    def unmap(self, va: int) -> None:
+        """Remove the mapping starting exactly at ``va``."""
+        self.ensure_alive()
+        for index, mapping in enumerate(self._mappings):
+            if mapping.va == va:
+                del self._mappings[index]
+                return
+        raise ObjectError(f"no mapping at {va:#x}")
+
+    def resolve(self, va: int) -> Mapping:
+        """The mapping covering ``va``."""
+        self.ensure_alive()
+        for mapping in self._mappings:
+            if mapping.va <= va < mapping.end:
+                return mapping
+        raise ObjectError(f"fault: no mapping covers {va:#x}")
+
+    def mappings(self) -> List[Mapping]:
+        """All mappings, sorted by virtual address."""
+        return list(self._mappings)
+
+    def on_delete(self) -> None:
+        self._mappings.clear()

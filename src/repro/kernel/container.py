@@ -1,0 +1,123 @@
+"""Containers: hierarchical ownership and garbage collection.
+
+Containers are HiStar's answer to resource revocation (paper §3.1):
+every kernel object must be referenced by a container or it is garbage
+collected, and deleting a container recursively deletes everything
+under it.  The paper leans on this for taps: "When a particular page is
+no longer being handled ... the taps associated with that page can be
+automatically garbage collected, effectively revoking those power
+sources" (§5.2), and for reserves: "reserves can be deleted directly or
+indirectly when some ancestor of their container is deleted" (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ContainerError, NoSuchObjectError
+from .labels import Label
+from .objects import KernelObject, ObjectType
+
+
+class Container(KernelObject):
+    """A kernel object that holds references to other kernel objects."""
+
+    TYPE = ObjectType.CONTAINER
+
+    def __init__(self, label: Optional[Label] = None, name: str = "",
+                 quota: Optional[int] = None) -> None:
+        super().__init__(label=label, name=name)
+        #: object id -> object, in insertion order.
+        self._entries: Dict[int, KernelObject] = {}
+        #: Optional cap on the number of directly-held entries.
+        self.quota = quota
+
+    # -- membership ----------------------------------------------------------
+
+    def put(self, obj: KernelObject) -> None:
+        """Place ``obj`` into this container.
+
+        An object lives in exactly one container; re-parenting requires
+        an explicit :meth:`remove` first.
+        """
+        self.ensure_alive()
+        obj.ensure_alive()
+        if obj.object_id in self._entries:
+            raise ContainerError(
+                f"object {obj.object_id} already in container {self.object_id}")
+        if obj.parent_container_id not in (0, self.object_id):
+            raise ContainerError(
+                f"object {obj.object_id} already owned by container "
+                f"{obj.parent_container_id}")
+        if self.quota is not None and len(self._entries) >= self.quota:
+            raise ContainerError(
+                f"container {self.object_id} quota ({self.quota}) exhausted")
+        if obj is self:
+            raise ContainerError("container cannot contain itself")
+        self._entries[obj.object_id] = obj
+        obj.parent_container_id = self.object_id
+
+    def remove(self, object_id: int) -> KernelObject:
+        """Unlink an object without deleting it (caller must re-home it)."""
+        self.ensure_alive()
+        try:
+            obj = self._entries.pop(object_id)
+        except KeyError:
+            raise NoSuchObjectError(
+                f"object {object_id} not in container {self.object_id}")
+        obj.parent_container_id = 0
+        return obj
+
+    def get(self, object_id: int) -> KernelObject:
+        """Look up a live direct member by id."""
+        self.ensure_alive()
+        obj = self._entries.get(object_id)
+        if obj is None or not obj.alive:
+            raise NoSuchObjectError(
+                f"object {object_id} not in container {self.object_id}")
+        return obj
+
+    def contains(self, object_id: int) -> bool:
+        """True if a live object with ``object_id`` is a direct member."""
+        obj = self._entries.get(object_id)
+        return obj is not None and obj.alive
+
+    def members(self) -> List[KernelObject]:
+        """Live direct members, in insertion order."""
+        return [obj for obj in self._entries.values() if obj.alive]
+
+    def __len__(self) -> int:
+        return len(self.members())
+
+    def __iter__(self) -> Iterator[KernelObject]:
+        return iter(self.members())
+
+    # -- recursive deletion ---------------------------------------------------
+
+    def on_delete(self) -> None:
+        """Recursively delete everything this container references."""
+        for obj in list(self._entries.values()):
+            obj.mark_dead()
+        self._entries.clear()
+
+    def delete_member(self, object_id: int) -> None:
+        """Delete a direct member (and, recursively, its subtree)."""
+        obj = self.get(object_id)
+        del self._entries[object_id]
+        obj.mark_dead()
+
+    # -- traversal -------------------------------------------------------------
+
+    def walk(self) -> Iterator[KernelObject]:
+        """Depth-first iteration over the live subtree, self first."""
+        self.ensure_alive()
+        yield self
+        for obj in self.members():
+            if isinstance(obj, Container):
+                yield from obj.walk()
+            else:
+                yield obj
+
+    def find_all(self, object_type: ObjectType) -> List[KernelObject]:
+        """All live objects of ``object_type`` in the subtree."""
+        return [obj for obj in self.walk() if obj.TYPE is object_type]

@@ -1,0 +1,59 @@
+"""Device kernel objects.
+
+A device wraps one power-drawing hardware component (CPU, backlight,
+radio, GPS...).  The *power meaning* of its states lives in
+:mod:`repro.energy.states`; the kernel object only tracks which state
+the component is in and for how long, which is exactly the information
+the paper's state-based energy model consumes (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import HardwareError
+from .labels import Label
+from .objects import KernelObject, ObjectType
+
+
+class Device(KernelObject):
+    """A hardware component with named power states."""
+
+    TYPE = ObjectType.DEVICE
+
+    def __init__(self, component: str, initial_state: str,
+                 label: Optional[Label] = None, name: str = "") -> None:
+        super().__init__(label=label, name=name or component)
+        self.component = component
+        self._state = initial_state
+        #: Cumulative seconds spent in each state.
+        self.state_durations: Dict[str, float] = {initial_state: 0.0}
+        #: Number of transitions into each state.
+        self.entry_counts: Dict[str, int] = {initial_state: 1}
+
+    @property
+    def state(self) -> str:
+        """Current power state name."""
+        return self._state
+
+    def set_state(self, new_state: str) -> None:
+        """Transition to ``new_state`` (no-op if already there)."""
+        self.ensure_alive()
+        if not new_state:
+            raise HardwareError("device state must be a non-empty string")
+        if new_state == self._state:
+            return
+        self._state = new_state
+        self.state_durations.setdefault(new_state, 0.0)
+        self.entry_counts[new_state] = self.entry_counts.get(new_state, 0) + 1
+
+    def accumulate(self, dt: float) -> None:
+        """Account ``dt`` seconds in the current state."""
+        if dt < 0:
+            raise HardwareError("cannot accumulate negative time")
+        self.state_durations[self._state] = (
+            self.state_durations.get(self._state, 0.0) + dt)
+
+    def time_in(self, state: str) -> float:
+        """Total seconds spent in ``state`` so far."""
+        return self.state_durations.get(state, 0.0)

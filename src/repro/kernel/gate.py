@@ -1,0 +1,92 @@
+"""Gates: protected control transfer, and the billing trick behind netd.
+
+A gate is "a named entry point in an address space" (paper §5.5.1).
+Unlike message-passing IPC, *the calling thread itself* enters the
+server's address space and runs the server's code.  Because Cinder
+bills consumption to the running thread's active reserve, the caller
+pays for everything the service does on its behalf — no message
+tracking or heuristic attribution needed.  Section 7.1 contrasts this
+with Linux, where a daemon reading a pipe cannot even tell who wrote
+the request.
+
+In simulation a gate binds a Python callable ``service(thread,
+request) -> response``.  While the callable runs, the thread's current
+address space is the server's, its active reserve is unchanged, and
+any ``thread.charge(...)`` lands on the caller — tests assert exactly
+this property.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import GateError
+from .address_space import AddressSpace
+from .labels import (Label, NO_PRIVILEGES, PrivilegeSet, check_observe)
+from .objects import KernelObject, ObjectType
+from .thread_obj import Thread
+
+ServiceFn = Callable[[Thread, Any], Any]
+
+
+class Gate(KernelObject):
+    """A named, label-protected entry point into an address space."""
+
+    TYPE = ObjectType.GATE
+
+    def __init__(
+        self,
+        service: ServiceFn,
+        target_space: Optional[AddressSpace] = None,
+        label: Optional[Label] = None,
+        grants: PrivilegeSet = NO_PRIVILEGES,
+        name: str = "",
+        max_depth: int = 32,
+    ) -> None:
+        super().__init__(label=label, name=name)
+        self.service = service
+        self.target_space = target_space
+        #: Privileges temporarily granted to threads while inside the gate
+        #: (HiStar gates can carry privilege; netd uses this to touch its
+        #: pooled reserve on behalf of callers).
+        self.grants = grants
+        self.max_depth = max_depth
+        #: Statistics: number of completed calls through this gate.
+        self.call_count: int = 0
+
+    def call(self, thread: Thread, request: Any = None) -> Any:
+        """Run the service as ``thread`` — billing stays with the caller.
+
+        Raises :class:`~repro.errors.LabelError` if the thread may not
+        observe the gate (you cannot jump through a gate you cannot
+        name), and :class:`GateError` on runaway recursion.
+        """
+        self.ensure_alive()
+        thread.ensure_alive()
+        check_observe(thread.label, thread.privileges, self.label,
+                      what=f"gate {self.name!r}")
+        if thread.gate_depth >= self.max_depth:
+            raise GateError(
+                f"gate {self.name!r}: call depth {thread.gate_depth} "
+                f"exceeds limit {self.max_depth}")
+
+        entered = False
+        original_privs = thread.privileges
+        if self.target_space is not None:
+            thread.enter_space(self.target_space)
+            entered = True
+        if len(self.grants):
+            thread.privileges = thread.privileges.union(self.grants)
+        try:
+            response = self.service(thread, request)
+        finally:
+            thread.privileges = original_privs
+            if entered:
+                thread.exit_space()
+        self.call_count += 1
+        return response
+
+    def on_delete(self) -> None:
+        # A dead gate keeps its statistics but can no longer be called
+        # (ensure_alive in call()).
+        pass

@@ -1,0 +1,232 @@
+"""The kernel facade: object table, containers, and creation services.
+
+This ties the HiStar object zoo together with Cinder's resource graph.
+One :class:`Kernel` owns:
+
+* the root container (everything lives under it, so deleting a subtree
+  revokes reserves and taps exactly as §3.2/§5.2 describe);
+* one :class:`~repro.core.graph.ResourceGraph` per resource kind, the
+  energy graph rooted at the battery reserve;
+* the object table mapping ids to live objects, used by the
+  Figure 5-style syscall layer in :mod:`repro.kernel.syscalls`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..errors import NoSuchObjectError, ObjectTypeError
+from .address_space import AddressSpace
+from .container import Container
+from .device import Device
+from .gate import Gate, ServiceFn
+from .labels import Label, NO_PRIVILEGES, PrivilegeSet
+from .objects import KernelObject, ObjRef, ObjectType
+from .segment import Segment
+from .thread_obj import Thread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.graph import ResourceGraph
+    from ..core.reserve import Reserve
+    from ..core.tap import Tap, TapType
+
+
+class Kernel:
+    """A single simulated Cinder kernel instance."""
+
+    def __init__(self, battery_joules: float,
+                 battery_capacity: Optional[float] = None) -> None:
+        # Imported here, not at module scope: the core package's
+        # objects subclass KernelObject, so core imports this package
+        # and a module-level import would be circular.
+        from ..core.graph import ResourceGraph
+        from ..core.reserve import ENERGY
+
+        self.root_container = Container(name="root")
+        self._objects: Dict[int, KernelObject] = {
+            self.root_container.object_id: self.root_container}
+        #: Resource graphs by kind; energy always exists.
+        self.graphs: Dict[str, "ResourceGraph"] = {
+            ENERGY: ResourceGraph(battery_joules, kind=ENERGY,
+                                  root_capacity=battery_capacity),
+        }
+        self._energy_kind = ENERGY
+        self._register(self.energy_graph.root, self.root_container)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    @property
+    def energy_graph(self) -> "ResourceGraph":
+        """The graph rooted at the battery."""
+        return self.graphs[self._energy_kind]
+
+    @property
+    def battery(self) -> "Reserve":
+        """The root reserve (the system battery, §3.4)."""
+        return self.energy_graph.root
+
+    def add_graph(self, kind: str, graph: "ResourceGraph") -> None:
+        """Register a graph for another resource kind (§9 quotas)."""
+        self.graphs[kind] = graph
+        self._register(graph.root, self.root_container)
+
+    def _register(self, obj: KernelObject, container: Container) -> KernelObject:
+        self._objects[obj.object_id] = obj
+        if obj.parent_container_id == 0 and obj is not self.root_container:
+            container.put(obj)
+        return obj
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get_object(self, object_id: int) -> KernelObject:
+        """Resolve a bare object id to a live object."""
+        obj = self._objects.get(object_id)
+        if obj is None or not obj.alive:
+            raise NoSuchObjectError(f"object {object_id} does not exist")
+        return obj
+
+    def get_container(self, container_id: int) -> Container:
+        """Resolve an id that must name a live container."""
+        obj = self.get_object(container_id)
+        if not isinstance(obj, Container):
+            raise ObjectTypeError(f"object {container_id} is not a container")
+        return obj
+
+    def resolve(self, ref: ObjRef,
+                expected: Optional[ObjectType] = None) -> KernelObject:
+        """Resolve an ``OBJREF(container, object)`` pair.
+
+        The object must actually be reachable through the named
+        container — that is what makes ObjRefs revocable handles.
+        """
+        container = self.get_container(ref.container_id)
+        obj = container.get(ref.object_id)
+        if expected is not None and obj.TYPE is not expected:
+            raise ObjectTypeError(
+                f"object {ref.object_id} is a {obj.TYPE.value}, "
+                f"expected {expected.value}")
+        return obj
+
+    def ref_for(self, obj: KernelObject) -> ObjRef:
+        """The canonical ObjRef for an object (via its parent container)."""
+        return ObjRef(obj.parent_container_id or
+                      self.root_container.object_id, obj.object_id)
+
+    # -- creation services ----------------------------------------------------------
+
+    def create_container(self, parent: Optional[Container] = None,
+                         label: Optional[Label] = None, name: str = "",
+                         quota: Optional[int] = None) -> Container:
+        """Create a container under ``parent`` (root by default)."""
+        container = Container(label=label, name=name, quota=quota)
+        self._register(container,
+                       parent if parent is not None else self.root_container)
+        return container
+
+    def create_reserve(self, container: Optional[Container] = None,
+                       label: Optional[Label] = None, name: str = "",
+                       kind: Optional[str] = None,
+                       decay_exempt: bool = False) -> "Reserve":
+        """Create an empty reserve in the given kind's graph."""
+        graph = self.graphs[kind if kind is not None else self._energy_kind]
+        reserve = graph.create_reserve(name=name, label=label,
+                                       decay_exempt=decay_exempt)
+        self._register(reserve, container if container is not None else self.root_container)
+        return reserve
+
+    def create_tap(self, source: "Reserve", sink: "Reserve",
+                   rate: float = 0.0,
+                   tap_type: Optional["TapType"] = None,
+                   container: Optional[Container] = None,
+                   label: Optional[Label] = None,
+                   privileges: PrivilegeSet = NO_PRIVILEGES,
+                   name: str = "", kind: Optional[str] = None) -> "Tap":
+        """Create a tap in the given kind's graph."""
+        from ..core.tap import TapType as ConcreteTapType
+
+        graph = self.graphs[kind if kind is not None else self._energy_kind]
+        tap = graph.create_tap(
+            source, sink, rate,
+            tap_type if tap_type is not None else ConcreteTapType.CONST,
+            name=name, label=label, privileges=privileges)
+        self._register(tap, container if container is not None else self.root_container)
+        return tap
+
+    def create_thread(self, container: Optional[Container] = None,
+                      label: Optional[Label] = None,
+                      privileges: PrivilegeSet = NO_PRIVILEGES,
+                      name: str = "") -> Thread:
+        """Create a kernel thread object."""
+        thread = Thread(label=label, privileges=privileges, name=name)
+        self._register(thread, container if container is not None else self.root_container)
+        return thread
+
+    def create_segment(self, size: int = 0,
+                       container: Optional[Container] = None,
+                       label: Optional[Label] = None,
+                       name: str = "") -> Segment:
+        """Create a segment."""
+        segment = Segment(size=size, label=label, name=name)
+        self._register(segment, container if container is not None else self.root_container)
+        return segment
+
+    def create_address_space(self, container: Optional[Container] = None,
+                             label: Optional[Label] = None,
+                             name: str = "") -> AddressSpace:
+        """Create an address space."""
+        space = AddressSpace(label=label, name=name)
+        self._register(space, container if container is not None else self.root_container)
+        return space
+
+    def create_gate(self, service: ServiceFn,
+                    target_space: Optional[AddressSpace] = None,
+                    container: Optional[Container] = None,
+                    label: Optional[Label] = None,
+                    grants: PrivilegeSet = NO_PRIVILEGES,
+                    name: str = "") -> Gate:
+        """Create a gate bound to ``service``."""
+        gate = Gate(service, target_space=target_space, label=label,
+                    grants=grants, name=name)
+        self._register(gate, container if container is not None else self.root_container)
+        return gate
+
+    def create_device(self, component: str, initial_state: str,
+                      container: Optional[Container] = None,
+                      label: Optional[Label] = None,
+                      name: str = "") -> Device:
+        """Create a device object."""
+        device = Device(component, initial_state, label=label, name=name)
+        self._register(device, container if container is not None else self.root_container)
+        return device
+
+    # -- deletion --------------------------------------------------------------------
+
+    def delete(self, ref: ObjRef) -> None:
+        """Delete an object (recursively, for containers) via its ref."""
+        from ..core.reserve import Reserve
+        from ..core.tap import Tap
+
+        container = self.get_container(ref.container_id)
+        obj = container.get(ref.object_id)
+        if isinstance(obj, Reserve):
+            for graph in self.graphs.values():
+                if obj in graph.reserves:
+                    graph.delete_reserve(obj)
+                    break
+            if container.contains(ref.object_id):
+                container.remove(ref.object_id)
+            obj.mark_dead()
+        elif isinstance(obj, Tap):
+            for graph in self.graphs.values():
+                if obj in graph.taps:
+                    graph.delete_tap(obj)
+                    break
+            if container.contains(ref.object_id):
+                container.remove(ref.object_id)
+            obj.mark_dead()
+        else:
+            container.delete_member(ref.object_id)
+        # A recursive container delete may have killed reserves and taps;
+        # keep the graph registries consistent with the object tree.
+        for graph in self.graphs.values():
+            graph.sweep_dead()

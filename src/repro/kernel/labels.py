@@ -1,0 +1,259 @@
+"""HiStar-style security labels.
+
+Every Cinder kernel object — including the new reserve and tap types —
+carries a *label* (paper §3.1, §3.5).  A label maps *categories* (opaque
+identifiers, allocated at runtime) to *levels* 0..3, with a default
+level for unlisted categories.  Threads additionally *own* categories,
+written ``*`` in HiStar notation; ownership lets a thread bypass the
+level comparison for that category.
+
+The checks Cinder layers on top (paper §3.5):
+
+* **observe**  — information flows object → thread, so the object's
+  label must flow to the thread's clearance.
+* **modify**   — information flows thread → object.
+* **use** (reserves) — requires both observe *and* modify: a failed
+  consume reveals the level (observe) and a successful one changes it
+  (modify).
+
+Taps embed privileges (a set of owned categories) so that a tap may
+move energy between two reserves its creator could access, even when
+later users of the graph cannot (§3.5 "taps can have privileges
+embedded in them").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional
+
+from ..errors import LabelError
+
+#: Levels are small ints.  3 is "most tainted/secret", 0 is "most public".
+MIN_LEVEL = 0
+MAX_LEVEL = 3
+DEFAULT_LEVEL = 1
+
+_category_counter = itertools.count(1)
+
+
+def fresh_category(name: str = "") -> "Category":
+    """Allocate a new, globally unique category."""
+    return Category(next(_category_counter), name)
+
+
+def reset_category_counter() -> None:
+    """Reset category ids (test isolation only)."""
+    global _category_counter
+    _category_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Category:
+    """An opaque protection domain identifier.
+
+    Real HiStar categories are 61-bit random numbers; sequential ints
+    are fine in simulation and make failures reproducible.
+    """
+
+    ident: int
+    name: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.name:
+            return f"Category({self.ident}:{self.name})"
+        return f"Category({self.ident})"
+
+
+class Label:
+    """An immutable mapping from categories to levels with a default.
+
+    Instances are value objects: hashable, comparable, and safe to
+    share between kernel objects.
+    """
+
+    __slots__ = ("_levels", "_default")
+
+    def __init__(
+        self,
+        levels: Optional[Dict[Category, int]] = None,
+        default: int = DEFAULT_LEVEL,
+    ) -> None:
+        if not MIN_LEVEL <= default <= MAX_LEVEL:
+            raise LabelError(f"default level {default} out of range")
+        cleaned: Dict[Category, int] = {}
+        for category, level in (levels or {}).items():
+            if not isinstance(category, Category):
+                raise LabelError(f"label keys must be Category, got {category!r}")
+            if not MIN_LEVEL <= level <= MAX_LEVEL:
+                raise LabelError(f"level {level} out of range for {category!r}")
+            if level != default:  # normalize: never store the default
+                cleaned[category] = level
+        self._levels: Dict[Category, int] = cleaned
+        self._default = default
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def default(self) -> int:
+        """Level assigned to categories not explicitly listed."""
+        return self._default
+
+    def level_of(self, category: Category) -> int:
+        """The level of ``category`` under this label."""
+        return self._levels.get(category, self._default)
+
+    def categories(self) -> FrozenSet[Category]:
+        """Categories explicitly mentioned (level differs from default)."""
+        return frozenset(self._levels)
+
+    def items(self) -> Iterator[tuple]:
+        """Iterate explicit (category, level) pairs."""
+        return iter(self._levels.items())
+
+    # -- lattice operations --------------------------------------------------
+
+    def can_flow_to(
+        self,
+        other: "Label",
+        privileges: Iterable[Category] = (),
+    ) -> bool:
+        """True if information may flow ``self`` -> ``other``.
+
+        Holds iff for every category ``c`` not in ``privileges``,
+        ``self(c) <= other(c)``.  Owned categories are exempt — that is
+        HiStar's ``*``.
+        """
+        owned = frozenset(privileges)
+        for category in self.categories() | other.categories():
+            if category in owned:
+                continue
+            if self.level_of(category) > other.level_of(category):
+                return False
+        if self._default > other._default:
+            # Some unmentioned category would violate the flow unless the
+            # privilege set is unbounded (it never is here).
+            return False
+        return True
+
+    def join(self, other: "Label") -> "Label":
+        """Least upper bound: category-wise max (taint accumulation)."""
+        default = max(self._default, other._default)
+        levels = {
+            category: max(self.level_of(category), other.level_of(category))
+            for category in self.categories() | other.categories()
+        }
+        return Label(levels, default)
+
+    def meet(self, other: "Label") -> "Label":
+        """Greatest lower bound: category-wise min."""
+        default = min(self._default, other._default)
+        levels = {
+            category: min(self.level_of(category), other.level_of(category))
+            for category in self.categories() | other.categories()
+        }
+        return Label(levels, default)
+
+    def with_level(self, category: Category, level: int) -> "Label":
+        """A copy of this label with one category's level replaced."""
+        levels = dict(self._levels)
+        levels[category] = level
+        return Label(levels, self._default)
+
+    # -- value-object protocol ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self._default == other._default and self._levels == other._levels
+
+    def __hash__(self) -> int:
+        return hash((self._default, frozenset(self._levels.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{cat.ident}:{lvl}" for cat, lvl in sorted(
+            self._levels.items(), key=lambda item: item[0].ident)]
+        parts.append(f"default:{self._default}")
+        return "Label{" + ", ".join(parts) + "}"
+
+
+#: The completely public label: anyone may observe and modify.
+PUBLIC = Label()
+
+
+@dataclass(frozen=True)
+class PrivilegeSet:
+    """A set of owned categories (HiStar ``*`` privileges).
+
+    Threads carry one; taps embed one (§3.5).  Frozen so privileges
+    cannot be grown by mutating a shared set — delegation must go
+    through :meth:`grant`.
+    """
+
+    owned: FrozenSet[Category] = field(default_factory=frozenset)
+
+    def grant(self, *categories: Category) -> "PrivilegeSet":
+        """A new privilege set additionally owning ``categories``."""
+        return PrivilegeSet(self.owned | frozenset(categories))
+
+    def drop(self, *categories: Category) -> "PrivilegeSet":
+        """A new privilege set without ``categories``."""
+        return PrivilegeSet(self.owned - frozenset(categories))
+
+    def owns(self, category: Category) -> bool:
+        """True if this set owns ``category``."""
+        return category in self.owned
+
+    def union(self, other: "PrivilegeSet") -> "PrivilegeSet":
+        """Combined privileges (used when taps embed creator privilege)."""
+        return PrivilegeSet(self.owned | other.owned)
+
+    def __iter__(self) -> Iterator[Category]:
+        return iter(self.owned)
+
+    def __len__(self) -> int:
+        return len(self.owned)
+
+
+NO_PRIVILEGES = PrivilegeSet()
+
+
+# ---------------------------------------------------------------------------
+# Cinder's access checks (paper §3.5)
+# ---------------------------------------------------------------------------
+
+
+def can_observe(subject_label: Label, subject_privs: PrivilegeSet,
+                object_label: Label) -> bool:
+    """May a subject see an object's state?  object -> subject flow."""
+    return object_label.can_flow_to(subject_label, subject_privs.owned)
+
+
+def can_modify(subject_label: Label, subject_privs: PrivilegeSet,
+               object_label: Label) -> bool:
+    """May a subject change an object's state?  subject -> object flow."""
+    return subject_label.can_flow_to(object_label, subject_privs.owned)
+
+
+def can_use_reserve(subject_label: Label, subject_privs: PrivilegeSet,
+                    reserve_label: Label) -> bool:
+    """Consuming from a reserve requires observe *and* modify (§3.5)."""
+    return (
+        can_observe(subject_label, subject_privs, reserve_label)
+        and can_modify(subject_label, subject_privs, reserve_label)
+    )
+
+
+def check_observe(subject_label: Label, subject_privs: PrivilegeSet,
+                  object_label: Label, what: str = "object") -> None:
+    """Raise :class:`LabelError` unless observe is permitted."""
+    if not can_observe(subject_label, subject_privs, object_label):
+        raise LabelError(f"cannot observe {what}")
+
+
+def check_modify(subject_label: Label, subject_privs: PrivilegeSet,
+                 object_label: Label, what: str = "object") -> None:
+    """Raise :class:`LabelError` unless modify is permitted."""
+    if not can_modify(subject_label, subject_privs, object_label):
+        raise LabelError(f"cannot modify {what}")

@@ -1,0 +1,102 @@
+"""Kernel object base machinery.
+
+HiStar is built from six first-class kernel object types (segments,
+threads, address spaces, devices, containers, gates); Cinder adds two
+more (reserves and taps).  All of them share: a unique id, a security
+label, a human-readable name (debugging only), liveness, and membership
+in exactly one container (except the root container itself).
+
+``ObjRef`` mirrors the paper's ``OBJREF(container_id, object_id)``
+pairs from Figure 5: naming an object always names the container you
+reached it through, which is what makes hierarchical revocation work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..errors import NoSuchObjectError
+from .labels import Label, PUBLIC
+
+
+class ObjectType(Enum):
+    """The eight kernel object types (six HiStar + two Cinder)."""
+
+    SEGMENT = "segment"
+    THREAD = "thread"
+    ADDRESS_SPACE = "address_space"
+    DEVICE = "device"
+    CONTAINER = "container"
+    GATE = "gate"
+    RESERVE = "reserve"
+    TAP = "tap"
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A (container id, object id) pair, as used by the syscall API."""
+
+    container_id: int
+    object_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjRef({self.container_id}, {self.object_id})"
+
+
+_object_id_counter = itertools.count(1)
+
+
+def _next_object_id() -> int:
+    return next(_object_id_counter)
+
+
+def reset_object_id_counter() -> None:
+    """Reset ids (test isolation only)."""
+    global _object_id_counter
+    _object_id_counter = itertools.count(1)
+
+
+class KernelObject:
+    """Base class for every kernel object.
+
+    Subclasses set :attr:`TYPE`.  Deletion is a *mark*: containers do
+    the recursive sweep, and dead objects raise on further use via
+    :meth:`ensure_alive`.
+    """
+
+    TYPE: ObjectType = ObjectType.SEGMENT  # overridden by subclasses
+
+    def __init__(self, label: Optional[Label] = None, name: str = "") -> None:
+        self.object_id: int = _next_object_id()
+        self.label: Label = label if label is not None else PUBLIC
+        self.name: str = name
+        self.alive: bool = True
+        #: Containing container's object id (0 until placed; root stays 0).
+        self.parent_container_id: int = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def mark_dead(self) -> None:
+        """Mark the object deleted; idempotent."""
+        if self.alive:
+            self.alive = False
+            self.on_delete()
+
+    def on_delete(self) -> None:
+        """Subclass hook run once when the object dies."""
+
+    def ensure_alive(self) -> None:
+        """Raise if this object has been deleted or GC'd."""
+        if not self.alive:
+            raise NoSuchObjectError(
+                f"{self.TYPE.value} {self.object_id} ({self.name!r}) is dead")
+
+    # -- debugging ----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "" if self.alive else " DEAD"
+        name = f" {self.name!r}" if self.name else ""
+        return f"<{self.TYPE.value} #{self.object_id}{name}{status}>"

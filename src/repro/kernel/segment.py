@@ -1,0 +1,67 @@
+"""Segments: the byte-storage kernel object.
+
+Segments exist in this reproduction mostly to make address spaces and
+the smdd shared-memory mailbox (paper §7, Figure 16) real: the ARM11
+and the closed ARM9 communicate through a shared segment, and Cinder
+maps that segment into a privileged user-level process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ObjectError
+from .labels import Label
+from .objects import KernelObject, ObjectType
+
+
+class Segment(KernelObject):
+    """A resizable array of bytes with label-protected access."""
+
+    TYPE = ObjectType.SEGMENT
+
+    def __init__(self, size: int = 0, label: Optional[Label] = None,
+                 name: str = "") -> None:
+        super().__init__(label=label, name=name)
+        if size < 0:
+            raise ObjectError("segment size must be non-negative")
+        self._data = bytearray(size)
+
+    @property
+    def size(self) -> int:
+        """Current length in bytes."""
+        return len(self._data)
+
+    def resize(self, new_size: int) -> None:
+        """Grow (zero-filled) or shrink the segment."""
+        self.ensure_alive()
+        if new_size < 0:
+            raise ObjectError("segment size must be non-negative")
+        if new_size > len(self._data):
+            self._data.extend(b"\x00" * (new_size - len(self._data)))
+        else:
+            del self._data[new_size:]
+
+    def read(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Read ``length`` bytes at ``offset`` (to the end by default)."""
+        self.ensure_alive()
+        if offset < 0 or offset > len(self._data):
+            raise ObjectError(f"read offset {offset} out of bounds")
+        if length is None:
+            return bytes(self._data[offset:])
+        if length < 0 or offset + length > len(self._data):
+            raise ObjectError("read past end of segment")
+        return bytes(self._data[offset:offset + length])
+
+    def write(self, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` at ``offset``, growing the segment if needed."""
+        self.ensure_alive()
+        if offset < 0:
+            raise ObjectError("write offset must be non-negative")
+        end = offset + len(data)
+        if end > len(self._data):
+            self.resize(end)
+        self._data[offset:end] = data
+
+    def on_delete(self) -> None:
+        self._data = bytearray()

@@ -1,0 +1,196 @@
+"""The C-style syscall surface from the paper's Figure 5.
+
+The ``energywrap`` excerpt shows the API Cinder applications program
+against::
+
+    res_id = reserve_create(container_id, res_label);
+    tap_id = tap_create(container_id, root_reserve, res, tap_label);
+    tap_set_rate(tap, TAP_TYPE_CONST, 1);       // mW
+    self_set_active_reserve(res);
+
+This module reproduces those entry points (plus the transfer, level
+and delete calls the rest of §5 implies) as functions over a
+:class:`~repro.kernel.kernel.Kernel` and a calling
+:class:`~repro.kernel.thread_obj.Thread`.  Every call performs the
+label checks of §3.5 with the *caller's* label and privileges.
+
+Note the units quirk kept for fidelity: ``tap_set_rate`` takes
+**milliwatts** for constant taps, as in the paper's "Limit the child
+to 1 mW" comment; the object-level API is SI throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.reserve import Reserve
+from ..core.tap import TAP_TYPE_CONST, TAP_TYPE_PROPORTIONAL, Tap, TapType
+from ..errors import LabelError
+from .kernel import Kernel
+from .labels import Label, check_modify, check_observe
+from .objects import ObjRef, ObjectType
+from .thread_obj import Thread
+
+__all__ = [
+    "TAP_TYPE_CONST", "TAP_TYPE_PROPORTIONAL",
+    "reserve_create", "reserve_level", "reserve_transfer",
+    "reserve_delete", "reserve_split",
+    "tap_create", "tap_set_rate", "tap_delete",
+    "self_set_active_reserve", "self_get_active_reserve",
+]
+
+
+def _resolve_reserve(kernel: Kernel, ref: ObjRef) -> Reserve:
+    obj = kernel.resolve(ref, ObjectType.RESERVE)
+    assert isinstance(obj, Reserve)
+    return obj
+
+
+def _resolve_tap(kernel: Kernel, ref: ObjRef) -> Tap:
+    obj = kernel.resolve(ref, ObjectType.TAP)
+    assert isinstance(obj, Tap)
+    return obj
+
+
+# -- reserves -------------------------------------------------------------------
+
+
+def reserve_create(kernel: Kernel, thread: Thread, container_id: int,
+                   label: Optional[Label] = None, name: str = "") -> int:
+    """Create an empty reserve in ``container_id``; returns its id."""
+    container = kernel.get_container(container_id)
+    check_modify(thread.label, thread.privileges, container.label,
+                 what=f"container {container.name!r}")
+    reserve = kernel.create_reserve(container=container, label=label,
+                                    name=name)
+    return reserve.object_id
+
+
+def reserve_level(kernel: Kernel, thread: Thread, ref: ObjRef) -> float:
+    """Read a reserve's level (requires observe)."""
+    reserve = _resolve_reserve(kernel, ref)
+    check_observe(thread.label, thread.privileges, reserve.label,
+                  what=f"reserve {reserve.name!r}")
+    return reserve.level
+
+
+def reserve_transfer(kernel: Kernel, thread: Thread, source_ref: ObjRef,
+                     sink_ref: ObjRef, joules: float) -> float:
+    """Reserve-to-reserve transfer; needs modify on both ends (§3.2)."""
+    source = _resolve_reserve(kernel, source_ref)
+    sink = _resolve_reserve(kernel, sink_ref)
+    for reserve in (source, sink):
+        check_observe(thread.label, thread.privileges, reserve.label,
+                      what=f"reserve {reserve.name!r}")
+        check_modify(thread.label, thread.privileges, reserve.label,
+                     what=f"reserve {reserve.name!r}")
+    return source.transfer_to(sink, joules)
+
+
+def reserve_split(kernel: Kernel, thread: Thread, ref: ObjRef,
+                  joules: float, container_id: Optional[int] = None,
+                  label: Optional[Label] = None, name: str = "") -> int:
+    """Subdivide: new reserve seeded with ``joules`` from ``ref`` (§3.2)."""
+    parent = _resolve_reserve(kernel, ref)
+    check_observe(thread.label, thread.privileges, parent.label,
+                  what=f"reserve {parent.name!r}")
+    check_modify(thread.label, thread.privileges, parent.label,
+                 what=f"reserve {parent.name!r}")
+    container = kernel.get_container(
+        container_id if container_id is not None
+        else (parent.parent_container_id or kernel.root_container.object_id))
+    check_modify(thread.label, thread.privileges, container.label,
+                 what=f"container {container.name!r}")
+    child = kernel.create_reserve(container=container, label=label, name=name)
+    parent.transfer_to(child, joules)
+    return child.object_id
+
+
+def reserve_delete(kernel: Kernel, thread: Thread, ref: ObjRef,
+                   reclaim_to: Optional[ObjRef] = None) -> None:
+    """Delete a reserve, optionally reclaiming its level first."""
+    reserve = _resolve_reserve(kernel, ref)
+    check_modify(thread.label, thread.privileges, reserve.label,
+                 what=f"reserve {reserve.name!r}")
+    target = None
+    if reclaim_to is not None:
+        target = _resolve_reserve(kernel, reclaim_to)
+        check_modify(thread.label, thread.privileges, target.label,
+                     what=f"reserve {target.name!r}")
+    for graph in kernel.graphs.values():
+        if reserve in graph.reserves:
+            graph.delete_reserve(reserve, reclaim_to=target)
+            return
+    reserve.mark_dead()
+
+
+# -- taps ------------------------------------------------------------------------
+
+
+def tap_create(kernel: Kernel, thread: Thread, container_id: int,
+               source_ref: ObjRef, sink_ref: ObjRef,
+               label: Optional[Label] = None, name: str = "") -> int:
+    """Create a zero-rate tap between two reserves; returns its id.
+
+    The caller must be able to observe and modify both endpoints; the
+    caller's privileges are embedded into the tap (§3.5), so the tap
+    keeps working even if its creator later drops them.
+    """
+    container = kernel.get_container(container_id)
+    check_modify(thread.label, thread.privileges, container.label,
+                 what=f"container {container.name!r}")
+    source = _resolve_reserve(kernel, source_ref)
+    sink = _resolve_reserve(kernel, sink_ref)
+    for reserve in (source, sink):
+        check_observe(thread.label, thread.privileges, reserve.label,
+                      what=f"reserve {reserve.name!r}")
+        check_modify(thread.label, thread.privileges, reserve.label,
+                     what=f"reserve {reserve.name!r}")
+    tap = kernel.create_tap(source, sink, rate=0.0, container=container,
+                            label=label, privileges=thread.privileges,
+                            name=name)
+    return tap.object_id
+
+
+def tap_set_rate(kernel: Kernel, thread: Thread, ref: ObjRef,
+                 tap_type: TapType, rate: float) -> None:
+    """Set a tap's rate — **milliwatts** for CONST taps (Figure 5),
+    fraction/second for PROPORTIONAL taps."""
+    tap = _resolve_tap(kernel, ref)
+    check_modify(thread.label, thread.privileges, tap.label,
+                 what=f"tap {tap.name!r}")
+    if tap_type is TapType.CONST:
+        tap.set_rate(rate * 1e-3, tap_type)
+    else:
+        tap.set_rate(rate, tap_type)
+
+
+def tap_delete(kernel: Kernel, thread: Thread, ref: ObjRef) -> None:
+    """Delete a tap (revoking the power source, §5.2)."""
+    tap = _resolve_tap(kernel, ref)
+    check_modify(thread.label, thread.privileges, tap.label,
+                 what=f"tap {tap.name!r}")
+    for graph in kernel.graphs.values():
+        if tap in graph.taps:
+            graph.delete_tap(tap)
+            return
+    tap.mark_dead()
+
+
+# -- thread self-calls --------------------------------------------------------------
+
+
+def self_set_active_reserve(kernel: Kernel, thread: Thread,
+                            ref: ObjRef) -> None:
+    """Switch the calling thread's billing target (Figure 5)."""
+    reserve = _resolve_reserve(kernel, ref)
+    check_observe(thread.label, thread.privileges, reserve.label,
+                  what=f"reserve {reserve.name!r}")
+    check_modify(thread.label, thread.privileges, reserve.label,
+                 what=f"reserve {reserve.name!r}")
+    thread.set_active_reserve(reserve)
+
+
+def self_get_active_reserve(kernel: Kernel, thread: Thread) -> ObjRef:
+    """The ObjRef of the calling thread's active reserve."""
+    return kernel.ref_for(thread.active_reserve)

@@ -1,0 +1,154 @@
+"""Kernel thread objects.
+
+Threads are the billable principals in Cinder: "All threads draw from
+one or more energy reserves.  Cinder's CPU scheduler is energy-aware
+and allows a thread to run only when at least one of its energy
+reserves is not empty" (paper §3.2).  Each thread has an *active*
+reserve that consumption is charged to — including consumption caused
+while the thread is executing inside another address space via a gate
+call (§5.5.1), which is what makes IPC billing land on the caller.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, List, Optional
+
+from ..errors import SchedulerError
+from .labels import Label, NO_PRIVILEGES, PrivilegeSet
+from .objects import KernelObject, ObjectType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.reserve import Reserve
+    from .address_space import AddressSpace
+
+
+class ThreadState(Enum):
+    """Lifecycle states the scheduler distinguishes."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"     # waiting on a condition (e.g., netd pooling)
+    SLEEPING = "sleeping"   # waiting on the clock
+    THROTTLED = "throttled"  # wants CPU but its reserves are empty
+    DEAD = "dead"
+
+
+class Thread(KernelObject):
+    """A schedulable, billable execution context."""
+
+    TYPE = ObjectType.THREAD
+
+    def __init__(
+        self,
+        label: Optional[Label] = None,
+        privileges: PrivilegeSet = NO_PRIVILEGES,
+        name: str = "",
+    ) -> None:
+        super().__init__(label=label, name=name)
+        self.privileges = privileges
+        self.state = ThreadState.RUNNABLE
+        #: Reserves this thread may draw from (order = draw preference).
+        self._reserves: List["Reserve"] = []
+        self._active_reserve: Optional["Reserve"] = None
+        #: Home address space, and the stack of spaces entered by gates.
+        self.home_space: Optional["AddressSpace"] = None
+        self._space_stack: List["AddressSpace"] = []
+        #: Wall-clock seconds of CPU this thread has executed.
+        self.cpu_time: float = 0.0
+        #: Wake deadline when SLEEPING (simulation seconds).
+        self.wake_at: float = 0.0
+
+    # -- reserves -----------------------------------------------------------
+
+    def attach_reserve(self, reserve: "Reserve") -> None:
+        """Add a reserve to this thread's draw set.
+
+        The first attached reserve becomes the active reserve.
+        """
+        reserve.ensure_alive()
+        if reserve not in self._reserves:
+            self._reserves.append(reserve)
+        if self._active_reserve is None:
+            self._active_reserve = reserve
+
+    def detach_reserve(self, reserve: "Reserve") -> None:
+        """Remove a reserve; re-aims the active reserve if needed."""
+        if reserve in self._reserves:
+            self._reserves.remove(reserve)
+        if self._active_reserve is reserve:
+            self._active_reserve = self._reserves[0] if self._reserves else None
+
+    def set_active_reserve(self, reserve: "Reserve") -> None:
+        """Make ``reserve`` the billing target (``self_set_active_reserve``)."""
+        reserve.ensure_alive()
+        if reserve not in self._reserves:
+            self._reserves.append(reserve)
+        self._active_reserve = reserve
+
+    @property
+    def active_reserve(self) -> "Reserve":
+        """The reserve consumption is charged to."""
+        if self._active_reserve is None:
+            raise SchedulerError(
+                f"thread {self.name!r} has no active reserve")
+        return self._active_reserve
+
+    @property
+    def reserves(self) -> List["Reserve"]:
+        """All reserves this thread may draw from (copy)."""
+        return list(self._reserves)
+
+    def has_energy(self) -> bool:
+        """True if at least one attached reserve is non-empty (§3.2)."""
+        return any(r.alive and r.level > 0.0 for r in self._reserves)
+
+    def charge(self, joules: float) -> float:
+        """Bill ``joules`` to the active reserve; returns amount charged.
+
+        Charging may push the reserve into (bounded) debt — the paper
+        explicitly allows debiting "up to or into debt" for costs only
+        known after the fact (§5.5.2); the scheduler also relies on
+        this so a quantum's cost can slightly overdraw and be repaid by
+        the thread's taps before it runs again.
+        """
+        if joules < 0:
+            raise SchedulerError("cannot charge a negative amount")
+        return self.active_reserve.consume(joules, allow_debt=True)
+
+    # -- address spaces / gate traversal -------------------------------------
+
+    @property
+    def current_space(self) -> Optional["AddressSpace"]:
+        """The space the thread is executing in right now."""
+        if self._space_stack:
+            return self._space_stack[-1]
+        return self.home_space
+
+    def enter_space(self, space: "AddressSpace") -> None:
+        """Push an address space (gate entry)."""
+        space.ensure_alive()
+        self._space_stack.append(space)
+
+    def exit_space(self) -> None:
+        """Pop back toward home (gate return)."""
+        if not self._space_stack:
+            raise SchedulerError("thread is already in its home space")
+        self._space_stack.pop()
+
+    @property
+    def gate_depth(self) -> int:
+        """How many nested gate calls the thread is inside."""
+        return len(self._space_stack)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Stop the thread permanently."""
+        self.state = ThreadState.DEAD
+        self.mark_dead()
+
+    def on_delete(self) -> None:
+        self.state = ThreadState.DEAD
+        self._reserves.clear()
+        self._active_reserve = None
+        self._space_stack.clear()

@@ -1,0 +1,25 @@
+"""The network stack: radio device, netd, packets, remote endpoints.
+
+The radio is the platform's most non-linear energy consumer (§4.3);
+netd (§5.5) turns Cinder's reserves and taps into coordinated,
+amortized use of it.
+"""
+
+from .netd import (DEFAULT_ACTIVATION_MARGIN, NetdStats, NetworkDaemon,
+                   OpState, PendingOp)
+from .packets import (FIG3_FLOW_SECONDS, FIG3_PACKET_RATES,
+                      FIG3_PACKET_SIZES, Flow, Packet, echo_flow_grid,
+                      grid_summary)
+from .radio import RadioDevice, RadioState, Transfer
+from .remote import (EchoServer, FeedServer, ImageServer, MailServer,
+                     RemoteHosts, RemoteServer)
+from .sockets import MTU_BYTES, Socket
+
+__all__ = [
+    "DEFAULT_ACTIVATION_MARGIN", "NetdStats", "NetworkDaemon", "OpState",
+    "PendingOp", "FIG3_FLOW_SECONDS", "FIG3_PACKET_RATES",
+    "FIG3_PACKET_SIZES", "Flow", "Packet", "echo_flow_grid", "grid_summary",
+    "RadioDevice", "RadioState", "Transfer", "EchoServer", "FeedServer",
+    "ImageServer", "MailServer", "RemoteHosts", "RemoteServer", "MTU_BYTES",
+    "Socket",
+]

@@ -1,0 +1,346 @@
+"""netd: Cinder's cooperative network stack (paper §5.5).
+
+netd owns the radio.  Applications reach it through a gate, so the
+calling thread itself executes netd's admission logic and is billed
+for it (§5.5.1).  The daemon adds two things over a plain stack:
+
+* **Gating** — a network operation proceeds only when it is paid for.
+  If the radio is idle, the bill is the activation cost; netd demands
+  **125 %** of it ("essentially mandating that applications have extra
+  energy to transmit and receive subsequent packets" — Figure 14).
+* **Pooling** — threads that cannot afford the bill alone block and
+  contribute "the energy acquired by their taps to the netd reserve"
+  until the pool covers it; then the radio turns on once and *all*
+  waiting threads proceed together (Figure 13b's synchronization).
+
+The netd pool reserve is decay-exempt: "the process is trusted not to
+hoard energy and, by construction, only stores enough energy to
+activate the radio before being expended".
+
+Billing detail: outbound data cost is prepaid at grant time; inbound
+bytes declared in the request are prepaid too, but a server may
+deliver *undeclared* extra bytes, which are debited to the caller's
+reserve after the fact — "threads can debit their own reserves up to
+or into debt even if the cost can only be determined after-the-fact"
+(§5.5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.accounting import ConsumptionLedger
+from ..core.graph import ResourceGraph
+from ..core.reserve import Reserve
+from ..errors import NetworkError
+from ..kernel.gate import Gate
+from ..kernel.kernel import Kernel
+from ..kernel.thread_obj import Thread, ThreadState
+from ..sim.process import NetReply, NetRequest
+from .radio import RadioDevice, Transfer
+from .remote import RemoteHosts
+
+#: netd demands this multiple of the activation cost before powering
+#: the radio from idle (Figure 14: "netd requires 125% of this level").
+DEFAULT_ACTIVATION_MARGIN = 1.25
+
+
+class OpState(Enum):
+    """Lifecycle of one submitted network operation."""
+
+    WAITING_ENERGY = "waiting-energy"
+    TRANSFERRING = "transferring"
+    DONE = "done"
+
+
+@dataclass
+class PendingOp:
+    """One network operation moving through netd."""
+
+    thread: Thread
+    request: NetRequest
+    owner: str
+    submitted_at: float
+    state: OpState = OpState.WAITING_ENERGY
+    transfer: Optional[Transfer] = None
+    reply: Optional[NetReply] = None
+    billed_joules: float = 0.0
+    contributed_joules: float = 0.0
+    response_bytes: int = 0
+    response_payload: Any = None
+
+
+@dataclass
+class NetdStats:
+    """Counters the Table 1 harness reads."""
+
+    operations: int = 0
+    radio_activations_requested: int = 0
+    total_billed_joules: float = 0.0
+    total_pool_contributions: float = 0.0
+    total_wait_seconds: float = 0.0
+    debt_debits: int = 0
+
+
+class NetworkDaemon:
+    """The netd daemon: admission control plus the radio data path."""
+
+    def __init__(
+        self,
+        graph: ResourceGraph,
+        radio: RadioDevice,
+        clock: Callable[[], float],
+        hosts: Optional[RemoteHosts] = None,
+        activation_margin: float = DEFAULT_ACTIVATION_MARGIN,
+        cooperative: bool = True,
+        unrestricted: bool = False,
+        ledger: Optional[ConsumptionLedger] = None,
+    ) -> None:
+        if activation_margin < 1.0:
+            raise NetworkError("activation margin must be >= 1")
+        self.graph = graph
+        self.radio = radio
+        self._clock = clock
+        self.hosts = hosts if hosts is not None else RemoteHosts.default()
+        self.activation_margin = activation_margin
+        #: Pooling enabled (Figure 13b) vs. strictly per-caller budgets.
+        self.cooperative = cooperative
+        #: The Figure 13a baseline: no gating, no billing.
+        self.unrestricted = unrestricted
+        self.ledger = ledger
+        #: The shared radio power-up pool (decay-exempt; §5.5.2).
+        self.pool: Reserve = graph.create_reserve(
+            name="netd.pool", decay_exempt=True)
+        self._queue: List[PendingOp] = []
+        self.stats = NetdStats()
+
+    # -- gate plumbing -----------------------------------------------------------
+
+    def make_gate(self, kernel: Kernel, name: str = "netd.send") -> Gate:
+        """Expose :meth:`submit` as a HiStar gate.
+
+        The caller's thread runs this service, so the submission cost
+        (and everything netd debits) lands on the caller's active
+        reserve — §5.5.1's accounting property.
+        """
+        def service(thread: Thread, request: Any) -> PendingOp:
+            if not isinstance(request, NetRequest):
+                raise NetworkError("netd.send expects a NetRequest")
+            return self.submit(thread, request, owner=thread.name)
+        return kernel.create_gate(service, name=name)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, thread: Thread, request: NetRequest,
+               owner: str = "") -> PendingOp:
+        """Enqueue an operation; the thread blocks until it completes."""
+        now = self._clock()
+        op = PendingOp(thread=thread, request=request,
+                       owner=owner or thread.name, submitted_at=now)
+        # Resolve the remote end once, so costs are known where possible.
+        server = self.hosts.lookup(request.destination)
+        op.response_bytes, op.response_payload = server.respond(request)
+        self._queue.append(op)
+        self.stats.operations += 1
+        thread.state = ThreadState.BLOCKED
+        self._pump(now)
+        return op
+
+    # -- cost model ------------------------------------------------------------------
+
+    def _declared_data_cost(self, request: NetRequest) -> float:
+        """Prepaid portion: outbound plus declared inbound bytes."""
+        params = self.radio.params
+        declared = max(0, request.bytes_out) + max(0, request.bytes_in)
+        return (params.per_byte_joules * declared
+                + params.per_packet_joules * request.total_packets())
+
+    def _undeclared_recv_cost(self, op: PendingOp) -> float:
+        """Post-paid portion: inbound bytes beyond what was declared."""
+        extra = max(0, op.response_bytes - max(0, op.request.bytes_in))
+        return self.radio.params.per_byte_joules * extra
+
+    def required_energy(self, waiting: List[PendingOp], now: float) -> float:
+        """Total the pool must hold before the batch may proceed."""
+        total = sum(self._declared_data_cost(op.request) for op in waiting)
+        if self.radio.would_be_idle(now):
+            total += (self.activation_margin
+                      * self.radio.params.activation_cost)
+        else:
+            total += self.radio.params.marginal_active_cost(
+                self.radio.seconds_since_activity(now))
+        return total
+
+    # -- the admission pump --------------------------------------------------------------
+
+    def step(self, now: float) -> None:
+        """Advance blocked and in-flight operations (engine calls this)."""
+        self._complete_transfers(now)
+        self._pump(now)
+
+    def _complete_transfers(self, now: float) -> None:
+        for op in [o for o in self._queue
+                   if o.state is OpState.TRANSFERRING]:
+            assert op.transfer is not None
+            if op.transfer.end <= now:
+                self._finish(op, now)
+
+    def _pump(self, now: float) -> None:
+        waiting = [o for o in self._queue
+                   if o.state is OpState.WAITING_ENERGY]
+        if not waiting:
+            return
+        if self.unrestricted:
+            for op in waiting:
+                self._start_transfer(op, now)
+            return
+        if not self.cooperative:
+            # Per-caller budgets: each op must afford its own bill.
+            for op in waiting:
+                self._try_start_alone(op, now)
+            return
+        activation_needed = (self.radio.would_be_idle(now)
+                             and self.radio.params.activation_cost > 0.0)
+        if activation_needed:
+            self._pump_pooled(waiting, now)
+        else:
+            # Radio already up (or this platform has no activation
+            # spike): no power-up to amortize, so each caller simply
+            # gates on its own reserve — blocked callers keep their
+            # level, which is the §5.3 adaptation signal.
+            for op in waiting:
+                self._try_start_individually(op, now)
+
+    def _pump_pooled(self, waiting: List[PendingOp], now: float) -> None:
+        """The §5.5.2 radio power-up pooling path."""
+        required = self.required_energy(waiting, now)
+        available = self.pool.level + sum(
+            max(0.0, op.thread.active_reserve.level) for op in waiting)
+        if available + 1e-12 >= required:
+            # Affordable now: draw only the shortfall from the callers,
+            # leaving their surplus in their own reserves.
+            shortfall = max(0.0, required - self.pool.level)
+            for op in waiting:
+                if shortfall <= 0.0:
+                    break
+                take = min(shortfall,
+                           max(0.0, op.thread.active_reserve.level))
+                moved = op.thread.active_reserve.transfer_to(self.pool,
+                                                             take)
+                op.contributed_joules += moved
+                self.stats.total_pool_contributions += moved
+                shortfall -= moved
+        else:
+            # Not yet affordable: blocked callers contribute everything
+            # their taps have acquired and keep sleeping (§5.5.2).
+            for op in waiting:
+                self._contribute(op)
+        if self.pool.level + 1e-12 >= required:
+            bill = self._state_cost(now) + sum(
+                self._declared_data_cost(op.request) for op in waiting)
+            self.pool.consume(min(bill, self.pool.level))
+            self._record(waiting, bill)
+            self.stats.radio_activations_requested += 1
+            for op in waiting:
+                op.billed_joules += bill / len(waiting)
+                self._start_transfer(op, now)
+
+    def _try_start_individually(self, op: PendingOp, now: float) -> None:
+        """Gate one op on its own reserve (plus any pool surplus)."""
+        reserve = op.thread.active_reserve
+        bill = self._state_cost(now) + self._declared_data_cost(op.request)
+        if self.pool.level + max(0.0, reserve.level) + 1e-12 < bill:
+            return
+        shortfall = max(0.0, bill - self.pool.level)
+        if shortfall > 0.0:
+            moved = reserve.transfer_to(self.pool, shortfall)
+            op.contributed_joules += moved
+            self.stats.total_pool_contributions += moved
+        self.pool.consume(min(bill, self.pool.level))
+        op.billed_joules += bill
+        self._record([op], bill)
+        self._start_transfer(op, now)
+
+    def _state_cost(self, now: float) -> float:
+        """The actual (margin-free) radio state cost to debit."""
+        if self.radio.would_be_idle(now):
+            return self.radio.params.activation_cost
+        return self.radio.params.marginal_active_cost(
+            self.radio.seconds_since_activity(now))
+
+    def _contribute(self, op: PendingOp) -> None:
+        """Drain a blocked caller's reserve into the pool (§5.5.2)."""
+        reserve = op.thread.active_reserve
+        level = reserve.level
+        if level > 0.0:
+            moved = reserve.transfer_to(self.pool, level)
+            op.contributed_joules += moved
+            self.stats.total_pool_contributions += moved
+
+    def _try_start_alone(self, op: PendingOp, now: float) -> None:
+        reserve = op.thread.active_reserve
+        bill = self._state_cost(now) + self._declared_data_cost(op.request)
+        required = bill
+        if self.radio.would_be_idle(now):
+            required = (self.activation_margin
+                        * self.radio.params.activation_cost
+                        + self._declared_data_cost(op.request))
+        if reserve.level + 1e-12 >= required:
+            reserve.consume(min(bill, reserve.level))
+            op.billed_joules += bill
+            self._record([op], bill)
+            if self.radio.would_be_idle(now):
+                self.stats.radio_activations_requested += 1
+            self._start_transfer(op, now)
+
+    # -- transfer lifecycle -----------------------------------------------------------------
+
+    def _start_transfer(self, op: PendingOp, now: float) -> None:
+        nbytes = (max(0, op.request.bytes_out)
+                  + max(op.response_bytes, max(0, op.request.bytes_in)))
+        op.transfer = self.radio.begin_transfer(
+            now, nbytes, op.request.total_packets(), owner=op.owner)
+        op.state = OpState.TRANSFERRING
+        self.stats.total_wait_seconds += now - op.submitted_at
+
+    def _finish(self, op: PendingOp, now: float) -> None:
+        wait = (op.transfer.start - op.submitted_at
+                if op.transfer is not None else 0.0)
+        if not self.unrestricted:
+            extra = self._undeclared_recv_cost(op)
+            if extra > 0.0:
+                # After-the-fact debit, possibly into debt (§5.5.2).
+                op.thread.active_reserve.consume(extra, allow_debt=True)
+                op.billed_joules += extra
+                self.stats.debt_debits += 1
+                self._record([op], extra)
+        op.reply = NetReply(
+            bytes_out=op.request.bytes_out,
+            bytes_in=max(op.response_bytes, max(0, op.request.bytes_in)),
+            billed_joules=op.billed_joules,
+            wait_seconds=max(0.0, wait),
+            response=op.response_payload,
+        )
+        op.state = OpState.DONE
+        self._queue.remove(op)
+
+    def _record(self, ops: List[PendingOp], joules: float) -> None:
+        self.stats.total_billed_joules += joules
+        if self.ledger is not None and ops:
+            share = joules / len(ops)
+            for op in ops:
+                self.ledger.record(op.owner, "radio", share)
+
+    # -- engine integration --------------------------------------------------------------------
+
+    def reply_for(self, op: PendingOp) -> Optional[NetReply]:
+        """The reply if ``op`` completed, else None (engine polls this)."""
+        return op.reply
+
+    @property
+    def waiting_count(self) -> int:
+        """Blocked operations (the Figure 13b queue)."""
+        return sum(1 for o in self._queue
+                   if o.state is OpState.WAITING_ENERGY)

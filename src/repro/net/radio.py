@@ -1,0 +1,174 @@
+"""The radio device state machine (paper §4.3, Figure 4).
+
+State lives where the platform puts it: the closed ARM9 owns the radio
+and imposes a fixed 20 s inactivity timeout that Cinder cannot change.
+The device here models the *physical* behavior — activation, the
+plateau, per-transfer draw, the timeout ride-down — while
+:class:`~repro.energy.radio_model.RadioPowerParams` provides both the
+physical constants and the *billing* estimates netd charges.
+
+Physical cycle shape: a short high-draw ramp (the Figure 4 spike)
+followed by a plateau whose level is set so a minimal cycle (one
+packet, then timeout) costs the measured activation energy — jittered
+per cycle within the paper's 8.8–11.9 J envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from ..energy.radio_model import RadioPowerParams
+from ..errors import NetworkError
+
+
+class RadioState(Enum):
+    """The two externally visible radio power states."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+
+
+@dataclass
+class Transfer:
+    """An in-flight data transfer occupying the radio."""
+
+    start: float
+    end: float
+    nbytes: int
+    npackets: int
+    #: Extra draw while transferring: marginal data energy spread over
+    #: the transfer duration.
+    extra_watts: float
+    owner: str = ""
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class RadioDevice:
+    """The GSM/EDGE data-path radio."""
+
+    def __init__(self, params: Optional[RadioPowerParams] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.params = params if params is not None else RadioPowerParams()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.state = RadioState.IDLE
+        self.activated_at = -float("inf")
+        self.last_activity = -float("inf")
+        self._cycle_jitter = 1.0
+        self._transfers: List[Transfer] = []
+        # -- statistics --
+        self.activation_count = 0
+        self.total_active_seconds = 0.0
+        self.total_bytes = 0
+        self.total_packets = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_active(self) -> bool:
+        """True while the radio draws plateau power."""
+        return self.state is RadioState.ACTIVE
+
+    def seconds_since_activity(self, now: float) -> float:
+        """Seconds since the last packet (inf if never)."""
+        return now - self.last_activity
+
+    def would_be_idle(self, now: float) -> bool:
+        """Where the timeout rule puts the radio at time ``now``."""
+        return (self.state is RadioState.IDLE
+                or self.seconds_since_activity(now) >= self.params.idle_timeout_s)
+
+    def estimated_send_cost(self, now: float, nbytes: int,
+                            npackets: int = 0) -> float:
+        """What netd should charge for sending now (§5.5.2 semantics)."""
+        packets = npackets if npackets > 0 else max(1, nbytes // 1500 + 1)
+        if self.would_be_idle(now):
+            return self.params.send_cost(nbytes, packets, None)
+        return self.params.send_cost(
+            nbytes, packets, self.seconds_since_activity(now))
+
+    # -- activity ----------------------------------------------------------------
+
+    def touch(self, now: float) -> None:
+        """Register packet activity: activate if idle, reset the timer."""
+        if self.state is RadioState.IDLE:
+            self.state = RadioState.ACTIVE
+            self.activated_at = now
+            self.activation_count += 1
+            self._cycle_jitter = self.params.sample_cycle_jitter(self._rng)
+        self.last_activity = max(self.last_activity, now)
+
+    def begin_transfer(self, now: float, nbytes: int, npackets: int = 0,
+                       owner: str = "") -> Transfer:
+        """Start moving ``nbytes``; returns the Transfer with its end time.
+
+        The radio is touched at the start, and :meth:`tick` touches it
+        again when the transfer completes, so the idle timeout runs
+        from the *end* of the transfer, as on the real device.
+        """
+        if nbytes < 0:
+            raise NetworkError("transfer size must be non-negative")
+        packets = npackets if npackets > 0 else max(1, nbytes // 1500 + 1)
+        self.touch(now)
+        duration = max(self.params.transfer_seconds(nbytes), 1e-9)
+        marginal = (self.params.per_packet_joules * packets
+                    + self.params.per_byte_joules * nbytes)
+        transfer = Transfer(start=now, end=now + duration, nbytes=nbytes,
+                            npackets=packets,
+                            extra_watts=marginal / duration, owner=owner)
+        self._transfers.append(transfer)
+        self.total_bytes += nbytes
+        self.total_packets += packets
+        return transfer
+
+    def tick(self, now: float) -> None:
+        """Advance the state machine: finish transfers, apply timeout."""
+        for transfer in [t for t in self._transfers if t.end <= now]:
+            self.touch(transfer.end)
+            self._transfers.remove(transfer)
+        if (self.state is RadioState.ACTIVE and not self._transfers
+                and self.seconds_since_activity(now)
+                >= self.params.idle_timeout_s):
+            idled_at = self.last_activity + self.params.idle_timeout_s
+            self.total_active_seconds += idled_at - self.activated_at
+            self.state = RadioState.IDLE
+
+    # -- power ---------------------------------------------------------------------
+
+    def plateau_true_watts(self) -> float:
+        """The plateau draw that makes a minimal cycle cost the jittered
+        activation energy (ramp energy included in the budget)."""
+        params = self.params
+        if params.idle_timeout_s <= 0:
+            return params.plateau_watts
+        ramp_energy = params.ramp_extra_watts * min(params.ramp_duration_s,
+                                                    params.idle_timeout_s)
+        cycle = params.activation_joules_mean * self._cycle_jitter
+        return max(0.0, (cycle - ramp_energy) / params.idle_timeout_s)
+
+    def power_above_baseline(self, now: float) -> float:
+        """Instantaneous extra draw at ``now`` (plateau + ramp + data)."""
+        if self.state is not RadioState.ACTIVE:
+            return 0.0
+        watts = self.plateau_true_watts()
+        if now - self.activated_at < self.params.ramp_duration_s:
+            watts += self.params.ramp_extra_watts
+        watts += sum(t.extra_watts for t in self._transfers
+                     if t.active_at(now))
+        return watts
+
+    @property
+    def transfers_in_flight(self) -> int:
+        """Number of transfers currently occupying the radio."""
+        return len(self._transfers)
+
+    def active_seconds(self, now: float) -> float:
+        """Cumulative active time, counting a still-open cycle."""
+        total = self.total_active_seconds
+        if self.state is RadioState.ACTIVE:
+            total += now - self.activated_at
+        return total

@@ -1,0 +1,125 @@
+"""Synthetic remote endpoints.
+
+The paper's experiments talk to real services (a UDP echo server, POP3
+mail, RSS feeds, an image web server).  We substitute deterministic
+synthetic servers that preserve what the experiments consume:
+request/response byte counts and application payloads.  DESIGN.md §2
+records this substitution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.process import NetRequest
+from ..units import KiB, MiB
+
+
+class RemoteServer:
+    """Base: respond to a NetRequest with (bytes_in, payload)."""
+
+    def respond(self, request: NetRequest) -> Tuple[int, Any]:
+        """Default: honor the declared inbound byte count."""
+        return max(0, request.bytes_in), None
+
+
+class EchoServer(RemoteServer):
+    """The §4.3 measurement target: returns what it was sent."""
+
+    def respond(self, request: NetRequest) -> Tuple[int, Any]:
+        return max(0, request.bytes_out), request.payload
+
+
+@dataclass
+class MailServer(RemoteServer):
+    """POP3-style: a poll returns queued messages.
+
+    ``payload`` may carry ``{'expect_messages': n}`` to override the
+    default queue depth.
+    """
+
+    message_bytes: int = KiB(10)
+    default_queue_depth: int = 3
+
+    def respond(self, request: NetRequest) -> Tuple[int, Any]:
+        depth = self.default_queue_depth
+        if isinstance(request.payload, dict):
+            depth = int(request.payload.get("expect_messages", depth))
+        if request.bytes_in > 0:
+            return request.bytes_in, {"messages": depth}
+        return depth * self.message_bytes, {"messages": depth}
+
+
+@dataclass
+class FeedServer(RemoteServer):
+    """RSS-style: a poll returns the current feed document."""
+
+    feed_bytes: int = KiB(60)
+
+    def respond(self, request: NetRequest) -> Tuple[int, Any]:
+        if request.bytes_in > 0:
+            return request.bytes_in, {"items": 20}
+        return self.feed_bytes, {"items": 20}
+
+
+@dataclass
+class ImageServer(RemoteServer):
+    """Interlaced-PNG gallery (paper §5.3).
+
+    Interlacing lets a client stop after a fraction of the file and
+    still decode a complete — lower-quality — image.  ``payload``
+    carries ``{'image': i, 'fraction': f}``; the response size is
+    ``ceil(f * full_bytes)`` and the payload reports the achieved
+    quality (equal to the fraction fetched).
+    """
+
+    full_image_bytes: int = KiB(700)
+    #: The smallest useful interlace pass (~1/64 of the data).
+    min_fraction: float = 1.0 / 64.0
+
+    def respond(self, request: NetRequest) -> Tuple[int, Any]:
+        fraction = 1.0
+        image = None
+        if isinstance(request.payload, dict):
+            fraction = float(request.payload.get("fraction", 1.0))
+            image = request.payload.get("image")
+        fraction = min(1.0, max(self.min_fraction, fraction))
+        nbytes = int(math.ceil(fraction * self.full_image_bytes))
+        return nbytes, {"image": image, "quality": fraction,
+                        "bytes": nbytes}
+
+
+class RemoteHosts:
+    """Destination-tag registry consulted by netd."""
+
+    def __init__(self, servers: Optional[Dict[str, RemoteServer]] = None
+                 ) -> None:
+        self._servers: Dict[str, RemoteServer] = dict(servers or {})
+
+    @classmethod
+    def default(cls) -> "RemoteHosts":
+        """The standard experiment universe."""
+        return cls({
+            "echo": EchoServer(),
+            "mail": MailServer(),
+            "rss": FeedServer(),
+            "images": ImageServer(),
+        })
+
+    def register(self, destination: str, server: RemoteServer) -> None:
+        """Bind (or replace) a destination tag."""
+        self._servers[destination] = server
+
+    def lookup(self, destination: str) -> RemoteServer:
+        """Resolve a destination tag (raises NetworkError if unknown)."""
+        try:
+            return self._servers[destination]
+        except KeyError:
+            raise NetworkError(f"unknown destination {destination!r}")
+
+    def destinations(self) -> Tuple[str, ...]:
+        """Known destination tags, sorted."""
+        return tuple(sorted(self._servers))

@@ -1,0 +1,64 @@
+"""libOS socket veneer over netd.
+
+"netd, for example, implements gates for libOS TCP/IP sockets"
+(Figure 16).  Programs in this reproduction are generator coroutines,
+so a socket here is a small factory for :class:`NetRequest` objects
+bound to a destination — the yield still goes through the engine and
+netd, keeping blocking and billing semantics in one place.
+
+Typical use inside a program::
+
+    sock = Socket("mail")
+    reply = yield sock.request(bytes_out=256, bytes_in=KiB(30))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import NetworkError
+from ..sim.process import NetRequest
+
+#: Conventional MTU used to derive packet counts from byte totals.
+MTU_BYTES = 1500
+
+
+@dataclass
+class Socket:
+    """A destination-bound request factory."""
+
+    destination: str
+    mtu: int = MTU_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.destination:
+            raise NetworkError("socket needs a destination")
+        if self.mtu <= 0:
+            raise NetworkError("MTU must be positive")
+
+    def request(self, bytes_out: int = 0, bytes_in: int = 0,
+                payload: Any = None) -> NetRequest:
+        """A round trip with declared sizes (prepaid by netd)."""
+        if bytes_out < 0 or bytes_in < 0:
+            raise NetworkError("byte counts must be non-negative")
+        return NetRequest(bytes_out=bytes_out, bytes_in=bytes_in,
+                          destination=self.destination, payload=payload)
+
+    def send(self, nbytes: int, payload: Any = None) -> NetRequest:
+        """Outbound-only datagram(s)."""
+        return self.request(bytes_out=nbytes, payload=payload)
+
+    def poll(self, probe_bytes: int = 64, payload: Any = None) -> NetRequest:
+        """A poll whose response size the server decides.
+
+        The inbound cost is unknown up front, so netd debits it after
+        the fact — possibly into debt (§5.5.2).
+        """
+        return NetRequest(bytes_out=probe_bytes, bytes_in=0,
+                          destination=self.destination, payload=payload)
+
+    def datagram(self, nbytes: int) -> NetRequest:
+        """One UDP packet of ``nbytes`` (the Figure 4 keep-alive)."""
+        return NetRequest(bytes_out=nbytes, bytes_in=0, packets=1,
+                          destination=self.destination)

@@ -1,0 +1,14 @@
+"""Sensor peripherals beyond the radio: the GPS receiver.
+
+The paper names GPS with the radio as the devices whose non-linear
+power profiles reward OS coordination (§5.5); this package applies the
+netd recipe (pooled funding, shared results) to position fixes.
+"""
+
+from .gps import (Fix, FixOp, FixOpState, GpsDaemon, GpsDevice,
+                  GpsPowerParams, GpsState)
+
+__all__ = [
+    "Fix", "FixOp", "FixOpState", "GpsDaemon", "GpsDevice",
+    "GpsPowerParams", "GpsState",
+]

@@ -1,0 +1,212 @@
+"""GPS: the platform's other expensive, non-linear peripheral.
+
+The paper names GPS alongside the radio as a device whose "complex,
+non-linear power models" reward careful OS-level control (§5.5): a
+cold fix holds the receiver at high power for tens of seconds, after
+which a fix is *shareable* — any number of applications can consume a
+recent position for free.  That is the same amortization structure as
+the radio's activation cost, so the daemon here applies the same
+Cinder recipe netd uses: requesters pool energy in a decay-exempt
+reserve until one acquisition is funded, then everyone waiting rides
+the same fix.
+
+Like the radio, the physical receiver lives behind the closed ARM9
+(§4.1, Figure 15) — the chipset's ``gps_fix`` command returns the
+position; this module models its energy and its sharing policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.graph import ResourceGraph
+from ..core.reserve import Reserve
+from ..errors import HardwareError
+from ..kernel.thread_obj import Thread, ThreadState
+
+
+@dataclass(frozen=True)
+class GpsPowerParams:
+    """Energy constants for a G1-class GPS receiver."""
+
+    #: Time to first fix from a cold receiver.
+    cold_fix_s: float = 12.0
+    #: Extra draw while acquiring.
+    acquisition_watts: float = 0.36
+    #: Extra draw while tracking (receiver on, fix held).
+    tracking_watts: float = 0.18
+    #: How long the receiver keeps tracking after the last consumer.
+    linger_s: float = 5.0
+    #: How long a delivered fix stays fresh (shareable for free).
+    fix_validity_s: float = 30.0
+
+    @property
+    def acquisition_cost(self) -> float:
+        """Energy of one cold fix (the pooled expense)."""
+        return self.acquisition_watts * self.cold_fix_s
+
+
+class GpsState(Enum):
+    """Receiver power states."""
+
+    OFF = "off"
+    ACQUIRING = "acquiring"
+    TRACKING = "tracking"
+
+
+@dataclass
+class Fix:
+    """A delivered position."""
+
+    acquired_at: float
+    lat: float = 37.4275
+    lon: float = -122.1697
+
+    def fresh(self, now: float, validity_s: float) -> bool:
+        return now - self.acquired_at <= validity_s
+
+
+class GpsDevice:
+    """The receiver state machine (physical side)."""
+
+    def __init__(self, params: Optional[GpsPowerParams] = None) -> None:
+        self.params = params if params is not None else GpsPowerParams()
+        self.state = GpsState.OFF
+        self.acquire_started = -float("inf")
+        self.last_use = -float("inf")
+        self.last_fix: Optional[Fix] = None
+        self.acquisitions = 0
+        self.total_on_seconds = 0.0
+        self._on_since = 0.0
+
+    def start_acquisition(self, now: float) -> float:
+        """Power up; returns the time the fix will be ready."""
+        if self.state is GpsState.OFF:
+            self.state = GpsState.ACQUIRING
+            self.acquire_started = now
+            self.acquisitions += 1
+            self._on_since = now
+        self.last_use = now
+        if self.state is GpsState.TRACKING:
+            return now  # already have a fix
+        return self.acquire_started + self.params.cold_fix_s
+
+    def tick(self, now: float) -> None:
+        """Advance the state machine."""
+        if (self.state is GpsState.ACQUIRING
+                and now - self.acquire_started >= self.params.cold_fix_s):
+            self.state = GpsState.TRACKING
+            self.last_fix = Fix(acquired_at=now)
+            # Delivering the fix counts as use; the linger window runs
+            # from here, not from power-on.
+            self.last_use = now
+        if (self.state is GpsState.TRACKING
+                and now - self.last_use >= self.params.linger_s):
+            self.total_on_seconds += now - self._on_since
+            self.state = GpsState.OFF
+
+    def power_above_baseline(self, now: float) -> float:
+        """Instantaneous extra draw."""
+        if self.state is GpsState.ACQUIRING:
+            return self.params.acquisition_watts
+        if self.state is GpsState.TRACKING:
+            return self.params.tracking_watts
+        return 0.0
+
+
+class FixOpState(Enum):
+    """Lifecycle of one fix request."""
+
+    WAITING_ENERGY = "waiting-energy"
+    ACQUIRING = "acquiring"
+    DONE = "done"
+
+
+@dataclass
+class FixOp:
+    """One application's pending fix request."""
+
+    thread: Thread
+    owner: str
+    submitted_at: float
+    state: FixOpState = FixOpState.WAITING_ENERGY
+    fix: Optional[Fix] = None
+    billed_joules: float = 0.0
+
+
+class GpsDaemon:
+    """Pooled, cached fix service — netd's recipe applied to GPS."""
+
+    def __init__(self, graph: ResourceGraph, device: GpsDevice,
+                 clock: Callable[[], float],
+                 margin: float = 1.1) -> None:
+        if margin < 1.0:
+            raise HardwareError("margin must be >= 1")
+        self.graph = graph
+        self.device = device
+        self._clock = clock
+        self.margin = margin
+        self.pool: Reserve = graph.create_reserve(name="gpsd.pool",
+                                                  decay_exempt=True)
+        self._queue: List[FixOp] = []
+        self.cached_fixes_served = 0
+        self.pooled_acquisitions = 0
+
+    # -- request path ---------------------------------------------------------------
+
+    def request_fix(self, thread: Thread, owner: str = "") -> FixOp:
+        """Ask for a position; blocks the thread until one is fresh."""
+        now = self._clock()
+        op = FixOp(thread=thread, owner=owner or thread.name,
+                   submitted_at=now)
+        fix = self.device.last_fix
+        if fix is not None and fix.fresh(now, self.device.params.fix_validity_s):
+            # Sharing: a fresh fix is free to additional consumers.
+            op.fix = fix
+            op.state = FixOpState.DONE
+            self.device.last_use = now
+            self.cached_fixes_served += 1
+            return op
+        thread.state = ThreadState.BLOCKED
+        self._queue.append(op)
+        self.step(now)
+        return op
+
+    def step(self, now: float) -> None:
+        """Advance pending requests (engine device stepper)."""
+        self.device.tick(now)
+        waiting = [o for o in self._queue
+                   if o.state is FixOpState.WAITING_ENERGY]
+        if waiting and self.device.state is not GpsState.ACQUIRING:
+            required = self.margin * self.device.params.acquisition_cost
+            for op in waiting:
+                reserve = op.thread.active_reserve
+                if reserve.level > 0.0:
+                    moved = reserve.transfer_to(
+                        self.pool, min(reserve.level,
+                                       max(0.0, required - self.pool.level)))
+                    op.billed_joules += moved
+            if self.pool.level + 1e-12 >= required:
+                self.pool.consume(self.device.params.acquisition_cost)
+                self.device.start_acquisition(now)
+                self.pooled_acquisitions += 1
+                for op in waiting:
+                    op.state = FixOpState.ACQUIRING
+        elif waiting and self.device.state is GpsState.ACQUIRING:
+            for op in waiting:
+                op.state = FixOpState.ACQUIRING
+        # Deliver once tracking.
+        if self.device.state is GpsState.TRACKING:
+            for op in [o for o in self._queue
+                       if o.state is FixOpState.ACQUIRING]:
+                op.fix = self.device.last_fix
+                op.state = FixOpState.DONE
+                self.device.last_use = now
+                self._queue.remove(op)
+
+    @property
+    def waiting_count(self) -> int:
+        """Requests not yet satisfied."""
+        return len(self._queue)

@@ -1,0 +1,17 @@
+"""Discrete-time simulation: clock, processes, engine, traces."""
+
+from .clock import Clock
+from .engine import CinderSystem
+from .process import (CpuBurn, Exit, Fork, NetReply, NetRequest, Process,
+                      ProcessContext, Request, Sleep, SleepUntil, WaitFor)
+from .trace import TimeSeries, TraceRecorder
+from .workload import (batch_downloader, forking_spinner, keepalive_sender,
+                       periodic_poller, spinner, timed_spinner)
+
+__all__ = [
+    "Clock", "CinderSystem", "CpuBurn", "Exit", "Fork", "NetReply",
+    "NetRequest", "Process", "ProcessContext", "Request", "Sleep",
+    "SleepUntil", "WaitFor", "TimeSeries", "TraceRecorder",
+    "batch_downloader", "forking_spinner", "keepalive_sender",
+    "periodic_poller", "spinner", "timed_spinner",
+]

@@ -1,0 +1,304 @@
+"""The simulation engine: one tick of Cinder, repeated.
+
+Each tick (default 10 ms) the engine performs, in order:
+
+1. **batch tap flow and decay** — ``graph.step`` (paper §3.3:
+   "transfers are executed in batch periodically");
+2. **device state machines** — the radio's timeout, netd's admission
+   pump (unblocking pooled waiters, §5.5.2);
+3. **timers and process resumption** — sleeps expire, completed
+   network operations resume their generators;
+4. **the energy-aware scheduler** — one quantum, billed to the running
+   thread's active reserve (§3.2);
+5. **physical power integration** — the true system draw (baseline +
+   CPU + backlight + radio) feeds the simulated Agilent meter and
+   drains the physical battery.
+
+The *logical* energy graph and the *physical* meter are deliberately
+separate books: the graph holds Cinder's budget abstraction; the meter
+reports what an instrumented power supply would see.  Experiments
+compare the two, exactly as the paper's figures do.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..core.accounting import ConsumptionLedger
+from ..core.decay import DecayPolicy
+from ..core.graph import ResourceGraph
+from ..core.reserve import Reserve
+from ..core.scheduler import EnergyAwareScheduler
+from ..energy.battery import Battery
+from ..energy.meter import PowerMeter
+from ..energy.model import DreamPowerModel
+from ..errors import SimulationError
+from ..kernel.kernel import Kernel
+from ..net.netd import NetworkDaemon, PendingOp
+from ..net.radio import RadioDevice
+from ..net.remote import RemoteHosts
+from .clock import Clock
+from .process import (CpuBurn, Fork, NetRequest, Process, ProcessContext,
+                      Request, Sleep, SleepUntil, WaitFor)
+from .trace import TraceRecorder
+
+
+class CinderSystem:
+    """A complete simulated Cinder device."""
+
+    def __init__(
+        self,
+        battery_joules: float = 15_000.0,
+        tick_s: float = 0.01,
+        model: Optional[DreamPowerModel] = None,
+        seed: int = 0,
+        decay_half_life_s: float = 600.0,
+        decay_enabled: bool = True,
+        meter_noise: float = 0.0,
+        record_interval_s: float = 0.2,
+        backlight_on: bool = False,
+        cooperative_netd: bool = True,
+        unrestricted_netd: bool = False,
+        hosts: Optional[RemoteHosts] = None,
+    ) -> None:
+        self.model = model if model is not None else DreamPowerModel()
+        self.clock = Clock(tick_s)
+        self.kernel = Kernel(battery_joules)
+        self.graph: ResourceGraph = self.kernel.energy_graph
+        self.graph.decay_policy = DecayPolicy(decay_half_life_s,
+                                              decay_enabled)
+        self.ledger = ConsumptionLedger(clock=lambda: self.clock.now)
+        self.scheduler = EnergyAwareScheduler(self.model.cpu_active_watts,
+                                              self.ledger)
+        self.rng = np.random.default_rng(seed)
+        self.radio = RadioDevice(self.model.radio,
+                                 rng=np.random.default_rng(seed + 1))
+        self.netd = NetworkDaemon(
+            self.graph, self.radio, clock=lambda: self.clock.now,
+            hosts=hosts, cooperative=cooperative_netd,
+            unrestricted=unrestricted_netd, ledger=self.ledger)
+        self.netd_gate = self.netd.make_gate(self.kernel)
+        self.meter = PowerMeter(supply_voltage=self.model.supply_voltage,
+                                noise_fraction=meter_noise,
+                                rng=np.random.default_rng(seed + 2))
+        self.battery = Battery(capacity_joules=max(battery_joules, 1.0),
+                               charge_joules=battery_joules)
+        self.trace = TraceRecorder()
+        self.record_interval_s = record_interval_s
+        self.backlight_on = backlight_on
+        self.processes: List[Process] = []
+        self._net_ops: Dict[Process, PendingOp] = {}
+        self._timers: List = []
+        self._timer_seq = itertools.count()
+        self._last_record = -float("inf")
+        #: Extra devices: per-tick steppers and power contributions.
+        self._device_steppers: List[Callable[[float], None]] = []
+        self._power_sources: List[Callable[[float], float]] = []
+
+    def add_device(self,
+                   stepper: Optional[Callable[[float], None]] = None,
+                   power: Optional[Callable[[float], float]] = None
+                   ) -> None:
+        """Attach an extra device to the tick loop.
+
+        ``stepper(now)`` runs with the other device state machines;
+        ``power(now)`` returns the device's draw above baseline and is
+        added to the metered system power.  The GPS subsystem uses
+        this; any future peripheral model can too.
+        """
+        if stepper is not None:
+            self._device_steppers.append(stepper)
+        if power is not None:
+            self._power_sources.append(power)
+
+    # -- wiring helpers ---------------------------------------------------------------
+
+    @property
+    def battery_reserve(self) -> Reserve:
+        """The root of the resource graph (the logical battery, §3.4)."""
+        return self.graph.root
+
+    def new_reserve(self, name: str = "", decay_exempt: bool = False
+                    ) -> Reserve:
+        """An empty reserve, registered with both graph and kernel."""
+        return self.kernel.create_reserve(name=name,
+                                          decay_exempt=decay_exempt)
+
+    def powered_reserve(self, watts: float, name: str = "",
+                        source: Optional[Reserve] = None) -> Reserve:
+        """A reserve fed by a constant tap (from the battery by default).
+
+        This is the Figure 1 pattern and the workhorse of every
+        experiment setup.
+        """
+        reserve = self.new_reserve(name=name)
+        self.kernel.create_tap(source if source is not None
+                               else self.battery_reserve,
+                               reserve, watts, name=f"{name}.in")
+        return reserve
+
+    # -- processes ------------------------------------------------------------------------
+
+    def spawn(self, program: Callable[[ProcessContext], Generator],
+              name: str, reserve: Optional[Reserve] = None) -> Process:
+        """Create a process (kernel thread + generator) ready to run."""
+        thread = self.kernel.create_thread(name=name)
+        if reserve is not None:
+            thread.set_active_reserve(reserve)
+        self.scheduler.add_thread(thread)
+        context = ProcessContext(self, None)  # type: ignore[arg-type]
+        process = Process(name, thread, program, context)
+        context.process = process
+        self.processes.append(process)
+        return process
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at simulation time ``when`` (engine-side
+        scripting: the task manager schedules, figures use it too)."""
+        if when < self.clock.now:
+            raise SimulationError(f"cannot schedule in the past ({when})")
+        heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
+
+    # -- the tick ---------------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the system by one tick."""
+        dt = self.clock.tick_s
+        now = self.clock.now
+
+        # 1. batch tap flow + global decay (§3.3, §5.2.2)
+        self.graph.step(dt)
+
+        # 2. device state machines
+        self.radio.tick(now)
+        self.netd.step(now)
+        for stepper in self._device_steppers:
+            stepper(now)
+
+        # 3. timers, then process resumption
+        while self._timers and self._timers[0][0] <= now + 1e-12:
+            _, _, callback = heapq.heappop(self._timers)
+            callback()
+        self._pump_processes(now)
+
+        # 4. one scheduler quantum
+        ran = self.scheduler.step(dt)
+        if ran is not None:
+            self._account_burn(ran, dt)
+
+        # 5. physical power integration
+        radio_watts = self.radio.power_above_baseline(now)
+        radio_watts += sum(source(now) for source in self._power_sources)
+        power = self.model.system_power(cpu_busy=ran is not None,
+                                        backlight_on=self.backlight_on,
+                                        radio_watts=radio_watts)
+        self.meter.feed(power, dt)
+        self.battery.drain(power * dt)
+        if now - self._last_record >= self.record_interval_s - 1e-12:
+            self.trace.record("power.system", now, power)
+            self.trace.record("power.radio", now, radio_watts)
+            self.trace.sample_probes(now)
+            self._last_record = now
+
+        self.clock.advance()
+
+    def run(self, duration_s: float) -> None:
+        """Step until ``duration_s`` of simulated time has elapsed."""
+        if duration_s < 0:
+            raise SimulationError("duration must be non-negative")
+        deadline = self.clock.now + duration_s
+        while self.clock.now < deadline - 1e-12:
+            self.step()
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_s: float = 36_000.0) -> float:
+        """Step until ``predicate()`` or ``max_s``; returns elapsed time."""
+        start = self.clock.now
+        while not predicate():
+            if self.clock.now - start >= max_s:
+                raise SimulationError(
+                    f"run_until exceeded {max_s} simulated seconds")
+            self.step()
+        return self.clock.now - start
+
+    # -- process internals ----------------------------------------------------------------------
+
+    def _pump_processes(self, now: float) -> None:
+        for process in list(self.processes):
+            if process.finished:
+                continue
+            if not process.started:
+                self._advance(process)
+                continue
+            request = process.current
+            if isinstance(request, (Sleep, SleepUntil)):
+                if now + 1e-12 >= process.thread.wake_at:
+                    process.complete_current(None)
+                    self._advance(process)
+            elif isinstance(request, WaitFor):
+                if request.predicate():
+                    process.complete_current(None)
+                    self._advance(process)
+            elif isinstance(request, NetRequest):
+                op = self._net_ops.get(process)
+                if op is not None:
+                    reply = self.netd.reply_for(op)
+                    if reply is not None:
+                        del self._net_ops[process]
+                        process.complete_current(reply)
+                        self._advance(process)
+
+    def _advance(self, process: Process) -> None:
+        """Drive a process to its next *blocking* request."""
+        while True:
+            request = process.advance()
+            if request is None:
+                self.scheduler.remove_thread(process.thread)
+                return
+            if isinstance(request, Fork):
+                child = self.spawn(request.program,
+                                   request.name or f"{process.name}.child")
+                if request.setup is not None:
+                    request.setup(child)
+                process.complete_current(child)
+                continue
+            if isinstance(request, NetRequest):
+                op = self.netd_gate.call(process.thread, request)
+                reply = self.netd.reply_for(op)
+                if reply is not None:
+                    # Completed synchronously (instant affordable op).
+                    process.complete_current(reply)
+                    continue
+                self._net_ops[process] = op
+                return
+            # CpuBurn / Sleep / SleepUntil / WaitFor block until a later
+            # tick; Process.advance already set the thread state.
+            return
+
+    def _account_burn(self, thread, dt: float) -> None:
+        for process in self.processes:
+            if process.thread is thread and isinstance(process.current,
+                                                       CpuBurn):
+                process.burn_remaining -= dt
+                if process.burn_remaining <= 1e-12:
+                    process.complete_current(None)
+                    self._advance(process)
+                return
+
+    # -- reporting -------------------------------------------------------------------------------
+
+    def watch_reserve(self, reserve: Reserve, name: str = "") -> None:
+        """Record ``reserve``'s level on every trace interval."""
+        label = name or f"reserve.{reserve.name}"
+        self.trace.add_probe(label, lambda: reserve.level)
+
+    def process_named(self, name: str) -> Process:
+        """Find a process by name."""
+        for process in self.processes:
+            if process.name == name:
+                return process
+        raise SimulationError(f"no process named {name!r}")

@@ -1,0 +1,248 @@
+"""Processes: generator coroutines over kernel threads.
+
+A simulated program is a Python generator function::
+
+    def mail_checker(ctx):
+        while True:
+            reply = yield NetRequest(bytes_out=256, bytes_in=30 * 1024)
+            yield SleepUntil(next_poll_time)
+
+Each ``yield`` hands the engine a :class:`Request`; the engine resumes
+the generator (sending a result back in) when the request completes.
+``CpuBurn`` requests consume scheduler quanta — and therefore energy
+from the process's active reserve — so a program that computes is a
+program that spends.
+
+``ctx`` is a :class:`ProcessContext` giving programs the paper's
+userspace view: the clock, their reserves (for the §5.3 energy-aware
+adaptation pattern of *checking the level*), and fork/exec-style
+spawning (Figure 9's B spawning B1 and B2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Callable, Generator, Optional)
+
+from ..errors import SimulationError
+from ..kernel.thread_obj import Thread, ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import CinderSystem
+
+
+# ---------------------------------------------------------------------------
+# request vocabulary
+# ---------------------------------------------------------------------------
+
+
+class Request:
+    """Base class for everything a program can yield."""
+
+
+@dataclass
+class CpuBurn(Request):
+    """Execute on the CPU for ``seconds`` of busy time.
+
+    Use ``math.inf`` for a spinner that never finishes (Figures 9/12).
+    """
+
+    seconds: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError("CpuBurn seconds must be non-negative")
+
+
+@dataclass
+class Sleep(Request):
+    """Block for ``seconds`` of wall-clock time (no CPU, no energy)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError("Sleep seconds must be non-negative")
+
+
+@dataclass
+class SleepUntil(Request):
+    """Block until an absolute simulation time."""
+
+    deadline: float
+
+
+@dataclass
+class WaitFor(Request):
+    """Block until a predicate becomes true (checked every tick)."""
+
+    predicate: Callable[[], bool]
+
+
+@dataclass
+class NetRequest(Request):
+    """One network round trip through netd (paper §5.5).
+
+    The requesting thread blocks inside netd until the operation is
+    both *affordable* (reserve/pool gating) and *complete* (transfer
+    finished).  The engine returns a :class:`NetReply`.
+    """
+
+    bytes_out: int = 0
+    bytes_in: int = 0
+    #: Datagram count hint for per-packet cost (0 = derive from bytes).
+    packets: int = 0
+    #: Destination tag, resolved against the synthetic remote servers.
+    destination: str = "echo"
+    #: Optional application payload interpreted by the remote server.
+    payload: Any = None
+
+    def total_bytes(self) -> int:
+        return max(0, self.bytes_out) + max(0, self.bytes_in)
+
+    def total_packets(self, mtu: int = 1500) -> int:
+        if self.packets > 0:
+            return self.packets
+        return max(1, math.ceil(self.total_bytes() / mtu))
+
+
+@dataclass
+class NetReply:
+    """What a completed NetRequest resumes with."""
+
+    bytes_out: int
+    bytes_in: int
+    #: Energy billed to the caller for this operation (joules).
+    billed_joules: float
+    #: Time the operation spent blocked waiting for energy.
+    wait_seconds: float
+    #: Application-level response from the remote server, if any.
+    response: Any = None
+
+
+@dataclass
+class Fork(Request):
+    """Spawn a child process; resumes with the child's Process."""
+
+    program: Callable[["ProcessContext"], Generator]
+    name: str = ""
+    #: Optional hook run on the child Process before it first runs —
+    #: Figure 9's B uses this to wire the child's reserve and taps.
+    setup: Optional[Callable[["Process"], None]] = None
+
+
+class Exit(Request):
+    """Terminate the process."""
+
+
+# ---------------------------------------------------------------------------
+# process machinery
+# ---------------------------------------------------------------------------
+
+
+class ProcessContext:
+    """The userspace environment handed to every program."""
+
+    def __init__(self, system: "CinderSystem", process: "Process") -> None:
+        self.system = system
+        self.process = process
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.system.clock.now
+
+    @property
+    def thread(self) -> Thread:
+        """The process's kernel thread."""
+        return self.process.thread
+
+    def reserve_level(self) -> float:
+        """Level of the active reserve — the §5.3 adaptation signal."""
+        return self.process.thread.active_reserve.level
+
+
+class Process:
+    """A running program: generator + kernel thread + request state."""
+
+    def __init__(self, name: str, thread: Thread,
+                 program: Callable[[ProcessContext], Generator],
+                 context: ProcessContext) -> None:
+        self.name = name
+        self.thread = thread
+        self._generator = program(context)
+        self.context = context
+        #: The request currently being serviced (None before first run
+        #: and after exit).
+        self.current: Optional[Request] = None
+        #: Value to send into the generator at the next resume.
+        self.pending_result: Any = None
+        self.started = False
+        self.finished = False
+        #: Remaining busy time for an in-flight CpuBurn.
+        self.burn_remaining = 0.0
+        #: Accounting: number of requests issued, by type name.
+        self.request_counts: dict = {}
+
+    # -- generator stepping ---------------------------------------------------
+
+    def advance(self) -> Optional[Request]:
+        """Resume the generator; stash and return the next request.
+
+        Returns None when the program has exited.  The engine — not
+        the process — decides *when* to call this.
+        """
+        if self.finished:
+            return None
+        try:
+            if not self.started:
+                self.started = True
+                request = next(self._generator)
+            else:
+                result, self.pending_result = self.pending_result, None
+                request = self._generator.send(result)
+        except StopIteration:
+            self._finish()
+            return None
+        if isinstance(request, Exit):
+            self._generator.close()
+            self._finish()
+            return None
+        if not isinstance(request, Request):
+            raise SimulationError(
+                f"process {self.name!r} yielded {request!r}, not a Request")
+        self.current = request
+        name = type(request).__name__
+        self.request_counts[name] = self.request_counts.get(name, 0) + 1
+        if isinstance(request, CpuBurn):
+            self.burn_remaining = request.seconds
+            self.thread.state = ThreadState.RUNNABLE
+        elif isinstance(request, (Sleep, SleepUntil)):
+            self.thread.state = ThreadState.SLEEPING
+            self.thread.wake_at = (
+                self.context.now + request.seconds
+                if isinstance(request, Sleep) else request.deadline)
+        else:
+            self.thread.state = ThreadState.BLOCKED
+        return request
+
+    def _finish(self) -> None:
+        self.finished = True
+        self.current = None
+        self.thread.state = ThreadState.DEAD
+
+    def complete_current(self, result: Any = None) -> None:
+        """Mark the current request done; generator resumes next tick."""
+        self.current = None
+        self.pending_result = result
+
+    # -- predicates the engine polls ----------------------------------------------
+
+    def wants_cpu(self) -> bool:
+        """True if the process is inside a CpuBurn."""
+        return (not self.finished and isinstance(self.current, CpuBurn))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "finished" if self.finished else type(self.current).__name__
+        return f"<Process {self.name!r} {status}>"

@@ -1,0 +1,113 @@
+"""Canned workload programs.
+
+The evaluation's process zoo, as reusable generator factories: CPU
+spinners (Figures 9 and 12), periodic network pollers (Figure 13), and
+batch downloaders (Figures 10/11 use the richer viewer in
+:mod:`repro.apps.image_viewer`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator, Optional
+
+from ..units import KiB
+from .process import (CpuBurn, Fork, NetRequest, ProcessContext, Sleep,
+                      SleepUntil)
+
+
+def spinner() -> Callable[[ProcessContext], Generator]:
+    """A process that burns CPU forever (energy permitting)."""
+    def program(ctx: ProcessContext) -> Generator:
+        yield CpuBurn(math.inf)
+    return program
+
+
+def timed_spinner(seconds: float) -> Callable[[ProcessContext], Generator]:
+    """Burn CPU for a fixed busy time, then exit."""
+    def program(ctx: ProcessContext) -> Generator:
+        yield CpuBurn(seconds)
+    return program
+
+
+def forking_spinner(
+    fork_times: dict,
+) -> Callable[[ProcessContext], Generator]:
+    """The Figure 9 workload: spin, forking children at given times.
+
+    ``fork_times`` maps absolute fork time -> (child name, setup
+    callable).  Between forks the parent spins; children spin forever.
+    """
+    def program(ctx: ProcessContext) -> Generator:
+        for when in sorted(fork_times):
+            name, setup = fork_times[when]
+            remaining = when - ctx.now
+            if remaining > 0:
+                yield CpuBurn(remaining)
+            yield Fork(spinner(), name=name, setup=setup)
+        yield CpuBurn(math.inf)
+    return program
+
+
+def periodic_poller(
+    destination: str,
+    period_s: float = 60.0,
+    start_offset_s: float = 0.0,
+    bytes_out: int = 256,
+    bytes_in: int = KiB(30),
+    payload: Any = None,
+    max_polls: Optional[int] = None,
+) -> Callable[[ProcessContext], Generator]:
+    """A background daemon polling a server every ``period_s``.
+
+    Polls fire on a fixed grid (offset + k * period) regardless of how
+    long the previous poll blocked, matching the paper's "poll
+    interval of 60 seconds" daemons whose *allocation* — not their
+    schedule — decides when the radio actually turns on.
+    """
+    def program(ctx: ProcessContext) -> Generator:
+        if start_offset_s > 0:
+            yield SleepUntil(start_offset_s)
+        polls = 0
+        while max_polls is None or polls < max_polls:
+            yield NetRequest(bytes_out=bytes_out, bytes_in=bytes_in,
+                             destination=destination, payload=payload)
+            polls += 1
+            next_poll = start_offset_s + polls * period_s
+            if next_poll > ctx.now:
+                yield SleepUntil(next_poll)
+    return program
+
+
+def keepalive_sender(
+    interval_s: float = 40.0,
+    nbytes: int = 1,
+    count: int = 10,
+    destination: str = "echo",
+) -> Callable[[ProcessContext], Generator]:
+    """The Figure 4 workload: one tiny UDP packet every ~40 s."""
+    def program(ctx: ProcessContext) -> Generator:
+        for i in range(count):
+            yield NetRequest(bytes_out=nbytes, bytes_in=0, packets=1,
+                             destination=destination)
+            yield SleepUntil((i + 1) * interval_s)
+    return program
+
+
+def batch_downloader(
+    destination: str,
+    batches: int,
+    items_per_batch: int,
+    bytes_per_item: int,
+    pause_after_batch: Callable[[int], float],
+) -> Callable[[ProcessContext], Generator]:
+    """Download batches of fixed-size items with pauses in between."""
+    def program(ctx: ProcessContext) -> Generator:
+        for batch in range(batches):
+            for _ in range(items_per_batch):
+                yield NetRequest(bytes_out=512, bytes_in=bytes_per_item,
+                                 destination=destination)
+            pause = pause_after_batch(batch)
+            if pause > 0:
+                yield Sleep(pause)
+    return program

@@ -1,0 +1,158 @@
+"""Unit helpers for the Cinder reproduction.
+
+Internally everything is SI floats: joules, watts, seconds, bytes.  The
+paper, however, talks in milliwatts (taps), millijoules and microjoules
+(reserve plots) and KiB/MiB (transfer plots).  These helpers keep call
+sites readable and make the figure harnesses print the same units the
+paper's axes use.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# constructors: readable literals -> SI floats
+# ---------------------------------------------------------------------------
+
+
+def watts(value: float) -> float:
+    """Identity; exists for symmetry so call sites can be explicit."""
+    return float(value)
+
+
+def mW(value: float) -> float:
+    """Milliwatts to watts."""
+    return float(value) * 1e-3
+
+
+def uW(value: float) -> float:
+    """Microwatts to watts."""
+    return float(value) * 1e-6
+
+
+def joules(value: float) -> float:
+    """Identity; exists for symmetry."""
+    return float(value)
+
+
+def mJ(value: float) -> float:
+    """Millijoules to joules."""
+    return float(value) * 1e-3
+
+
+def uJ(value: float) -> float:
+    """Microjoules to joules."""
+    return float(value) * 1e-6
+
+
+def kJ(value: float) -> float:
+    """Kilojoules to joules."""
+    return float(value) * 1e3
+
+
+def seconds(value: float) -> float:
+    """Identity; exists for symmetry."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Minutes to seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Hours to seconds."""
+    return float(value) * 3600.0
+
+
+def KiB(value: float) -> int:
+    """Kibibytes to bytes."""
+    return int(round(float(value) * 1024))
+
+
+def MiB(value: float) -> int:
+    """Mebibytes to bytes."""
+    return int(round(float(value) * 1024 * 1024))
+
+
+# ---------------------------------------------------------------------------
+# accessors: SI floats -> display units
+# ---------------------------------------------------------------------------
+
+
+def as_mW(value_watts: float) -> float:
+    """Watts to milliwatts."""
+    return value_watts * 1e3
+
+
+def as_mJ(value_joules: float) -> float:
+    """Joules to millijoules."""
+    return value_joules * 1e3
+
+
+def as_uJ(value_joules: float) -> float:
+    """Joules to microjoules."""
+    return value_joules * 1e6
+
+
+def as_kJ(value_joules: float) -> float:
+    """Joules to kilojoules."""
+    return value_joules * 1e-3
+
+
+def as_KiB(value_bytes: float) -> float:
+    """Bytes to kibibytes."""
+    return value_bytes / 1024.0
+
+
+def as_MiB(value_bytes: float) -> float:
+    """Bytes to mebibytes."""
+    return value_bytes / (1024.0 * 1024.0)
+
+
+# ---------------------------------------------------------------------------
+# formatters
+# ---------------------------------------------------------------------------
+
+
+def fmt_power(value_watts: float) -> str:
+    """Render a power as the most readable of W/mW/uW."""
+    magnitude = abs(value_watts)
+    if magnitude >= 1.0:
+        return f"{value_watts:.3f} W"
+    if magnitude >= 1e-3:
+        return f"{value_watts * 1e3:.1f} mW"
+    return f"{value_watts * 1e6:.1f} uW"
+
+
+def fmt_energy(value_joules: float) -> str:
+    """Render an energy as the most readable of kJ/J/mJ/uJ."""
+    magnitude = abs(value_joules)
+    if magnitude >= 1e3:
+        return f"{value_joules * 1e-3:.2f} kJ"
+    if magnitude >= 1.0:
+        return f"{value_joules:.2f} J"
+    if magnitude >= 1e-3:
+        return f"{value_joules * 1e3:.1f} mJ"
+    return f"{value_joules * 1e6:.1f} uJ"
+
+
+def fmt_bytes(value_bytes: float) -> str:
+    """Render a byte count as B/KiB/MiB."""
+    magnitude = abs(value_bytes)
+    if magnitude >= 1024 * 1024:
+        return f"{value_bytes / (1024 * 1024):.2f} MiB"
+    if magnitude >= 1024:
+        return f"{value_bytes / 1024:.1f} KiB"
+    return f"{int(value_bytes)} B"
+
+
+def fmt_duration(value_seconds: float) -> str:
+    """Render a duration as s or h:mm:ss for long spans."""
+    if value_seconds < 120.0:
+        return f"{value_seconds:.1f} s"
+    total = int(round(value_seconds))
+    hours_part, rem = divmod(total, 3600)
+    minutes_part, seconds_part = divmod(rem, 60)
+    if hours_part:
+        return f"{hours_part}:{minutes_part:02d}:{seconds_part:02d}"
+    return f"{minutes_part}m{seconds_part:02d}s"

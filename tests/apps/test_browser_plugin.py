@@ -1,0 +1,162 @@
+"""Tests for the browser/extension pair (§5.2) and plugin sandboxing."""
+
+import math
+
+import pytest
+
+from repro.apps.browser import BrowserApp, BrowserConfig, ExtensionMailbox
+from repro.apps.plugin import (bursty_plugin, make_plugin_sandbox,
+                               runaway_plugin)
+from repro.errors import HoardingError, SimulationError
+from repro.kernel.labels import check_modify
+from repro.sim.workload import spinner
+from repro.units import mJ, mW
+
+from ..conftest import make_system
+
+
+class TestMailbox:
+    def test_request_reply_cycle(self):
+        mailbox = ExtensionMailbox()
+        rid = mailbox.post()
+        assert mailbox.pending == 1
+        assert mailbox.take() == rid
+        assert not mailbox.has_reply(rid)
+        mailbox.reply(rid)
+        assert mailbox.has_reply(rid)
+
+    def test_fifo_order(self):
+        mailbox = ExtensionMailbox()
+        first, second = mailbox.post(), mailbox.post()
+        assert mailbox.take() == first
+        assert mailbox.take() == second
+        assert mailbox.take() is None
+
+
+class TestBrowserExtension:
+    def test_healthy_extension_augments_pages(self):
+        system = make_system()
+        app = BrowserApp(system, browser_watts=mW(700),
+                         extension_watts=mW(137),
+                         config=BrowserConfig(pages=8))
+        app.launch()
+        system.run_until(lambda: app.stats.pages_loaded >= 8, max_s=120.0)
+        assert app.stats.pages_augmented == 8
+        assert app.stats.pages_plain == 0
+
+    def test_starved_extension_degrades_gracefully(self):
+        """§5.2: 'if the extension is unresponsive due to lack of
+        energy the browser can display the unaugmented page'."""
+        system = make_system()
+        app = BrowserApp(system, browser_watts=mW(700),
+                         extension_watts=mW(2),  # starved
+                         config=BrowserConfig(pages=6,
+                                              extension_timeout_s=1.0))
+        app.launch()
+        system.run_until(lambda: app.stats.pages_loaded >= 6, max_s=120.0)
+        assert app.stats.pages_plain >= 4
+        # The browser itself kept rendering.
+        assert app.stats.pages_loaded == 6
+
+    def test_per_page_taps_scale_and_revoke(self):
+        """§5.2: one tap per page; navigation revokes it."""
+        system = make_system()
+        app = BrowserApp(system)
+        tap = app.open_page("news", watts=mW(10))
+        assert app.open_pages == 1
+        with pytest.raises(SimulationError):
+            app.open_page("news")
+        app.close_page("news")
+        assert app.open_pages == 0
+        assert not tap.alive
+        with pytest.raises(SimulationError):
+            app.close_page("news")
+
+    def test_figure_6a_no_sharing_hoards(self):
+        system = make_system()
+        app = BrowserApp(system, extension_watts=mW(70),
+                         share_unused=False)
+        system.run(60.0)
+        # Nothing spends from the extension reserve: it accumulates
+        # the full 70 mW x 60 s.
+        assert app.extension_reserve.level == pytest.approx(4.2, rel=0.05)
+
+    def test_figure_6b_sharing_caps_at_equilibrium(self):
+        system = make_system()
+        app = BrowserApp(system, extension_watts=mW(70),
+                         back_fraction=0.1, share_unused=True)
+        system.run(120.0)
+        # Figure 6b: the idle plugin reserve tops out at ~700 mJ.
+        assert app.extension_reserve.level == pytest.approx(0.700,
+                                                            rel=0.05)
+
+
+class TestPluginSandbox:
+    def test_burst_capacity_is_equilibrium(self, graph):
+        host = graph.create_reserve(name="host", source=graph.root,
+                                    level=100.0)
+        sandbox = make_plugin_sandbox(graph, host, mW(70),
+                                      back_fraction=0.1)
+        assert sandbox.burst_capacity_joules == pytest.approx(0.700)
+
+    def test_plugin_cannot_modify_its_taps(self, graph):
+        host = graph.create_reserve(name="host", source=graph.root,
+                                    level=100.0)
+        sandbox = make_plugin_sandbox(graph, host, mW(70))
+        from repro.errors import LabelError
+        from repro.kernel.labels import Label, NO_PRIVILEGES
+        with pytest.raises(LabelError):
+            check_modify(Label(), NO_PRIVILEGES,
+                         sandbox.child.forward.label, what="tap")
+        check_modify(Label(), sandbox.host_privileges,
+                     sandbox.child.forward.label)
+
+    def test_hoard_attempt_inherits_taxes(self, graph):
+        host = graph.create_reserve(name="host", source=graph.root,
+                                    level=100.0)
+        sandbox = make_plugin_sandbox(graph, host, mW(70))
+        # Bank some energy first.
+        for _ in range(200):
+            graph.step(0.1)
+        stash = sandbox.try_hoard(sandbox.reserve.level / 2)
+        # The stash drains at least as fast as the original.
+        assert graph.drain_rate_of(stash) >= graph.drain_rate_of(
+            sandbox.reserve) - 1e-12
+
+    def test_raw_fast_to_slow_transfer_blocked(self, graph):
+        host = graph.create_reserve(name="host", source=graph.root,
+                                    level=100.0)
+        sandbox = make_plugin_sandbox(graph, host, mW(70))
+        for _ in range(200):
+            graph.step(0.1)
+        untaxed = graph.create_reserve(name="untaxed")
+        with pytest.raises(HoardingError):
+            graph.checked_transfer(sandbox.reserve, untaxed,
+                                   sandbox.reserve.level / 2)
+
+    def test_runaway_plugin_cannot_starve_host(self):
+        """§2.2's motivating case: the buggy plugin spins forever but
+        the browser keeps its share."""
+        system = make_system()
+        host = system.powered_reserve(mW(137), name="browser")
+        sandbox = make_plugin_sandbox(system.graph, host, mW(14))
+        hog = system.spawn(runaway_plugin(), "plugin",
+                           reserve=sandbox.reserve)
+        browser = system.spawn(spinner(), "browser", reserve=host)
+        system.run(30.0)
+        # The plugin is pinned near its 14 mW allowance...
+        hog_power = hog.thread.cpu_time * 0.137 / 30.0
+        assert hog_power == pytest.approx(0.014, rel=0.2)
+        # ...and the browser gets the rest.
+        assert browser.thread.cpu_time > 5 * hog.thread.cpu_time
+
+    def test_bursty_plugin_uses_banked_energy(self):
+        system = make_system()
+        host = system.powered_reserve(mW(200), name="host")
+        sandbox = make_plugin_sandbox(system.graph, host, mW(20),
+                                      back_fraction=0.05)
+        plugin = system.spawn(bursty_plugin(burst_cpu_s=0.3, idle_s=5.0,
+                                            bursts=3),
+                              "plugin", reserve=sandbox.reserve)
+        system.run(30.0)
+        assert plugin.finished  # bursts completed despite 20 mW average

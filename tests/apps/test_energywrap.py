@@ -1,0 +1,72 @@
+"""Tests for energywrap (§5.1, Figure 5)."""
+
+import math
+
+import pytest
+
+from repro.apps.energywrap import energywrap, wrap_child
+from repro.sim.workload import spinner, timed_spinner
+from repro.units import mW
+
+from ..conftest import make_system
+
+
+class TestEnergywrap:
+    def test_sandbox_limits_average_power(self):
+        system = make_system()
+        wrapped = energywrap(system, mW(68.5), spinner(), "hog")
+        system.run(20.0)
+        spent = wrapped.reserve.total_consumed
+        assert spent / 20.0 == pytest.approx(0.0685, rel=0.05)
+        # The hog wanted the whole 137 mW CPU but got half.
+        assert wrapped.process.thread.cpu_time == pytest.approx(10.0,
+                                                                rel=0.05)
+
+    def test_wrap_draws_from_given_source(self):
+        system = make_system()
+        parent = system.powered_reserve(mW(100), name="parent")
+        wrapped = energywrap(system, mW(50), spinner(), "child",
+                             source=parent)
+        system.run(10.0)
+        # The child's tap drained the parent's reserve.
+        assert parent.total_transferred_out > 0.4
+
+    def test_rate_is_figure5_milliwatts(self):
+        system = make_system()
+        wrapped = energywrap(system, mW(1), timed_spinner(0.1), "tiny")
+        assert wrapped.rate_watts == pytest.approx(1e-3)
+
+    def test_wrap_composes_with_itself(self):
+        """energywrap can wrap energywrap (§5.1 scripting)."""
+        system = make_system()
+        outer = energywrap(system, mW(100), spinner(), "outer")
+        inner = energywrap(system, mW(25), spinner(), "inner",
+                           source=outer.reserve)
+        system.run(20.0)
+        inner_power = inner.reserve.total_consumed / 20.0
+        outer_power = outer.reserve.total_consumed / 20.0
+        assert inner_power == pytest.approx(0.025, rel=0.1)
+        # Outer keeps what its child does not siphon.
+        assert outer_power == pytest.approx(0.075, rel=0.1)
+
+    def test_wrap_child_uses_parent_reserve(self):
+        system = make_system()
+        parent = energywrap(system, mW(68.5), spinner(), "B")
+        child = wrap_child(system, parent.process, mW(68.5) / 4,
+                           spinner(), "B1")
+        assert child.tap.source is parent.reserve
+
+    def test_unaware_application_is_still_limited(self):
+        """§5.1: 'even energy-unaware applications [can] be augmented
+        with energy policies' — the program never references energy."""
+        system = make_system()
+
+        def oblivious(ctx):
+            yield from timed_spinner(5.0)(ctx)
+
+        wrapped = energywrap(system, mW(13.7), oblivious, "legacy")
+        system.run(30.0)
+        # 13.7 mW buys 10% duty: only ~3 s of the 5 s burn finished.
+        assert not wrapped.process.finished
+        assert wrapped.process.thread.cpu_time == pytest.approx(3.0,
+                                                                rel=0.1)

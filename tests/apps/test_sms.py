@@ -1,0 +1,95 @@
+"""Tests for the quota-gated SMS sender (§7 + §9)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sms import SmsSender, SmsStats, sms_burst_program
+from repro.core.decay import DecayPolicy
+from repro.core.graph import ResourceGraph
+from repro.core.reserve import SMS_MESSAGES
+from repro.errors import ReserveEmptyError
+from repro.hw.msm7201a import Msm7201a
+from repro.hw.rild import RildDaemon
+from repro.hw.smdd import SmddDaemon
+from repro.units import mW
+
+from ..conftest import make_system
+
+
+def build_sms_stack(system, quota_messages=5):
+    chipset = Msm7201a.build(system.radio, system.battery,
+                             lambda: system.clock.now)
+    smdd = SmddDaemon(system.kernel, chipset,
+                      system.model.cpu_active_watts)
+    rild = RildDaemon(system.kernel, smdd,
+                      system.model.cpu_active_watts)
+    plan = ResourceGraph(100.0, kind=SMS_MESSAGES, root_name="sms-plan",
+                         decay=DecayPolicy(enabled=False))
+    system.kernel.add_graph(SMS_MESSAGES, plan)
+    quota = plan.create_reserve(name="messenger", source=plan.root,
+                                level=float(quota_messages))
+    return chipset, rild, quota
+
+
+class TestSmsSender:
+    def test_send_consumes_quota_and_energy(self, ):
+        system = make_system()
+        chipset, rild, quota = build_sms_stack(system)
+        reserve = system.new_reserve(name="app")
+        system.battery_reserve.transfer_to(reserve, 5.0)
+        thread = system.kernel.create_thread(name="app")
+        thread.set_active_reserve(reserve)
+
+        sender = SmsSender(rild, quota)
+        assert sender.send(thread, "555-0100")
+        assert quota.level == pytest.approx(4.0)
+        assert reserve.level < 5.0
+        assert chipset.arm9.sms_sent == 1
+
+    def test_quota_exhaustion_blocks_before_hardware(self):
+        system = make_system()
+        chipset, rild, quota = build_sms_stack(system, quota_messages=1)
+        reserve = system.new_reserve(name="app")
+        system.battery_reserve.transfer_to(reserve, 5.0)
+        thread = system.kernel.create_thread(name="app")
+        thread.set_active_reserve(reserve)
+
+        sender = SmsSender(rild, quota)
+        assert sender.send(thread)
+        assert not sender.send(thread)  # quota gone
+        assert chipset.arm9.sms_sent == 1  # radio untouched the 2nd time
+
+    def test_energy_exhaustion_blocks_send(self):
+        system = make_system()
+        _, rild, quota = build_sms_stack(system)
+        broke = system.new_reserve(name="broke")
+        thread = system.kernel.create_thread(name="app")
+        thread.set_active_reserve(broke)
+        sender = SmsSender(rild, quota)
+        assert not sender.send(thread)
+        assert quota.level == pytest.approx(5.0)  # quota not charged
+
+    def test_wrong_kind_reserve_rejected(self):
+        system = make_system()
+        _, rild, _ = build_sms_stack(system)
+        energy_reserve = system.new_reserve(name="oops")
+        with pytest.raises(ReserveEmptyError):
+            SmsSender(rild, energy_reserve)
+
+
+class TestSmsBurstProgram:
+    def test_burst_respects_quota(self):
+        system = make_system()
+        chipset, rild, quota = build_sms_stack(system, quota_messages=3)
+        reserve = system.powered_reserve(mW(500), name="app")
+        system.battery_reserve.transfer_to(reserve, 5.0)
+        stats = SmsStats()
+        sender = SmsSender(rild, quota)
+        process = system.spawn(
+            sms_burst_program(sender, stats, count=6, interval_s=0.5),
+            "messenger", reserve=reserve)
+        system.run(5.0)
+        assert process.finished
+        assert stats.sent == 3
+        assert stats.rejected_quota == 3
+        assert chipset.arm9.sms_sent == 3

@@ -1,0 +1,141 @@
+"""Tests for the task manager (§5.4, Figure 7)."""
+
+import pytest
+
+from repro.apps.task_manager import TaskManager
+from repro.errors import LabelError, SchedulerError
+from repro.kernel.labels import check_modify
+from repro.sim.workload import spinner
+from repro.units import mW
+
+from ..conftest import make_system
+
+
+class TestTopology:
+    def test_pools_fed_from_battery(self):
+        system = make_system()
+        manager = TaskManager(system)
+        system.run(1.0)
+        assert manager.foreground_pool.level > 0
+        assert manager.background_pool.level >= 0
+
+    def test_background_share_rebalances(self):
+        system = make_system()
+        manager = TaskManager(system, background_pool_watts=mW(14))
+        a = manager.add_app("A")
+        assert a.slot.background.rate == pytest.approx(mW(14))
+        b = manager.add_app("B")
+        assert a.slot.background.rate == pytest.approx(mW(7))
+        assert b.slot.background.rate == pytest.approx(mW(7))
+
+    def test_duplicate_app_rejected(self):
+        system = make_system()
+        manager = TaskManager(system)
+        manager.add_app("A")
+        with pytest.raises(SchedulerError):
+            manager.add_app("A")
+
+
+class TestFocusPolicy:
+    def test_focus_opens_and_closes_taps(self):
+        system = make_system()
+        manager = TaskManager(system, foreground_watts=mW(137))
+        a = manager.add_app("A")
+        b = manager.add_app("B")
+        manager.focus("A")
+        assert a.slot.in_foreground
+        assert not b.slot.in_foreground
+        manager.focus("B")
+        assert not a.slot.in_foreground
+        assert b.slot.in_foreground
+        manager.unfocus()
+        assert manager.focused is None
+        assert not b.slot.in_foreground
+
+    def test_focus_unknown_app_rejected(self):
+        system = make_system()
+        with pytest.raises(SchedulerError):
+            TaskManager(system).focus("ghost")
+
+    def test_foreground_tap_is_write_protected(self):
+        """§5.4: only the task manager may modify the foreground tap."""
+        system = make_system()
+        manager = TaskManager(system)
+        app = manager.add_app("A")
+        intruder = system.kernel.create_thread(name="intruder")
+        with pytest.raises(LabelError):
+            check_modify(intruder.label, intruder.privileges,
+                         app.slot.foreground.label, what="fg tap")
+        # The manager's privilege set passes.
+        check_modify(intruder.label, manager.privileges,
+                     app.slot.foreground.label)
+
+
+class TestBehavior:
+    def test_background_apps_share_ten_percent(self):
+        system = make_system()
+        manager = TaskManager(system, background_pool_watts=mW(14))
+        pa = system.spawn(spinner(), "A")
+        pb = system.spawn(spinner(), "B")
+        manager.add_app("A", pa.thread)
+        manager.add_app("B", pb.thread)
+        system.run(30.0)
+        # ~10% CPU utilization in total (14 mW / 137 mW).
+        assert system.scheduler.utilization == pytest.approx(0.10,
+                                                             abs=0.02)
+
+    def test_foreground_app_gets_full_cpu(self):
+        system = make_system()
+        manager = TaskManager(system, foreground_watts=mW(137))
+        pa = system.spawn(spinner(), "A")
+        pb = system.spawn(spinner(), "B")
+        manager.add_app("A", pa.thread)
+        manager.add_app("B", pb.thread)
+        system.run(5.0)  # warm the fg pool
+        manager.focus("A")
+        start = pa.thread.cpu_time
+        system.run(10.0)
+        assert pa.thread.cpu_time - start == pytest.approx(9.5, abs=0.7)
+
+    def test_hoarding_with_oversized_foreground_tap(self):
+        """Figure 12b: 300 mW > CPU cost lets the app bank energy."""
+        system = make_system()
+        manager = TaskManager(system, foreground_watts=mW(300))
+        pa = system.spawn(spinner(), "A")
+        app = manager.add_app("A", pa.thread)
+        system.run(5.0)
+        manager.focus("A")
+        system.run(10.0)
+        manager.unfocus()
+        banked = app.reserve.level
+        assert banked > 1.0  # accumulated beyond its spending
+        # It keeps burning the hoard while backgrounded.
+        start = pa.thread.cpu_time
+        system.run(5.0)
+        assert pa.thread.cpu_time - start == pytest.approx(5.0, abs=0.5)
+
+    def test_decay_reclaims_background_hoard(self):
+        """§6.3: the half-life returns hoards to the battery over ~10
+        minutes."""
+        system = make_system(decay_enabled=True)
+        manager = TaskManager(system, foreground_watts=mW(300),
+                              background_pool_watts=0.0)
+        app = manager.add_app("A")  # no thread: nothing spends
+        manager.focus("A")
+        system.run(10.0)
+        manager.unfocus()
+        level_after_focus = app.reserve.level
+        system.run(600.0)
+        # One half-life later most of it is gone (bg tap trickles in).
+        assert app.reserve.level < 0.75 * level_after_focus
+
+    def test_schedule_focus_scripting(self):
+        system = make_system()
+        manager = TaskManager(system)
+        manager.add_app("A")
+        manager.schedule_focus(1.0, "A")
+        manager.schedule_focus(2.0, None)
+        system.run(1.5)
+        assert manager.focused == "A"
+        system.run(1.0)
+        assert manager.focused is None

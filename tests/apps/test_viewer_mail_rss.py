@@ -1,0 +1,131 @@
+"""Tests for the image viewer (§5.3) and the poller daemons (§6.4)."""
+
+import pytest
+
+from repro.apps.image_viewer import (ViewerConfig, ViewerStats,
+                                     choose_fraction,
+                                     image_viewer_downloader)
+from repro.apps.mail import MailConfig, MailStats, mail_fetcher
+from repro.apps.rss import RssConfig, RssStats, rss_downloader
+from repro.figures.fig10_viewer_noscale import build_system
+from repro.units import KiB, mW
+
+from ..conftest import make_system
+
+
+class TestAdaptationPolicy:
+    def test_full_quality_above_comfort(self):
+        config = ViewerConfig(adaptive=True, comfort_level_j=0.15)
+        assert choose_fraction(config, 0.2) == 1.0
+        assert choose_fraction(config, 0.15) == 1.0
+
+    def test_scales_down_below_comfort(self):
+        config = ViewerConfig(adaptive=True, comfort_level_j=0.15)
+        fraction = choose_fraction(config, 0.05)
+        assert config.min_fraction <= fraction < 1.0
+
+    def test_floors_at_min_fraction(self):
+        config = ViewerConfig(adaptive=True)
+        assert choose_fraction(config, 1e-6) == config.min_fraction
+
+    def test_non_adaptive_always_full(self):
+        config = ViewerConfig(adaptive=False)
+        assert choose_fraction(config, 0.0) == 1.0
+
+    def test_spend_fraction_bounds_cost(self):
+        config = ViewerConfig(adaptive=True)
+        level = 0.05
+        fraction = choose_fraction(config, level)
+        cost = fraction * config.full_image_bytes * config.est_joules_per_byte
+        floor_cost = (config.min_fraction * config.full_image_bytes
+                      * config.est_joules_per_byte)
+        assert cost <= max(config.spend_fraction * level, floor_cost) + 1e-12
+
+
+class TestViewerRuns:
+    def make_viewer(self, adaptive, batches=3):
+        system = build_system(seed=0)
+        reserve = system.powered_reserve(2e-3, name="downloader")
+        system.battery_reserve.transfer_to(reserve, 0.2)
+        config = ViewerConfig(adaptive=adaptive, batches=batches,
+                              images_per_batch=4)
+        stats = ViewerStats()
+        process = system.spawn(image_viewer_downloader(config, stats),
+                               "viewer", reserve=reserve)
+        return system, process, stats, reserve
+
+    def test_adaptive_finishes_much_faster(self):
+        system_a, pa, stats_a, _ = self.make_viewer(adaptive=True)
+        system_a.run_until(lambda: pa.finished, max_s=4000)
+        system_n, pn, stats_n, _ = self.make_viewer(adaptive=False)
+        system_n.run_until(lambda: pn.finished, max_s=4000)
+        assert stats_n.finished_at > 2.0 * stats_a.finished_at
+        assert stats_a.total_bytes < stats_n.total_bytes
+
+    def test_adaptive_quality_declines_within_batch(self):
+        system, process, stats, _ = self.make_viewer(adaptive=True)
+        system.run_until(lambda: process.finished, max_s=4000)
+        first_batch = stats.images[:4]
+        qualities = [record.quality for record in first_batch]
+        assert qualities[0] == 1.0
+        assert qualities[-1] < qualities[0]
+
+    def test_non_adaptive_stalls(self):
+        system, process, stats, _ = self.make_viewer(adaptive=False)
+        system.run_until(lambda: process.finished, max_s=4000)
+        assert stats.total_stall_seconds > 10.0
+        assert stats.mean_quality() == 1.0
+
+    def test_stats_series_shapes(self):
+        system, process, stats, _ = self.make_viewer(adaptive=True,
+                                                     batches=2)
+        system.run_until(lambda: process.finished, max_s=4000)
+        times, kib = stats.bytes_per_image_series()
+        assert len(times) == len(kib) == 8
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:]))
+
+
+class TestPollers:
+    def test_mail_fetcher_polls_on_grid(self):
+        system = make_system(unrestricted_netd=True)
+        stats = MailStats()
+        config = MailConfig(poll_period_s=30.0, start_offset_s=5.0,
+                            max_polls=4)
+        system.spawn(mail_fetcher(config, stats), "mail")
+        system.run(130.0)
+        assert stats.polls_completed == 4
+        expected = [5.0, 35.0, 65.0, 95.0]
+        for measured, nominal in zip(stats.poll_times, expected):
+            assert measured == pytest.approx(nominal, abs=3.0)
+
+    def test_mail_counts_messages(self):
+        system = make_system(unrestricted_netd=True)
+        stats = MailStats()
+        system.spawn(mail_fetcher(MailConfig(max_polls=2), stats), "mail")
+        system.run(130.0)
+        assert stats.messages_fetched == 6  # 3 per poll
+
+    def test_rss_downloader_counts_items(self):
+        system = make_system(unrestricted_netd=True)
+        stats = RssStats()
+        system.spawn(rss_downloader(RssConfig(max_polls=2), stats), "rss")
+        system.run(90.0)
+        assert stats.polls_completed == 2
+        assert stats.items_fetched == 40
+        assert stats.total_bytes > 2 * KiB(60)
+
+    def test_checks_per_hour_metric(self):
+        stats = MailStats(polls_completed=20)
+        assert stats.checks_per_hour(1200.0) == pytest.approx(60.0)
+
+    def test_constrained_poller_blocks_until_funded(self):
+        system = make_system()
+        stats = RssStats()
+        reserve = system.powered_reserve(mW(99), name="rss")
+        system.spawn(rss_downloader(RssConfig(max_polls=1), stats), "rss",
+                     reserve=reserve)
+        system.run(60.0)
+        assert stats.polls_completed == 0  # still pooling alone
+        system.run(90.0)
+        assert stats.polls_completed == 1
+        assert stats.total_wait_seconds > 60.0

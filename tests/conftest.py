@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import ResourceGraph
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import CinderSystem
+
+
+@pytest.fixture
+def graph() -> ResourceGraph:
+    """An energy graph with a 15 kJ battery and decay disabled.
+
+    Most unit tests want exact arithmetic; decay-specific tests enable
+    it explicitly.
+    """
+    g = ResourceGraph(15_000.0)
+    g.decay_policy.enabled = False
+    return g
+
+
+@pytest.fixture
+def decaying_graph() -> ResourceGraph:
+    """An energy graph with the paper's default decay enabled."""
+    return ResourceGraph(15_000.0)
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A kernel with a 15 kJ battery."""
+    return Kernel(battery_joules=15_000.0)
+
+
+def make_system(**kwargs) -> CinderSystem:
+    """A CinderSystem with test-friendly defaults (decay off)."""
+    kwargs.setdefault("battery_joules", 15_000.0)
+    kwargs.setdefault("tick_s", 0.01)
+    kwargs.setdefault("decay_enabled", False)
+    return CinderSystem(**kwargs)
+
+
+@pytest.fixture
+def system() -> CinderSystem:
+    """A default test system."""
+    return make_system()

@@ -1,0 +1,88 @@
+"""Tests for the consumption ledger and the policy fragments."""
+
+import pytest
+
+from repro.core.accounting import ConsumptionLedger
+from repro.core.graph import ResourceGraph
+from repro.core.policy import (foreground_background_slot, rate_limit,
+                               shared_rate_limit)
+
+
+class TestLedger:
+    def test_totals_by_principal_and_component(self):
+        ledger = ConsumptionLedger()
+        ledger.record("a", "cpu", 1.0, time=0.0)
+        ledger.record("a", "radio", 2.0, time=1.0)
+        ledger.record("b", "cpu", 3.0, time=2.0)
+        assert ledger.total() == pytest.approx(6.0)
+        assert ledger.total_for("a") == pytest.approx(3.0)
+        assert ledger.total_for_component("cpu") == pytest.approx(4.0)
+        assert ledger.principals() == ["a", "b"]
+
+    def test_window_query_half_open(self):
+        ledger = ConsumptionLedger()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            ledger.record("a", "cpu", 1.0, time=t)
+        assert ledger.energy_in_window("a", 1.0, 3.0) == pytest.approx(2.0)
+
+    def test_clock_binding(self):
+        now = {"t": 5.0}
+        ledger = ConsumptionLedger(clock=lambda: now["t"])
+        ledger.record("a", "cpu", 1.0)
+        assert ledger.window(4.9, 5.1)[0].principal == "a"
+
+    def test_power_series_bins(self):
+        ledger = ConsumptionLedger()
+        # 0.137 W for two seconds, then silence.
+        for i in range(200):
+            ledger.record("a", "cpu", 0.00137, time=i * 0.01)
+        times, watts = ledger.power_series("a", 4.0, bin_s=1.0)
+        assert len(times) == 4
+        assert watts[0] == pytest.approx(0.137, rel=0.02)
+        assert watts[3] == 0.0
+
+    def test_power_series_component_filter(self):
+        ledger = ConsumptionLedger()
+        ledger.record("a", "cpu", 1.0, time=0.5)
+        ledger.record("a", "radio", 9.0, time=0.5)
+        _, cpu_only = ledger.power_series("a", 1.0, 1.0, component="cpu")
+        assert cpu_only[0] == pytest.approx(1.0)
+
+    def test_out_of_order_records_clamped(self):
+        ledger = ConsumptionLedger()
+        ledger.record("a", "cpu", 1.0, time=5.0)
+        ledger.record("a", "cpu", 1.0, time=4.0)  # clamped to 5.0
+        assert ledger.energy_in_window("a", 5.0, 6.0) == pytest.approx(2.0)
+
+
+class TestPolicyFragments:
+    def test_rate_limit_builds_figure1(self, graph):
+        child = rate_limit(graph, graph.root, 0.750, name="browser")
+        graph.step(1.0)
+        assert child.reserve.level == pytest.approx(0.750)
+        assert child.tap.rate == pytest.approx(0.750)
+
+    def test_shared_rate_limit_equilibrium(self, graph):
+        child = shared_rate_limit(graph, graph.root, 0.070,
+                                  back_fraction=0.1, name="plugin")
+        assert child.equilibrium_level == pytest.approx(0.700)
+        for _ in range(3000):
+            graph.step(0.1)
+        assert child.reserve.level == pytest.approx(0.700, rel=0.02)
+
+    def test_fg_bg_slot_switches(self, graph):
+        fg = graph.create_reserve(name="fg", source=graph.root,
+                                  level=100.0)
+        bg = graph.create_reserve(name="bg", source=graph.root,
+                                  level=100.0)
+        slot = foreground_background_slot(graph, fg, bg, name="app")
+        slot.background.set_rate(0.007)
+        assert not slot.in_foreground
+        slot.bring_to_foreground(0.137)
+        assert slot.in_foreground
+        graph.step(1.0)
+        assert slot.reserve.level == pytest.approx(0.144)
+        slot.send_to_background()
+        assert slot.foreground.rate == 0.0
+        graph.step(1.0)
+        assert slot.reserve.level == pytest.approx(0.151)

@@ -1,0 +1,164 @@
+"""Tests for global decay (§5.2.2) and the energy-aware scheduler (§3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.accounting import ConsumptionLedger
+from repro.core.decay import DEFAULT_HALF_LIFE_S, DecayPolicy
+from repro.core.reserve import Reserve
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.errors import EnergyError, SchedulerError
+from repro.kernel.thread_obj import Thread, ThreadState
+
+
+class TestDecayPolicy:
+    def test_half_life_is_honored(self):
+        policy = DecayPolicy(half_life_s=600.0)
+        reserve = Reserve(level=100.0)
+        root = Reserve(decay_exempt=True)
+        policy.apply([reserve], root, 600.0)
+        assert reserve.level == pytest.approx(50.0)
+        assert root.level == pytest.approx(50.0)
+
+    def test_tick_size_independence(self):
+        policy = DecayPolicy(half_life_s=600.0)
+        coarse = Reserve(level=100.0)
+        fine = Reserve(level=100.0)
+        root = Reserve(decay_exempt=True)
+        policy.apply([coarse], root, 60.0)
+        for _ in range(60):
+            policy.apply([fine], root, 1.0)
+        assert coarse.level == pytest.approx(fine.level)
+
+    def test_exempt_reserves_skipped(self):
+        """§5.5.2: 'The netd reserve is not subject to the system
+        global half-life'."""
+        policy = DecayPolicy()
+        pool = Reserve(level=10.0, decay_exempt=True)
+        policy.apply([pool], None, 600.0)
+        assert pool.level == pytest.approx(10.0)
+
+    def test_root_never_decays(self):
+        policy = DecayPolicy()
+        root = Reserve(level=10.0)
+        policy.apply([root], root, 600.0)
+        assert root.level == pytest.approx(10.0)
+
+    def test_disabled_policy_is_noop(self):
+        policy = DecayPolicy(enabled=False)
+        reserve = Reserve(level=10.0)
+        policy.apply([reserve], None, 600.0)
+        assert reserve.level == pytest.approx(10.0)
+
+    def test_default_half_life_is_ten_minutes(self):
+        assert DEFAULT_HALF_LIFE_S == 600.0
+
+    def test_bad_half_life_rejected(self):
+        with pytest.raises(EnergyError):
+            DecayPolicy(half_life_s=0.0)
+
+
+def make_spinning_thread(name, level=0.0):
+    thread = Thread(name=name)
+    reserve = Reserve(level=level, name=f"{name}.r")
+    thread.attach_reserve(reserve)
+    thread.state = ThreadState.RUNNABLE
+    return thread, reserve
+
+
+class TestScheduler:
+    CPU_W = 0.137
+
+    def make(self):
+        return EnergyAwareScheduler(self.CPU_W)
+
+    def test_empty_reserve_blocks_running(self):
+        """§3.2: threads that have depleted their reserves cannot run."""
+        scheduler = self.make()
+        thread, _ = make_spinning_thread("t", level=0.0)
+        scheduler.add_thread(thread)
+        assert scheduler.step(0.01) is None
+        assert thread.state is ThreadState.THROTTLED
+
+    def test_funded_thread_runs_and_is_charged(self):
+        scheduler = self.make()
+        thread, reserve = make_spinning_thread("t", level=1.0)
+        scheduler.add_thread(thread)
+        ran = scheduler.step(0.01)
+        assert ran is thread
+        assert reserve.level == pytest.approx(1.0 - self.CPU_W * 0.01)
+        assert thread.cpu_time == pytest.approx(0.01)
+
+    def test_round_robin_alternates(self):
+        scheduler = self.make()
+        a, _ = make_spinning_thread("a", level=1.0)
+        b, _ = make_spinning_thread("b", level=1.0)
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        order = [scheduler.step(0.01).name for _ in range(4)]
+        assert order == ["a", "b", "a", "b"]
+
+    def test_duty_cycle_matches_tap_rate(self):
+        """A 68.5 mW feed buys ~50% of a 137 mW CPU (Figure 9)."""
+        scheduler = self.make()
+        thread, reserve = make_spinning_thread("t")
+        scheduler.add_thread(thread)
+        dt = 0.01
+        for _ in range(10_000):
+            reserve.deposit(0.0685 * dt)  # the tap
+            scheduler.step(dt)
+        assert scheduler.utilization == pytest.approx(0.50, abs=0.01)
+
+    def test_blocked_threads_not_scheduled(self):
+        scheduler = self.make()
+        thread, _ = make_spinning_thread("t", level=1.0)
+        thread.state = ThreadState.BLOCKED
+        scheduler.add_thread(thread)
+        assert scheduler.step(0.01) is None
+
+    def test_dead_threads_not_scheduled(self):
+        scheduler = self.make()
+        thread, _ = make_spinning_thread("t", level=1.0)
+        scheduler.add_thread(thread)
+        thread.kill()
+        assert scheduler.step(0.01) is None
+
+    def test_ledger_records_cpu_consumption(self):
+        ledger = ConsumptionLedger()
+        scheduler = EnergyAwareScheduler(self.CPU_W, ledger)
+        thread, _ = make_spinning_thread("app", level=1.0)
+        scheduler.add_thread(thread)
+        scheduler.step(0.01)
+        assert ledger.total_for("app") == pytest.approx(self.CPU_W * 0.01)
+        assert ledger.total_for_component("cpu") > 0
+
+    def test_remove_thread(self):
+        scheduler = self.make()
+        a, _ = make_spinning_thread("a", level=1.0)
+        b, _ = make_spinning_thread("b", level=1.0)
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        scheduler.remove_thread(a)
+        assert scheduler.step(0.01) is b
+
+    def test_double_add_rejected(self):
+        scheduler = self.make()
+        thread, _ = make_spinning_thread("t")
+        scheduler.add_thread(thread)
+        with pytest.raises(SchedulerError):
+            scheduler.add_thread(thread)
+
+    def test_secondary_reserve_keeps_thread_eligible(self):
+        """§3.2: 'at least one of its energy reserves is not empty'."""
+        scheduler = self.make()
+        thread, primary = make_spinning_thread("t", level=0.0)
+        backup = Reserve(level=1.0, name="backup")
+        thread.attach_reserve(backup)
+        scheduler.add_thread(thread)
+        # Active reserve is empty but the backup makes it eligible;
+        # billing still hits the active reserve (into debt).
+        assert scheduler.eligible(thread, 0.00137)
+        ran = scheduler.step(0.01)
+        assert ran is thread
+        assert primary.in_debt

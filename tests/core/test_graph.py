@@ -1,0 +1,204 @@
+"""Tests for the resource consumption graph (paper §3.4, §5.2.2)."""
+
+import pytest
+
+from repro.core.graph import ResourceGraph
+from repro.core.tap import TapType
+from repro.errors import EnergyError, HoardingError, TapError
+from repro.kernel.labels import Label, PrivilegeSet, fresh_category
+
+
+class TestConstruction:
+    def test_root_is_battery(self, graph):
+        assert graph.root.level == pytest.approx(15_000.0)
+        assert graph.root.decay_exempt
+        assert graph.root.name == "battery"
+
+    def test_create_reserve_must_subdivide(self, graph):
+        with pytest.raises(EnergyError):
+            graph.create_reserve(level=10.0)  # no source
+        child = graph.create_reserve(level=10.0, source=graph.root)
+        assert child.level == pytest.approx(10.0)
+        assert graph.root.level == pytest.approx(14_990.0)
+
+    def test_tap_endpoints_must_be_registered(self, graph):
+        from repro.core.reserve import Reserve
+        outsider = Reserve(level=1.0)
+        with pytest.raises(TapError):
+            graph.create_tap(graph.root, outsider, 1.0)
+
+
+class TestStep:
+    def test_taps_flow_in_creation_order(self, graph):
+        a = graph.create_reserve(name="a")
+        b = graph.create_reserve(name="b")
+        graph.create_tap(graph.root, a, 1.0, name="root->a")
+        graph.create_tap(a, b, 1.0, name="a->b")
+        graph.step(1.0)
+        # root->a runs first, so a->b has something to move.
+        assert b.level > 0.0
+
+    def test_step_returns_total_moved(self, graph):
+        a = graph.create_reserve(name="a")
+        graph.create_tap(graph.root, a, 2.0)
+        assert graph.step(1.0) == pytest.approx(2.0)
+
+    def test_negative_dt_rejected(self, graph):
+        with pytest.raises(EnergyError):
+            graph.step(-1.0)
+
+
+class TestConservation:
+    def test_conserved_through_flows_and_consumption(self, graph):
+        a = graph.create_reserve(name="a")
+        graph.create_tap(graph.root, a, 5.0)
+        for _ in range(100):
+            graph.step(0.1)
+            if a.level > 0.2:
+                a.consume(0.2)
+        assert abs(graph.conservation_error()) < 1e-9
+
+    def test_conserved_through_decay(self, decaying_graph):
+        graph = decaying_graph
+        a = graph.create_reserve(name="a")
+        graph.create_tap(graph.root, a, 5.0)
+        for _ in range(100):
+            graph.step(0.1)
+        assert abs(graph.conservation_error()) < 1e-9
+
+    def test_conserved_through_deletion_with_reclaim(self, graph):
+        a = graph.create_reserve(name="a")
+        graph.create_tap(graph.root, a, 5.0)
+        graph.step(1.0)
+        graph.delete_reserve(a, reclaim_to=graph.root)
+        assert graph.root.level == pytest.approx(15_000.0)
+        assert abs(graph.conservation_error()) < 1e-9
+
+    def test_unreclaimed_deletion_counts_as_leak(self, graph):
+        a = graph.create_reserve(name="a")
+        graph.create_tap(graph.root, a, 5.0)
+        graph.step(1.0)
+        graph.delete_reserve(a)
+        assert graph.total_leaked() == pytest.approx(5.0)
+        assert abs(graph.conservation_error()) < 1e-9
+
+    def test_external_deposit_tracked(self, graph):
+        graph.external_deposit(100.0)
+        assert abs(graph.conservation_error()) < 1e-9
+
+
+class TestDeletion:
+    def test_delete_reserve_removes_its_taps(self, graph):
+        a = graph.create_reserve(name="a")
+        tap_in = graph.create_tap(graph.root, a, 1.0)
+        tap_out = graph.create_tap(a, graph.root, 0.1,
+                                   TapType.PROPORTIONAL)
+        graph.delete_reserve(a)
+        assert not tap_in.alive and not tap_out.alive
+        assert tap_in not in graph.taps
+
+    def test_cannot_delete_root(self, graph):
+        with pytest.raises(EnergyError):
+            graph.delete_reserve(graph.root)
+
+    def test_delete_tap_revokes_power_source(self, graph):
+        """§5.2: deleting a page's tap revokes its power."""
+        a = graph.create_reserve(name="plugin")
+        tap = graph.create_tap(graph.root, a, 1.0)
+        graph.step(1.0)
+        level_after_one = a.level
+        graph.delete_tap(tap)
+        graph.step(1.0)
+        assert a.level == pytest.approx(level_after_one)
+
+    def test_sweep_dead_after_external_kill(self, graph):
+        a = graph.create_reserve(name="a")
+        tap = graph.create_tap(graph.root, a, 1.0)
+        a.mark_dead()  # e.g., container GC
+        removed = graph.sweep_dead()
+        assert removed == 2
+        assert a not in graph.reserves
+        assert tap not in graph.taps
+
+
+class TestQueries:
+    def test_taps_from_into_backward(self, graph):
+        a = graph.create_reserve(name="a")
+        fwd = graph.create_tap(graph.root, a, 1.0)
+        back = graph.create_tap(a, graph.root, 0.1, TapType.PROPORTIONAL)
+        assert graph.taps_from(a) == [back]
+        assert graph.taps_into(a) == [fwd]
+        assert graph.backward_taps_of(a) == [back]
+
+    def test_drain_rate_includes_decay(self, decaying_graph):
+        graph = decaying_graph
+        a = graph.create_reserve(name="a")
+        graph.create_tap(a, graph.root, 0.1, TapType.PROPORTIONAL)
+        assert graph.drain_rate_of(a) == pytest.approx(
+            0.1 + graph.decay_policy.lam)
+
+    def test_to_dot_mentions_every_object(self, graph):
+        a = graph.create_reserve(name="plugin")
+        graph.create_tap(graph.root, a, 0.07)
+        dot = graph.to_dot()
+        assert "battery" in dot and "plugin" in dot and "->" in dot
+
+
+class TestAntiHoarding:
+    """The §5.2.2 reserve_clone / checked-transfer discipline."""
+
+    def test_clone_inherits_unremovable_backward_taps(self, graph):
+        cat = fresh_category("host")
+        tax_label = Label({cat: 0})
+        a = graph.create_reserve(name="plugin")
+        graph.create_tap(graph.root, a, 1.0)
+        graph.create_tap(a, graph.root, 0.2, TapType.PROPORTIONAL,
+                         label=tax_label, name="tax")
+        clone = graph.clone_reserve(a)  # no privileges
+        cloned_taxes = graph.backward_taps_of(clone)
+        assert len(cloned_taxes) == 1
+        assert cloned_taxes[0].rate == pytest.approx(0.2)
+
+    def test_privileged_clone_skips_removable_taps(self, graph):
+        cat = fresh_category("host")
+        privs = PrivilegeSet(frozenset({cat}))
+        a = graph.create_reserve(name="plugin")
+        graph.create_tap(a, graph.root, 0.2, TapType.PROPORTIONAL,
+                         label=Label({cat: 0}), name="tax")
+        clone = graph.clone_reserve(a, privileges=privs)
+        assert graph.backward_taps_of(clone) == []
+
+    def test_checked_transfer_blocks_fast_to_slow(self, graph):
+        cat = fresh_category("host")
+        a = graph.create_reserve(name="plugin")
+        graph.create_tap(graph.root, a, 10.0)
+        graph.create_tap(a, graph.root, 0.2, TapType.PROPORTIONAL,
+                         label=Label({cat: 0}))
+        graph.step(1.0)
+        stash = graph.create_reserve(name="stash")  # no backward taps
+        with pytest.raises(HoardingError):
+            graph.checked_transfer(a, stash, 5.0)
+
+    def test_checked_transfer_allows_equal_or_faster_drain(self, graph):
+        cat = fresh_category("host")
+        a = graph.create_reserve(name="plugin")
+        graph.create_tap(graph.root, a, 10.0)
+        graph.create_tap(a, graph.root, 0.2, TapType.PROPORTIONAL,
+                         label=Label({cat: 0}))
+        graph.step(1.0)
+        clone = graph.clone_reserve(a)
+        moved = graph.checked_transfer(a, clone, 5.0)
+        assert moved == pytest.approx(5.0)
+
+    def test_checked_transfer_respects_caller_privilege(self, graph):
+        cat = fresh_category("host")
+        privs = PrivilegeSet(frozenset({cat}))
+        a = graph.create_reserve(name="plugin")
+        graph.create_tap(graph.root, a, 10.0)
+        graph.create_tap(a, graph.root, 0.2, TapType.PROPORTIONAL,
+                         label=Label({cat: 0}))
+        graph.step(1.0)
+        stash = graph.create_reserve(name="stash")
+        # The host owns the tax category, so it may move freely.
+        assert graph.checked_transfer(a, stash, 5.0,
+                                      privileges=privs) == pytest.approx(5.0)

@@ -1,0 +1,100 @@
+"""Tests for the lifetime budget planner."""
+
+import pytest
+
+from repro.core.planner import (LifetimeBudget, income_for_poll_interval,
+                                poll_interval_for)
+from repro.errors import EnergyError
+from repro.units import hours, mW
+
+
+class TestBudgetSolving:
+    def test_discretionary_power(self):
+        # 15 kJ over 5 hours = 833 mW total; minus 699 baseline and 5%
+        # margin.
+        budget = LifetimeBudget(15_000.0, hours(5), baseline_watts=0.699,
+                                safety_margin=0.0)
+        assert budget.discretionary_watts == pytest.approx(
+            15_000.0 / hours(5) - 0.699)
+
+    def test_margin_reduces_budget(self):
+        tight = LifetimeBudget(1000.0, 1000.0, safety_margin=0.0)
+        safe = LifetimeBudget(1000.0, 1000.0, safety_margin=0.10)
+        assert safe.discretionary_watts == pytest.approx(
+            0.9 * tight.discretionary_watts)
+
+    def test_fixed_and_weighted_grants(self):
+        budget = LifetimeBudget(3600.0, 3600.0)  # 1 W for an hour
+        budget.safety_margin = 0.0
+        plan = (budget
+                .grant("radiod", watts=0.3)
+                .grant("browser", weight=2.0)
+                .grant("game", weight=1.0)
+                .solve())
+        assert plan.rates["radiod"] == pytest.approx(0.3)
+        assert plan.rates["browser"] == pytest.approx(0.7 * 2 / 3)
+        assert plan.rates["game"] == pytest.approx(0.7 / 3)
+        assert plan.total_allocated_watts == pytest.approx(1.0)
+
+    def test_overcommitted_fixed_grants_rejected(self):
+        budget = LifetimeBudget(1000.0, 10_000.0)  # 0.1 W total
+        budget.grant("hog", watts=0.5)
+        with pytest.raises(EnergyError):
+            budget.solve()
+
+    def test_duplicate_grant_rejected(self):
+        budget = LifetimeBudget(1000.0, 1000.0)
+        budget.grant("a")
+        with pytest.raises(EnergyError):
+            budget.grant("a")
+
+    def test_lifetime_guarantee(self):
+        budget = LifetimeBudget(15_000.0, hours(5), baseline_watts=0.2,
+                                safety_margin=0.05)
+        plan = budget.grant("a", weight=1).grant("b", weight=1).solve()
+        achieved = plan.lifetime_with_baseline(15_000.0, 0.2)
+        # Full spend still meets (actually exceeds, via the margin)
+        # the 5-hour target.
+        assert achieved >= hours(5)
+
+    def test_apply_wires_graph(self, graph):
+        budget = LifetimeBudget(15_000.0, hours(5), baseline_watts=0.0,
+                                safety_margin=0.0)
+        children = (budget.grant("browser", weight=3)
+                    .grant("mail", weight=1).apply(graph))
+        graph.step(10.0)
+        total_rate = sum(c.tap.rate for c in children.values())
+        assert total_rate == pytest.approx(15_000.0 / hours(5))
+        assert children["browser"].reserve.level == pytest.approx(
+            3 * children["mail"].reserve.level, rel=1e-6)
+
+
+class TestPollPlanning:
+    def test_solo_interval(self):
+        # 99 mW alone: one margined activation (11.875 J) per ~120 s.
+        interval = poll_interval_for(mW(99))
+        assert interval == pytest.approx(120.0, rel=0.01)
+
+    def test_pooled_interval_halves(self):
+        """Figure 13b's headline: pooling doubles the poll frequency."""
+        solo = poll_interval_for(mW(99), sharers=1)
+        pooled = poll_interval_for(mW(99), sharers=2)
+        assert pooled == pytest.approx(solo / 2)
+
+    def test_data_cost_extends_interval(self):
+        plain = poll_interval_for(mW(99))
+        heavy = poll_interval_for(mW(99), data_joules=1.0)
+        assert heavy > plain
+
+    def test_inverse_roundtrip(self):
+        income = income_for_poll_interval(60.0, sharers=2)
+        assert poll_interval_for(income, sharers=2) == pytest.approx(60.0)
+
+    def test_zero_income_never_polls(self):
+        assert poll_interval_for(0.0) == float("inf")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EnergyError):
+            poll_interval_for(mW(99), sharers=0)
+        with pytest.raises(EnergyError):
+            income_for_poll_interval(0.0)

@@ -1,0 +1,147 @@
+"""Property-based tests on core invariants (hypothesis).
+
+The big one is conservation: no sequence of graph operations creates
+or destroys resource — every joule is in a reserve, consumed, or
+leaked by deletion.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decay import DecayPolicy
+from repro.core.graph import ResourceGraph
+from repro.core.reserve import Reserve
+from repro.core.tap import TapType
+from repro.errors import EnergyError, ReserveEmptyError
+
+
+class TestReserveProperties:
+    @given(st.floats(0.0, 1e6), st.floats(0.0, 1e6))
+    def test_consume_never_exceeds_level_without_debt(self, level, amount):
+        reserve = Reserve(level=level)
+        try:
+            reserve.consume(amount)
+        except ReserveEmptyError:
+            assert amount > level
+        else:
+            assert amount <= level
+        assert reserve.level >= -1e-9
+
+    @given(st.floats(0.0, 1e6), st.floats(0.0, 1e6),
+           st.floats(0.0, 1e6))
+    def test_transfer_conserves_pair_total(self, src_level, dst_level,
+                                           amount):
+        src = Reserve(level=src_level)
+        dst = Reserve(level=dst_level)
+        before = src.level + dst.level
+        src.transfer_to(dst, amount)
+        assert src.level + dst.level == pytest.approx(before)
+        assert src.level >= -1e-9
+
+    @given(st.floats(0.0, 1e6),
+           st.lists(st.floats(0.0, 1.0), min_size=1, max_size=10))
+    def test_repeated_decay_never_negative(self, level, fractions):
+        reserve = Reserve(level=level)
+        for fraction in fractions:
+            reserve.decay(fraction)
+        assert reserve.level >= 0.0
+
+    @given(st.floats(0.0, 1e6), st.floats(0.0, 1.0))
+    def test_subdivide_conserves(self, level, fraction):
+        reserve = Reserve(level=level)
+        amount = level * fraction
+        child = reserve.subdivide(amount)
+        assert reserve.level + child.level == pytest.approx(level)
+
+
+# A small operation language over a random graph.
+op = st.one_of(
+    st.tuples(st.just("add_reserve")),
+    st.tuples(st.just("add_tap"), st.integers(0, 5), st.integers(0, 5),
+              st.floats(0.0, 10.0)),
+    st.tuples(st.just("add_prop_tap"), st.integers(0, 5),
+              st.integers(0, 5), st.floats(0.0, 1.0)),
+    st.tuples(st.just("step"), st.floats(0.001, 5.0)),
+    st.tuples(st.just("consume"), st.integers(0, 5), st.floats(0.0, 5.0)),
+    st.tuples(st.just("transfer"), st.integers(0, 5), st.integers(0, 5),
+              st.floats(0.0, 5.0)),
+    st.tuples(st.just("delete"), st.integers(1, 5)),
+    st.tuples(st.just("deposit"), st.floats(0.0, 10.0)),
+)
+
+
+class TestGraphConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(op, min_size=1, max_size=30), st.booleans())
+    def test_random_operation_sequences_conserve(self, ops, decay_on):
+        graph = ResourceGraph(1000.0,
+                              decay=DecayPolicy(enabled=decay_on))
+        reserves = [graph.root]
+
+        def pick(index):
+            return reserves[index % len(reserves)]
+
+        for operation in ops:
+            kind = operation[0]
+            try:
+                if kind == "add_reserve":
+                    reserves.append(graph.create_reserve(
+                        name=f"r{len(reserves)}"))
+                elif kind == "add_tap":
+                    _, i, j, rate = operation
+                    if pick(i) is not pick(j):
+                        graph.create_tap(pick(i), pick(j), rate)
+                elif kind == "add_prop_tap":
+                    _, i, j, rate = operation
+                    if pick(i) is not pick(j):
+                        graph.create_tap(pick(i), pick(j), rate,
+                                         TapType.PROPORTIONAL)
+                elif kind == "step":
+                    graph.step(operation[1])
+                elif kind == "consume":
+                    _, i, amount = operation
+                    reserve = pick(i)
+                    if reserve.level >= amount:
+                        reserve.consume(amount)
+                elif kind == "transfer":
+                    _, i, j, amount = operation
+                    pick(i).transfer_to(pick(j), amount)
+                elif kind == "delete":
+                    _, i = operation
+                    reserve = pick(i)
+                    if reserve is not graph.root:
+                        graph.delete_reserve(reserve)
+                        reserves.remove(reserve)
+                elif kind == "deposit":
+                    graph.external_deposit(operation[1])
+            except EnergyError:
+                pass  # rejected operations must not break conservation
+        total = graph.total_level() + graph.total_consumed() + \
+            graph.total_leaked()
+        assert graph.conservation_error() == pytest.approx(
+            0.0, abs=max(1e-6, 1e-9 * max(1.0, total)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.01, 5.0), st.floats(0.01, 1.0),
+           st.floats(0.001, 0.5))
+    def test_shared_child_equilibrium_formula(self, feed, back, dt):
+        """Figure 6b equilibrium = feed/back for any feed, back, tick."""
+        graph = ResourceGraph(1e9, decay=DecayPolicy(enabled=False))
+        child = graph.create_reserve(name="c")
+        graph.create_tap(graph.root, child, feed)
+        graph.create_tap(child, graph.root, back, TapType.PROPORTIONAL)
+        # Run ~20 time constants; coarsen dt if that needs too many
+        # steps (the equilibrium is tick-size independent anyway).
+        horizon = 20.0 / back
+        steps = int(horizon / dt) + 1
+        if steps > 20_000:
+            dt = horizon / 20_000
+            steps = 20_000
+        for _ in range(steps):
+            graph.step(dt)
+        expected = feed / back
+        # Discrete alternation overshoots by at most feed*dt.
+        assert child.level == pytest.approx(expected, rel=0.05,
+                                            abs=2 * feed * dt)

@@ -1,0 +1,194 @@
+"""Tests for the Reserve abstraction (paper §3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.reserve import ENERGY, NETWORK_BYTES, Reserve
+from repro.errors import (DebtLimitError, EnergyError, ReserveEmptyError)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        reserve = Reserve()
+        assert reserve.level == 0.0
+        assert reserve.kind == ENERGY
+        assert not reserve.in_debt
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(EnergyError):
+            Reserve(level=-1.0)
+
+    def test_capacity_below_level_rejected(self):
+        with pytest.raises(EnergyError):
+            Reserve(level=10.0, capacity=5.0)
+
+    def test_negative_debt_limit_rejected(self):
+        with pytest.raises(EnergyError):
+            Reserve(debt_limit=-1.0)
+
+
+class TestConsume:
+    def test_consume_reduces_level(self):
+        reserve = Reserve(level=10.0)
+        assert reserve.consume(3.0) == 3.0
+        assert reserve.level == pytest.approx(7.0)
+        assert reserve.total_consumed == pytest.approx(3.0)
+
+    def test_insufficient_raises_and_counts_failure(self):
+        reserve = Reserve(level=1.0)
+        with pytest.raises(ReserveEmptyError):
+            reserve.consume(2.0)
+        assert reserve.consume_failures == 1
+        assert reserve.level == pytest.approx(1.0)
+
+    def test_consume_zero_is_noop(self):
+        reserve = Reserve(level=1.0)
+        assert reserve.consume(0.0) == 0.0
+        assert reserve.total_consumed == 0.0
+
+    def test_negative_consume_rejected(self):
+        with pytest.raises(EnergyError):
+            Reserve(level=1.0).consume(-0.5)
+
+    def test_debt_allowed_when_requested(self):
+        """§5.5.2: 'threads can debit their own reserves up to or into
+        debt even if the cost can only be determined after-the-fact'."""
+        reserve = Reserve(level=1.0)
+        reserve.consume(3.0, allow_debt=True)
+        assert reserve.level == pytest.approx(-2.0)
+        assert reserve.in_debt
+
+    def test_debt_limit_enforced(self):
+        reserve = Reserve(level=0.0, debt_limit=1.0)
+        with pytest.raises(DebtLimitError):
+            reserve.consume(1.5, allow_debt=True)
+
+    def test_can_afford(self):
+        reserve = Reserve(level=5.0)
+        assert reserve.can_afford(5.0)
+        assert not reserve.can_afford(5.1)
+
+
+class TestDeposit:
+    def test_deposit_adds(self):
+        reserve = Reserve()
+        assert reserve.deposit(4.0) == 4.0
+        assert reserve.level == pytest.approx(4.0)
+
+    def test_deposit_clamped_to_capacity(self):
+        reserve = Reserve(level=8.0, capacity=10.0)
+        assert reserve.deposit(5.0) == pytest.approx(2.0)
+        assert reserve.level == pytest.approx(10.0)
+        assert reserve.headroom == 0.0
+
+    def test_deposit_repays_debt(self):
+        reserve = Reserve(level=1.0)
+        reserve.consume(2.0, allow_debt=True)
+        reserve.deposit(3.0)
+        assert reserve.level == pytest.approx(2.0)
+        assert not reserve.in_debt
+
+    def test_negative_deposit_rejected(self):
+        with pytest.raises(EnergyError):
+            Reserve().deposit(-1.0)
+
+
+class TestTransfer:
+    def test_transfer_moves_exactly(self):
+        src, dst = Reserve(level=10.0), Reserve()
+        assert src.transfer_to(dst, 4.0) == pytest.approx(4.0)
+        assert src.level == pytest.approx(6.0)
+        assert dst.level == pytest.approx(4.0)
+
+    def test_transfer_clamped_to_source_level(self):
+        src, dst = Reserve(level=1.0), Reserve()
+        assert src.transfer_to(dst, 5.0) == pytest.approx(1.0)
+        assert src.level == 0.0
+
+    def test_transfer_never_pulls_from_debt(self):
+        src, dst = Reserve(level=1.0), Reserve()
+        src.consume(2.0, allow_debt=True)
+        assert src.transfer_to(dst, 1.0) == 0.0
+
+    def test_transfer_respects_sink_capacity(self):
+        src, dst = Reserve(level=10.0), Reserve(capacity=3.0)
+        assert src.transfer_to(dst, 10.0) == pytest.approx(3.0)
+        assert src.level == pytest.approx(7.0)
+
+    def test_transfer_to_self_is_noop(self):
+        reserve = Reserve(level=5.0)
+        assert reserve.transfer_to(reserve, 3.0) == 0.0
+        assert reserve.level == pytest.approx(5.0)
+
+    def test_kind_mismatch_rejected(self):
+        energy = Reserve(level=5.0)
+        data = Reserve(kind=NETWORK_BYTES)
+        with pytest.raises(EnergyError):
+            energy.transfer_to(data, 1.0)
+
+    def test_transfer_statistics(self):
+        src, dst = Reserve(level=10.0), Reserve()
+        src.transfer_to(dst, 4.0)
+        assert src.total_transferred_out == pytest.approx(4.0)
+        assert dst.total_transferred_in == pytest.approx(4.0)
+
+
+class TestSubdivision:
+    def test_subdivide_the_paper_example(self):
+        """§3.2: 1000 mJ subdivided into 800 mJ and 200 mJ."""
+        reserve = Reserve(level=1.0, name="app")
+        child = reserve.subdivide(0.2)
+        assert reserve.level == pytest.approx(0.8)
+        assert child.level == pytest.approx(0.2)
+        assert child.kind == reserve.kind
+
+    def test_subdivide_insufficient_raises(self):
+        with pytest.raises(ReserveEmptyError):
+            Reserve(level=0.1).subdivide(0.2)
+
+    def test_subdivide_inherits_label(self):
+        from repro.kernel.labels import Label, fresh_category
+        cat = fresh_category()
+        reserve = Reserve(level=1.0, label=Label({cat: 3}))
+        child = reserve.subdivide(0.5)
+        assert child.label == reserve.label
+
+
+class TestDecayHook:
+    def test_decay_removes_fraction(self):
+        reserve = Reserve(level=10.0)
+        lost = reserve.decay(0.25)
+        assert lost == pytest.approx(2.5)
+        assert reserve.level == pytest.approx(7.5)
+        assert reserve.total_decayed == pytest.approx(2.5)
+
+    def test_exempt_reserve_keeps_everything(self):
+        reserve = Reserve(level=10.0, decay_exempt=True)
+        assert reserve.decay(0.5) == 0.0
+        assert reserve.level == pytest.approx(10.0)
+
+    def test_indebted_reserve_does_not_decay(self):
+        reserve = Reserve(level=1.0)
+        reserve.consume(2.0, allow_debt=True)
+        assert reserve.decay(0.5) == 0.0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(EnergyError):
+            Reserve(level=1.0).decay(1.5)
+
+
+class TestLifecycle:
+    def test_dead_reserve_rejects_operations(self):
+        reserve = Reserve(level=5.0)
+        reserve.mark_dead()
+        with pytest.raises(Exception):
+            reserve.consume(1.0)
+        with pytest.raises(Exception):
+            reserve.deposit(1.0)
+
+    def test_death_records_leak(self):
+        reserve = Reserve(level=5.0)
+        reserve.mark_dead()
+        assert reserve.leaked_at_death == pytest.approx(5.0)
+        assert reserve.level == 0.0

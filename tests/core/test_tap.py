@@ -1,0 +1,136 @@
+"""Tests for taps (paper §3.3, §5.2.1)."""
+
+import math
+
+import pytest
+
+from repro.core.reserve import NETWORK_BYTES, Reserve
+from repro.core.tap import TAP_TYPE_CONST, TAP_TYPE_PROPORTIONAL, Tap, TapType
+from repro.errors import TapError
+
+
+@pytest.fixture
+def pair():
+    return Reserve(level=100.0, name="src"), Reserve(name="dst")
+
+
+class TestConstruction:
+    def test_self_loop_rejected(self):
+        reserve = Reserve(level=1.0)
+        with pytest.raises(TapError):
+            Tap(reserve, reserve, 1.0)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(TapError):
+            Tap(Reserve(), Reserve(kind=NETWORK_BYTES), 1.0)
+
+    def test_negative_rate_rejected(self, pair):
+        src, dst = pair
+        with pytest.raises(TapError):
+            Tap(src, dst, -1.0)
+
+    def test_proportional_rate_over_one_rejected(self, pair):
+        src, dst = pair
+        with pytest.raises(TapError):
+            Tap(src, dst, 1.5, TapType.PROPORTIONAL)
+
+    def test_figure5_aliases(self):
+        assert TAP_TYPE_CONST is TapType.CONST
+        assert TAP_TYPE_PROPORTIONAL is TapType.PROPORTIONAL
+
+
+class TestConstantFlow:
+    def test_moves_rate_times_dt(self, pair):
+        src, dst = pair
+        tap = Tap(src, dst, rate=2.0)
+        assert tap.flow(3.0) == pytest.approx(6.0)
+        assert src.level == pytest.approx(94.0)
+        assert dst.level == pytest.approx(6.0)
+        assert tap.total_flowed == pytest.approx(6.0)
+
+    def test_clamped_to_source_level(self):
+        src, dst = Reserve(level=1.0), Reserve()
+        tap = Tap(src, dst, rate=10.0)
+        assert tap.flow(1.0) == pytest.approx(1.0)
+        assert src.level == 0.0
+
+    def test_never_creates_debt_flow(self):
+        src, dst = Reserve(level=1.0), Reserve()
+        src.consume(2.0, allow_debt=True)
+        tap = Tap(src, dst, rate=10.0)
+        assert tap.flow(1.0) == 0.0
+
+    def test_sink_capacity_keeps_remainder_at_source(self):
+        src, dst = Reserve(level=10.0), Reserve(capacity=2.0)
+        tap = Tap(src, dst, rate=5.0)
+        assert tap.flow(1.0) == pytest.approx(2.0)
+        assert src.level == pytest.approx(8.0)
+
+    def test_zero_dt_moves_nothing(self, pair):
+        src, dst = pair
+        assert Tap(src, dst, rate=5.0).flow(0.0) == 0.0
+
+    def test_disabled_tap_moves_nothing(self, pair):
+        src, dst = pair
+        tap = Tap(src, dst, rate=5.0)
+        tap.enabled = False
+        assert tap.flow(1.0) == 0.0
+
+
+class TestProportionalFlow:
+    def test_exact_exponential_drain(self):
+        src, dst = Reserve(level=100.0), Reserve()
+        tap = Tap(src, dst, rate=0.1, tap_type=TapType.PROPORTIONAL)
+        tap.flow(1.0)
+        assert src.level == pytest.approx(100.0 * math.exp(-0.1))
+
+    def test_tick_size_independence(self):
+        """Two 0.5 s flows must equal one 1 s flow (exact integral)."""
+        src_a, dst_a = Reserve(level=50.0), Reserve()
+        src_b, dst_b = Reserve(level=50.0), Reserve()
+        tap_a = Tap(src_a, dst_a, 0.2, TapType.PROPORTIONAL)
+        tap_b = Tap(src_b, dst_b, 0.2, TapType.PROPORTIONAL)
+        tap_a.flow(1.0)
+        tap_b.flow(0.5)
+        tap_b.flow(0.5)
+        assert src_a.level == pytest.approx(src_b.level)
+
+    def test_equilibrium_is_the_paper_700mJ(self):
+        """Figure 6b: 70 mW in, 0.1/s back -> 700 mJ equilibrium."""
+        parent = Reserve(level=1000.0)
+        child = Reserve()
+        forward = Tap(parent, child, 0.070, TapType.CONST)
+        backward = Tap(child, parent, 0.1, TapType.PROPORTIONAL)
+        for _ in range(4000):
+            forward.flow(0.1)
+            backward.flow(0.1)
+        assert child.level == pytest.approx(0.700, rel=0.01)
+
+
+class TestReconfiguration:
+    def test_set_rate(self, pair):
+        src, dst = pair
+        tap = Tap(src, dst, rate=1.0)
+        tap.set_rate(0.0)
+        assert tap.flow(1.0) == 0.0
+        tap.set_rate(2.0)
+        assert tap.flow(1.0) == pytest.approx(2.0)
+
+    def test_set_rate_can_switch_type(self, pair):
+        src, dst = pair
+        tap = Tap(src, dst, rate=1.0)
+        tap.set_rate(0.5, TapType.PROPORTIONAL)
+        assert tap.tap_type is TapType.PROPORTIONAL
+
+    def test_dead_endpoint_disables_tap(self):
+        src, dst = Reserve(level=10.0), Reserve()
+        tap = Tap(src, dst, rate=1.0)
+        dst.mark_dead()
+        assert tap.flow(1.0) == 0.0
+        assert not tap.enabled
+
+    def test_amount_for_preview(self, pair):
+        src, dst = pair
+        tap = Tap(src, dst, rate=2.0)
+        assert tap.amount_for(1.5) == pytest.approx(3.0)
+        assert src.level == pytest.approx(100.0)  # preview does not move

@@ -1,0 +1,114 @@
+"""Tests for the power-state registry and the HTC Dream model (§4.2)."""
+
+import pytest
+
+from repro.energy.cpu import (ARITHMETIC_LOOP, MEMORY_STREAM, CpuComponent,
+                              InstructionMix)
+from repro.energy.model import (DREAM_BACKLIGHT_W, DREAM_CPU_ARITHMETIC_W,
+                                DREAM_CPU_WORST_W, DREAM_IDLE_W,
+                                CpuPowerParams, DreamPowerModel,
+                                laptop_model)
+from repro.energy.states import PowerStateRegistry
+from repro.errors import HardwareError
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = PowerStateRegistry(baseline_watts=0.699)
+        registry.register("cpu", "active", 0.137)
+        assert registry.power("cpu", "active") == pytest.approx(0.137)
+        assert registry.has("cpu", "active")
+        assert not registry.has("cpu", "overdrive")
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(HardwareError):
+            PowerStateRegistry().power("gps", "on")
+
+    def test_system_power_sums_increments(self):
+        registry = PowerStateRegistry(baseline_watts=0.699)
+        registry.register("cpu", "active", 0.137)
+        registry.register("backlight", "on", 0.555)
+        total = registry.system_power({"cpu": "active", "backlight": "on"})
+        assert total == pytest.approx(0.699 + 0.137 + 0.555)
+
+    def test_estimate_energy(self):
+        registry = PowerStateRegistry(baseline_watts=0.5)
+        registry.register("cpu", "active", 0.1)
+        energy = registry.estimate_energy([("cpu", "active", 10.0)],
+                                          include_baseline_for=10.0)
+        assert energy == pytest.approx(0.5 * 10 + 0.1 * 10)
+
+    def test_components_and_states(self):
+        registry = PowerStateRegistry()
+        registry.register("cpu", "idle", 0.0)
+        registry.register("cpu", "active", 0.1)
+        registry.register("radio", "active", 0.4)
+        assert registry.components() == ["cpu", "radio"]
+        assert registry.states_of("cpu") == ["active", "idle"]
+
+
+class TestDreamConstants:
+    """The §4.2 measurements, verbatim."""
+
+    def test_idle_699mw(self):
+        assert DREAM_IDLE_W == pytest.approx(0.699)
+
+    def test_backlight_555mw(self):
+        assert DREAM_BACKLIGHT_W == pytest.approx(0.555)
+
+    def test_cpu_137mw(self):
+        assert DREAM_CPU_ARITHMETIC_W == pytest.approx(0.137)
+
+    def test_memory_worst_case_13_percent(self):
+        assert DREAM_CPU_WORST_W == pytest.approx(0.137 * 1.13)
+
+    def test_model_system_power(self):
+        model = DreamPowerModel()
+        assert model.system_power() == pytest.approx(0.699)
+        assert model.system_power(cpu_busy=True) == pytest.approx(0.836)
+        assert model.system_power(cpu_busy=True, backlight_on=True,
+                                  radio_watts=0.475) == pytest.approx(
+            0.699 + 0.137 + 0.555 + 0.475)
+
+    def test_registry_compilation(self):
+        registry = DreamPowerModel().registry()
+        assert registry.baseline_watts == pytest.approx(0.699)
+        assert registry.power("backlight", "on") == pytest.approx(0.555)
+        assert registry.power("radio", "active") == pytest.approx(0.475)
+
+    def test_laptop_model_has_no_activation_spike(self):
+        model = laptop_model()
+        assert model.radio.activation_cost == 0.0
+        assert model.radio.idle_timeout_s == 0.0
+        assert model.idle_watts > 1.0  # laptops idle hot
+
+
+class TestCpuComponent:
+    def test_worst_case_billing_overcharges_arithmetic(self):
+        cpu = CpuComponent(mix=ARITHMETIC_LOOP)
+        cpu.run(10.0)
+        assert cpu.billed_energy_joules > cpu.true_energy_joules
+        assert cpu.overbilling_fraction == pytest.approx(0.13, rel=0.05)
+
+    def test_memory_stream_billed_close_to_truth(self):
+        cpu = CpuComponent(mix=MEMORY_STREAM)
+        cpu.run(10.0)
+        # 80% memory: truth is 1.104x base, billing 1.13x.
+        assert cpu.overbilling_fraction < 0.03
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(HardwareError):
+            InstructionMix(integer=0.5, control=0.0, memory=0.0)
+
+    def test_counters_enable_exact_billing(self):
+        params = CpuPowerParams(assume_worst_case=False)
+        cpu = CpuComponent(params=params, mix=ARITHMETIC_LOOP)
+        cpu.run(10.0)
+        assert cpu.billed_energy_joules == pytest.approx(
+            cpu.true_energy_joules)
+
+    def test_idle_accumulates_no_energy(self):
+        cpu = CpuComponent()
+        cpu.idle(5.0)
+        assert cpu.true_energy_joules == 0.0
+        assert cpu.idle_seconds == pytest.approx(5.0)

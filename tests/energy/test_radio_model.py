@@ -1,0 +1,81 @@
+"""Tests for the radio cost model (§4.3, §5.5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.radio_model import RadioPowerParams
+from repro.errors import EnergyError
+
+
+@pytest.fixture
+def params():
+    return RadioPowerParams()
+
+
+class TestCostSemantics:
+    def test_single_byte_from_idle_costs_9_5J(self, params):
+        """'With this workload, it costs 9.5 joules to send a single
+        byte!'"""
+        cost = params.send_cost(1, 1, seconds_since_activity=None)
+        assert cost == pytest.approx(9.5, abs=0.01)
+
+    def test_extension_rule_one_second(self, params):
+        """'if the radio has been active for one second ... transmitting
+        now only extends the active period by 1 second'."""
+        cost = params.marginal_active_cost(1.0)
+        assert cost == pytest.approx(params.plateau_watts * 1.0)
+
+    def test_extension_rule_fifteen_seconds(self, params):
+        """'transmitting now will extend the active period by an
+        additional 15 seconds - the same action becomes much more
+        expensive'."""
+        cheap = params.send_cost(100, 1, seconds_since_activity=1.0)
+        expensive = params.send_cost(100, 1, seconds_since_activity=15.0)
+        assert expensive > 10 * cheap
+
+    def test_extension_clamped_to_timeout(self, params):
+        assert params.marginal_active_cost(500.0) == pytest.approx(
+            params.plateau_watts * params.idle_timeout_s)
+
+    def test_per_byte_dominance_inverts_for_bulk(self, params):
+        """'small isolated transfers are about 1000 times more
+        expensive, per byte, than large transfers' (§4.3)."""
+        small = params.send_cost(1, 1, None) / 1
+        bulk_bytes = 10_000_000
+        bulk = params.send_cost(bulk_bytes, bulk_bytes // 1500,
+                                seconds_since_activity=0.5) / bulk_bytes
+        assert small / bulk > 500
+
+    def test_negative_activity_rejected(self, params):
+        with pytest.raises(EnergyError):
+            params.marginal_active_cost(-1.0)
+
+
+class TestCycleSynthesis:
+    def test_jitter_stays_in_measured_envelope(self, params):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            jitter = params.sample_cycle_jitter(rng)
+            joules = jitter * params.activation_joules_mean
+            assert (params.activation_joules_min - 1e-9 <= joules
+                    <= params.activation_joules_max + 1e-9)
+
+    def test_flow_energy_components(self, params):
+        energy = params.flow_energy(10.0, 1500, 10.0, rng=None)
+        expected = (params.plateau_watts * 30.0
+                    + params.per_packet_joules * 100
+                    + params.per_byte_joules * 150_000)
+        assert energy == pytest.approx(expected)
+
+    def test_flow_energy_monotone_in_rate(self, params):
+        energies = [params.flow_energy(r, 750, 10.0)
+                    for r in (1, 5, 20, 40)]
+        assert energies == sorted(energies)
+
+    def test_transfer_seconds(self, params):
+        assert params.transfer_seconds(30_000) == pytest.approx(1.0)
+
+    def test_invalid_envelope_rejected(self):
+        with pytest.raises(EnergyError):
+            RadioPowerParams(activation_joules_min=12.0,
+                             activation_joules_max=9.0)

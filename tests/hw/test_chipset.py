@@ -1,0 +1,144 @@
+"""Tests for the MSM7201A chipset, smdd, and rild (§4.1, §7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reserve import Reserve
+from repro.energy.battery import Battery
+from repro.energy.radio_model import RadioPowerParams
+from repro.errors import HardwareError
+from repro.hw.msm7201a import ClosedArm9, Msm7201a, SharedMemoryMailbox
+from repro.hw.rild import RildDaemon
+from repro.hw.smdd import SmddDaemon
+from repro.net.radio import RadioDevice
+
+
+@pytest.fixture
+def chipset():
+    radio = RadioDevice(RadioPowerParams(jitter_sigma=0.0),
+                        rng=np.random.default_rng(0))
+    battery = Battery(capacity_joules=1000.0, charge_joules=421.0)
+    return Msm7201a.build(radio, battery, clock=lambda: 0.0)
+
+
+class TestMailbox:
+    def test_round_trip(self):
+        mailbox = SharedMemoryMailbox()
+        mailbox.post_request({"cmd": "ping", "x": 1})
+        request = mailbox.take_request()
+        assert request == {"cmd": "ping", "x": 1}
+        mailbox.post_reply({"ok": True})
+        assert mailbox.read_reply() == {"ok": True}
+
+    def test_busy_mailbox_rejects_second_request(self):
+        mailbox = SharedMemoryMailbox()
+        mailbox.post_request({"cmd": "a"})
+        with pytest.raises(HardwareError):
+            mailbox.post_request({"cmd": "b"})
+
+    def test_reply_without_request_rejected(self):
+        with pytest.raises(HardwareError):
+            SharedMemoryMailbox().read_reply()
+
+    def test_oversized_message_rejected(self):
+        from repro.kernel.segment import Segment
+        mailbox = SharedMemoryMailbox(Segment(size=32))
+        with pytest.raises(HardwareError):
+            mailbox.post_request({"cmd": "x" * 100})
+
+    def test_rides_a_real_segment(self):
+        mailbox = SharedMemoryMailbox()
+        mailbox.post_request({"cmd": "battery_level"})
+        # The bytes are actually in the shared segment.
+        assert b"battery_level" in mailbox.segment.read()
+
+
+class TestClosedArm9:
+    def test_battery_gauge_is_integer_percent(self, chipset):
+        reply = chipset.call({"cmd": "battery_level"})
+        assert reply == {"ok": True, "level": 42}
+
+    def test_radio_tx_activates_radio(self, chipset):
+        reply = chipset.call({"cmd": "radio_tx", "nbytes": 3000,
+                              "npackets": 2})
+        assert reply["ok"]
+        assert chipset.arm9.radio.is_active()
+        status = chipset.call({"cmd": "radio_status"})
+        assert status["active"] is True
+        assert status["activations"] == 1
+
+    def test_timeout_cannot_be_changed(self, chipset):
+        """§4.3: 'Because the ARM9 is closed, Cinder cannot change
+        this inactivity timeout.'"""
+        reply = chipset.call({"cmd": "set_radio_timeout", "seconds": 5})
+        assert reply["ok"] is False
+        assert chipset.arm9.radio.params.idle_timeout_s == 20.0
+
+    def test_unknown_command_is_error_reply_not_crash(self, chipset):
+        reply = chipset.call({"cmd": "format_flash"})
+        assert reply["ok"] is False
+
+    def test_sms_and_gps(self, chipset):
+        assert chipset.call({"cmd": "sms_send"})["ok"]
+        fix = chipset.call({"cmd": "gps_fix"})
+        assert fix["ok"] and "lat" in fix
+
+
+class TestBillingChain:
+    """app thread -> rild gate -> smdd gate -> ARM9: caller pays."""
+
+    def make_stack(self, kernel):
+        radio = RadioDevice(RadioPowerParams(jitter_sigma=0.0),
+                            rng=np.random.default_rng(0))
+        battery = Battery(capacity_joules=1000.0)
+        chipset = Msm7201a.build(radio, battery, clock=lambda: 0.0)
+        smdd = SmddDaemon(kernel, chipset, cpu_watts=0.137)
+        rild = RildDaemon(kernel, smdd, cpu_watts=0.137)
+        return chipset, smdd, rild
+
+    def test_caller_reserve_pays_whole_chain(self, kernel):
+        chipset, smdd, rild = self.make_stack(kernel)
+        app = kernel.create_thread(name="app")
+        reserve = kernel.create_reserve(name="app.r")
+        kernel.battery.transfer_to(reserve, 10.0)
+        app.set_active_reserve(reserve)
+
+        reply = rild.request(app, {"op": "data_tx", "nbytes": 1500,
+                                   "npackets": 1})
+        assert reply["ok"]
+        # Both daemons' marshalling costs hit the app's reserve.
+        assert reserve.level < 10.0
+        assert smdd.calls == 1
+        assert rild.stats.data_calls == 1
+
+    def test_status_and_sms_ops(self, kernel):
+        chipset, smdd, rild = self.make_stack(kernel)
+        app = kernel.create_thread(name="app")
+        reserve = kernel.create_reserve(name="app.r")
+        kernel.battery.transfer_to(reserve, 10.0)
+        app.set_active_reserve(reserve)
+        assert rild.request(app, {"op": "status"})["ok"]
+        assert rild.request(app, {"op": "sms"})["ok"]
+        assert chipset.arm9.sms_sent == 1
+
+    def test_voice_calls_are_silent(self, kernel):
+        """§7: 'as it does not yet have a port of the audio library,
+        calls are silent'."""
+        _, _, rild = self.make_stack(kernel)
+        app = kernel.create_thread(name="app")
+        reserve = kernel.create_reserve(name="app.r")
+        kernel.battery.transfer_to(reserve, 10.0)
+        app.set_active_reserve(reserve)
+        reply = rild.request(app, {"op": "dial", "number": "555-0100"})
+        assert reply["audio"] == "silent"
+
+    def test_bad_requests_rejected(self, kernel):
+        _, smdd, rild = self.make_stack(kernel)
+        app = kernel.create_thread(name="app")
+        reserve = kernel.create_reserve(name="app.r")
+        kernel.battery.transfer_to(reserve, 10.0)
+        app.set_active_reserve(reserve)
+        with pytest.raises(Exception):
+            rild.request(app, {"op": "warp_drive"})
+        with pytest.raises(HardwareError):
+            smdd.call(app, {"not-a-cmd": 1})

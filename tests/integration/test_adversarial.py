@@ -1,0 +1,166 @@
+"""Adversarial scenarios: the attacks §2 and §5.2.2 worry about.
+
+"Such control will be even more important as the danger grows from
+buggy or poorly designed applications to potentially malicious ones."
+Each test plays an attacker strategy against the mechanisms and
+asserts the defense holds.
+"""
+
+import math
+
+import pytest
+
+from repro.apps.energywrap import energywrap
+from repro.core.tap import TapType
+from repro.errors import (HoardingError, LabelError, ReserveEmptyError)
+from repro.kernel import syscalls
+from repro.kernel.labels import Label, PrivilegeSet, fresh_category
+from repro.sim.process import CpuBurn, Fork, NetRequest
+from repro.sim.workload import spinner
+from repro.units import KiB, mW
+
+from ..conftest import make_system
+
+
+class TestEnergyTheft:
+    def test_cannot_transfer_from_protected_reserve(self):
+        """An attacker cannot siphon a victim's labeled reserve."""
+        system = make_system()
+        kernel = system.kernel
+        secret = fresh_category("victim")
+        victim_thread = kernel.create_thread(
+            name="victim", privileges=PrivilegeSet(frozenset({secret})))
+        container = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, victim_thread, container,
+                                         label=Label({secret: 3}))
+        from repro.kernel.objects import ObjRef
+        victim_res = ObjRef(container, res_id)
+        syscalls.reserve_transfer(kernel, victim_thread,
+                                  kernel.ref_for(kernel.battery),
+                                  victim_res, 100.0)
+
+        thief = kernel.create_thread(name="thief")
+        stash_id = syscalls.reserve_create(kernel, thief, container)
+        stash = ObjRef(container, stash_id)
+        with pytest.raises(LabelError):
+            syscalls.reserve_transfer(kernel, thief, victim_res, stash,
+                                      100.0)
+        assert syscalls.reserve_level(kernel, victim_thread,
+                                      victim_res) == pytest.approx(100.0)
+
+    def test_cannot_retune_someone_elses_tap(self):
+        """Raising your own feed requires modify on the tap."""
+        system = make_system()
+        kernel = system.kernel
+        admin_cat = fresh_category("admin")
+        admin = kernel.create_thread(
+            name="admin", privileges=PrivilegeSet(frozenset({admin_cat})))
+        container = kernel.root_container.object_id
+        from repro.kernel.objects import ObjRef
+        res_id = syscalls.reserve_create(kernel, admin, container)
+        res = ObjRef(container, res_id)
+        tap_id = syscalls.tap_create(kernel, admin, container,
+                                     kernel.ref_for(kernel.battery), res,
+                                     label=Label({admin_cat: 0}))
+        tap = ObjRef(container, tap_id)
+        syscalls.tap_set_rate(kernel, admin, tap,
+                              syscalls.TAP_TYPE_CONST, 10.0)
+
+        greedy = kernel.create_thread(name="greedy")
+        with pytest.raises(LabelError):
+            syscalls.tap_set_rate(kernel, greedy, tap,
+                                  syscalls.TAP_TYPE_CONST, 10_000.0)
+
+
+class TestHoardingAttacks:
+    def test_sidestep_taxation_via_fresh_reserve_blocked(self, graph):
+        """§5.2.2's exact attack: move taxed energy into an untaxed
+        reserve, accumulate battery-scale hoards."""
+        host_cat = fresh_category("host")
+        plugin = graph.create_reserve(name="plugin")
+        graph.create_tap(graph.root, plugin, 1.0)
+        graph.create_tap(plugin, graph.root, 0.1, TapType.PROPORTIONAL,
+                         label=Label({host_cat: 0}), name="tax")
+        for _ in range(100):
+            graph.step(0.1)
+        stash = graph.create_reserve(name="stash")
+        with pytest.raises(HoardingError):
+            graph.checked_transfer(plugin, stash, plugin.level)
+
+    def test_global_decay_caps_any_hoard(self):
+        """Even without checked transfers, the half-life bounds the
+        steady-state hoard at income/lambda."""
+        system = make_system(decay_enabled=True)
+        hoard = system.powered_reserve(mW(300), name="hoarder")
+        system.run(hours_s := 3600.0)
+        lam = system.graph.decay_policy.lam
+        equilibrium = 0.300 / lam
+        assert hoard.level <= equilibrium * 1.02
+        # 260 J — about 1.7% of the battery, not "energy equal to the
+        # battery" (§5.2.2's worry without decay).
+        assert hoard.level < 0.02 * 15_000.0
+
+    def test_foreground_burst_hoard_decays_back(self):
+        """§6.3: the half-life 'returns applications to the natural
+        background power over a 10 minute period'."""
+        system = make_system(decay_enabled=True)
+        reserve = system.new_reserve(name="app")
+        system.battery_reserve.transfer_to(reserve, 3.0)  # fg burst
+        system.run(600.0)
+        assert reserve.level == pytest.approx(1.5, rel=0.05)
+
+
+class TestDenialOfService:
+    def test_fork_bomb_cannot_starve_the_system(self):
+        system = make_system()
+        victim = energywrap(system, mW(68.5), spinner(), "victim")
+        bomb_reserve = system.powered_reserve(mW(68.5), name="bomb")
+
+        def bomb(ctx):
+            for index in range(20):
+                yield Fork(spinner(), name=f"b{index}",
+                           setup=lambda p: p.thread.set_active_reserve(
+                               bomb_reserve))
+            yield CpuBurn(math.inf)
+
+        system.spawn(bomb, "bomber", reserve=bomb_reserve)
+        system.run(20.0)
+        victim_watts = victim.reserve.total_consumed / 20.0
+        assert victim_watts == pytest.approx(0.0685, rel=0.05)
+
+    def test_radio_spam_is_self_limiting(self):
+        """A malicious app cannot run up the radio beyond its income."""
+        system = make_system()
+        attacker = system.powered_reserve(mW(99), name="spammer")
+
+        def spam(ctx):
+            while True:
+                yield NetRequest(bytes_out=KiB(1), destination="echo")
+
+        system.spawn(spam, "spammer", reserve=attacker)
+        system.run(600.0)
+        # Income bounds activations: 99 mW x 600 s = 59.4 J buys at
+        # most ~5 margined activations (11.875 J each).
+        assert system.radio.activation_count <= 5
+        # And the pool holds no stolen surplus beyond the margin.
+        assert system.netd.pool.level < 12.0
+
+    def test_netd_pool_cannot_be_drained_by_an_outsider(self):
+        """The pool is netd's reserve; apps only feed it via blocking
+        contributions, and the core API refuses cross-kind theft."""
+        system = make_system()
+        pool = system.netd.pool
+        system.battery_reserve.transfer_to(pool, 5.0)
+        outsider = system.new_reserve(name="outsider")
+        # The only raw path is transfer_to *from* the pool object
+        # itself; no syscall reaches it because it was never placed in
+        # a container an outsider can name.
+        from repro.errors import NoSuchObjectError
+        thief = system.kernel.create_thread(name="thief")
+        from repro.kernel.objects import ObjRef
+        with pytest.raises(NoSuchObjectError):
+            syscalls.reserve_transfer(
+                system.kernel, thief,
+                ObjRef(system.kernel.root_container.object_id,
+                       pool.object_id),
+                system.kernel.ref_for(outsider), 5.0)

@@ -1,0 +1,71 @@
+"""Tests that the paper's design diagrams match what the code wires."""
+
+import pytest
+
+from repro.core.tap import TapType
+from repro.figures import diagrams
+
+
+class TestTopologies:
+    def test_figure1_battery_to_browser(self):
+        diagram = diagrams.figure1()
+        taps = diagram.graph.taps
+        assert len(taps) == 1
+        assert taps[0].source is diagram.graph.root
+        assert taps[0].rate == pytest.approx(0.750)
+
+    def test_figure6a_subdivision_chain(self):
+        diagram = diagrams.figure6a()
+        graph = diagram.graph
+        browser = next(r for r in graph.reserves if r.name == "browser")
+        plugin = next(r for r in graph.reserves if r.name == "plugin")
+        # battery -> browser -> plugin, strictly chained.
+        assert any(t.source is graph.root and t.sink is browser
+                   for t in graph.taps)
+        assert any(t.source is browser and t.sink is plugin
+                   for t in graph.taps)
+        assert not any(t.source is graph.root and t.sink is plugin
+                       for t in graph.taps)
+
+    def test_figure6b_backward_taps(self):
+        diagram = diagrams.figure6b()
+        graph = diagram.graph
+        browser = next(r for r in graph.reserves if r.name == "browser")
+        plugin = next(r for r in graph.reserves if r.name == "plugin")
+        assert len(graph.backward_taps_of(browser)) == 1
+        assert len(graph.backward_taps_of(plugin)) == 1
+        # The documented equilibria fall out when stepped.
+        for _ in range(2000):
+            graph.step(0.1)
+        assert plugin.level == pytest.approx(0.700, rel=0.03)
+        assert browser.level == pytest.approx(7.0, rel=0.03)
+
+    def test_figure7_dual_taps_per_app(self):
+        diagram = diagrams.figure7()
+        graph = diagram.graph
+        for name in ("rss", "mail"):
+            app = next(r for r in graph.reserves if r.name == name)
+            feeders = graph.taps_into(app)
+            assert len(feeders) == 2
+            sources = {t.source.name for t in feeders}
+            assert sources == {"foreground", "background"}
+
+    def test_figure8_contribution_paths(self):
+        diagram = diagrams.figure8()
+        graph = diagram.graph
+        pool = next(r for r in graph.reserves if r.name == "netd.pool")
+        assert pool.decay_exempt
+        contributors = {t.source.name for t in graph.taps_into(pool)}
+        assert contributors == {"mail", "rss"}
+
+    def test_render_all_is_complete(self):
+        text = diagrams.render_all()
+        for label in ("Figure 1", "Figure 6a", "Figure 6b", "Figure 7",
+                      "Figure 8"):
+            assert label in text
+
+    def test_dot_output_is_valid_shape(self):
+        for builder in diagrams.ALL_DIAGRAMS:
+            dot = builder().dot()
+            assert dot.startswith("digraph")
+            assert dot.rstrip().endswith("}")

@@ -1,0 +1,199 @@
+"""Fault injection: the system must degrade predictably, not corrupt.
+
+Kills reserves mid-flight, crashes processes, revokes taps under load,
+and drives reserves into pathological debt — then asserts the
+invariants that must survive: conservation, scheduler progress, and
+isolation of the failure.
+"""
+
+import math
+
+import pytest
+
+from repro.core.tap import TapType
+from repro.errors import DebtLimitError, SimulationError
+from repro.sim.process import CpuBurn, NetRequest, Sleep
+from repro.sim.workload import spinner, timed_spinner
+from repro.units import KiB, mW
+
+from ..conftest import make_system
+
+
+class TestProcessCrashes:
+    def test_crashing_process_does_not_kill_the_engine(self):
+        system = make_system()
+
+        def crasher(ctx):
+            yield Sleep(0.5)
+            raise RuntimeError("app bug")
+
+        survivor_reserve = system.powered_reserve(mW(137), name="ok")
+        survivor = system.spawn(spinner(), "ok", reserve=survivor_reserve)
+        system.spawn(crasher, "crasher")
+        with pytest.raises(RuntimeError):
+            system.run(2.0)
+        # The engine can continue afterwards; the survivor still runs.
+        before = survivor.thread.cpu_time
+        system.run(2.0)
+        assert survivor.thread.cpu_time > before
+
+    def test_generator_exit_releases_scheduler_slot(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(137), name="r")
+        process = system.spawn(timed_spinner(0.2), "short",
+                               reserve=reserve)
+        system.run(1.0)
+        assert process.finished
+        assert process.thread not in system.scheduler.threads
+
+
+class TestReserveDeletionUnderLoad:
+    def test_deleting_running_threads_reserve_throttles_it(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(137), name="r")
+        process = system.spawn(spinner(), "app", reserve=reserve)
+        system.run(1.0)
+        ran_before = process.thread.cpu_time
+        system.graph.delete_reserve(reserve)
+        process.thread.detach_reserve(reserve)
+        system.run(1.0)
+        # No reserve -> no progress; nothing crashed.
+        assert process.thread.cpu_time == pytest.approx(ran_before,
+                                                        abs=0.02)
+        assert abs(system.graph.conservation_error()) < 1e-6
+
+    def test_tap_revocation_mid_run_stops_flow_only(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        tap = system.kernel.create_tap(system.battery_reserve, reserve,
+                                       mW(100), name="t")
+        system.run(1.0)
+        level_at_cut = reserve.level
+        system.graph.delete_tap(tap)
+        system.run(1.0)
+        assert reserve.level == pytest.approx(level_at_cut)
+        assert abs(system.graph.conservation_error()) < 1e-6
+
+    def test_container_revocation_of_live_sandbox(self):
+        """Deleting an app's container revokes reserve + tap at once."""
+        system = make_system()
+        container = system.kernel.create_container(name="sandbox")
+        reserve = system.kernel.create_reserve(container=container,
+                                               name="boxed")
+        tap = system.kernel.create_tap(system.battery_reserve, reserve,
+                                       mW(100), container=container)
+        system.run(0.5)
+        system.kernel.delete(system.kernel.ref_for(container))
+        assert not reserve.alive and not tap.alive
+        system.run(0.5)  # engine keeps going
+        assert abs(system.graph.conservation_error()) < 1e-6
+
+
+class TestDebtPathologies:
+    def test_debt_limited_reserve_rejects_runaway_debits(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        reserve.debt_limit = 0.5
+        system.battery_reserve.transfer_to(reserve, 0.1)
+        with pytest.raises(DebtLimitError):
+            reserve.consume(1.0, allow_debt=True)
+        assert reserve.level == pytest.approx(0.1)
+
+    def test_indebted_thread_recovers_via_tap(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(137), name="r")
+        thread = system.kernel.create_thread(name="t")
+        thread.set_active_reserve(reserve)
+        reserve.consume(0.05, allow_debt=True)  # plunged into debt
+        assert reserve.in_debt
+        system.run(1.0)  # tap repays
+        assert not reserve.in_debt
+
+    def test_taps_never_flow_out_of_debt(self):
+        system = make_system()
+        a = system.new_reserve(name="a")
+        b = system.new_reserve(name="b")
+        system.kernel.create_tap(a, b, mW(500))
+        a.consume(1.0, allow_debt=True)
+        system.run(1.0)
+        assert b.level == 0.0
+        assert a.level == pytest.approx(-1.0)
+
+
+class TestNetdFaults:
+    def test_blocked_op_survives_unrelated_failures(self):
+        system = make_system()
+        poor = system.powered_reserve(mW(99), name="poor")
+
+        def patient(ctx):
+            yield NetRequest(bytes_out=512, bytes_in=KiB(30),
+                             destination="mail")
+
+        def crasher(ctx):
+            yield Sleep(1.0)
+            raise ValueError("unrelated")
+
+        process = system.spawn(patient, "patient", reserve=poor)
+        system.spawn(crasher, "crasher")
+        with pytest.raises(ValueError):
+            system.run(5.0)
+        # The blocked op is still queued and completes once funded.
+        assert system.netd.waiting_count == 1
+        system.battery_reserve.transfer_to(poor, 15.0)
+        system.run(10.0)
+        assert process.finished
+
+    def test_zero_byte_request_is_fine(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        system.battery_reserve.transfer_to(reserve, 15.0)
+
+        def program(ctx):
+            yield NetRequest(bytes_out=0, bytes_in=0, destination="echo")
+
+        process = system.spawn(program, "app", reserve=reserve)
+        system.run(5.0)
+        assert process.finished
+
+    def test_unknown_destination_raises_at_submit(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        system.battery_reserve.transfer_to(reserve, 15.0)
+
+        def program(ctx):
+            yield NetRequest(bytes_out=10, destination="atlantis")
+
+        system.spawn(program, "app", reserve=reserve)
+        from repro.errors import NetworkError
+        with pytest.raises(NetworkError):
+            system.run(1.0)
+
+
+class TestEngineEdges:
+    def test_zero_processes_runs_clean(self):
+        system = make_system()
+        system.run(5.0)
+        assert system.meter.total_energy_joules == pytest.approx(
+            system.model.idle_watts * 5.0)
+
+    def test_battery_exhaustion_is_observable(self):
+        system = make_system(battery_joules=1.0)
+        system.run(5.0)  # idle draw alone kills a 1 J battery
+        assert system.battery.empty
+        assert system.battery.gauge() == 0
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(SimulationError):
+            make_system().run(-1.0)
+
+    def test_many_processes_scale(self):
+        system = make_system()
+        for index in range(50):
+            reserve = system.powered_reserve(mW(2), name=f"r{index}")
+            system.spawn(spinner(), f"p{index}", reserve=reserve)
+        # Long enough that the ~0.7 s reserve warm-up is negligible.
+        system.run(20.0)
+        # 50 x 2 mW = 100 mW of demand on a 137 mW CPU: fits.
+        assert system.scheduler.utilization == pytest.approx(
+            100.0 / 137.0, abs=0.05)
+        assert abs(system.graph.conservation_error()) < 1e-6

@@ -1,0 +1,96 @@
+"""Smoke tests: every figure module runs (scaled down) and renders.
+
+The full-length runs live in ``benchmarks/``; here we assert the shape
+claims on shortened versions so the unit suite stays fast.
+"""
+
+import pytest
+
+from repro.figures import (fig03_radio_flows, fig04_activation,
+                           fig09_isolation, fig12_background,
+                           fig13_cooperative, fig14_netd_reserve,
+                           table1_summary)
+
+
+class TestFig3:
+    def test_run_and_render(self):
+        result = fig03_radio_flows.run(seed=1)
+        assert 13.0 < result.mean_j < 17.0
+        assert result.min_j > 10.0
+        text = fig03_radio_flows.render(result)
+        assert "1500 B/pkt" in text
+
+    def test_series_extraction(self):
+        # seed=None disables cycle jitter: the underlying trend is
+        # monotone in packet rate (the jittered grid, like the paper's
+        # measured data, is noisy around it).
+        result = fig03_radio_flows.run(seed=None)
+        rates, joules = result.series_for_size(750)
+        assert len(rates) == 6
+        assert joules == sorted(joules)  # monotone in rate
+
+
+class TestFig4:
+    def test_activation_cycles(self):
+        result = fig04_activation.run(duration_s=120.0, interval_s=40.0,
+                                      seed=4)
+        assert result.activation_count == 3
+        assert result.mean_cycle_j == pytest.approx(9.5, rel=0.2)
+        assert "Figure 4" in fig04_activation.render(result)
+
+
+class TestFig9:
+    def test_isolation_shape(self):
+        result = fig09_isolation.run(duration_s=30.0)
+        by_metric = {c.metric: c for c in result.comparisons}
+        steady_a = by_metric["A steady power"]
+        assert steady_a.measured == pytest.approx(steady_a.paper, rel=0.05)
+        total = by_metric["stacked estimate sum"]
+        assert total.measured == pytest.approx(0.137, rel=0.05)
+        assert "Figure 9" in fig09_isolation.render(result)
+
+
+class TestFig12:
+    def test_both_panels(self):
+        pair = fig12_background.run(duration_s=60.0)
+        a_rows = {c.metric: c for c in pair.panel_a.comparisons}
+        assert a_rows["A background power (0-10 s)"].measured == \
+            pytest.approx(0.007, rel=0.1)
+        b_rows = {c.metric: c for c in pair.panel_b.comparisons}
+        fifty = b_rows["A share during B's turn (30-36 s)"]
+        assert fifty.measured == pytest.approx(0.0685, rel=0.1)
+        assert "(b) fg tap = 300 mW" in fig12_background.render(pair)
+
+
+class TestFig13AndFriends:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """Share one (shortened) pair across fig13/fig14/table1."""
+        uncoop = fig13_cooperative.run_one(False, duration_s=301.0,
+                                           tick_s=0.02)
+        coop = fig13_cooperative.run_one(True, duration_s=301.0,
+                                         tick_s=0.02)
+        return uncoop, coop
+
+    def test_cooperation_reduces_active_time(self, runs):
+        uncoop, coop = runs
+        assert coop.active_time_s < 0.75 * uncoop.active_time_s
+        assert coop.total_energy_j < uncoop.total_energy_j
+
+    def test_work_parity(self, runs):
+        uncoop, coop = runs
+        assert coop.polls_completed >= uncoop.polls_completed - 1
+
+    def test_fig14_pool_sawtooth(self, runs):
+        _, coop = runs
+        result = fig14_netd_reserve.run(coop_run=coop)
+        assert result.peak_j == pytest.approx(1.25 * 9.5, rel=0.1)
+        assert result.floor_after_first_fill_j > 0.5
+        assert "netd pool level" in fig14_netd_reserve.render(result)
+
+    def test_table1_rows(self, runs):
+        result = table1_summary.run(runs=runs)
+        rows = {r[0]: r for r in result.measured_rows()}
+        assert rows["Active Time (s)"][3] > 0.25  # >25% improvement
+        text = table1_summary.render(result)
+        assert "Non-Coop" in text and "Improv" in text

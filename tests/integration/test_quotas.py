@@ -1,0 +1,102 @@
+"""§9 future work: reserves over non-energy resources.
+
+"Cinder's mechanisms could be repurposed to limit application network
+access by replacing the logical battery with a pool of network bytes.
+Similarly, reserves could also be used to enforce SMS text message
+quotas."
+"""
+
+import pytest
+
+from repro.core.decay import DecayPolicy
+from repro.core.graph import ResourceGraph
+from repro.core.reserve import NETWORK_BYTES, SMS_MESSAGES
+from repro.core.tap import TapType
+from repro.errors import EnergyError, ReserveEmptyError
+from repro.units import MiB
+
+
+class TestDataPlanQuota:
+    def make_plan(self, megabytes=100):
+        # The "battery" is the monthly data plan; decay off (bytes
+        # don't evaporate).
+        graph = ResourceGraph(float(MiB(megabytes)), kind=NETWORK_BYTES,
+                              root_name="data-plan",
+                              decay=DecayPolicy(enabled=False))
+        return graph
+
+    def test_app_byte_quota(self):
+        graph = self.make_plan()
+        app = graph.create_reserve(name="maps", source=graph.root,
+                                   level=float(MiB(10)))
+        app.consume(float(MiB(4)))
+        assert app.level == pytest.approx(float(MiB(6)))
+        with pytest.raises(ReserveEmptyError):
+            app.consume(float(MiB(7)))
+
+    def test_rate_limited_byte_allowance(self):
+        """A tap meters out the plan: e.g., ~1 MiB per day."""
+        graph = self.make_plan()
+        app = graph.create_reserve(name="browser")
+        per_second = MiB(1) / 86_400.0
+        graph.create_tap(graph.root, app, per_second)
+        for _ in range(24):
+            graph.step(3600.0)
+        assert app.level == pytest.approx(float(MiB(1)), rel=1e-6)
+
+    def test_bytes_conserved(self):
+        graph = self.make_plan(10)
+        app = graph.create_reserve(name="a")
+        graph.create_tap(graph.root, app, 1000.0)
+        for _ in range(50):
+            graph.step(10.0)
+            if app.level >= 300.0:
+                app.consume(300.0)
+        assert abs(graph.conservation_error()) < 1e-6
+
+    def test_energy_and_bytes_never_mix(self):
+        plan = self.make_plan()
+        energy = ResourceGraph(1000.0)
+        with pytest.raises(EnergyError):
+            plan.root.transfer_to(energy.root, 10.0)
+
+
+class TestSmsQuota:
+    def test_sms_reserve_blocks_overruns(self):
+        graph = ResourceGraph(100.0, kind=SMS_MESSAGES, root_name="plan",
+                              decay=DecayPolicy(enabled=False))
+        app = graph.create_reserve(name="messenger", source=graph.root,
+                                   level=10.0)
+        for _ in range(10):
+            app.consume(1.0)
+        with pytest.raises(ReserveEmptyError):
+            app.consume(1.0)
+        assert graph.root.level == pytest.approx(90.0)
+
+    def test_subdivided_family_plan(self):
+        graph = ResourceGraph(100.0, kind=SMS_MESSAGES, root_name="plan",
+                              decay=DecayPolicy(enabled=False))
+        parent = graph.create_reserve(name="parent", source=graph.root,
+                                      level=50.0)
+        kid = parent.subdivide(20.0, name="kid")
+        assert parent.level == pytest.approx(30.0)
+        kid.consume(20.0)
+        with pytest.raises(ReserveEmptyError):
+            kid.consume(1.0)
+        # The kid running dry does not touch the parent (isolation).
+        assert parent.level == pytest.approx(30.0)
+
+
+class TestMultiGraphKernel:
+    def test_kernel_hosts_multiple_resource_kinds(self, kernel):
+        plan = ResourceGraph(float(MiB(100)), kind=NETWORK_BYTES,
+                             root_name="data-plan",
+                             decay=DecayPolicy(enabled=False))
+        kernel.add_graph(NETWORK_BYTES, plan)
+        app_bytes = kernel.create_reserve(name="app.bytes",
+                                          kind=NETWORK_BYTES)
+        app_energy = kernel.create_reserve(name="app.energy")
+        assert app_bytes.kind == NETWORK_BYTES
+        assert app_energy.kind == "energy"
+        plan.root.transfer_to(app_bytes, float(MiB(1)))
+        assert app_bytes.level == pytest.approx(float(MiB(1)))

@@ -1,0 +1,164 @@
+"""End-to-end scenarios straight from the paper's evaluation (§6).
+
+These are scaled-down versions of the figure experiments: short
+enough for the unit-test suite, but asserting the same qualitative
+claims the figures make.
+"""
+
+import pytest
+
+from repro.apps.energywrap import energywrap
+from repro.apps.task_manager import TaskManager
+from repro.sim.process import Fork
+from repro.sim.workload import periodic_poller, spinner
+from repro.units import KiB, mW
+
+from ..conftest import make_system
+
+
+class TestIsolationScenario:
+    """§6.1 / Figure 9, scaled to 20 s."""
+
+    def test_a_isolated_from_bs_forks(self):
+        system = make_system()
+        reserve_a = system.powered_reserve(mW(68.5), name="A")
+        reserve_b = system.powered_reserve(mW(68.5), name="B")
+
+        def wire(child):
+            child_reserve = system.new_reserve(name=child.name)
+            system.kernel.create_tap(reserve_b, child_reserve,
+                                     mW(68.5) / 4, name=f"{child.name}.in")
+            child.thread.set_active_reserve(child_reserve)
+
+        def program_b(ctx):
+            yield Fork(spinner(), name="B1", setup=wire)
+            yield Fork(spinner(), name="B2", setup=wire)
+            yield from spinner()(ctx)
+
+        pa = system.spawn(spinner(), "A", reserve=reserve_a)
+        system.spawn(program_b, "B", reserve=reserve_b)
+        system.run(20.0)
+
+        # A's share is untouched by B's children.
+        a_watts = system.ledger.total_for("A") / 20.0
+        assert a_watts == pytest.approx(0.0685, rel=0.03)
+        # B subdivided: B1 + B2 + B ~= B's original 68.5 mW.
+        b_family = sum(system.ledger.total_for(p)
+                       for p in ("B", "B1", "B2")) / 20.0
+        assert b_family == pytest.approx(0.0685, rel=0.05)
+
+    def test_sandboxed_hog_cannot_exceed_wrap_rate(self):
+        system = make_system()
+        victim = energywrap(system, mW(68.5), spinner(), "victim")
+        hog = energywrap(system, mW(68.5), spinner(), "hog")
+
+        def fork_bomb(ctx):
+            for i in range(5):
+                yield Fork(spinner(), name=f"bomb{i}",
+                           setup=lambda p: p.thread.set_active_reserve(
+                               hog.reserve))
+            yield from spinner()(ctx)
+
+        # The bomb's children share the hog's reserve, so the victim
+        # keeps its exact share.
+        system.spawn(fork_bomb, "bomber", reserve=hog.reserve)
+        system.run(20.0)
+        victim_watts = victim.reserve.total_consumed / 20.0
+        assert victim_watts == pytest.approx(0.0685, rel=0.05)
+        hog_watts = hog.reserve.total_consumed / 20.0
+        assert hog_watts <= 0.0685 * 1.05
+
+
+class TestBackgroundScenario:
+    """§6.3 / Figure 12, scaled."""
+
+    def test_foreground_switching_moves_the_power(self):
+        system = make_system()
+        manager = TaskManager(system, foreground_watts=mW(137),
+                              background_pool_watts=mW(14))
+        pa = system.spawn(spinner(), "A")
+        pb = system.spawn(spinner(), "B")
+        manager.add_app("A", pa.thread)
+        manager.add_app("B", pb.thread)
+        manager.schedule_focus(2.0, "A")
+        manager.schedule_focus(6.0, None)
+        system.run(10.0)
+        a_fg = system.ledger.energy_in_window("A", 3.0, 6.0) / 3.0
+        a_bg = system.ledger.energy_in_window("A", 7.5, 10.0) / 2.5
+        assert a_fg > 0.10           # near-full CPU while focused
+        assert a_bg < 0.02           # back to background share
+
+
+class TestCooperationScenario:
+    """§6.4 / Figure 13b, scaled to ~3 minutes."""
+
+    def test_pooling_halves_activations(self):
+        coop = make_system(cooperative_netd=True)
+        for name, offset in (("mail", 0.0), ("rss", 0.0)):
+            reserve = coop.powered_reserve(mW(99), name=name)
+            coop.spawn(periodic_poller(name, 60.0, offset,
+                                       bytes_in=KiB(30)),
+                       name, reserve=reserve)
+        coop.run(180.0)
+
+        solo = make_system(unrestricted_netd=True)
+        for name, offset in (("mail", 0.0), ("rss", 30.0)):
+            solo.spawn(periodic_poller(name, 60.0, offset,
+                                       bytes_in=KiB(30)), name)
+        solo.run(180.0)
+
+        assert solo.radio.activation_count >= 2 * coop.radio.activation_count
+        assert (solo.radio.active_seconds(180.0)
+                > 1.3 * coop.radio.active_seconds(180.0))
+
+    def test_cooperative_apps_fire_together(self):
+        system = make_system(cooperative_netd=True)
+        finish_times = {}
+
+        def tracked(name):
+            def program(ctx):
+                from repro.sim.process import NetRequest
+                yield NetRequest(bytes_out=512, bytes_in=KiB(30),
+                                 destination="mail")
+                finish_times[name] = ctx.now
+            return program
+
+        for name in ("mail", "rss"):
+            reserve = system.powered_reserve(mW(99), name=name)
+            system.spawn(tracked(name), name, reserve=reserve)
+        system.run(120.0)
+        assert len(finish_times) == 2
+        assert abs(finish_times["mail"] - finish_times["rss"]) < 5.0
+
+
+class TestHardwareChainScenario:
+    """The Figure 16 stack wired into a live system."""
+
+    def test_netd_path_and_hw_path_share_the_radio(self):
+        import numpy as np
+        from repro.hw.msm7201a import Msm7201a
+        from repro.hw.rild import RildDaemon
+        from repro.hw.smdd import SmddDaemon
+
+        system = make_system()
+        chipset = Msm7201a(
+            mailbox=__import__("repro.hw.msm7201a", fromlist=["x"]
+                               ).SharedMemoryMailbox(),
+            arm9=__import__("repro.hw.msm7201a", fromlist=["x"]
+                            ).ClosedArm9(system.radio, system.battery,
+                                         lambda: system.clock.now))
+        smdd = SmddDaemon(system.kernel, chipset,
+                          system.model.cpu_active_watts)
+        rild = RildDaemon(system.kernel, smdd,
+                          system.model.cpu_active_watts)
+
+        app = system.kernel.create_thread(name="dialer")
+        reserve = system.new_reserve(name="dialer.r")
+        system.battery_reserve.transfer_to(reserve, 5.0)
+        app.set_active_reserve(reserve)
+        rild.request(app, {"op": "data_tx", "nbytes": 1500,
+                           "npackets": 1})
+        # The ARM9 drove the same radio device the engine meters.
+        assert system.radio.is_active()
+        system.run(25.0)
+        assert not system.radio.is_active()  # timeout applied by engine

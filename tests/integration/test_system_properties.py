@@ -1,0 +1,109 @@
+"""System-level property tests: determinism, fairness, metering.
+
+These exercise the *composed* system the way the paper's evaluation
+depends on it: seeded runs must be bit-identical, the scheduler must
+divide power in proportion to taps, and the simulated meter must agree
+with its own totalizer.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.meter import PowerMeter
+from repro.sim.workload import spinner
+from repro.units import mW
+
+from ..conftest import make_system
+
+
+class TestDeterminism:
+    def _signature(self, seed):
+        system = make_system(seed=seed, meter_noise=0.01)
+        for index, watts in enumerate((40.0, 70.0, 25.0)):
+            reserve = system.powered_reserve(mW(watts), name=f"r{index}")
+            system.spawn(spinner(), f"p{index}", reserve=reserve)
+        system.run(10.0)
+        system.meter.flush()
+        _, samples = system.meter.samples()
+        return (tuple(samples.tolist()),
+                tuple(sorted((p, round(system.ledger.total_for(p), 12))
+                             for p in system.ledger.principals())))
+
+    def test_same_seed_same_trace(self):
+        assert self._signature(7) == self._signature(7)
+
+    def test_different_seed_different_noise(self):
+        first, _ = self._signature(7)
+        second, _ = self._signature(8)
+        assert first != second
+
+
+class TestProportionalFairness:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.floats(5.0, 40.0), min_size=2, max_size=4))
+    def test_power_shares_follow_taps(self, rates_mw):
+        """With total demand under the CPU's capacity, every spinner's
+        billed power converges to its tap rate — the scheduler neither
+        steals nor gifts."""
+        system = make_system()
+        total = sum(rates_mw)
+        if total >= 130.0:  # keep under the 137 mW CPU
+            rates_mw = [r * 120.0 / total for r in rates_mw]
+        for index, rate in enumerate(rates_mw):
+            reserve = system.powered_reserve(mW(rate), name=f"r{index}")
+            system.spawn(spinner(), f"p{index}", reserve=reserve)
+        system.run(30.0)
+        for index, rate in enumerate(rates_mw):
+            billed = system.ledger.total_for(f"p{index}") / 30.0
+            assert billed == pytest.approx(mW(rate), rel=0.08)
+
+    def test_oversubscription_caps_at_cpu(self):
+        system = make_system()
+        for index in range(3):
+            reserve = system.powered_reserve(mW(100), name=f"r{index}")
+            system.spawn(spinner(), f"p{index}", reserve=reserve)
+        system.run(20.0)
+        total_billed = system.ledger.total() / 20.0
+        assert total_billed == pytest.approx(0.137, rel=0.02)
+        # And round-robin splits the contended CPU evenly.
+        shares = [system.ledger.total_for(f"p{i}") for i in range(3)]
+        assert max(shares) / min(shares) < 1.05
+
+
+class TestMeterProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.0, 5.0),
+                              st.floats(0.001, 2.0)),
+                    min_size=1, max_size=20))
+    def test_samples_integrate_to_totalizer(self, segments):
+        meter = PowerMeter()
+        for watts, dt in segments:
+            meter.feed(watts, dt)
+        meter.flush()
+        total_time = sum(dt for _, dt in segments)
+        recovered = meter.energy_between(0.0, total_time + 1.0)
+        assert recovered == pytest.approx(meter.total_energy_joules,
+                                          rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.1, 3.0), st.floats(1.0, 20.0))
+    def test_constant_power_recovered_exactly(self, watts, duration):
+        meter = PowerMeter()
+        meter.feed(watts, duration)
+        meter.flush()
+        assert meter.mean_power_between(0.0, duration) == pytest.approx(
+            watts, rel=1e-9)
+
+
+class TestLedgerMeterAgreement:
+    def test_billed_cpu_energy_shows_up_in_the_meter(self):
+        """Model-billed CPU energy equals metered energy above idle."""
+        system = make_system()
+        reserve = system.powered_reserve(mW(68.5), name="r")
+        system.spawn(spinner(), "app", reserve=reserve)
+        system.run(30.0)
+        system.meter.flush()
+        billed = system.ledger.total_for("app")
+        metered_over_idle = (system.meter.total_energy_joules
+                             - system.model.idle_watts * 30.0)
+        assert billed == pytest.approx(metered_over_idle, rel=0.02)

@@ -1,0 +1,55 @@
+"""Render-path smoke for the viewer figures (10/11).
+
+The full-length runs live in the benchmark suite; this exercises the
+figure modules' run()/render() plumbing once each so documentation
+regeneration cannot silently rot.
+"""
+
+import pytest
+
+from repro.figures import fig10_viewer_noscale, fig11_viewer_scale
+
+
+@pytest.fixture(scope="module")
+def viewer_runs():
+    adaptive = fig10_viewer_noscale.run_viewer(adaptive=True, seed=10)
+    non_adaptive = fig10_viewer_noscale.run_viewer(adaptive=False,
+                                                   seed=10)
+    return adaptive, non_adaptive
+
+
+class TestFig10Render:
+    def test_run_and_render(self, viewer_runs):
+        _, non_adaptive = viewer_runs
+        result = non_adaptive
+        result.add("run time", 2500.0, result.runtime_s, "s")
+        text = fig10_viewer_noscale.render(result)
+        assert "reserve level without application scaling" in text
+        assert "per-image downloads" in text
+        assert "uJ" in text  # the paper's axis unit
+
+    def test_stall_behavior(self, viewer_runs):
+        _, non_adaptive = viewer_runs
+        assert non_adaptive.stats.total_stall_seconds > 100.0
+        assert non_adaptive.min_reserve_j < 1e-3
+
+
+class TestFig11Render:
+    def test_run_and_render(self, viewer_runs):
+        adaptive, non_adaptive = viewer_runs
+        result = fig11_viewer_scale.Fig11Result()
+        result.adaptive = adaptive
+        result.non_adaptive = non_adaptive
+        result.speedup = non_adaptive.runtime_s / adaptive.runtime_s
+        result.add("speedup", 5.0, result.speedup, "x")
+        text = fig11_viewer_scale.render(result)
+        assert "with application scaling" in text
+        assert "adaptive runtime" in text
+
+    def test_adaptation_claims(self, viewer_runs):
+        adaptive, non_adaptive = viewer_runs
+        assert non_adaptive.runtime_s > 5.0 * adaptive.runtime_s
+        assert adaptive.min_reserve_j > 0.0
+        # Quality declines across the first batch.
+        first_batch = adaptive.stats.images[:8]
+        assert first_batch[-1].quality < first_batch[0].quality

@@ -1,0 +1,205 @@
+"""Tests for threads, address spaces, and gate-call billing."""
+
+import pytest
+
+from repro.core.reserve import Reserve
+from repro.errors import GateError, LabelError, ObjectError, SchedulerError
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.gate import Gate
+from repro.kernel.labels import Label, PrivilegeSet, fresh_category
+from repro.kernel.segment import Segment
+from repro.kernel.thread_obj import Thread, ThreadState
+
+
+def make_thread_with_reserve(level=10.0, name="t"):
+    thread = Thread(name=name)
+    reserve = Reserve(level=level, name=f"{name}.reserve")
+    thread.attach_reserve(reserve)
+    return thread, reserve
+
+
+class TestThreadReserves:
+    def test_first_attach_becomes_active(self):
+        thread, reserve = make_thread_with_reserve()
+        assert thread.active_reserve is reserve
+
+    def test_set_active_reserve_switches_billing(self):
+        thread, first = make_thread_with_reserve()
+        second = Reserve(level=5.0, name="second")
+        thread.set_active_reserve(second)
+        thread.charge(1.0)
+        assert second.level == pytest.approx(4.0)
+        assert first.level == pytest.approx(10.0)
+
+    def test_has_energy_any_reserve(self):
+        thread, first = make_thread_with_reserve(level=0.0)
+        assert not thread.has_energy()
+        second = Reserve(level=1.0)
+        thread.attach_reserve(second)
+        assert thread.has_energy()
+
+    def test_detach_reaims_active(self):
+        thread, first = make_thread_with_reserve()
+        second = Reserve(level=5.0)
+        thread.attach_reserve(second)
+        thread.detach_reserve(first)
+        assert thread.active_reserve is second
+
+    def test_charge_without_reserve_raises(self):
+        thread = Thread()
+        with pytest.raises(SchedulerError):
+            thread.charge(1.0)
+
+    def test_charge_negative_raises(self):
+        thread, _ = make_thread_with_reserve()
+        with pytest.raises(SchedulerError):
+            thread.charge(-1.0)
+
+    def test_kill_clears_state(self):
+        thread, _ = make_thread_with_reserve()
+        thread.kill()
+        assert thread.state is ThreadState.DEAD
+        assert not thread.alive
+
+
+class TestAddressSpace:
+    def test_map_and_resolve(self):
+        space = AddressSpace()
+        seg = Segment(size=100)
+        space.map_segment(seg, 0x1000)
+        assert space.resolve(0x1050).segment is seg
+
+    def test_overlap_rejected(self):
+        space = AddressSpace()
+        space.map_segment(Segment(size=100), 0x1000)
+        with pytest.raises(ObjectError):
+            space.map_segment(Segment(size=100), 0x1040)
+
+    def test_unmap(self):
+        space = AddressSpace()
+        space.map_segment(Segment(size=10), 0x1000)
+        space.unmap(0x1000)
+        with pytest.raises(ObjectError):
+            space.resolve(0x1000)
+
+    def test_fault_on_unmapped(self):
+        with pytest.raises(ObjectError):
+            AddressSpace().resolve(0xdead)
+
+
+class TestGateBilling:
+    def test_caller_pays_for_service_work(self):
+        """The §5.5.1 property: work in the server's space bills the
+        caller's active reserve."""
+        server_space = AddressSpace(name="daemon")
+
+        def service(thread, request):
+            # The daemon does 2 J of work on behalf of the caller.
+            thread.charge(2.0)
+            return "done"
+
+        gate = Gate(service, target_space=server_space, name="svc")
+        caller, reserve = make_thread_with_reserve(level=10.0)
+        assert gate.call(caller, None) == "done"
+        assert reserve.level == pytest.approx(8.0)
+        assert gate.call_count == 1
+
+    def test_thread_enters_and_exits_target_space(self):
+        server_space = AddressSpace(name="daemon")
+        observed = {}
+
+        def service(thread, request):
+            observed["space"] = thread.current_space
+            observed["depth"] = thread.gate_depth
+            return None
+
+        gate = Gate(service, target_space=server_space)
+        caller, _ = make_thread_with_reserve()
+        home = AddressSpace(name="home")
+        caller.home_space = home
+        gate.call(caller)
+        assert observed["space"] is server_space
+        assert observed["depth"] == 1
+        assert caller.current_space is home
+        assert caller.gate_depth == 0
+
+    def test_space_restored_on_service_exception(self):
+        def service(thread, request):
+            raise ValueError("boom")
+
+        gate = Gate(service, target_space=AddressSpace())
+        caller, _ = make_thread_with_reserve()
+        with pytest.raises(ValueError):
+            gate.call(caller)
+        assert caller.gate_depth == 0
+
+    def test_label_blocks_unprivileged_caller(self):
+        secret = fresh_category("secret")
+        gate = Gate(lambda t, r: "x", label=Label({secret: 3}))
+        caller, _ = make_thread_with_reserve()
+        with pytest.raises(LabelError):
+            gate.call(caller)
+        caller.privileges = PrivilegeSet(frozenset({secret}))
+        assert gate.call(caller) == "x"
+
+    def test_gate_grants_temporary_privilege(self):
+        cat = fresh_category("netd-pool")
+        grants = PrivilegeSet(frozenset({cat}))
+        seen = {}
+
+        def service(thread, request):
+            seen["owns"] = thread.privileges.owns(cat)
+            return None
+
+        gate = Gate(service, grants=grants)
+        caller, _ = make_thread_with_reserve()
+        gate.call(caller)
+        assert seen["owns"] is True
+        assert not caller.privileges.owns(cat)
+
+    def test_recursion_limit(self):
+        gate = Gate(lambda t, r: None, target_space=AddressSpace(),
+                    max_depth=3)
+
+        def recurse(thread, request):
+            if thread.gate_depth < 10:
+                inner.call(thread, request)
+            return None
+
+        inner = Gate(recurse, target_space=AddressSpace(), max_depth=3)
+        caller, _ = make_thread_with_reserve()
+        with pytest.raises(GateError):
+            inner.call(caller)
+
+    def test_dead_gate_rejects_calls(self):
+        gate = Gate(lambda t, r: None)
+        gate.mark_dead()
+        caller, _ = make_thread_with_reserve()
+        with pytest.raises(Exception):
+            gate.call(caller)
+
+
+class TestSegment:
+    def test_read_write_roundtrip(self):
+        seg = Segment(size=4)
+        seg.write(b"abcd")
+        assert seg.read() == b"abcd"
+        assert seg.read(1, 2) == b"bc"
+
+    def test_write_grows_segment(self):
+        seg = Segment(size=0)
+        seg.write(b"hello", offset=3)
+        assert seg.size == 8
+        assert seg.read(0, 3) == b"\x00\x00\x00"
+
+    def test_resize_shrink_and_grow(self):
+        seg = Segment(size=4)
+        seg.write(b"abcd")
+        seg.resize(2)
+        assert seg.read() == b"ab"
+        seg.resize(4)
+        assert seg.read() == b"ab\x00\x00"
+
+    def test_out_of_bounds_read(self):
+        with pytest.raises(ObjectError):
+            Segment(size=2).read(0, 5)

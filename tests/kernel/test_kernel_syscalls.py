@@ -1,0 +1,188 @@
+"""Tests for the Kernel facade and the Figure 5 syscall layer."""
+
+import pytest
+
+from repro.core.reserve import Reserve
+from repro.core.tap import Tap, TapType
+from repro.errors import (LabelError, NoSuchObjectError, ObjectTypeError)
+from repro.kernel import syscalls
+from repro.kernel.labels import Label, PrivilegeSet, fresh_category
+from repro.kernel.objects import ObjRef, ObjectType
+
+
+@pytest.fixture
+def shell(kernel):
+    """An unconstrained thread performing syscalls."""
+    return kernel.create_thread(name="shell")
+
+
+class TestKernelFacade:
+    def test_battery_registered_under_root(self, kernel):
+        root_id = kernel.root_container.object_id
+        battery = kernel.battery
+        assert kernel.resolve(ObjRef(root_id, battery.object_id)) is battery
+
+    def test_resolve_type_checked(self, kernel):
+        root_id = kernel.root_container.object_id
+        battery = kernel.battery
+        with pytest.raises(ObjectTypeError):
+            kernel.resolve(ObjRef(root_id, battery.object_id),
+                           ObjectType.THREAD)
+
+    def test_resolve_requires_container_membership(self, kernel):
+        other = kernel.create_container(name="other")
+        reserve = kernel.create_reserve(name="r")
+        with pytest.raises(NoSuchObjectError):
+            kernel.resolve(ObjRef(other.object_id, reserve.object_id))
+
+    def test_delete_container_revokes_reserves_and_taps(self, kernel):
+        container = kernel.create_container(name="app")
+        reserve = kernel.create_reserve(container=container, name="r")
+        tap = kernel.create_tap(kernel.battery, reserve, rate=1.0,
+                                container=container, name="t")
+        graph = kernel.energy_graph
+        assert reserve in graph.reserves
+        kernel.delete(kernel.ref_for(container))
+        assert not reserve.alive
+        assert not tap.alive
+        assert reserve not in graph.reserves
+        assert tap not in graph.taps
+
+    def test_ref_for_roundtrip(self, kernel):
+        reserve = kernel.create_reserve(name="r")
+        assert kernel.resolve(kernel.ref_for(reserve)) is reserve
+
+
+class TestFigure5Sequence:
+    def test_energywrap_syscall_sequence(self, kernel, shell):
+        """The literal Figure 5 call sequence."""
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, shell, container_id)
+        res = ObjRef(container_id, res_id)
+        tap_id = syscalls.tap_create(
+            kernel, shell, container_id,
+            kernel.ref_for(kernel.battery), res)
+        tap_ref = ObjRef(container_id, tap_id)
+        # Limit the child to 1 mW.
+        syscalls.tap_set_rate(kernel, shell, tap_ref,
+                              syscalls.TAP_TYPE_CONST, 1)
+        tap = kernel.resolve(tap_ref)
+        assert isinstance(tap, Tap)
+        assert tap.rate == pytest.approx(1e-3)  # mW -> W
+
+        child = kernel.create_thread(name="child")
+        syscalls.self_set_active_reserve(kernel, child, res)
+        assert child.active_reserve is kernel.resolve(res)
+
+    def test_reserve_transfer_and_level(self, kernel, shell):
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, shell, container_id)
+        res = ObjRef(container_id, res_id)
+        battery_ref = kernel.ref_for(kernel.battery)
+        moved = syscalls.reserve_transfer(kernel, shell, battery_ref, res,
+                                          100.0)
+        assert moved == pytest.approx(100.0)
+        assert syscalls.reserve_level(kernel, shell, res) == pytest.approx(
+            100.0)
+
+    def test_reserve_split(self, kernel, shell):
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, shell, container_id)
+        res = ObjRef(container_id, res_id)
+        syscalls.reserve_transfer(kernel, shell,
+                                  kernel.ref_for(kernel.battery), res,
+                                  1.0)
+        # The §3.2 example: 1000 mJ -> 800 + 200.
+        child_id = syscalls.reserve_split(kernel, shell, res, 0.2)
+        child = ObjRef(container_id, child_id)
+        assert syscalls.reserve_level(kernel, shell, res) == pytest.approx(
+            0.8)
+        assert syscalls.reserve_level(kernel, shell,
+                                      child) == pytest.approx(0.2)
+
+    def test_reserve_delete_with_reclaim(self, kernel, shell):
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, shell, container_id)
+        res = ObjRef(container_id, res_id)
+        battery_ref = kernel.ref_for(kernel.battery)
+        syscalls.reserve_transfer(kernel, shell, battery_ref, res, 50.0)
+        before = kernel.battery.level
+        syscalls.reserve_delete(kernel, shell, res, reclaim_to=battery_ref)
+        assert kernel.battery.level == pytest.approx(before + 50.0)
+        with pytest.raises(NoSuchObjectError):
+            syscalls.reserve_level(kernel, shell, res)
+
+    def test_tap_delete_revokes_flow(self, kernel, shell):
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, shell, container_id)
+        res = ObjRef(container_id, res_id)
+        tap_id = syscalls.tap_create(kernel, shell, container_id,
+                                     kernel.ref_for(kernel.battery), res)
+        tap_ref = ObjRef(container_id, tap_id)
+        syscalls.tap_set_rate(kernel, shell, tap_ref,
+                              syscalls.TAP_TYPE_CONST, 1000)
+        syscalls.tap_delete(kernel, shell, tap_ref)
+        kernel.energy_graph.step(1.0)
+        assert syscalls.reserve_level(kernel, shell, res) == 0.0
+
+
+class TestSyscallSecurity:
+    def test_unprivileged_thread_cannot_touch_labeled_reserve(self, kernel):
+        secret = fresh_category("app")
+        owner = kernel.create_thread(
+            name="owner", privileges=PrivilegeSet(frozenset({secret})))
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, owner, container_id,
+                                         label=Label({secret: 3}))
+        res = ObjRef(container_id, res_id)
+
+        intruder = kernel.create_thread(name="intruder")
+        with pytest.raises(LabelError):
+            syscalls.reserve_level(kernel, intruder, res)
+        with pytest.raises(LabelError):
+            syscalls.reserve_transfer(
+                kernel, intruder, kernel.ref_for(kernel.battery), res, 1.0)
+        # The owner can.
+        assert syscalls.reserve_level(kernel, owner, res) == 0.0
+
+    def test_tap_embeds_creator_privileges(self, kernel):
+        """§3.5: 'taps can have privileges embedded in them'."""
+        secret = fresh_category("app")
+        owner = kernel.create_thread(
+            name="owner", privileges=PrivilegeSet(frozenset({secret})))
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, owner, container_id,
+                                         label=Label({secret: 3}))
+        res = ObjRef(container_id, res_id)
+        tap_id = syscalls.tap_create(kernel, owner, container_id,
+                                     kernel.ref_for(kernel.battery), res)
+        tap = kernel.resolve(ObjRef(container_id, tap_id))
+        assert isinstance(tap, Tap)
+        assert tap.privileges.owns(secret)
+        # The tap keeps flowing into the protected reserve even though
+        # no current thread could do the transfer directly.
+        tap.set_rate(1.0)
+        kernel.energy_graph.step(1.0)
+        # (decay is on by default in a kernel graph, hence the loose rel)
+        assert kernel.resolve(res).level == pytest.approx(1.0, rel=5e-3)
+
+    def test_tap_set_rate_requires_modify_on_tap(self, kernel):
+        """§5.4: only the task manager may retune foreground taps."""
+        secret = fresh_category("tm")
+        manager = kernel.create_thread(
+            name="manager", privileges=PrivilegeSet(frozenset({secret})))
+        container_id = kernel.root_container.object_id
+        res_id = syscalls.reserve_create(kernel, manager, container_id)
+        res = ObjRef(container_id, res_id)
+        # Level 0 = integrity: others may observe the tap but cannot
+        # write to it without owning the category.
+        tap_id = syscalls.tap_create(kernel, manager, container_id,
+                                     kernel.ref_for(kernel.battery), res,
+                                     label=Label({secret: 0}))
+        tap_ref = ObjRef(container_id, tap_id)
+        app = kernel.create_thread(name="app")
+        with pytest.raises(LabelError):
+            syscalls.tap_set_rate(kernel, app, tap_ref,
+                                  syscalls.TAP_TYPE_CONST, 300)
+        syscalls.tap_set_rate(kernel, manager, tap_ref,
+                              syscalls.TAP_TYPE_CONST, 300)

@@ -1,0 +1,203 @@
+"""Tests for HiStar-style labels and Cinder's access checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LabelError
+from repro.kernel.labels import (DEFAULT_LEVEL, Label, NO_PRIVILEGES,
+                                 PrivilegeSet, can_modify, can_observe,
+                                 can_use_reserve, check_modify,
+                                 check_observe, fresh_category)
+
+
+@pytest.fixture
+def cats():
+    return fresh_category("a"), fresh_category("b"), fresh_category("c")
+
+
+class TestLabelBasics:
+    def test_default_level(self):
+        label = Label()
+        assert label.default == DEFAULT_LEVEL
+
+    def test_level_lookup_falls_back_to_default(self, cats):
+        a, b, _ = cats
+        label = Label({a: 3})
+        assert label.level_of(a) == 3
+        assert label.level_of(b) == DEFAULT_LEVEL
+
+    def test_default_levels_are_normalized_away(self, cats):
+        a, _, _ = cats
+        label = Label({a: DEFAULT_LEVEL})
+        assert label.categories() == frozenset()
+
+    def test_rejects_out_of_range_levels(self, cats):
+        a, _, _ = cats
+        with pytest.raises(LabelError):
+            Label({a: 7})
+        with pytest.raises(LabelError):
+            Label(default=-1)
+
+    def test_rejects_non_category_keys(self):
+        with pytest.raises(LabelError):
+            Label({"not-a-category": 2})
+
+    def test_equality_and_hash(self, cats):
+        a, _, _ = cats
+        assert Label({a: 2}) == Label({a: 2})
+        assert hash(Label({a: 2})) == hash(Label({a: 2}))
+        assert Label({a: 2}) != Label({a: 3})
+
+    def test_with_level_returns_new_label(self, cats):
+        a, _, _ = cats
+        original = Label()
+        raised = original.with_level(a, 3)
+        assert original.level_of(a) == DEFAULT_LEVEL
+        assert raised.level_of(a) == 3
+
+
+class TestFlow:
+    def test_flow_to_higher_level_allowed(self, cats):
+        a, _, _ = cats
+        low = Label({a: 1})
+        high = Label({a: 3})
+        assert low.can_flow_to(high)
+        assert not high.can_flow_to(low)
+
+    def test_flow_equal_labels(self, cats):
+        a, _, _ = cats
+        label = Label({a: 2})
+        assert label.can_flow_to(label)
+
+    def test_privilege_bypasses_category(self, cats):
+        a, _, _ = cats
+        high = Label({a: 3})
+        low = Label({a: 0})
+        assert not high.can_flow_to(low)
+        assert high.can_flow_to(low, privileges={a})
+
+    def test_privilege_only_bypasses_owned_category(self, cats):
+        a, b, _ = cats
+        tainted = Label({a: 3, b: 3})
+        clean = Label()
+        assert not tainted.can_flow_to(clean, privileges={a})
+        assert tainted.can_flow_to(clean, privileges={a, b})
+
+    def test_default_mismatch_blocks_flow(self):
+        secret_by_default = Label(default=3)
+        public = Label(default=0)
+        assert not secret_by_default.can_flow_to(public)
+        assert public.can_flow_to(secret_by_default)
+
+
+class TestLattice:
+    def test_join_takes_max(self, cats):
+        a, b, _ = cats
+        joined = Label({a: 3}).join(Label({b: 0}))
+        assert joined.level_of(a) == 3
+        assert joined.level_of(b) == max(0, DEFAULT_LEVEL) or True
+        # b explicitly 0 in one side, default 1 in the other: max = 1
+        assert joined.level_of(b) == 1
+
+    def test_meet_takes_min(self, cats):
+        a, _, _ = cats
+        met = Label({a: 3}).meet(Label({a: 0}))
+        assert met.level_of(a) == 0
+
+    def test_join_upper_bounds_both(self, cats):
+        a, b, c = cats
+        x = Label({a: 2, b: 0})
+        y = Label({b: 3, c: 0})
+        j = x.join(y)
+        assert x.can_flow_to(j)
+        assert y.can_flow_to(j)
+
+    def test_meet_lower_bounds_both(self, cats):
+        a, b, c = cats
+        x = Label({a: 2, b: 0})
+        y = Label({b: 3, c: 0})
+        m = x.meet(y)
+        assert m.can_flow_to(x)
+        assert m.can_flow_to(y)
+
+
+@st.composite
+def labels(draw):
+    from repro.kernel import labels as L
+    n = draw(st.integers(0, 3))
+    cats = [L.Category(1000 + i) for i in range(n)]
+    levels = {c: draw(st.integers(0, 3)) for c in cats}
+    return Label(levels, default=draw(st.integers(0, 3)))
+
+
+class TestLatticeProperties:
+    @given(labels(), labels())
+    def test_join_commutes(self, x, y):
+        assert x.join(y) == y.join(x)
+
+    @given(labels(), labels())
+    def test_meet_commutes(self, x, y):
+        assert x.meet(y) == y.meet(x)
+
+    @given(labels(), labels(), labels())
+    def test_flow_transitive(self, x, y, z):
+        if x.can_flow_to(y) and y.can_flow_to(z):
+            assert x.can_flow_to(z)
+
+    @given(labels())
+    def test_flow_reflexive(self, x):
+        assert x.can_flow_to(x)
+
+    @given(labels(), labels())
+    def test_join_is_least_upper_bound_membership(self, x, y):
+        j = x.join(y)
+        assert x.can_flow_to(j) and y.can_flow_to(j)
+
+
+class TestPrivilegeSet:
+    def test_grant_and_drop_are_pure(self, cats):
+        a, b, _ = cats
+        base = PrivilegeSet()
+        grown = base.grant(a, b)
+        assert not base.owns(a)
+        assert grown.owns(a) and grown.owns(b)
+        shrunk = grown.drop(a)
+        assert grown.owns(a)
+        assert not shrunk.owns(a) and shrunk.owns(b)
+
+    def test_union(self, cats):
+        a, b, _ = cats
+        u = PrivilegeSet(frozenset({a})).union(PrivilegeSet(frozenset({b})))
+        assert u.owns(a) and u.owns(b)
+        assert len(u) == 2
+
+
+class TestCinderChecks:
+    def test_use_reserve_requires_observe_and_modify(self, cats):
+        a, _, _ = cats
+        thread_label = Label({a: 1})
+        # Reserve above the thread: can't observe.
+        secret_reserve = Label({a: 3})
+        assert not can_use_reserve(thread_label, NO_PRIVILEGES,
+                                   secret_reserve)
+        # Reserve below the thread: can observe, can't modify.
+        public_reserve = Label({a: 0})
+        assert can_observe(thread_label, NO_PRIVILEGES, public_reserve)
+        assert not can_modify(thread_label, NO_PRIVILEGES, public_reserve)
+        assert not can_use_reserve(thread_label, NO_PRIVILEGES,
+                                   public_reserve)
+        # Same level: both.
+        assert can_use_reserve(thread_label, NO_PRIVILEGES, Label({a: 1}))
+
+    def test_check_helpers_raise(self, cats):
+        a, _, _ = cats
+        with pytest.raises(LabelError):
+            check_observe(Label(), NO_PRIVILEGES, Label({a: 3}))
+        with pytest.raises(LabelError):
+            check_modify(Label({a: 3}), NO_PRIVILEGES, Label())
+
+    def test_privileged_thread_passes_checks(self, cats):
+        a, _, _ = cats
+        privs = PrivilegeSet(frozenset({a}))
+        check_observe(Label(), privs, Label({a: 3}))
+        check_modify(Label({a: 3}), privs, Label())

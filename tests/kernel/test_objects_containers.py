@@ -1,0 +1,122 @@
+"""Tests for kernel objects, ObjRefs, and container GC."""
+
+import pytest
+
+from repro.errors import ContainerError, NoSuchObjectError
+from repro.kernel.container import Container
+from repro.kernel.objects import ObjRef, ObjectType
+from repro.kernel.segment import Segment
+
+
+class TestKernelObject:
+    def test_ids_are_unique_and_increasing(self):
+        a, b = Segment(), Segment()
+        assert b.object_id > a.object_id
+
+    def test_mark_dead_is_idempotent(self):
+        seg = Segment(size=8)
+        seg.mark_dead()
+        seg.mark_dead()
+        assert not seg.alive
+
+    def test_ensure_alive_raises_when_dead(self):
+        seg = Segment()
+        seg.mark_dead()
+        with pytest.raises(NoSuchObjectError):
+            seg.ensure_alive()
+
+
+class TestContainerMembership:
+    def test_put_and_get(self):
+        parent = Container(name="parent")
+        seg = Segment(name="data")
+        parent.put(seg)
+        assert parent.get(seg.object_id) is seg
+        assert parent.contains(seg.object_id)
+        assert seg.parent_container_id == parent.object_id
+
+    def test_double_put_rejected(self):
+        parent = Container()
+        seg = Segment()
+        parent.put(seg)
+        with pytest.raises(ContainerError):
+            parent.put(seg)
+
+    def test_put_into_second_container_rejected(self):
+        first, second = Container(), Container()
+        seg = Segment()
+        first.put(seg)
+        with pytest.raises(ContainerError):
+            second.put(seg)
+
+    def test_remove_allows_rehoming(self):
+        first, second = Container(), Container()
+        seg = Segment()
+        first.put(seg)
+        first.remove(seg.object_id)
+        second.put(seg)
+        assert second.contains(seg.object_id)
+        assert not first.contains(seg.object_id)
+
+    def test_self_containment_rejected(self):
+        container = Container()
+        with pytest.raises(ContainerError):
+            container.put(container)
+
+    def test_quota_enforced(self):
+        container = Container(quota=1)
+        container.put(Segment())
+        with pytest.raises(ContainerError):
+            container.put(Segment())
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NoSuchObjectError):
+            Container().get(424242)
+
+    def test_len_and_iter_count_live_members(self):
+        container = Container()
+        a, b = Segment(), Segment()
+        container.put(a)
+        container.put(b)
+        assert len(container) == 2
+        b.mark_dead()
+        assert len(container) == 1
+        assert list(container) == [a]
+
+
+class TestRecursiveDeletion:
+    def test_deleting_container_kills_subtree(self):
+        root = Container(name="root")
+        middle = Container(name="middle")
+        leaf = Segment(name="leaf")
+        root.put(middle)
+        middle.put(leaf)
+        root.delete_member(middle.object_id)
+        assert not middle.alive
+        assert not leaf.alive
+
+    def test_delete_member_only_touches_that_subtree(self):
+        root = Container()
+        keep, kill = Segment(), Segment()
+        root.put(keep)
+        root.put(kill)
+        root.delete_member(kill.object_id)
+        assert keep.alive
+        assert not kill.alive
+
+    def test_walk_and_find_all(self):
+        root = Container()
+        inner = Container()
+        seg = Segment()
+        root.put(inner)
+        inner.put(seg)
+        names = [type(obj).__name__ for obj in root.walk()]
+        assert names == ["Container", "Container", "Segment"]
+        assert root.find_all(ObjectType.SEGMENT) == [seg]
+
+
+class TestObjRef:
+    def test_objref_is_value_like(self):
+        assert ObjRef(1, 2) == ObjRef(1, 2)
+        assert ObjRef(1, 2) != ObjRef(1, 3)
+        assert hash(ObjRef(1, 2)) == hash(ObjRef(1, 2))

@@ -1,0 +1,203 @@
+"""Tests for netd: gating, pooling, billing (§5.5)."""
+
+import math
+
+import pytest
+
+from repro.net.netd import OpState
+from repro.sim.process import NetRequest, Sleep
+from repro.sim.workload import periodic_poller
+from repro.units import KiB, mW
+
+from ..conftest import make_system
+
+
+def poll_request(destination="mail", bytes_in=KiB(30)):
+    return NetRequest(bytes_out=512, bytes_in=bytes_in,
+                      destination=destination)
+
+
+class TestGating:
+    def test_unfunded_request_blocks(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")  # empty, no tap
+
+        def program(ctx):
+            yield poll_request()
+
+        process = system.spawn(program, "app", reserve=reserve)
+        system.run(5.0)
+        assert not process.finished
+        assert system.netd.waiting_count == 1
+        assert system.radio.activation_count == 0
+
+    def test_funded_request_completes(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        system.battery_reserve.transfer_to(reserve, 20.0)
+        replies = {}
+
+        def program(ctx):
+            replies["r"] = yield poll_request()
+
+        system.spawn(program, "app", reserve=reserve)
+        system.run(10.0)
+        assert replies["r"].bytes_in == KiB(30)
+        assert replies["r"].billed_joules > 9.0
+        assert system.radio.activation_count == 1
+
+    def test_margin_requires_125_percent(self):
+        """Figure 14: netd demands 125% of the activation cost."""
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        # Enough for the activation alone but below margin + data.
+        system.battery_reserve.transfer_to(reserve, 9.6)
+
+        def program(ctx):
+            yield NetRequest(bytes_out=64, destination="echo")
+
+        process = system.spawn(program, "app", reserve=reserve)
+        system.run(2.0)
+        assert not process.finished
+        # Top it past the margin and it proceeds.
+        system.battery_reserve.transfer_to(reserve, 3.0)
+        system.run(3.0)
+        assert process.finished
+
+    def test_marginal_cost_when_radio_active(self):
+        system = make_system()
+        rich = system.new_reserve(name="rich")
+        system.battery_reserve.transfer_to(rich, 50.0)
+        poor = system.new_reserve(name="poor")
+        system.battery_reserve.transfer_to(poor, 2.0)
+        bills = {}
+
+        def first(ctx):
+            bills["first"] = (yield poll_request()).billed_joules
+
+        def second(ctx):
+            yield Sleep(3.0)  # radio is active by now
+            bills["second"] = (yield poll_request()).billed_joules
+
+        system.spawn(first, "first", reserve=rich)
+        system.spawn(second, "second", reserve=poor)
+        system.run(30.0)
+        assert bills["first"] > 9.0       # paid the activation
+        assert bills["second"] < 2.0      # paid only the extension
+
+
+class TestPooling:
+    def test_two_poor_apps_pool_for_activation(self):
+        """§5.5.2 / Figure 13b: neither can afford the radio alone."""
+        system = make_system()
+        mail = system.powered_reserve(mW(99), name="mail")
+        rss = system.powered_reserve(mW(99), name="rss")
+        system.spawn(periodic_poller("mail", 60.0, 0.0, max_polls=1),
+                     "mail", reserve=mail)
+        system.spawn(periodic_poller("rss", 60.0, 0.0, max_polls=1),
+                     "rss", reserve=rss)
+        system.run(90.0)
+        # One shared activation served both.
+        assert system.radio.activation_count == 1
+        assert system.netd.stats.operations == 2
+        assert system.netd.stats.total_pool_contributions > 9.0
+
+    def test_pool_retains_margin_surplus(self):
+        """Figure 14: 'the reserve does not empty to 0'."""
+        system = make_system()
+        mail = system.powered_reserve(mW(99), name="mail")
+        rss = system.powered_reserve(mW(99), name="rss")
+        system.spawn(periodic_poller("mail", 60.0, 0.0, max_polls=1),
+                     "mail", reserve=mail)
+        system.spawn(periodic_poller("rss", 60.0, 0.0, max_polls=1),
+                     "rss", reserve=rss)
+        system.run(90.0)
+        assert system.netd.pool.level > 0.5
+
+    def test_pool_is_decay_exempt(self):
+        system = make_system(decay_enabled=True)
+        assert system.netd.pool.decay_exempt
+
+    def test_blocked_callers_drain_into_pool(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(99), name="app")
+
+        def program(ctx):
+            yield poll_request()
+
+        system.spawn(program, "app", reserve=reserve)
+        system.run(10.0)  # far from affordable
+        assert reserve.level < 0.01  # everything contributed
+        assert system.netd.pool.level == pytest.approx(0.99, rel=0.1)
+
+
+class TestBillingPaths:
+    def test_undeclared_receive_debits_into_debt(self):
+        """§5.5.2: costs known only after the fact go into debt."""
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        system.battery_reserve.transfer_to(reserve, 12.0)
+
+        def program(ctx):
+            # Poll with undeclared inbound size; mail returns 30 KiB.
+            yield NetRequest(bytes_out=64, bytes_in=0, destination="mail")
+
+        process = system.spawn(program, "app", reserve=reserve)
+        system.run(10.0)
+        assert process.finished
+        assert system.netd.stats.debt_debits == 1
+
+    def test_unrestricted_mode_never_bills(self):
+        system = make_system(unrestricted_netd=True)
+
+        def program(ctx):
+            yield poll_request()
+
+        process = system.spawn(program, "app")  # no reserve at all
+        system.run(5.0)
+        assert process.finished
+        assert system.netd.stats.total_billed_joules == 0.0
+
+    def test_noncooperative_mode_gates_individually(self):
+        system = make_system(cooperative_netd=False)
+        poor_a = system.powered_reserve(mW(99), name="a")
+        poor_b = system.powered_reserve(mW(99), name="b")
+
+        def program(ctx):
+            yield poll_request()
+
+        pa = system.spawn(program, "a", reserve=poor_a)
+        pb = system.spawn(program, "b", reserve=poor_b)
+        system.run(60.0)
+        # Without pooling, neither 99 mW app reaches 125% x 9.5 J
+        # until ~120 s; at 60 s both still wait.
+        assert not pa.finished and not pb.finished
+
+    def test_gate_billing_is_caller_pays(self):
+        """The netd gate runs on the caller's thread (§5.5.1)."""
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        system.battery_reserve.transfer_to(reserve, 20.0)
+
+        def program(ctx):
+            yield poll_request()
+
+        system.spawn(program, "app", reserve=reserve)
+        system.run(10.0)
+        # The app's reserve (not some netd account) paid: level dropped
+        # by more than the activation cost.
+        assert reserve.total_transferred_out > 9.0
+        assert system.netd_gate.call_count == 1
+
+
+class TestRequiredEnergy:
+    def test_required_includes_margin_and_data(self):
+        system = make_system()
+        reserve = system.new_reserve(name="r")
+        op_request = poll_request(bytes_in=KiB(100))
+        thread = system.kernel.create_thread(name="t")
+        thread.set_active_reserve(reserve)
+        op = system.netd.submit(thread, op_request, owner="t")
+        required = system.netd.required_energy(
+            [op], system.clock.now)
+        assert required > 1.25 * 9.5

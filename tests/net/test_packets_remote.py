@@ -1,0 +1,145 @@
+"""Tests for flows (Figure 3 machinery), remote servers, and sockets."""
+
+import math
+
+import pytest
+
+from repro.energy.radio_model import RadioPowerParams
+from repro.errors import NetworkError
+from repro.net.packets import (FIG3_PACKET_RATES, FIG3_PACKET_SIZES, Flow,
+                               Packet, echo_flow_grid, grid_summary)
+from repro.net.remote import (EchoServer, FeedServer, ImageServer,
+                              MailServer, RemoteHosts)
+from repro.net.sockets import Socket
+from repro.sim.process import NetRequest
+from repro.units import KiB
+
+
+class TestFlow:
+    def test_packet_train(self):
+        flow = Flow(packets_per_s=2.0, bytes_per_packet=100,
+                    duration_s=3.0)
+        packets = flow.packets()
+        assert len(packets) == 6
+        assert packets[1].send_time == pytest.approx(0.5)
+        assert flow.total_bytes == 600
+
+    def test_zero_rate_flow(self):
+        flow = Flow(packets_per_s=0.0, bytes_per_packet=100)
+        assert flow.packets() == []
+        assert flow.packet_count == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NetworkError):
+            Flow(packets_per_s=-1.0, bytes_per_packet=10)
+        with pytest.raises(NetworkError):
+            Packet(nbytes=-1)
+
+    def test_flow_energy_matches_model(self):
+        params = RadioPowerParams(jitter_sigma=0.0)
+        flow = Flow(packets_per_s=10.0, bytes_per_packet=750)
+        assert flow.energy(params) == pytest.approx(
+            params.flow_energy(10.0, 750, 10.0))
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        rows = echo_flow_grid(RadioPowerParams(), seed=1)
+        assert len(rows) == len(FIG3_PACKET_RATES) * len(FIG3_PACKET_SIZES)
+
+    def test_overhead_dominates(self):
+        """The Figure 3 claim: the spread is small despite a huge
+        spread in bytes."""
+        rows = echo_flow_grid(RadioPowerParams(), seed=1)
+        mean, low, high = grid_summary(rows)
+        assert high / low < 2.0
+        assert 10.0 < mean < 18.0
+
+    def test_deterministic_under_seed(self):
+        a = echo_flow_grid(RadioPowerParams(), seed=5)
+        b = echo_flow_grid(RadioPowerParams(), seed=5)
+        assert a == b
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(NetworkError):
+            grid_summary([])
+
+
+class TestRemoteServers:
+    def test_echo_returns_sent_bytes(self):
+        reply_bytes, payload = EchoServer().respond(
+            NetRequest(bytes_out=123, payload="hi"))
+        assert reply_bytes == 123
+        assert payload == "hi"
+
+    def test_mail_queue_depth(self):
+        server = MailServer(message_bytes=KiB(10), default_queue_depth=3)
+        nbytes, payload = server.respond(NetRequest(bytes_out=64))
+        assert nbytes == 3 * KiB(10)
+        assert payload["messages"] == 3
+        nbytes, payload = server.respond(
+            NetRequest(bytes_out=64, payload={"expect_messages": 5}))
+        assert payload["messages"] == 5
+
+    def test_feed_returns_document(self):
+        nbytes, payload = FeedServer(feed_bytes=KiB(60)).respond(
+            NetRequest(bytes_out=64))
+        assert nbytes == KiB(60)
+        assert payload["items"] == 20
+
+    def test_declared_bytes_in_honored(self):
+        nbytes, _ = MailServer().respond(
+            NetRequest(bytes_out=64, bytes_in=KiB(7)))
+        assert nbytes == KiB(7)
+
+    def test_image_server_interlace_fractions(self):
+        server = ImageServer(full_image_bytes=KiB(700))
+        full, payload = server.respond(NetRequest(
+            payload={"image": 0, "fraction": 1.0}))
+        half, _ = server.respond(NetRequest(
+            payload={"image": 0, "fraction": 0.5}))
+        assert full == KiB(700)
+        assert half == pytest.approx(KiB(350), abs=1)
+        assert payload["quality"] == 1.0
+
+    def test_image_server_minimum_pass(self):
+        server = ImageServer(full_image_bytes=KiB(700))
+        tiny, payload = server.respond(NetRequest(
+            payload={"fraction": 0.0001}))
+        assert tiny == math.ceil(KiB(700) / 64)
+        assert payload["quality"] == pytest.approx(1 / 64)
+
+    def test_hosts_registry(self):
+        hosts = RemoteHosts.default()
+        assert "mail" in hosts.destinations()
+        with pytest.raises(NetworkError):
+            hosts.lookup("nowhere")
+        hosts.register("custom", EchoServer())
+        assert isinstance(hosts.lookup("custom"), EchoServer)
+
+
+class TestSocket:
+    def test_request_builds_netrequest(self):
+        sock = Socket("mail")
+        request = sock.request(bytes_out=100, bytes_in=200)
+        assert request.destination == "mail"
+        assert request.total_bytes() == 300
+
+    def test_poll_leaves_inbound_undeclared(self):
+        request = Socket("rss").poll()
+        assert request.bytes_in == 0
+
+    def test_datagram_single_packet(self):
+        request = Socket("echo").datagram(1)
+        assert request.packets == 1
+        assert request.total_packets() == 1
+
+    def test_packet_derivation_from_bytes(self):
+        request = Socket("echo").request(bytes_out=4500)
+        assert request.total_packets() == 3
+
+    def test_invalid_socket(self):
+        with pytest.raises(NetworkError):
+            Socket("")
+        with pytest.raises(NetworkError):
+            Socket("x").request(bytes_out=-1)

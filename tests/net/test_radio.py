@@ -1,0 +1,118 @@
+"""Tests for the radio device state machine (§4.3, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.radio_model import RadioPowerParams
+from repro.net.radio import RadioDevice, RadioState
+
+
+def make_radio(seed=0, **overrides):
+    params = RadioPowerParams(**overrides) if overrides else \
+        RadioPowerParams(jitter_sigma=0.0)
+    return RadioDevice(params, rng=np.random.default_rng(seed))
+
+
+class TestStateMachine:
+    def test_starts_idle(self):
+        radio = make_radio()
+        assert not radio.is_active()
+        assert radio.would_be_idle(0.0)
+
+    def test_touch_activates(self):
+        radio = make_radio()
+        radio.touch(5.0)
+        assert radio.is_active()
+        assert radio.activation_count == 1
+
+    def test_timeout_returns_to_idle(self):
+        radio = make_radio()
+        radio.touch(0.0)
+        radio.tick(19.9)
+        assert radio.is_active()
+        radio.tick(20.0)
+        assert not radio.is_active()
+        assert radio.total_active_seconds == pytest.approx(20.0)
+
+    def test_activity_extends_active_period(self):
+        radio = make_radio()
+        radio.touch(0.0)
+        radio.touch(15.0)
+        radio.tick(20.0)
+        assert radio.is_active()  # idle moved to 35.0
+        radio.tick(35.0)
+        assert not radio.is_active()
+
+    def test_transfer_holds_radio_active(self):
+        radio = make_radio()
+        transfer = radio.begin_transfer(0.0, nbytes=30_000 * 30)
+        assert transfer.end == pytest.approx(30.0)
+        radio.tick(25.0)  # mid-transfer: timeout must not fire
+        assert radio.is_active()
+        radio.tick(transfer.end + 20.0)
+        assert not radio.is_active()
+
+    def test_transfer_end_resets_idle_timer(self):
+        radio = make_radio()
+        transfer = radio.begin_transfer(0.0, nbytes=30_000)  # 1 s
+        radio.tick(2.0)
+        assert radio.seconds_since_activity(2.0) == pytest.approx(1.0)
+
+    def test_statistics(self):
+        radio = make_radio()
+        radio.begin_transfer(0.0, nbytes=1500, npackets=1)
+        assert radio.total_bytes == 1500
+        assert radio.total_packets == 1
+
+
+class TestPower:
+    def test_idle_draws_nothing_extra(self):
+        assert make_radio().power_above_baseline(0.0) == 0.0
+
+    def test_ramp_then_plateau(self):
+        radio = make_radio()
+        radio.touch(0.0)
+        ramp_power = radio.power_above_baseline(0.5)
+        plateau_power = radio.power_above_baseline(5.0)
+        assert ramp_power > plateau_power > 0.0
+
+    def test_minimal_cycle_energy_is_activation_cost(self):
+        """Integrating a one-packet cycle yields ~9.5 J (Figure 4)."""
+        radio = make_radio()
+        radio.touch(0.0)
+        dt = 0.01
+        energy = 0.0
+        t = 0.0
+        while radio.is_active():
+            energy += radio.power_above_baseline(t) * dt
+            t += dt
+            radio.tick(t)
+        assert energy == pytest.approx(9.5, rel=0.02)
+
+    def test_transfer_adds_marginal_power(self):
+        radio = make_radio()
+        radio.begin_transfer(0.0, nbytes=300_000)  # 10 s transfer
+        with_transfer = radio.power_above_baseline(5.0)
+        radio2 = make_radio()
+        radio2.touch(0.0)
+        without = radio2.power_above_baseline(5.0)
+        assert with_transfer > without
+
+
+class TestCostEstimation:
+    def test_idle_send_estimate_is_full_activation(self):
+        radio = make_radio()
+        cost = radio.estimated_send_cost(0.0, nbytes=1, npackets=1)
+        assert cost == pytest.approx(9.5, abs=0.1)
+
+    def test_active_send_estimate_is_extension(self):
+        radio = make_radio()
+        radio.touch(0.0)
+        cost = radio.estimated_send_cost(1.0, nbytes=1, npackets=1)
+        assert cost < 1.0
+
+    def test_would_be_idle_respects_timeout(self):
+        radio = make_radio()
+        radio.touch(0.0)
+        assert not radio.would_be_idle(10.0)
+        assert radio.would_be_idle(20.0)

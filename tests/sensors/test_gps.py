@@ -1,0 +1,157 @@
+"""Tests for the GPS device and the pooled fix daemon."""
+
+import pytest
+
+from repro.sensors.gps import (FixOpState, GpsDaemon, GpsDevice,
+                               GpsPowerParams, GpsState)
+from repro.sim.process import WaitFor
+from repro.units import mW
+
+from ..conftest import make_system
+
+
+class TestGpsDevice:
+    def test_cold_fix_timing(self):
+        device = GpsDevice()
+        ready = device.start_acquisition(0.0)
+        assert ready == pytest.approx(12.0)
+        device.tick(11.9)
+        assert device.state is GpsState.ACQUIRING
+        assert device.last_fix is None
+        device.tick(12.0)
+        assert device.state is GpsState.TRACKING
+        assert device.last_fix is not None
+
+    def test_linger_then_off(self):
+        device = GpsDevice()
+        device.start_acquisition(0.0)
+        device.tick(12.0)
+        device.tick(16.9)
+        assert device.state is GpsState.TRACKING
+        device.tick(17.1)
+        assert device.state is GpsState.OFF
+
+    def test_power_by_state(self):
+        params = GpsPowerParams()
+        device = GpsDevice(params)
+        assert device.power_above_baseline(0.0) == 0.0
+        device.start_acquisition(0.0)
+        assert device.power_above_baseline(1.0) == params.acquisition_watts
+        device.tick(12.0)
+        assert device.power_above_baseline(12.5) == params.tracking_watts
+
+    def test_acquisition_cost(self):
+        params = GpsPowerParams()
+        assert params.acquisition_cost == pytest.approx(0.36 * 12.0)
+
+    def test_fix_freshness(self):
+        device = GpsDevice()
+        device.start_acquisition(0.0)
+        device.tick(12.0)
+        fix = device.last_fix
+        assert fix.fresh(30.0, device.params.fix_validity_s)
+        assert not fix.fresh(50.0, device.params.fix_validity_s)
+
+
+class TestGpsDaemonUnit:
+    def make(self, graph):
+        device = GpsDevice()
+        now = {"t": 0.0}
+        daemon = GpsDaemon(graph, device, clock=lambda: now["t"])
+        return device, daemon, now
+
+    def test_funded_request_acquires(self, graph):
+        device, daemon, now = self.make(graph)
+        thread_reserve = graph.create_reserve(name="app",
+                                              source=graph.root,
+                                              level=10.0)
+        from repro.kernel.thread_obj import Thread
+        thread = Thread(name="app")
+        thread.set_active_reserve(thread_reserve)
+        op = daemon.request_fix(thread)
+        assert op.state is FixOpState.ACQUIRING
+        now["t"] = 12.0
+        daemon.step(12.0)
+        assert op.state is FixOpState.DONE
+        assert op.fix is not None
+        assert daemon.pooled_acquisitions == 1
+
+    def test_fresh_fix_is_free_and_instant(self, graph):
+        device, daemon, now = self.make(graph)
+        from repro.kernel.thread_obj import Thread
+        rich = graph.create_reserve(name="rich", source=graph.root,
+                                    level=10.0)
+        t1 = Thread(name="first")
+        t1.set_active_reserve(rich)
+        daemon.request_fix(t1)
+        now["t"] = 12.0
+        daemon.step(12.0)
+        # Second app, broke, arrives while the fix is fresh.
+        broke = graph.create_reserve(name="broke")
+        t2 = Thread(name="second")
+        t2.set_active_reserve(broke)
+        now["t"] = 20.0
+        op = daemon.request_fix(t2)
+        assert op.state is FixOpState.DONE
+        assert op.billed_joules == 0.0
+        assert daemon.cached_fixes_served == 1
+
+    def test_poor_requesters_pool(self, graph):
+        device, daemon, now = self.make(graph)
+        from repro.kernel.thread_obj import Thread
+        ops = []
+        reserves = []
+        for name in ("a", "b"):
+            reserve = graph.create_reserve(
+                name=name, source=graph.root,
+                level=0.6 * daemon.margin
+                * device.params.acquisition_cost)
+            thread = Thread(name=name)
+            thread.set_active_reserve(reserve)
+            ops.append(daemon.request_fix(thread))
+            reserves.append(reserve)
+        # Neither alone could fund it; together they did.
+        assert all(op.state is FixOpState.ACQUIRING for op in ops)
+        assert daemon.pooled_acquisitions == 1
+
+    def test_unfunded_request_waits(self, graph):
+        device, daemon, now = self.make(graph)
+        from repro.kernel.thread_obj import Thread
+        broke = graph.create_reserve(name="broke")
+        thread = Thread(name="app")
+        thread.set_active_reserve(broke)
+        op = daemon.request_fix(thread)
+        assert op.state is FixOpState.WAITING_ENERGY
+        assert device.state is GpsState.OFF
+
+
+class TestGpsInSystem:
+    def test_pooled_fix_in_full_engine(self):
+        system = make_system()
+        device = GpsDevice()
+        daemon = GpsDaemon(system.graph, device,
+                           clock=lambda: system.clock.now)
+        system.add_device(stepper=daemon.step,
+                          power=device.power_above_baseline)
+
+        fixes = {}
+
+        def navigator(name):
+            def program(ctx):
+                op = daemon.request_fix(ctx.thread, owner=name)
+                yield WaitFor(lambda: op.state is FixOpState.DONE)
+                fixes[name] = (ctx.now, op.fix)
+            return program
+
+        for name in ("maps", "weather"):
+            reserve = system.powered_reserve(mW(300), name=name)
+            system.spawn(navigator(name), name, reserve=reserve)
+        system.run(40.0)
+        system.meter.flush()
+
+        assert set(fixes) == {"maps", "weather"}
+        # One acquisition served both (pooling/sharing).
+        assert device.acquisitions == 1
+        # The acquisition draw reached the meter.
+        peak = system.meter.samples()[1].max()
+        assert peak > system.model.idle_watts + 0.3

@@ -1,0 +1,105 @@
+"""Tests for the clock and trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.trace import TimeSeries, TraceRecorder
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock(tick_s=0.01)
+        assert clock.now == 0.0
+        clock.advance()
+        assert clock.now == pytest.approx(0.01)
+        assert clock.ticks == 1
+
+    def test_no_drift_over_long_runs(self):
+        clock = Clock(tick_s=0.01)
+        for _ in range(100_000):
+            clock.advance()
+        assert clock.now == pytest.approx(1000.0, abs=1e-9)
+
+    def test_ticks_until(self):
+        clock = Clock(tick_s=0.1)
+        assert clock.ticks_until(1.0) == 10
+        assert clock.ticks_until(-5.0) == 0
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock(tick_s=0.0)
+
+
+class TestTimeSeries:
+    def test_append_and_access(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert series.last() == 2.0
+        assert len(series) == 2
+
+    def test_time_going_backward_rejected(self):
+        series = TimeSeries("x")
+        series.append(1.0, 0.0)
+        with pytest.raises(SimulationError):
+            series.append(0.5, 0.0)
+
+    def test_value_at_zero_order_hold(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(10.0, 2.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+
+    def test_mean_and_max_between(self):
+        series = TimeSeries("x")
+        for t, v in [(0, 1.0), (1, 3.0), (2, 5.0)]:
+            series.append(t, v)
+        assert series.mean_between(0.0, 2.0) == pytest.approx(2.0)
+        assert series.max_between(0.0, 3.0) == pytest.approx(5.0)
+
+    def test_min_value(self):
+        series = TimeSeries("x")
+        series.append(0.0, 5.0)
+        series.append(1.0, 2.0)
+        assert series.min_value() == 2.0
+
+    def test_integrate(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(2.0, 1.0)
+        assert series.integrate() == pytest.approx(2.0)
+
+    def test_time_above(self):
+        series = TimeSeries("x")
+        for t, v in [(0, 0.0), (1, 2.0), (3, 0.0), (4, 0.0)]:
+            series.append(t, v)
+        assert series.time_above(1.0) == pytest.approx(2.0)
+
+    def test_resample_bins(self):
+        series = TimeSeries("x")
+        for i in range(10):
+            series.append(i * 0.1, float(i))
+        binned = series.resample(0.5, t_end=1.0)
+        assert len(binned) == 2
+        assert binned.values[0] == pytest.approx(np.mean([0, 1, 2, 3, 4]))
+
+
+class TestTraceRecorder:
+    def test_named_series(self):
+        recorder = TraceRecorder()
+        recorder.record("power", 0.0, 1.0)
+        assert recorder.has("power")
+        assert recorder.names() == ["power"]
+
+    def test_probes_sampled(self):
+        recorder = TraceRecorder()
+        state = {"level": 5.0}
+        recorder.add_probe("reserve", lambda: state["level"])
+        recorder.sample_probes(0.0)
+        state["level"] = 7.0
+        recorder.sample_probes(1.0)
+        series = recorder.series("reserve")
+        assert list(series.values) == [5.0, 7.0]

@@ -1,0 +1,199 @@
+"""Tests for the engine and the process model."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import (CpuBurn, Exit, Fork, NetRequest, Sleep,
+                               SleepUntil, WaitFor)
+from repro.sim.workload import spinner, timed_spinner
+from repro.units import mW
+
+from ..conftest import make_system
+
+
+class TestProcessLifecycle:
+    def test_timed_spinner_finishes(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(500), name="r")
+        process = system.spawn(timed_spinner(0.5), "t", reserve=reserve)
+        system.run(2.0)
+        assert process.finished
+        assert process.thread.cpu_time == pytest.approx(0.5, abs=0.02)
+
+    def test_sleep_costs_no_energy(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(10), name="r")
+
+        def sleeper(ctx):
+            yield Sleep(1.0)
+
+        system.spawn(sleeper, "s", reserve=reserve)
+        system.run(1.5)
+        assert reserve.total_consumed == 0.0
+
+    def test_sleep_until_wakes_on_time(self):
+        system = make_system()
+        woke = {}
+
+        def sleeper(ctx):
+            yield SleepUntil(0.5)
+            woke["at"] = ctx.now
+
+        system.spawn(sleeper, "s")
+        system.run(1.0)
+        assert woke["at"] == pytest.approx(0.5, abs=0.03)
+
+    def test_wait_for_predicate(self):
+        system = make_system()
+        flag = {"go": False}
+        woke = {}
+
+        def waiter(ctx):
+            yield WaitFor(lambda: flag["go"])
+            woke["at"] = ctx.now
+
+        system.spawn(waiter, "w")
+        system.schedule_at(0.3, lambda: flag.update(go=True))
+        system.run(1.0)
+        assert woke["at"] == pytest.approx(0.3, abs=0.03)
+
+    def test_exit_request_terminates(self):
+        system = make_system()
+
+        def quitter(ctx):
+            yield Exit()
+            yield CpuBurn(1.0)  # pragma: no cover - unreachable
+
+        process = system.spawn(quitter, "q")
+        system.run(0.1)
+        assert process.finished
+
+    def test_bad_yield_raises(self):
+        system = make_system()
+
+        def bad(ctx):
+            yield "nonsense"
+
+        system.spawn(bad, "b")
+        with pytest.raises(SimulationError):
+            system.run(0.1)
+
+    def test_fork_spawns_child(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(500), name="r")
+        seen = {}
+
+        def parent(ctx):
+            child = yield Fork(timed_spinner(0.1), name="kid",
+                               setup=lambda p: p.thread.set_active_reserve(
+                                   reserve))
+            seen["child"] = child
+            yield Sleep(0.5)
+
+        system.spawn(parent, "p", reserve=reserve)
+        system.run(1.0)
+        assert seen["child"].name == "kid"
+        assert seen["child"].finished
+
+
+class TestEnergyGating:
+    def test_starved_spinner_makes_no_progress(self):
+        system = make_system()
+        empty = system.new_reserve(name="empty")
+        process = system.spawn(spinner(), "hog", reserve=empty)
+        system.run(1.0)
+        assert process.thread.cpu_time == 0.0
+
+    def test_spinner_duty_cycle_tracks_tap(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(68.5), name="half")
+        process = system.spawn(spinner(), "app", reserve=reserve)
+        system.run(20.0)
+        duty = process.thread.cpu_time / 20.0
+        assert duty == pytest.approx(0.5, abs=0.02)
+
+    def test_two_spinners_fill_cpu(self):
+        system = make_system()
+        a = system.spawn(spinner(), "a",
+                         reserve=system.powered_reserve(mW(68.5), name="ra"))
+        b = system.spawn(spinner(), "b",
+                         reserve=system.powered_reserve(mW(68.5), name="rb"))
+        system.run(20.0)
+        assert system.scheduler.utilization == pytest.approx(1.0, abs=0.02)
+        assert a.thread.cpu_time == pytest.approx(b.thread.cpu_time,
+                                                  rel=0.05)
+
+
+class TestPhysicalIntegration:
+    def test_meter_sees_idle_baseline(self):
+        system = make_system()
+        system.run(2.0)
+        system.meter.flush()
+        assert system.meter.mean_power_between(0, 2.0) == pytest.approx(
+            system.model.idle_watts)
+
+    def test_backlight_adds_555mw(self):
+        system = make_system(backlight_on=True)
+        system.run(2.0)
+        system.meter.flush()
+        assert system.meter.mean_power_between(0, 2.0) == pytest.approx(
+            0.699 + 0.555)
+
+    def test_battery_drains_by_metered_energy(self):
+        system = make_system(battery_joules=100.0)
+        system.run(10.0)
+        expected = 100.0 - system.meter.total_energy_joules
+        assert system.battery.charge_joules == pytest.approx(expected)
+
+    def test_logical_graph_conserves_during_runs(self):
+        system = make_system()
+        system.spawn(spinner(), "a",
+                     reserve=system.powered_reserve(mW(68.5), name="r"))
+        system.run(10.0)
+        assert abs(system.graph.conservation_error()) < 1e-6
+
+
+class TestSchedulingHelpers:
+    def test_schedule_at_runs_in_order(self):
+        system = make_system()
+        calls = []
+        system.schedule_at(0.2, lambda: calls.append("b"))
+        system.schedule_at(0.1, lambda: calls.append("a"))
+        system.run(0.5)
+        assert calls == ["a", "b"]
+
+    def test_schedule_in_past_rejected(self):
+        system = make_system()
+        system.run(1.0)
+        with pytest.raises(SimulationError):
+            system.schedule_at(0.5, lambda: None)
+
+    def test_run_until_returns_elapsed(self):
+        system = make_system()
+        flag = {"done": False}
+        system.schedule_at(0.5, lambda: flag.update(done=True))
+        elapsed = system.run_until(lambda: flag["done"], max_s=5.0)
+        assert elapsed == pytest.approx(0.5, abs=0.05)
+
+    def test_run_until_timeout_raises(self):
+        system = make_system()
+        with pytest.raises(SimulationError):
+            system.run_until(lambda: False, max_s=0.2)
+
+    def test_process_named(self):
+        system = make_system()
+        system.spawn(spinner(), "findme")
+        assert system.process_named("findme").name == "findme"
+        with pytest.raises(SimulationError):
+            system.process_named("ghost")
+
+    def test_watch_reserve_records_levels(self):
+        system = make_system()
+        reserve = system.powered_reserve(mW(100), name="r")
+        system.watch_reserve(reserve)
+        system.run(2.0)
+        series = system.trace.series("reserve.r")
+        assert len(series) > 5
+        assert series.last() == pytest.approx(0.2, rel=0.1)

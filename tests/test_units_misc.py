@@ -1,0 +1,159 @@
+"""Tests for units, errors, workloads, and the figure scaffolding."""
+
+import math
+
+import pytest
+
+from repro import errors, units
+from repro.figures.common import (Comparison, FigureResult, ascii_chart,
+                                  comparison_table, format_table,
+                                  window_mean)
+from repro.sim.workload import keepalive_sender, periodic_poller
+from repro.units import (KiB, MiB, as_KiB, as_MiB, as_kJ, as_mJ, as_mW,
+                         as_uJ, fmt_bytes, fmt_duration, fmt_energy,
+                         fmt_power, hours, kJ, mJ, mW, minutes, uJ, uW)
+
+
+class TestUnitConstructors:
+    def test_power_units(self):
+        assert mW(137) == pytest.approx(0.137)
+        assert uW(500) == pytest.approx(5e-4)
+        assert as_mW(0.137) == pytest.approx(137.0)
+
+    def test_energy_units(self):
+        assert mJ(700) == pytest.approx(0.7)
+        assert uJ(200_000) == pytest.approx(0.2)
+        assert kJ(15) == 15_000.0
+        assert as_mJ(0.7) == pytest.approx(700.0)
+        assert as_uJ(0.2) == pytest.approx(200_000.0)
+        assert as_kJ(15_000.0) == pytest.approx(15.0)
+
+    def test_time_units(self):
+        assert minutes(10) == 600.0
+        assert hours(2) == 7200.0
+
+    def test_byte_units(self):
+        assert KiB(1) == 1024
+        assert MiB(1) == 1024 * 1024
+        assert as_KiB(2048) == pytest.approx(2.0)
+        assert as_MiB(MiB(3)) == pytest.approx(3.0)
+
+    def test_roundtrips(self):
+        assert as_mW(mW(42.5)) == pytest.approx(42.5)
+        assert as_uJ(uJ(123.4)) == pytest.approx(123.4)
+
+
+class TestFormatters:
+    def test_fmt_power_chooses_scale(self):
+        assert fmt_power(1.5) == "1.500 W"
+        assert fmt_power(0.137) == "137.0 mW"
+        assert fmt_power(5e-5) == "50.0 uW"
+
+    def test_fmt_energy_chooses_scale(self):
+        assert fmt_energy(15_000) == "15.00 kJ"
+        assert fmt_energy(9.5) == "9.50 J"
+        assert fmt_energy(0.7) == "700.0 mJ"
+        assert fmt_energy(2e-5) == "20.0 uJ"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(KiB(30)) == "30.0 KiB"
+        assert fmt_bytes(MiB(2.5)) == "2.50 MiB"
+
+    def test_fmt_duration(self):
+        assert fmt_duration(10.0) == "10.0 s"
+        assert fmt_duration(150.0) == "2m30s"
+        assert fmt_duration(3725.0) == "1:02:05"
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_cinder_error(self):
+        for name in ("LabelError", "ReserveEmptyError", "TapError",
+                     "HoardingError", "SchedulerError", "GateError",
+                     "HardwareError", "NetworkError", "SimulationError",
+                     "DebtLimitError", "NoSuchObjectError"):
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.CinderError)
+
+    def test_specific_subtyping(self):
+        assert issubclass(errors.ReserveEmptyError, errors.EnergyError)
+        assert issubclass(errors.DebtLimitError, errors.EnergyError)
+        assert issubclass(errors.NoSuchObjectError, errors.ObjectError)
+
+
+class TestComparison:
+    def test_ratio(self):
+        comparison = Comparison("x", paper=10.0, measured=12.0)
+        assert comparison.ratio == pytest.approx(1.2)
+
+    def test_zero_paper_value(self):
+        assert math.isinf(Comparison("x", 0.0, 1.0).ratio)
+
+    def test_table_renders_all_rows(self):
+        text = comparison_table([
+            Comparison("alpha", 1.0, 1.1, "J"),
+            Comparison("beta", 2.0, 1.9, "s"),
+        ])
+        assert "alpha" in text and "beta" in text
+        assert "1.10x" in text and "0.95x" in text
+
+    def test_figure_result_add_and_summary(self):
+        result = FigureResult()
+        result.add("metric", 1.0, 1.05, "W", note="fine")
+        result.notes.append("extra")
+        summary = result.summary()
+        assert "metric" in summary and "note: extra" in summary
+
+
+class TestRendering:
+    def test_format_table_aligns(self):
+        text = format_table(("a", "bee"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+
+    def test_ascii_chart_contains_points(self):
+        chart = ascii_chart([0, 1, 2, 3], [0.0, 1.0, 0.5, 2.0],
+                            width=20, height=5, title="t", unit="W")
+        assert "t" in chart
+        assert "*" in chart
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart([], [], title="x")
+
+    def test_ascii_chart_constant_series(self):
+        chart = ascii_chart([0, 1], [5.0, 5.0])
+        assert "*" in chart
+
+    def test_window_mean(self):
+        assert window_mean([0, 1, 2, 3], [1, 2, 3, 4], 1.0,
+                           3.0) == pytest.approx(2.5)
+        assert window_mean([0, 1], [1, 2], 5.0, 6.0) == 0.0
+
+
+class TestWorkloadFactories:
+    def test_periodic_poller_yields_requests_and_sleeps(self):
+        from repro.sim.process import NetRequest, SleepUntil
+
+        class FakeCtx:
+            now = 0.0
+
+        program = periodic_poller("mail", period_s=10.0, max_polls=2)
+        gen = program(FakeCtx())
+        first = next(gen)
+        assert isinstance(first, NetRequest)
+        second = gen.send(None)
+        assert isinstance(second, SleepUntil)
+        assert second.deadline == pytest.approx(10.0)
+
+    def test_keepalive_sender_single_packets(self):
+        from repro.sim.process import NetRequest
+
+        class FakeCtx:
+            now = 0.0
+
+        gen = keepalive_sender(interval_s=40.0, nbytes=1, count=1)(FakeCtx())
+        request = next(gen)
+        assert isinstance(request, NetRequest)
+        assert request.packets == 1
+        assert request.bytes_out == 1
