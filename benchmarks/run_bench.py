@@ -1,0 +1,153 @@
+"""Core-engine perf benchmark runner: writes BENCH_core.json.
+
+Tracks the two hot paths this repo's performance work targets:
+
+* **micro** — ``ResourceGraph.step`` on the canonical production
+  topology (100 reserves fed from the battery, 200 taps: one constant
+  feed plus one backward proportional drain per reserve, global decay
+  on), compiled-FlowPlan path vs the per-object reference path.
+* **macro** — a 1-simulated-hour idle-heavy ``CinderSystem`` (a
+  maintenance process waking once a minute), idle fast-forward vs
+  tick-by-tick, measured in wall-clock seconds.
+
+Run from the repo root (writes ``BENCH_core.json`` next to this
+checkout's ROADMAP)::
+
+    python benchmarks/run_bench.py
+
+The pytest wrapper ``benchmarks/test_bench_core_step.py`` executes the
+same collectors and asserts the speedup floors (3x micro / 10x macro),
+so the perf trajectory is enforced, not just recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:  # allow `python benchmarks/run_bench.py`
+    sys.path.insert(0, _SRC)
+
+from repro.core.graph import ResourceGraph            # noqa: E402
+from repro.core.tap import TapType                    # noqa: E402
+from repro.sim.engine import CinderSystem             # noqa: E402
+from repro.sim.process import CpuBurn, Sleep          # noqa: E402
+
+BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_core.json")
+
+MICRO_RESERVES = 100
+MICRO_TAPS = 200
+TICK_S = 0.01
+MACRO_SIM_HOURS = 1.0
+
+
+def build_micro_graph() -> ResourceGraph:
+    """The Figure 1 pattern at scale: battery -> N apps -> battery."""
+    graph = ResourceGraph(500_000.0)  # decay enabled (paper default)
+    for i in range(MICRO_RESERVES):
+        reserve = graph.create_reserve(level=50.0, source=graph.root,
+                                       name=f"app{i}")
+        graph.create_tap(graph.root, reserve, 0.070, name=f"app{i}.in")
+        graph.create_tap(reserve, graph.root, 0.1, TapType.PROPORTIONAL,
+                         name=f"app{i}.back")
+    assert MICRO_TAPS == 2 * MICRO_RESERVES
+    return graph
+
+
+def time_step_loop(step, iterations: int = 2000, repeats: int = 5) -> float:
+    """Best-of-N mean microseconds per ``step(TICK_S)`` call."""
+    step(TICK_S)  # warm up / compile the plan
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            step(TICK_S)
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best * 1e6
+
+
+def run_micro() -> dict:
+    vec_graph = build_micro_graph()
+    ref_graph = build_micro_graph()
+    vectorized_us = time_step_loop(vec_graph.step)
+    reference_us = time_step_loop(ref_graph.step_reference)
+    assert vec_graph.fallback_steps == 0, "micro topology must vectorize"
+    return {
+        "reserves": MICRO_RESERVES,
+        "taps": MICRO_TAPS,
+        "tick_s": TICK_S,
+        "vectorized_us_per_step": round(vectorized_us, 3),
+        "reference_us_per_step": round(reference_us, 3),
+        "speedup": round(reference_us / vectorized_us, 2),
+    }
+
+
+def build_macro_system(fast_forward: bool) -> CinderSystem:
+    """An idle-heavy device: one maintenance wakeup per minute."""
+    def maintenance(ctx):
+        while True:
+            yield Sleep(60.0)
+            yield CpuBurn(0.02)
+
+    system = CinderSystem(battery_joules=15_000.0, tick_s=TICK_S,
+                          record_interval_s=1.0, seed=42,
+                          fast_forward=fast_forward)
+    for i in range(8):
+        system.powered_reserve(0.050, name=f"svc{i}")
+    worker = system.powered_reserve(0.200, name="maint")
+    system.spawn(maintenance, "maint", reserve=worker)
+    return system
+
+
+def run_macro() -> dict:
+    seconds = MACRO_SIM_HOURS * 3600.0
+    timings = {}
+    conservation = 0.0
+    skipped = 0
+    for fast_forward in (True, False):
+        system = build_macro_system(fast_forward)
+        start = time.perf_counter()
+        system.run(seconds)
+        timings[fast_forward] = time.perf_counter() - start
+        if fast_forward:
+            conservation = system.graph.conservation_error()
+            skipped = system.fast_forwarded_ticks
+    return {
+        "simulated_hours": MACRO_SIM_HOURS,
+        "fast_forward_wall_s": round(timings[True], 3),
+        "tick_wall_s": round(timings[False], 3),
+        "speedup": round(timings[False] / timings[True], 2),
+        "fast_forwarded_ticks": skipped,
+        "conservation_error_j": conservation,
+    }
+
+
+def collect() -> dict:
+    return {
+        "bench": "core_step",
+        "unix_time": int(time.time()),
+        "micro": run_micro(),
+        "macro": run_macro(),
+    }
+
+
+def write(results: dict, path: str = BENCH_PATH) -> str:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main() -> None:  # pragma: no cover - console entry
+    results = collect()
+    path = write(results)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

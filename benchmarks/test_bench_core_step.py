@@ -1,0 +1,36 @@
+"""Core tick-engine perf floors: vectorized step and idle fast-forward.
+
+Unlike the figure benches (which regenerate paper artifacts), this
+bench guards the engine itself: the compiled-FlowPlan ``graph.step``
+must beat the per-object reference path >= 3x on the canonical
+100-reserve / 200-tap topology, and the idle fast-forward must beat
+tick-by-tick >= 10x wall-clock on a 1-simulated-hour idle-heavy
+system — while conserving energy.  Results are also written to
+``BENCH_core.json`` so the perf trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import run_bench
+
+
+def test_bench_micro_vectorized_step(benchmark):
+    graph = run_bench.build_micro_graph()
+    graph.step(run_bench.TICK_S)  # compile the plan outside the timer
+    benchmark(graph.step, run_bench.TICK_S)
+    assert graph.fallback_steps == 0
+
+
+def test_bench_core_speedups_and_write_json(run_once):
+    results = run_once(run_bench.collect)
+    run_bench.write(results)
+
+    micro = results["micro"]
+    assert micro["speedup"] >= 3.0, (
+        f"vectorized graph.step only {micro['speedup']}x over reference")
+
+    macro = results["macro"]
+    assert macro["speedup"] >= 10.0, (
+        f"idle fast-forward only {macro['speedup']}x over ticking")
+    assert macro["fast_forwarded_ticks"] > 300_000
+    assert abs(macro["conservation_error_j"]) < 1e-6

@@ -38,9 +38,22 @@ class DecayPolicy:
         self.total_reclaimed = 0.0
 
     @property
+    def half_life_s(self) -> float:
+        """The configured 50 %-leak period in seconds."""
+        return self._half_life_s
+
+    @half_life_s.setter
+    def half_life_s(self, value: float) -> None:
+        if value <= 0:
+            raise EnergyError("half-life must be positive")
+        self._half_life_s = value
+        # Cached: the hot tick path reads lam every round.
+        self._lam = math.log(2.0) / value
+
+    @property
     def lam(self) -> float:
         """The continuous decay constant lambda = ln 2 / half-life."""
-        return math.log(2.0) / self.half_life_s
+        return self._lam
 
     def fraction_for(self, dt: float) -> float:
         """Fraction of a reserve's level leaked over ``dt`` seconds."""

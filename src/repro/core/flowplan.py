@@ -1,0 +1,452 @@
+"""Compiled flow plans: the resource graph's vectorized execution engine.
+
+The per-object tick path (``Tap.flow`` + ``DecayPolicy.apply``) costs a
+handful of Python-level calls and a ``math.exp`` per tap per tick; at
+production scale (a full simulated day is 8.64M ticks) that interpreter
+overhead dominates everything.  A :class:`FlowPlan` snapshots the live
+tap/reserve topology into numpy arrays once per *epoch* — the span
+between topology mutations, tracked by the graph's generation counter —
+and then executes each tick as a few array operations.
+
+Two execution modes:
+
+* :meth:`execute_tick` — one batch round, *exactly* equivalent to the
+  sequential per-object reference path (``ResourceGraph.step_reference``)
+  whenever its cheap vectorized validity checks pass, and ``None``
+  (caller falls back to the reference path) otherwise.  Exactness is
+  obtained by compiling the creation-ordered tap list into *segments*:
+  within a segment every tap's amount is a function of segment-start
+  levels only, so simultaneous evaluation reproduces sequential
+  firing bit-for-bit up to float associativity.
+* :meth:`execute_span` — a closed-form macro-step over an arbitrary
+  span with no intervening events (the engine's idle fast-forward).
+  Constant taps integrate linearly, proportional taps and the global
+  decay integrate as the continuous exponential ODE, and per-reserve
+  mass balance keeps conservation exact.  Returns ``None`` when the
+  topology falls outside the closed form (a constant tap would clamp
+  mid-span, a proportional tap feeds a draining reserve, a capacity
+  could bind, or some reserve is in debt) — the engine then falls back
+  to ticking.
+
+Segmentation rules (compile time, creation order preserved):
+
+* a PROPORTIONAL tap starts a new segment if any earlier tap in the
+  current segment touched its source (its amount reads that level);
+* a CONST tap starts a new segment only if an earlier tap in the
+  segment *deposited into* its source (drains by segment peers are
+  covered by the runtime no-clamp check below).
+
+Runtime validity checks (per segment, per tick):
+
+* total requested outflow from each reserve must not exceed its
+  positive level at segment start (guarantees no sequential clamp;
+  a CONST tap that is the *sole* drain of its source is clamped
+  exactly instead and never triggers a fallback);
+* inflow into each finite-capacity reserve must fit its headroom.
+
+Per-tap cumulative flow is accumulated in a plan-owned array and only
+folded into ``Tap.total_flowed`` when the plan is flushed (topology
+change) — reads stay exact because ``total_flowed`` is a property that
+adds the live accumulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .reserve import Reserve
+from .tap import Tap, TapType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import ResourceGraph
+
+#: Below this many reserves+taps the per-object reference path beats
+#: numpy call overhead; execute_tick defers to it (and the graph skips
+#: compiling a plan for stepping at all).
+VECTOR_MIN_OBJECTS = 40
+
+# segment execution modes
+_CONST_ONLY = 0
+_PROP_ONLY = 1
+_MIXED = 2
+
+
+class FlowPlan:
+    """An immutable compiled snapshot of one graph's flow topology."""
+
+    def __init__(self, graph: "ResourceGraph") -> None:
+        self.graph = graph
+        #: Generation the snapshot was taken at; the graph recompiles
+        #: when its counter moves past this.
+        self.generation = graph.generation
+
+        reserves: List[Reserve] = [r for r in graph._reserves if r.alive]
+        taps: List[Tap] = [
+            t for t in graph._taps
+            if t.alive and t.enabled and t.rate > 0.0
+            and t.source.alive and t.sink.alive]
+        self.reserves = reserves
+        self.taps = taps
+        n = len(reserves)
+        m = len(taps)
+        self.small = (n + m) < VECTOR_MIN_OBJECTS
+        index: Dict[int, int] = {id(r): i for i, r in enumerate(reserves)}
+        self.root_index = index[id(graph.root)]
+
+        self.src = np.fromiter((index[id(t.source)] for t in taps),
+                               dtype=np.intp, count=m)
+        self.snk = np.fromiter((index[id(t.sink)] for t in taps),
+                               dtype=np.intp, count=m)
+        self.rate = np.fromiter((t.rate for t in taps), dtype=float, count=m)
+        self.const_mask = np.fromiter(
+            (t.tap_type is TapType.CONST for t in taps), dtype=bool, count=m)
+
+        self.capacity = np.fromiter(
+            (math.inf if r.capacity is None else r.capacity
+             for r in reserves), dtype=float, count=n)
+        self.finite_cap = np.flatnonzero(np.isfinite(self.capacity))
+        #: Reserves subject to the global decay (non-exempt, non-root).
+        self.decay_mask = np.fromiter(
+            (not r.decay_exempt and r is not graph.root for r in reserves),
+            dtype=bool, count=n)
+        self.any_decayable = bool(self.decay_mask.any())
+
+        self._build_segments()
+        self._build_span_coefficients()
+        #: dt -> (const amounts, proportional integration factors).
+        self._amount_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        #: Lazily-flushed per-tap cumulative flow (see Tap.total_flowed).
+        self._tap_flow_acc = np.zeros(m)
+        for j, tap in enumerate(taps):
+            tap._flow_slot = (self._tap_flow_acc, j)
+
+    def flush_stats(self) -> None:
+        """Fold accumulated per-tap flow back into the tap objects.
+
+        Called by the graph right before this plan is replaced; after
+        the flush the taps read their own scalars again.
+        """
+        acc = self._tap_flow_acc
+        for j, tap in enumerate(self.taps):
+            if tap._flow_slot is not None and tap._flow_slot[0] is acc:
+                tap._total_flowed += acc[j]
+                tap._flow_slot = None
+        acc[:] = 0.0
+
+    # -- compilation -------------------------------------------------------------
+
+    def _build_segments(self) -> None:
+        """Split the creation-ordered tap list into exact-batch segments.
+
+        Only *data-dependent* interactions force a boundary: a
+        PROPORTIONAL tap whose source an earlier proportional tap in
+        the segment touched (its amount would read a runtime value).
+        CONST taps never close a segment — their amounts are
+        level-independent, and their effect on a later proportional
+        tap's source level inside the same segment is the compile-time
+        constant ``net_const_rate * dt``, recorded per tap in
+        ``self.corr`` and added before evaluating the exponential.
+        This keeps the canonical interleaved pattern (feed tap then
+        backward tap, per app) in a single segment.
+        """
+        m = len(self.taps)
+        bounds: List[Tuple[int, int]] = []
+        start = 0
+        prop_touched: set = set()
+        net_delta: Dict[int, float] = {}
+        corr = np.zeros(m)
+        clamp_ok = np.ones(m, dtype=bool)
+        for j in range(m):
+            s = int(self.src[j])
+            k = int(self.snk[j])
+            if not self.const_mask[j] and s in prop_touched:
+                bounds.append((start, j))
+                start = j
+                prop_touched = set()
+                net_delta = {}
+            corr[j] = net_delta.get(s, 0.0)
+            clamp_ok[j] = s not in prop_touched
+            if self.const_mask[j]:
+                net_delta[s] = net_delta.get(s, 0.0) - self.rate[j]
+                net_delta[k] = net_delta.get(k, 0.0) + self.rate[j]
+            else:
+                prop_touched.add(s)
+                prop_touched.add(k)
+        if start < m or not bounds:
+            bounds.append((start, m))
+        # A CONST tap that is its source's only in-segment drain (and
+        # whose source no proportional tap touched) may be clamped to
+        # the available level exactly — sequential firing would do the
+        # same — so an empty dead-end reserve never forces a fallback.
+        # Exception: if the tap's endpoints feed any proportional
+        # source in the segment, a clamp would falsify that tap's
+        # compile-time corr term, so it keeps the unclamped amount and
+        # relies on the runtime no-clamp check (fallback on failure).
+        clampable = np.zeros(m, dtype=bool)
+        segments = []
+        for lo, hi in bounds:
+            counts: Dict[int, int] = {}
+            prop_sources = set()
+            for j in range(lo, hi):
+                s = int(self.src[j])
+                counts[s] = counts.get(s, 0) + 1
+                if not self.const_mask[j]:
+                    prop_sources.add(s)
+            for j in range(lo, hi):
+                if (self.const_mask[j] and clamp_ok[j]
+                        and counts[int(self.src[j])] == 1
+                        and int(self.src[j]) not in prop_sources
+                        and int(self.snk[j]) not in prop_sources):
+                    clampable[j] = True
+            seg_const = self.const_mask[lo:hi]
+            mode = (_CONST_ONLY if seg_const.all()
+                    else _PROP_ONLY if not seg_const.any() else _MIXED)
+            segments.append((lo, hi, mode, bool(clampable[lo:hi].any()),
+                             bool(corr[lo:hi].any())))
+        self.clampable = clampable
+        self.corr = corr
+        self.segments = segments
+
+    def _build_span_coefficients(self) -> None:
+        """Per-reserve aggregates the closed-form macro-step needs."""
+        n = len(self.reserves)
+        self.const_in = np.zeros(n)
+        self.const_out = np.zeros(n)
+        self.prop_out = np.zeros(n)
+        self.prop_sink_mask = np.zeros(n, dtype=bool)
+        for j in range(len(self.taps)):
+            s, k, r = int(self.src[j]), int(self.snk[j]), self.rate[j]
+            if self.const_mask[j]:
+                self.const_out[s] += r
+                self.const_in[k] += r
+            else:
+                self.prop_out[s] += r
+                self.prop_sink_mask[k] = True
+        self.prop_taps = np.flatnonzero(~self.const_mask)
+        self.const_taps = np.flatnonzero(self.const_mask)
+
+    def _amounts_for(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(const amounts, prop ``1 - exp(-rate*dt)`` factors) for ``dt``."""
+        cached = self._amount_cache.get(dt)
+        if cached is None:
+            const_amt = np.where(self.const_mask, self.rate * dt, 0.0)
+            factors = np.where(self.const_mask, 0.0,
+                               -np.expm1(-self.rate * dt))
+            cached = (const_amt, factors)
+            if len(self._amount_cache) > 32:  # unbounded-dt safety valve
+                self._amount_cache.clear()
+            self._amount_cache[dt] = cached
+        return cached
+
+    # -- level materialisation ------------------------------------------------------
+
+    def _gather_levels(self) -> np.ndarray:
+        return np.fromiter((r._level for r in self.reserves), dtype=float,
+                           count=len(self.reserves))
+
+    # -- one vectorized tick --------------------------------------------------------
+
+    def execute_tick(self, dt: float) -> Optional[float]:
+        """One batch round; returns total moved, or None to fall back.
+
+        Mutates nothing until every segment and the decay pass have
+        validated, so a ``None`` return leaves the graph untouched for
+        the reference path to re-execute.
+        """
+        if self.small:
+            return None  # numpy overhead loses on tiny graphs (the
+            # graph checks .small first and skips the call entirely)
+        n = len(self.reserves)
+        m = len(self.taps)
+        policy = self.graph.decay_policy
+        work = self._gather_levels()
+        moved = np.zeros(m)
+        in_sum = np.zeros(n)
+        out_sum = np.zeros(n)
+        if m:
+            const_amt, factors = self._amounts_for(dt)
+            finite_cap = self.finite_cap
+            for lo, hi, mode, has_clamp, has_corr in self.segments:
+                src = self.src[lo:hi]
+                snk = self.snk[lo:hi]
+                pos = np.maximum(work, 0.0)
+                if mode == _CONST_ONLY and not has_clamp:
+                    amt = const_amt[lo:hi]
+                else:
+                    # Source level as sequential firing would see it:
+                    # segment start plus net in-segment constant flow.
+                    base = work[src]
+                    if has_corr:
+                        base = base + self.corr[lo:hi] * dt
+                    avail = np.maximum(base, 0.0)
+                    if mode == _PROP_ONLY:
+                        amt = avail * factors[lo:hi]
+                    elif mode == _CONST_ONLY:
+                        amt = const_amt[lo:hi]
+                    else:
+                        amt = np.where(self.const_mask[lo:hi],
+                                       const_amt[lo:hi],
+                                       avail * factors[lo:hi])
+                    if has_clamp:
+                        cl = self.clampable[lo:hi]
+                        amt = np.where(cl, np.minimum(amt, avail), amt)
+                out = np.bincount(src, weights=amt, minlength=n)
+                if (out > pos).any():
+                    return None
+                inn = np.bincount(snk, weights=amt, minlength=n)
+                if finite_cap.size:
+                    headroom = np.maximum(
+                        0.0, self.capacity[finite_cap] - work[finite_cap])
+                    if (inn[finite_cap] > headroom).any():
+                        return None
+                work += inn
+                work -= out
+                in_sum += inn
+                out_sum += out
+                moved[lo:hi] = amt
+
+        # -- global decay, closed over this tick --
+        fraction = policy.fraction_for(dt)
+        reclaimed = 0.0
+        lost_list = None
+        if fraction > 0.0 and self.any_decayable:
+            eligible = self.decay_mask & (work > 0.0)
+            if eligible.any():
+                lost = np.where(eligible, work * fraction, 0.0)
+                reclaimed = float(lost.sum())
+                root_i = self.root_index
+                if reclaimed > self.capacity[root_i] - work[root_i]:
+                    # The reference path clamps deposits reserve by
+                    # reserve; model that precisely there instead.
+                    return None
+                work -= lost
+                work[root_i] += reclaimed
+                lost_list = lost.tolist()
+
+        # -- commit --
+        root = self.graph.root
+        if lost_list is None:
+            for reserve, lv, o, i_ in zip(self.reserves, work.tolist(),
+                                          out_sum.tolist(), in_sum.tolist()):
+                reserve._level = lv
+                if o:
+                    reserve.total_transferred_out += o
+                if i_:
+                    reserve.total_transferred_in += i_
+        else:
+            for reserve, lv, o, i_, ls in zip(self.reserves, work.tolist(),
+                                              out_sum.tolist(),
+                                              in_sum.tolist(), lost_list):
+                reserve._level = lv
+                if o:
+                    reserve.total_transferred_out += o
+                if i_:
+                    reserve.total_transferred_in += i_
+                if ls:
+                    reserve.total_decayed += ls
+        if fraction > 0.0:
+            if reclaimed:
+                root.total_deposited += reclaimed
+            policy.total_reclaimed += reclaimed
+        self._tap_flow_acc += moved
+        return float(moved.sum())
+
+    # -- closed-form macro step ------------------------------------------------------
+
+    def execute_span(self, span: float) -> Optional[float]:
+        """Integrate flows and decay over ``span`` seconds in one shot.
+
+        Solves the continuous dynamics ``L' = const_in - const_out -
+        F * L`` per reserve (``F`` = proportional drains + decay) and
+        splits each reserve's integrated drain across its proportional
+        taps and the decay by rate share.  Differs from tick-by-tick
+        integration by O(tick) discretisation error — figure-level
+        identical — while conservation stays exact by mass balance.
+        Returns total tap flow, or None when the closed form does not
+        apply (caller must tick instead).
+        """
+        n = len(self.reserves)
+        policy = self.graph.decay_policy
+        lam = policy.lam if policy.enabled else 0.0
+        lvl = self._gather_levels()
+        if np.any(lvl < 0.0):
+            return None  # debt repayment is tick-granular
+        F = self.prop_out + (lam if lam > 0.0 else 0.0) * self.decay_mask
+        linear = F > 0.0
+        # Reserves whose drains read their level need constant inflow.
+        varying_in = self.prop_sink_mask.copy()
+        if lam > 0.0 and self.any_decayable:
+            varying_in[self.root_index] = True
+        if np.any(linear & varying_in):
+            return None
+        # Capacity clamping has no closed form; require open headroom.
+        if self.finite_cap.size:
+            cap_idx = self.finite_cap
+            gets_inflow = (self.const_in[cap_idx] > 0.0) | varying_in[cap_idx]
+            if np.any(gets_inflow):
+                return None
+
+        decay_f = np.exp(-F * span)  # == 1 exactly where F == 0
+        draining = self.const_out > 0.0
+        if draining.any():
+            # L' = -const_out - F*L (all inflow ignored) is monotone
+            # decreasing, so the span-end value bounds the trajectory;
+            # a negative bound means a constant tap may clamp mid-span.
+            per_f = np.divide(self.const_out, F, out=np.zeros(n),
+                              where=linear)
+            lower = np.where(linear,
+                             lvl * decay_f - per_f * (1.0 - decay_f),
+                             lvl - self.const_out * span)
+            if np.any(lower[draining] < 0.0):
+                return None
+
+        net_const = self.const_in - self.const_out
+        steady = np.divide(net_const, F, out=np.zeros(n), where=linear)
+        end = np.where(linear, steady + (lvl - steady) * decay_f,
+                       lvl + net_const * span)
+        # Mass balance: everything a linear reserve lost to its
+        # proportional drains and decay over the span.
+        drain = np.where(linear, lvl - end + net_const * span, 0.0)
+        drain = np.maximum(drain, 0.0)
+
+        moved = np.zeros(len(self.taps))
+        if self.const_taps.size:
+            moved[self.const_taps] = self.rate[self.const_taps] * span
+        if self.prop_taps.size:
+            psrc = self.src[self.prop_taps]
+            share = np.divide(self.rate[self.prop_taps], F[psrc],
+                              out=np.zeros(self.prop_taps.size),
+                              where=F[psrc] > 0)
+            moved[self.prop_taps] = drain[psrc] * share
+            end += np.bincount(self.snk[self.prop_taps],
+                               weights=moved[self.prop_taps], minlength=n)
+        lost = np.zeros(n)
+        reclaimed = 0.0
+        if lam > 0.0 and self.any_decayable:
+            lost = np.where(linear & self.decay_mask,
+                            drain * np.divide(lam, F, out=np.zeros(n),
+                                              where=linear), 0.0)
+            reclaimed = float(lost.sum())
+            end[self.root_index] += reclaimed
+
+        # -- commit --
+        in_sum = np.bincount(self.snk, weights=moved, minlength=n)
+        out_sum = np.bincount(self.src, weights=moved, minlength=n)
+        for reserve, lv, o, i_, ls in zip(self.reserves, end.tolist(),
+                                          out_sum.tolist(), in_sum.tolist(),
+                                          lost.tolist()):
+            reserve._level = lv
+            if o:
+                reserve.total_transferred_out += o
+            if i_:
+                reserve.total_transferred_in += i_
+            if ls:
+                reserve.total_decayed += ls
+        if reclaimed:
+            self.graph.root.total_deposited += reclaimed
+            policy.total_reclaimed += reclaimed
+        self._tap_flow_acc += moved
+        return float(moved.sum())

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional
 from ..errors import EnergyError, HoardingError, NoSuchObjectError, TapError
 from ..kernel.labels import Label, NO_PRIVILEGES, PrivilegeSet, can_modify
 from .decay import DecayPolicy
+from .flowplan import FlowPlan, VECTOR_MIN_OBJECTS
 from .reserve import ENERGY, Reserve
 from .tap import Tap, TapType
 
@@ -50,6 +51,9 @@ class ResourceGraph:
         )
         self._reserves: List[Reserve] = [self.root]
         self._taps: List[Tap] = []
+        #: O(1) registry membership (identity-based, like ``in`` was).
+        self._reserve_ids = {id(self.root)}
+        self._tap_ids: set = set()
         self.decay_policy = decay if decay is not None else DecayPolicy()
         self._initial_energy = float(root_level)
         self._external_deposits = 0.0
@@ -59,6 +63,84 @@ class ResourceGraph:
         self._leaked = 0.0
         #: Simulation time of the last step (informational).
         self.time = 0.0
+        # -- compiled-plan epoch state (see core/flowplan.py) --
+        #: Bumped on every topology mutation; FlowPlans and the cached
+        #: live views are valid only while this stands still.
+        self._generation = 0
+        self._live_reserves: Optional[List[Reserve]] = None
+        self._live_taps: Optional[List[Tap]] = None
+        self._plan: Optional[FlowPlan] = None
+        #: Registry entries deleted through graph APIs but not yet
+        #: compacted (so sweep_dead can still count *external* deaths).
+        self._deferred_removals = 0
+        #: External deaths compacted (e.g. by a plan rebuild) that no
+        #: sweep_dead call has reported yet.
+        self._external_removed_pending = 0
+        #: Telemetry: how many step() calls ran vectorized vs fell back.
+        self.vector_steps = 0
+        self.fallback_steps = 0
+        self.root._graph_hook = self._bump
+
+    # -- plan/epoch machinery ----------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Topology epoch counter (compiled plans pin one value)."""
+        return self._generation
+
+    def _bump(self) -> None:
+        """Invalidate the compiled plan and cached live views."""
+        self._generation += 1
+        self._live_reserves = None
+        self._live_taps = None
+
+    def _compact(self) -> int:
+        """Bulk-drop dead registry entries; returns external deaths.
+
+        Taps whose endpoints died are killed here too (the reference
+        path lazily disabled them one flow() at a time).  Reserves are
+        retired with their consumption history preserved.  Entries that
+        died through graph APIs (``delete_tap``/``delete_reserve``)
+        were already counted and do not show up in the return value.
+        """
+        removed = 0
+        keep_taps = [t for t in self._taps
+                     if t.alive and t.source.alive and t.sink.alive]
+        if len(keep_taps) != len(self._taps):
+            for tap in self._taps:
+                if not (tap.alive and tap.source.alive and tap.sink.alive):
+                    if tap.alive:
+                        tap.mark_dead()
+                    removed += 1
+            self._taps = keep_taps
+            self._tap_ids = {id(t) for t in keep_taps}
+        keep_reserves = [r for r in self._reserves
+                         if r.alive or r is self.root]
+        if len(keep_reserves) != len(self._reserves):
+            for reserve in self._reserves:
+                if not reserve.alive and reserve is not self.root:
+                    self._retired_consumed += reserve.total_consumed
+                    self._leaked += reserve.leaked_at_death
+                    removed += 1
+            self._reserves = keep_reserves
+            self._reserve_ids = {id(r) for r in keep_reserves}
+        external = max(0, removed - self._deferred_removals)
+        self._deferred_removals = 0
+        self._external_removed_pending += external
+        if removed:
+            self._bump()
+        return external
+
+    def _current_plan(self) -> FlowPlan:
+        """The compiled plan for the present topology epoch."""
+        plan = self._plan
+        if plan is None or plan.generation != self._generation:
+            if plan is not None:
+                plan.flush_stats()
+            self._compact()
+            plan = FlowPlan(self)
+            self._plan = plan
+        return plan
 
     # -- registration -----------------------------------------------------------
 
@@ -74,6 +156,11 @@ class ResourceGraph:
         create energy from nothing, so it is only allowed for non-root
         bookkeeping kinds when ``source is None`` and ``level == 0``.
         """
+        if level < 0.0:
+            # Checked on both paths: previously a negative level with a
+            # source was silently ignored by the level > 0 guard below.
+            raise EnergyError(
+                f"initial reserve level must be non-negative, got {level:.6g}")
         if source is None and level != 0.0:
             raise EnergyError(
                 "a reserve's initial level must be subdivided from an "
@@ -85,7 +172,10 @@ class ResourceGraph:
             if abs(reserve.level - level) > 1e-12:
                 raise EnergyError(
                     f"source {source.name!r} could not fund {level:.6g}")
+        reserve._graph_hook = self._bump
         self._reserves.append(reserve)
+        self._reserve_ids.add(id(reserve))
+        self._bump()
         return reserve
 
     def adopt_reserve(self, reserve: Reserve) -> Reserve:
@@ -93,10 +183,13 @@ class ResourceGraph:
         if reserve.kind != self.kind:
             raise EnergyError(
                 f"graph holds {self.kind}, reserve holds {reserve.kind}")
-        if reserve not in self._reserves:
+        if id(reserve) not in self._reserve_ids:
             # Adopted levels count as external input to the graph.
             self._external_deposits += max(0.0, reserve.level)
+            reserve._graph_hook = self._bump
             self._reserves.append(reserve)
+            self._reserve_ids.add(id(reserve))
+            self._bump()
         return reserve
 
     def create_tap(self, source: Reserve, sink: Reserve, rate: float,
@@ -105,19 +198,29 @@ class ResourceGraph:
                    privileges: PrivilegeSet = NO_PRIVILEGES) -> Tap:
         """Create and register a tap between two registered reserves."""
         for endpoint in (source, sink):
-            if endpoint not in self._reserves:
+            if id(endpoint) not in self._reserve_ids:
                 raise TapError(
                     f"reserve {endpoint.name!r} is not part of this graph")
         tap = Tap(source, sink, rate=rate, tap_type=tap_type,
                   label=label, privileges=privileges, name=name)
+        tap._graph_hook = self._bump
         self._taps.append(tap)
+        self._tap_ids.add(id(tap))
+        self._bump()
         return tap
 
     def delete_tap(self, tap: Tap) -> None:
-        """Remove a tap (revocation; §5.2's per-page tap GC)."""
+        """Remove a tap (revocation; §5.2's per-page tap GC).
+
+        O(1): the entry is marked dead and dropped from the backing
+        list in bulk at the next compaction (plan rebuild or sweep).
+        """
+        registered = id(tap) in self._tap_ids
         tap.mark_dead()
-        if tap in self._taps:
-            self._taps.remove(tap)
+        if registered:
+            self._tap_ids.discard(id(tap))
+            self._deferred_removals += 1
+            self._bump()
 
     def delete_reserve(self, reserve: Reserve,
                        reclaim_to: Optional[Reserve] = None) -> None:
@@ -128,28 +231,33 @@ class ResourceGraph:
             reserve.transfer_to(reclaim_to, reserve.level)
         for tap in [t for t in self._taps
                     if t.source is reserve or t.sink is reserve]:
-            self.delete_tap(tap)
+            if id(tap) in self._tap_ids:
+                self.delete_tap(tap)
+        registered = id(reserve) in self._reserve_ids
         reserve.mark_dead()
-        self._retire(reserve)
-
-    def _retire(self, reserve: Reserve) -> None:
-        """Drop a dead reserve from the registry, keeping its history."""
-        if reserve in self._reserves:
-            self._reserves.remove(reserve)
-            self._retired_consumed += reserve.total_consumed
-            self._leaked += reserve.leaked_at_death
+        if registered:
+            self._reserve_ids.discard(id(reserve))
+            self._deferred_removals += 1
+            self._bump()
 
     # -- queries -----------------------------------------------------------------
 
     @property
     def reserves(self) -> List[Reserve]:
-        """Live registered reserves (copy)."""
-        return [r for r in self._reserves if r.alive]
+        """Live registered reserves (cached view — do not mutate)."""
+        cache = self._live_reserves
+        if cache is None:
+            cache = self._live_reserves = [r for r in self._reserves
+                                           if r.alive]
+        return cache
 
     @property
     def taps(self) -> List[Tap]:
-        """Live registered taps (copy)."""
-        return [t for t in self._taps if t.alive]
+        """Live registered taps (cached view — do not mutate)."""
+        cache = self._live_taps
+        if cache is None:
+            cache = self._live_taps = [t for t in self._taps if t.alive]
+        return cache
 
     def taps_from(self, reserve: Reserve) -> List[Tap]:
         """Taps whose source is ``reserve``."""
@@ -201,19 +309,16 @@ class ResourceGraph:
 
         Containers mark objects dead when a subtree is deleted; this
         sweep keeps the graph registry consistent afterwards.  Returns
-        the number of entries removed.
+        the number of externally-died entries removed since the last
+        sweep — including any a plan rebuild already compacted —
+        while entries deleted through ``delete_tap``/``delete_reserve``
+        are never counted.  One O(n) bulk pass, not per-entry
+        ``list.remove``.
         """
-        removed = 0
-        for tap in [t for t in self._taps
-                    if not (t.alive and t.source.alive and t.sink.alive)]:
-            tap.mark_dead()
-            self._taps.remove(tap)
-            removed += 1
-        for reserve in [r for r in self._reserves
-                        if not r.alive and r is not self.root]:
-            self._retire(reserve)
-            removed += 1
-        return removed
+        self._compact()
+        count = self._external_removed_pending
+        self._external_removed_pending = 0
+        return count
 
     # -- external input ------------------------------------------------------------
 
@@ -234,6 +339,43 @@ class ResourceGraph:
         in creation order, mirroring the kernel's batch execution
         (§3.3); within one tick ordering effects are bounded by
         ``rate * dt``.
+
+        Executes the compiled :class:`FlowPlan` (vectorized array
+        math) whenever its exactness checks hold, and falls back to
+        the per-object :meth:`step_reference` path otherwise — both
+        produce the same result up to float associativity.
+        """
+        if dt < 0:
+            raise EnergyError("dt must be non-negative")
+        plan = self._plan
+        if plan is None or plan.generation != self._generation:
+            # Below the vectorization cutoff the per-object loop wins;
+            # don't even pay for a compile (advance_span still compiles
+            # on demand).  Registry counts over-estimate live objects,
+            # which only errs toward compiling.
+            if (len(self._reserves) + len(self._taps)
+                    < VECTOR_MIN_OBJECTS):
+                if self._deferred_removals:
+                    self._compact()  # keep small registries tidy
+                return self.step_reference(dt)
+            plan = self._current_plan()
+        if plan.small:
+            # Not counted as a fallback (nothing was attempted).
+            return self.step_reference(dt)
+        moved = plan.execute_tick(dt)
+        if moved is None:
+            self.fallback_steps += 1
+            return self.step_reference(dt)
+        self.vector_steps += 1
+        self.time += dt
+        return moved
+
+    def step_reference(self, dt: float) -> float:
+        """The original per-object batch round (reference semantics).
+
+        Kept as the differential-testing oracle and as the fallback
+        for ticks the compiled plan cannot prove it executes exactly
+        (e.g. a multi-drain reserve clamping mid-round).
         """
         if dt < 0:
             raise EnergyError("dt must be non-negative")
@@ -243,6 +385,25 @@ class ResourceGraph:
                 moved += tap.flow(dt)
         self.decay_policy.apply(self._reserves, self.root, dt)
         self.time += dt
+        return moved
+
+    def advance_span(self, span: float) -> Optional[float]:
+        """Closed-form flow/decay over an event-free span (fast-forward).
+
+        Returns the total tap flow over ``span`` seconds, or None when
+        the compiled plan's closed form does not apply (a constant tap
+        would clamp mid-span, debt, capacity pressure, or proportional
+        chains) — the caller should tick instead.  Mutates nothing on
+        a None return.
+        """
+        if span < 0:
+            raise EnergyError("span must be non-negative")
+        if span == 0.0:
+            return 0.0
+        moved = self._current_plan().execute_span(span)
+        if moved is None:
+            return None
+        self.time += span
         return moved
 
     # -- §5.2.2: the fundamental anti-hoarding alternative ---------------------------

@@ -58,12 +58,15 @@ class Reserve(KernelObject):
         if debt_limit < 0:
             raise EnergyError("debt limit must be non-negative")
         self.kind = kind
+        #: Set by the owning graph so liveness changes invalidate its
+        #: compiled FlowPlan (generation bump).
+        self._graph_hook = None
         self._level = float(level)
-        self.capacity = capacity
+        self._capacity = capacity
         #: Maximum magnitude the level may go below zero.
         self.debt_limit = float(debt_limit)
         #: Exempt from the global half-life decay (root + netd; §5.5.2).
-        self.decay_exempt = decay_exempt
+        self._decay_exempt = decay_exempt
         # -- cumulative statistics (accounting, §3.2) --
         self.total_consumed = 0.0
         self.total_deposited = 0.0
@@ -75,6 +78,33 @@ class Reserve(KernelObject):
         self.leaked_at_death = 0.0
 
     # -- level access ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> Optional[float]:
+        """Maximum level (None = uncapped); mutation recompiles plans."""
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: Optional[float]) -> None:
+        if value == self._capacity:
+            return  # no-op writes must not invalidate compiled plans
+        self._capacity = value
+        if self._graph_hook is not None:
+            self._graph_hook()
+
+    @property
+    def decay_exempt(self) -> bool:
+        """Exempt from the global decay; mutation recompiles plans."""
+        return self._decay_exempt
+
+    @decay_exempt.setter
+    def decay_exempt(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._decay_exempt:
+            return  # no-op writes must not invalidate compiled plans
+        self._decay_exempt = value
+        if self._graph_hook is not None:
+            self._graph_hook()
 
     @property
     def level(self) -> float:
@@ -220,6 +250,8 @@ class Reserve(KernelObject):
         # so conservation audits can still balance.
         self.leaked_at_death = max(0.0, self._level)
         self._level = 0.0
+        if self._graph_hook is not None:
+            self._graph_hook()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<reserve #{self.object_id} {self.name!r} "

@@ -94,6 +94,15 @@ class EnergyAwareScheduler:
         """Threads that would be considered this tick."""
         return [t for t in self._threads if self.eligible(t, quantum_cost)]
 
+    def any_wants_cpu(self) -> bool:
+        """True if any thread is RUNNABLE or THROTTLED.
+
+        A THROTTLED thread counts: its reserve may refill mid-span, so
+        the engine must not fast-forward past the instant it becomes
+        eligible again.
+        """
+        return any(self._wants_cpu(t) for t in self._threads)
+
     # -- the tick -----------------------------------------------------------------------
 
     def pick(self, quantum_cost: float = 0.0) -> Optional[Thread]:
@@ -135,6 +144,16 @@ class EnergyAwareScheduler:
             self.ledger.record(principal=chosen.name or f"t{chosen.object_id}",
                                component="cpu", joules=cost)
         return chosen
+
+    def advance_idle(self, seconds: float) -> None:
+        """Account a fast-forwarded span in which no thread could run.
+
+        Equivalent to ``seconds / dt`` consecutive :meth:`step` calls
+        that all returned None: only the utilization denominator moves.
+        """
+        if seconds < 0:
+            raise SchedulerError("idle span must be non-negative")
+        self.total_time += seconds
 
     # -- statistics -----------------------------------------------------------------------
 

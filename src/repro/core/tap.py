@@ -68,18 +68,42 @@ class Tap(KernelObject):
             raise TapError(
                 f"tap endpoints hold different resources "
                 f"({source.kind} vs {sink.kind})")
+        #: Set by the owning graph so rate/enabled/liveness changes
+        #: invalidate its compiled FlowPlan (generation bump).
+        self._graph_hook = None
+        #: (accumulator array, index) while a compiled FlowPlan is
+        #: live — vectorized steps bank flow there and the plan folds
+        #: it back into ``_total_flowed`` on flush.
+        self._flow_slot = None
         self.source = source
         self.sink = sink
         #: Privileges embedded at creation (§3.5): the tap can move
         #: resources between reserves its creator could access even when
         #: later observers cannot.
         self.privileges = privileges
-        self.tap_type = tap_type
+        self._tap_type = tap_type
         self._rate = 0.0
         self.set_rate(rate, tap_type)
         self.enabled = True
         #: Cumulative units moved through this tap.
-        self.total_flowed = 0.0
+        self._total_flowed = 0.0
+
+    @property
+    def total_flowed(self) -> float:
+        """Cumulative units moved through this tap."""
+        slot = self._flow_slot
+        if slot is None:
+            return self._total_flowed
+        return self._total_flowed + slot[0][slot[1]]
+
+    @total_flowed.setter
+    def total_flowed(self, value: float) -> None:
+        slot = self._flow_slot
+        if slot is None:
+            self._total_flowed = value
+        else:
+            # Keep reads (base + accumulator) equal to ``value``.
+            self._total_flowed = value - slot[0][slot[1]]
 
     # -- configuration -----------------------------------------------------------
 
@@ -87,6 +111,33 @@ class Tap(KernelObject):
     def rate(self) -> float:
         """Units/second (CONST) or fraction/second (PROPORTIONAL)."""
         return self._rate
+
+    @property
+    def tap_type(self) -> TapType:
+        """CONST or PROPORTIONAL; mutation recompiles compiled plans."""
+        return self._tap_type
+
+    @tap_type.setter
+    def tap_type(self, value: TapType) -> None:
+        if value is self._tap_type:
+            return  # no-op writes must not invalidate compiled plans
+        self._tap_type = value
+        if self._graph_hook is not None:
+            self._graph_hook()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the tap currently flows (a disabled tap is a no-op)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if getattr(self, "_enabled", None) == value:
+            return  # no-op writes must not invalidate compiled plans
+        self._enabled = value
+        if self._graph_hook is not None:
+            self._graph_hook()
 
     def set_rate(self, rate: float, tap_type: Optional[TapType] = None) -> None:
         """Reconfigure the tap (``tap_set_rate`` in Figure 5).
@@ -96,13 +147,18 @@ class Tap(KernelObject):
         """
         self.ensure_alive()
         if tap_type is not None:
-            self.tap_type = tap_type
+            self.tap_type = tap_type  # setter bumps only on change
         if rate < 0:
             raise TapError("tap rate must be non-negative")
         if self.tap_type is TapType.PROPORTIONAL and rate > 1.0:
             raise TapError(
                 f"proportional tap rate {rate} exceeds 1.0/second")
-        self._rate = float(rate)
+        rate = float(rate)
+        if rate == self._rate:
+            return  # re-applying the current rate keeps the plan valid
+        self._rate = rate
+        if self._graph_hook is not None:
+            self._graph_hook()
 
     # -- flow --------------------------------------------------------------------
 

@@ -92,7 +92,8 @@ class CoopRun:
 
 def run_one(cooperative: bool, duration_s: float = EXPERIMENT_SECONDS,
             seed: int = 13, tick_s: float = 0.01,
-            mail_offset_s: Optional[float] = None) -> CoopRun:
+            mail_offset_s: Optional[float] = None,
+            fast_forward: bool = True) -> CoopRun:
     """One §6.4 run: cooperative (netd pooling) or unrestricted.
 
     ``mail_offset_s`` defaults to 15 s (the paper's text) for the
@@ -105,6 +106,7 @@ def run_one(cooperative: bool, duration_s: float = EXPERIMENT_SECONDS,
         tick_s=tick_s, seed=seed,
         cooperative_netd=cooperative,
         unrestricted_netd=not cooperative,
+        fast_forward=fast_forward,
     )
     run = CoopRun(cooperative=cooperative, system=system,
                   duration_s=duration_s)

@@ -344,3 +344,14 @@ class NetworkDaemon:
         """Blocked operations (the Figure 13b queue)."""
         return sum(1 for o in self._queue
                    if o.state is OpState.WAITING_ENERGY)
+
+    @property
+    def pending_count(self) -> int:
+        """All queued operations, blocked or in flight.
+
+        The engine's idle fast-forward refuses to skip ticks while
+        this is non-zero: blocked operations accrue pool energy from
+        the per-tick flow pump, and in-flight transfers complete on a
+        tick boundary.
+        """
+        return len(self._queue)

@@ -82,6 +82,25 @@ class RadioDevice:
         return (self.state is RadioState.IDLE
                 or self.seconds_since_activity(now) >= self.params.idle_timeout_s)
 
+    def next_state_change(self, now: float) -> Optional[float]:
+        """Earliest future instant the radio's power draw changes.
+
+        Used by the engine's idle fast-forward: within a span that ends
+        at or before this instant (and holds no transfers), the radio's
+        contribution to system power is constant.  Returns None when
+        idle — an idle radio changes state only through new activity,
+        which the engine never fast-forwards past.
+        """
+        if self.state is not RadioState.ACTIVE:
+            return None
+        instants = [self.last_activity + self.params.idle_timeout_s]
+        ramp_end = self.activated_at + self.params.ramp_duration_s
+        if now < ramp_end:
+            instants.append(ramp_end)
+        for transfer in self._transfers:
+            instants.append(transfer.end)
+        return min(instants)
+
     def estimated_send_cost(self, now: float, nbytes: int,
                             npackets: int = 0) -> float:
         """What netd should charge for sending now (§5.5.2 semantics)."""

@@ -41,6 +41,19 @@ class Clock:
         self._now = self._ticks * self.tick_s
         return self._now
 
+    def advance_many(self, n: int) -> float:
+        """Advance ``n`` whole ticks at once (idle fast-forward).
+
+        Identical to ``n`` calls of :meth:`advance`; time stays
+        ``ticks * tick_s`` so fast-forwarded runs land on exactly the
+        same tick instants as tick-by-tick runs.
+        """
+        if n < 0:
+            raise SimulationError("cannot advance a negative tick count")
+        self._ticks += n
+        self._now = self._ticks * self.tick_s
+        return self._now
+
     def ticks_until(self, deadline: float) -> int:
         """Whole ticks remaining until ``deadline`` (0 if passed)."""
         if deadline <= self._now:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 import numpy as np
@@ -64,6 +65,7 @@ class CinderSystem:
         cooperative_netd: bool = True,
         unrestricted_netd: bool = False,
         hosts: Optional[RemoteHosts] = None,
+        fast_forward: bool = True,
     ) -> None:
         self.model = model if model is not None else DreamPowerModel()
         self.clock = Clock(tick_s)
@@ -98,6 +100,21 @@ class CinderSystem:
         #: Extra devices: per-tick steppers and power contributions.
         self._device_steppers: List[Callable[[float], None]] = []
         self._power_sources: List[Callable[[float], float]] = []
+        # -- event-driven process indexes (replace per-tick O(processes)
+        #    scans; see _pump_processes) --
+        #: thread -> its process, for O(1) quantum accounting.
+        self._by_thread: Dict[Any, Process] = {}
+        #: Min-heap of (wake_at, seq, process, request) for sleepers.
+        self._sleepers: List = []
+        self._sleep_seq = itertools.count()
+        #: Processes blocked on a WaitFor predicate (polled per tick).
+        self._waiting: List[Process] = []
+        #: Spawned but not yet started (first advanced next pump).
+        self._new_processes: List[Process] = []
+        #: Skip event-free idle spans in one macro-step (run() only).
+        self.fast_forward = fast_forward
+        #: Telemetry: ticks skipped by fast-forward macro-steps.
+        self.fast_forwarded_ticks = 0
 
     def add_device(self,
                    stepper: Optional[Callable[[float], None]] = None,
@@ -153,7 +170,10 @@ class CinderSystem:
         context = ProcessContext(self, None)  # type: ignore[arg-type]
         process = Process(name, thread, program, context)
         context.process = process
+        process.spawn_order = len(self.processes)
         self.processes.append(process)
+        self._by_thread[thread] = process
+        self._new_processes.append(process)
         return process
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
@@ -207,12 +227,95 @@ class CinderSystem:
         self.clock.advance()
 
     def run(self, duration_s: float) -> None:
-        """Step until ``duration_s`` of simulated time has elapsed."""
+        """Step until ``duration_s`` of simulated time has elapsed.
+
+        When :attr:`fast_forward` is on and the system is provably
+        idle (no runnable thread, no net operation in flight, no
+        per-tick device), whole event-free spans are advanced in one
+        macro-step — closed-form flow/decay, one meter feed — instead
+        of millions of no-op ticks.  Every event still lands on the
+        exact tick it would land on tick-by-tick.
+        """
         if duration_s < 0:
             raise SimulationError("duration must be non-negative")
         deadline = self.clock.now + duration_s
         while self.clock.now < deadline - 1e-12:
+            if self.fast_forward and self._try_fast_forward(deadline):
+                continue
             self.step()
+
+    # -- idle fast-forward ------------------------------------------------------------
+
+    def _next_event_horizon(self, deadline: float) -> float:
+        """Earliest instant at which anything can happen (§ next-event).
+
+        Considers: the timer heap head, the soonest sleeper's wake
+        deadline, the radio's next power-state change, and the next
+        trace-record instant.  Only valid when the system is otherwise
+        idle (callers check that first).
+        """
+        horizon = deadline
+        if self._timers:
+            horizon = min(horizon, self._timers[0][0])
+        while self._sleepers:
+            wake_at, _, process, request = self._sleepers[0]
+            if process.finished or process.current is not request:
+                heapq.heappop(self._sleepers)  # stale entry
+                continue
+            horizon = min(horizon, wake_at)
+            break
+        radio_change = self.radio.next_state_change(self.clock.now)
+        if radio_change is not None:
+            horizon = min(horizon, radio_change)
+        horizon = min(horizon, self._last_record + self.record_interval_s)
+        return horizon
+
+    def _try_fast_forward(self, deadline: float) -> int:
+        """Advance one event-free idle span; returns ticks skipped (0 =
+        not possible, caller must take a normal step).
+
+        Idleness requires: no thread wants the CPU (THROTTLED counts —
+        a refilling reserve is a mid-span event), no process starting,
+        resuming or polling a predicate, nothing inside netd or the
+        radio data path, and no attached per-tick device.  The skipped
+        span is replayed in bulk: closed-form flows/decay on the
+        graph, one constant-power meter feed (identical 200 ms samples),
+        and the idle time booked to the scheduler.
+        """
+        if self._device_steppers or self._power_sources:
+            return 0
+        if self._net_ops or self.netd.pending_count \
+                or self.radio.transfers_in_flight:
+            return 0
+        if self._waiting or self._new_processes:
+            return 0
+        if self.scheduler.any_wants_cpu():
+            return 0
+        clock = self.clock
+        horizon = self._next_event_horizon(deadline)
+        if not math.isfinite(horizon) or horizon <= clock.now:
+            return 0  # e.g. the very first record is still due
+        # The event fires inside the step at the first tick instant
+        # >= horizon (step() compares with a 1e-12 slack); fast-forward
+        # lands exactly on that tick and lets a normal step handle it.
+        target_tick = math.ceil((horizon - 1e-12) / clock.tick_s)
+        ticks = target_tick - clock.ticks
+        if ticks < 2:
+            return 0  # nothing to amortize
+        span = ticks * clock.tick_s
+        if self.graph.advance_span(span) is None:
+            return 0  # e.g. a constant tap would clamp mid-span: tick
+        now = clock.now
+        radio_watts = self.radio.power_above_baseline(now)
+        power = self.model.system_power(cpu_busy=False,
+                                        backlight_on=self.backlight_on,
+                                        radio_watts=radio_watts)
+        self.meter.feed(power, span)
+        self.battery.drain(power * span)
+        self.scheduler.advance_idle(span)
+        clock.advance_many(ticks)
+        self.fast_forwarded_ticks += ticks
+        return ticks
 
     def run_until(self, predicate: Callable[[], bool],
                   max_s: float = 36_000.0) -> float:
@@ -228,7 +331,39 @@ class CinderSystem:
     # -- process internals ----------------------------------------------------------------------
 
     def _pump_processes(self, now: float) -> None:
-        for process in list(self.processes):
+        """Resume everything whose wait ended (event-indexed).
+
+        Replaces the seed's per-tick scan over every process with a
+        sleeping-process heap, a WaitFor list, and the in-flight net-op
+        map — idle processes cost nothing per tick.
+
+        All indexes are snapshotted *before* anything advances, then
+        the candidates are resumed in spawn order — exactly the seed's
+        single pass over ``processes``, minus the visits to processes
+        with nothing to do.  A wait registered while this pump runs
+        (e.g. a WaitFor yielded right after a sleep completed) is
+        first considered on the next tick, and cross-process same-tick
+        cascades resolve in spawn order, as before.
+        """
+        candidates: List[Process] = []
+        if self._new_processes:
+            fresh, self._new_processes = self._new_processes, []
+            candidates.extend(fresh)
+        sleepers = self._sleepers
+        while sleepers and sleepers[0][0] <= now + 1e-12:
+            _, _, process, request = heapq.heappop(sleepers)
+            if process.finished or process.current is not request:
+                continue  # stale entry
+            candidates.append(process)
+        if self._waiting:
+            waiters, self._waiting = self._waiting, []
+            candidates.extend(waiters)
+        if self._net_ops:
+            candidates.extend(self._net_ops.keys())
+        if not candidates:
+            return
+        candidates.sort(key=lambda p: p.spawn_order)
+        for process in candidates:
             if process.finished:
                 continue
             if not process.started:
@@ -236,13 +371,15 @@ class CinderSystem:
                 continue
             request = process.current
             if isinstance(request, (Sleep, SleepUntil)):
-                if now + 1e-12 >= process.thread.wake_at:
-                    process.complete_current(None)
-                    self._advance(process)
+                # Only due sleepers were collected above.
+                process.complete_current(None)
+                self._advance(process)
             elif isinstance(request, WaitFor):
                 if request.predicate():
                     process.complete_current(None)
                     self._advance(process)
+                else:
+                    self._waiting.append(process)
             elif isinstance(request, NetRequest):
                 op = self._net_ops.get(process)
                 if op is not None:
@@ -258,6 +395,7 @@ class CinderSystem:
             request = process.advance()
             if request is None:
                 self.scheduler.remove_thread(process.thread)
+                self._by_thread.pop(process.thread, None)
                 return
             if isinstance(request, Fork):
                 child = self.spawn(request.program,
@@ -276,18 +414,23 @@ class CinderSystem:
                 self._net_ops[process] = op
                 return
             # CpuBurn / Sleep / SleepUntil / WaitFor block until a later
-            # tick; Process.advance already set the thread state.
+            # tick; Process.advance already set the thread state.  Index
+            # the wait so _pump_processes finds it without scanning.
+            if isinstance(request, (Sleep, SleepUntil)):
+                heapq.heappush(self._sleepers,
+                               (process.thread.wake_at,
+                                next(self._sleep_seq), process, request))
+            elif isinstance(request, WaitFor):
+                self._waiting.append(process)
             return
 
     def _account_burn(self, thread, dt: float) -> None:
-        for process in self.processes:
-            if process.thread is thread and isinstance(process.current,
-                                                       CpuBurn):
-                process.burn_remaining -= dt
-                if process.burn_remaining <= 1e-12:
-                    process.complete_current(None)
-                    self._advance(process)
-                return
+        process = self._by_thread.get(thread)
+        if process is not None and isinstance(process.current, CpuBurn):
+            process.burn_remaining -= dt
+            if process.burn_remaining <= 1e-12:
+                process.complete_current(None)
+                self._advance(process)
 
     # -- reporting -------------------------------------------------------------------------------
 

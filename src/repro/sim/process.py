@@ -180,6 +180,10 @@ class Process:
         self.pending_result: Any = None
         self.started = False
         self.finished = False
+        #: Engine-assigned spawn sequence number; the pump resumes
+        #: same-tick candidates in this order, matching the seed
+        #: engine's single pass over ``processes``.
+        self.spawn_order = -1
         #: Remaining busy time for an in-flight CpuBurn.
         self.burn_remaining = 0.0
         #: Accounting: number of requests issued, by type name.

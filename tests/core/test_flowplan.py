@@ -1,0 +1,313 @@
+"""Differential tests: compiled FlowPlan vs the per-object reference.
+
+The vectorized tick path must be indistinguishable (to float
+associativity) from the sequential per-object path it replaced, on an
+adversarial randomized topology, across topology mutations, and for
+every ledger the graph keeps.  The closed-form span path must conserve
+exactly and track the ticked trajectory at figure level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flowplan import FlowPlan
+from repro.core.graph import ResourceGraph
+from repro.core.tap import TapType
+from repro.errors import EnergyError
+
+TOL = 1e-9
+
+
+def build_random_pair(seed: int = 7, n_reserves: int = 100,
+                      n_taps: int = 200):
+    """Two structurally identical random graphs + parallel object lists."""
+    graphs, reserve_lists, tap_lists = [], [], []
+    for _ in range(2):
+        rng = np.random.default_rng(seed)
+        graph = ResourceGraph(15_000.0)  # decay on: paper default
+        reserves = [graph.root]
+        for i in range(n_reserves):
+            # Capacities generous enough not to fill within the run:
+            # the binding-clamp regime has its own dedicated test.
+            capacity = (float(rng.uniform(200, 400))
+                        if rng.random() < 0.1 else None)
+            reserves.append(graph.create_reserve(
+                level=float(rng.uniform(5, 40)), source=graph.root,
+                capacity=capacity,
+                decay_exempt=bool(rng.random() < 0.1),
+                name=f"r{i}"))
+        taps = []
+        for i in range(n_taps):
+            if rng.random() < 0.55:
+                # Constant tap; bias sources toward the deep root so
+                # clamps stay rare (but not impossible).
+                src = (graph.root if rng.random() < 0.4
+                       else reserves[int(rng.integers(1, len(reserves)))])
+                snk = reserves[int(rng.integers(0, len(reserves)))]
+                if snk is src:
+                    snk = graph.root if src is not graph.root else reserves[1]
+                taps.append(graph.create_tap(
+                    src, snk, float(rng.uniform(0.01, 0.4)), name=f"c{i}"))
+            else:
+                src = reserves[int(rng.integers(1, len(reserves)))]
+                snk = reserves[int(rng.integers(0, len(reserves)))]
+                if snk is src:
+                    snk = graph.root
+                taps.append(graph.create_tap(
+                    src, snk, float(rng.uniform(0.01, 0.2)),
+                    TapType.PROPORTIONAL, name=f"p{i}"))
+        graphs.append(graph)
+        reserve_lists.append(reserves)
+        tap_lists.append(taps)
+    return graphs, reserve_lists, tap_lists
+
+
+def assert_graphs_match(g_vec, g_ref, reserves_vec, reserves_ref,
+                        taps_vec, taps_ref, tol=TOL):
+    # abs=1e-9 for ordinary magnitudes; rel=1e-12 admits float
+    # re-association on the multi-kJ root accumulator (~1e-13
+    # relative per the vectorized sum order) without loosening
+    # anything semantic.
+    def close(a, b):
+        return a == pytest.approx(b, abs=tol, rel=1e-12)
+
+    for rv, rr in zip(reserves_vec, reserves_ref):
+        assert close(rv.level, rr.level)
+        assert close(rv.total_transferred_in, rr.total_transferred_in)
+        assert close(rv.total_transferred_out, rr.total_transferred_out)
+        assert close(rv.total_decayed, rr.total_decayed)
+    for tv, tr in zip(taps_vec, taps_ref):
+        assert close(tv.total_flowed, tr.total_flowed)
+    assert close(g_vec.total_level(), g_ref.total_level())
+    assert g_vec.conservation_error() == pytest.approx(0.0, abs=1e-6)
+    assert g_ref.conservation_error() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDifferentialTick:
+    def test_vectorized_matches_reference_1000_ticks(self):
+        """100 reserves / 200 random taps, 1000 ticks, <=1e-9 apart."""
+        (g_vec, g_ref), rlists, tlists = build_random_pair()
+        for _ in range(1000):
+            moved_vec = g_vec.step(0.01)
+            moved_ref = g_ref.step_reference(0.01)
+            assert moved_vec == pytest.approx(moved_ref, abs=TOL)
+        assert_graphs_match(g_vec, g_ref, rlists[0], rlists[1],
+                            tlists[0], tlists[1])
+        # The vectorized path must actually have run, not fallen back
+        # every tick.
+        assert g_vec.vector_steps > 500
+
+    def test_equivalence_across_topology_mutations(self):
+        """set_rate / delete / create invalidate the plan correctly."""
+        (g_vec, g_ref), rlists, tlists = build_random_pair(seed=11)
+        for graphs_step in range(4):
+            for _ in range(100):
+                g_vec.step(0.01)
+                g_ref.step_reference(0.01)
+            for g, reserves, taps in ((g_vec, rlists[0], tlists[0]),
+                                      (g_ref, rlists[1], tlists[1])):
+                taps[3].set_rate(0.33)
+                taps[5].set_rate(0.5, TapType.PROPORTIONAL)
+                g.delete_tap(taps[7 + graphs_step])
+                taps.append(g.create_tap(g.root, reserves[2], 0.25,
+                                         name=f"new{graphs_step}"))
+                taps[9].enabled = False
+        for _ in range(100):
+            g_vec.step(0.01)
+            g_ref.step_reference(0.01)
+        assert_graphs_match(g_vec, g_ref, rlists[0], rlists[1],
+                            tlists[0], tlists[1])
+
+    def test_reserve_deletion_matches(self):
+        (g_vec, g_ref), rlists, _ = build_random_pair(seed=3, n_reserves=30,
+                                                      n_taps=60)
+        for _ in range(50):
+            g_vec.step(0.01)
+            g_ref.step_reference(0.01)
+        for g, reserves in ((g_vec, rlists[0]), (g_ref, rlists[1])):
+            g.delete_reserve(reserves[4], reclaim_to=g.root)
+            g.delete_reserve(reserves[9])  # un-reclaimed: leaks
+        for _ in range(50):
+            g_vec.step(0.01)
+            g_ref.step_reference(0.01)
+        assert g_vec.total_level() == pytest.approx(g_ref.total_level(),
+                                                    abs=TOL)
+        assert g_vec.total_leaked() == pytest.approx(g_ref.total_leaked(),
+                                                     abs=TOL)
+        assert g_vec.conservation_error() == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_multi_drain_reserve_falls_back_correctly(self):
+        """Two constant drains on a shallow reserve: the clamp tick
+        falls back to the reference path and stays exact."""
+        pairs = []
+        for _ in range(2):
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            shallow = g.create_reserve(level=0.05, source=g.root,
+                                       name="shallow")
+            a = g.create_reserve(name="a")
+            b = g.create_reserve(name="b")
+            g.create_tap(shallow, a, 10.0, name="d1")
+            g.create_tap(shallow, b, 10.0, name="d2")
+            # pad the graph over the small-size vectorization cutoff
+            for i in range(40):
+                r = g.create_reserve(name=f"pad{i}")
+                g.create_tap(g.root, r, 0.01, name=f"pt{i}")
+            pairs.append((g, shallow, a, b))
+        (g1, s1, a1, b1), (g2, s2, a2, b2) = pairs
+        for _ in range(20):
+            g1.step(0.01)
+            g2.step_reference(0.01)
+        assert g1.fallback_steps > 0  # the clamp tick was detected
+        for x, y in ((s1, s2), (a1, a2), (b1, b2)):
+            assert x.level == pytest.approx(y.level, abs=TOL)
+        # Sequential priority: the first-created tap drained the
+        # reserve before the second saw it.
+        assert a1.level > b1.level
+
+
+class TestClosedFormSpan:
+    def test_span_conserves_and_tracks_ticks(self):
+        """advance_span == 500 ticks at figure accuracy, exactly
+        conservative."""
+        def build():
+            g = ResourceGraph(15_000.0)
+            apps = [g.create_reserve(level=1.0, source=g.root, name=f"a{i}")
+                    for i in range(20)]
+            for i, app in enumerate(apps):
+                g.create_tap(g.root, app, 0.070, name=f"in{i}")
+                g.create_tap(app, g.root, 0.1, TapType.PROPORTIONAL,
+                             name=f"back{i}")
+            return g, apps
+        g_span, apps_span = build()
+        g_tick, apps_tick = build()
+        moved = g_span.advance_span(5.0)
+        assert moved is not None
+        for _ in range(500):
+            g_tick.step(0.01)
+        assert g_span.time == pytest.approx(g_tick.time)
+        assert g_span.conservation_error() == pytest.approx(0.0, abs=1e-9)
+        for a_span, a_tick in zip(apps_span, apps_tick):
+            # O(tick) discretisation difference only.
+            assert a_span.level == pytest.approx(a_tick.level, rel=2e-3)
+
+    def test_span_refuses_mid_span_clamp(self):
+        g = ResourceGraph(1_000.0)
+        g.decay_policy.enabled = False
+        shallow = g.create_reserve(level=0.5, source=g.root, name="shallow")
+        sink = g.create_reserve(name="sink")
+        g.create_tap(shallow, sink, 1.0, name="drain")
+        # 0.5 J at 1 W clamps after 0.5 s; a 10 s closed form is wrong.
+        assert g.advance_span(10.0) is None
+        assert shallow.level == pytest.approx(0.5)  # untouched
+        assert g.advance_span(0.4) is not None      # safe sub-span is fine
+
+    def test_span_refuses_debt(self):
+        g = ResourceGraph(1_000.0)
+        r = g.create_reserve(name="r")
+        r.consume(1.0, allow_debt=True)
+        g.create_tap(g.root, r, 0.1, name="in")
+        assert g.advance_span(10.0) is None
+
+
+class TestCreateReserveValidation:
+    def test_negative_level_without_source_raises(self, graph):
+        with pytest.raises(EnergyError):
+            graph.create_reserve(level=-1.0)
+
+    def test_negative_level_with_source_raises(self, graph):
+        """Regression: a negative level with a source was silently
+        accepted (the level > 0 transfer guard skipped it)."""
+        with pytest.raises(EnergyError):
+            graph.create_reserve(level=-5.0, source=graph.root)
+        assert graph.root.level == pytest.approx(15_000.0)
+        assert len(graph.reserves) == 1  # nothing was registered
+
+
+class TestRegistryMaintenance:
+    def test_live_views_are_cached_until_mutation(self, graph):
+        graph.create_reserve(name="a")
+        first = graph.reserves
+        assert graph.reserves is first  # cached: no realloc per call
+        graph.create_reserve(name="b")
+        assert graph.reserves is not first
+        taps_view = graph.taps
+        assert graph.taps is taps_view
+
+    def test_bulk_deletion_compacts_backing_lists(self, graph):
+        reserves = [graph.create_reserve(name=f"r{i}") for i in range(50)]
+        taps = [graph.create_tap(graph.root, r, 1.0, name=f"t{i}")
+                for i, r in enumerate(reserves)]
+        for tap in taps[:40]:
+            graph.delete_tap(tap)
+        for reserve in reserves[:40]:
+            graph.delete_reserve(reserve)
+        assert len(graph.taps) == 10
+        assert len(graph.reserves) == 11  # 10 + root
+        graph.sweep_dead()
+        assert len(graph._taps) == 10    # backing lists compacted
+        assert len(graph._reserves) == 11
+
+    def test_compaction_preserves_retired_accounting(self, graph):
+        r = graph.create_reserve(level=100.0, source=graph.root, name="r")
+        r.consume(30.0)
+        graph.delete_reserve(r)  # 70 J die with the reserve
+        graph.sweep_dead()
+        assert graph.total_consumed() == pytest.approx(30.0)
+        assert graph.total_leaked() == pytest.approx(70.0)
+        assert graph.conservation_error() == pytest.approx(0.0, abs=1e-9)
+
+    def test_external_kill_count_excludes_api_deletions(self, graph):
+        r1 = graph.create_reserve(name="r1")
+        r2 = graph.create_reserve(name="r2")
+        graph.create_tap(graph.root, r1, 1.0)
+        graph.delete_reserve(r2)   # API deletion: pre-counted
+        r1.mark_dead()             # external kill (container GC)
+        removed = graph.sweep_dead()
+        assert removed == 2        # r1 + its orphaned tap, not r2
+
+    def test_external_kill_count_survives_plan_rebuild(self, graph):
+        """A step between kill and sweep compacts early; the sweep
+        must still report the external deaths it absorbed."""
+        r = graph.create_reserve(name="r")
+        graph.create_tap(graph.root, r, 1.0)
+        r.mark_dead()
+        graph.step(0.01)           # plan rebuild compacts the corpses
+        assert graph.sweep_dead() == 2
+        assert graph.sweep_dead() == 0  # reported exactly once
+
+    def test_plan_recompiles_after_generation_bump(self, graph):
+        r = graph.create_reserve(name="r")
+        graph.create_tap(graph.root, r, 1.0)
+        plan_a = graph._current_plan()
+        assert graph._current_plan() is plan_a
+        graph.create_tap(graph.root, r, 2.0)
+        plan_b = graph._current_plan()
+        assert plan_b is not plan_a
+        assert isinstance(plan_b, FlowPlan)
+
+    def test_capacity_mutation_invalidates_plan(self):
+        """Mutating a public snapshot attribute (capacity here) must
+        recompile the plan — the vectorized path honored a stale cap
+        otherwise."""
+        g = ResourceGraph(10_000.0)
+        g.decay_policy.enabled = False
+        capped = g.create_reserve(name="capped")
+        g.create_tap(g.root, capped, 1.0, name="feed")
+        for i in range(40):  # over the vectorization cutoff
+            g.create_tap(g.root, g.create_reserve(name=f"p{i}"), 0.01)
+        for _ in range(10):
+            g.step(0.01)
+        capped.capacity = capped.level + 0.005
+        for _ in range(100):
+            g.step(0.01)
+        assert capped.level <= capped.capacity + 1e-12
+        # decay_exempt and tap_type mutations bump the epoch too
+        gen = g.generation
+        capped.decay_exempt = True
+        assert g.generation > gen
+        gen = g.generation
+        g.taps[0].tap_type = TapType.PROPORTIONAL
+        assert g.generation > gen

@@ -1,0 +1,165 @@
+"""Idle fast-forward: macro-stepped runs must match tick-by-tick runs.
+
+The engine may replace an event-free idle span with one closed-form
+macro-step.  These tests pin the equivalence contract: identical event
+timing (same tick instants), identical metering (constant idle power
+makes the 200 ms sample stream bit-compatible), conservation within
+1e-6, and figure-level agreement for the fig13 cooperative-radio
+experiment, which exercises netd, the radio state machine, and decay
+together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import fig13_cooperative
+from repro.sim.process import CpuBurn, Sleep, WaitFor
+
+from ..conftest import make_system
+
+
+def ff_pair(**kwargs):
+    """Two identical systems, one fast-forwarding and one ticking."""
+    return (make_system(fast_forward=True, **kwargs),
+            make_system(fast_forward=False, **kwargs))
+
+
+class TestIdleEquivalence:
+    def test_pure_idle_run_matches_ticks(self):
+        fast, slow = ff_pair()
+        for system in (fast, slow):
+            system.powered_reserve(0.070, name="app")
+            system.run(60.0)
+        assert fast.fast_forwarded_ticks > 0
+        assert slow.fast_forwarded_ticks == 0
+        assert fast.clock.ticks == slow.clock.ticks
+        assert fast.graph.time == pytest.approx(slow.graph.time)
+        assert (fast.meter.total_energy_joules
+                == pytest.approx(slow.meter.total_energy_joules, rel=1e-9))
+        assert len(fast.meter.samples()[0]) == len(slow.meter.samples()[0])
+        assert fast.scheduler.total_time == pytest.approx(
+            slow.scheduler.total_time)
+        assert fast.graph.conservation_error() == pytest.approx(0.0,
+                                                                abs=1e-6)
+
+    def test_decaying_idle_run_conserves(self):
+        system = make_system(decay_enabled=True, fast_forward=True)
+        reserve = system.powered_reserve(0.070, name="app")
+        system.run(1200.0)  # two decay half-lives
+        assert system.fast_forwarded_ticks > 100_000
+        assert system.graph.conservation_error() == pytest.approx(0.0,
+                                                                  abs=1e-6)
+        # 70 mW against the 600 s-half-life decay: L(t) follows
+        # (c/lambda)(1 - e^{-lambda t}); at t=1200 s (two half-lives)
+        # that is 60.6 J * 0.75 ~= 45.45 J.
+        assert reserve.level == pytest.approx(45.45, rel=0.02)
+
+    def test_timers_fire_on_the_same_tick(self):
+        fired = {}
+        fast, slow = ff_pair()
+        for key, system in (("fast", fast), ("slow", slow)):
+            system.schedule_at(13.37, lambda key=key, s=system:
+                               fired.setdefault(key, s.clock.now))
+            system.run(30.0)
+        assert fired["fast"] == fired["slow"]
+
+    def test_sleeping_process_wakes_identically(self):
+        def napper(ctx):
+            for _ in range(3):
+                yield Sleep(7.5)
+                yield CpuBurn(0.05)
+
+        results = {}
+        fast, slow = ff_pair()
+        for key, system in (("fast", fast), ("slow", slow)):
+            reserve = system.powered_reserve(0.5, name="napper")
+            process = system.spawn(napper, "napper", reserve=reserve)
+            system.run(40.0)
+            results[key] = (process.finished, system.scheduler.busy_time,
+                            system.meter.total_energy_joules, reserve.level)
+        assert fast.fast_forwarded_ticks > 0
+        assert results["fast"][0] and results["slow"][0]
+        assert results["fast"][1] == pytest.approx(results["slow"][1])
+        assert results["fast"][2] == pytest.approx(results["slow"][2],
+                                                   rel=1e-6)
+        # Reserve levels differ only by O(tick) flow discretisation.
+        assert results["fast"][3] == pytest.approx(results["slow"][3],
+                                                   rel=1e-2)
+
+    def test_throttled_spinner_blocks_fast_forward(self):
+        """A THROTTLED thread's reserve refills mid-span; the engine
+        must keep ticking to notice the moment it can run again."""
+        def spinner(ctx):
+            yield CpuBurn(float("inf"))
+
+        system = make_system(fast_forward=True)
+        reserve = system.powered_reserve(0.010, name="starved")
+        system.spawn(spinner, "spinner", reserve=reserve)
+        system.run(5.0)
+        assert system.fast_forwarded_ticks == 0
+        assert system.scheduler.busy_time > 0.0
+
+
+class TestPumpSemantics:
+    def test_waitfor_after_sleep_polls_next_tick(self):
+        """The event-indexed pump must keep the seed's visit-once-per-
+        tick timing: a WaitFor yielded when a sleep completes is first
+        polled on the following tick, not within the same pump."""
+        times = []
+
+        def program(ctx):
+            yield Sleep(0.05)
+            times.append(ctx.now)
+            yield WaitFor(lambda: True)
+            times.append(ctx.now)
+
+        system = make_system()
+        reserve = system.powered_reserve(0.1, name="p")
+        system.spawn(program, "p", reserve=reserve)
+        system.run(0.2)
+        assert times == [pytest.approx(0.05), pytest.approx(0.06)]
+
+    def test_same_tick_cascades_resolve_in_spawn_order(self):
+        """A waiter spawned before a sleeper polls its predicate
+        before the sleeper resumes (seed single-pass order), so a flag
+        the sleeper sets is seen one tick later."""
+        state = {"flag": False, "woke": None}
+
+        def waiter(ctx):
+            yield WaitFor(lambda: state["flag"])
+            state["woke"] = ctx.now
+
+        def sleeper(ctx):
+            yield Sleep(0.5)
+            state["flag"] = True
+
+        system = make_system()
+        reserve = system.powered_reserve(0.1, name="r")
+        system.spawn(waiter, "waiter", reserve=reserve)   # spawned first
+        system.spawn(sleeper, "sleeper", reserve=reserve)
+        system.run(1.0)
+        assert state["woke"] == pytest.approx(0.51)
+
+
+class TestFig13Equivalence:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        kwargs = dict(duration_s=300.0, seed=13)
+        return (fig13_cooperative.run_one(True, fast_forward=True, **kwargs),
+                fig13_cooperative.run_one(True, fast_forward=False, **kwargs))
+
+    def test_figure_level_results_match(self, runs):
+        fast, slow = runs
+        assert fast.system.fast_forwarded_ticks > 0
+        assert fast.activations == slow.activations
+        assert fast.polls_completed == slow.polls_completed
+        assert fast.total_energy_j == pytest.approx(slow.total_energy_j,
+                                                    rel=0.01)
+        assert fast.active_time_s == pytest.approx(slow.active_time_s,
+                                                   abs=2 * 0.2)
+
+    def test_fast_forwarded_run_conserves(self, runs):
+        fast, _ = runs
+        assert fast.system.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-6)
