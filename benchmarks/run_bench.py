@@ -1,6 +1,6 @@
 """Core-engine perf benchmark runner: writes BENCH_core.json.
 
-Tracks the two hot paths this repo's performance work targets:
+Tracks the hot paths this repo's performance work targets:
 
 * **micro** — ``ResourceGraph.step`` on the canonical production
   topology (100 reserves fed from the battery, 200 taps: one constant
@@ -9,6 +9,14 @@ Tracks the two hot paths this repo's performance work targets:
 * **macro** — a 1-simulated-hour idle-heavy ``CinderSystem`` (a
   maintenance process waking once a minute), idle fast-forward vs
   tick-by-tick, measured in wall-clock seconds.
+* **netd_macro** — a 1-simulated-hour pooled-netd poller whose thread
+  spends almost the whole run blocked on ``required_energy``
+  (§5.5.2): the closed-form pooled-wait accrual must macro-step
+  through the waits with bit-identical event timing vs tick-by-tick.
+* **fleet** — a 50-device :class:`~repro.sim.world.World` of
+  staggered pollers on the global min-horizon scheduler; wall-clock
+  for 10 simulated minutes plus a speedup estimate from a
+  tick-by-tick slice.
 
 Run from the repo root (writes ``BENCH_core.json`` next to this
 checkout's ROADMAP)::
@@ -16,8 +24,9 @@ checkout's ROADMAP)::
     python benchmarks/run_bench.py
 
 The pytest wrapper ``benchmarks/test_bench_core_step.py`` executes the
-same collectors and asserts the speedup floors (3x micro / 10x macro),
-so the perf trajectory is enforced, not just recorded.
+same collectors and asserts the floors (3x micro / 10x macro / 5x
+netd / the fleet wall ceiling), so the perf trajectory is enforced,
+not just recorded.
 """
 
 from __future__ import annotations
@@ -36,6 +45,9 @@ from repro.core.graph import ResourceGraph            # noqa: E402
 from repro.core.tap import TapType                    # noqa: E402
 from repro.sim.engine import CinderSystem             # noqa: E402
 from repro.sim.process import CpuBurn, Sleep          # noqa: E402
+from repro.sim.workload import (fleet_of_pollers,     # noqa: E402
+                                periodic_poller)
+from repro.sim.world import World                     # noqa: E402
 
 BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_core.json")
 
@@ -43,6 +55,10 @@ MICRO_RESERVES = 100
 MICRO_TAPS = 200
 TICK_S = 0.01
 MACRO_SIM_HOURS = 1.0
+NETD_SIM_HOURS = 1.0
+FLEET_DEVICES = 50
+FLEET_SIM_S = 600.0
+FLEET_TICK_SLICE_S = 60.0
 
 
 def build_micro_graph() -> ResourceGraph:
@@ -126,12 +142,99 @@ def run_macro() -> dict:
     }
 
 
+def build_netd_system(fast_forward: bool) -> CinderSystem:
+    """A pooled-netd poller: 15 mW against a ~11.9 J activation bill.
+
+    Every poll blocks in the §5.5.2 pooled path for ~13 simulated
+    minutes, so virtually the whole hour is pooled waiting — exactly
+    the regime the closed-form accrual must macro-step through.
+    Decay is off so the sleep-span closed form (continuous ODE) and
+    tick-by-tick agree bit-for-bit and the event-timing comparison is
+    exact, not approximate.
+    """
+    system = CinderSystem(battery_joules=15_000.0, tick_s=TICK_S,
+                          record_interval_s=2.0, seed=42,
+                          decay_enabled=False, fast_forward=fast_forward)
+    reserve = system.powered_reserve(0.015, name="poller")
+    system.spawn(periodic_poller("echo", period_s=600.0, bytes_out=64,
+                                 bytes_in=0), "poller", reserve=reserve)
+    return system
+
+
+def run_netd_macro() -> dict:
+    seconds = NETD_SIM_HOURS * 3600.0
+    timings = {}
+    systems = {}
+    for fast_forward in (True, False):
+        system = build_netd_system(fast_forward)
+        start = time.perf_counter()
+        system.run(seconds)
+        timings[fast_forward] = time.perf_counter() - start
+        systems[fast_forward] = system
+    fast, slow = systems[True], systems[False]
+    events_identical = (
+        fast.radio.activation_count == slow.radio.activation_count
+        and fast.netd.stats.operations == slow.netd.stats.operations
+        and fast.netd.stats.total_wait_seconds
+        == slow.netd.stats.total_wait_seconds
+        and fast.netd.pool.level == slow.netd.pool.level)
+    return {
+        "simulated_hours": NETD_SIM_HOURS,
+        "fast_forward_wall_s": round(timings[True], 3),
+        "tick_wall_s": round(timings[False], 3),
+        "speedup": round(timings[False] / timings[True], 2),
+        "fast_forwarded_ticks": fast.fast_forwarded_ticks,
+        "radio_activations": fast.radio.activation_count,
+        "pooled_wait_s": fast.netd.stats.total_wait_seconds,
+        "events_identical": events_identical,
+        "conservation_error_j": fast.graph.conservation_error(),
+    }
+
+
+def build_fleet(fast_forward: bool) -> World:
+    """A 50-device fleet of staggered pooled pollers."""
+    world = World(tick_s=TICK_S, seed=7, fast_forward=fast_forward)
+    fleet_of_pollers(world, FLEET_DEVICES, watts=0.02, period_s=300.0,
+                     bytes_out=64, record_interval_s=1.0,
+                     decay_enabled=False)
+    return world
+
+
+def run_fleet() -> dict:
+    world = build_fleet(True)
+    start = time.perf_counter()
+    world.run(FLEET_SIM_S)
+    fast_wall = time.perf_counter() - start
+
+    tick_world = build_fleet(False)
+    start = time.perf_counter()
+    tick_world.run(FLEET_TICK_SLICE_S)
+    slice_wall = time.perf_counter() - start
+    # Wall-clock per simulated second, extrapolated from the slice.
+    speedup = (slice_wall / FLEET_TICK_SLICE_S) / (fast_wall / FLEET_SIM_S)
+    return {
+        "devices": FLEET_DEVICES,
+        "simulated_s": FLEET_SIM_S,
+        "fast_forward_wall_s": round(fast_wall, 3),
+        "tick_slice_s": FLEET_TICK_SLICE_S,
+        "tick_slice_wall_s": round(slice_wall, 3),
+        "speedup_vs_tick": round(speedup, 2),
+        "macro_steps": world.macro_steps,
+        "tick_steps": world.tick_steps,
+        "fast_forwarded_ticks": world.fast_forwarded_ticks,
+        "radio_activations": world.total_radio_activations(),
+        "worst_conservation_error_j": world.conservation_error(),
+    }
+
+
 def collect() -> dict:
     return {
         "bench": "core_step",
         "unix_time": int(time.time()),
         "micro": run_micro(),
         "macro": run_macro(),
+        "netd_macro": run_netd_macro(),
+        "fleet": run_fleet(),
     }
 
 

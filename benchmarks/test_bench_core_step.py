@@ -1,17 +1,25 @@
-"""Core tick-engine perf floors: vectorized step and idle fast-forward.
+"""Core tick-engine perf floors: vectorized step and fast-forward.
 
 Unlike the figure benches (which regenerate paper artifacts), this
 bench guards the engine itself: the compiled-FlowPlan ``graph.step``
 must beat the per-object reference path >= 3x on the canonical
-100-reserve / 200-tap topology, and the idle fast-forward must beat
+100-reserve / 200-tap topology; the idle fast-forward must beat
 tick-by-tick >= 10x wall-clock on a 1-simulated-hour idle-heavy
-system — while conserving energy.  Results are also written to
-``BENCH_core.json`` so the perf trajectory is tracked across PRs.
+system; the pooled-netd closed form must macro-step a net-wait-heavy
+hour >= 5x with bit-identical event timing; and a 50-device World
+fleet must stay under its wall-clock floor — all while conserving
+energy.  Results are also written to ``BENCH_core.json`` so the perf
+trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
 import run_bench
+
+#: Wall-clock ceiling for the 50-device, 10-simulated-minute fleet —
+#: generous (measured ~3.5 s locally) because CI runners are shared;
+#: the machine-independent gate is the speedup ratio below.
+FLEET_WALL_LIMIT_S = 60.0
 
 
 def test_bench_micro_vectorized_step(benchmark):
@@ -34,3 +42,19 @@ def test_bench_core_speedups_and_write_json(run_once):
         f"idle fast-forward only {macro['speedup']}x over ticking")
     assert macro["fast_forwarded_ticks"] > 300_000
     assert abs(macro["conservation_error_j"]) < 1e-6
+
+    netd = results["netd_macro"]
+    assert netd["speedup"] >= 5.0, (
+        f"pooled-netd fast-forward only {netd['speedup']}x over ticking")
+    assert netd["events_identical"], (
+        "pooled-netd fast-forward drifted from tick-by-tick event timing")
+    assert netd["fast_forwarded_ticks"] > 300_000
+    assert abs(netd["conservation_error_j"]) < 1e-6
+
+    fleet = results["fleet"]
+    assert fleet["devices"] >= 50
+    assert fleet["fast_forward_wall_s"] < FLEET_WALL_LIMIT_S, (
+        f"50-device fleet took {fleet['fast_forward_wall_s']}s "
+        f"(limit {FLEET_WALL_LIMIT_S}s)")
+    assert fleet["speedup_vs_tick"] >= 3.0
+    assert fleet["worst_conservation_error_j"] < 1e-6

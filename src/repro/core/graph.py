@@ -387,7 +387,8 @@ class ResourceGraph:
         self.time += dt
         return moved
 
-    def advance_span(self, span: float) -> Optional[float]:
+    def advance_span(self, span: float,
+                     frozen_taps: Iterable[Tap] = ()) -> Optional[float]:
         """Closed-form flow/decay over an event-free span (fast-forward).
 
         Returns the total tap flow over ``span`` seconds, or None when
@@ -395,12 +396,34 @@ class ResourceGraph:
         would clamp mid-span, debt, capacity pressure, or proportional
         chains) — the caller should tick instead.  Mutates nothing on
         a None return.
+
+        ``frozen_taps`` are held out of the integration entirely: an
+        event source that integrates its own taps in closed form (netd
+        pooled-wait accrual) passes them here so the span is not
+        double-counted.  The caller owns replaying their flow.
         """
         if span < 0:
             raise EnergyError("span must be non-negative")
         if span == 0.0:
             return 0.0
-        moved = self._current_plan().execute_span(span)
+        held = [t for t in frozen_taps if t.alive and t.enabled]
+        if not held:
+            moved = self._current_plan().execute_span(span)
+            if moved is None:
+                return None
+            self.time += span
+            return moved
+        # Temporarily disable the held taps so the plan compiled for
+        # this span excludes them (the enabled setter bumps the
+        # generation, so both the span plan and the follow-up tick
+        # plan are rebuilt for the right topology).
+        for tap in held:
+            tap.enabled = False
+        try:
+            moved = self._current_plan().execute_span(span)
+        finally:
+            for tap in held:
+                tap.enabled = True
         if moved is None:
             return None
         self.time += span

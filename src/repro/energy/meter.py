@@ -53,22 +53,105 @@ class PowerMeter:
     # -- feeding -------------------------------------------------------------------
 
     def feed(self, watts: float, dt: float) -> None:
-        """Integrate true power over ``dt`` seconds; emit due samples."""
+        """Integrate true power over ``dt`` seconds; emit due samples.
+
+        A fast-forwarded span may cover hours at constant power; the
+        scalar one-window-at-a-time loop (kept as
+        :meth:`_feed_reference`, the differential-testing oracle)
+        would cost thousands of Python iterations.  Whole windows are
+        instead emitted in bulk with numpy while reproducing the
+        reference bit-for-bit: running times and the energy totalizer
+        advance through ``numpy.cumsum`` (sequential, so identical to
+        repeated ``+=``), window means repeat one scalar-computed
+        value, and noise draws come from one array call, which
+        consumes the generator stream exactly like per-emit scalar
+        draws.
+        """
+        if dt < 0:
+            raise SimulationError("dt must be non-negative")
+        if watts < 0:
+            raise SimulationError("negative system power")
+        interval = self.sample_interval_s
+        remaining = dt
+        # Drain a partially-filled window with reference arithmetic.
+        while remaining > 0.0 and self._window_time > 0.0:
+            remaining = self._feed_one(watts, remaining)
+        if remaining <= 0.0:
+            return
+        estimate = int(remaining / interval)
+        if estimate >= 4:
+            # The reference loop's remainder sequence is repeated
+            # ``remaining -= interval``; cumsum reproduces it exactly,
+            # and an iteration is a whole window iff the remainder
+            # *before* it was >= interval.
+            chain = np.empty(estimate + 1)
+            chain[0] = remaining
+            chain[1:] = -interval
+            after = np.cumsum(chain)[1:]
+            before = np.empty(estimate)
+            before[0] = remaining
+            before[1:] = after[:-1]
+            whole = int(np.argmin(before >= interval)) \
+                if not (before >= interval).all() else estimate
+            if whole >= 4:
+                self._emit_whole_windows(watts, whole)
+                remaining = float(after[whole - 1])
+        # Tail (plus any sub-4-window feed): the reference loop.
+        while remaining > 0.0:
+            remaining = self._feed_one(watts, remaining)
+
+    def _feed_one(self, watts: float, remaining: float) -> float:
+        """One reference iteration; returns the remaining time."""
+        room = self.sample_interval_s - self._window_time
+        step = min(remaining, room)
+        self._window_energy += watts * step
+        self._window_time += step
+        self.total_energy_joules += watts * step
+        self._now += step
+        remaining -= step
+        if self._window_time >= self.sample_interval_s - 1e-12:
+            self._emit()
+        return remaining
+
+    def _feed_reference(self, watts: float, dt: float) -> None:
+        """The original scalar loop (kept as the differential oracle)."""
         if dt < 0:
             raise SimulationError("dt must be non-negative")
         if watts < 0:
             raise SimulationError("negative system power")
         remaining = dt
         while remaining > 0.0:
-            room = self.sample_interval_s - self._window_time
-            step = min(remaining, room)
-            self._window_energy += watts * step
-            self._window_time += step
-            self.total_energy_joules += watts * step
-            self._now += step
-            remaining -= step
-            if self._window_time >= self.sample_interval_s - 1e-12:
-                self._emit()
+            remaining = self._feed_one(watts, remaining)
+
+    def _emit_whole_windows(self, watts: float, count: int) -> None:
+        """Bulk-emit ``count`` whole windows at constant ``watts``.
+
+        Entered only with an empty accumulation window, so every
+        window repeats the same scalar arithmetic the reference loop
+        would perform: energy ``watts * interval``, duration exactly
+        one interval, mean ``(watts * interval) / interval``.
+        """
+        interval = self.sample_interval_s
+        window_energy = watts * interval
+        mean = window_energy / interval
+        # Running chains, sequential through cumsum (element 0 seeds
+        # the chain with the current scalar value).
+        chain = np.empty(count + 1)
+        chain[0] = self._now
+        chain[1:] = interval
+        times = np.cumsum(chain)[1:]
+        self._now = float(times[-1])
+        chain[0] = self.total_energy_joules
+        chain[1:] = window_energy
+        self.total_energy_joules = float(np.cumsum(chain)[-1])
+        if self.noise_fraction > 0.0:
+            draws = self._rng.normal(0.0, self.noise_fraction, count)
+            means = np.maximum(0.0, mean * (1.0 + draws))
+        else:
+            means = np.full(count, mean)
+        self._sample_times.extend(times.tolist())
+        self._sample_watts.extend(means.tolist())
+        self._sample_windows.extend([interval] * count)
 
     def _emit(self) -> None:
         mean_watts = self._window_energy / self._window_time

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.accounting import ConsumptionLedger
 from ..core.graph import ResourceGraph
 from ..core.reserve import Reserve
+from ..core.tap import Tap, TapType
 from ..errors import NetworkError
 from ..kernel.gate import Gate
 from ..kernel.kernel import Kernel
@@ -73,6 +76,39 @@ class PendingOp:
 
 
 @dataclass
+class _SpanPlan:
+    """Closed-form description of one pooled-wait accrual regime.
+
+    Valid while every queued operation is blocked in the §5.5.2 pooled
+    path and every waiter's reserve follows the canonical
+    ``powered_reserve`` shape (exactly one constant tap from the root,
+    no drains, no capacity, level drained to zero by the previous
+    contribution round).  Under that regime each engine tick repeats
+    the same float arithmetic, so the pool's trajectory — and the
+    exact tick the batch becomes affordable — can be replayed without
+    running the engine.
+    """
+
+    #: Ops blocked waiting for energy, in queue order.
+    waiting: List[PendingOp]
+    #: The pool level the batch must reach (margin included).
+    required: float
+    #: Per-tick decay fraction (0.0 when decay is off).
+    fraction: float
+    #: One entry per distinct waiter reserve, in queue order:
+    #: (reserve, feed tap, per-tick inflow, per-tick decay loss,
+    #:  per-tick contribution, first op drawing from it).
+    entries: List[Tuple[Reserve, Tap, float, float, float, PendingOp]]
+    #: Pool increments per tick, in contribution order (non-zero only).
+    addends: List[float]
+    #: ``sum(level for op in waiting)`` exactly as the pump computes it
+    #: (an op-indexed sum: a shared reserve is counted once per op).
+    avail_sum: float
+    #: Total constant-tap drain rate out of the root (amount clamps).
+    root_drain_rate: float
+
+
+@dataclass
 class NetdStats:
     """Counters the Table 1 harness reads."""
 
@@ -87,6 +123,9 @@ class NetdStats:
 class NetworkDaemon:
     """The netd daemon: admission control plus the radio data path."""
 
+    #: EventSource protocol: display name for horizon diagnostics.
+    name = "netd"
+
     def __init__(
         self,
         graph: ResourceGraph,
@@ -97,12 +136,19 @@ class NetworkDaemon:
         cooperative: bool = True,
         unrestricted: bool = False,
         ledger: Optional[ConsumptionLedger] = None,
+        tick_s: Optional[float] = None,
+        ticks: Optional[Callable[[], int]] = None,
     ) -> None:
         if activation_margin < 1.0:
             raise NetworkError("activation margin must be >= 1")
         self.graph = graph
         self.radio = radio
         self._clock = clock
+        #: Engine tick size and tick counter, wired by the runtime so
+        #: the daemon can act as an event source (closed-form pooled
+        #: accrual happens on the engine's exact tick grid).
+        self.tick_s = tick_s
+        self._ticks = ticks
         self.hosts = hosts if hosts is not None else RemoteHosts.default()
         self.activation_margin = activation_margin
         #: Pooling enabled (Figure 13b) vs. strictly per-caller budgets.
@@ -115,6 +161,8 @@ class NetworkDaemon:
             name="netd.pool", decay_exempt=True)
         self._queue: List[PendingOp] = []
         self.stats = NetdStats()
+        #: (now, plan-or-None) — one closed-form analysis per tick.
+        self._span_cache: Optional[Tuple[float, Optional[_SpanPlan]]] = None
 
     # -- gate plumbing -----------------------------------------------------------
 
@@ -145,6 +193,7 @@ class NetworkDaemon:
         self._queue.append(op)
         self.stats.operations += 1
         thread.state = ThreadState.BLOCKED
+        self._span_cache = None  # the closed-form analysis is stale
         self._pump(now)
         return op
 
@@ -177,6 +226,7 @@ class NetworkDaemon:
 
     def step(self, now: float) -> None:
         """Advance blocked and in-flight operations (engine calls this)."""
+        self._span_cache = None  # per-tick execution mutates the regime
         self._complete_transfers(now)
         self._pump(now)
 
@@ -332,6 +382,260 @@ class NetworkDaemon:
             share = joules / len(ops)
             for op in ops:
                 self.ledger.record(op.owner, "radio", share)
+
+    # -- event-source interface (engine idle fast-forward) ---------------------------------
+    #
+    # netd participates in the engine's next-event architecture.  The
+    # interesting regime is a §5.5.2 pooled wait: every queued op is
+    # blocked on ``required_energy`` and every engine tick repeats the
+    # identical arithmetic — flow each waiter's feed tap, decay the
+    # deposit, drain it into the pool.  Instead of forcing the engine
+    # to tick through the whole wait, the daemon computes the *exact*
+    # tick the pool will satisfy the batch (same float operations in
+    # the same order, so the event lands on the bit-identical tick)
+    # and replays the skipped accrual in closed form.
+
+    #: Within this many ticks of the predicted crossing the daemon
+    #: switches from the analytic bound to an exact scalar replay.
+    SPAN_SCAN_WINDOW = 64
+
+    def quiescent(self, now: float) -> bool:
+        """True iff skipping ticks cannot change netd's behavior.
+
+        An empty queue is trivially quiescent; a queue of pooled
+        waiters is quiescent when the accrual regime has a closed form
+        (see :meth:`_compute_span_plan`).  Anything else — transfers
+        in flight, per-caller gating, non-canonical reserve wiring —
+        needs per-tick execution.
+        """
+        if not self._queue:
+            return True
+        return self._span_plan(now) is not None
+
+    def next_event(self, now: float) -> Optional[float]:
+        """The earliest tick netd's state can change (pool crossing).
+
+        Returns the exact affordability tick when it is near, or a
+        conservative checkpoint strictly before it when it is far
+        (landing early is harmless — the engine takes a normal step
+        and asks again).  ``None`` when the queue is empty or nothing
+        accrues (starved waiters: other sources bound the span).
+        """
+        plan = self._span_plan(now)
+        if plan is None or not plan.addends or plan.avail_sum <= 0.0:
+            return None
+        tick_s = self.tick_s
+        # clock.ticks has not executed yet: the pump's next check runs
+        # at this very tick index, with one fresh round of accrual.
+        # The j-th future check therefore lands on tick base + j - 1.
+        base_tick = self._ticks()
+        pool_level = self.pool.level
+        required = plan.required
+        if pool_level + plan.avail_sum + 1e-12 >= required:
+            return base_tick * tick_s  # affordable at the pending tick
+        # How many accrual rounds until the pump's check passes,
+        # estimated in real arithmetic first.
+        estimate = (required - 1e-12 - pool_level) / plan.avail_sum
+        window = self.SPAN_SCAN_WINDOW
+        if estimate > window:
+            safe = int(estimate) - 5
+            if plan.root_drain_rate > 0.0:
+                # Never skip past the point the root could no longer
+                # fund the frozen feed taps (tick-by-tick would clamp).
+                budget = (self.graph.root.level
+                          - 4.0 * plan.root_drain_rate * tick_s)
+                if budget <= 0.0:
+                    return base_tick * tick_s
+                safe = min(safe, int(budget
+                                     / (plan.root_drain_rate * tick_s)))
+            return (base_tick + max(safe, 1)) * tick_s
+        # Exact scalar replay of the pump's own float arithmetic: at
+        # each tick the pump sees pool + avail_sum; failing that, the
+        # contributions land one reserve at a time and the pump
+        # re-checks the pool alone (the two sums can differ in the
+        # last ulp, so both gates are modeled).
+        pool_sim = pool_level
+        for round_no in range(1, 2 * window + 1):
+            available = pool_sim + plan.avail_sum
+            if available + 1e-12 >= required:
+                return (base_tick + round_no - 1) * tick_s
+            for addend in plan.addends:
+                pool_sim = pool_sim + addend
+            if pool_sim + 1e-12 >= required:
+                return (base_tick + round_no - 1) * tick_s
+        return (base_tick + 2 * window - 1) * tick_s  # checkpoint
+
+    def span_frozen_taps(self, now: float) -> List[Tap]:
+        """Feed taps the daemon integrates itself over the next span."""
+        plan = self._span_plan(now)
+        if plan is None:
+            return []
+        return [entry[1] for entry in plan.entries]
+
+    def advance_span(self, now: float, span: float) -> None:
+        """Replay ``span`` seconds of pooled accrual in closed form.
+
+        The pool level is advanced through the *exact* per-tick float
+        sequence (``numpy.cumsum`` is sequential, so the chunked scan
+        reproduces repeated ``+=`` bit-for-bit); cumulative counters
+        move in bulk, which only costs last-ulp rounding relative to
+        tick-by-tick accumulation.
+        """
+        plan = self._span_plan(now)
+        if plan is None or self.tick_s is None:
+            return
+        ticks = int(round(span / self.tick_s))
+        if ticks <= 0:
+            return
+        pool = self.pool
+        root = self.graph.root
+        if plan.addends:
+            addends = np.asarray(plan.addends, dtype=float)
+            per_tick = addends.size
+            chunk_ticks = max(1, (1 << 18) // per_tick)
+            pool_level = pool._level
+            remaining = ticks
+            while remaining > 0:
+                batch = min(remaining, chunk_ticks)
+                seq = np.empty(batch * per_tick + 1)
+                seq[0] = pool_level
+                seq[1:] = np.tile(addends, batch)
+                pool_level = float(np.cumsum(seq)[-1])
+                remaining -= batch
+            pool._level = pool_level
+        contributed_total = 0.0
+        for reserve, tap, inflow, lost, contrib, first_op in plan.entries:
+            if inflow > 0.0:
+                flow_total = inflow * ticks
+                tap.total_flowed += flow_total
+                reserve.total_transferred_in += flow_total
+                root._level -= flow_total
+                root.total_transferred_out += flow_total
+            if lost > 0.0:
+                decay_total = lost * ticks
+                reserve.total_decayed += decay_total
+                root._level += decay_total
+                root.total_deposited += decay_total
+                self.graph.decay_policy.total_reclaimed += decay_total
+            if contrib > 0.0:
+                contrib_total = contrib * ticks
+                reserve.total_transferred_out += contrib_total
+                pool.total_transferred_in += contrib_total
+                first_op.contributed_joules += contrib_total
+                contributed_total += contrib_total
+        if contributed_total > 0.0:
+            self.stats.total_pool_contributions += contributed_total
+        self._span_cache = None
+
+    def _span_plan(self, now: float) -> Optional[_SpanPlan]:
+        """The cached closed-form analysis for this tick (or None)."""
+        cache = self._span_cache
+        if cache is not None and cache[0] == now:
+            return cache[1]
+        plan = self._compute_span_plan(now)
+        self._span_cache = (now, plan)
+        return plan
+
+    def _compute_span_plan(self, now: float) -> Optional[_SpanPlan]:
+        """Analyze the queue for the closed-form pooled-wait regime.
+
+        Returns None — per-tick execution — unless *all* of: the
+        engine wired a tick grid; every queued op is WAITING_ENERGY in
+        cooperative (non-unrestricted) mode; the radio is idle with a
+        real activation cost (the pooled path); the pool is a plain
+        uncapped decay-exempt reserve no taps touch; and every
+        waiter's active reserve is the canonical ``powered_reserve``
+        shape — drained to exactly zero, uncapped, fed by exactly one
+        constant tap from the root, with no other taps touching it.
+        """
+        if self.tick_s is None or self._ticks is None:
+            return None
+        if self.unrestricted or not self.cooperative:
+            return None
+        waiting = [op for op in self._queue
+                   if op.state is OpState.WAITING_ENERGY]
+        if not waiting or len(waiting) != len(self._queue):
+            return None
+        radio = self.radio
+        if not radio.would_be_idle(now) or radio.params.activation_cost <= 0.0:
+            return None
+        pool = self.pool
+        root = self.graph.root
+        if (not pool.alive or pool.capacity is not None
+                or not pool.decay_exempt or pool.level < 0.0):
+            return None
+        if root.capacity is not None:
+            return None
+        # One pass over the live taps: per-reserve wiring for the
+        # waiters, pool isolation, and the root's total constant drain.
+        inbound: Dict[int, List[Tap]] = {}
+        outbound: Dict[int, List[Tap]] = {}
+        root_drain_rate = 0.0
+        pool_id = id(pool)
+        for tap in self.graph.taps:
+            if not tap.enabled:
+                continue
+            if id(tap.source) == pool_id or id(tap.sink) == pool_id:
+                return None  # something else feeds or drains the pool
+            inbound.setdefault(id(tap.sink), []).append(tap)
+            outbound.setdefault(id(tap.source), []).append(tap)
+            if tap.source is root and tap.tap_type is TapType.CONST:
+                root_drain_rate += tap.rate
+        tick_s = self.tick_s
+        policy = self.graph.decay_policy
+        fraction = policy.fraction_for(tick_s)
+        entries: List[Tuple[Reserve, Tap, float, float, float, PendingOp]] = []
+        seen: Dict[int, float] = {}   # reserve id -> per-tick level
+        addends: List[float] = []
+        avail_sum = 0.0
+        for op in waiting:
+            thread = op.thread
+            reserve = getattr(thread, "_active_reserve", None)
+            if reserve is None:
+                return None
+            key = id(reserve)
+            if key in seen:
+                # A shared reserve: the pump counts its level once per
+                # op in the availability sum, but only the first op
+                # drains it.
+                avail_sum = avail_sum + max(0.0, seen[key])
+                continue
+            if (not reserve.alive or reserve is root or reserve is pool
+                    or reserve.capacity is not None
+                    or reserve._level != 0.0):
+                return None
+            if outbound.get(key):
+                return None
+            feeds = inbound.get(key, [])
+            if len(feeds) != 1:
+                return None
+            tap = feeds[0]
+            if (tap.tap_type is not TapType.CONST or tap.source is not root
+                    or not tap.alive):
+                return None
+            # One tick of the reference arithmetic, from level zero:
+            # deposit the tap's amount, then decay the deposit.
+            inflow = tap.rate * tick_s
+            level = 0.0 + inflow
+            lost = 0.0
+            if (fraction > 0.0 and not reserve.decay_exempt
+                    and level > 0.0):
+                lost = level * fraction
+                level = level - lost
+            seen[key] = level
+            entries.append((reserve, tap, inflow, lost, level, op))
+            if level > 0.0:
+                addends.append(level)
+            avail_sum = avail_sum + max(0.0, level)
+        # The root must be able to fund the frozen taps through any
+        # near-horizon span (long spans are bounded in next_event).
+        if root.level < root_drain_rate * tick_s * (4 * self.SPAN_SCAN_WINDOW):
+            return None
+        required = self.required_energy(waiting, now)
+        return _SpanPlan(waiting=waiting, required=required,
+                         fraction=fraction, entries=entries,
+                         addends=addends, avail_sum=avail_sum,
+                         root_drain_rate=root_drain_rate)
 
     # -- engine integration --------------------------------------------------------------------
 

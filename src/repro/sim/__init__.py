@@ -1,17 +1,21 @@
-"""Discrete-time simulation: clock, processes, engine, traces."""
+"""Discrete-time simulation: clock, processes, engine, worlds, traces."""
 
 from .clock import Clock
-from .engine import CinderSystem
+from .engine import CinderSystem, DeviceRuntime
+from .events import EventSource, Horizon
 from .process import (CpuBurn, Exit, Fork, NetReply, NetRequest, Process,
                       ProcessContext, Request, Sleep, SleepUntil, WaitFor)
 from .trace import TimeSeries, TraceRecorder
-from .workload import (batch_downloader, forking_spinner, keepalive_sender,
-                       periodic_poller, spinner, timed_spinner)
+from .workload import (batch_downloader, fleet_of_pollers, forking_spinner,
+                       keepalive_sender, periodic_poller, spinner,
+                       timed_spinner)
+from .world import World
 
 __all__ = [
-    "Clock", "CinderSystem", "CpuBurn", "Exit", "Fork", "NetReply",
-    "NetRequest", "Process", "ProcessContext", "Request", "Sleep",
-    "SleepUntil", "WaitFor", "TimeSeries", "TraceRecorder",
-    "batch_downloader", "forking_spinner", "keepalive_sender",
-    "periodic_poller", "spinner", "timed_spinner",
+    "Clock", "CinderSystem", "DeviceRuntime", "EventSource", "Horizon",
+    "World", "CpuBurn", "Exit", "Fork", "NetReply", "NetRequest", "Process",
+    "ProcessContext", "Request", "Sleep", "SleepUntil", "WaitFor",
+    "TimeSeries", "TraceRecorder", "batch_downloader", "fleet_of_pollers",
+    "forking_spinner", "keepalive_sender", "periodic_poller", "spinner",
+    "timed_spinner",
 ]

@@ -5,19 +5,35 @@ Each tick (default 10 ms) the engine performs, in order:
 1. **batch tap flow and decay** — ``graph.step`` (paper §3.3:
    "transfers are executed in batch periodically");
 2. **device state machines** — the radio's timeout, netd's admission
-   pump (unblocking pooled waiters, §5.5.2);
+   pump (unblocking pooled waiters, §5.5.2), attached device steppers;
 3. **timers and process resumption** — sleeps expire, completed
    network operations resume their generators;
 4. **the energy-aware scheduler** — one quantum, billed to the running
    thread's active reserve (§3.2);
 5. **physical power integration** — the true system draw (baseline +
-   CPU + backlight + radio) feeds the simulated Agilent meter and
-   drains the physical battery.
+   CPU + backlight + radio + devices) feeds the simulated Agilent
+   meter and drains the physical battery.
 
 The *logical* energy graph and the *physical* meter are deliberately
 separate books: the graph holds Cinder's budget abstraction; the meter
 reports what an instrumented power supply would see.  Experiments
 compare the two, exactly as the paper's figures do.
+
+Architecturally the runtime is split in two:
+
+* :class:`DeviceRuntime` — the component-built engine.  It owns the
+  clock, kernel, scheduler, radio, netd, meter, battery and trace it
+  is handed, and drives them through the tick loop and the
+  event-source fast-forward (every skippable component registers an
+  :class:`~repro.sim.events.EventSource` on the runtime's
+  :class:`~repro.sim.events.Horizon`; the engine itself only computes
+  min-over-sources).
+* :class:`CinderSystem` — the thin facade almost all callers use: the
+  paper-default assembly of those components (HTC Dream power model,
+  §5.5 netd, Agilent meter), same constructor signature as ever.
+
+:class:`~repro.sim.world.World` reuses the same two primitives to run
+many ``DeviceRuntime`` instances on one shared tick grid.
 """
 
 from __future__ import annotations
@@ -43,53 +59,55 @@ from ..net.netd import NetworkDaemon, PendingOp
 from ..net.radio import RadioDevice
 from ..net.remote import RemoteHosts
 from .clock import Clock
+from .events import (DevicePort, EventSource, Horizon, ProcessTableSource,
+                     RadioSource, SchedulerSource, SleeperHeapSource,
+                     TimerHeapSource, TraceCadenceSource)
 from .process import (CpuBurn, Fork, NetRequest, Process, ProcessContext,
                       Request, Sleep, SleepUntil, WaitFor)
 from .trace import TraceRecorder
 
 
-class CinderSystem:
-    """A complete simulated Cinder device."""
+class DeviceRuntime:
+    """One simulated device, assembled from pluggable components.
+
+    The runtime does not construct its components — it is handed them
+    (see :class:`CinderSystem` for the paper-default wiring) and owns
+    only the glue: the tick loop, the process table, the timer and
+    sleeper indexes, and the event-source horizon that makes idle
+    spans skippable.
+    """
 
     def __init__(
         self,
-        battery_joules: float = 15_000.0,
-        tick_s: float = 0.01,
-        model: Optional[DreamPowerModel] = None,
-        seed: int = 0,
-        decay_half_life_s: float = 600.0,
-        decay_enabled: bool = True,
-        meter_noise: float = 0.0,
+        *,
+        model: DreamPowerModel,
+        clock: Clock,
+        kernel: Kernel,
+        scheduler: EnergyAwareScheduler,
+        ledger: ConsumptionLedger,
+        radio: RadioDevice,
+        netd: NetworkDaemon,
+        meter: PowerMeter,
+        battery: Battery,
+        trace: Optional[TraceRecorder] = None,
+        rng: Optional[np.random.Generator] = None,
         record_interval_s: float = 0.2,
         backlight_on: bool = False,
-        cooperative_netd: bool = True,
-        unrestricted_netd: bool = False,
-        hosts: Optional[RemoteHosts] = None,
         fast_forward: bool = True,
     ) -> None:
-        self.model = model if model is not None else DreamPowerModel()
-        self.clock = Clock(tick_s)
-        self.kernel = Kernel(battery_joules)
+        self.model = model
+        self.clock = clock
+        self.kernel = kernel
         self.graph: ResourceGraph = self.kernel.energy_graph
-        self.graph.decay_policy = DecayPolicy(decay_half_life_s,
-                                              decay_enabled)
-        self.ledger = ConsumptionLedger(clock=lambda: self.clock.now)
-        self.scheduler = EnergyAwareScheduler(self.model.cpu_active_watts,
-                                              self.ledger)
-        self.rng = np.random.default_rng(seed)
-        self.radio = RadioDevice(self.model.radio,
-                                 rng=np.random.default_rng(seed + 1))
-        self.netd = NetworkDaemon(
-            self.graph, self.radio, clock=lambda: self.clock.now,
-            hosts=hosts, cooperative=cooperative_netd,
-            unrestricted=unrestricted_netd, ledger=self.ledger)
+        self.ledger = ledger
+        self.scheduler = scheduler
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.radio = radio
+        self.netd = netd
         self.netd_gate = self.netd.make_gate(self.kernel)
-        self.meter = PowerMeter(supply_voltage=self.model.supply_voltage,
-                                noise_fraction=meter_noise,
-                                rng=np.random.default_rng(seed + 2))
-        self.battery = Battery(capacity_joules=max(battery_joules, 1.0),
-                               charge_joules=battery_joules)
-        self.trace = TraceRecorder()
+        self.meter = meter
+        self.battery = battery
+        self.trace = trace if trace is not None else TraceRecorder()
         self.record_interval_s = record_interval_s
         self.backlight_on = backlight_on
         self.processes: List[Process] = []
@@ -100,6 +118,7 @@ class CinderSystem:
         #: Extra devices: per-tick steppers and power contributions.
         self._device_steppers: List[Callable[[float], None]] = []
         self._power_sources: List[Callable[[float], float]] = []
+        self._device_ports: List[DevicePort] = []
         # -- event-driven process indexes (replace per-tick O(processes)
         #    scans; see _pump_processes) --
         #: thread -> its process, for O(1) quantum accounting.
@@ -111,26 +130,55 @@ class CinderSystem:
         self._waiting: List[Process] = []
         #: Spawned but not yet started (first advanced next pump).
         self._new_processes: List[Process] = []
-        #: Skip event-free idle spans in one macro-step (run() only).
+        #: Skip event-free idle spans in one macro-step.
         self.fast_forward = fast_forward
         #: Telemetry: ticks skipped by fast-forward macro-steps.
         self.fast_forwarded_ticks = 0
+        # -- the event-source horizon: everything that can end (or
+        #    forbid) an idle span registers here; the engine itself is
+        #    a generic min-over-sources loop --
+        self.horizon = Horizon()
+        self.horizon.add(TimerHeapSource(self._timers))
+        self.horizon.add(SleeperHeapSource(self))
+        self.horizon.add(TraceCadenceSource(self))
+        self.horizon.add(SchedulerSource(self.scheduler))
+        self.horizon.add(ProcessTableSource(self))
+        self.horizon.add(RadioSource(self.radio))
+        # netd implements the EventSource protocol itself (closed-form
+        # pooled-wait accrual); wire it onto the engine's tick grid.
+        self.netd.tick_s = self.clock.tick_s
+        self.netd._ticks = lambda: self.clock.ticks
+        self.horizon.add(self.netd)
 
     def add_device(self,
                    stepper: Optional[Callable[[float], None]] = None,
-                   power: Optional[Callable[[float], float]] = None
-                   ) -> None:
+                   power: Optional[Callable[[float], float]] = None,
+                   source: Optional[EventSource] = None) -> DevicePort:
         """Attach an extra device to the tick loop.
 
         ``stepper(now)`` runs with the other device state machines;
         ``power(now)`` returns the device's draw above baseline and is
         added to the metered system power.  The GPS subsystem uses
         this; any future peripheral model can too.
+
+        Fast-forward semantics follow :class:`~repro.sim.events.DevicePort`:
+        a ``source`` makes the device a first-class event source (its
+        ``advance_span`` must replay whatever its stepper would have
+        done); a stepper without a source vetoes macro-steps; a
+        power-only device is treated as constant-draw between events
+        and no longer blocks fast-forward.  A power callable whose
+        draw varies on its own schedule must therefore declare those
+        change instants via ``source`` (or register a stepper) —
+        otherwise fast-forwarded spans integrate the span-start value.
         """
+        port = DevicePort(stepper=stepper, power=power, source=source)
         if stepper is not None:
             self._device_steppers.append(stepper)
         if power is not None:
             self._power_sources.append(power)
+        self._device_ports.append(port)
+        self.horizon.add(port)
+        return port
 
     # -- wiring helpers ---------------------------------------------------------------
 
@@ -229,9 +277,8 @@ class CinderSystem:
     def run(self, duration_s: float) -> None:
         """Step until ``duration_s`` of simulated time has elapsed.
 
-        When :attr:`fast_forward` is on and the system is provably
-        idle (no runnable thread, no net operation in flight, no
-        per-tick device), whole event-free spans are advanced in one
+        When :attr:`fast_forward` is on and every event source is
+        quiescent, whole event-free spans are advanced in one
         macro-step — closed-form flow/decay, one meter feed — instead
         of millions of no-op ticks.  Every event still lands on the
         exact tick it would land on tick-by-tick.
@@ -240,60 +287,50 @@ class CinderSystem:
             raise SimulationError("duration must be non-negative")
         deadline = self.clock.now + duration_s
         while self.clock.now < deadline - 1e-12:
-            if self.fast_forward and self._try_fast_forward(deadline):
+            ticks = self._ff_horizon_ticks(deadline)
+            if ticks and self._ff_advance(ticks):
                 continue
             self.step()
 
+    def run_until(self, predicate: Callable[[], bool],
+                  max_s: float = 36_000.0) -> float:
+        """Step until ``predicate()`` or ``max_s``; returns elapsed time.
+
+        Shares :meth:`run`'s macro-step loop: the predicate is checked
+        after every normal step and at every event horizon (trace
+        records bound spans to one record interval, so a predicate is
+        never starved longer than that).
+        """
+        start = self.clock.now
+        deadline = start + max_s
+        while not predicate():
+            if self.clock.now - start >= max_s:
+                raise SimulationError(
+                    f"run_until exceeded {max_s} simulated seconds")
+            ticks = self._ff_horizon_ticks(deadline)
+            if ticks and self._ff_advance(ticks):
+                continue
+            self.step()
+        return self.clock.now - start
+
     # -- idle fast-forward ------------------------------------------------------------
 
-    def _next_event_horizon(self, deadline: float) -> float:
-        """Earliest instant at which anything can happen (§ next-event).
+    def _ff_horizon_ticks(self, deadline: float) -> int:
+        """Skippable ticks before the next event (0 = must tick).
 
-        Considers: the timer heap head, the soonest sleeper's wake
-        deadline, the radio's next power-state change, and the next
-        trace-record instant.  Only valid when the system is otherwise
-        idle (callers check that first).
+        Generic over the registered event sources: the span is
+        possible iff every source is quiescent, and extends to the
+        min-over-sources next event (capped at ``deadline``).  At
+        least two ticks are required to amortize a macro-step.
         """
-        horizon = deadline
-        if self._timers:
-            horizon = min(horizon, self._timers[0][0])
-        while self._sleepers:
-            wake_at, _, process, request = self._sleepers[0]
-            if process.finished or process.current is not request:
-                heapq.heappop(self._sleepers)  # stale entry
-                continue
-            horizon = min(horizon, wake_at)
-            break
-        radio_change = self.radio.next_state_change(self.clock.now)
-        if radio_change is not None:
-            horizon = min(horizon, radio_change)
-        horizon = min(horizon, self._last_record + self.record_interval_s)
-        return horizon
-
-    def _try_fast_forward(self, deadline: float) -> int:
-        """Advance one event-free idle span; returns ticks skipped (0 =
-        not possible, caller must take a normal step).
-
-        Idleness requires: no thread wants the CPU (THROTTLED counts —
-        a refilling reserve is a mid-span event), no process starting,
-        resuming or polling a predicate, nothing inside netd or the
-        radio data path, and no attached per-tick device.  The skipped
-        span is replayed in bulk: closed-form flows/decay on the
-        graph, one constant-power meter feed (identical 200 ms samples),
-        and the idle time booked to the scheduler.
-        """
-        if self._device_steppers or self._power_sources:
-            return 0
-        if self._net_ops or self.netd.pending_count \
-                or self.radio.transfers_in_flight:
-            return 0
-        if self._waiting or self._new_processes:
-            return 0
-        if self.scheduler.any_wants_cpu():
+        if not self.fast_forward:
             return 0
         clock = self.clock
-        horizon = self._next_event_horizon(deadline)
-        if not math.isfinite(horizon) or horizon <= clock.now:
+        now = clock.now
+        if not self.horizon.quiescent(now):
+            return 0
+        horizon = self.horizon.next_event(now, deadline)
+        if not math.isfinite(horizon) or horizon <= now:
             return 0  # e.g. the very first record is still due
         # The event fires inside the step at the first tick instant
         # >= horizon (step() compares with a 1e-12 slack); fast-forward
@@ -302,11 +339,30 @@ class CinderSystem:
         ticks = target_tick - clock.ticks
         if ticks < 2:
             return 0  # nothing to amortize
-        span = ticks * clock.tick_s
-        if self.graph.advance_span(span) is None:
-            return 0  # e.g. a constant tap would clamp mid-span: tick
+        return ticks
+
+    def _ff_advance(self, ticks: int) -> bool:
+        """Advance exactly ``ticks`` ticks in one macro-step.
+
+        Returns False — nothing mutated — when the graph's closed form
+        refuses the span (e.g. a constant tap would clamp mid-span):
+        the caller must take normal steps instead.  On success the
+        skipped span is replayed in bulk: closed-form flows/decay on
+        the graph, each event source's own closed form (netd pooled
+        accrual), one constant-power meter feed (identical 200 ms
+        samples), and the idle time booked to the scheduler.
+        """
+        clock = self.clock
         now = clock.now
+        span = ticks * clock.tick_s
+        # Sources that integrate their own taps (netd pooled accrual)
+        # hold them out of the graph's span so nothing double-counts.
+        frozen = self.horizon.frozen_taps(now)
+        if self.graph.advance_span(span, frozen_taps=frozen) is None:
+            return False  # e.g. a constant tap would clamp mid-span
+        self.horizon.advance_span(now, span)
         radio_watts = self.radio.power_above_baseline(now)
+        radio_watts += sum(source(now) for source in self._power_sources)
         power = self.model.system_power(cpu_busy=False,
                                         backlight_on=self.backlight_on,
                                         radio_watts=radio_watts)
@@ -315,18 +371,7 @@ class CinderSystem:
         self.scheduler.advance_idle(span)
         clock.advance_many(ticks)
         self.fast_forwarded_ticks += ticks
-        return ticks
-
-    def run_until(self, predicate: Callable[[], bool],
-                  max_s: float = 36_000.0) -> float:
-        """Step until ``predicate()`` or ``max_s``; returns elapsed time."""
-        start = self.clock.now
-        while not predicate():
-            if self.clock.now - start >= max_s:
-                raise SimulationError(
-                    f"run_until exceeded {max_s} simulated seconds")
-            self.step()
-        return self.clock.now - start
+        return True
 
     # -- process internals ----------------------------------------------------------------------
 
@@ -445,3 +490,54 @@ class CinderSystem:
             if process.name == name:
                 return process
         raise SimulationError(f"no process named {name!r}")
+
+
+class CinderSystem(DeviceRuntime):
+    """A complete simulated Cinder device (the paper-default assembly).
+
+    Thin facade: the constructor builds the HTC Dream component set —
+    kernel + energy graph with the §5.2.2 decay, energy-aware
+    scheduler, §4.3 radio, §5.5 netd, Agilent meter, physical battery
+    — and hands it to :class:`DeviceRuntime`, which does all the work.
+    """
+
+    def __init__(
+        self,
+        battery_joules: float = 15_000.0,
+        tick_s: float = 0.01,
+        model: Optional[DreamPowerModel] = None,
+        seed: int = 0,
+        decay_half_life_s: float = 600.0,
+        decay_enabled: bool = True,
+        meter_noise: float = 0.0,
+        record_interval_s: float = 0.2,
+        backlight_on: bool = False,
+        cooperative_netd: bool = True,
+        unrestricted_netd: bool = False,
+        hosts: Optional[RemoteHosts] = None,
+        fast_forward: bool = True,
+    ) -> None:
+        model = model if model is not None else DreamPowerModel()
+        clock = Clock(tick_s)
+        kernel = Kernel(battery_joules)
+        kernel.energy_graph.decay_policy = DecayPolicy(decay_half_life_s,
+                                                       decay_enabled)
+        ledger = ConsumptionLedger(clock=lambda: clock.now)
+        scheduler = EnergyAwareScheduler(model.cpu_active_watts, ledger)
+        radio = RadioDevice(model.radio,
+                            rng=np.random.default_rng(seed + 1))
+        netd = NetworkDaemon(
+            kernel.energy_graph, radio, clock=lambda: clock.now,
+            hosts=hosts, cooperative=cooperative_netd,
+            unrestricted=unrestricted_netd, ledger=ledger)
+        meter = PowerMeter(supply_voltage=model.supply_voltage,
+                           noise_fraction=meter_noise,
+                           rng=np.random.default_rng(seed + 2))
+        battery = Battery(capacity_joules=max(battery_joules, 1.0),
+                          charge_joules=battery_joules)
+        super().__init__(
+            model=model, clock=clock, kernel=kernel, scheduler=scheduler,
+            ledger=ledger, radio=radio, netd=netd, meter=meter,
+            battery=battery, rng=np.random.default_rng(seed),
+            record_interval_s=record_interval_s, backlight_on=backlight_on,
+            fast_forward=fast_forward)

@@ -9,11 +9,16 @@ batch downloaders (Figures 10/11 use the richer viewer in
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Generator, Optional
+from typing import (TYPE_CHECKING, Any, Callable, Generator, List, Optional,
+                    Tuple)
 
 from ..units import KiB
-from .process import (CpuBurn, Fork, NetRequest, ProcessContext, Sleep,
-                      SleepUntil)
+from .process import (CpuBurn, Fork, NetRequest, Process, ProcessContext,
+                      Sleep, SleepUntil)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import CinderSystem
+    from .world import World
 
 
 def spinner() -> Callable[[ProcessContext], Generator]:
@@ -92,6 +97,47 @@ def keepalive_sender(
                              destination=destination)
             yield SleepUntil((i + 1) * interval_s)
     return program
+
+
+def fleet_of_pollers(
+    world: "World",
+    count: int,
+    watts: float = 0.015,
+    period_s: float = 300.0,
+    stagger_s: Optional[float] = None,
+    bytes_out: int = 64,
+    bytes_in: int = 0,
+    destination: str = "echo",
+    max_polls: Optional[int] = None,
+    name_prefix: str = "dev",
+    **device_kwargs,
+) -> List[Tuple["CinderSystem", Process]]:
+    """Populate a :class:`~repro.sim.world.World` with polling handsets.
+
+    Adds ``count`` devices, each carrying one ``watts``-powered
+    reserve and one :func:`periodic_poller` billed to it.  Start
+    offsets are staggered (``stagger_s`` apart; default spreads one
+    period evenly across the fleet) so the fleet's radio activity
+    interleaves instead of synchronizing — the worst case for a
+    global min-horizon scheduler and therefore the honest one to
+    benchmark.  Returns ``(device, process)`` pairs.
+    """
+    if count <= 0:
+        raise ValueError("fleet size must be positive")
+    if stagger_s is None:
+        stagger_s = period_s / count
+    fleet: List[Tuple["CinderSystem", Process]] = []
+    for i in range(count):
+        device = world.add_device(name=f"{name_prefix}{i}", **device_kwargs)
+        reserve = device.powered_reserve(watts, name=f"{name_prefix}{i}.net")
+        program = periodic_poller(destination, period_s=period_s,
+                                  start_offset_s=i * stagger_s,
+                                  bytes_out=bytes_out, bytes_in=bytes_in,
+                                  max_polls=max_polls)
+        process = device.spawn(program, f"{name_prefix}{i}.poller",
+                               reserve=reserve)
+        fleet.append((device, process))
+    return fleet
 
 
 def batch_downloader(

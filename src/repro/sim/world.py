@@ -1,0 +1,185 @@
+"""Worlds: many Cinder devices on one shared clock.
+
+The production question the ROADMAP asks — millions of users, fleets
+of simulated handsets — needs more than one :class:`DeviceRuntime`
+per experiment.  A :class:`World` runs N devices in lockstep on a
+shared tick grid:
+
+* every device is constructed on the world's ``tick_s`` and (by
+  default) the world's shared :class:`~repro.net.remote.RemoteHosts`,
+  so all devices talk to the same synthetic server universe;
+* per iteration the world asks every device for its fast-forward
+  horizon and advances all of them by the **global minimum** — the
+  same min-over-sources discipline each device already applies to its
+  own event sources, lifted one level up.  A device whose closed form
+  refuses a span ticks through it instead, so the fleet never skips
+  an event and never desynchronizes;
+* devices stay tick-aligned by construction: every iteration moves
+  every device by the same whole number of ticks.
+
+A one-device world is *sample-for-sample identical* to running the
+bare :class:`~repro.sim.engine.CinderSystem` — the world loop is the
+same decomposition ``run`` uses internally (the differential tests
+pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..net.remote import RemoteHosts
+from .engine import CinderSystem, DeviceRuntime
+
+
+class World:
+    """A fleet of devices advancing on one shared tick grid."""
+
+    def __init__(self, tick_s: float = 0.01,
+                 hosts: Optional[RemoteHosts] = None,
+                 fast_forward: bool = True,
+                 seed: int = 0) -> None:
+        if tick_s <= 0:
+            raise SimulationError("tick must be positive")
+        self.tick_s = tick_s
+        #: The shared remote-server universe every device talks to.
+        self.hosts = hosts if hosts is not None else RemoteHosts.default()
+        self.fast_forward = fast_forward
+        self.seed = seed
+        self.devices: List[DeviceRuntime] = []
+        self._by_name: Dict[str, DeviceRuntime] = {}
+        #: Telemetry: world iterations that macro-stepped vs ticked.
+        self.macro_steps = 0
+        self.tick_steps = 0
+
+    # -- fleet assembly ---------------------------------------------------------
+
+    def add_device(self, name: Optional[str] = None,
+                   **kwargs) -> CinderSystem:
+        """Construct and enroll a :class:`CinderSystem`.
+
+        Keyword arguments are forwarded to the ``CinderSystem``
+        constructor; ``tick_s``, ``hosts`` and ``fast_forward``
+        default to the world's, and ``seed`` defaults to a
+        deterministic per-device derivation of the world seed.
+        """
+        kwargs.setdefault("tick_s", self.tick_s)
+        kwargs.setdefault("hosts", self.hosts)
+        kwargs.setdefault("fast_forward", self.fast_forward)
+        kwargs.setdefault("seed", self.seed + 101 * len(self.devices))
+        if kwargs["tick_s"] != self.tick_s:
+            raise SimulationError(
+                f"device tick {kwargs['tick_s']} != world tick {self.tick_s}")
+        system = CinderSystem(**kwargs)
+        return self.adopt(system, name=name)
+
+    def adopt(self, runtime: DeviceRuntime,
+              name: Optional[str] = None) -> DeviceRuntime:
+        """Enroll an externally-assembled runtime (pluggable components).
+
+        The runtime must share the world's tick size and must not have
+        ticked past the fleet — devices advance in lockstep from the
+        moment they join.
+        """
+        if runtime.clock.tick_s != self.tick_s:
+            raise SimulationError(
+                f"device tick {runtime.clock.tick_s} != world tick "
+                f"{self.tick_s}")
+        if runtime.clock.ticks != self.ticks:
+            raise SimulationError(
+                "a device must join the world at the fleet's current tick "
+                f"({runtime.clock.ticks} != {self.ticks})")
+        name = name if name is not None else f"device{len(self.devices)}"
+        if name in self._by_name:
+            raise SimulationError(f"duplicate device name {name!r}")
+        self.devices.append(runtime)
+        self._by_name[name] = runtime
+        return runtime
+
+    def device(self, name: str) -> DeviceRuntime:
+        """Look up an enrolled device by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SimulationError(f"no device named {name!r}")
+
+    # -- shared time -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The shared simulation time (0.0 for an empty world)."""
+        return self.devices[0].clock.now if self.devices else 0.0
+
+    @property
+    def ticks(self) -> int:
+        """Ticks taken so far on the shared grid."""
+        return self.devices[0].clock.ticks if self.devices else 0
+
+    @property
+    def fast_forwarded_ticks(self) -> int:
+        """Total ticks skipped across the fleet."""
+        return sum(d.fast_forwarded_ticks for d in self.devices)
+
+    # -- the world loop -----------------------------------------------------------
+
+    def _advance_once(self, deadline: float) -> None:
+        """One world iteration: global min-horizon or one tick each."""
+        devices = self.devices
+        ticks = min(d._ff_horizon_ticks(deadline) for d in devices)
+        if ticks >= 2:
+            for device in devices:
+                if not device._ff_advance(ticks):
+                    # The device's closed form refused this span (e.g.
+                    # a clamping tap): tick it through the same ticks
+                    # so the fleet stays aligned.
+                    for _ in range(ticks):
+                        device.step()
+            self.macro_steps += 1
+        else:
+            for device in devices:
+                device.step()
+            self.tick_steps += 1
+
+    def run(self, duration_s: float) -> None:
+        """Advance the whole fleet by ``duration_s`` of simulated time."""
+        if duration_s < 0:
+            raise SimulationError("duration must be non-negative")
+        if not self.devices:
+            raise SimulationError("world has no devices")
+        deadline = self.now + duration_s
+        while self.now < deadline - 1e-12:
+            self._advance_once(deadline)
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_s: float = 36_000.0) -> float:
+        """Run until ``predicate()`` or ``max_s``; returns elapsed time.
+
+        The predicate is checked after every world iteration — every
+        normal tick and every global event horizon.
+        """
+        if not self.devices:
+            raise SimulationError("world has no devices")
+        start = self.now
+        deadline = start + max_s
+        while not predicate():
+            if self.now - start >= max_s:
+                raise SimulationError(
+                    f"run_until exceeded {max_s} simulated seconds")
+            self._advance_once(deadline)
+        return self.now - start
+
+    # -- fleet reporting -----------------------------------------------------------
+
+    def total_metered_energy(self) -> float:
+        """Sum of every device meter's integrated energy (joules)."""
+        return sum(d.meter.total_energy_joules for d in self.devices)
+
+    def total_radio_activations(self) -> int:
+        """Radio power-ups across the fleet."""
+        return sum(d.radio.activation_count for d in self.devices)
+
+    def conservation_error(self) -> float:
+        """Worst absolute per-device graph conservation error."""
+        if not self.devices:
+            return 0.0
+        return max(abs(d.graph.conservation_error()) for d in self.devices)
