@@ -13,6 +13,10 @@ Tracks the hot paths this repo's performance work targets:
   spends almost the whole run blocked on ``required_energy``
   (§5.5.2): the closed-form pooled-wait accrual must macro-step
   through the waits with bit-identical event timing vs tick-by-tick.
+* **chain_macro** — a 1-simulated-hour idle-heavy device whose
+  reserves form 3-deep proportional chains (the topologies the scalar
+  span closed form refused): the coupled matrix-exponential solver
+  must macro-step them with zero span refusals.
 * **fleet** — a 50-device :class:`~repro.sim.world.World` of
   staggered pollers on the global min-horizon scheduler; wall-clock
   for 10 simulated minutes plus a speedup estimate from a
@@ -56,6 +60,8 @@ MICRO_TAPS = 200
 TICK_S = 0.01
 MACRO_SIM_HOURS = 1.0
 NETD_SIM_HOURS = 1.0
+CHAIN_SIM_HOURS = 1.0
+CHAIN_APPS = 4
 FLEET_DEVICES = 50
 FLEET_SIM_S = 600.0
 FLEET_TICK_SLICE_S = 60.0
@@ -191,6 +197,66 @@ def run_netd_macro() -> dict:
     }
 
 
+def build_chain_system(fast_forward: bool) -> CinderSystem:
+    """An idle-heavy device whose reserves form 3-deep chains.
+
+    Each app's reserve feeds a sub-reserve which feeds a sub-sub
+    reserve which drains back to the battery, all proportionally —
+    exactly the chained-subdivision shape the scalar span closed form
+    refused (forcing tick-by-tick) and the coupled matrix-exponential
+    solver now integrates.
+    """
+    def maintenance(ctx):
+        while True:
+            yield Sleep(60.0)
+            yield CpuBurn(0.02)
+
+    system = CinderSystem(battery_joules=15_000.0, tick_s=TICK_S,
+                          record_interval_s=1.0, seed=42,
+                          fast_forward=fast_forward)
+    kernel = system.kernel
+    for i in range(CHAIN_APPS):
+        app = system.powered_reserve(0.06, name=f"app{i}")
+        sub = system.new_reserve(name=f"app{i}.sub")
+        subsub = system.new_reserve(name=f"app{i}.subsub")
+        kernel.create_tap(app, sub, 0.05, TapType.PROPORTIONAL,
+                          name=f"app{i}.t1")
+        kernel.create_tap(sub, subsub, 0.04, TapType.PROPORTIONAL,
+                          name=f"app{i}.t2")
+        kernel.create_tap(subsub, system.battery_reserve, 0.03,
+                          TapType.PROPORTIONAL, name=f"app{i}.t3")
+    worker = system.powered_reserve(0.200, name="maint")
+    system.spawn(maintenance, "maint", reserve=worker)
+    return system
+
+
+def run_chain_macro() -> dict:
+    seconds = CHAIN_SIM_HOURS * 3600.0
+    timings = {}
+    systems = {}
+    for fast_forward in (True, False):
+        system = build_chain_system(fast_forward)
+        start = time.perf_counter()
+        system.run(seconds)
+        timings[fast_forward] = time.perf_counter() - start
+        systems[fast_forward] = system
+    fast, slow = systems[True], systems[False]
+    worst_level_rel = max(
+        abs(rf.level - rs.level) / max(1e-9, abs(rs.level))
+        for rf, rs in zip(fast.graph.reserves, slow.graph.reserves))
+    return {
+        "simulated_hours": CHAIN_SIM_HOURS,
+        "chain_depth": 3,
+        "fast_forward_wall_s": round(timings[True], 3),
+        "tick_wall_s": round(timings[False], 3),
+        "speedup": round(timings[False] / timings[True], 2),
+        "fast_forwarded_ticks": fast.fast_forwarded_ticks,
+        "span_refusals": fast.span_refusals,
+        "worst_level_rel_err": worst_level_rel,
+        "conservation_error_j": fast.graph.conservation_error(),
+    }
+
+
 def build_fleet(fast_forward: bool) -> World:
     """A 50-device fleet of staggered pooled pollers."""
     world = World(tick_s=TICK_S, seed=7, fast_forward=fast_forward)
@@ -234,6 +300,7 @@ def collect() -> dict:
         "micro": run_micro(),
         "macro": run_macro(),
         "netd_macro": run_netd_macro(),
+        "chain_macro": run_chain_macro(),
         "fleet": run_fleet(),
     }
 

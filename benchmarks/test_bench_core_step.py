@@ -6,10 +6,12 @@ must beat the per-object reference path >= 3x on the canonical
 100-reserve / 200-tap topology; the idle fast-forward must beat
 tick-by-tick >= 10x wall-clock on a 1-simulated-hour idle-heavy
 system; the pooled-netd closed form must macro-step a net-wait-heavy
-hour >= 5x with bit-identical event timing; and a 50-device World
-fleet must stay under its wall-clock floor — all while conserving
-energy.  Results are also written to ``BENCH_core.json`` so the perf
-trajectory is tracked across PRs.
+hour >= 5x with bit-identical event timing; the coupled span solver
+must macro-step a 3-deep-chained hour >= 5x with zero span refusals
+and trajectories inside the documented tolerance; and a 50-device
+World fleet must stay under its wall-clock floor — all while
+conserving energy.  Results are also written to ``BENCH_core.json``
+so the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -50,6 +52,17 @@ def test_bench_core_speedups_and_write_json(run_once):
         "pooled-netd fast-forward drifted from tick-by-tick event timing")
     assert netd["fast_forwarded_ticks"] > 300_000
     assert abs(netd["conservation_error_j"]) < 1e-6
+
+    chain = results["chain_macro"]
+    assert chain["speedup"] >= 5.0, (
+        f"chained-topology fast-forward only {chain['speedup']}x over "
+        f"ticking")
+    assert chain["span_refusals"] == 0, (
+        "the coupled span solver refused chained spans it must carry")
+    assert chain["fast_forwarded_ticks"] > 300_000
+    assert chain["worst_level_rel_err"] < 2e-3, (
+        "chained span trajectories drifted past the documented tolerance")
+    assert abs(chain["conservation_error_j"]) < 1e-6
 
     fleet = results["fleet"]
     assert fleet["devices"] >= 50

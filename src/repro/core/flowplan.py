@@ -20,13 +20,13 @@ Two execution modes:
   firing bit-for-bit up to float associativity.
 * :meth:`execute_span` — a closed-form macro-step over an arbitrary
   span with no intervening events (the engine's idle fast-forward).
-  Constant taps integrate linearly, proportional taps and the global
-  decay integrate as the continuous exponential ODE, and per-reserve
-  mass balance keeps conservation exact.  Returns ``None`` when the
-  topology falls outside the closed form (a constant tap would clamp
-  mid-span, a proportional tap feeds a draining reserve, a capacity
-  could bind, or some reserve is in debt) — the engine then falls back
-  to ticking.
+  The span *tier* lives in :mod:`repro.core.spansolver`: a scalar
+  per-reserve closed form for diagonal systems plus a coupled
+  matrix-exponential solver for proportional chains, with per-reserve
+  mass balance keeping conservation exact.  Returns ``None`` when no
+  closed form is sound (a constant tap would clamp mid-span, a finite
+  capacity could bind, or some reserve is in debt) — the engine then
+  falls back to ticking.
 
 Segmentation rules (compile time, creation order preserved):
 
@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from .reserve import Reserve
+from .spansolver import SpanTier
 from .tap import Tap, TapType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,19 +76,32 @@ _MIXED = 2
 
 
 class FlowPlan:
-    """An immutable compiled snapshot of one graph's flow topology."""
+    """An immutable compiled snapshot of one graph's flow topology.
 
-    def __init__(self, graph: "ResourceGraph") -> None:
+    ``exclude`` drops specific taps (by ``id``) from the snapshot —
+    the graph uses it to compile span plans with an event source's
+    self-integrated taps held out, *without* toggling ``Tap.enabled``
+    (which would bump the generation and recompile every other plan).
+    Such secondary plans are built with ``claim_slots=False`` so they
+    never steal the primary tick plan's per-tap flow accumulators.
+    """
+
+    def __init__(self, graph: "ResourceGraph",
+                 exclude: frozenset = frozenset(),
+                 claim_slots: bool = True) -> None:
         self.graph = graph
         #: Generation the snapshot was taken at; the graph recompiles
         #: when its counter moves past this.
         self.generation = graph.generation
+        #: Whether this plan owns the taps' flow-accumulator slots.
+        self.owns_slots = claim_slots
 
         reserves: List[Reserve] = [r for r in graph._reserves if r.alive]
         taps: List[Tap] = [
             t for t in graph._taps
             if t.alive and t.enabled and t.rate > 0.0
-            and t.source.alive and t.sink.alive]
+            and t.source.alive and t.sink.alive
+            and id(t) not in exclude]
         self.reserves = reserves
         self.taps = taps
         n = len(reserves)
@@ -115,13 +129,17 @@ class FlowPlan:
         self.any_decayable = bool(self.decay_mask.any())
 
         self._build_segments()
-        self._build_span_coefficients()
+        self.prop_taps = np.flatnonzero(~self.const_mask)
+        self.const_taps = np.flatnonzero(self.const_mask)
         #: dt -> (const amounts, proportional integration factors).
         self._amount_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        #: The span tier (closed-form macro-steps), built on first use.
+        self._span_tier: Optional[SpanTier] = None
         #: Lazily-flushed per-tap cumulative flow (see Tap.total_flowed).
         self._tap_flow_acc = np.zeros(m)
-        for j, tap in enumerate(taps):
-            tap._flow_slot = (self._tap_flow_acc, j)
+        if claim_slots:
+            for j, tap in enumerate(taps):
+                tap._flow_slot = (self._tap_flow_acc, j)
 
     def flush_stats(self) -> None:
         """Fold accumulated per-tap flow back into the tap objects.
@@ -209,24 +227,6 @@ class FlowPlan:
         self.clampable = clampable
         self.corr = corr
         self.segments = segments
-
-    def _build_span_coefficients(self) -> None:
-        """Per-reserve aggregates the closed-form macro-step needs."""
-        n = len(self.reserves)
-        self.const_in = np.zeros(n)
-        self.const_out = np.zeros(n)
-        self.prop_out = np.zeros(n)
-        self.prop_sink_mask = np.zeros(n, dtype=bool)
-        for j in range(len(self.taps)):
-            s, k, r = int(self.src[j]), int(self.snk[j]), self.rate[j]
-            if self.const_mask[j]:
-                self.const_out[s] += r
-                self.const_in[k] += r
-            else:
-                self.prop_out[s] += r
-                self.prop_sink_mask[k] = True
-        self.prop_taps = np.flatnonzero(~self.const_mask)
-        self.const_taps = np.flatnonzero(self.const_mask)
 
     def _amounts_for(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
         """(const amounts, prop ``1 - exp(-rate*dt)`` factors) for ``dt``."""
@@ -356,97 +356,24 @@ class FlowPlan:
 
     # -- closed-form macro step ------------------------------------------------------
 
+    @property
+    def span_tier(self) -> SpanTier:
+        """The closed-form span solver over this snapshot (lazy)."""
+        tier = self._span_tier
+        if tier is None:
+            tier = self._span_tier = SpanTier(self)
+        return tier
+
     def execute_span(self, span: float) -> Optional[float]:
         """Integrate flows and decay over ``span`` seconds in one shot.
 
-        Solves the continuous dynamics ``L' = const_in - const_out -
-        F * L`` per reserve (``F`` = proportional drains + decay) and
-        splits each reserve's integrated drain across its proportional
-        taps and the decay by rate share.  Differs from tick-by-tick
-        integration by O(tick) discretisation error — figure-level
-        identical — while conservation stays exact by mass balance.
-        Returns total tap flow, or None when the closed form does not
-        apply (caller must tick instead).
+        Delegates to the span tier (:mod:`repro.core.spansolver`):
+        per-reserve scalar closed forms for diagonal systems, the
+        coupled matrix-exponential solver for proportional chains.
+        Differs from tick-by-tick integration by O(tick)
+        discretisation error — figure-level identical — while
+        conservation stays exact by mass balance.  Returns total tap
+        flow, or None when no closed form is sound (caller must tick
+        instead; a None return mutates nothing).
         """
-        n = len(self.reserves)
-        policy = self.graph.decay_policy
-        lam = policy.lam if policy.enabled else 0.0
-        lvl = self._gather_levels()
-        if np.any(lvl < 0.0):
-            return None  # debt repayment is tick-granular
-        F = self.prop_out + (lam if lam > 0.0 else 0.0) * self.decay_mask
-        linear = F > 0.0
-        # Reserves whose drains read their level need constant inflow.
-        varying_in = self.prop_sink_mask.copy()
-        if lam > 0.0 and self.any_decayable:
-            varying_in[self.root_index] = True
-        if np.any(linear & varying_in):
-            return None
-        # Capacity clamping has no closed form; require open headroom.
-        if self.finite_cap.size:
-            cap_idx = self.finite_cap
-            gets_inflow = (self.const_in[cap_idx] > 0.0) | varying_in[cap_idx]
-            if np.any(gets_inflow):
-                return None
-
-        decay_f = np.exp(-F * span)  # == 1 exactly where F == 0
-        draining = self.const_out > 0.0
-        if draining.any():
-            # L' = -const_out - F*L (all inflow ignored) is monotone
-            # decreasing, so the span-end value bounds the trajectory;
-            # a negative bound means a constant tap may clamp mid-span.
-            per_f = np.divide(self.const_out, F, out=np.zeros(n),
-                              where=linear)
-            lower = np.where(linear,
-                             lvl * decay_f - per_f * (1.0 - decay_f),
-                             lvl - self.const_out * span)
-            if np.any(lower[draining] < 0.0):
-                return None
-
-        net_const = self.const_in - self.const_out
-        steady = np.divide(net_const, F, out=np.zeros(n), where=linear)
-        end = np.where(linear, steady + (lvl - steady) * decay_f,
-                       lvl + net_const * span)
-        # Mass balance: everything a linear reserve lost to its
-        # proportional drains and decay over the span.
-        drain = np.where(linear, lvl - end + net_const * span, 0.0)
-        drain = np.maximum(drain, 0.0)
-
-        moved = np.zeros(len(self.taps))
-        if self.const_taps.size:
-            moved[self.const_taps] = self.rate[self.const_taps] * span
-        if self.prop_taps.size:
-            psrc = self.src[self.prop_taps]
-            share = np.divide(self.rate[self.prop_taps], F[psrc],
-                              out=np.zeros(self.prop_taps.size),
-                              where=F[psrc] > 0)
-            moved[self.prop_taps] = drain[psrc] * share
-            end += np.bincount(self.snk[self.prop_taps],
-                               weights=moved[self.prop_taps], minlength=n)
-        lost = np.zeros(n)
-        reclaimed = 0.0
-        if lam > 0.0 and self.any_decayable:
-            lost = np.where(linear & self.decay_mask,
-                            drain * np.divide(lam, F, out=np.zeros(n),
-                                              where=linear), 0.0)
-            reclaimed = float(lost.sum())
-            end[self.root_index] += reclaimed
-
-        # -- commit --
-        in_sum = np.bincount(self.snk, weights=moved, minlength=n)
-        out_sum = np.bincount(self.src, weights=moved, minlength=n)
-        for reserve, lv, o, i_, ls in zip(self.reserves, end.tolist(),
-                                          out_sum.tolist(), in_sum.tolist(),
-                                          lost.tolist()):
-            reserve._level = lv
-            if o:
-                reserve.total_transferred_out += o
-            if i_:
-                reserve.total_transferred_in += i_
-            if ls:
-                reserve.total_decayed += ls
-        if reclaimed:
-            self.graph.root.total_deposited += reclaimed
-            policy.total_reclaimed += reclaimed
-        self._tap_flow_acc += moved
-        return float(moved.sum())
+        return self.span_tier.execute(span)

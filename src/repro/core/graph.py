@@ -70,6 +70,10 @@ class ResourceGraph:
         self._live_reserves: Optional[List[Reserve]] = None
         self._live_taps: Optional[List[Tap]] = None
         self._plan: Optional[FlowPlan] = None
+        #: held-tap id frozenset -> span plan compiled with those taps
+        #: excluded (validity re-checked against the generation), so a
+        #: frozen-tap macro-step does not recompile anything per call.
+        self._span_plans: Dict[frozenset, FlowPlan] = {}
         #: Registry entries deleted through graph APIs but not yet
         #: compacted (so sweep_dead can still count *external* deaths).
         self._deferred_removals = 0
@@ -140,6 +144,26 @@ class ResourceGraph:
             self._compact()
             plan = FlowPlan(self)
             self._plan = plan
+        return plan
+
+    def _span_plan_for(self, held: List[Tap]) -> FlowPlan:
+        """A span plan with ``held`` taps excluded, cached per epoch.
+
+        Keyed by (generation, held-tap set): as long as the topology
+        stands still, every macro-step with the same frozen taps — the
+        netd pooled-wait pattern fires one per horizon — reuses one
+        compiled plan.  (The old implementation toggled
+        ``tap.enabled``, which bumped the generation twice per
+        macro-step and forced two full recompiles per horizon.)
+        """
+        key = frozenset(id(t) for t in held)
+        plan = self._span_plans.get(key)
+        if plan is None or plan.generation != self._generation:
+            self._compact()
+            if len(self._span_plans) > 8:  # held-set churn safety valve
+                self._span_plans.clear()
+            plan = FlowPlan(self, exclude=key, claim_slots=False)
+            self._span_plans[key] = plan
         return plan
 
     # -- registration -----------------------------------------------------------
@@ -392,15 +416,19 @@ class ResourceGraph:
         """Closed-form flow/decay over an event-free span (fast-forward).
 
         Returns the total tap flow over ``span`` seconds, or None when
-        the compiled plan's closed form does not apply (a constant tap
-        would clamp mid-span, debt, capacity pressure, or proportional
-        chains) — the caller should tick instead.  Mutates nothing on
-        a None return.
+        no closed form is sound for the current *state* (a constant
+        tap would clamp mid-span, a reserve is in debt, or a finite
+        capacity could bind) — the caller should tick instead.
+        Mutates nothing on a None return.  Proportional chains are
+        *not* a refusal any more: coupled topologies go through the
+        matrix-exponential solver (:mod:`repro.core.spansolver`).
 
         ``frozen_taps`` are held out of the integration entirely: an
         event source that integrates its own taps in closed form (netd
         pooled-wait accrual) passes them here so the span is not
-        double-counted.  The caller owns replaying their flow.
+        double-counted.  The caller owns replaying their flow.  Held
+        sets hit a per-epoch plan cache, so repeated macro-steps with
+        the same frozen taps never recompile.
         """
         if span < 0:
             raise EnergyError("span must be non-negative")
@@ -409,21 +437,8 @@ class ResourceGraph:
         held = [t for t in frozen_taps if t.alive and t.enabled]
         if not held:
             moved = self._current_plan().execute_span(span)
-            if moved is None:
-                return None
-            self.time += span
-            return moved
-        # Temporarily disable the held taps so the plan compiled for
-        # this span excludes them (the enabled setter bumps the
-        # generation, so both the span plan and the follow-up tick
-        # plan are rebuilt for the right topology).
-        for tap in held:
-            tap.enabled = False
-        try:
-            moved = self._current_plan().execute_span(span)
-        finally:
-            for tap in held:
-                tap.enabled = True
+        else:
+            moved = self._span_plan_for(held).execute_span(span)
         if moved is None:
             return None
         self.time += span

@@ -1,0 +1,280 @@
+"""Shared closed-form pooled-accrual machinery (netd and gpsd).
+
+Both cooperative daemons repeat the same per-tick arithmetic while a
+batch of callers waits for a pooled expense (the §5.5.2 radio
+power-up, a GPS cold fix): each waiter's feed tap deposits
+``rate * tick`` into its reserve, the global decay takes its fraction
+of the deposit, and the daemon's pump drains the remainder into the
+pool.  When every waiter reserve has the canonical ``powered_reserve``
+shape that per-tick sequence is a fixed list of float addends, so the
+pool's whole trajectory — and the exact tick the batch becomes
+affordable — can be replayed without running the engine.
+
+This module owns the two daemon-independent halves of that story:
+
+* :func:`analyze_pooled_accrual` — validate the regime and compute the
+  per-reserve per-tick arithmetic (:class:`PooledAccrual`).  The
+  canonical shape is: reserve drained to exactly zero, uncapped, no
+  outbound taps, fed by exactly one constant tap whose source is the
+  graph root **or a const-only junction reserve** (uncapped,
+  decay-exempt, constant taps only) — the chained-feed topologies the
+  span solver now integrates.  Anything else returns None and the
+  daemon falls back to per-tick execution, which is always correct.
+* :func:`replay_pooled_accrual` — advance the pool through the exact
+  per-tick float sequence (chunked ``numpy.cumsum`` is sequential,
+  hence bit-identical to repeated ``+=``) and move every cumulative
+  counter in bulk.
+
+Each daemon keeps its own *crossing scan* — netd's pump has a
+two-gate affordability check, gpsd's clamps contributions at the
+shortfall — because that is where their pump arithmetic differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .reserve import Reserve
+from .tap import Tap, TapType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import ResourceGraph
+
+
+@dataclass
+class PooledEntry:
+    """Per-tick arithmetic for one distinct waiter reserve."""
+
+    reserve: Reserve
+    #: The reserve's single constant feed tap (frozen over spans).
+    tap: Tap
+    #: Per-tick feed deposit (``rate * tick_s``).
+    inflow: float
+    #: Per-tick decay loss on the deposit.
+    lost: float
+    #: Per-tick transfer into the pool (``inflow - lost``).
+    contribution: float
+    #: The first queued operation drawing from this reserve.
+    op: Any
+
+
+@dataclass
+class PooledAccrual:
+    """One pooled-wait regime's closed-form description."""
+
+    #: One entry per distinct waiter reserve, in queue order.
+    entries: List[PooledEntry]
+    #: Non-zero pool increments per tick, in contribution order.
+    addends: List[float]
+    #: ``sum(level per op)`` exactly as a pump computes it (an
+    #: op-indexed sum: a shared reserve is counted once per op).
+    avail_sum: float
+    #: Per-tick decay fraction (0.0 when decay is off).
+    fraction: float
+    #: (feed-source reserve, its total constant drain rate), one per
+    #: distinct source — the clamp-budget inputs.
+    drains: List[Tuple[Reserve, float]]
+
+    def frozen_taps(self) -> List[Tap]:
+        """The feed taps a daemon integrates itself over a span."""
+        return [entry.tap for entry in self.entries]
+
+    def budget_ticks(self, tick_s: float) -> float:
+        """Ticks every feed source can fund its constant drains.
+
+        Inflow into the sources is ignored, so the budget is a sound
+        lower bound: tick-by-tick execution cannot clamp a frozen feed
+        tap earlier than this.
+        """
+        budget = math.inf
+        for source, rate in self.drains:
+            if rate > 0.0:
+                budget = min(budget, source.level / (rate * tick_s))
+        return budget
+
+    def analytic_skip_ticks(self, gain: float, pool_level: float,
+                            required: float, tick_s: float,
+                            window: int) -> Optional[int]:
+        """Safe skip distance when the crossing is still far away.
+
+        ``gain`` is the caller's per-tick pool-gain estimate (it may
+        over-estimate — landing early is harmless, skipping past the
+        crossing is not).  Returns None when the crossing is within
+        ``window`` accrual rounds — the caller must run its own exact
+        scalar replay of its pump's arithmetic — otherwise a tick
+        count a few rounds short of the crossing, clamped so no feed
+        source can clamp inside the skip (0 = land on the pending
+        tick: a source budget is nearly exhausted).
+        """
+        estimate = (required - 1e-12 - pool_level) / gain
+        if estimate <= window:
+            return None
+        safe = int(estimate) - 5
+        budget = self.budget_ticks(tick_s)
+        if budget != math.inf:
+            if budget <= 4.0:
+                return 0
+            safe = min(safe, int(budget - 4.0))
+        return max(safe, 1)
+
+
+def analyze_pooled_accrual(
+    graph: "ResourceGraph",
+    pool: Reserve,
+    ops: List[Any],
+    reserve_of: Callable[[Any], Optional[Reserve]],
+    tick_s: float,
+) -> Optional[PooledAccrual]:
+    """Validate a pooled-wait regime; None means tick instead.
+
+    ``ops`` are the queued operations in queue order; ``reserve_of``
+    maps one to its caller's active reserve.
+    """
+    root = graph.root
+    if (not pool.alive or pool.capacity is not None
+            or not pool.decay_exempt or pool.level < 0.0):
+        return None
+    if root.capacity is not None:
+        return None  # decay reclaim and junction funding assume headroom
+    fraction = graph.decay_policy.fraction_for(tick_s)
+    # One pass over the live taps: per-reserve wiring and pool isolation.
+    inbound: Dict[int, List[Tap]] = {}
+    outbound: Dict[int, List[Tap]] = {}
+    pool_id = id(pool)
+    for tap in graph.taps:
+        if not tap.enabled:
+            continue
+        if id(tap.source) == pool_id or id(tap.sink) == pool_id:
+            return None  # something else feeds or drains the pool
+        inbound.setdefault(id(tap.sink), []).append(tap)
+        outbound.setdefault(id(tap.source), []).append(tap)
+    reserves: List[Optional[Reserve]] = []
+    waiter_ids = set()
+    for op in ops:
+        reserve = reserve_of(op)
+        if reserve is None:
+            return None
+        reserves.append(reserve)
+        waiter_ids.add(id(reserve))
+    entries: List[PooledEntry] = []
+    addends: List[float] = []
+    seen: Dict[int, float] = {}   # reserve id -> per-tick level
+    sources: Dict[int, Tuple[Reserve, float]] = {}
+    avail_sum = 0.0
+    for op, reserve in zip(ops, reserves):
+        key = id(reserve)
+        if key in seen:
+            # A shared reserve: the pump counts its level once per op
+            # in the availability sum, but only the first op drains it.
+            avail_sum = avail_sum + max(0.0, seen[key])
+            continue
+        if (not reserve.alive or reserve is root or reserve is pool
+                or reserve.capacity is not None
+                or reserve._level != 0.0):
+            return None
+        if outbound.get(key):
+            return None
+        feeds = inbound.get(key, [])
+        if len(feeds) != 1:
+            return None
+        tap = feeds[0]
+        if tap.tap_type is not TapType.CONST or not tap.alive:
+            return None
+        source = tap.source
+        skey = id(source)
+        if skey not in sources:
+            if source is not root:
+                # Chained feed: exact to replay only when the junction
+                # is a pure constant-flow pass-through — uncapped, not
+                # decaying, no proportional drains reading its level —
+                # so holding the feed tap out of the graph span and
+                # debiting its total afterwards commutes.
+                if (not source.alive or source is pool
+                        or skey in waiter_ids
+                        or source.capacity is not None
+                        or (fraction > 0.0 and not source.decay_exempt)):
+                    return None
+                if any(t.tap_type is not TapType.CONST
+                       for t in outbound.get(skey, ())):
+                    return None
+            drain_rate = sum(t.rate for t in outbound.get(skey, ())
+                             if t.tap_type is TapType.CONST)
+            sources[skey] = (source, drain_rate)
+        # One tick of the reference arithmetic, from level zero:
+        # deposit the tap's amount, then decay the deposit.
+        inflow = tap.rate * tick_s
+        level = 0.0 + inflow
+        lost = 0.0
+        if fraction > 0.0 and not reserve.decay_exempt and level > 0.0:
+            lost = level * fraction
+            level = level - lost
+        seen[key] = level
+        entries.append(PooledEntry(reserve, tap, inflow, lost, level, op))
+        if level > 0.0:
+            addends.append(level)
+        avail_sum = avail_sum + max(0.0, level)
+    return PooledAccrual(entries=entries, addends=addends,
+                         avail_sum=avail_sum, fraction=fraction,
+                         drains=list(sources.values()))
+
+
+def replay_pooled_accrual(
+    graph: "ResourceGraph",
+    pool: Reserve,
+    accrual: PooledAccrual,
+    ticks: int,
+    credit: Callable[[Any, float], None],
+) -> float:
+    """Replay ``ticks`` rounds of pooled accrual in closed form.
+
+    The pool level advances through the *exact* per-tick float
+    sequence (``numpy.cumsum`` is sequential, so the chunked scan
+    reproduces repeated ``+=`` bit-for-bit); cumulative counters move
+    in bulk, which only costs last-ulp rounding relative to
+    tick-by-tick accumulation.  ``credit(op, amount)`` books each
+    reserve's total contribution on its first queued op.  Returns the
+    total amount contributed to the pool.
+    """
+    if ticks <= 0:
+        return 0.0
+    if accrual.addends:
+        addends = np.asarray(accrual.addends, dtype=float)
+        per_tick = addends.size
+        chunk_ticks = max(1, (1 << 18) // per_tick)
+        pool_level = pool._level
+        remaining = ticks
+        while remaining > 0:
+            batch = min(remaining, chunk_ticks)
+            seq = np.empty(batch * per_tick + 1)
+            seq[0] = pool_level
+            seq[1:] = np.tile(addends, batch)
+            pool_level = float(np.cumsum(seq)[-1])
+            remaining -= batch
+        pool._level = pool_level
+    contributed_total = 0.0
+    root = graph.root
+    for entry in accrual.entries:
+        if entry.inflow > 0.0:
+            flow_total = entry.inflow * ticks
+            entry.tap.total_flowed += flow_total
+            entry.reserve.total_transferred_in += flow_total
+            source = entry.tap.source
+            source._level -= flow_total
+            source.total_transferred_out += flow_total
+        if entry.lost > 0.0:
+            decay_total = entry.lost * ticks
+            entry.reserve.total_decayed += decay_total
+            root._level += decay_total
+            root.total_deposited += decay_total
+            graph.decay_policy.total_reclaimed += decay_total
+        if entry.contribution > 0.0:
+            contrib_total = entry.contribution * ticks
+            entry.reserve.total_transferred_out += contrib_total
+            pool.total_transferred_in += contrib_total
+            credit(entry.op, contrib_total)
+            contributed_total += contrib_total
+    return contributed_total

@@ -1,0 +1,438 @@
+"""The span tier: closed-form integration of event-free spans.
+
+:class:`~repro.core.flowplan.FlowPlan` owns the *tick kernel* — one
+vectorized batch round, exactly equivalent to sequential per-object
+firing.  This module owns the other execution mode: integrating the
+continuous dynamics of a whole event-free span in one shot (the
+engine's idle fast-forward).  The two tiers share the compiled
+topology snapshot but solve different problems, so they live in
+different files.
+
+Per reserve the continuous dynamics are linear::
+
+    L' = A @ L + b
+
+where ``b`` collects the constant taps (``const_in - const_out``) and
+``A`` collects everything proportional: each proportional tap of rate
+``f`` from reserve ``s`` to ``k`` contributes ``-f`` to ``A[s, s]``
+and ``+f`` to ``A[k, s]``, and the global decay contributes ``-lam``
+to every non-exempt diagonal with ``+lam`` routed to the root's row.
+
+Two solvers, picked per call:
+
+* **diagonal** — when no proportional tap feeds a reserve that itself
+  drains proportionally (``A`` is effectively diagonal after dropping
+  rows that only *receive*), each reserve solves independently:
+  ``L(t) = steady + (L0 - steady) * exp(-F t)``.  This is the scalar
+  closed form from PR 1, kept verbatim as the fast tier — it is a few
+  numpy vector ops with no linear algebra.
+* **coupled** — chained topologies (the paper's subdivision trees,
+  ``clone_reserve`` backpressure, netd/GPS reserve trees) make ``A``
+  genuinely triangular-or-worse.  The system is integrated with a
+  matrix exponential: an eigendecomposition of ``A`` when it is
+  well-conditioned (one factorization per topology epoch, then each
+  span is a couple of matrix-vector products), falling back to
+  scaling-and-squaring Padé on the augmented matrix when ``A`` is
+  defective (equal-rate chains produce Jordan blocks) or its
+  eigenbasis is ill-conditioned.  Per-reserve *time integrals*
+  ``J = ∫ L dt`` come out of the same solve (phi-functions on the
+  eigenvalue path, state augmentation on the Padé path) and give every
+  proportional tap's exact integrated flow ``rate * J[src]`` — levels
+  are then committed by **mass balance** from those flows, so
+  conservation is exact by construction no matter what the linear
+  algebra rounded.
+
+Refusal stays sound without refusing the whole shape class: the solver
+bounds each trajectory's minimum (the inflow-free monotone lower bound
+— if a constant drain could clamp mid-span the span is refused) and
+its maximum (level plus every inflow bound integrated over the span —
+if a finite capacity could bind the span is refused).  A refused span
+mutates nothing; the caller ticks instead.  Debt entry (any negative
+level) always refuses: repayment is tick-granular.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flowplan import FlowPlan
+
+#: Test hook: force the scaling-and-squaring path even when the
+#: eigendecomposition is healthy, so both expm code paths stay covered.
+FORCE_DENSE_EXPM = False
+
+#: Eigenbasis condition number above which eigendecomposition results
+#: are not trusted (defective or nearly-defective ``A``).
+EIG_COND_LIMIT = 1e8
+
+#: Span-end negativity beyond float noise aborts the solve (the sound
+#: bounds should make this unreachable; refuse rather than guess).
+NEGATIVE_LEVEL_SLACK = 1e-6
+
+
+def _expm(a: np.ndarray) -> np.ndarray:
+    """Matrix exponential: scaling-and-squaring with a [13/13] Padé.
+
+    The classic Higham recipe, simplified to the highest-order
+    approximant only (these matrices are small — a reserve graph's
+    live topology — so the sub-order early exits are not worth their
+    bookkeeping).  numpy-only by construction: scipy is not a
+    dependency of this package.
+    """
+    n = a.shape[0]
+    norm = np.linalg.norm(a, 1)
+    theta13 = 5.371920351148152
+    squarings = 0
+    if norm > theta13:
+        squarings = int(math.ceil(math.log2(norm / theta13)))
+        a = a / (2.0 ** squarings)
+    b = (64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+         1187353796428800.0, 129060195264000.0, 10559470521600.0,
+         670442572800.0, 33522128640.0, 1323241920.0, 40840800.0,
+         960960.0, 16380.0, 182.0, 1.0)
+    ident = np.eye(n)
+    a2 = a @ a
+    a4 = a2 @ a2
+    a6 = a2 @ a4
+    u = a @ (a6 @ (b[13] * a6 + b[11] * a4 + b[9] * a2)
+             + b[7] * a6 + b[5] * a4 + b[3] * a2 + b[1] * ident)
+    v = (a6 @ (b[12] * a6 + b[10] * a4 + b[8] * a2)
+         + b[6] * a6 + b[4] * a4 + b[2] * a2 + b[0] * ident)
+    r = np.linalg.solve(v - u, v + u)
+    for _ in range(squarings):
+        r = r @ r
+    return r
+
+
+def _phi1(z: np.ndarray) -> np.ndarray:
+    """``(e^z - 1) / z`` with the removable singularity handled."""
+    out = np.ones_like(z)
+    small = np.abs(z) < 1e-3
+    zl = z[~small]
+    out[~small] = (np.exp(zl) - 1.0) / zl
+    zs = z[small]
+    out[small] = 1.0 + zs / 2.0 + zs * zs / 6.0 + zs ** 3 / 24.0
+    return out
+
+
+def _phi2(z: np.ndarray) -> np.ndarray:
+    """``(e^z - 1 - z) / z^2`` with the removable singularity handled."""
+    out = np.full_like(z, 0.5)
+    small = np.abs(z) < 1e-3
+    zl = z[~small]
+    out[~small] = (np.exp(zl) - 1.0 - zl) / (zl * zl)
+    zs = z[small]
+    out[small] = 0.5 + zs / 6.0 + zs * zs / 24.0 + zs ** 3 / 120.0
+    return out
+
+
+class CoupledSystem:
+    """``L' = A L + b`` for one topology epoch at one decay constant.
+
+    Built once per (plan, lam) and cached on the :class:`SpanTier`:
+    the expensive part — the eigendecomposition, or per-span Padé
+    exponentials of the augmented matrix — amortizes across every span
+    the epoch serves.
+    """
+
+    def __init__(self, tier: "SpanTier", lam: float) -> None:
+        plan = tier.plan
+        n = len(plan.reserves)
+        a = np.zeros((n, n))
+        for j in plan.prop_taps:
+            s, k, f = int(plan.src[j]), int(plan.snk[j]), plan.rate[j]
+            a[s, s] -= f
+            a[k, s] += f
+        if lam > 0.0 and plan.any_decayable:
+            decayable = np.flatnonzero(plan.decay_mask)
+            a[decayable, decayable] -= lam
+            a[plan.root_index, decayable] += lam
+        self.a = a
+        self.b = tier.const_in - tier.const_out
+        self.n = n
+        #: (eigenvalues, V, V^-1) when the eigenbasis is trusted.
+        self.eig: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: span -> expm of the augmented matrix (Padé fallback path).
+        self._dense_cache: Dict[float, np.ndarray] = {}
+        #: Telemetry/testing: which solve path this system uses.
+        self.mode = "dense"
+        if not FORCE_DENSE_EXPM:
+            self._try_eig()
+
+    def _try_eig(self) -> None:
+        try:
+            w, v = np.linalg.eig(self.a)
+            cond = np.linalg.cond(v)
+            if not np.isfinite(cond) or cond > EIG_COND_LIMIT:
+                return
+            vinv = np.linalg.inv(v)
+        except np.linalg.LinAlgError:  # pragma: no cover - numpy internal
+            return
+        # Trust the basis only if it actually reconstructs A: a nearly
+        # defective matrix can pass the condition gate yet round badly.
+        scale = max(1.0, float(np.abs(self.a).max()))
+        recon = (v * w) @ vinv
+        if float(np.abs(recon - self.a).max()) > 1e-9 * scale:
+            return
+        self.eig = (w, v, vinv)
+        self.mode = "eig"
+
+    def propagate(self, lvl: np.ndarray,
+                  span: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``(L(span), J(span))`` where ``J = ∫_0^span L dt``."""
+        if self.eig is not None:
+            w, v, vinv = self.eig
+            c0 = vinv @ lvl
+            cb = vinv @ self.b
+            z = w * span
+            ez = np.exp(z)
+            p1 = _phi1(z)
+            p2 = _phi2(z)
+            end = (v @ (ez * c0 + span * (p1 * cb))).real
+            integ = (v @ (span * (p1 * c0)
+                          + (span * span) * (p2 * cb))).real
+            return end, integ
+        propagator = self._dense_cache.get(span)
+        if propagator is None:
+            n = self.n
+            m = np.zeros((2 * n + 1, 2 * n + 1))
+            m[:n, :n] = self.a
+            m[:n, n] = self.b
+            m[n + 1:, :n] = np.eye(n)
+            propagator = _expm(m * span)
+            if len(self._dense_cache) > 32:  # unbounded-span safety valve
+                self._dense_cache.clear()
+            self._dense_cache[span] = propagator
+        n = self.n
+        state = np.concatenate([lvl, [1.0], np.zeros(n)])
+        result = propagator @ state
+        return result[:n], result[n + 1:]
+
+
+class SpanTier:
+    """Closed-form span execution over one compiled plan's topology."""
+
+    def __init__(self, plan: "FlowPlan") -> None:
+        self.plan = plan
+        n = len(plan.reserves)
+        self.const_in = np.zeros(n)
+        self.const_out = np.zeros(n)
+        self.prop_out = np.zeros(n)
+        self.prop_sink_mask = np.zeros(n, dtype=bool)
+        for j in range(len(plan.taps)):
+            s, k, r = int(plan.src[j]), int(plan.snk[j]), plan.rate[j]
+            if plan.const_mask[j]:
+                self.const_out[s] += r
+                self.const_in[k] += r
+            else:
+                self.prop_out[s] += r
+                self.prop_sink_mask[k] = True
+        #: lam -> the coupled linear system at that decay constant.
+        self._coupled: Dict[float, CoupledSystem] = {}
+        #: Telemetry: spans solved by each tier (diagnostics/tests).
+        self.diagonal_solves = 0
+        self.coupled_solves = 0
+
+    # -- shared refusal bounds ---------------------------------------------------
+
+    def _clamp_bound_ok(self, lvl: np.ndarray, span: float,
+                        f: np.ndarray, linear: np.ndarray) -> bool:
+        """True iff no constant drain can clamp anywhere in the span.
+
+        ``L' >= -const_out - F*L`` (every inflow ignored) is monotone
+        decreasing, so the span-end value of that lower-bound ODE
+        bounds the whole trajectory.  Sound for coupled systems too:
+        coupling only ever *adds* inflow.
+        """
+        draining = self.const_out > 0.0
+        if not draining.any():
+            return True
+        n = lvl.size
+        per_f = np.divide(self.const_out, f, out=np.zeros(n), where=linear)
+        decay_f = np.exp(-f * span)
+        lower = np.where(linear,
+                         lvl * decay_f - per_f * (1.0 - decay_f),
+                         lvl - self.const_out * span)
+        return not np.any(lower[draining] < 0.0)
+
+    # -- entry point ---------------------------------------------------------------
+
+    def execute(self, span: float) -> Optional[float]:
+        """Integrate flows and decay over ``span`` seconds in one shot.
+
+        Returns total tap flow, or None when no closed form applies
+        (caller must tick instead); a None return mutates nothing.
+        """
+        plan = self.plan
+        n = len(plan.reserves)
+        policy = plan.graph.decay_policy
+        lam = policy.lam if policy.enabled else 0.0
+        lvl = plan._gather_levels()
+        if np.any(lvl < 0.0):
+            return None  # debt repayment is tick-granular
+        f = self.prop_out + (lam if lam > 0.0 else 0.0) * plan.decay_mask
+        linear = f > 0.0
+        # Reserves whose drains read their level need constant inflow
+        # for the *diagonal* solver; anything else is a coupled system.
+        varying_in = self.prop_sink_mask.copy()
+        if lam > 0.0 and plan.any_decayable:
+            varying_in[plan.root_index] = True
+        if np.any(linear & varying_in):
+            return self._execute_coupled(span, lam, lvl, f, linear)
+        # Capacity clamping has no closed form; require open headroom.
+        if plan.finite_cap.size:
+            cap_idx = plan.finite_cap
+            gets_inflow = (self.const_in[cap_idx] > 0.0) | varying_in[cap_idx]
+            if np.any(gets_inflow):
+                return None
+        if not self._clamp_bound_ok(lvl, span, f, linear):
+            return None
+        return self._execute_diagonal(span, lam, lvl, f, linear)
+
+    # -- the diagonal fast tier (PR 1's scalar closed form, verbatim) --------------
+
+    def _execute_diagonal(self, span: float, lam: float, lvl: np.ndarray,
+                          f: np.ndarray, linear: np.ndarray
+                          ) -> Optional[float]:
+        plan = self.plan
+        n = len(plan.reserves)
+        decay_f = np.exp(-f * span)  # == 1 exactly where F == 0
+        net_const = self.const_in - self.const_out
+        steady = np.divide(net_const, f, out=np.zeros(n), where=linear)
+        end = np.where(linear, steady + (lvl - steady) * decay_f,
+                       lvl + net_const * span)
+        # Mass balance: everything a linear reserve lost to its
+        # proportional drains and decay over the span.
+        drain = np.where(linear, lvl - end + net_const * span, 0.0)
+        drain = np.maximum(drain, 0.0)
+
+        moved = np.zeros(len(plan.taps))
+        if plan.const_taps.size:
+            moved[plan.const_taps] = plan.rate[plan.const_taps] * span
+        if plan.prop_taps.size:
+            psrc = plan.src[plan.prop_taps]
+            share = np.divide(plan.rate[plan.prop_taps], f[psrc],
+                              out=np.zeros(plan.prop_taps.size),
+                              where=f[psrc] > 0)
+            moved[plan.prop_taps] = drain[psrc] * share
+            end += np.bincount(plan.snk[plan.prop_taps],
+                               weights=moved[plan.prop_taps], minlength=n)
+        lost = np.zeros(n)
+        reclaimed = 0.0
+        if lam > 0.0 and plan.any_decayable:
+            lost = np.where(linear & plan.decay_mask,
+                            drain * np.divide(lam, f, out=np.zeros(n),
+                                              where=linear), 0.0)
+            reclaimed = float(lost.sum())
+            end[plan.root_index] += reclaimed
+        self.diagonal_solves += 1
+        return self._commit(end, moved, lost, reclaimed)
+
+    # -- the coupled tier (matrix exponential) --------------------------------------
+
+    def _execute_coupled(self, span: float, lam: float, lvl: np.ndarray,
+                         f: np.ndarray, linear: np.ndarray
+                         ) -> Optional[float]:
+        plan = self.plan
+        n = len(plan.reserves)
+        # Capacity pressure: bound each trajectory's maximum.  Since
+        # mass is conserved and levels stay non-negative, every level
+        # is bounded by the total mass; refining through
+        # ``U <- lvl + span * (const_in + P_prop @ U)`` keeps a sound
+        # pointwise bound at each iterate (inflow integrated at the
+        # previous bound, outflow ignored), and the elementwise best
+        # over a few iterates is tight enough for realistic headroom.
+        if plan.finite_cap.size:
+            cap_idx = plan.finite_cap
+            mass = float(lvl.sum())  # all levels >= 0 here
+            psrc = plan.src[plan.prop_taps]
+            psnk = plan.snk[plan.prop_taps]
+            prate = plan.rate[plan.prop_taps]
+            best = np.full(n, mass)
+            for _ in range(6):
+                inflow = self.const_in.copy()
+                if prate.size:
+                    inflow += np.bincount(psnk, weights=prate * best[psrc],
+                                          minlength=n)
+                if lam > 0.0 and plan.any_decayable:
+                    inflow[plan.root_index] += lam * float(
+                        best[plan.decay_mask].sum())
+                best = np.minimum(best, lvl + inflow * span)
+            if np.any(best[cap_idx] > plan.capacity[cap_idx] - 1e-12):
+                return None
+        if not self._clamp_bound_ok(lvl, span, f, linear):
+            return None
+
+        system = self._coupled.get(lam)
+        if system is None:
+            system = CoupledSystem(self, lam)
+            if len(self._coupled) > 4:  # decay toggles are rare
+                self._coupled.clear()
+            self._coupled[lam] = system
+        integ = np.maximum(system.propagate(lvl, span)[1], 0.0)
+
+        moved = np.zeros(len(plan.taps))
+        if plan.const_taps.size:
+            moved[plan.const_taps] = plan.rate[plan.const_taps] * span
+        if plan.prop_taps.size:
+            psrc = plan.src[plan.prop_taps]
+            moved[plan.prop_taps] = plan.rate[plan.prop_taps] * integ[psrc]
+        lost = np.zeros(n)
+        reclaimed = 0.0
+        if lam > 0.0 and plan.any_decayable:
+            lost = np.where(plan.decay_mask, lam * integ, 0.0)
+            reclaimed = float(lost.sum())
+        # Commit levels by mass balance from the integrated flows, not
+        # the ODE output: conservation is then exact by construction
+        # (the two agree analytically; float-wise they differ in the
+        # last ulps, and mass balance is the one the audits check).
+        end = (lvl
+               + np.bincount(plan.snk, weights=moved, minlength=n)
+               - np.bincount(plan.src, weights=moved, minlength=n)
+               - lost)
+        end[plan.root_index] += reclaimed
+        neg = np.minimum(end, 0.0)
+        if float(neg.sum()) < -NEGATIVE_LEVEL_SLACK:
+            return None  # bounds should preclude this; never guess
+        if neg.any():
+            # Float dust on near-empty reserves: clamp to zero and let
+            # the root absorb the difference so the books still balance.
+            end -= neg
+            end[plan.root_index] += float(neg.sum())
+        self.coupled_solves += 1
+        return self._commit(end, moved, lost, reclaimed)
+
+    # -- shared commit ---------------------------------------------------------------
+
+    def _commit(self, end: np.ndarray, moved: np.ndarray,
+                lost: np.ndarray, reclaimed: float) -> float:
+        plan = self.plan
+        n = len(plan.reserves)
+        in_sum = np.bincount(plan.snk, weights=moved, minlength=n)
+        out_sum = np.bincount(plan.src, weights=moved, minlength=n)
+        for reserve, lv, o, i_, ls in zip(plan.reserves, end.tolist(),
+                                          out_sum.tolist(), in_sum.tolist(),
+                                          lost.tolist()):
+            reserve._level = lv
+            if o:
+                reserve.total_transferred_out += o
+            if i_:
+                reserve.total_transferred_in += i_
+            if ls:
+                reserve.total_decayed += ls
+        if reclaimed:
+            plan.graph.root.total_deposited += reclaimed
+            plan.graph.decay_policy.total_reclaimed += reclaimed
+        if plan.owns_slots:
+            plan._tap_flow_acc += moved
+        else:
+            # Span-cache plans never own the taps' accumulator slots
+            # (the tick plan does); fold flows straight into the taps.
+            for j in np.flatnonzero(moved):
+                tap = plan.taps[j]
+                tap.total_flowed = tap.total_flowed + moved[j]
+        return float(moved.sum())

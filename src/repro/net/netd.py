@@ -27,16 +27,16 @@ or into debt even if the cost can only be determined after-the-fact"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..core.accounting import ConsumptionLedger
 from ..core.graph import ResourceGraph
+from ..core.pooling import (PooledAccrual, analyze_pooled_accrual,
+                            replay_pooled_accrual)
 from ..core.reserve import Reserve
-from ..core.tap import Tap, TapType
+from ..core.tap import Tap
 from ..errors import NetworkError
 from ..kernel.gate import Gate
 from ..kernel.kernel import Kernel
@@ -81,9 +81,10 @@ class _SpanPlan:
 
     Valid while every queued operation is blocked in the §5.5.2 pooled
     path and every waiter's reserve follows the canonical
-    ``powered_reserve`` shape (exactly one constant tap from the root,
-    no drains, no capacity, level drained to zero by the previous
-    contribution round).  Under that regime each engine tick repeats
+    ``powered_reserve`` shape — the per-tick arithmetic and the
+    validity analysis are the shared :mod:`repro.core.pooling`
+    machinery (which also admits chained feeds through const-only
+    junction reserves).  Under that regime each engine tick repeats
     the same float arithmetic, so the pool's trajectory — and the
     exact tick the batch becomes affordable — can be replayed without
     running the engine.
@@ -93,19 +94,8 @@ class _SpanPlan:
     waiting: List[PendingOp]
     #: The pool level the batch must reach (margin included).
     required: float
-    #: Per-tick decay fraction (0.0 when decay is off).
-    fraction: float
-    #: One entry per distinct waiter reserve, in queue order:
-    #: (reserve, feed tap, per-tick inflow, per-tick decay loss,
-    #:  per-tick contribution, first op drawing from it).
-    entries: List[Tuple[Reserve, Tap, float, float, float, PendingOp]]
-    #: Pool increments per tick, in contribution order (non-zero only).
-    addends: List[float]
-    #: ``sum(level for op in waiting)`` exactly as the pump computes it
-    #: (an op-indexed sum: a shared reserve is counted once per op).
-    avail_sum: float
-    #: Total constant-tap drain rate out of the root (amount clamps).
-    root_drain_rate: float
+    #: The shared per-tick arithmetic (entries, addends, budgets).
+    accrual: PooledAccrual
 
 
 @dataclass
@@ -422,7 +412,10 @@ class NetworkDaemon:
         accrues (starved waiters: other sources bound the span).
         """
         plan = self._span_plan(now)
-        if plan is None or not plan.addends or plan.avail_sum <= 0.0:
+        if plan is None:
+            return None
+        accrual = plan.accrual
+        if not accrual.addends or accrual.avail_sum <= 0.0:
             return None
         tick_s = self.tick_s
         # clock.ticks has not executed yet: the pump's next check runs
@@ -431,24 +424,16 @@ class NetworkDaemon:
         base_tick = self._ticks()
         pool_level = self.pool.level
         required = plan.required
-        if pool_level + plan.avail_sum + 1e-12 >= required:
+        if pool_level + accrual.avail_sum + 1e-12 >= required:
             return base_tick * tick_s  # affordable at the pending tick
-        # How many accrual rounds until the pump's check passes,
-        # estimated in real arithmetic first.
-        estimate = (required - 1e-12 - pool_level) / plan.avail_sum
+        # Far from the crossing, take the shared analytic bound (the
+        # per-tick gain is estimated by avail_sum, which can only land
+        # the engine early, never past the crossing).
         window = self.SPAN_SCAN_WINDOW
-        if estimate > window:
-            safe = int(estimate) - 5
-            if plan.root_drain_rate > 0.0:
-                # Never skip past the point the root could no longer
-                # fund the frozen feed taps (tick-by-tick would clamp).
-                budget = (self.graph.root.level
-                          - 4.0 * plan.root_drain_rate * tick_s)
-                if budget <= 0.0:
-                    return base_tick * tick_s
-                safe = min(safe, int(budget
-                                     / (plan.root_drain_rate * tick_s)))
-            return (base_tick + max(safe, 1)) * tick_s
+        skip = accrual.analytic_skip_ticks(accrual.avail_sum, pool_level,
+                                           required, tick_s, window)
+        if skip is not None:
+            return (base_tick + skip) * tick_s
         # Exact scalar replay of the pump's own float arithmetic: at
         # each tick the pump sees pool + avail_sum; failing that, the
         # contributions land one reserve at a time and the pump
@@ -456,10 +441,10 @@ class NetworkDaemon:
         # last ulp, so both gates are modeled).
         pool_sim = pool_level
         for round_no in range(1, 2 * window + 1):
-            available = pool_sim + plan.avail_sum
+            available = pool_sim + accrual.avail_sum
             if available + 1e-12 >= required:
                 return (base_tick + round_no - 1) * tick_s
-            for addend in plan.addends:
+            for addend in accrual.addends:
                 pool_sim = pool_sim + addend
             if pool_sim + 1e-12 >= required:
                 return (base_tick + round_no - 1) * tick_s
@@ -470,16 +455,17 @@ class NetworkDaemon:
         plan = self._span_plan(now)
         if plan is None:
             return []
-        return [entry[1] for entry in plan.entries]
+        return plan.accrual.frozen_taps()
 
     def advance_span(self, now: float, span: float) -> None:
         """Replay ``span`` seconds of pooled accrual in closed form.
 
-        The pool level is advanced through the *exact* per-tick float
-        sequence (``numpy.cumsum`` is sequential, so the chunked scan
-        reproduces repeated ``+=`` bit-for-bit); cumulative counters
-        move in bulk, which only costs last-ulp rounding relative to
-        tick-by-tick accumulation.
+        Delegates to :func:`repro.core.pooling.replay_pooled_accrual`:
+        the pool level advances through the *exact* per-tick float
+        sequence (chunked ``numpy.cumsum`` is sequential, hence
+        bit-identical to repeated ``+=``), while cumulative counters
+        and the feed-source debits — the root, or a junction reserve
+        on a chained feed — move in bulk.
         """
         plan = self._span_plan(now)
         if plan is None or self.tick_s is None:
@@ -487,44 +473,14 @@ class NetworkDaemon:
         ticks = int(round(span / self.tick_s))
         if ticks <= 0:
             return
-        pool = self.pool
-        root = self.graph.root
-        if plan.addends:
-            addends = np.asarray(plan.addends, dtype=float)
-            per_tick = addends.size
-            chunk_ticks = max(1, (1 << 18) // per_tick)
-            pool_level = pool._level
-            remaining = ticks
-            while remaining > 0:
-                batch = min(remaining, chunk_ticks)
-                seq = np.empty(batch * per_tick + 1)
-                seq[0] = pool_level
-                seq[1:] = np.tile(addends, batch)
-                pool_level = float(np.cumsum(seq)[-1])
-                remaining -= batch
-            pool._level = pool_level
-        contributed_total = 0.0
-        for reserve, tap, inflow, lost, contrib, first_op in plan.entries:
-            if inflow > 0.0:
-                flow_total = inflow * ticks
-                tap.total_flowed += flow_total
-                reserve.total_transferred_in += flow_total
-                root._level -= flow_total
-                root.total_transferred_out += flow_total
-            if lost > 0.0:
-                decay_total = lost * ticks
-                reserve.total_decayed += decay_total
-                root._level += decay_total
-                root.total_deposited += decay_total
-                self.graph.decay_policy.total_reclaimed += decay_total
-            if contrib > 0.0:
-                contrib_total = contrib * ticks
-                reserve.total_transferred_out += contrib_total
-                pool.total_transferred_in += contrib_total
-                first_op.contributed_joules += contrib_total
-                contributed_total += contrib_total
-        if contributed_total > 0.0:
-            self.stats.total_pool_contributions += contributed_total
+
+        def credit(op: PendingOp, amount: float) -> None:
+            op.contributed_joules += amount
+
+        contributed = replay_pooled_accrual(self.graph, self.pool,
+                                            plan.accrual, ticks, credit)
+        if contributed > 0.0:
+            self.stats.total_pool_contributions += contributed
         self._span_cache = None
 
     def _span_plan(self, now: float) -> Optional[_SpanPlan]:
@@ -542,11 +498,13 @@ class NetworkDaemon:
         Returns None — per-tick execution — unless *all* of: the
         engine wired a tick grid; every queued op is WAITING_ENERGY in
         cooperative (non-unrestricted) mode; the radio is idle with a
-        real activation cost (the pooled path); the pool is a plain
-        uncapped decay-exempt reserve no taps touch; and every
-        waiter's active reserve is the canonical ``powered_reserve``
-        shape — drained to exactly zero, uncapped, fed by exactly one
-        constant tap from the root, with no other taps touching it.
+        real activation cost (the pooled path); and the pool/waiter
+        wiring passes the shared canonical-shape analysis
+        (:func:`repro.core.pooling.analyze_pooled_accrual`) — every
+        waiter reserve drained to exactly zero, uncapped, fed by
+        exactly one constant tap from the root or from a const-only
+        junction reserve (a chained feed), with no other taps touching
+        it, and an untapped uncapped decay-exempt pool.
         """
         if self.tick_s is None or self._ticks is None:
             return None
@@ -559,83 +517,21 @@ class NetworkDaemon:
         radio = self.radio
         if not radio.would_be_idle(now) or radio.params.activation_cost <= 0.0:
             return None
-        pool = self.pool
-        root = self.graph.root
-        if (not pool.alive or pool.capacity is not None
-                or not pool.decay_exempt or pool.level < 0.0):
+        accrual = analyze_pooled_accrual(
+            self.graph, self.pool, waiting,
+            reserve_of=lambda op: getattr(op.thread, "_active_reserve",
+                                          None),
+            tick_s=self.tick_s)
+        if accrual is None:
             return None
-        if root.capacity is not None:
-            return None
-        # One pass over the live taps: per-reserve wiring for the
-        # waiters, pool isolation, and the root's total constant drain.
-        inbound: Dict[int, List[Tap]] = {}
-        outbound: Dict[int, List[Tap]] = {}
-        root_drain_rate = 0.0
-        pool_id = id(pool)
-        for tap in self.graph.taps:
-            if not tap.enabled:
-                continue
-            if id(tap.source) == pool_id or id(tap.sink) == pool_id:
-                return None  # something else feeds or drains the pool
-            inbound.setdefault(id(tap.sink), []).append(tap)
-            outbound.setdefault(id(tap.source), []).append(tap)
-            if tap.source is root and tap.tap_type is TapType.CONST:
-                root_drain_rate += tap.rate
-        tick_s = self.tick_s
-        policy = self.graph.decay_policy
-        fraction = policy.fraction_for(tick_s)
-        entries: List[Tuple[Reserve, Tap, float, float, float, PendingOp]] = []
-        seen: Dict[int, float] = {}   # reserve id -> per-tick level
-        addends: List[float] = []
-        avail_sum = 0.0
-        for op in waiting:
-            thread = op.thread
-            reserve = getattr(thread, "_active_reserve", None)
-            if reserve is None:
-                return None
-            key = id(reserve)
-            if key in seen:
-                # A shared reserve: the pump counts its level once per
-                # op in the availability sum, but only the first op
-                # drains it.
-                avail_sum = avail_sum + max(0.0, seen[key])
-                continue
-            if (not reserve.alive or reserve is root or reserve is pool
-                    or reserve.capacity is not None
-                    or reserve._level != 0.0):
-                return None
-            if outbound.get(key):
-                return None
-            feeds = inbound.get(key, [])
-            if len(feeds) != 1:
-                return None
-            tap = feeds[0]
-            if (tap.tap_type is not TapType.CONST or tap.source is not root
-                    or not tap.alive):
-                return None
-            # One tick of the reference arithmetic, from level zero:
-            # deposit the tap's amount, then decay the deposit.
-            inflow = tap.rate * tick_s
-            level = 0.0 + inflow
-            lost = 0.0
-            if (fraction > 0.0 and not reserve.decay_exempt
-                    and level > 0.0):
-                lost = level * fraction
-                level = level - lost
-            seen[key] = level
-            entries.append((reserve, tap, inflow, lost, level, op))
-            if level > 0.0:
-                addends.append(level)
-            avail_sum = avail_sum + max(0.0, level)
-        # The root must be able to fund the frozen taps through any
-        # near-horizon span (long spans are bounded in next_event).
-        if root.level < root_drain_rate * tick_s * (4 * self.SPAN_SCAN_WINDOW):
+        # Every feed source must be able to fund its frozen taps
+        # through any near-horizon span (long spans are bounded in
+        # next_event).
+        if accrual.budget_ticks(self.tick_s) < 4 * self.SPAN_SCAN_WINDOW:
             return None
         required = self.required_energy(waiting, now)
         return _SpanPlan(waiting=waiting, required=required,
-                         fraction=fraction, entries=entries,
-                         addends=addends, avail_sum=avail_sum,
-                         root_drain_rate=root_drain_rate)
+                         accrual=accrual)
 
     # -- engine integration --------------------------------------------------------------------
 

@@ -13,16 +13,31 @@ the same fix.
 Like the radio, the physical receiver lives behind the closed ARM9
 (§4.1, Figure 15) — the chipset's ``gps_fix`` command returns the
 position; this module models its energy and its sharing policy.
+
+The daemon is also a first-class *event source*
+(:mod:`repro.sim.events` protocol): pooled-acquisition waits have the
+same closed form as netd's §5.5.2 pooled path — each tick deposits
+``rate * tick`` into every waiter's reserve, decay takes its fraction,
+the pump drains the rest into the pool — so the daemon predicts the
+exact acquisition tick and replays skipped accrual in bulk (the shared
+:mod:`repro.core.pooling` machinery).  Receiver state changes (fix
+ready, linger expiry) are declared as events, and the receiver's draw
+is constant between them.  Register through
+:meth:`repro.sim.engine.DeviceRuntime.attach_gps` and block on a fix
+with :func:`fix_request` to get macro-stepping GPS workloads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..core.graph import ResourceGraph
+from ..core.pooling import (PooledAccrual, analyze_pooled_accrual,
+                            replay_pooled_accrual)
 from ..core.reserve import Reserve
+from ..core.tap import Tap
 from ..errors import HardwareError
 from ..kernel.thread_obj import Thread, ThreadState
 
@@ -93,6 +108,19 @@ class GpsDevice:
             return now  # already have a fix
         return self.acquire_started + self.params.cold_fix_s
 
+    def current_fix(self, now: float) -> Optional[Fix]:
+        """The position a powered-up receiver can serve right now.
+
+        A TRACKING receiver updates its position continuously, so its
+        fix is current by definition — timestamped ``now`` and cached
+        as ``last_fix`` (this is what keeps long-lived sharing from
+        handing out stale positions while the receiver stays on).
+        Otherwise the last delivered fix, which may be stale.
+        """
+        if self.state is GpsState.TRACKING:
+            self.last_fix = Fix(acquired_at=now)
+        return self.last_fix
+
     def tick(self, now: float) -> None:
         """Advance the state machine."""
         if (self.state is GpsState.ACQUIRING
@@ -137,22 +165,52 @@ class FixOp:
 
 
 class GpsDaemon:
-    """Pooled, cached fix service — netd's recipe applied to GPS."""
+    """Pooled, cached fix service — netd's recipe applied to GPS.
+
+    Also an event source (duck-typed, like netd): during a pooled
+    acquisition wait the daemon computes the exact tick the pool will
+    cover ``margin * acquisition_cost`` and replays the skipped
+    accrual in closed form, and while the receiver acquires or tracks
+    it reports the next state-change instant so the engine's macro
+    spans land exactly on it.
+    """
+
+    #: EventSource protocol: display name for horizon diagnostics.
+    name = "gpsd"
+
+    #: Within this many ticks of the predicted crossing the daemon
+    #: switches from the analytic bound to an exact scalar replay.
+    SPAN_SCAN_WINDOW = 64
 
     def __init__(self, graph: ResourceGraph, device: GpsDevice,
                  clock: Callable[[], float],
-                 margin: float = 1.1) -> None:
+                 margin: float = 1.1,
+                 tick_s: Optional[float] = None,
+                 ticks: Optional[Callable[[], int]] = None) -> None:
         if margin < 1.0:
             raise HardwareError("margin must be >= 1")
         self.graph = graph
         self.device = device
         self._clock = clock
         self.margin = margin
+        #: Engine tick size and tick counter (wired by
+        #: ``DeviceRuntime.attach_gps``) — required for the closed-form
+        #: pooled accrual; without them the daemon never claims
+        #: quiescence over a non-empty queue.
+        self.tick_s = tick_s
+        self._ticks = ticks
         self.pool: Reserve = graph.create_reserve(name="gpsd.pool",
                                                   decay_exempt=True)
         self._queue: List[FixOp] = []
         self.cached_fixes_served = 0
         self.pooled_acquisitions = 0
+        #: (now, accrual-or-None) — one closed-form analysis per tick.
+        self._span_cache: Optional[Tuple[float,
+                                         Optional[PooledAccrual]]] = None
+
+    def required_energy(self) -> float:
+        """The pool level one acquisition must reach (margin included)."""
+        return self.margin * self.device.params.acquisition_cost
 
     # -- request path ---------------------------------------------------------------
 
@@ -161,9 +219,11 @@ class GpsDaemon:
         now = self._clock()
         op = FixOp(thread=thread, owner=owner or thread.name,
                    submitted_at=now)
-        fix = self.device.last_fix
+        fix = self.device.current_fix(now)
         if fix is not None and fix.fresh(now, self.device.params.fix_validity_s):
-            # Sharing: a fresh fix is free to additional consumers.
+            # Sharing: a fresh fix (or a live tracking receiver, whose
+            # position is current by definition) is free to additional
+            # consumers — never queue behind a powered-up receiver.
             op.fix = fix
             op.state = FixOpState.DONE
             self.device.last_use = now
@@ -171,16 +231,22 @@ class GpsDaemon:
             return op
         thread.state = ThreadState.BLOCKED
         self._queue.append(op)
+        self._span_cache = None  # the closed-form analysis is stale
         self.step(now)
         return op
 
     def step(self, now: float) -> None:
         """Advance pending requests (engine device stepper)."""
+        self._span_cache = None  # per-tick execution mutates the regime
         self.device.tick(now)
         waiting = [o for o in self._queue
                    if o.state is FixOpState.WAITING_ENERGY]
-        if waiting and self.device.state is not GpsState.ACQUIRING:
-            required = self.margin * self.device.params.acquisition_cost
+        if waiting and self.device.state is GpsState.OFF:
+            # Pool toward a cold acquisition only while the receiver is
+            # actually off — a tracking receiver serves for free below,
+            # so the acquisition bill is never burned on a no-op
+            # ``start_acquisition``.
+            required = self.required_energy()
             for op in waiting:
                 reserve = op.thread.active_reserve
                 if reserve.level > 0.0:
@@ -197,11 +263,14 @@ class GpsDaemon:
         elif waiting and self.device.state is GpsState.ACQUIRING:
             for op in waiting:
                 op.state = FixOpState.ACQUIRING
-        # Deliver once tracking.
+        # Deliver once tracking — a live receiver's position is current
+        # by definition, so any straggler still marked WAITING rides it
+        # for free too.
         if self.device.state is GpsState.TRACKING:
             for op in [o for o in self._queue
-                       if o.state is FixOpState.ACQUIRING]:
-                op.fix = self.device.last_fix
+                       if o.state in (FixOpState.ACQUIRING,
+                                      FixOpState.WAITING_ENERGY)]:
+                op.fix = self.device.current_fix(now)
                 op.state = FixOpState.DONE
                 self.device.last_use = now
                 self._queue.remove(op)
@@ -210,3 +279,136 @@ class GpsDaemon:
     def waiting_count(self) -> int:
         """Requests not yet satisfied."""
         return len(self._queue)
+
+    # -- event-source interface (engine idle fast-forward) --------------------------
+    #
+    # Mirrors netd's: the pooled-acquisition wait is the shared
+    # canonical-accrual regime from repro.core.pooling, and the
+    # receiver state machine's transitions (fix ready, linger expiry)
+    # are its only other instants of change — both are declared as
+    # events, so the engine macro-steps everything in between.
+
+    def quiescent(self, now: float) -> bool:
+        """True iff skipping ticks cannot change the daemon's behavior."""
+        device = self.device
+        waiting = [o for o in self._queue
+                   if o.state is FixOpState.WAITING_ENERGY]
+        if device.state is GpsState.OFF:
+            if not self._queue:
+                return True
+            if len(waiting) != len(self._queue):
+                return False  # undelivered ops with the receiver off
+            return self._accrual(now) is not None
+        if device.state is GpsState.ACQUIRING:
+            # The ready instant is an event; a WAITING op would be
+            # marked ACQUIRING by the next step, so tick it through.
+            return not waiting
+        # TRACKING: pending deliveries happen on the next tick; an
+        # idle tracking receiver only changes at the linger expiry.
+        return not self._queue
+
+    def next_event(self, now: float) -> Optional[float]:
+        """The next instant the daemon's state or draw can change."""
+        device = self.device
+        if device.state is GpsState.ACQUIRING:
+            return device.acquire_started + device.params.cold_fix_s
+        if device.state is GpsState.TRACKING:
+            return device.last_use + device.params.linger_s
+        if not self._queue:
+            return None
+        accrual = self._accrual(now)
+        if accrual is None or not accrual.addends:
+            return None  # starved waiters: other sources bound the span
+        tick_s = self.tick_s
+        # Same tick-index convention as netd: the pump's next run is at
+        # the pending tick, with one fresh round of accrual, so the
+        # j-th future check lands on tick base + j - 1.
+        base_tick = self._ticks()
+        required = self.required_energy()
+        pool_level = self.pool.level
+        if pool_level + 1e-12 >= required:
+            return base_tick * tick_s  # affordable at the pending tick
+        window = self.SPAN_SCAN_WINDOW
+        skip = accrual.analytic_skip_ticks(sum(accrual.addends),
+                                           pool_level, required, tick_s,
+                                           window)
+        if skip is not None:
+            return (base_tick + skip) * tick_s
+        # Exact scalar replay of the pump's own float arithmetic —
+        # including the per-op clamp at the remaining shortfall.
+        pool_sim = pool_level
+        for round_no in range(1, 2 * window + 1):
+            for addend in accrual.addends:
+                pool_sim = pool_sim + min(addend,
+                                          max(0.0, required - pool_sim))
+            if pool_sim + 1e-12 >= required:
+                return (base_tick + round_no - 1) * tick_s
+        return (base_tick + 2 * window - 1) * tick_s  # checkpoint
+
+    def span_frozen_taps(self, now: float) -> List[Tap]:
+        """Feed taps the daemon integrates itself over the next span."""
+        accrual = self._accrual(now)
+        if accrual is None:
+            return []
+        return accrual.frozen_taps()
+
+    def advance_span(self, now: float, span: float) -> None:
+        """Replay ``span`` seconds of pooled accrual in closed form."""
+        accrual = self._accrual(now)
+        if accrual is None or self.tick_s is None:
+            return
+        ticks = int(round(span / self.tick_s))
+        if ticks <= 0:
+            return
+
+        def credit(op: FixOp, amount: float) -> None:
+            op.billed_joules += amount
+
+        replay_pooled_accrual(self.graph, self.pool, accrual, ticks,
+                              credit)
+        self._span_cache = None
+
+    def _accrual(self, now: float) -> Optional[PooledAccrual]:
+        """The cached closed-form analysis for this tick (or None)."""
+        cache = self._span_cache
+        if cache is not None and cache[0] == now:
+            return cache[1]
+        accrual = self._compute_accrual(now)
+        self._span_cache = (now, accrual)
+        return accrual
+
+    def _compute_accrual(self, now: float) -> Optional[PooledAccrual]:
+        if self.tick_s is None or self._ticks is None:
+            return None
+        if self.device.state is not GpsState.OFF:
+            return None
+        waiting = [o for o in self._queue
+                   if o.state is FixOpState.WAITING_ENERGY]
+        if not waiting or len(waiting) != len(self._queue):
+            return None
+        accrual = analyze_pooled_accrual(
+            self.graph, self.pool, waiting,
+            reserve_of=lambda op: getattr(op.thread, "_active_reserve",
+                                          None),
+            tick_s=self.tick_s)
+        if accrual is None:
+            return None
+        if accrual.budget_ticks(self.tick_s) < 4 * self.SPAN_SCAN_WINDOW:
+            return None
+        return accrual
+
+
+def fix_request(daemon: GpsDaemon, owner: str = ""):
+    """A yieldable blocking fix request (macro-step friendly).
+
+    Returns a :class:`~repro.sim.process.ServiceCall` that submits
+    through :meth:`GpsDaemon.request_fix` and resumes the program with
+    the delivered :class:`Fix` — the GPS analogue of yielding a
+    ``NetRequest``.  Unlike polling ``WaitFor(lambda: op.state ...)``,
+    the wait does not veto the engine's fast-forward, so a pooled
+    acquisition macro-steps straight to its crossing tick.
+    """
+    from ..sim.process import ServiceCall
+    return ServiceCall(
+        submit=lambda thread: daemon.request_fix(thread, owner=owner),
+        poll=lambda op: op.fix if op.state is FixOpState.DONE else None)

@@ -63,7 +63,7 @@ from .events import (DevicePort, EventSource, Horizon, ProcessTableSource,
                      RadioSource, SchedulerSource, SleeperHeapSource,
                      TimerHeapSource, TraceCadenceSource)
 from .process import (CpuBurn, Fork, NetRequest, Process, ProcessContext,
-                      Request, Sleep, SleepUntil, WaitFor)
+                      Request, ServiceCall, Sleep, SleepUntil, WaitFor)
 from .trace import TraceRecorder
 
 
@@ -112,6 +112,8 @@ class DeviceRuntime:
         self.backlight_on = backlight_on
         self.processes: List[Process] = []
         self._net_ops: Dict[Process, PendingOp] = {}
+        #: In-flight ServiceCall waits: process -> (request, op handle).
+        self._service_ops: Dict[Process, tuple] = {}
         self._timers: List = []
         self._timer_seq = itertools.count()
         self._last_record = -float("inf")
@@ -134,6 +136,16 @@ class DeviceRuntime:
         self.fast_forward = fast_forward
         #: Telemetry: ticks skipped by fast-forward macro-steps.
         self.fast_forwarded_ticks = 0
+        #: Telemetry: degraded windows — maximal runs of consecutive
+        #: ticks whose spans the graph's closed form refused (the
+        #: engine ticked through them instead).  A refusal usually
+        #: repeats on every retry until the state changes, so windows,
+        #: not retries, are the meaningful count.  Chained topologies
+        #: used to land here wholesale; since the coupled span solver
+        #: only state-dependent refusals (mid-span clamp, capacity
+        #: pressure, debt) remain.
+        self.span_refusals = 0
+        self._span_refusing = False
         # -- the event-source horizon: everything that can end (or
         #    forbid) an idle span registers here; the engine itself is
         #    a generic min-over-sources loop --
@@ -179,6 +191,35 @@ class DeviceRuntime:
         self._device_ports.append(port)
         self.horizon.add(port)
         return port
+
+    def attach_gps(self, device=None, params=None,
+                   margin: float = 1.1) -> "GpsDaemon":
+        """Attach a pooled GPS daemon as a first-class event source.
+
+        Builds (or adopts) a :class:`~repro.sensors.gps.GpsDevice`,
+        wires a :class:`~repro.sensors.gps.GpsDaemon` onto this
+        runtime's clock and tick grid, and registers it through
+        :meth:`add_device` with the daemon itself as the port's
+        ``source`` — so pooled-acquisition waits macro-step through
+        the daemon's closed-form accrual exactly like netd's, and
+        receiver state changes (fix ready, linger expiry) bound spans
+        as declared events.  Programs block on a fix with
+        :func:`repro.sensors.gps.fix_request`.
+        """
+        from ..sensors.gps import GpsDaemon, GpsDevice
+        if device is not None and params is not None:
+            raise SimulationError(
+                "pass either a constructed GpsDevice or GpsPowerParams, "
+                "not both (the device already carries its params)")
+        if device is None:
+            device = GpsDevice(params)
+        daemon = GpsDaemon(self.graph, device,
+                           clock=lambda: self.clock.now, margin=margin,
+                           tick_s=self.clock.tick_s,
+                           ticks=lambda: self.clock.ticks)
+        self.add_device(stepper=daemon.step,
+                        power=device.power_above_baseline, source=daemon)
+        return daemon
 
     # -- wiring helpers ---------------------------------------------------------------
 
@@ -328,6 +369,9 @@ class DeviceRuntime:
         clock = self.clock
         now = clock.now
         if not self.horizon.quiescent(now):
+            # No macro-step attempted: any refusal window is over (the
+            # next refusal, if one comes, is a distinct degradation).
+            self._span_refusing = False
             return 0
         horizon = self.horizon.next_event(now, deadline)
         if not math.isfinite(horizon) or horizon <= now:
@@ -335,6 +379,9 @@ class DeviceRuntime:
         # The event fires inside the step at the first tick instant
         # >= horizon (step() compares with a 1e-12 slack); fast-forward
         # lands exactly on that tick and lets a normal step handle it.
+        # (A near horizon does not close a refusal window: the trace
+        # cadence lands every interval and would fragment one degraded
+        # stretch into many.)
         target_tick = math.ceil((horizon - 1e-12) / clock.tick_s)
         ticks = target_tick - clock.ticks
         if ticks < 2:
@@ -358,8 +405,22 @@ class DeviceRuntime:
         # Sources that integrate their own taps (netd pooled accrual)
         # hold them out of the graph's span so nothing double-counts.
         frozen = self.horizon.frozen_taps(now)
+        if len(frozen) > 1 and len({id(t) for t in frozen}) != len(frozen):
+            # Two sources claim the same tap's accrual — e.g. netd and
+            # gpsd waiters sharing one reserve.  Each analysis is
+            # sound in isolation but replaying both would double-count
+            # the feed (root debited twice, both pools credited), so
+            # arbitrate here: tick through, which is always correct.
+            if not self._span_refusing:
+                self.span_refusals += 1
+                self._span_refusing = True
+            return False
         if self.graph.advance_span(span, frozen_taps=frozen) is None:
+            if not self._span_refusing:
+                self.span_refusals += 1
+                self._span_refusing = True
             return False  # e.g. a constant tap would clamp mid-span
+        self._span_refusing = False
         self.horizon.advance_span(now, span)
         radio_watts = self.radio.power_above_baseline(now)
         radio_watts += sum(source(now) for source in self._power_sources)
@@ -405,6 +466,8 @@ class DeviceRuntime:
             candidates.extend(waiters)
         if self._net_ops:
             candidates.extend(self._net_ops.keys())
+        if self._service_ops:
+            candidates.extend(self._service_ops.keys())
         if not candidates:
             return
         candidates.sort(key=lambda p: p.spawn_order)
@@ -433,6 +496,14 @@ class DeviceRuntime:
                         del self._net_ops[process]
                         process.complete_current(reply)
                         self._advance(process)
+            elif isinstance(request, ServiceCall):
+                entry = self._service_ops.get(process)
+                if entry is not None:
+                    reply = entry[0].poll(entry[1])
+                    if reply is not None:
+                        del self._service_ops[process]
+                        process.complete_current(reply)
+                        self._advance(process)
 
     def _advance(self, process: Process) -> None:
         """Drive a process to its next *blocking* request."""
@@ -457,6 +528,15 @@ class DeviceRuntime:
                     process.complete_current(reply)
                     continue
                 self._net_ops[process] = op
+                return
+            if isinstance(request, ServiceCall):
+                op = request.submit(process.thread)
+                reply = request.poll(op)
+                if reply is not None:
+                    # Completed synchronously (e.g. a fresh GPS fix).
+                    process.complete_current(reply)
+                    continue
+                self._service_ops[process] = (request, op)
                 return
             # CpuBurn / Sleep / SleepUntil / WaitFor block until a later
             # tick; Process.advance already set the thread state.  Index

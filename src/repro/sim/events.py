@@ -28,6 +28,16 @@ The protocol:
   effects for an event-free span ending strictly before its
   ``next_event``.  Must not fail: anything that can refuse must do so
   through ``quiescent``/``next_event`` *before* the engine commits.
+
+Sources need not subclass :class:`EventSource` — netd and the GPS
+daemon implement the protocol duck-typed.  The one step that *can*
+still refuse after every source declared quiescence is the resource
+graph's own span (``ResourceGraph.advance_span``), which the engine
+runs first so a refusal mutates nothing; since the coupled span
+solver (:mod:`repro.core.spansolver`) those refusals are
+state-dependent only (mid-span clamp, capacity pressure, debt) —
+chained reserve topologies no longer degrade a quiescent device to
+tick-by-tick.
 """
 
 from __future__ import annotations

@@ -122,6 +122,25 @@ class NetReply:
 
 
 @dataclass
+class ServiceCall(Request):
+    """A blocking call into an engine-attached daemon (GPS et al.).
+
+    ``submit(thread)`` runs when the engine first services the request
+    and returns an opaque operation handle; the engine then polls
+    ``poll(op)`` every pump until it returns a non-None reply, which
+    resumes the process.  This is the generic shape of
+    ``NetRequest``'s netd plumbing: a daemon that also registers an
+    :class:`~repro.sim.events.EventSource` (so completion instants are
+    declared as events) lets the engine macro-step straight through
+    the wait — unlike ``WaitFor``, whose every-tick predicate vetoes
+    fast-forward.
+    """
+
+    submit: Callable[[Thread], Any]
+    poll: Callable[[Any], Optional[Any]]
+
+
+@dataclass
 class Fork(Request):
     """Spawn a child process; resumes with the child's Process."""
 

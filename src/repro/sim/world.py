@@ -12,8 +12,10 @@ shared tick grid:
   horizon and advances all of them by the **global minimum** — the
   same min-over-sources discipline each device already applies to its
   own event sources, lifted one level up.  A device whose closed form
-  refuses a span ticks through it instead, so the fleet never skips
-  an event and never desynchronizes;
+  refuses a span (a state-dependent refusal: mid-span clamp, capacity
+  pressure, debt — chained topologies now solve through the coupled
+  span solver) ticks through it instead, so the fleet never skips an
+  event and never desynchronizes;
 * devices stay tick-aligned by construction: every iteration moves
   every device by the same whole number of ticks.
 
@@ -119,6 +121,18 @@ class World:
     def fast_forwarded_ticks(self) -> int:
         """Total ticks skipped across the fleet."""
         return sum(d.fast_forwarded_ticks for d in self.devices)
+
+    @property
+    def degraded_spans(self) -> int:
+        """Degraded windows across the fleet: maximal tick runs whose
+        spans a device's closed form refused (it ticked instead).
+
+        Chained topologies used to land here wholesale and drag the
+        whole fleet down to tick-by-tick; with the coupled span solver
+        only state-dependent refusals (mid-span clamp, capacity
+        pressure, debt repayment) remain.
+        """
+        return sum(d.span_refusals for d in self.devices)
 
     # -- the world loop -----------------------------------------------------------
 

@@ -124,6 +124,35 @@ class TestGpsDaemonUnit:
         assert op.state is FixOpState.WAITING_ENERGY
         assert device.state is GpsState.OFF
 
+    def test_tracking_receiver_serves_current_fix_not_stale(self, graph):
+        """A live TRACKING receiver's position is current by
+        definition: a request arriving after ``fix_validity_s`` must
+        ride it for free, not burn a pooled re-acquisition that
+        ``start_acquisition`` would no-op and answer with a stale fix."""
+        device, daemon, now = self.make(graph)
+        from repro.kernel.thread_obj import Thread
+        rich = graph.create_reserve(name="rich", source=graph.root,
+                                    level=10.0)
+        t1 = Thread(name="first")
+        t1.set_active_reserve(rich)
+        daemon.request_fix(t1)
+        now["t"] = 12.0
+        daemon.step(12.0)
+        assert device.state is GpsState.TRACKING
+        # Far past the delivered fix's validity, receiver still on.
+        now["t"] = 44.0
+        broke = graph.create_reserve(name="broke")
+        t2 = Thread(name="late")
+        t2.set_active_reserve(broke)
+        pool_before = daemon.pool.level
+        op = daemon.request_fix(t2)
+        assert op.state is FixOpState.DONE
+        assert op.fix.acquired_at == pytest.approx(44.0)  # current
+        assert op.billed_joules == 0.0
+        assert daemon.pooled_acquisitions == 1           # no re-burn
+        assert device.acquisitions == 1
+        assert daemon.pool.level == pool_before
+
 
 class TestGpsInSystem:
     def test_pooled_fix_in_full_engine(self):

@@ -1,0 +1,278 @@
+"""Chained topologies through the full runtime: no more degrading to ticks.
+
+PR 2's engine fell back to tick-by-tick whenever a device carried a
+proportional chain (``graph.advance_span`` refused the span class).
+With the coupled span solver the whole stack — engine horizons, netd
+pooled accrual over chained feeds, Worlds, GPS — macro-steps chained
+devices:
+
+* an idle-heavy system with 3-deep proportional chains fast-forwards
+  (``span_refusals == 0``) and matches tick-by-tick at figure
+  tolerance;
+* a netd pooled wait whose poller reserve is fed *through a junction
+  reserve* (root -> junction -> poller) keeps bit-identical event
+  timing between the two modes;
+* frozen-tap macro-steps reuse one cached span plan per epoch — the
+  graph generation does not move during a pooled wait (the plan-thrash
+  fix);
+* GPS workloads blocked on :func:`repro.sensors.gps.fix_request`
+  macro-step through pooled acquisition with identical fix timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tap import TapType
+from repro.sensors.gps import fix_request
+from repro.sim.engine import CinderSystem
+from repro.sim.process import CpuBurn, Sleep
+from repro.sim.workload import periodic_poller
+from repro.sim.world import World
+
+
+def chained_system(fast_forward: bool, decay: bool = True) -> CinderSystem:
+    """An idle-heavy device whose reserves form 3-deep chains."""
+    system = CinderSystem(battery_joules=15_000.0, tick_s=0.01, seed=9,
+                          record_interval_s=1.0, decay_enabled=decay,
+                          fast_forward=fast_forward)
+    kernel = system.kernel
+    for i in range(3):
+        app = system.powered_reserve(0.06, name=f"app{i}")
+        sub = system.new_reserve(name=f"app{i}.sub")
+        subsub = system.new_reserve(name=f"app{i}.subsub")
+        kernel.create_tap(app, sub, 0.05, TapType.PROPORTIONAL,
+                          name=f"app{i}.t1")
+        kernel.create_tap(sub, subsub, 0.04, TapType.PROPORTIONAL,
+                          name=f"app{i}.t2")
+        kernel.create_tap(subsub, system.battery_reserve, 0.03,
+                          TapType.PROPORTIONAL, name=f"app{i}.t3")
+
+    def maintenance(ctx):
+        while True:
+            yield Sleep(60.0)
+            yield CpuBurn(0.02)
+
+    worker = system.powered_reserve(0.2, name="maint")
+    system.spawn(maintenance, "maint", reserve=worker)
+    return system
+
+
+class TestChainedDeviceFastForward:
+    @pytest.mark.parametrize("decay", [False, True])
+    def test_chained_device_macro_steps(self, decay):
+        fast = chained_system(True, decay=decay)
+        slow = chained_system(False, decay=decay)
+        fast.run(1800.0)
+        slow.run(1800.0)
+        # The chain used to force tick-by-tick; now the span solver
+        # carries it and nothing refuses.
+        assert fast.fast_forwarded_ticks > 150_000
+        assert fast.span_refusals == 0
+        assert fast.clock.ticks == slow.clock.ticks
+        # Event/meter parity: idle spans at constant power.
+        assert fast.meter.total_energy_joules == pytest.approx(
+            slow.meter.total_energy_joules, rel=1e-9)
+        # Chained reserve trajectories at figure tolerance.
+        for r_fast, r_slow in zip(fast.graph.reserves,
+                                  slow.graph.reserves):
+            assert r_fast.level == pytest.approx(r_slow.level, rel=5e-3,
+                                                 abs=1e-6), r_fast.name
+        assert fast.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-6)
+
+    def test_span_refusals_count_windows_not_retries(self):
+        """A persistently clamping drain degrades one contiguous
+        window; the telemetry must not count every retried tick."""
+        system = CinderSystem(battery_joules=1_000.0, tick_s=0.01,
+                              record_interval_s=1.0, decay_enabled=False,
+                              fast_forward=True)
+        shallow = system.new_reserve(name="shallow")
+        system.battery_reserve.transfer_to(shallow, 0.5)
+        sink = system.new_reserve(name="sink")
+        # 0.5 J at 1 W clamps half a second in: every span refuses.
+        system.kernel.create_tap(shallow, sink, 1.0, name="drain")
+        system.run(60.0)
+        assert system.span_refusals == 1
+        assert system.fast_forwarded_ticks == 0
+
+    def test_chained_world_macro_steps(self):
+        world = World(tick_s=0.01, seed=3)
+        for i in range(3):
+            device = world.add_device(name=f"dev{i}",
+                                      record_interval_s=1.0)
+            kernel = device.kernel
+            app = device.powered_reserve(0.05, name="app")
+            sub = device.new_reserve(name="sub")
+            kernel.create_tap(app, sub, 0.04, TapType.PROPORTIONAL,
+                              name="t1")
+            kernel.create_tap(sub, device.battery_reserve, 0.03,
+                              TapType.PROPORTIONAL, name="t2")
+        world.run(600.0)
+        assert world.fast_forwarded_ticks > 100_000
+        assert world.degraded_spans == 0
+        assert world.conservation_error() < 1e-6
+
+
+def junction_poller_system(fast_forward: bool) -> CinderSystem:
+    """A pooled poller fed through a junction: root -> net budget -> app."""
+    system = CinderSystem(battery_joules=15_000.0, tick_s=0.01, seed=5,
+                          record_interval_s=1.0, decay_enabled=False,
+                          fast_forward=fast_forward)
+    junction = system.new_reserve(name="net.budget", decay_exempt=True)
+    # Pre-fund and keep feeding the junction from the battery.
+    system.battery_reserve.transfer_to(junction, 500.0)
+    system.kernel.create_tap(system.battery_reserve, junction, 0.020,
+                             name="budget.in")
+    reserve = system.powered_reserve(0.015, name="poller",
+                                     source=junction)
+    system.spawn(periodic_poller("echo", period_s=600.0, bytes_out=64,
+                                 bytes_in=0, max_polls=3),
+                 "poller", reserve=reserve)
+    return system
+
+
+class TestChainedNetdFeeds:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        fast = junction_poller_system(True)
+        slow = junction_poller_system(False)
+        fast.run(3600.0)
+        slow.run(3600.0)
+        return fast, slow
+
+    def test_macro_steps_through_junction_fed_waits(self, runs):
+        fast, slow = runs
+        assert fast.fast_forwarded_ticks > 300_000
+        assert slow.fast_forwarded_ticks == 0
+        assert fast.clock.ticks == slow.clock.ticks
+
+    def test_event_timing_bit_identical(self, runs):
+        fast, slow = runs
+        assert fast.radio.activation_count == slow.radio.activation_count
+        assert fast.netd.stats.operations == slow.netd.stats.operations
+        assert (fast.netd.stats.total_wait_seconds
+                == slow.netd.stats.total_wait_seconds)
+        assert fast.netd.pool.level == slow.netd.pool.level
+
+    def test_junction_books_balance(self, runs):
+        fast, slow = runs
+        junction_fast = fast.graph.reserves[2]
+        junction_slow = slow.graph.reserves[2]
+        assert junction_fast.name == "net.budget"
+        assert junction_fast.level == pytest.approx(junction_slow.level,
+                                                    rel=1e-9)
+        assert fast.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-6)
+
+    def test_no_plan_thrash_during_pooled_wait(self, runs):
+        """Frozen-tap macro-steps must reuse one cached span plan: the
+        generation previously bumped twice per horizon."""
+        system = junction_poller_system(True)
+        system.run_until(lambda: system.netd.waiting_count == 1,
+                         max_s=700.0)
+        generation = system.graph.generation
+        macro_before = system.fast_forwarded_ticks
+        system.run(120.0)  # deep inside the pooled wait
+        assert system.netd.waiting_count == 1
+        assert system.fast_forwarded_ticks > macro_before  # macro-stepped
+        assert system.graph.generation == generation       # zero recompiles
+
+
+class TestGpsMacroStepping:
+    def build(self, fast_forward: bool):
+        system = CinderSystem(battery_joules=15_000.0, tick_s=0.01,
+                              seed=4, record_interval_s=1.0,
+                              decay_enabled=False,
+                              fast_forward=fast_forward)
+        daemon = system.attach_gps()
+        fixes = []
+
+        def navigator(ctx):
+            while True:
+                fix = yield fix_request(daemon, owner="nav")
+                fixes.append((ctx.now, fix.acquired_at))
+                yield Sleep(120.0)
+
+        reserve = system.powered_reserve(0.030, name="nav")
+        system.spawn(navigator, "nav", reserve=reserve)
+        return system, daemon, fixes
+
+    def test_pooled_acquisition_macro_steps_identically(self):
+        fast, fast_daemon, fast_fixes = self.build(True)
+        slow, slow_daemon, slow_fixes = self.build(False)
+        fast.run(900.0)
+        slow.run(900.0)
+        # The old stepper-only attachment vetoed every span; the
+        # event-source daemon macro-steps through acquisition waits.
+        assert fast.fast_forwarded_ticks > 50_000
+        assert slow.fast_forwarded_ticks == 0
+        assert fast_fixes == slow_fixes  # bit-identical fix timing
+        assert len(fast_fixes) >= 3
+        assert (fast_daemon.device.acquisitions
+                == slow_daemon.device.acquisitions)
+        assert fast_daemon.pool.level == slow_daemon.pool.level
+        assert fast.meter.total_energy_joules == pytest.approx(
+            slow.meter.total_energy_joules, rel=1e-6)
+        assert fast.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-6)
+
+    def test_netd_and_gps_sharing_one_reserve_stay_exact(self):
+        """Both daemons' accrual analyses accept a reserve shared by a
+        netd waiter and a GPS waiter; replaying both would double-count
+        its feed tap, so the engine must arbitrate (tick through the
+        overlap) and keep fast/slow event parity."""
+        def build(fast_forward):
+            system = CinderSystem(battery_joules=15_000.0, tick_s=0.01,
+                                  seed=6, record_interval_s=1.0,
+                                  decay_enabled=False,
+                                  fast_forward=fast_forward)
+            daemon = system.attach_gps()
+            shared = system.powered_reserve(0.030, name="shared")
+
+            def poller(ctx):
+                yield from periodic_poller(
+                    "echo", period_s=300.0, bytes_out=64, bytes_in=0,
+                    max_polls=1)(ctx)
+
+            def navigator(ctx):
+                yield fix_request(daemon, owner="nav")
+
+            system.spawn(poller, "poller", reserve=shared)
+            system.spawn(navigator, "nav", reserve=shared)
+            return system, daemon
+
+        fast, fast_daemon = build(True)
+        slow, slow_daemon = build(False)
+        fast.run(600.0)
+        slow.run(600.0)
+        assert (fast_daemon.device.acquisitions
+                == slow_daemon.device.acquisitions)
+        assert fast.radio.activation_count == slow.radio.activation_count
+        assert (fast.netd.stats.total_wait_seconds
+                == slow.netd.stats.total_wait_seconds)
+        assert fast.netd.pool.level == slow.netd.pool.level
+        assert fast_daemon.pool.level == slow_daemon.pool.level
+        assert fast.battery.charge_joules == pytest.approx(
+            slow.battery.charge_joules, rel=1e-9)
+        assert fast.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-6)
+
+    def test_fresh_fix_shared_without_acquisition(self):
+        system, daemon, fixes = self.build(True)
+        got = {}
+
+        def rider(ctx):
+            fix = yield fix_request(daemon, owner="rider")
+            got["fix"] = (ctx.now, fix.acquired_at)
+
+        reserve = system.powered_reserve(0.030, name="rider")
+        # Start the rider just after the first fix is delivered.
+        system.schedule_at(
+            60.0, lambda: None)  # keep the heap non-trivial
+        system.run_until(lambda: len(fixes) >= 1, max_s=600.0)
+        system.spawn(rider, "rider", reserve=reserve)
+        system.run(5.0)
+        assert "fix" in got
+        # The rider rode the cached fix: no second acquisition yet.
+        assert daemon.cached_fixes_served == 1
