@@ -35,6 +35,7 @@ not just recorded.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import sys
@@ -49,8 +50,9 @@ from repro.core.graph import ResourceGraph            # noqa: E402
 from repro.core.tap import TapType                    # noqa: E402
 from repro.sim.engine import CinderSystem             # noqa: E402
 from repro.sim.process import CpuBurn, Sleep          # noqa: E402
+from repro.sim.shards import ShardedWorld             # noqa: E402
 from repro.sim.workload import (fleet_of_pollers,     # noqa: E402
-                                periodic_poller)
+                                periodic_poller, poller_shard)
 from repro.sim.world import World                     # noqa: E402
 
 BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_core.json")
@@ -65,6 +67,16 @@ CHAIN_APPS = 4
 FLEET_DEVICES = 50
 FLEET_SIM_S = 600.0
 FLEET_TICK_SLICE_S = 60.0
+#: The scaling curve: device counts, all at FLEET_1K_SIM_S simulated
+#: seconds with a coarser (5 s) record cadence so the 1000-device
+#: point stays a tier-1-sized run.
+FLEET_SCALING_DEVICES = (50, 200, 1000)
+FLEET_1K_SIM_S = 600.0
+FLEET_SCALING_RECORD_S = 5.0
+#: Shard-count sensitivity sweep (0 = inline, no processes).
+FLEET_SHARD_COUNTS = (0, 2, 4)
+FLEET_SHARD_DEVICES = 200
+FLEET_SHARD_SIM_S = 120.0
 
 
 def build_micro_graph() -> ResourceGraph:
@@ -267,15 +279,25 @@ def build_fleet(fast_forward: bool) -> World:
 
 
 def run_fleet() -> dict:
-    world = build_fleet(True)
-    start = time.perf_counter()
-    world.run(FLEET_SIM_S)
-    fast_wall = time.perf_counter() - start
+    # Best-of-2 on both sides: a shared 1-core CI runner's scheduler
+    # noise would otherwise dominate the ratio this bench floors.
+    fast_wall = float("inf")
+    world = None
+    for _ in range(2):
+        candidate = build_fleet(True)
+        start = time.perf_counter()
+        candidate.run(FLEET_SIM_S)
+        wall = time.perf_counter() - start
+        if wall < fast_wall:
+            fast_wall, world = wall, candidate
 
-    tick_world = build_fleet(False)
-    start = time.perf_counter()
-    tick_world.run(FLEET_TICK_SLICE_S)
-    slice_wall = time.perf_counter() - start
+    slice_wall = float("inf")
+    for _ in range(2):
+        tick_world = build_fleet(False)
+        start = time.perf_counter()
+        tick_world.run(FLEET_TICK_SLICE_S)
+        slice_wall = min(slice_wall,
+                         time.perf_counter() - start)
     # Wall-clock per simulated second, extrapolated from the slice.
     speedup = (slice_wall / FLEET_TICK_SLICE_S) / (fast_wall / FLEET_SIM_S)
     return {
@@ -288,12 +310,88 @@ def run_fleet() -> dict:
         "macro_steps": world.macro_steps,
         "tick_steps": world.tick_steps,
         "fast_forwarded_ticks": world.fast_forwarded_ticks,
+        "cohort_spans": world.cohort_spans,
+        "cohort_fallbacks": world.cohort_fallbacks,
+        "horizon_cache_hits": world.horizon_cache_hits,
         "radio_activations": world.total_radio_activations(),
         "worst_conservation_error_j": world.conservation_error(),
     }
 
 
+def _scaling_builder(devices: int):
+    return functools.partial(
+        poller_shard, fleet_size=devices, watts=0.02, period_s=300.0,
+        bytes_out=64, record_interval_s=FLEET_SCALING_RECORD_S,
+        decay_enabled=False)
+
+
+def run_fleet_scaling() -> dict:
+    """The scaling curve: wall cost per device-second vs fleet size.
+
+    All points run in-process (shards=0) on the *independent*
+    scheduler — each device macro-steps on its own horizon between
+    clock barriers — so per-device cost is flat in fleet size by
+    construction; the floor asserts it stays flat (a staggered
+    1000-device fleet under the lockstep loop pays O(fleet events)
+    iterations per device and lands an order of magnitude higher).
+    """
+    points = []
+    for devices in FLEET_SCALING_DEVICES:
+        fleet = ShardedWorld(_scaling_builder(devices), devices, shards=0,
+                             tick_s=TICK_S, seed=7, fast_forward=True)
+        report = fleet.run(FLEET_1K_SIM_S, independent=True)
+        device_seconds = devices * FLEET_1K_SIM_S
+        points.append({
+            "devices": devices,
+            "simulated_s": FLEET_1K_SIM_S,
+            "wall_s": round(report.wall_s, 3),
+            "us_per_device_second": round(
+                report.wall_s / device_seconds * 1e6, 3),
+            "device_seconds_per_wall_s": round(
+                device_seconds / report.wall_s, 1),
+            "radio_activations": report.total_radio_activations(),
+            "worst_conservation_error_j":
+                report.worst_conservation_error(),
+        })
+    return {
+        "record_interval_s": FLEET_SCALING_RECORD_S,
+        "scheduler": "independent",
+        "points": points,
+    }
+
+
+def run_fleet_shards() -> dict:
+    """Shard-count sensitivity: the same fleet at 0/2/4 workers.
+
+    On a single-core runner the process shards mostly measure IPC
+    and spawn overhead (recorded honestly); with real cores they
+    divide the wall clock.  ``cpu_count`` is recorded so readers can
+    interpret the sweep.
+    """
+    builder = _scaling_builder(FLEET_SHARD_DEVICES)
+    sweep = []
+    for shards in FLEET_SHARD_COUNTS:
+        fleet = ShardedWorld(builder, FLEET_SHARD_DEVICES, shards=shards,
+                             tick_s=TICK_S, seed=7, fast_forward=True)
+        report = fleet.run(FLEET_SHARD_SIM_S, independent=True)
+        sweep.append({
+            "shards": shards,
+            "wall_s": round(report.wall_s, 3),
+            "shard_walls_s": [round(w, 3) for w in report.shard_walls],
+            "worst_conservation_error_j":
+                report.worst_conservation_error(),
+        })
+    return {
+        "devices": FLEET_SHARD_DEVICES,
+        "simulated_s": FLEET_SHARD_SIM_S,
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep,
+    }
+
+
 def collect() -> dict:
+    scaling = run_fleet_scaling()
+    fleet_1k = next(p for p in scaling["points"] if p["devices"] >= 1000)
     return {
         "bench": "core_step",
         "unix_time": int(time.time()),
@@ -302,6 +400,9 @@ def collect() -> dict:
         "netd_macro": run_netd_macro(),
         "chain_macro": run_chain_macro(),
         "fleet": run_fleet(),
+        "fleet_scaling": scaling,
+        "fleet_1k": fleet_1k,
+        "fleet_shards": run_fleet_shards(),
     }
 
 

@@ -8,10 +8,13 @@ tick-by-tick >= 10x wall-clock on a 1-simulated-hour idle-heavy
 system; the pooled-netd closed form must macro-step a net-wait-heavy
 hour >= 5x with bit-identical event timing; the coupled span solver
 must macro-step a 3-deep-chained hour >= 5x with zero span refusals
-and trajectories inside the documented tolerance; and a 50-device
-World fleet must stay under its wall-clock floor — all while
-conserving energy.  Results are also written to ``BENCH_core.json``
-so the perf trajectory is tracked across PRs.
+and trajectories inside the documented tolerance; the cohort-batched
+50-device World fleet must beat tick-slicing >= 15x; the 1000-device
+``fleet_1k`` run (independent scheduler, >= 600 simulated seconds)
+must finish within its wall ceiling at conservation < 1e-8; and the
+fleet scaling curve's per-device-second cost must stay flat from 50
+to 1000 devices.  Results are also written to ``BENCH_core.json`` so
+the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -19,9 +22,13 @@ from __future__ import annotations
 import run_bench
 
 #: Wall-clock ceiling for the 50-device, 10-simulated-minute fleet —
-#: generous (measured ~3.5 s locally) because CI runners are shared;
+#: generous (measured ~1.5 s locally) because CI runners are shared;
 #: the machine-independent gate is the speedup ratio below.
 FLEET_WALL_LIMIT_S = 60.0
+
+#: Wall-clock ceiling for the 1000-device, 600-simulated-second run
+#: (measured ~15 s locally on one core; CI runners are shared).
+FLEET_1K_WALL_LIMIT_S = 90.0
 
 
 def test_bench_micro_vectorized_step(benchmark):
@@ -69,5 +76,34 @@ def test_bench_core_speedups_and_write_json(run_once):
     assert fleet["fast_forward_wall_s"] < FLEET_WALL_LIMIT_S, (
         f"50-device fleet took {fleet['fast_forward_wall_s']}s "
         f"(limit {FLEET_WALL_LIMIT_S}s)")
-    assert fleet["speedup_vs_tick"] >= 3.0
+    assert fleet["speedup_vs_tick"] >= 15.0, (
+        f"cohort-batched fleet only {fleet['speedup_vs_tick']}x over "
+        f"tick-slicing")
+    assert fleet["cohort_fallbacks"] == 0, (
+        "homogeneous poller fleet must stay fully cohort-batched")
     assert fleet["worst_conservation_error_j"] < 1e-6
+
+    fleet_1k = results["fleet_1k"]
+    assert fleet_1k["devices"] >= 1000
+    assert fleet_1k["simulated_s"] >= 600.0
+    assert fleet_1k["wall_s"] < FLEET_1K_WALL_LIMIT_S, (
+        f"1000-device fleet took {fleet_1k['wall_s']}s "
+        f"(limit {FLEET_1K_WALL_LIMIT_S}s)")
+    assert fleet_1k["worst_conservation_error_j"] < 1e-8
+    assert fleet_1k["radio_activations"] >= 1000
+
+    points = {p["devices"]: p
+              for p in results["fleet_scaling"]["points"]}
+    assert set(points) >= {50, 200, 1000}
+    flatness = (points[1000]["us_per_device_second"]
+                / points[50]["us_per_device_second"])
+    assert flatness <= 2.5, (
+        f"per-device-second cost grew {flatness:.2f}x from 50 to 1000 "
+        f"devices — the world loop is not scaling sublinearly")
+    for point in points.values():
+        assert point["worst_conservation_error_j"] < 1e-8
+
+    shards = results["fleet_shards"]
+    assert {entry["shards"] for entry in shards["sweep"]} >= {0, 2, 4}
+    for entry in shards["sweep"]:
+        assert entry["worst_conservation_error_j"] < 1e-8

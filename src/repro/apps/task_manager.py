@@ -26,6 +26,7 @@ from ..errors import SchedulerError
 from ..kernel.labels import Label, PrivilegeSet, fresh_category
 from ..kernel.thread_obj import Thread
 from ..sim.engine import CinderSystem
+from ..sim.process import ServiceCall
 from ..units import mW
 
 #: Figure 12 defaults: 14 mW shared by the background pool, 137 mW
@@ -136,6 +137,36 @@ class TaskManager:
     def app(self, name: str) -> ManagedApp:
         """Look up one managed app."""
         return self._apps[name]
+
+    # -- blocking focus waits (ServiceCall, macro-step friendly) -------------------------
+
+    def focus_request(self, name: str,
+                      foreground: bool = True) -> ServiceCall:
+        """A yieldable block until ``name`` gains (or loses) focus.
+
+        The polling-daemon pattern used to be
+        ``yield WaitFor(lambda: manager.focused == name)`` — and a
+        ``WaitFor`` predicate is re-polled every tick, which vetoes
+        the engine's fast-forward for the whole wait (a poller fleet
+        under task-manager control degraded to tick-by-tick).  Focus
+        changes are *events* — they happen inside scheduled callbacks
+        (:meth:`schedule_focus`) or synchronous calls — so the wait is
+        expressed as a :class:`~repro.sim.process.ServiceCall`: the
+        engine macro-steps straight to the focus-change tick, polls
+        there, and resumes the program on exactly the tick a per-tick
+        predicate would have fired on.  Resumes with the app's
+        :class:`ManagedApp` on a foreground wait, ``True`` on a
+        background wait.
+        """
+        if name not in self._apps:
+            raise SchedulerError(f"no managed app {name!r}")
+
+        def poll(op: object) -> Optional[object]:
+            if (self._focused == name) != foreground:
+                return None
+            return self._apps[name] if foreground else True
+
+        return ServiceCall(submit=lambda thread: name, poll=poll)
 
     # -- scripting helper (the Figure 12 schedules) ---------------------------------------
 

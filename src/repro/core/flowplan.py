@@ -135,11 +135,35 @@ class FlowPlan:
         self._amount_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
         #: The span tier (closed-form macro-steps), built on first use.
         self._span_tier: Optional[SpanTier] = None
+        #: Lazily computed topology signature (see :attr:`signature`).
+        self._signature: Optional[Tuple] = None
         #: Lazily-flushed per-tap cumulative flow (see Tap.total_flowed).
         self._tap_flow_acc = np.zeros(m)
         if claim_slots:
             for j, tap in enumerate(taps):
                 tap._flow_slot = (self._tap_flow_acc, j)
+
+    @property
+    def signature(self) -> Tuple:
+        """A hashable digest of the compiled topology *shape*.
+
+        Two plans with equal signatures describe graphs whose live
+        reserves and taps are structurally identical — same counts,
+        same creation-ordered wiring, same rates/types, same
+        capacities and decay exemptions — so their tick and span
+        arithmetic is the same elementwise program over different
+        level vectors.  That is exactly the cohort-eligibility test
+        the fleet batcher applies (levels are *not* part of the
+        signature: they are gathered fresh per call).
+        """
+        sig = self._signature
+        if sig is None:
+            sig = self._signature = (
+                len(self.reserves), len(self.taps), self.root_index,
+                self.src.tobytes(), self.snk.tobytes(),
+                self.rate.tobytes(), self.const_mask.tobytes(),
+                self.capacity.tobytes(), self.decay_mask.tobytes())
+        return sig
 
     def flush_stats(self) -> None:
         """Fold accumulated per-tap flow back into the tap objects.
@@ -377,3 +401,154 @@ class FlowPlan:
         instead; a None return mutates nothing).
         """
         return self.span_tier.execute(span)
+
+
+# ---------------------------------------------------------------------------
+# cohort-batched execution (fleets of structurally identical graphs)
+# ---------------------------------------------------------------------------
+
+
+def execute_tick_batch(plans: List[FlowPlan],
+                       dt: float) -> List[Optional[float]]:
+    """One stacked batch round across a cohort of identical graphs.
+
+    ``plans`` must share a :attr:`FlowPlan.signature` (the caller
+    groups by it) and their graphs must apply the same decay fraction
+    for ``dt``.  Levels are stacked into one ``(n_devices, n_reserves)``
+    array and every segment executes across the whole cohort at once —
+    the same elementwise arithmetic :meth:`FlowPlan.execute_tick`
+    performs per device, so a batched tick is bit-identical to the
+    per-device kernel.  Validity (no-clamp, capacity headroom, decay
+    headroom) is checked per device; a failing device is dropped from
+    the commit untouched and reported as ``None`` in the result list
+    so the caller can run its full per-device step instead.
+
+    Unlike ``graph.step``, this entry point does not defer to the
+    per-object reference path on small graphs: batching exists
+    precisely because a fleet of small graphs amortizes the numpy
+    call overhead a single small graph cannot.
+    """
+    lead = plans[0]
+    d = len(plans)
+    n = len(lead.reserves)
+    m = len(lead.taps)
+    work = np.empty((d, n))
+    for i, plan in enumerate(plans):
+        work[i] = plan._gather_levels()
+    ok = np.ones(d, dtype=bool)
+    moved = np.zeros((d, m))
+    in_sum = np.zeros((d, n))
+    out_sum = np.zeros((d, n))
+    # Per-segment flat scatter indices, cached on the lead plan (plans
+    # die with their topology epoch, so the cache cannot go stale).
+    flat_cache = getattr(lead, "_tick_flat", None)
+    if flat_cache is None or flat_cache[0] != d:
+        row_base = (np.arange(d) * n)[:, None]
+        flat_cache = (d, [((row_base + lead.src[lo:hi]).ravel(),
+                           (row_base + lead.snk[lo:hi]).ravel())
+                          for lo, hi, _, _, _ in lead.segments])
+        lead._tick_flat = flat_cache
+    if m:
+        const_amt, factors = lead._amounts_for(dt)
+        finite_cap = lead.finite_cap
+        for seg_index, (lo, hi, mode, has_clamp,
+                        has_corr) in enumerate(lead.segments):
+            src = lead.src[lo:hi]
+            snk = lead.snk[lo:hi]
+            pos = np.maximum(work, 0.0)
+            if mode == _CONST_ONLY and not has_clamp:
+                amt = np.broadcast_to(const_amt[lo:hi], (d, hi - lo))
+            else:
+                base = work[:, src]
+                if has_corr:
+                    base = base + lead.corr[lo:hi] * dt
+                avail = np.maximum(base, 0.0)
+                if mode == _PROP_ONLY:
+                    amt = avail * factors[lo:hi]
+                elif mode == _CONST_ONLY:
+                    amt = np.broadcast_to(const_amt[lo:hi], (d, hi - lo))
+                else:
+                    amt = np.where(lead.const_mask[lo:hi],
+                                   const_amt[lo:hi],
+                                   avail * factors[lo:hi])
+                if has_clamp:
+                    cl = lead.clampable[lo:hi]
+                    amt = np.where(cl, np.minimum(amt, avail), amt)
+            flat_src, flat_snk = flat_cache[1][seg_index]
+            out = np.bincount(flat_src, weights=amt.ravel(),
+                              minlength=d * n).reshape(d, n)
+            bad = (out > pos).any(axis=1)
+            inn = np.bincount(flat_snk, weights=amt.ravel(),
+                              minlength=d * n).reshape(d, n)
+            if finite_cap.size:
+                headroom = np.maximum(
+                    0.0, lead.capacity[finite_cap] - work[:, finite_cap])
+                bad |= (inn[:, finite_cap] > headroom).any(axis=1)
+            ok &= ~bad
+            work += inn
+            work -= out
+            in_sum += inn
+            out_sum += out
+            moved[:, lo:hi] = amt
+
+    # -- global decay, closed over this tick (per-device headroom) --
+    policy = lead.graph.decay_policy
+    fraction = policy.fraction_for(dt)
+    reclaimed = np.zeros(d)
+    lost = None
+    if fraction > 0.0 and lead.any_decayable:
+        eligible = lead.decay_mask & (work > 0.0)
+        lost = np.where(eligible, work * fraction, 0.0)
+        reclaimed = lost.sum(axis=1)
+        root_i = lead.root_index
+        bad = reclaimed > lead.capacity[root_i] - work[:, root_i]
+        ok &= ~bad
+        work -= lost
+        work[:, root_i] += reclaimed
+
+    # -- per-device commit (identical bookkeeping to execute_tick;
+    #    whole-stack tolist conversions amortize the numpy round-trips) --
+    results: List[Optional[float]] = [None] * d
+    work_l = work.tolist()
+    out_l = out_sum.tolist()
+    in_l = in_sum.tolist()
+    lost_l = lost.tolist() if lost is not None else None
+    moved_l = moved.tolist()
+    moved_totals = moved.sum(axis=1).tolist()
+    for i, plan in enumerate(plans):
+        if not ok[i]:
+            continue
+        root = plan.graph.root
+        if lost_l is None:
+            for reserve, lv, o, i_ in zip(plan.reserves, work_l[i],
+                                          out_l[i], in_l[i]):
+                reserve._level = lv
+                if o:
+                    reserve.total_transferred_out += o
+                if i_:
+                    reserve.total_transferred_in += i_
+        else:
+            for reserve, lv, o, i_, ls in zip(plan.reserves, work_l[i],
+                                              out_l[i], in_l[i],
+                                              lost_l[i]):
+                reserve._level = lv
+                if o:
+                    reserve.total_transferred_out += o
+                if i_:
+                    reserve.total_transferred_in += i_
+                if ls:
+                    reserve.total_decayed += ls
+        if fraction > 0.0:
+            rec = float(reclaimed[i])
+            if rec:
+                root.total_deposited += rec
+            plan.graph.decay_policy.total_reclaimed += rec
+        acc = plan._tap_flow_acc
+        for j, amount in enumerate(moved_l[i]):
+            if amount:
+                acc[j] += amount
+        graph = plan.graph
+        graph.vector_steps += 1
+        graph.time += dt
+        results[i] = moved_totals[i]
+    return results

@@ -434,15 +434,30 @@ class ResourceGraph:
             raise EnergyError("span must be non-negative")
         if span == 0.0:
             return 0.0
-        held = [t for t in frozen_taps if t.alive and t.enabled]
-        if not held:
-            moved = self._current_plan().execute_span(span)
-        else:
-            moved = self._span_plan_for(held).execute_span(span)
+        moved = self.span_plan_handle(frozen_taps).execute_span(span)
         if moved is None:
             return None
         self.time += span
         return moved
+
+    def span_plan_handle(self, frozen_taps: Iterable[Tap] = ()) -> FlowPlan:
+        """The compiled plan a span over ``frozen_taps`` executes on.
+
+        Fleet schedulers use this to fetch cohort members' plans (and
+        their topology signatures) without executing anything: devices
+        whose handles share a signature can stack their span solves
+        into one batched call.  A span executed directly on the handle
+        must be followed by :meth:`note_span` on success — that is
+        exactly what :meth:`advance_span` does for the scalar path.
+        """
+        held = [t for t in frozen_taps if t.alive and t.enabled]
+        if not held:
+            return self._current_plan()
+        return self._span_plan_for(held)
+
+    def note_span(self, span: float) -> None:
+        """Book a span executed externally (batched cohort solve)."""
+        self.time += span
 
     # -- §5.2.2: the fundamental anti-hoarding alternative ---------------------------
 

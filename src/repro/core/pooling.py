@@ -128,11 +128,24 @@ def analyze_pooled_accrual(
     ops: List[Any],
     reserve_of: Callable[[Any], Optional[Reserve]],
     tick_s: float,
+    drain_to_pool: bool = True,
 ) -> Optional[PooledAccrual]:
     """Validate a pooled-wait regime; None means tick instead.
 
     ``ops`` are the queued operations in queue order; ``reserve_of``
     maps one to its caller's active reserve.
+
+    ``drain_to_pool=False`` describes the *individual-gating* regime
+    (netd with the radio already active, §5.5.1 semantics): waiters
+    accrue in their **own** reserves — nothing moves to the pool until
+    an op becomes affordable — so the reserve's starting level is
+    arbitrary (no drained-to-zero requirement) and its trajectory is
+    the exact per-tick ``+= rate * tick`` chain.  Because the level is
+    non-zero, a per-tick decay would make the increments
+    level-dependent; the closed form therefore additionally requires
+    decay off (or the reserve exempt).  ``entry.contribution`` is 0
+    and :attr:`PooledAccrual.addends`/``avail_sum`` stay empty in this
+    mode: replay goes through :func:`replay_reserve_accrual`.
     """
     root = graph.root
     if (not pool.alive or pool.capacity is not None
@@ -174,7 +187,12 @@ def analyze_pooled_accrual(
             continue
         if (not reserve.alive or reserve is root or reserve is pool
                 or reserve.capacity is not None
-                or reserve._level != 0.0):
+                or (drain_to_pool and reserve._level != 0.0)):
+            return None
+        if (not drain_to_pool and fraction > 0.0
+                and not reserve.decay_exempt):
+            # A non-zero accruing level makes per-tick decay
+            # level-dependent; no fixed-addend replay exists.
             return None
         if outbound.get(key):
             return None
@@ -207,6 +225,12 @@ def analyze_pooled_accrual(
         # One tick of the reference arithmetic, from level zero:
         # deposit the tap's amount, then decay the deposit.
         inflow = tap.rate * tick_s
+        if not drain_to_pool:
+            # Individual gating: the deposit stays in the reserve and
+            # the per-tick increment is exactly the tap amount.
+            seen[key] = 0.0
+            entries.append(PooledEntry(reserve, tap, inflow, 0.0, 0.0, op))
+            continue
         level = 0.0 + inflow
         lost = 0.0
         if fraction > 0.0 and not reserve.decay_exempt and level > 0.0:
@@ -242,19 +266,27 @@ def replay_pooled_accrual(
     if ticks <= 0:
         return 0.0
     if accrual.addends:
-        addends = np.asarray(accrual.addends, dtype=float)
-        per_tick = addends.size
-        chunk_ticks = max(1, (1 << 18) // per_tick)
-        pool_level = pool._level
-        remaining = ticks
-        while remaining > 0:
-            batch = min(remaining, chunk_ticks)
-            seq = np.empty(batch * per_tick + 1)
-            seq[0] = pool_level
-            seq[1:] = np.tile(addends, batch)
-            pool_level = float(np.cumsum(seq)[-1])
-            remaining -= batch
-        pool._level = pool_level
+        per_tick = len(accrual.addends)
+        if ticks * per_tick < 256:
+            # Short spans: the literal scalar chain beats numpy setup.
+            pool_level = pool._level
+            for _ in range(ticks):
+                for addend in accrual.addends:
+                    pool_level = pool_level + addend
+            pool._level = pool_level
+        else:
+            addends = np.asarray(accrual.addends, dtype=float)
+            chunk_ticks = max(1, (1 << 18) // per_tick)
+            pool_level = pool._level
+            remaining = ticks
+            while remaining > 0:
+                batch = min(remaining, chunk_ticks)
+                seq = np.empty(batch * per_tick + 1)
+                seq[0] = pool_level
+                seq[1:] = np.tile(addends, batch)
+                pool_level = float(np.cumsum(seq)[-1])
+                remaining -= batch
+            pool._level = pool_level
     contributed_total = 0.0
     root = graph.root
     for entry in accrual.entries:
@@ -278,3 +310,51 @@ def replay_pooled_accrual(
             credit(entry.op, contrib_total)
             contributed_total += contrib_total
     return contributed_total
+
+
+def replay_reserve_accrual(
+    graph: "ResourceGraph",
+    accrual: PooledAccrual,
+    ticks: int,
+) -> float:
+    """Replay ``ticks`` rounds of *individual* accrual in closed form.
+
+    The ``drain_to_pool=False`` counterpart of
+    :func:`replay_pooled_accrual`: each waiter reserve's level
+    advances through the exact per-tick ``+= rate * tick`` chain
+    (chunked ``numpy.cumsum``, bit-identical to the reference tick
+    loop), the deposits *stay in the reserve* — the §5.5.1 regime
+    where every caller gates on its own balance — and the feed-source
+    debits and cumulative counters move in bulk.  Returns the total
+    amount deposited across all waiter reserves.
+    """
+    if ticks <= 0:
+        return 0.0
+    deposited_total = 0.0
+    for entry in accrual.entries:
+        if entry.inflow <= 0.0:
+            continue
+        level = entry.reserve._level
+        if ticks < 256:
+            # Short spans: the literal scalar chain beats numpy setup.
+            for _ in range(ticks):
+                level = level + entry.inflow
+        else:
+            chunk_ticks = 1 << 18
+            remaining = ticks
+            while remaining > 0:
+                batch = min(remaining, chunk_ticks)
+                seq = np.empty(batch + 1)
+                seq[0] = level
+                seq[1:] = entry.inflow
+                level = float(np.cumsum(seq)[-1])
+                remaining -= batch
+        entry.reserve._level = level
+        flow_total = entry.inflow * ticks
+        entry.tap.total_flowed += flow_total
+        entry.reserve.total_transferred_in += flow_total
+        source = entry.tap.source
+        source._level -= flow_total
+        source.total_transferred_out += flow_total
+        deposited_total += flow_total
+    return deposited_total

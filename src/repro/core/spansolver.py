@@ -54,7 +54,7 @@ level) always refuses: repayment is tick-granular.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -223,14 +223,27 @@ class SpanTier:
         self.const_out = np.zeros(n)
         self.prop_out = np.zeros(n)
         self.prop_sink_mask = np.zeros(n, dtype=bool)
+        first_drain: Dict[int, int] = {}
         for j in range(len(plan.taps)):
             s, k, r = int(plan.src[j]), int(plan.snk[j]), plan.rate[j]
             if plan.const_mask[j]:
                 self.const_out[s] += r
                 self.const_in[k] += r
+                first_drain.setdefault(s, j)
             else:
                 self.prop_out[s] += r
                 self.prop_sink_mask[k] = True
+        #: Constant feeds that land *before* their sink's first
+        #: constant drain in creation order: ``(sink, source, rate)``.
+        #: Within every tick these deposit ahead of the drain, so —
+        #: provided the feed's own source cannot clamp — they are
+        #: guaranteed income the clamp bound may credit (the
+        #: pass-through shapes: task-manager pools, relay junctions).
+        self.early_feeds = [
+            (int(plan.snk[j]), int(plan.src[j]), plan.rate[j])
+            for j in range(len(plan.taps))
+            if plan.const_mask[j]
+            and j < first_drain.get(int(plan.snk[j]), len(plan.taps))]
         #: lam -> the coupled linear system at that decay constant.
         self._coupled: Dict[float, CoupledSystem] = {}
         #: Telemetry: spans solved by each tier (diagnostics/tests).
@@ -239,25 +252,64 @@ class SpanTier:
 
     # -- shared refusal bounds ---------------------------------------------------
 
-    def _clamp_bound_ok(self, lvl: np.ndarray, span: float,
-                        f: np.ndarray, linear: np.ndarray) -> bool:
-        """True iff no constant drain can clamp anywhere in the span.
+    def _clamp_safe_rows(self, lvl: np.ndarray, span: float,
+                         f: np.ndarray, linear: np.ndarray
+                         ) -> np.ndarray:
+        """Per-row ``True`` iff no constant drain can clamp in the span.
 
-        ``L' >= -const_out - F*L`` (every inflow ignored) is monotone
-        decreasing, so the span-end value of that lower-bound ODE
-        bounds the whole trajectory.  Sound for coupled systems too:
-        coupling only ever *adds* inflow.
+        ``lvl`` is stacked ``(d, n)``.  First pass: ``L' >= -const_out
+        - F*L`` (every inflow ignored) is monotone decreasing, so the
+        span-end value of that lower-bound ODE bounds the whole
+        trajectory.  Sound for coupled systems too: coupling only
+        ever *adds* inflow.
+
+        Reserves that fail the inflow-free bound get a refined pass:
+        constant feeds that fire *before* the reserve's first drain
+        within every tick (:attr:`early_feeds`), and whose own source
+        is already proven clamp-free, are guaranteed income — the
+        effective drain is only the deficit beyond them.  This is
+        what admits pass-through shapes (a junction fed at 14 mW and
+        drained at 14 mW sits at level ~0 forever, which the
+        inflow-free bound can never clear) while staying exactly as
+        sound: each iterate credits only feeds from reserves proven
+        safe by the previous iterate, and tick execution delivers
+        those deposits ahead of the drain by creation order.
         """
-        draining = self.const_out > 0.0
+        d, n = lvl.shape
+        const_out = self.const_out
+        draining = const_out > 0.0
         if not draining.any():
-            return True
-        n = lvl.size
-        per_f = np.divide(self.const_out, f, out=np.zeros(n), where=linear)
+            return np.ones(d, dtype=bool)
+        per_f = np.divide(const_out, f, out=np.zeros(n), where=linear)
         decay_f = np.exp(-f * span)
         lower = np.where(linear,
                          lvl * decay_f - per_f * (1.0 - decay_f),
-                         lvl - self.const_out * span)
-        return not np.any(lower[draining] < 0.0)
+                         lvl - const_out * span)
+        safe = (lower >= 0.0) | ~draining
+        rows_ok = safe.all(axis=1)
+        if rows_ok.all() or not self.early_feeds:
+            return rows_ok
+        for _ in range(3):
+            guaranteed = np.zeros((d, n))
+            for snk, src, rate in self.early_feeds:
+                guaranteed[:, snk] += rate * safe[:, src]
+            deficit = np.maximum(const_out - guaranteed, 0.0)
+            per_f = np.divide(deficit, f, out=np.zeros((d, n)),
+                              where=linear)
+            lower = np.where(linear,
+                             lvl * decay_f - per_f * (1.0 - decay_f),
+                             lvl - deficit * span)
+            refined = (lower >= 0.0) | ~draining
+            if (refined == safe).all():
+                break
+            safe = refined  # monotone: deficit only shrinks
+        return safe.all(axis=1)
+
+    def _clamp_bound_ok(self, lvl: np.ndarray, span: float,
+                        f: np.ndarray, linear: np.ndarray) -> bool:
+        """Scalar entry point over :meth:`_clamp_safe_rows`."""
+        return bool(self._clamp_safe_rows(lvl[None, :], span, f,
+                                          linear)[0])
 
     # -- entry point ---------------------------------------------------------------
 
@@ -406,6 +458,13 @@ class SpanTier:
         self.coupled_solves += 1
         return self._commit(end, moved, lost, reclaimed)
 
+    # -- batched entry points (cohort fleets) -----------------------------------------
+
+    def batch_clamp_ok(self, lvl: np.ndarray, span: float,
+                       f: np.ndarray, linear: np.ndarray) -> np.ndarray:
+        """Per-row :meth:`_clamp_safe_rows` over stacked levels."""
+        return self._clamp_safe_rows(lvl, span, f, linear)
+
     # -- shared commit ---------------------------------------------------------------
 
     def _commit(self, end: np.ndarray, moved: np.ndarray,
@@ -436,3 +495,276 @@ class SpanTier:
                 tap = plan.taps[j]
                 tap.total_flowed = tap.total_flowed + moved[j]
         return float(moved.sum())
+
+
+# ---------------------------------------------------------------------------
+# cohort-batched span execution (fleets of structurally identical graphs)
+# ---------------------------------------------------------------------------
+
+
+def _flat_indices(plan: "FlowPlan", d: int
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(flat_src, flat_snk, row_base)`` for a ``d``-device stack.
+
+    Cached on the lead plan (plans die with their topology epoch, so
+    the cache cannot go stale); rebuilding these index arrays per
+    span was a measurable share of small-cohort call overhead.
+    """
+    cache = getattr(plan, "_span_flat", None)
+    if cache is not None and cache[0] == d:
+        return cache[1], cache[2], cache[3]
+    n = len(plan.reserves)
+    row_base = (np.arange(d) * n)[:, None]
+    flat_src = (row_base + plan.src).ravel()
+    flat_snk = (row_base + plan.snk).ravel()
+    plan._span_flat = (d, flat_src, flat_snk, row_base)
+    return flat_src, flat_snk, row_base
+
+
+def _commit_rows(tiers: List[SpanTier], ok: np.ndarray, end: np.ndarray,
+                 moved: np.ndarray, lost: np.ndarray,
+                 reclaimed: np.ndarray, in_sum: np.ndarray,
+                 out_sum: np.ndarray,
+                 results: List[Optional[float]]) -> None:
+    """Commit a stacked solve device by device (bulk conversions).
+
+    The bookkeeping is exactly :meth:`SpanTier._commit` per row; the
+    whole-stack ``tolist`` conversions replace thousands of per-device
+    numpy round-trips — at fleet scale the conversion overhead was a
+    visible fraction of the solve.
+    """
+    end_l = end.tolist()
+    in_l = in_sum.tolist()
+    out_l = out_sum.tolist()
+    lost_l = lost.tolist()
+    moved_totals = moved.sum(axis=1).tolist()
+    for i, tier in enumerate(tiers):
+        if not ok[i]:
+            continue
+        plan = tier.plan
+        for reserve, lv, o, i_, ls in zip(plan.reserves, end_l[i],
+                                          out_l[i], in_l[i], lost_l[i]):
+            reserve._level = lv
+            if o:
+                reserve.total_transferred_out += o
+            if i_:
+                reserve.total_transferred_in += i_
+            if ls:
+                reserve.total_decayed += ls
+        rec = float(reclaimed[i])
+        if rec:
+            plan.graph.root.total_deposited += rec
+            plan.graph.decay_policy.total_reclaimed += rec
+        row = moved[i]
+        if plan.owns_slots:
+            plan._tap_flow_acc += row
+        else:
+            # Span-cache plans never own the taps' accumulator slots
+            # (the tick plan does); fold flows straight into the taps.
+            for j in np.flatnonzero(row):
+                tap = plan.taps[j]
+                tap.total_flowed = tap.total_flowed + row[j]
+        results[i] = moved_totals[i]
+
+
+def execute_span_batch(tiers: List[SpanTier],
+                       span: float) -> List[Optional[float]]:
+    """Solve one event-free span for a whole cohort in one stacked call.
+
+    ``tiers`` belong to plans that share a
+    :attr:`~repro.core.flowplan.FlowPlan.signature` and whose graphs
+    run the same decay constant (the fleet batcher groups by both), so
+    the continuous dynamics ``L' = A·L + b`` are literally the same
+    system over different initial conditions.  Levels stack into one
+    ``(n_devices, n_reserves)`` array:
+
+    * the **diagonal** tier runs PR 1's scalar closed form elementwise
+      across the stack — bit-identical per device to the per-device
+      solve, since every operation is elementwise or a per-row
+      bincount in the same order;
+    * the **coupled** tier reuses a *single* eigendecomposition (or
+      Padé propagator) from the lead tier's cached
+      :class:`CoupledSystem` across the cohort's stacked ``L0`` — one
+      factorization and a couple of matrix-matrix products instead of
+      ``n_devices`` separate solves.  Levels commit by per-device mass
+      balance, so conservation stays exact regardless of how the
+      stacked linear algebra rounded.
+
+    Refusal bounds (mid-span clamp, capacity pressure, debt, negative
+    span-end dust) are evaluated **per device**: a refusing device is
+    reported as ``None`` — nothing of it mutated — and the caller
+    ticks it through the span instead, exactly like the scalar path.
+    """
+    lead = tiers[0]
+    plan = lead.plan
+    d = len(tiers)
+    n = len(plan.reserves)
+    policy = plan.graph.decay_policy
+    lam = policy.lam if policy.enabled else 0.0
+    lvl = np.empty((d, n))
+    for i, tier in enumerate(tiers):
+        lvl[i] = tier.plan._gather_levels()
+    results: List[Optional[float]] = [None] * d
+    ok = ~np.any(lvl < 0.0, axis=1)  # debt repayment is tick-granular
+    if not ok.any():
+        return results
+    f = lead.prop_out + (lam if lam > 0.0 else 0.0) * plan.decay_mask
+    linear = f > 0.0
+    varying_in = lead.prop_sink_mask.copy()
+    if lam > 0.0 and plan.any_decayable:
+        varying_in[plan.root_index] = True
+    coupled = bool(np.any(linear & varying_in))
+    if not coupled:
+        # Capacity clamping has no closed form; this is a topology
+        # property, so the whole cohort passes or refuses together.
+        if plan.finite_cap.size:
+            cap_idx = plan.finite_cap
+            gets_inflow = (lead.const_in[cap_idx] > 0.0) | varying_in[cap_idx]
+            if np.any(gets_inflow):
+                return results
+        ok &= lead.batch_clamp_ok(lvl, span, f, linear)
+        if not ok.any():
+            return results
+        _batch_diagonal(tiers, span, lam, lvl, f, linear, ok, results)
+        return results
+
+    # -- coupled cohort --------------------------------------------------------
+    if plan.finite_cap.size:
+        cap_idx = plan.finite_cap
+        mass = lvl.sum(axis=1)  # all levels >= 0 on ok rows
+        psrc = plan.src[plan.prop_taps]
+        psnk = plan.snk[plan.prop_taps]
+        prate = plan.rate[plan.prop_taps]
+        best = np.repeat(mass[:, None], n, axis=1)
+        row_base = _flat_indices(plan, d)[2]
+        for _ in range(6):
+            inflow = np.broadcast_to(lead.const_in, (d, n)).copy()
+            if prate.size:
+                flat = (row_base + psnk).ravel()
+                inflow += np.bincount(
+                    flat, weights=(prate * best[:, psrc]).ravel(),
+                    minlength=d * n).reshape(d, n)
+            if lam > 0.0 and plan.any_decayable:
+                inflow[:, plan.root_index] += lam * best[
+                    :, plan.decay_mask].sum(axis=1)
+            best = np.minimum(best, lvl + inflow * span)
+        ok &= ~np.any(best[:, cap_idx] > plan.capacity[cap_idx] - 1e-12,
+                      axis=1)
+    ok &= lead.batch_clamp_ok(lvl, span, f, linear)
+    if not ok.any():
+        return results
+
+    system = lead._coupled.get(lam)
+    if system is None:
+        system = CoupledSystem(lead, lam)
+        if len(lead._coupled) > 4:  # decay toggles are rare
+            lead._coupled.clear()
+        lead._coupled[lam] = system
+    if system.eig is not None:
+        w, v, vinv = system.eig
+        c0 = lvl @ vinv.T            # (d, n) in the eigenbasis
+        cb = vinv @ system.b
+        z = w * span
+        p1 = _phi1(z)
+        p2 = _phi2(z)
+        integ = ((span * (p1 * c0)
+                  + (span * span) * (p2 * cb)) @ v.T).real
+    else:
+        propagator = system._dense_cache.get(span)
+        if propagator is None:
+            m_aug = np.zeros((2 * n + 1, 2 * n + 1))
+            m_aug[:n, :n] = system.a
+            m_aug[:n, n] = system.b
+            m_aug[n + 1:, :n] = np.eye(n)
+            propagator = _expm(m_aug * span)
+            if len(system._dense_cache) > 32:
+                system._dense_cache.clear()
+            system._dense_cache[span] = propagator
+        state = np.concatenate(
+            [lvl, np.ones((d, 1)), np.zeros((d, n))], axis=1)
+        integ = (state @ propagator.T)[:, n + 1:]
+    integ = np.maximum(integ, 0.0)
+
+    m = len(plan.taps)
+    moved = np.zeros((d, m))
+    if plan.const_taps.size:
+        moved[:, plan.const_taps] = plan.rate[plan.const_taps] * span
+    if plan.prop_taps.size:
+        psrc = plan.src[plan.prop_taps]
+        moved[:, plan.prop_taps] = plan.rate[plan.prop_taps] * integ[:, psrc]
+    lost = np.zeros((d, n))
+    reclaimed = np.zeros(d)
+    if lam > 0.0 and plan.any_decayable:
+        lost = np.where(plan.decay_mask, lam * integ, 0.0)
+        reclaimed = lost.sum(axis=1)
+    flat_src, flat_snk, _ = _flat_indices(plan, d)
+    in_sum = np.bincount(flat_snk, weights=moved.ravel(),
+                         minlength=d * n).reshape(d, n)
+    out_sum = np.bincount(flat_src, weights=moved.ravel(),
+                          minlength=d * n).reshape(d, n)
+    end = lvl + in_sum - out_sum - lost
+    end[:, plan.root_index] += reclaimed
+    neg = np.minimum(end, 0.0)
+    neg_rows = neg.sum(axis=1)
+    ok &= ~(neg_rows < -NEGATIVE_LEVEL_SLACK)
+    dusty = neg.any(axis=1) & ok
+    if dusty.any():
+        # Float dust on near-empty reserves: clamp to zero and let the
+        # root absorb the difference so the books still balance.
+        end[dusty] -= neg[dusty]
+        end[dusty, plan.root_index] += neg_rows[dusty]
+    for i, tier in enumerate(tiers):
+        if ok[i]:
+            tier.coupled_solves += 1
+    _commit_rows(tiers, ok, end, moved, lost, reclaimed, in_sum, out_sum,
+                 results)
+    return results
+
+
+def _batch_diagonal(tiers: List[SpanTier], span: float, lam: float,
+                    lvl: np.ndarray, f: np.ndarray, linear: np.ndarray,
+                    ok: np.ndarray, results: List[Optional[float]]) -> None:
+    """The diagonal fast tier across stacked levels (elementwise)."""
+    lead = tiers[0]
+    plan = lead.plan
+    d, n = lvl.shape
+    decay_f = np.exp(-f * span)  # == 1 exactly where F == 0
+    net_const = lead.const_in - lead.const_out
+    steady = np.divide(net_const, f, out=np.zeros(n), where=linear)
+    end = np.where(linear, steady + (lvl - steady) * decay_f,
+                   lvl + net_const * span)
+    drain = np.where(linear, lvl - end + net_const * span, 0.0)
+    drain = np.maximum(drain, 0.0)
+
+    m = len(plan.taps)
+    moved = np.zeros((d, m))
+    if plan.const_taps.size:
+        moved[:, plan.const_taps] = plan.rate[plan.const_taps] * span
+    if plan.prop_taps.size:
+        psrc = plan.src[plan.prop_taps]
+        share = np.divide(plan.rate[plan.prop_taps], f[psrc],
+                          out=np.zeros(plan.prop_taps.size),
+                          where=f[psrc] > 0)
+        moved[:, plan.prop_taps] = drain[:, psrc] * share
+        flat = (_flat_indices(plan, d)[2]
+                + plan.snk[plan.prop_taps]).ravel()
+        end += np.bincount(flat, weights=moved[:, plan.prop_taps].ravel(),
+                           minlength=d * n).reshape(d, n)
+    lost = np.zeros((d, n))
+    reclaimed = np.zeros(d)
+    if lam > 0.0 and plan.any_decayable:
+        lost = np.where(linear & plan.decay_mask,
+                        drain * np.divide(lam, f, out=np.zeros(n),
+                                          where=linear), 0.0)
+        reclaimed = lost.sum(axis=1)
+        end[:, plan.root_index] += reclaimed
+    flat_src, flat_snk, _ = _flat_indices(plan, d)
+    in_sum = np.bincount(flat_snk, weights=moved.ravel(),
+                         minlength=d * n).reshape(d, n)
+    out_sum = np.bincount(flat_src, weights=moved.ravel(),
+                          minlength=d * n).reshape(d, n)
+    for i, tier in enumerate(tiers):
+        if ok[i]:
+            tier.diagonal_solves += 1
+    _commit_rows(tiers, ok, end, moved, lost, reclaimed, in_sum, out_sum,
+                 results)

@@ -79,7 +79,8 @@ class PowerMeter:
         if remaining <= 0.0:
             return
         estimate = int(remaining / interval)
-        if estimate >= 4:
+        if estimate >= 512:
+            # Long idle spans (hours of windows): the numpy chain.
             # The reference loop's remainder sequence is repeated
             # ``remaining -= interval``; cumsum reproduces it exactly,
             # and an iteration is a whole window iff the remainder
@@ -96,7 +97,34 @@ class PowerMeter:
             if whole >= 4:
                 self._emit_whole_windows(watts, whole)
                 remaining = float(after[whole - 1])
-        # Tail (plus any sub-4-window feed): the reference loop.
+        elif remaining >= interval:
+            # Short spans (a fleet macro-step is a handful of 200 ms
+            # windows): a fused scalar loop over whole windows — the
+            # exact per-window float chain ``_feed_one`` + ``_emit``
+            # produce, minus their call and bookkeeping overhead.
+            window_energy = watts * interval
+            mean = window_energy / interval
+            noise = self.noise_fraction
+            rng = self._rng
+            now = self._now
+            total = self.total_energy_joules
+            times = self._sample_times
+            sample_watts = self._sample_watts
+            windows = self._sample_windows
+            while remaining >= interval:
+                total += window_energy
+                now += interval
+                remaining -= interval
+                mean_watts = mean
+                if noise > 0.0:
+                    mean_watts *= 1.0 + rng.normal(0.0, noise)
+                    mean_watts = max(0.0, mean_watts)
+                times.append(now)
+                sample_watts.append(mean_watts)
+                windows.append(interval)
+            self._now = now
+            self.total_energy_joules = total
+        # Tail (plus any sub-window feed): the reference loop.
         while remaining > 0.0:
             remaining = self._feed_one(watts, remaining)
 

@@ -27,6 +27,7 @@ or into debt even if the cost can only be determined after-the-fact"
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, List, Optional, Tuple
@@ -34,7 +35,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..core.accounting import ConsumptionLedger
 from ..core.graph import ResourceGraph
 from ..core.pooling import (PooledAccrual, analyze_pooled_accrual,
-                            replay_pooled_accrual)
+                            replay_pooled_accrual, replay_reserve_accrual)
 from ..core.reserve import Reserve
 from ..core.tap import Tap
 from ..errors import NetworkError
@@ -77,25 +78,44 @@ class PendingOp:
 
 @dataclass
 class _SpanPlan:
-    """Closed-form description of one pooled-wait accrual regime.
+    """Closed-form description of one blocked-wait accrual regime.
 
-    Valid while every queued operation is blocked in the §5.5.2 pooled
-    path and every waiter's reserve follows the canonical
-    ``powered_reserve`` shape — the per-tick arithmetic and the
-    validity analysis are the shared :mod:`repro.core.pooling`
-    machinery (which also admits chained feeds through const-only
-    junction reserves).  Under that regime each engine tick repeats
-    the same float arithmetic, so the pool's trajectory — and the
-    exact tick the batch becomes affordable — can be replayed without
-    running the engine.
+    Two regimes have a closed form.  ``mode="pooled"`` is the §5.5.2
+    radio power-up pool: every queued operation is blocked on
+    ``required_energy`` and each tick drains every waiter's accrual
+    into the pool.  ``mode="active"`` is the §5.5.1 individual gating
+    path — the radio is already active, so each caller gates on its
+    *own* reserve against the marginal active cost (which grows at
+    plateau power as the radio idles down).  In both, every waiter's
+    reserve follows the canonical ``powered_reserve`` shape — the
+    per-tick arithmetic and the validity analysis are the shared
+    :mod:`repro.core.pooling` machinery (which also admits chained
+    feeds through const-only junction reserves).  Under either regime
+    each engine tick repeats the same float arithmetic, so the
+    trajectory — and the exact tick an operation becomes affordable —
+    can be replayed without running the engine.
+
+    The plan is *persistent*: it stays valid across ticks and spans
+    until its revalidation key (topology generation, decay policy,
+    queue membership) or its cheap state invariants (ops still
+    blocked, pooled waiters still drained to zero, radio still in the
+    analyzed power state, feed budgets still healthy) stop holding —
+    re-running the full graph-walking analysis every tick was a
+    measurable cost at fleet scale.
     """
 
     #: Ops blocked waiting for energy, in queue order.
     waiting: List[PendingOp]
-    #: The pool level the batch must reach (margin included).
+    #: The pool level the batch must reach (pooled mode; 0.0 active).
     required: float
     #: The shared per-tick arithmetic (entries, addends, budgets).
     accrual: PooledAccrual
+    #: "pooled" (§5.5.2 power-up pool) or "active" (§5.5.1 gating).
+    mode: str = "pooled"
+    #: Revalidation key: (generation, decay enabled, lam, queue ids).
+    key: tuple = ()
+    #: Active mode: (op, reserve, declared data cost) in queue order.
+    gates: Optional[List[tuple]] = None
 
 
 @dataclass
@@ -153,6 +173,13 @@ class NetworkDaemon:
         self.stats = NetdStats()
         #: (now, plan-or-None) — one closed-form analysis per tick.
         self._span_cache: Optional[Tuple[float, Optional[_SpanPlan]]] = None
+        #: The persistent regime analysis (revalidated, not recomputed,
+        #: while its key and invariants hold — see :class:`_SpanPlan`).
+        self._regime: Optional[_SpanPlan] = None
+        #: EventSource protocol: whether the last ``next_event`` answer
+        #: was an exact instant (crossing tick) or a conservative
+        #: checkpoint a fleet scheduler must not cache.
+        self.horizon_firm = True
 
     # -- gate plumbing -----------------------------------------------------------
 
@@ -217,6 +244,8 @@ class NetworkDaemon:
     def step(self, now: float) -> None:
         """Advance blocked and in-flight operations (engine calls this)."""
         self._span_cache = None  # per-tick execution mutates the regime
+        if not self._queue:
+            return  # idle daemon: nothing to complete or pump
         self._complete_transfers(now)
         self._pump(now)
 
@@ -392,28 +421,35 @@ class NetworkDaemon:
     def quiescent(self, now: float) -> bool:
         """True iff skipping ticks cannot change netd's behavior.
 
-        An empty queue is trivially quiescent; a queue of pooled
+        An empty queue is trivially quiescent; a queue of blocked
         waiters is quiescent when the accrual regime has a closed form
-        (see :meth:`_compute_span_plan`).  Anything else — transfers
-        in flight, per-caller gating, non-canonical reserve wiring —
-        needs per-tick execution.
+        (see :meth:`_compute_span_plan`) — the §5.5.2 pool while the
+        radio is idle, or §5.5.1 individual gating while it is
+        active.  Anything else — transfers in flight, per-caller
+        budget mode, non-canonical reserve wiring — needs per-tick
+        execution.
         """
         if not self._queue:
             return True
         return self._span_plan(now) is not None
 
     def next_event(self, now: float) -> Optional[float]:
-        """The earliest tick netd's state can change (pool crossing).
+        """The earliest tick netd's state can change (a crossing).
 
         Returns the exact affordability tick when it is near, or a
         conservative checkpoint strictly before it when it is far
         (landing early is harmless — the engine takes a normal step
         and asks again).  ``None`` when the queue is empty or nothing
         accrues (starved waiters: other sources bound the span).
+        Sets :attr:`horizon_firm` False on checkpoint answers so fleet
+        schedulers re-poll instead of caching them.
         """
+        self.horizon_firm = True
         plan = self._span_plan(now)
         if plan is None:
             return None
+        if plan.mode == "active":
+            return self._active_crossing(plan)
         accrual = plan.accrual
         if not accrual.addends or accrual.avail_sum <= 0.0:
             return None
@@ -433,6 +469,7 @@ class NetworkDaemon:
         skip = accrual.analytic_skip_ticks(accrual.avail_sum, pool_level,
                                            required, tick_s, window)
         if skip is not None:
+            self.horizon_firm = False  # re-derived later lands farther
             return (base_tick + skip) * tick_s
         # Exact scalar replay of the pump's own float arithmetic: at
         # each tick the pump sees pool + avail_sum; failing that, the
@@ -448,7 +485,61 @@ class NetworkDaemon:
                 pool_sim = pool_sim + addend
             if pool_sim + 1e-12 >= required:
                 return (base_tick + round_no - 1) * tick_s
+        self.horizon_firm = False
         return (base_tick + 2 * window - 1) * tick_s  # checkpoint
+
+    def _active_crossing(self, plan: _SpanPlan) -> Optional[float]:
+        """The exact tick an individually-gated op becomes affordable.
+
+        The §5.5.1 regime: the radio is active, so each waiting op is
+        gated on ``pool + its own reserve >= marginal_active_cost +
+        data``, where the marginal cost *grows* at plateau power as
+        the radio idles down while the reserve accrues at its tap
+        rate.  The scan replays the pump's own float arithmetic tick
+        by tick — one fresh accrual round, then each op's gate in
+        queue order — from live levels, so the returned instant is the
+        bit-exact tick ``_try_start_individually`` will fire on.
+        Returns ``None`` when the radio's idle transition (an event
+        the radio source already declares) arrives first.
+        """
+        radio = self.radio
+        params = radio.params
+        tick_s = self.tick_s
+        base_tick = self._ticks()
+        last = radio.last_activity
+        plateau = params.plateau_watts
+        timeout = params.idle_timeout_s
+        pool_level = self.pool.level
+        levels: dict = {}
+        inflows: dict = {}
+        for entry in plan.accrual.entries:
+            key = id(entry.reserve)
+            levels[key] = entry.reserve.level
+            inflows[key] = entry.inflow
+        # The scan is bounded by the radio's idle flip and by the feed
+        # budget (beyond it a source could clamp and the per-tick
+        # arithmetic would change); past the cap a checkpoint is
+        # conservative and the engine simply asks again from there.
+        max_rounds = int((last + timeout - base_tick * tick_s) / tick_s) + 2
+        budget = plan.accrual.budget_ticks(tick_s)
+        if budget != math.inf:
+            max_rounds = min(max_rounds, max(1, int(budget) - 4))
+        max_rounds = min(max_rounds, 4096)
+        for round_no in range(1, max_rounds + 1):
+            now_j = (base_tick + round_no - 1) * tick_s
+            since = now_j - last
+            if since >= timeout:
+                return None  # the radio idles first; its source bounds
+            for key, inflow in inflows.items():
+                levels[key] = levels[key] + inflow
+            state_cost = plateau * min(since, timeout)
+            for op, reserve, data_cost in plan.gates:
+                bill = state_cost + data_cost
+                if (pool_level + max(0.0, levels[id(reserve)]) + 1e-12
+                        >= bill):
+                    return (base_tick + round_no - 1) * tick_s
+        self.horizon_firm = False
+        return (base_tick + max_rounds - 1) * tick_s  # checkpoint
 
     def span_frozen_taps(self, now: float) -> List[Tap]:
         """Feed taps the daemon integrates itself over the next span."""
@@ -458,20 +549,28 @@ class NetworkDaemon:
         return plan.accrual.frozen_taps()
 
     def advance_span(self, now: float, span: float) -> None:
-        """Replay ``span`` seconds of pooled accrual in closed form.
+        """Replay ``span`` seconds of blocked-wait accrual in closed form.
 
-        Delegates to :func:`repro.core.pooling.replay_pooled_accrual`:
-        the pool level advances through the *exact* per-tick float
-        sequence (chunked ``numpy.cumsum`` is sequential, hence
-        bit-identical to repeated ``+=``), while cumulative counters
-        and the feed-source debits — the root, or a junction reserve
-        on a chained feed — move in bulk.
+        Pooled mode delegates to
+        :func:`repro.core.pooling.replay_pooled_accrual`: the pool
+        level advances through the *exact* per-tick float sequence
+        (chunked ``numpy.cumsum`` is sequential, hence bit-identical
+        to repeated ``+=``), while cumulative counters and the
+        feed-source debits — the root, or a junction reserve on a
+        chained feed — move in bulk.  Active mode replays through
+        :func:`repro.core.pooling.replay_reserve_accrual`: the same
+        exact chain, but the deposits stay in each caller's own
+        reserve (§5.5.1 — nothing pools until an op can pay).
         """
         plan = self._span_plan(now)
         if plan is None or self.tick_s is None:
             return
         ticks = int(round(span / self.tick_s))
         if ticks <= 0:
+            return
+        if plan.mode == "active":
+            replay_reserve_accrual(self.graph, plan.accrual, ticks)
+            self._span_cache = None
             return
 
         def credit(op: PendingOp, amount: float) -> None:
@@ -484,27 +583,69 @@ class NetworkDaemon:
         self._span_cache = None
 
     def _span_plan(self, now: float) -> Optional[_SpanPlan]:
-        """The cached closed-form analysis for this tick (or None)."""
+        """The cached closed-form analysis for this tick (or None).
+
+        Two cache layers: a per-``now`` memo (several protocol calls
+        per tick share one answer) over the persistent regime, which
+        is *revalidated* — key match plus cheap state invariants —
+        rather than recomputed from a full graph walk each tick.
+        """
         cache = self._span_cache
         if cache is not None and cache[0] == now:
             return cache[1]
-        plan = self._compute_span_plan(now)
+        plan = self._revalidate_regime(now)
+        if plan is None:
+            plan = self._compute_span_plan(now)
+            self._regime = plan
         self._span_cache = (now, plan)
         return plan
 
+    def _regime_key(self) -> tuple:
+        policy = self.graph.decay_policy
+        return (self.graph.generation, policy.enabled, policy.lam,
+                tuple(id(op) for op in self._queue))
+
+    def _revalidate_regime(self, now: float) -> Optional[_SpanPlan]:
+        """The persistent regime, iff its invariants still hold."""
+        plan = self._regime
+        if plan is None or plan.key != self._regime_key():
+            return None
+        for op in plan.waiting:
+            if op.state is not OpState.WAITING_ENERGY:
+                return None
+        radio = self.radio
+        if plan.mode == "pooled":
+            if not radio.would_be_idle(now):
+                return None
+            if self.pool._level < 0.0:
+                return None
+            for entry in plan.accrual.entries:
+                if entry.reserve._level != 0.0:
+                    return None  # an external deposit broke the regime
+        else:
+            if radio.would_be_idle(now) or radio.transfers_in_flight:
+                return None
+        if plan.accrual.budget_ticks(self.tick_s) < 4 * self.SPAN_SCAN_WINDOW:
+            return None
+        return plan
+
     def _compute_span_plan(self, now: float) -> Optional[_SpanPlan]:
-        """Analyze the queue for the closed-form pooled-wait regime.
+        """Analyze the queue for a closed-form blocked-wait regime.
 
         Returns None — per-tick execution — unless *all* of: the
         engine wired a tick grid; every queued op is WAITING_ENERGY in
-        cooperative (non-unrestricted) mode; the radio is idle with a
-        real activation cost (the pooled path); and the pool/waiter
+        cooperative (non-unrestricted) mode; and the pool/waiter
         wiring passes the shared canonical-shape analysis
         (:func:`repro.core.pooling.analyze_pooled_accrual`) — every
-        waiter reserve drained to exactly zero, uncapped, fed by
-        exactly one constant tap from the root or from a const-only
-        junction reserve (a chained feed), with no other taps touching
-        it, and an untapped uncapped decay-exempt pool.
+        waiter reserve uncapped, fed by exactly one constant tap from
+        the root or from a const-only junction reserve (a chained
+        feed), with no other taps touching it, and an untapped
+        uncapped decay-exempt pool.  The radio's power state picks the
+        regime: idle with a real activation cost is the §5.5.2 pooled
+        path (waiter reserves additionally drained to exactly zero);
+        active with no transfers in flight is the §5.5.1 individual
+        gating path (reserves keep their balance, so decay must be off
+        or the reserve exempt — the pooling module enforces it).
         """
         if self.tick_s is None or self._ticks is None:
             return None
@@ -515,23 +656,44 @@ class NetworkDaemon:
         if not waiting or len(waiting) != len(self._queue):
             return None
         radio = self.radio
-        if not radio.would_be_idle(now) or radio.params.activation_cost <= 0.0:
+        key = self._regime_key()
+        window_gate = 4 * self.SPAN_SCAN_WINDOW
+        if radio.would_be_idle(now):
+            if radio.params.activation_cost <= 0.0:
+                return None
+            accrual = analyze_pooled_accrual(
+                self.graph, self.pool, waiting,
+                reserve_of=lambda op: getattr(op.thread, "_active_reserve",
+                                              None),
+                tick_s=self.tick_s)
+            if accrual is None:
+                return None
+            # Every feed source must be able to fund its frozen taps
+            # through any near-horizon span (long spans are bounded in
+            # next_event).
+            if accrual.budget_ticks(self.tick_s) < window_gate:
+                return None
+            required = self.required_energy(waiting, now)
+            return _SpanPlan(waiting=waiting, required=required,
+                             accrual=accrual, mode="pooled", key=key)
+        # Radio active: the individual gating path (no pooled power-up
+        # to amortize).  A transfer in flight needs per-tick completion
+        # checks, so only a transfer-free active radio qualifies.
+        if radio.transfers_in_flight:
             return None
         accrual = analyze_pooled_accrual(
             self.graph, self.pool, waiting,
             reserve_of=lambda op: getattr(op.thread, "_active_reserve",
                                           None),
-            tick_s=self.tick_s)
+            tick_s=self.tick_s, drain_to_pool=False)
         if accrual is None:
             return None
-        # Every feed source must be able to fund its frozen taps
-        # through any near-horizon span (long spans are bounded in
-        # next_event).
-        if accrual.budget_ticks(self.tick_s) < 4 * self.SPAN_SCAN_WINDOW:
+        if accrual.budget_ticks(self.tick_s) < window_gate:
             return None
-        required = self.required_energy(waiting, now)
-        return _SpanPlan(waiting=waiting, required=required,
-                         accrual=accrual)
+        gates = [(op, op.thread.active_reserve,
+                  self._declared_data_cost(op.request)) for op in waiting]
+        return _SpanPlan(waiting=waiting, required=0.0, accrual=accrual,
+                         mode="active", key=key, gates=gates)
 
     # -- engine integration --------------------------------------------------------------------
 

@@ -207,6 +207,13 @@ class GpsDaemon:
         #: (now, accrual-or-None) — one closed-form analysis per tick.
         self._span_cache: Optional[Tuple[float,
                                          Optional[PooledAccrual]]] = None
+        #: Persistent regime analysis (revalidated across ticks; the
+        #: full graph walk only reruns when the key or the cheap state
+        #: invariants break — mirrors netd).
+        self._regime: Optional[Tuple[tuple, PooledAccrual]] = None
+        #: EventSource protocol: False when the last ``next_event``
+        #: answer was a conservative checkpoint (see netd).
+        self.horizon_firm = True
 
     def required_energy(self) -> float:
         """The pool level one acquisition must reach (margin included)."""
@@ -309,6 +316,7 @@ class GpsDaemon:
 
     def next_event(self, now: float) -> Optional[float]:
         """The next instant the daemon's state or draw can change."""
+        self.horizon_firm = True
         device = self.device
         if device.state is GpsState.ACQUIRING:
             return device.acquire_started + device.params.cold_fix_s
@@ -333,6 +341,7 @@ class GpsDaemon:
                                            pool_level, required, tick_s,
                                            window)
         if skip is not None:
+            self.horizon_firm = False  # re-derived later lands farther
             return (base_tick + skip) * tick_s
         # Exact scalar replay of the pump's own float arithmetic —
         # including the per-op clamp at the remaining shortfall.
@@ -343,6 +352,7 @@ class GpsDaemon:
                                           max(0.0, required - pool_sim))
             if pool_sim + 1e-12 >= required:
                 return (base_tick + round_no - 1) * tick_s
+        self.horizon_firm = False
         return (base_tick + 2 * window - 1) * tick_s  # checkpoint
 
     def span_frozen_taps(self, now: float) -> List[Tap]:
@@ -369,12 +379,46 @@ class GpsDaemon:
         self._span_cache = None
 
     def _accrual(self, now: float) -> Optional[PooledAccrual]:
-        """The cached closed-form analysis for this tick (or None)."""
+        """The cached closed-form analysis for this tick (or None).
+
+        Mirrors netd's two cache layers: a per-``now`` memo over a
+        persistent regime revalidated with cheap invariants (key
+        match, waiters still drained to zero, budgets healthy) so the
+        graph-walking analysis only reruns when the regime changes.
+        """
         cache = self._span_cache
         if cache is not None and cache[0] == now:
             return cache[1]
-        accrual = self._compute_accrual(now)
+        accrual = self._revalidate_regime(now)
+        if accrual is None:
+            accrual = self._compute_accrual(now)
+            self._regime = (None if accrual is None
+                            else (self._regime_key(), accrual))
         self._span_cache = (now, accrual)
+        return accrual
+
+    def _regime_key(self) -> tuple:
+        policy = self.graph.decay_policy
+        return (self.graph.generation, policy.enabled, policy.lam,
+                tuple(id(op) for op in self._queue))
+
+    def _revalidate_regime(self, now: float) -> Optional[PooledAccrual]:
+        regime = self._regime
+        if regime is None or regime[0] != self._regime_key():
+            return None
+        accrual = regime[1]
+        if self.device.state is not GpsState.OFF:
+            return None
+        for op in self._queue:
+            if op.state is not FixOpState.WAITING_ENERGY:
+                return None
+        if self.pool._level < 0.0:
+            return None
+        for entry in accrual.entries:
+            if entry.reserve._level != 0.0:
+                return None  # an external deposit broke the regime
+        if accrual.budget_ticks(self.tick_s) < 4 * self.SPAN_SCAN_WINDOW:
+            return None
         return accrual
 
     def _compute_accrual(self, now: float) -> Optional[PooledAccrual]:

@@ -4,18 +4,22 @@ from .clock import Clock
 from .engine import CinderSystem, DeviceRuntime
 from .events import EventSource, Horizon
 from .process import (CpuBurn, Exit, Fork, NetReply, NetRequest, Process,
-                      ProcessContext, Request, Sleep, SleepUntil, WaitFor)
+                      ProcessContext, Request, ServiceCall, Sleep,
+                      SleepUntil, WaitFor)
+from .shards import DeviceDigest, FleetReport, ShardedWorld, ShardReport
 from .trace import TimeSeries, TraceRecorder
-from .workload import (batch_downloader, fleet_of_pollers, forking_spinner,
-                       keepalive_sender, periodic_poller, spinner,
-                       timed_spinner)
+from .workload import (batch_downloader, fleet_of_pollers,
+                       foreground_poller, forking_spinner,
+                       keepalive_sender, periodic_poller, poller_shard,
+                       spinner, timed_spinner)
 from .world import World
 
 __all__ = [
     "Clock", "CinderSystem", "DeviceRuntime", "EventSource", "Horizon",
     "World", "CpuBurn", "Exit", "Fork", "NetReply", "NetRequest", "Process",
-    "ProcessContext", "Request", "Sleep", "SleepUntil", "WaitFor",
-    "TimeSeries", "TraceRecorder", "batch_downloader", "fleet_of_pollers",
-    "forking_spinner", "keepalive_sender", "periodic_poller", "spinner",
-    "timed_spinner",
+    "ProcessContext", "Request", "ServiceCall", "Sleep", "SleepUntil",
+    "WaitFor", "TimeSeries", "TraceRecorder", "DeviceDigest", "FleetReport",
+    "ShardReport", "ShardedWorld", "batch_downloader", "fleet_of_pollers",
+    "foreground_poller", "forking_spinner", "keepalive_sender",
+    "periodic_poller", "poller_shard", "spinner", "timed_spinner",
 ]

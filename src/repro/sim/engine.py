@@ -41,7 +41,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -274,13 +274,20 @@ class DeviceRuntime:
 
     # -- the tick ---------------------------------------------------------------------------
 
-    def step(self) -> None:
-        """Advance the system by one tick."""
+    def step(self, graph_done: bool = False) -> None:
+        """Advance the system by one tick.
+
+        ``graph_done`` is the fleet scheduler's hook: when the world
+        has already executed this tick's batch flow for a whole cohort
+        in one stacked kernel call, the per-device step skips phase 1
+        and runs the rest of the tick unchanged.
+        """
         dt = self.clock.tick_s
         now = self.clock.now
 
         # 1. batch tap flow + global decay (§3.3, §5.2.2)
-        self.graph.step(dt)
+        if not graph_done:
+            self.graph.step(dt)
 
         # 2. device state machines
         self.radio.tick(now)
@@ -364,18 +371,33 @@ class DeviceRuntime:
         min-over-sources next event (capped at ``deadline``).  At
         least two ticks are required to amortize a macro-step.
         """
+        return self._ff_poll(deadline)[0]
+
+    def _ff_poll(self, deadline: float) -> Tuple[int, bool, bool]:
+        """``(skippable ticks, firm, executes)`` in one source pass.
+
+        ``firm`` reports whether the bounding event instant is exact
+        and time-invariant (see :attr:`~repro.sim.events.EventSource.
+        horizon_firm`): a fleet scheduler may then cache the absolute
+        target tick across world iterations instead of re-polling
+        this device.  ``executes`` reports whether landing on that
+        instant requires a normal step or merely closes a
+        constant-power span (:attr:`~repro.sim.events.EventSource.
+        horizon_executes`).  A 0 answer (must tick) is always firm —
+        it has to be re-examined after the very next step anyway.
+        """
         if not self.fast_forward:
-            return 0
+            return 0, True, True
         clock = self.clock
         now = clock.now
-        if not self.horizon.quiescent(now):
+        quiet, horizon, firm, executes = self.horizon.poll(now, deadline)
+        if not quiet:
             # No macro-step attempted: any refusal window is over (the
             # next refusal, if one comes, is a distinct degradation).
             self._span_refusing = False
-            return 0
-        horizon = self.horizon.next_event(now, deadline)
+            return 0, True, True
         if not math.isfinite(horizon) or horizon <= now:
-            return 0  # e.g. the very first record is still due
+            return 0, True, True  # e.g. the very first record is due
         # The event fires inside the step at the first tick instant
         # >= horizon (step() compares with a 1e-12 slack); fast-forward
         # lands exactly on that tick and lets a normal step handle it.
@@ -385,8 +407,8 @@ class DeviceRuntime:
         target_tick = math.ceil((horizon - 1e-12) / clock.tick_s)
         ticks = target_tick - clock.ticks
         if ticks < 2:
-            return 0  # nothing to amortize
-        return ticks
+            return 0, True, True  # nothing to amortize
+        return ticks, firm, executes
 
     def _ff_advance(self, ticks: int) -> bool:
         """Advance exactly ``ticks`` ticks in one macro-step.
@@ -398,32 +420,63 @@ class DeviceRuntime:
         the graph, each event source's own closed form (netd pooled
         accrual), one constant-power meter feed (identical 200 ms
         samples), and the idle time booked to the scheduler.
+
+        The three phases are factored so a fleet scheduler can run
+        the graph solve for a whole cohort in one stacked call:
+        :meth:`_ff_begin` (frozen-tap gathering and arbitration),
+        the graph span itself, then :meth:`_ff_commit` /
+        :meth:`_ff_refuse`.
+        """
+        frozen = self._ff_begin()
+        if frozen is None:
+            return False
+        span = ticks * self.clock.tick_s
+        if self.graph.advance_span(span, frozen_taps=frozen) is None:
+            self._ff_refuse()
+            return False  # e.g. a constant tap would clamp mid-span
+        self._ff_commit(ticks)
+        return True
+
+    def _ff_begin(self) -> Optional[List]:
+        """Gather the span's frozen taps, or None to refuse the span.
+
+        Sources that integrate their own taps (netd pooled accrual)
+        hold them out of the graph's span so nothing double-counts.
+        Two sources claiming the same tap's accrual — e.g. netd and
+        gpsd waiters sharing one reserve — are each sound in
+        isolation, but replaying both would double-count the feed
+        (root debited twice, both pools credited), so arbitrate here:
+        tick through, which is always correct.
+        """
+        frozen = self.horizon.frozen_taps(self.clock.now)
+        if len(frozen) > 1 and len({id(t) for t in frozen}) != len(frozen):
+            self._ff_refuse()
+            return None
+        return frozen
+
+    def _ff_refuse(self) -> None:
+        """Book a refused span (window-counted, not retry-counted)."""
+        if not self._span_refusing:
+            self.span_refusals += 1
+            self._span_refusing = True
+
+    def _ff_commit(self, ticks: int) -> None:
+        """Apply everything *but* the graph span for a macro-step.
+
+        The caller has already advanced the resource graph (directly
+        or through a cohort-stacked solve); this replays each event
+        source's own closed form, feeds the meter/battery at constant
+        idle power, books scheduler idle time, and moves the clock.
         """
         clock = self.clock
         now = clock.now
         span = ticks * clock.tick_s
-        # Sources that integrate their own taps (netd pooled accrual)
-        # hold them out of the graph's span so nothing double-counts.
-        frozen = self.horizon.frozen_taps(now)
-        if len(frozen) > 1 and len({id(t) for t in frozen}) != len(frozen):
-            # Two sources claim the same tap's accrual — e.g. netd and
-            # gpsd waiters sharing one reserve.  Each analysis is
-            # sound in isolation but replaying both would double-count
-            # the feed (root debited twice, both pools credited), so
-            # arbitrate here: tick through, which is always correct.
-            if not self._span_refusing:
-                self.span_refusals += 1
-                self._span_refusing = True
-            return False
-        if self.graph.advance_span(span, frozen_taps=frozen) is None:
-            if not self._span_refusing:
-                self.span_refusals += 1
-                self._span_refusing = True
-            return False  # e.g. a constant tap would clamp mid-span
         self._span_refusing = False
         self.horizon.advance_span(now, span)
         radio_watts = self.radio.power_above_baseline(now)
-        radio_watts += sum(source(now) for source in self._power_sources)
+        if self._power_sources:
+            radio_watts += sum(source(now)
+                               for source in self._power_sources)
         power = self.model.system_power(cpu_busy=False,
                                         backlight_on=self.backlight_on,
                                         radio_watts=radio_watts)
@@ -432,7 +485,6 @@ class DeviceRuntime:
         self.scheduler.advance_idle(span)
         clock.advance_many(ticks)
         self.fast_forwarded_ticks += ticks
-        return True
 
     # -- process internals ----------------------------------------------------------------------
 

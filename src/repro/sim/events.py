@@ -58,6 +58,27 @@ class EventSource:
     #: Display name for diagnostics (``Horizon.describe``).
     name: str = "source"
 
+    #: Whether the last ``next_event`` answer was *firm* — an exact
+    #: instant that will not move if recomputed later in the same
+    #: event-free stretch (timer deadlines, sleeper wakes, radio
+    #: timeouts).  Sources that return conservative checkpoints which
+    #: a later recomputation would push further out (netd's analytic
+    #: pooled-crossing bound) set this False, and fleet schedulers
+    #: must re-poll them instead of caching the instant.  Read by
+    #: :meth:`Horizon.poll` immediately after ``next_event``.
+    horizon_firm: bool = True
+
+    #: Whether the last ``next_event`` instant *requires a normal
+    #: step* when the engine lands on it.  True for almost everything
+    #: (a timer fires, a sleeper wakes, a record is due, a pump
+    #: crossing executes — a fresh poll at the landing returns 0).
+    #: False for pure *power boundaries*: instants where only the
+    #: constant-draw assumption ends (the radio's activation-ramp
+    #: end), after which the engine may immediately open the next
+    #: span without executing a tick.  Fleet schedulers use this to
+    #: answer "tick now" from a cached firm target without re-polling.
+    horizon_executes: bool = True
+
     def quiescent(self, now: float) -> bool:
         """True iff an event-free span may skip this component's ticks."""
         return True
@@ -85,16 +106,54 @@ class Horizon:
 
     def __init__(self) -> None:
         self._sources: List[EventSource] = []
+        #: Sources that actually override the span hooks (everything
+        #: else is a no-op there): computed at registration so the
+        #: per-macro-step loops touch only the participating sources
+        #: instead of dispatching no-ops across the whole list.
+        self._frozen_sources: List[EventSource] = []
+        self._span_sources: List[EventSource] = []
+        #: Bound-method fast paths for :meth:`poll`, same filtering
+        #: rationale: only sources that override ``quiescent`` can
+        #: veto, only sources that override ``next_event`` can bound.
+        self._veto_checks: List[Callable[[float], bool]] = []
+        self._event_checks: List[Tuple[Callable[[float], Optional[float]],
+                                       EventSource]] = []
+
+    def _classify(self, source: EventSource) -> None:
+        cls = type(source)
+        frozen = getattr(cls, "span_frozen_taps", None)
+        if frozen is not None and frozen is not EventSource.span_frozen_taps:
+            self._frozen_sources.append(source)
+        advance = getattr(cls, "advance_span", None)
+        if advance is not None and advance is not EventSource.advance_span:
+            self._span_sources.append(source)
+        quiescent = getattr(cls, "quiescent", None)
+        if (quiescent is not None
+                and quiescent is not EventSource.quiescent):
+            self._veto_checks.append(source.quiescent)
+        next_event = getattr(cls, "next_event", None)
+        if (next_event is not None
+                and next_event is not EventSource.next_event):
+            self._event_checks.append((source.next_event, source))
 
     def add(self, source: EventSource) -> EventSource:
         """Register a source; returns it for caller convenience."""
         self._sources.append(source)
+        self._classify(source)
         return source
 
     def remove(self, source: EventSource) -> None:
         """Unregister a source (device detach)."""
         if source in self._sources:
             self._sources.remove(source)
+        if source in self._frozen_sources:
+            self._frozen_sources.remove(source)
+        if source in self._span_sources:
+            self._span_sources.remove(source)
+        self._veto_checks = [check for check in self._veto_checks
+                             if check.__self__ is not source]
+        self._event_checks = [entry for entry in self._event_checks
+                              if entry[1] is not source]
 
     @property
     def sources(self) -> List[EventSource]:
@@ -114,16 +173,49 @@ class Horizon:
                 horizon = instant
         return horizon
 
+    def poll(self, now: float, deadline: float
+             ) -> Tuple[bool, float, bool, bool]:
+        """``(quiescent, horizon, firm, executes)`` in one source pass.
+
+        The batched entry point fleet schedulers use: one traversal
+        answers both questions :meth:`quiescent` and :meth:`next_event`
+        would, plus two properties of the *binding* instant (the min):
+        whether it is firm — cacheable across iterations — or a
+        conservative checkpoint that must be re-polled
+        (:attr:`EventSource.horizon_firm`), and whether landing on it
+        requires a normal step or merely closes a constant-power span
+        (:attr:`EventSource.horizon_executes`).  A non-quiescent
+        answer is reported firm: the veto must be re-examined every
+        iteration anyway.
+        """
+        for quiescent in self._veto_checks:
+            if not quiescent(now):
+                return False, now, True, True
+        horizon = deadline
+        firm = True
+        executes = True
+        for next_event, source in self._event_checks:
+            instant = next_event(now)
+            if instant is not None and instant < horizon:
+                horizon = instant
+                firm = bool(getattr(source, "horizon_firm", True))
+                executes = bool(getattr(source, "horizon_executes", True))
+        return True, horizon, firm, executes
+
     def frozen_taps(self, now: float) -> List["Tap"]:
         """Union of every source's self-integrated taps."""
         taps: List["Tap"] = []
-        for source in self._sources:
+        for source in self._frozen_sources:
             taps.extend(source.span_frozen_taps(now))
         return taps
 
     def advance_span(self, now: float, span: float) -> None:
-        """Advance every source across an event-free span, in order."""
-        for source in self._sources:
+        """Advance every source across an event-free span, in order.
+
+        Only sources that override ``advance_span`` are visited; the
+        relative registration order among them is preserved.
+        """
+        for source in self._span_sources:
             source.advance_span(now, span)
 
     def blockers(self, now: float) -> List[str]:
@@ -200,7 +292,17 @@ class RadioSource(EventSource):
         return self._radio.transfers_in_flight == 0
 
     def next_event(self, now: float) -> Optional[float]:
-        return self._radio.next_state_change(now)
+        instant = self._radio.next_state_change(now)
+        # The activation-ramp end is a pure power boundary: the extra
+        # ramp draw stops, but no state machine needs a tick there (the
+        # draw is computed from ``now`` on demand).  Everything else —
+        # the idle transition, transfer completions — must execute.
+        radio = self._radio
+        ramp_end = radio.activated_at + radio.params.ramp_duration_s
+        self.horizon_executes = not (instant is not None
+                                     and now < ramp_end
+                                     and instant == ramp_end)
+        return instant
 
 
 class SchedulerSource(EventSource):
@@ -265,6 +367,20 @@ class DevicePort(EventSource):
         self.source = source
         if source is not None and getattr(source, "name", None):
             self.name = f"device:{source.name}"
+
+    @property
+    def horizon_firm(self) -> bool:
+        """Firmness of the wrapped source's last ``next_event`` answer."""
+        if self.source is not None:
+            return bool(getattr(self.source, "horizon_firm", True))
+        return True
+
+    @property
+    def horizon_executes(self) -> bool:
+        """Whether the wrapped source's last instant needs a step."""
+        if self.source is not None:
+            return bool(getattr(self.source, "horizon_executes", True))
+        return True
 
     def quiescent(self, now: float) -> bool:
         if self.source is not None:

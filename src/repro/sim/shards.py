@@ -1,0 +1,304 @@
+"""Process-sharded fleets: Worlds partitioned across worker processes.
+
+A :class:`~repro.sim.world.World` is single-process by design — its
+devices share one Python interpreter no matter how idle they are.
+Devices are, however, mutually independent: they share nothing but
+the *stateless* synthetic remote-host universe, so a fleet partitions
+cleanly.  :class:`ShardedWorld` splits the device index range across
+**shards**, each a worker process owning one world slice, and drives
+them barrier-to-barrier:
+
+* every shard is one single-worker ``ProcessPoolExecutor`` — the
+  one-worker pool pins shard state (the built world) to its process
+  across task submissions;
+* devices are constructed *inside* the worker by a picklable
+  ``builder(world, lo, hi)`` callable (simulated programs are live
+  generators and cannot cross a process boundary), indexed by global
+  device position so shard membership cannot change a device's seed,
+  stagger, or name — device ``i`` is bit-identical however the fleet
+  is partitioned;
+* ``run`` advances every shard to a shared **clock barrier** (the
+  deadline, or every ``barrier_s`` on the fleet's LCM tick grid) and
+  blocks until all shards arrive, so the fleet observes a consistent
+  global time at every barrier;
+* results come back as picklable :class:`DeviceDigest` records — the
+  per-device counters and levels the parity tests and benches
+  compare — aggregated into one :class:`FleetReport`.
+
+``shards=0`` runs the identical partition logic inline (one world,
+no processes): the differential oracle that sharded execution is
+sample-identical to sequential execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from .world import World
+
+#: The module-global world a shard worker process owns.
+_SHARD_WORLD: Optional[World] = None
+
+
+@dataclass
+class DeviceDigest:
+    """The picklable per-device summary a shard reports back."""
+
+    name: str
+    index: int
+    ticks: int
+    now: float
+    fast_forwarded_ticks: int
+    span_refusals: int
+    radio_activations: int
+    netd_operations: int
+    netd_wait_seconds: float
+    netd_pool_level: float
+    battery_charge_joules: float
+    meter_energy_joules: float
+    meter_samples: int
+    reserve_levels: List[float]
+    conservation_error: float
+
+
+@dataclass
+class ShardReport:
+    """One shard's outcome: digests plus scheduler telemetry."""
+
+    shard: int
+    lo: int
+    hi: int
+    wall_s: float
+    macro_steps: int
+    tick_steps: int
+    fast_forwarded_ticks: int
+    cohort_spans: int
+    cohort_fallbacks: int
+    digests: List[DeviceDigest] = field(default_factory=list)
+
+
+@dataclass
+class FleetReport:
+    """The aggregated result of a sharded run."""
+
+    devices: int
+    shards: int
+    simulated_s: float
+    wall_s: float
+    shard_walls: List[float]
+    reports: List[ShardReport]
+
+    @property
+    def digests(self) -> List[DeviceDigest]:
+        """Every device digest, in global device order."""
+        out = [d for report in self.reports for d in report.digests]
+        out.sort(key=lambda d: d.index)
+        return out
+
+    def total_metered_energy(self) -> float:
+        return sum(d.meter_energy_joules for d in self.digests)
+
+    def total_radio_activations(self) -> int:
+        return sum(d.radio_activations for d in self.digests)
+
+    def worst_conservation_error(self) -> float:
+        return max((abs(d.conservation_error) for d in self.digests),
+                   default=0.0)
+
+
+def _digest_devices(world: World, lo: int) -> List[DeviceDigest]:
+    digests = []
+    for offset, device in enumerate(world.devices):
+        name = next(name for name, d in world._by_name.items()
+                    if d is device)
+        digests.append(DeviceDigest(
+            name=name,
+            index=lo + offset,
+            ticks=device.clock.ticks,
+            now=device.clock.now,
+            fast_forwarded_ticks=device.fast_forwarded_ticks,
+            span_refusals=device.span_refusals,
+            radio_activations=device.radio.activation_count,
+            netd_operations=device.netd.stats.operations,
+            netd_wait_seconds=device.netd.stats.total_wait_seconds,
+            netd_pool_level=device.netd.pool.level,
+            battery_charge_joules=device.battery.charge_joules,
+            meter_energy_joules=device.meter.total_energy_joules,
+            meter_samples=len(device.meter.samples()[0]),
+            reserve_levels=[r.level for r in device.graph.reserves],
+            conservation_error=device.graph.conservation_error(),
+        ))
+    return digests
+
+
+def _shard_build(builder: Callable, lo: int, hi: int,
+                 world_kwargs: Dict) -> int:
+    """Worker-side: construct this shard's world slice."""
+    global _SHARD_WORLD
+    _SHARD_WORLD = World(**world_kwargs)
+    builder(_SHARD_WORLD, lo, hi)
+    return len(_SHARD_WORLD.devices)
+
+
+def _shard_run(chunk_s: float, independent: Optional[bool]) -> float:
+    """Worker-side: advance this shard to the next barrier."""
+    assert _SHARD_WORLD is not None
+    _SHARD_WORLD.run(chunk_s, independent=independent)
+    return _SHARD_WORLD.now
+
+
+def _shard_finish(shard: int, lo: int, hi: int,
+                  wall_s: float) -> ShardReport:
+    """Worker-side: digest this shard's devices."""
+    world = _SHARD_WORLD
+    assert world is not None
+    return ShardReport(
+        shard=shard, lo=lo, hi=hi, wall_s=wall_s,
+        macro_steps=world.macro_steps, tick_steps=world.tick_steps,
+        fast_forwarded_ticks=world.fast_forwarded_ticks,
+        cohort_spans=world.cohort_spans,
+        cohort_fallbacks=world.cohort_fallbacks,
+        digests=_digest_devices(world, lo))
+
+
+class ShardedWorld:
+    """A fleet partitioned across single-worker process pools.
+
+    ``builder(world, lo, hi)`` must be picklable (a module-level
+    function or :func:`functools.partial` over one — e.g.
+    :func:`repro.sim.workload.poller_shard`) and must key every
+    device off its *global* index so partitioning is invisible to the
+    simulation.  ``world_kwargs`` are forwarded to each shard's
+    :class:`~repro.sim.world.World` (tick, seed, fast-forward,
+    batching); every shard gets identical values, which keeps
+    index-derived seeds partition-independent.
+    """
+
+    def __init__(self, builder: Callable, count: int,
+                 shards: Optional[int] = None,
+                 **world_kwargs) -> None:
+        if count <= 0:
+            raise SimulationError("fleet size must be positive")
+        if shards is None:
+            shards = min(os.cpu_count() or 1, count)
+        if shards < 0 or shards > count:
+            raise SimulationError(
+                f"shard count {shards} must be in [0, {count}]")
+        self.builder = builder
+        self.count = count
+        self.shards = shards
+        self.world_kwargs = dict(world_kwargs)
+        #: Inline world (``shards=0``): built lazily on first run.
+        self._inline: Optional[World] = None
+
+    def partitions(self) -> List[tuple]:
+        """``(lo, hi)`` device ranges, one per shard, sizes within 1."""
+        shards = max(1, self.shards)
+        base = self.count // shards
+        extra = self.count % shards
+        ranges = []
+        lo = 0
+        for s in range(shards):
+            hi = lo + base + (1 if s < extra else 0)
+            ranges.append((lo, hi))
+            lo = hi
+        return ranges
+
+    def run(self, duration_s: float,
+            barrier_s: Optional[float] = None,
+            independent: Optional[bool] = True) -> FleetReport:
+        """Advance the fleet; returns the aggregated digests.
+
+        A fresh run builds fresh shards (each invocation is one
+        experiment).  With processes, shard worlds advance in
+        parallel between barriers; inline (``shards=0``) the same
+        partitions run sequentially in this process — the
+        differential oracle.  ``independent`` selects each shard
+        world's scheduler (see :meth:`repro.sim.world.World.run`);
+        it defaults to the independent scheduler here because that is
+        what makes a device's trajectory *partition-invariant* down
+        to the bit: under lockstep, shard membership changes where
+        the global min-horizon lands, which perturbs span boundaries
+        (events stay identical, levels move within the solver
+        tolerance).
+        """
+        if duration_s < 0:
+            raise SimulationError("duration must be non-negative")
+        start = time.perf_counter()
+        if self.shards == 0:
+            report = self._run_inline(duration_s, barrier_s, independent)
+        else:
+            report = self._run_processes(duration_s, barrier_s,
+                                         independent)
+        report.wall_s = time.perf_counter() - start
+        return report
+
+    def _chunks(self, duration_s: float,
+                barrier_s: Optional[float]) -> List[float]:
+        if barrier_s is None:
+            return [duration_s]
+        if barrier_s <= 0:
+            raise SimulationError("barrier must be positive")
+        chunks = []
+        remaining = duration_s
+        while remaining > 1e-12:
+            chunk = min(barrier_s, remaining)
+            chunks.append(chunk)
+            remaining -= chunk
+        return chunks
+
+    def _run_inline(self, duration_s: float,
+                    barrier_s: Optional[float],
+                    independent: Optional[bool]) -> FleetReport:
+        world = World(**self.world_kwargs)
+        self.builder(world, 0, self.count)
+        self._inline = world
+        for chunk in self._chunks(duration_s, barrier_s):
+            world.run(chunk, independent=independent)
+        report = ShardReport(
+            shard=0, lo=0, hi=self.count, wall_s=0.0,
+            macro_steps=world.macro_steps, tick_steps=world.tick_steps,
+            fast_forwarded_ticks=world.fast_forwarded_ticks,
+            cohort_spans=world.cohort_spans,
+            cohort_fallbacks=world.cohort_fallbacks,
+            digests=_digest_devices(world, 0))
+        return FleetReport(devices=self.count, shards=0,
+                           simulated_s=duration_s, wall_s=0.0,
+                           shard_walls=[], reports=[report])
+
+    def _run_processes(self, duration_s: float,
+                       barrier_s: Optional[float],
+                       independent: Optional[bool]) -> FleetReport:
+        ranges = self.partitions()
+        pools = [ProcessPoolExecutor(max_workers=1) for _ in ranges]
+        walls = [0.0] * len(ranges)
+        try:
+            built = [pool.submit(_shard_build, self.builder, lo, hi,
+                                 self.world_kwargs)
+                     for pool, (lo, hi) in zip(pools, ranges)]
+            for future, (lo, hi) in zip(built, ranges):
+                if future.result() != hi - lo:
+                    raise SimulationError(
+                        f"builder produced the wrong device count for "
+                        f"shard [{lo}, {hi})")
+            for chunk in self._chunks(duration_s, barrier_s):
+                begin = time.perf_counter()
+                futures = [pool.submit(_shard_run, chunk, independent)
+                           for pool in pools]
+                for s, future in enumerate(futures):
+                    future.result()  # the clock barrier
+                    walls[s] += time.perf_counter() - begin
+            reports = [
+                pool.submit(_shard_finish, s, lo, hi, walls[s]).result()
+                for s, (pool, (lo, hi)) in enumerate(zip(pools, ranges))]
+        finally:
+            for pool in pools:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return FleetReport(devices=self.count, shards=len(ranges),
+                           simulated_s=duration_s, wall_s=0.0,
+                           shard_walls=walls, reports=reports)

@@ -99,9 +99,11 @@ def keepalive_sender(
     return program
 
 
-def fleet_of_pollers(
+def poller_shard(
     world: "World",
-    count: int,
+    lo: int,
+    hi: int,
+    fleet_size: Optional[int] = None,
     watts: float = 0.015,
     period_s: float = 300.0,
     stagger_s: Optional[float] = None,
@@ -112,23 +114,28 @@ def fleet_of_pollers(
     name_prefix: str = "dev",
     **device_kwargs,
 ) -> List[Tuple["CinderSystem", Process]]:
-    """Populate a :class:`~repro.sim.world.World` with polling handsets.
+    """Build poller devices ``[lo, hi)`` of a ``fleet_size`` fleet.
 
-    Adds ``count`` devices, each carrying one ``watts``-powered
-    reserve and one :func:`periodic_poller` billed to it.  Start
-    offsets are staggered (``stagger_s`` apart; default spreads one
-    period evenly across the fleet) so the fleet's radio activity
-    interleaves instead of synchronizing — the worst case for a
-    global min-horizon scheduler and therefore the honest one to
-    benchmark.  Returns ``(device, process)`` pairs.
+    The shard-friendly builder behind :func:`fleet_of_pollers`:
+    every per-device quantity — name, seed, poll stagger — is keyed
+    off the device's **global** index ``i``, not its position within
+    this world, so a fleet split across
+    :class:`~repro.sim.shards.ShardedWorld` workers is device-for-
+    device identical to the same fleet built in one world.  Module
+    level and keyword-driven, hence picklable via
+    :func:`functools.partial`.  Returns ``(device, process)`` pairs.
     """
-    if count <= 0:
-        raise ValueError("fleet size must be positive")
+    if fleet_size is None:
+        fleet_size = hi
+    if not 0 <= lo < hi <= fleet_size:
+        raise ValueError(f"bad shard range [{lo}, {hi}) of {fleet_size}")
     if stagger_s is None:
-        stagger_s = period_s / count
+        stagger_s = period_s / fleet_size
     fleet: List[Tuple["CinderSystem", Process]] = []
-    for i in range(count):
-        device = world.add_device(name=f"{name_prefix}{i}", **device_kwargs)
+    for i in range(lo, hi):
+        kwargs = dict(device_kwargs)
+        kwargs.setdefault("seed", world.seed + 101 * i)
+        device = world.add_device(name=f"{name_prefix}{i}", **kwargs)
         reserve = device.powered_reserve(watts, name=f"{name_prefix}{i}.net")
         program = periodic_poller(destination, period_s=period_s,
                                   start_offset_s=i * stagger_s,
@@ -138,6 +145,59 @@ def fleet_of_pollers(
                                reserve=reserve)
         fleet.append((device, process))
     return fleet
+
+
+def fleet_of_pollers(
+    world: "World",
+    count: int,
+    **kwargs,
+) -> List[Tuple["CinderSystem", Process]]:
+    """Populate a :class:`~repro.sim.world.World` with polling handsets.
+
+    Adds ``count`` devices, each carrying one ``watts``-powered
+    reserve and one :func:`periodic_poller` billed to it.  Start
+    offsets are staggered (``stagger_s`` apart; default spreads one
+    period evenly across the fleet) so the fleet's radio activity
+    interleaves instead of synchronizing — the worst case for a
+    global min-horizon scheduler and therefore the honest one to
+    benchmark.  Returns ``(device, process)`` pairs.  This is
+    :func:`poller_shard` over the whole index range; pass the same
+    keywords to :class:`~repro.sim.shards.ShardedWorld` builders to
+    partition the identical fleet across processes.
+    """
+    if count <= 0:
+        raise ValueError("fleet size must be positive")
+    return poller_shard(world, 0, count, fleet_size=count, **kwargs)
+
+
+def foreground_poller(
+    manager,
+    app_name: str,
+    destination: str = "echo",
+    period_s: float = 30.0,
+    bytes_out: int = 256,
+    bytes_in: int = 0,
+) -> Callable[[ProcessContext], Generator]:
+    """A daemon that polls only while its app holds the foreground.
+
+    The task-manager polling pattern, ServiceCall-ified: the daemon
+    blocks on :meth:`~repro.apps.task_manager.TaskManager.
+    focus_request` — an event-driven wait that does not veto the
+    engine's fast-forward — instead of spinning a per-tick ``WaitFor``
+    predicate, so fleets of managed pollers macro-step through the
+    background stretches.  While focused it polls every ``period_s``;
+    on losing focus it parks until the next focus event.
+    """
+    def program(ctx: ProcessContext) -> Generator:
+        while True:
+            yield manager.focus_request(app_name)
+            while manager.focused == app_name:
+                yield NetRequest(bytes_out=bytes_out, bytes_in=bytes_in,
+                                 destination=destination)
+                if manager.focused != app_name:
+                    break
+                yield Sleep(period_s)
+    return program
 
 
 def batch_downloader(

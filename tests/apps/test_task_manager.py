@@ -139,3 +139,89 @@ class TestBehavior:
         assert manager.focused == "A"
         system.run(1.0)
         assert manager.focused is None
+
+
+class TestFocusServiceCall:
+    """ServiceCall focus waits: event-driven, fast-forward friendly."""
+
+    def build(self, fast_forward: bool):
+        system = make_system(fast_forward=fast_forward,
+                             record_interval_s=1.0)
+        manager = TaskManager(system)
+        manager.add_app("mail")
+        manager.add_app("rss")
+        log = []
+
+        def watcher(ctx):
+            while True:
+                yield manager.focus_request("mail")
+                log.append(("fg", ctx.now))
+                yield manager.focus_request("mail", foreground=False)
+                log.append(("bg", ctx.now))
+
+        process = system.spawn(watcher, "watcher",
+                               reserve=manager.app("mail").reserve)
+        manager.schedule_focus(50.0, "mail")
+        manager.schedule_focus(120.0, "rss")
+        manager.schedule_focus(200.0, "mail")
+        manager.schedule_focus(260.0, None)
+        return system, manager, process, log
+
+    def test_focus_waits_fire_on_exact_ticks_both_modes(self):
+        logs = {}
+        for fast_forward in (True, False):
+            system, manager, process, log = self.build(fast_forward)
+            system.run(300.0)
+            logs[fast_forward] = log
+            if fast_forward:
+                # The background stretches macro-step: a WaitFor
+                # predicate poll would have vetoed every one of
+                # these ticks.
+                assert system.fast_forwarded_ticks > 20_000
+        assert logs[True] == logs[False]
+        events = logs[True]
+        assert [kind for kind, _ in events] == ["fg", "bg", "fg", "bg"]
+        times = [when for _, when in events]
+        # Resumption lands on the tick after each scheduled focus
+        # change (the pump services completions on the next pump).
+        assert times[0] == pytest.approx(50.0, abs=0.05)
+        assert times[1] == pytest.approx(120.0, abs=0.05)
+        assert times[2] == pytest.approx(200.0, abs=0.05)
+        assert times[3] == pytest.approx(260.0, abs=0.05)
+
+    def test_unknown_app_rejected(self):
+        system = make_system()
+        manager = TaskManager(system)
+        with pytest.raises(SchedulerError):
+            manager.focus_request("ghost")
+
+    def test_already_satisfied_wait_completes_synchronously(self):
+        system = make_system()
+        manager = TaskManager(system)
+        manager.add_app("mail")
+        manager.focus("mail")
+        seen = []
+
+        def prog(ctx):
+            app = yield manager.focus_request("mail")
+            seen.append(app.name)
+
+        system.spawn(prog, "p", reserve=manager.app("mail").reserve)
+        system.run(0.1)
+        assert seen == ["mail"]
+
+    def test_foreground_poller_workload_macro_steps(self):
+        from repro.sim.workload import foreground_poller
+        system = make_system(fast_forward=True, record_interval_s=1.0)
+        manager = TaskManager(system)
+        manager.add_app("mail")
+        # A generous feed so polls afford quickly once focused.
+        reserve = system.powered_reserve(2.0, name="mail.net")
+        system.spawn(foreground_poller(manager, "mail", period_s=20.0,
+                                       bytes_out=64),
+                     "mail.poller", reserve=reserve)
+        manager.schedule_focus(100.0, "mail")
+        manager.schedule_focus(160.0, None)
+        system.run(300.0)
+        assert system.netd.stats.operations > 0
+        assert system.fast_forwarded_ticks > 10_000

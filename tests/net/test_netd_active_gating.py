@@ -1,0 +1,123 @@
+"""Closed-form §5.5.1 individual gating: the radio-active wait class.
+
+With the radio already active netd has no power-up to amortize, so
+each caller gates on its own reserve against ``marginal_active_cost +
+data`` — a bill that *grows* at plateau power as the radio idles
+down while the reserve accrues at its tap rate.  That wait used to
+be the last tick-granular netd regime in fleet workloads; it now has
+the same closed-form treatment as the pooled path: the daemon
+predicts the exact affordability tick by replaying the pump's own
+float arithmetic and replays skipped accrual in bulk (deposits stay
+in the caller's reserve — nothing pools in this regime).
+
+The contract matches the pooled one: with decay off, event timing is
+**bit-identical** between ``fast_forward=True`` and ``False``, and
+the fast run must actually macro-step through the active waits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import CinderSystem
+from repro.sim.process import NetRequest, Sleep
+
+
+def active_wait_system(fast_forward: bool,
+                       polls: int = 6) -> CinderSystem:
+    """A poller whose follow-up sends block in the active regime.
+
+    The first poll pools toward an activation (0.6 W against the
+    ~11.9 J bill).  Each follow-up fires 1 s after the previous
+    transfer as an 800-datagram burst: the per-packet cost (~0.8 J)
+    plus the growing marginal active cost outruns the reserve's
+    balance, so the op blocks for several simulated seconds *while
+    the radio is active* — affordability is reached because the
+    reserve accrues at 0.6 W against the 0.475 W plateau growth.
+    (Packets, not bytes, carry the cost so the transfer itself stays
+    short — a long transfer occupies the radio, which is a different,
+    correctly tick-granular regime.)
+    """
+    system = CinderSystem(battery_joules=15_000.0, tick_s=0.01, seed=9,
+                          record_interval_s=1.0, decay_enabled=False,
+                          fast_forward=fast_forward)
+    reserve = system.powered_reserve(0.6, name="sender")
+
+    def program(ctx):
+        for _ in range(polls):
+            yield NetRequest(bytes_out=64, bytes_in=0, packets=800,
+                             destination="echo")
+            yield Sleep(1.0)
+
+    system.spawn(program, "sender", reserve=reserve)
+    return system
+
+
+class TestActiveGatingFastForward:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        fast = active_wait_system(True)
+        slow = active_wait_system(False)
+        fast.run(300.0)
+        slow.run(300.0)
+        return fast, slow
+
+    def test_event_timing_bit_identical(self, runs):
+        fast, slow = runs
+        assert fast.netd.stats.operations == slow.netd.stats.operations
+        assert fast.netd.stats.operations >= 6
+        assert fast.radio.activation_count == slow.radio.activation_count
+        assert (fast.netd.stats.total_wait_seconds
+                == slow.netd.stats.total_wait_seconds)
+        # The follow-ups genuinely waited in the active regime (the
+        # radio never idled between sends: one activation total).
+        assert fast.radio.activation_count == 1
+        assert fast.netd.stats.total_wait_seconds > 10.0
+
+    def test_macro_steps_through_active_waits(self, runs):
+        fast, slow = runs
+        assert slow.fast_forwarded_ticks == 0
+        assert fast.clock.ticks == slow.clock.ticks
+        # The run is dominated by pooled + active waits and idle
+        # tails; nearly all of it must macro-step.
+        assert fast.fast_forwarded_ticks > 20_000
+
+    def test_billing_and_conservation_match(self, runs):
+        fast, slow = runs
+        assert fast.netd.stats.total_billed_joules == pytest.approx(
+            slow.netd.stats.total_billed_joules, rel=1e-9)
+        assert fast.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-8)
+        # The tick-by-tick reference accumulates ordinary float
+        # rounding over 30k ticks; the suite-wide tolerance applies.
+        assert slow.graph.conservation_error() == pytest.approx(
+            0.0, abs=1e-6)
+        sender_fast = fast.processes[0].thread.active_reserve
+        sender_slow = slow.processes[0].thread.active_reserve
+        assert sender_fast.level == pytest.approx(sender_slow.level,
+                                                  rel=1e-6, abs=1e-9)
+
+    def test_decay_on_falls_back_to_ticking(self):
+        """With decay on, the active-regime increments are
+        level-dependent; the daemon must refuse quiescence (ticking is
+        always correct) rather than replay a wrong trajectory —
+        events still match between modes."""
+        fast = CinderSystem(battery_joules=15_000.0, tick_s=0.01, seed=9,
+                            record_interval_s=1.0, decay_enabled=True,
+                            fast_forward=True)
+        slow = CinderSystem(battery_joules=15_000.0, tick_s=0.01, seed=9,
+                            record_interval_s=1.0, decay_enabled=True,
+                            fast_forward=False)
+        for system in (fast, slow):
+            reserve = system.powered_reserve(0.6, name="sender")
+
+            def program(ctx):
+                for _ in range(3):
+                    yield NetRequest(bytes_out=64, bytes_in=0,
+                                     packets=800, destination="echo")
+                    yield Sleep(1.0)
+
+            system.spawn(program, "sender", reserve=reserve)
+            system.run(120.0)
+        assert fast.netd.stats.operations == slow.netd.stats.operations
+        assert fast.radio.activation_count == slow.radio.activation_count
