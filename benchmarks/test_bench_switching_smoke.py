@@ -1,0 +1,91 @@
+"""Quick-mode switching-span perf smoke: seconds, not minutes.
+
+The full bench suite's ``switching_macro`` runs a simulated hour; this
+file is the PR-gating smoke: a single device whose spans cross a
+mid-span drain clamp and a debt zero-crossing inside ten simulated
+minutes, floored on macro-step speedup over a tick slice, zero
+refusals, located switches, and conservation.  CI runs it in the same
+fast job as the fleet smoke so a segmented-engine regression fails
+pull requests before the full bench matrix finishes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.tap import TapType
+from repro.sim.engine import CinderSystem
+
+SMOKE_SIM_S = 600.0
+SMOKE_TICK_SLICE_S = 60.0
+#: Looser than the full bench's 5x: the smoke run is short (timer
+#: noise) — it exists to catch order-of-magnitude regressions fast.
+SMOKE_SPEEDUP_FLOOR = 3.0
+SMOKE_WALL_LIMIT_S = 20.0
+
+
+def _build(fast_forward: bool) -> CinderSystem:
+    system = CinderSystem(battery_joules=2_000.0, tick_s=0.01,
+                          record_interval_s=1.0, seed=13,
+                          decay_enabled=False,
+                          fast_forward=fast_forward)
+    kernel = system.kernel
+    # Clamp material: 1 J against a 30 mW net drain empties ~33 s in.
+    task = system.new_reserve(name="task")
+    system.battery_reserve.transfer_to(task, 1.0)
+    kernel.create_tap(system.battery_reserve, task, 0.02,
+                      name="task.feed")
+    archive = system.new_reserve(name="archive")
+    kernel.create_tap(task, archive, 0.05, name="task.drain")
+    # Debt material: crosses zero at 60 s, backward tap resumes.
+    debtor = system.new_reserve(name="debtor")
+    kernel.create_tap(system.battery_reserve, debtor, 0.03, name="repay")
+    kernel.create_tap(debtor, system.battery_reserve, 0.05,
+                      TapType.PROPORTIONAL, name="back")
+    debtor.consume(1.8, allow_debt=True)
+    # Chained apps: enough live topology that the tick side pays a
+    # realistic per-tick cost (a near-empty graph makes the measured
+    # ratio pure timer noise — both walls land in the ~50 ms range).
+    for i in range(4):
+        app = system.powered_reserve(0.06, name=f"app{i}")
+        sub = system.new_reserve(name=f"app{i}.sub")
+        kernel.create_tap(app, sub, 0.05, TapType.PROPORTIONAL,
+                          name=f"app{i}.t1")
+        kernel.create_tap(sub, system.battery_reserve, 0.04,
+                          TapType.PROPORTIONAL, name=f"app{i}.t2")
+    return system
+
+
+def test_switching_smoke_floors():
+    fast_wall = float("inf")
+    system = None
+    for _ in range(2):
+        candidate = _build(True)
+        start = time.perf_counter()
+        candidate.run(SMOKE_SIM_S)
+        wall = time.perf_counter() - start
+        if wall < fast_wall:
+            fast_wall, system = wall, candidate
+
+    # Best-of-2 on the tick side too: both walls are sub-second, so
+    # a single cold run would let scheduler noise bias the ratio.
+    slice_wall = float("inf")
+    for _ in range(2):
+        tick_system = _build(False)
+        start = time.perf_counter()
+        tick_system.run(SMOKE_TICK_SLICE_S)
+        slice_wall = min(slice_wall, time.perf_counter() - start)
+
+    speedup = ((slice_wall / SMOKE_TICK_SLICE_S)
+               / (fast_wall / SMOKE_SIM_S))
+    assert fast_wall < SMOKE_WALL_LIMIT_S, (
+        f"switching smoke took {fast_wall:.2f}s "
+        f"(limit {SMOKE_WALL_LIMIT_S}s)")
+    assert speedup >= SMOKE_SPEEDUP_FLOOR, (
+        f"switching smoke only {speedup:.1f}x over tick-slicing "
+        f"(floor {SMOKE_SPEEDUP_FLOOR}x)")
+    assert system.span_refusals == 0, (
+        "the segmented engine refused spans the smoke workload needs")
+    assert system.graph.span_switches >= 2
+    assert system.span_segments > 0
+    assert abs(system.graph.conservation_error()) < 1e-9

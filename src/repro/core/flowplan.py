@@ -21,12 +21,17 @@ Two execution modes:
 * :meth:`execute_span` — a closed-form macro-step over an arbitrary
   span with no intervening events (the engine's idle fast-forward).
   The span *tier* lives in :mod:`repro.core.spansolver`: a scalar
-  per-reserve closed form for diagonal systems plus a coupled
-  matrix-exponential solver for proportional chains, with per-reserve
-  mass balance keeping conservation exact.  Returns ``None`` when no
-  closed form is sound (a constant tap would clamp mid-span, a finite
-  capacity could bind, or some reserve is in debt) — the engine then
-  falls back to ticking.
+  per-reserve closed form for diagonal systems, a coupled
+  matrix-exponential solver for proportional chains, and a segmented
+  engine that carries piecewise-linear regime switches (mid-span
+  clamps, binding capacities, debt repayment) across their located
+  switch instants — all committing by per-reserve mass balance so
+  conservation stays exact.  Returns ``None`` only for the residual
+  shapes the segment engine cannot rewrite — the engine then falls
+  back to ticking.  The compiled snapshot is the segment engine's
+  regime substrate: ``src``/``snk``/``rate``/``const_mask`` order *is*
+  creation order, which fixes the pass-through distribution when an
+  emptied reserve's drains clamp.
 
 Segmentation rules (compile time, creation order preserved):
 
@@ -393,7 +398,8 @@ class FlowPlan:
 
         Delegates to the span tier (:mod:`repro.core.spansolver`):
         per-reserve scalar closed forms for diagonal systems, the
-        coupled matrix-exponential solver for proportional chains.
+        coupled matrix-exponential solver for proportional chains, and
+        the segmented engine for piecewise-linear regime switches.
         Differs from tick-by-tick integration by O(tick)
         discretisation error — figure-level identical — while
         conservation stays exact by mass balance.  Returns total tap

@@ -83,6 +83,12 @@ class ResourceGraph:
         #: Telemetry: how many step() calls ran vectorized vs fell back.
         self.vector_steps = 0
         self.fallback_steps = 0
+        #: Telemetry: segments executed by the switching span engine
+        #: (spans the single-regime solvers would have refused), and
+        #: the regime switches located inside them (``segments - 1``
+        #: per switching span).  See :mod:`repro.core.spansolver`.
+        self.span_segments = 0
+        self.span_switches = 0
         self.root._graph_hook = self._bump
 
     # -- plan/epoch machinery ----------------------------------------------------
@@ -416,12 +422,16 @@ class ResourceGraph:
         """Closed-form flow/decay over an event-free span (fast-forward).
 
         Returns the total tap flow over ``span`` seconds, or None when
-        no closed form is sound for the current *state* (a constant
-        tap would clamp mid-span, a reserve is in debt, or a finite
-        capacity could bind) — the caller should tick instead.
-        Mutates nothing on a None return.  Proportional chains are
-        *not* a refusal any more: coupled topologies go through the
-        matrix-exponential solver (:mod:`repro.core.spansolver`).
+        no closed form is sound for the current *state* — the caller
+        should tick instead.  Mutates nothing on a None return.
+        Neither proportional chains nor the piecewise-linear switches
+        (a constant tap clamping mid-span, a capacity binding, a debt
+        level crossing zero) are refusals any more: coupled topologies
+        go through the matrix-exponential solver and switching states
+        through the segmented engine (:mod:`repro.core.spansolver`),
+        with the located segments counted in :attr:`span_segments` /
+        :attr:`span_switches`.  Only the residual shapes the segment
+        engine cannot rewrite (documented there) still refuse.
 
         ``frozen_taps`` are held out of the integration entirely: an
         event source that integrates its own taps in closed form (netd

@@ -75,9 +75,10 @@ class PooledAccrual:
     avail_sum: float
     #: Per-tick decay fraction (0.0 when decay is off).
     fraction: float
-    #: (feed-source reserve, its total constant drain rate), one per
-    #: distinct source — the clamp-budget inputs.
-    drains: List[Tuple[Reserve, float]]
+    #: (feed-source reserve, its total constant drain rate, its total
+    #: constant *inflow* rate), one per distinct source — the
+    #: clamp-budget inputs.
+    drains: List[Tuple[Reserve, float, float]]
 
     def frozen_taps(self) -> List[Tap]:
         """The feed taps a daemon integrates itself over a span."""
@@ -86,14 +87,31 @@ class PooledAccrual:
     def budget_ticks(self, tick_s: float) -> float:
         """Ticks every feed source can fund its constant drains.
 
-        Inflow into the sources is ignored, so the budget is a sound
-        lower bound: tick-by-tick execution cannot clamp a frozen feed
+        The budget is an exact *net-rate* bound, not the old
+        gross-drain haircut: a source drains at its constant outflow
+        minus its **root-sourced** constant inflow (inflow from any
+        other reserve is ignored — its upstream could clamp; so is
+        proportional inflow — both omissions only err safe), after one
+        tick of slack covering intra-tick firing order (a drain
+        created before its source's feed sees the level a whole
+        deposit short).  A root-fed pass-through junction — constant
+        inflow covering its constant drains, the canonical chained
+        shape — therefore has an *infinite* budget: such feeds keep
+        their bit-identical replay contracts with no conservative
+        clamp gating at all.  Genuinely depleting sources still bound
+        the skip: tick-by-tick execution cannot clamp a frozen feed
         tap earlier than this.
         """
         budget = math.inf
-        for source, rate in self.drains:
-            if rate > 0.0:
-                budget = min(budget, source.level / (rate * tick_s))
+        for source, out_rate, in_rate in self.drains:
+            if out_rate <= 0.0:
+                continue
+            slack = source.level - out_rate * tick_s
+            if slack < 0.0:
+                return 0.0  # could clamp within the very next tick
+            net = out_rate - in_rate
+            if net > 0.0:
+                budget = min(budget, slack / (net * tick_s))
         return budget
 
     def analytic_skip_ticks(self, gain: float, pool_level: float,
@@ -221,7 +239,17 @@ def analyze_pooled_accrual(
                     return None
             drain_rate = sum(t.rate for t in outbound.get(skey, ())
                              if t.tap_type is TapType.CONST)
-            sources[skey] = (source, drain_rate)
+            # Budget credit: only *root-sourced* constant inflow.  A
+            # constant tap from any other reserve clamps to what its
+            # source holds (its upstream may itself drain dry), so
+            # crediting it would overstate the budget; the root is the
+            # one reserve the whole replay machinery already assumes
+            # never runs dry (feed debits are taken from it
+            # unconditionally).
+            inflow_rate = sum(t.rate for t in inbound.get(skey, ())
+                              if t.tap_type is TapType.CONST
+                              and t.source is root)
+            sources[skey] = (source, drain_rate, inflow_rate)
         # One tick of the reference arithmetic, from level zero:
         # deposit the tap's amount, then decay the deposit.
         inflow = tap.rate * tick_s

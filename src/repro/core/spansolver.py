@@ -42,13 +42,31 @@ Two solvers, picked per call:
   conservation is exact by construction no matter what the linear
   algebra rounded.
 
-Refusal stays sound without refusing the whole shape class: the solver
-bounds each trajectory's minimum (the inflow-free monotone lower bound
-— if a constant drain could clamp mid-span the span is refused) and
-its maximum (level plus every inflow bound integrated over the span —
-if a finite capacity could bind the span is refused).  A refused span
-mutates nothing; the caller ticks instead.  Debt entry (any negative
-level) always refuses: repayment is tick-granular.
+The dynamics are only *piecewise* linear in time: a constant drain
+clamping on an empty reserve, a finite capacity binding, and a debt
+level crossing zero (the ``max(L, 0)`` nonlinearity) each switch the
+system to a different linear regime at one discrete instant.  Those
+used to be refusals — the whole span fell back to tick-by-tick.  The
+**segmented engine** now handles them: when the single-regime bounds
+fail, the solver locates the earliest switching instant inside the
+span (sampling the closed-form trajectory, then bisecting on the
+propagator — the eigendecomposition when the regime's ``A`` is
+healthy, the Padé exponential when it is defective), integrates
+exactly to it, rewrites the regime — pin an emptied reserve at zero
+and pass its constant inflow through to its drains in creation order,
+freeze a capped reserve and reject its inflow, flip a debt row to
+inflow-only repayment — and continues segment by segment until the
+span is consumed.  Per-segment flows are staged and the whole chain
+commits by mass balance in one shot (or nothing commits at all), so
+conservation stays exact and a refusal still mutates nothing.
+
+Residual refusals are the regimes with no supported rewrite: an
+empty-draining reserve fed by a live proportional tap (its
+pass-through would be time-varying), a capacity binding on a reserve
+that also drains or decays (its level would hover, not freeze), a
+non-normal root, unlocatable or sub-resolution switch instants, and
+chains longer than :data:`MAX_SEGMENTS`.  Tick-by-tick is always
+correct, so the segmented engine never guesses.
 """
 
 from __future__ import annotations
@@ -72,6 +90,17 @@ EIG_COND_LIMIT = 1e8
 #: Span-end negativity beyond float noise aborts the solve (the sound
 #: bounds should make this unreachable; refuse rather than guess).
 NEGATIVE_LEVEL_SLACK = 1e-6
+
+#: Hard ceiling on regime switches inside one span; a span that keeps
+#: switching beyond this is refused (tick-by-tick is always correct).
+MAX_SEGMENTS = 64
+
+#: Trajectory samples per segment when scanning for the earliest
+#: switching instant (crossings between samples are then bisected).
+EVENT_SAMPLES = 96
+
+# per-reserve regime modes inside one segment
+_NORMAL, _DEBT, _EMPTY, _FULL = 0, 1, 2, 3
 
 
 def _expm(a: np.ndarray) -> np.ndarray:
@@ -130,6 +159,69 @@ def _phi2(z: np.ndarray) -> np.ndarray:
     return out
 
 
+def _augmented(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The ``(2n+1)``-square block matrix ``[[A, b, 0], [0], [I, 0]]``.
+
+    One exponential of it yields both the state and its time integral:
+    rows ``:n`` carry ``L' = A L + b`` (with the constant ``1`` state
+    at index ``n`` driving ``b``), rows ``n+1:`` carry ``J' = L``.
+    Shared by every dense (Padé) path — the scalar coupled solver, the
+    batched cohort solver, and the segment propagator.
+    """
+    n = a.shape[0]
+    m = np.zeros((2 * n + 1, 2 * n + 1))
+    m[:n, :n] = a
+    m[:n, n] = b
+    m[n + 1:, :n] = np.eye(n)
+    return m
+
+
+def _eig_state_integral(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                        b: np.ndarray, lvl: np.ndarray,
+                        t: float) -> Tuple[np.ndarray, np.ndarray]:
+    """``(L(t), J(t))`` on the eigenvalue path of ``L' = A L + b``.
+
+    The one place the phi-function propagation formula lives: both the
+    per-epoch :class:`CoupledSystem` and the per-regime
+    :class:`_SegmentPropagator` delegate here, so the single-regime
+    and segmented tiers cannot drift apart.
+    """
+    w, v, vinv = eig
+    c0 = vinv @ lvl
+    cb = vinv @ b
+    z = w * t
+    ez = np.exp(z)
+    p1 = _phi1(z)
+    p2 = _phi2(z)
+    end = (v @ (ez * c0 + t * (p1 * cb))).real
+    integ = (v @ (t * (p1 * c0) + (t * t) * (p2 * cb))).real
+    return end, integ
+
+
+def _trusted_eig(a: np.ndarray
+                 ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """``(w, V, V^-1)`` when the eigenbasis of ``a`` is trustworthy.
+
+    Returns None for defective or nearly-defective matrices (equal-rate
+    chains produce Jordan blocks): the basis must be well-conditioned
+    *and* actually reconstruct ``a`` — a nearly defective matrix can
+    pass the condition gate yet round badly.
+    """
+    try:
+        w, v = np.linalg.eig(a)
+        cond = np.linalg.cond(v)
+        if not np.isfinite(cond) or cond > EIG_COND_LIMIT:
+            return None
+        vinv = np.linalg.inv(v)
+    except np.linalg.LinAlgError:  # pragma: no cover - numpy internal
+        return None
+    scale = max(1.0, float(np.abs(a).max()))
+    recon = (v * w) @ vinv
+    if float(np.abs(recon - a).max()) > 1e-9 * scale:
+        return None
+    return w, v, vinv
+
+
 class CoupledSystem:
     """``L' = A L + b`` for one topology epoch at one decay constant.
 
@@ -161,49 +253,18 @@ class CoupledSystem:
         #: Telemetry/testing: which solve path this system uses.
         self.mode = "dense"
         if not FORCE_DENSE_EXPM:
-            self._try_eig()
-
-    def _try_eig(self) -> None:
-        try:
-            w, v = np.linalg.eig(self.a)
-            cond = np.linalg.cond(v)
-            if not np.isfinite(cond) or cond > EIG_COND_LIMIT:
-                return
-            vinv = np.linalg.inv(v)
-        except np.linalg.LinAlgError:  # pragma: no cover - numpy internal
-            return
-        # Trust the basis only if it actually reconstructs A: a nearly
-        # defective matrix can pass the condition gate yet round badly.
-        scale = max(1.0, float(np.abs(self.a).max()))
-        recon = (v * w) @ vinv
-        if float(np.abs(recon - self.a).max()) > 1e-9 * scale:
-            return
-        self.eig = (w, v, vinv)
-        self.mode = "eig"
+            self.eig = _trusted_eig(self.a)
+            if self.eig is not None:
+                self.mode = "eig"
 
     def propagate(self, lvl: np.ndarray,
                   span: float) -> Tuple[np.ndarray, np.ndarray]:
         """``(L(span), J(span))`` where ``J = ∫_0^span L dt``."""
         if self.eig is not None:
-            w, v, vinv = self.eig
-            c0 = vinv @ lvl
-            cb = vinv @ self.b
-            z = w * span
-            ez = np.exp(z)
-            p1 = _phi1(z)
-            p2 = _phi2(z)
-            end = (v @ (ez * c0 + span * (p1 * cb))).real
-            integ = (v @ (span * (p1 * c0)
-                          + (span * span) * (p2 * cb))).real
-            return end, integ
+            return _eig_state_integral(self.eig, self.b, lvl, span)
         propagator = self._dense_cache.get(span)
         if propagator is None:
-            n = self.n
-            m = np.zeros((2 * n + 1, 2 * n + 1))
-            m[:n, :n] = self.a
-            m[:n, n] = self.b
-            m[n + 1:, :n] = np.eye(n)
-            propagator = _expm(m * span)
+            propagator = _expm(_augmented(self.a, self.b) * span)
             if len(self._dense_cache) > 32:  # unbounded-span safety valve
                 self._dense_cache.clear()
             self._dense_cache[span] = propagator
@@ -211,6 +272,243 @@ class CoupledSystem:
         state = np.concatenate([lvl, [1.0], np.zeros(n)])
         result = propagator @ state
         return result[:n], result[n + 1:]
+
+
+class _SegmentPropagator:
+    """Closed-form evaluator for one regime's ``L' = A L + b``.
+
+    Unlike :class:`CoupledSystem` (one system per topology epoch) a
+    propagator describes one *regime* — the linear system left after a
+    segment's pins and drops — and must answer trajectory queries at
+    arbitrary instants for event location.  The eigenvalue path makes
+    those queries a couple of matrix-vector products; the Padé path
+    pays one augmented-matrix exponential per query (regimes are
+    small, and event location runs only when a switch is near).
+    """
+
+    def __init__(self, a: np.ndarray, b: np.ndarray) -> None:
+        self.a = a
+        self.b = b
+        self.n = a.shape[0]
+        self.eig = None if FORCE_DENSE_EXPM else _trusted_eig(a)
+
+    def states(self, lvl: np.ndarray, ts: np.ndarray) -> np.ndarray:
+        """``L(t)`` stacked over a *uniform* ascending grid ``ts``.
+
+        The grid must start at its own spacing (``ts[k] = (k+1) * dt``)
+        — exactly the event scan's ``linspace`` — so the dense path can
+        propagate one per-step exponential instead of one per sample.
+        """
+        if self.eig is not None:
+            w, v, vinv = self.eig
+            c0 = vinv @ lvl
+            cb = vinv @ self.b
+            z = np.multiply.outer(ts, w)
+            out = (np.exp(z) * c0 + ts[:, None] * (_phi1(z) * cb)) @ v.T
+            return out.real
+        n = self.n
+        dt = ts[0] if len(ts) == 1 else ts[1] - ts[0]
+        step = _expm(_augmented(self.a, self.b) * dt)
+        state = np.concatenate([lvl, [1.0], np.zeros(n)])
+        out = np.empty((len(ts), n))
+        for k in range(len(ts)):
+            state = step @ state
+            out[k] = state[:n]
+        return out
+
+    def state_at(self, lvl: np.ndarray, t: float) -> np.ndarray:
+        """``L(t)`` at one arbitrary instant (bisection queries)."""
+        if self.eig is not None:
+            w, v, vinv = self.eig
+            z = w * t
+            return (v @ (np.exp(z) * (vinv @ lvl)
+                         + t * (_phi1(z) * (vinv @ self.b)))).real
+        state = np.concatenate([lvl, [1.0], np.zeros(self.n)])
+        return (_expm(_augmented(self.a, self.b) * t) @ state)[:self.n]
+
+    def propagate(self, lvl: np.ndarray,
+                  t: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``(L(t), J(t))`` where ``J = ∫_0^t L dt``."""
+        if self.eig is not None:
+            return _eig_state_integral(self.eig, self.b, lvl, t)
+        state = np.concatenate([lvl, [1.0], np.zeros(self.n)])
+        result = _expm(_augmented(self.a, self.b) * t) @ state
+        return result[:self.n], result[self.n + 1:]
+
+
+class _SegmentRegime:
+    """One piecewise-linear regime: pins, effective rates, monitors.
+
+    Everything here is a pure function of the per-reserve mode vector
+    (and the decay constant), so regimes are cached on the tier keyed
+    by ``(lam, mode bytes)`` — levels enter only as the propagator's
+    initial condition.
+    """
+
+    __slots__ = ("mode", "eff", "const_idx", "prop_idx", "decay_rows",
+                 "system", "clamp_rows", "cap_rows", "cap_limits",
+                 "debt_rows", "lam", "root", "out_eff", "in_eff",
+                 "f_row", "always_safe", "cin_snk", "cin_src", "cin_eff",
+                 "psrc", "psnk", "prate")
+
+    def __init__(self, mode, eff, const_idx, prop_idx, decay_rows,
+                 system, clamp_rows, cap_rows, cap_limits,
+                 debt_rows, lam, root, out_eff, in_eff, f_row,
+                 always_safe, cin_snk, cin_src, cin_eff, psrc, psnk,
+                 prate) -> None:
+        self.mode = mode
+        self.eff = eff
+        self.const_idx = const_idx
+        self.prop_idx = prop_idx
+        self.decay_rows = decay_rows
+        self.system = system
+        self.clamp_rows = clamp_rows
+        self.cap_rows = cap_rows
+        self.cap_limits = cap_limits
+        self.debt_rows = debt_rows
+        self.lam = lam
+        self.root = root
+        self.out_eff = out_eff
+        self.in_eff = in_eff
+        self.f_row = f_row
+        self.always_safe = always_safe
+        self.cin_snk = cin_snk
+        self.cin_src = cin_src
+        self.cin_eff = cin_eff
+        self.psrc = psrc
+        self.psnk = psnk
+        self.prate = prate
+
+    def certify(self, lvl: np.ndarray, t: float, ltol: float,
+                crossed: np.ndarray) -> bool:
+        """Sound no-switch certificate for ``[0, t]`` (crossing rows
+        excluded — their switch *is* the segment boundary).
+
+        The sampled event scan can miss a boundary excursion narrower
+        than its grid (a capped reserve spiking over the cap and back,
+        a drained reserve dipping below zero and recovering), which
+        would silently commit flows tick-by-tick execution clamps.  A
+        segment therefore only commits when these closed-form bounds
+        hold over its whole interval:
+
+        * **clamp rows** — the inflow-free lower bound, iteratively
+          refined by crediting constant inflow from provably safe
+          sources (the root, pinned reserves, and rows the previous
+          iterate certified — the continuous analogue of the tier's
+          ``early_feeds`` refinement);
+        * **cap rows** — the iterated inflow upper bound (inflow at
+          the previous bound, outflow ignored), the same bound the
+          coupled tier refuses on.
+
+        Debt rows need no certificate: their trajectories are monotone
+        non-decreasing (inflow only), so the sampler cannot miss a
+        crossing.  A failed certificate refuses the span — ticking is
+        always correct.
+        """
+        n = lvl.shape[0]
+        normal = self.mode == _NORMAL
+        clamp = self.clamp_rows[~crossed[self.clamp_rows]]
+        if clamp.size:
+            safe = self.always_safe.copy()
+            f = self.f_row
+            linear = f > 0.0
+            decay_f = np.exp(-f * t)
+            for _ in range(4):
+                credit = np.zeros(n)
+                if self.cin_snk.size:
+                    np.add.at(credit, self.cin_snk,
+                              self.cin_eff * safe[self.cin_src])
+                deficit = np.maximum(self.out_eff - credit, 0.0)
+                per_f = np.divide(deficit, f, out=np.zeros(n),
+                                  where=linear)
+                lower = np.where(linear,
+                                 lvl * decay_f - per_f * (1.0 - decay_f),
+                                 lvl - deficit * t)
+                refined = self.always_safe | (normal
+                                              & (lower >= -4.0 * ltol))
+                if (refined == safe).all():
+                    break
+                safe = refined
+            if not safe[clamp].all():
+                return False
+        if self.cap_rows.size:
+            keep = ~crossed[self.cap_rows]
+            caps = self.cap_rows[keep]
+            limits = self.cap_limits[keep]
+            if caps.size:
+                mass = float(np.maximum(lvl, 0.0).sum())
+                best = np.full(n, mass)
+                for _ in range(6):
+                    inflow = self.in_eff.copy()
+                    if self.prate.size:
+                        np.add.at(inflow, self.psnk,
+                                  self.prate * best[self.psrc])
+                    if self.lam > 0.0 and self.decay_rows.size:
+                        inflow[self.root] += self.lam * float(
+                            best[self.decay_rows].sum())
+                    best = np.minimum(best, lvl + inflow * t)
+                if (best[caps] > limits).any():
+                    return False
+        return True
+
+    def _violated(self, states: np.ndarray, ltol: float) -> np.ndarray:
+        """Per-sample ``True`` where any switch condition holds."""
+        hit = np.zeros(states.shape[0], dtype=bool)
+        if self.clamp_rows.size:
+            hit |= (states[:, self.clamp_rows] < -ltol).any(axis=1)
+        if self.cap_rows.size:
+            hit |= (states[:, self.cap_rows] > self.cap_limits).any(axis=1)
+        if self.debt_rows.size:
+            hit |= (states[:, self.debt_rows] > -ltol).any(axis=1)
+        return hit
+
+    def first_switch(self, lvl: np.ndarray, span: float, ltol: float
+                     ) -> Optional[Tuple[float, np.ndarray]]:
+        """Earliest instant in ``(0, span]`` a switch condition fires.
+
+        Samples the closed-form trajectory on a uniform grid, then
+        bisects the first violating bracket down to the propagator's
+        resolution.  Returns ``(instant, crossing-row mask)``: the
+        instant is the last *clean* time — integrating to it lands
+        exactly on the regime boundary — and the mask marks the rows
+        violating just past it, which :meth:`certify` excludes from
+        the segment's no-switch certificate (their switch *is* the
+        boundary).  None means no sampled condition fires; the caller
+        still certifies the whole interval before committing.
+        """
+        if not (self.clamp_rows.size or self.cap_rows.size
+                or self.debt_rows.size):
+            return None
+        ts = np.linspace(span / EVENT_SAMPLES, span, EVENT_SAMPLES)
+        hit = self._violated(self.system.states(lvl, ts), ltol)
+        where = np.flatnonzero(hit)
+        if where.size == 0:
+            return None
+        first = int(where[0])
+        lo = 0.0 if first == 0 else float(ts[first - 1])
+        hi = float(ts[first])
+        floor = max(1e-12 * span, 1e-15)
+        for _ in range(64):
+            if hi - lo <= floor:
+                break
+            mid = 0.5 * (lo + hi)
+            state = self.system.state_at(lvl, mid)
+            if self._violated(state[None, :], ltol)[0]:
+                hi = mid
+            else:
+                lo = mid
+        state_hi = self.system.state_at(lvl, hi)
+        crossed = np.zeros(lvl.shape[0], dtype=bool)
+        if self.clamp_rows.size:
+            rows = self.clamp_rows
+            crossed[rows[state_hi[rows] < -ltol]] = True
+        if self.cap_rows.size:
+            rows = self.cap_rows
+            crossed[rows[state_hi[rows] > self.cap_limits]] = True
+        if self.debt_rows.size:
+            rows = self.debt_rows
+            crossed[rows[state_hi[rows] > -ltol]] = True
+        return lo, crossed
 
 
 class SpanTier:
@@ -244,11 +542,33 @@ class SpanTier:
             for j in range(len(plan.taps))
             if plan.const_mask[j]
             and j < first_drain.get(int(plan.snk[j]), len(plan.taps))]
+        #: Per-reserve tap adjacency (index lists into the plan's tap
+        #: arrays), precomputed once per tier: the segmented engine's
+        #: regime derivation walks these per segment, and plans are
+        #: immutable for the tier's lifetime.
+        self.const_into: Dict[int, List[int]] = {}
+        self.const_from: Dict[int, List[int]] = {}
+        self.prop_into: Dict[int, List[int]] = {}
+        self.prop_from: Dict[int, List[int]] = {}
+        for j in range(len(plan.taps)):
+            s, k = int(plan.src[j]), int(plan.snk[j])
+            if plan.const_mask[j]:
+                self.const_into.setdefault(k, []).append(j)
+                self.const_from.setdefault(s, []).append(j)
+            else:
+                self.prop_into.setdefault(k, []).append(j)
+                self.prop_from.setdefault(s, []).append(j)
         #: lam -> the coupled linear system at that decay constant.
         self._coupled: Dict[float, CoupledSystem] = {}
+        #: (lam, mode bytes) -> cached :class:`_SegmentRegime` (the
+        #: eigendecomposition amortizes across every segment that
+        #: re-enters the same regime; persistent clamped regimes
+        #: re-enter one per macro-step).
+        self._regimes: Dict[Tuple[float, bytes], _SegmentRegime] = {}
         #: Telemetry: spans solved by each tier (diagnostics/tests).
         self.diagonal_solves = 0
         self.coupled_solves = 0
+        self.segmented_solves = 0
 
     # -- shared refusal bounds ---------------------------------------------------
 
@@ -318,6 +638,13 @@ class SpanTier:
 
         Returns total tap flow, or None when no closed form applies
         (caller must tick instead); a None return mutates nothing.
+
+        The single-regime tiers run first, verbatim (their arithmetic
+        carries bit-identical contracts); whenever they would have
+        refused — debt entry, a possible mid-span clamp, capacity
+        pressure — the span falls through to the segmented engine,
+        which integrates regime to regime across the switch instants
+        and only refuses the residual shapes it cannot rewrite.
         """
         plan = self.plan
         n = len(plan.reserves)
@@ -325,7 +652,9 @@ class SpanTier:
         lam = policy.lam if policy.enabled else 0.0
         lvl = plan._gather_levels()
         if np.any(lvl < 0.0):
-            return None  # debt repayment is tick-granular
+            # Debt entry: the max(L, 0) nonlinearity is itself a
+            # regime — repayment segments instead of refusing.
+            return self._execute_segmented(span, lam, lvl)
         f = self.prop_out + (lam if lam > 0.0 else 0.0) * plan.decay_mask
         linear = f > 0.0
         # Reserves whose drains read their level need constant inflow
@@ -333,17 +662,20 @@ class SpanTier:
         varying_in = self.prop_sink_mask.copy()
         if lam > 0.0 and plan.any_decayable:
             varying_in[plan.root_index] = True
+        result: Optional[float] = None
         if np.any(linear & varying_in):
-            return self._execute_coupled(span, lam, lvl, f, linear)
-        # Capacity clamping has no closed form; require open headroom.
-        if plan.finite_cap.size:
-            cap_idx = plan.finite_cap
-            gets_inflow = (self.const_in[cap_idx] > 0.0) | varying_in[cap_idx]
-            if np.any(gets_inflow):
-                return None
-        if not self._clamp_bound_ok(lvl, span, f, linear):
-            return None
-        return self._execute_diagonal(span, lam, lvl, f, linear)
+            result = self._execute_coupled(span, lam, lvl, f, linear)
+        elif plan.finite_cap.size and np.any(
+                (self.const_in[plan.finite_cap] > 0.0)
+                | varying_in[plan.finite_cap]):
+            result = None  # a capacity could bind: locate the instant
+        elif not self._clamp_bound_ok(lvl, span, f, linear):
+            result = None  # a drain could clamp: locate the instant
+        else:
+            result = self._execute_diagonal(span, lam, lvl, f, linear)
+        if result is None:
+            result = self._execute_segmented(span, lam, lvl)
+        return result
 
     # -- the diagonal fast tier (PR 1's scalar closed form, verbatim) --------------
 
@@ -457,6 +789,334 @@ class SpanTier:
             end[plan.root_index] += float(neg.sum())
         self.coupled_solves += 1
         return self._commit(end, moved, lost, reclaimed)
+
+    # -- the segmented engine (piecewise-linear regime switching) ------------------
+
+    def _execute_segmented(self, span: float, lam: float,
+                           lvl: np.ndarray) -> Optional[float]:
+        """Integrate a span as a chain of linear-regime segments.
+
+        Every regime change — a constant drain clamping on an emptied
+        reserve, a finite capacity binding, a debt level crossing zero
+        — happens at one locatable instant; between two instants the
+        dynamics are plain ``L' = A L + b`` for the regime's reduced
+        system.  The loop derives the regime from the working levels,
+        locates the earliest switch, integrates exactly to it, and
+        repeats on the rewritten system until the span is consumed.
+
+        Everything is *staged*: per-segment flows, decay losses and the
+        working levels accumulate on copies, and only a fully solved
+        chain commits (by mass balance, so conservation stays exact no
+        matter how many segments the span crossed).  A None return —
+        an unsupported regime, an unlocatable or sub-resolution switch,
+        or a chain past :data:`MAX_SEGMENTS` — mutates nothing and the
+        caller ticks, which is always correct.
+        """
+        plan = self.plan
+        n = len(plan.reserves)
+        m = len(plan.taps)
+        root = plan.root_index
+        lvl = lvl.copy()  # staged: the caller's gather stays pristine
+        scale = max(1.0, float(np.abs(lvl).max()))
+        ltol = 1e-11 * scale
+        def absorb_dust() -> None:
+            # Float dust from a located crossing: clamp to zero and
+            # let the root absorb the difference (same book-balancing
+            # the coupled tier applies to span-end dust).
+            dust = (lvl < 0.0) & (lvl >= -4.0 * ltol)
+            if dust.any():
+                lvl[root] += float(lvl[dust].sum())
+                lvl[dust] = 0.0
+
+        moved = np.zeros(m)
+        lost = np.zeros(n)
+        reclaimed = 0.0
+        remaining = float(span)
+        segments = 0
+        min_seg = max(1e-12, 1e-10 * span)
+        while remaining > 1e-9 * span:
+            if segments >= MAX_SEGMENTS:
+                return None
+            absorb_dust()
+            regime = self._regime_for(lvl, lam, ltol)
+            if regime is None:
+                return None
+            switch = regime.first_switch(lvl, remaining, ltol)
+            if switch is None:
+                seg_span = remaining
+                crossed = np.zeros(n, dtype=bool)
+            else:
+                seg_span, crossed = switch
+            if seg_span < min_seg:
+                return None  # coincident events: cannot make progress
+            if not regime.certify(lvl, seg_span, ltol, crossed):
+                return None  # a sub-sample excursion cannot be ruled out
+            step = self._integrate_segment(regime, lvl, seg_span, lam)
+            if step is None:
+                return None
+            lvl, seg_moved, seg_lost, seg_reclaimed = step
+            moved += seg_moved
+            lost += seg_lost
+            reclaimed += seg_reclaimed
+            segments += 1
+            remaining = 0.0 if switch is None else remaining - seg_span
+        if segments == 0:
+            return 0.0
+        absorb_dust()
+        graph = plan.graph
+        graph.span_segments += segments
+        graph.span_switches += segments - 1
+        self.segmented_solves += 1
+        return self._commit(lvl, moved, lost, reclaimed)
+
+    def _regime_for(self, lvl: np.ndarray, lam: float,
+                    ltol: float) -> Optional[_SegmentRegime]:
+        """The cached regime for the current levels (or None)."""
+        derived = self._derive_modes(lvl, lam, ltol)
+        if derived is None:
+            return None
+        mode, eff = derived
+        key = (lam, mode.tobytes())
+        regime = self._regimes.get(key)
+        if regime is None:
+            regime = self._build_regime(mode, eff, lam)
+            if len(self._regimes) > 16:  # regime-churn safety valve
+                self._regimes.clear()
+            self._regimes[key] = regime
+        return regime
+
+    def _derive_modes(self, lvl: np.ndarray, lam: float, ltol: float
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Classify every reserve into its regime mode, or None.
+
+        Modes: NORMAL (full linear row), DEBT (level below zero —
+        outflows and decay off, inflow repays), EMPTY (pinned at zero,
+        constant inflow passed through to its constant drains in
+        creation order), FULL (pinned at capacity, inflow rejected at
+        the taps — the energy stays in the sources).  ``eff`` is the
+        per-tap effective constant rate under those modes (the
+        pass-through distribution).  None marks the residual shapes
+        with no supported rewrite; the caller refuses the span.
+        """
+        plan = self.plan
+        n = len(plan.reserves)
+        m = len(plan.taps)
+        src = plan.src
+        snk = plan.snk
+        rate = plan.rate
+        const = plan.const_mask
+        cap = plan.capacity
+        root = plan.root_index
+        boundary = 4.0 * ltol
+        mode = np.full(n, _NORMAL, dtype=np.int8)
+        mode[lvl < 0.0] = _DEBT  # dust was clamped by the caller
+
+        const_into = self.const_into
+        const_from = self.const_from
+        prop_into = self.prop_into
+        prop_from = self.prop_from
+
+        # -- capacity pins: at the cap with live inflow -> freeze --
+        for i in plan.finite_cap:
+            i = int(i)
+            if mode[i] != _NORMAL:
+                continue
+            band = max(1e-9, 1e-11 * cap[i])
+            if lvl[i] < cap[i] - 2.0 * band:
+                continue
+            inflow = any(mode[int(src[j])] != _DEBT
+                         for j in const_into.get(i, ()))
+            inflow = inflow or any(mode[int(src[j])] != _DEBT
+                                   for j in prop_into.get(i, ()))
+            inflow = inflow or (i == root and lam > 0.0
+                                and plan.any_decayable)
+            if not inflow:
+                continue  # nothing arrives: normal dynamics are exact
+            if const_from.get(i) or prop_from.get(i):
+                return None  # draining full reserve hovers, not freezes
+            if lam > 0.0 and plan.decay_mask[i]:
+                return None  # decay reopens headroom every tick
+            mode[i] = _FULL
+
+        # -- effective constant rates under the pins --
+        eff = np.where(const, rate, 0.0)
+        for j in range(m):
+            if not const[j]:
+                continue
+            if mode[int(src[j])] == _DEBT or mode[int(snk[j])] == _FULL:
+                eff[j] = 0.0
+
+        # -- empty pins: fixpoint over the pass-through distribution --
+        # A reserve at zero whose constant drains outrun its constant
+        # inflow sits pinned: each tick deposits arrive first (creation
+        # order) and the drains clamp to them.  Effective drain rates
+        # only shrink as upstream reserves pin, so the EMPTY set grows
+        # monotonically and the loop settles within n passes.
+        candidates = [i for i in range(n)
+                      if i != root and mode[i] == _NORMAL
+                      and lvl[i] <= boundary and const_from.get(i)]
+        for _ in range(n + 2):
+            changed = False
+            for i in candidates:
+                if mode[i] == _FULL:
+                    continue
+                drains = [j for j in const_from.get(i, ())
+                          if mode[int(snk[j])] != _FULL]
+                out_rate = sum(rate[j] for j in drains)
+                if out_rate <= 0.0:
+                    continue
+                c_in = sum(eff[j] for j in const_into.get(i, ()))
+                live_prop = [j for j in prop_into.get(i, ())
+                             if mode[int(src[j])] == _NORMAL]
+                p_in = sum(rate[j] * max(0.0, lvl[int(src[j])])
+                           for j in live_prop)
+                if c_in + p_in >= out_rate - 1e-15:
+                    if mode[i] == _EMPTY:
+                        mode[i] = _NORMAL
+                        changed = True
+                    for j in drains:
+                        if eff[j] != rate[j]:
+                            eff[j] = rate[j]
+                            changed = True
+                    continue
+                if live_prop:
+                    # A time-varying pass-through has no constant
+                    # rewrite; per-tick execution handles it.
+                    return None
+                if mode[i] != _EMPTY:
+                    mode[i] = _EMPTY
+                    changed = True
+                remainder = c_in
+                for j in drains:
+                    e = min(remainder, rate[j])
+                    if eff[j] != e:
+                        eff[j] = e
+                        changed = True
+                    remainder -= e
+            if not changed:
+                break
+        else:
+            return None  # pass-through cycle did not settle
+        if mode[root] != _NORMAL:
+            return None  # a non-normal battery has no rewrite
+        return mode, eff
+
+    def _build_regime(self, mode: np.ndarray, eff: np.ndarray,
+                      lam: float) -> _SegmentRegime:
+        """Materialize the linear system and monitors for one regime."""
+        plan = self.plan
+        n = len(plan.reserves)
+        m = len(plan.taps)
+        src = plan.src
+        snk = plan.snk
+        rate = plan.rate
+        const = plan.const_mask
+        root = plan.root_index
+        normal = mode == _NORMAL
+        active_row = normal | (mode == _DEBT)
+
+        prop_active = np.zeros(m, dtype=bool)
+        for j in range(m):
+            if const[j]:
+                continue
+            if (mode[int(src[j])] == _NORMAL
+                    and mode[int(snk[j])] != _FULL):
+                prop_active[j] = True
+
+        a = np.zeros((n, n))
+        for j in np.flatnonzero(prop_active):
+            s, k, f = int(src[j]), int(snk[j]), rate[j]
+            a[s, s] -= f
+            a[k, s] += f
+        decay_rows = np.array([], dtype=np.intp)
+        if lam > 0.0 and plan.any_decayable:
+            decay_rows = np.flatnonzero(normal & plan.decay_mask)
+            if decay_rows.size:
+                a[decay_rows, decay_rows] -= lam
+                a[root, decay_rows] += lam
+        b = np.zeros(n)
+        in_eff = np.zeros(n)
+        out_eff = np.zeros(n)
+        for j in range(m):
+            if not const[j] or eff[j] <= 0.0:
+                continue
+            s, k = int(src[j]), int(snk[j])
+            out_eff[s] += eff[j]
+            in_eff[k] += eff[j]
+            if active_row[s]:
+                b[s] -= eff[j]
+            if active_row[k]:
+                b[k] += eff[j]
+
+        prop_in = np.zeros(n, dtype=bool)
+        for j in np.flatnonzero(prop_active):
+            prop_in[int(snk[j])] = True
+        clamp_rows = np.flatnonzero(normal & (out_eff > 0.0))
+        has_in = (in_eff > 0.0) | prop_in
+        if decay_rows.size:
+            has_in[root] = True  # decay reclaim deposits into the root
+        cap_mask = np.zeros(n, dtype=bool)
+        cap_mask[plan.finite_cap] = True
+        cap_rows = np.flatnonzero(normal & cap_mask & has_in)
+        cap_limits = np.array([
+            plan.capacity[i] - max(1e-9, 1e-11 * plan.capacity[i])
+            for i in cap_rows])
+        debt_rows = np.flatnonzero((mode == _DEBT)
+                                   & ((b > 0.0) | prop_in))
+        # Certificate inputs (see _SegmentRegime.certify): per-row net
+        # linear decay rate, constant-inflow edges for the safe-source
+        # credit iteration, and the proportional edges of the cap
+        # upper bound.
+        const_idx = np.flatnonzero(const & (eff > 0.0))
+        prop_idx = np.flatnonzero(prop_active)
+        f_row = -np.diag(a).copy()
+        # Root is assumed never to run dry (the same assumption every
+        # replay path makes); pinned rows pass through constants; rows
+        # without constant drains have nothing to clamp.
+        always_safe = ~normal | (out_eff <= 0.0)
+        always_safe[root] = True
+        return _SegmentRegime(
+            mode=mode, eff=eff,
+            const_idx=const_idx,
+            prop_idx=prop_idx,
+            decay_rows=decay_rows,
+            system=_SegmentPropagator(a, b),
+            clamp_rows=clamp_rows, cap_rows=cap_rows,
+            cap_limits=cap_limits, debt_rows=debt_rows,
+            lam=lam, root=root, out_eff=out_eff, in_eff=in_eff,
+            f_row=f_row, always_safe=always_safe,
+            cin_snk=snk[const_idx], cin_src=src[const_idx],
+            cin_eff=eff[const_idx],
+            psrc=src[prop_idx], psnk=snk[prop_idx],
+            prate=rate[prop_idx])
+
+    def _integrate_segment(self, regime: _SegmentRegime, lvl: np.ndarray,
+                           t: float, lam: float) -> Optional[Tuple]:
+        """One segment's exact flows; staged, mutates nothing."""
+        plan = self.plan
+        n = len(plan.reserves)
+        integ = np.maximum(regime.system.propagate(lvl, t)[1], 0.0)
+        moved = np.zeros(len(plan.taps))
+        if regime.const_idx.size:
+            moved[regime.const_idx] = regime.eff[regime.const_idx] * t
+        if regime.prop_idx.size:
+            psrc = plan.src[regime.prop_idx]
+            moved[regime.prop_idx] = plan.rate[regime.prop_idx] * integ[psrc]
+        lost = np.zeros(n)
+        reclaimed = 0.0
+        if lam > 0.0 and regime.decay_rows.size:
+            lost[regime.decay_rows] = lam * integ[regime.decay_rows]
+            reclaimed = float(lost.sum())
+        end = (lvl
+               + np.bincount(plan.snk, weights=moved, minlength=n)
+               - np.bincount(plan.src, weights=moved, minlength=n)
+               - lost)
+        end[plan.root_index] += reclaimed
+        neg = np.minimum(end, 0.0)
+        neg[regime.mode == _DEBT] = 0.0  # still-repaying rows stay negative
+        if float(neg.sum()) < -NEGATIVE_LEVEL_SLACK:
+            return None  # the located switch should preclude this
+        return end, moved, lost, reclaimed
 
     # -- batched entry points (cohort fleets) -----------------------------------------
 
@@ -672,11 +1332,7 @@ def execute_span_batch(tiers: List[SpanTier],
     else:
         propagator = system._dense_cache.get(span)
         if propagator is None:
-            m_aug = np.zeros((2 * n + 1, 2 * n + 1))
-            m_aug[:n, :n] = system.a
-            m_aug[:n, n] = system.b
-            m_aug[n + 1:, :n] = np.eye(n)
-            propagator = _expm(m_aug * span)
+            propagator = _expm(_augmented(system.a, system.b) * span)
             if len(system._dense_cache) > 32:
                 system._dense_cache.clear()
             system._dense_cache[span] = propagator

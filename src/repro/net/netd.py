@@ -670,7 +670,11 @@ class NetworkDaemon:
                 return None
             # Every feed source must be able to fund its frozen taps
             # through any near-horizon span (long spans are bounded in
-            # next_event).
+            # next_event).  The budget is the exact net-rate bound: a
+            # pass-through junction (constant inflow covering its
+            # drains) is infinite and never gates the regime — the old
+            # conservative gross-drain haircut degraded exactly the
+            # chained feeds the span solver handles.
             if accrual.budget_ticks(self.tick_s) < window_gate:
                 return None
             required = self.required_energy(waiting, now)

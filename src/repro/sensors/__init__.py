@@ -1,14 +1,22 @@
-"""Sensor peripherals beyond the radio: the GPS receiver.
+"""Sensor peripherals beyond the radio: GPS and the accelerometer.
 
 The paper names GPS with the radio as the devices whose non-linear
 power profiles reward OS coordination (§5.5); this package applies the
-netd recipe (pooled funding, shared results) to position fixes.
+netd recipe (pooled funding, shared results) to position fixes, and
+the same warm-up-amortization structure to accelerometer reads.  Both
+daemons are event sources with ``ServiceCall`` blocking requests, so
+sensor waits never veto the engine's fast-forward.
 """
 
+from .accel import (AccelDaemon, AccelDevice, AccelPowerParams,
+                    AccelState, Sample, SampleOp, SampleOpState,
+                    sample_request)
 from .gps import (Fix, FixOp, FixOpState, GpsDaemon, GpsDevice,
-                  GpsPowerParams, GpsState)
+                  GpsPowerParams, GpsState, fix_request)
 
 __all__ = [
+    "AccelDaemon", "AccelDevice", "AccelPowerParams", "AccelState",
+    "Sample", "SampleOp", "SampleOpState", "sample_request",
     "Fix", "FixOp", "FixOpState", "GpsDaemon", "GpsDevice",
-    "GpsPowerParams", "GpsState",
+    "GpsPowerParams", "GpsState", "fix_request",
 ]

@@ -1,0 +1,269 @@
+"""The accelerometer: a warm-up-amortized sampling sensor daemon.
+
+The paper's §5.5 argument — expensive peripherals need OS-level
+admission so their fixed costs amortize across consumers — applies
+beyond the radio and GPS: a MEMS accelerometer must power up and
+settle (warm-up) before its first valid reading, after which samples
+are essentially free while it stays powered.  This daemon applies the
+same Cinder recipe at a smaller scale: the first reader pays the
+warm-up (billed to its reserve, post-paid into debt if need be —
+"threads can debit their own reserves up to or into debt even if the
+cost can only be determined after-the-fact", §5.5.2), every reader
+riding a powered sensor pays only the per-sample conversion energy,
+and the part lingers briefly after the last read so bursts share one
+warm-up.
+
+The daemon is a first-class *event source* (:mod:`repro.sim.events`
+protocol) from day one: programs block on a reading with
+:func:`sample_request` — a :class:`~repro.sim.process.ServiceCall`,
+mirroring :func:`repro.sensors.gps.fix_request` — instead of spinning
+a per-tick ``WaitFor`` predicate, so a blocked read never vetoes the
+engine's idle fast-forward.  The sensor's only instants of change (a
+warm-up completing, the linger window expiring) are declared through
+``next_event`` and its draw is constant between them, so warm-up waits
+macro-step and land on the bit-identical delivery tick the tick loop
+would reach.  Register through
+:meth:`repro.sim.engine.DeviceRuntime.attach_accel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional
+
+from ..kernel.thread_obj import Thread, ThreadState
+
+
+@dataclass(frozen=True)
+class AccelPowerParams:
+    """Energy constants for a G1-class MEMS accelerometer."""
+
+    #: Power-up and settling time before the first valid sample.
+    warmup_s: float = 0.35
+    #: Extra draw while powered (warming or sampling).
+    active_watts: float = 0.012
+    #: How long the part stays powered after the last read.
+    linger_s: float = 1.5
+    #: Per-sample conversion energy billed to the reader.
+    sample_energy_j: float = 0.0004
+
+    @property
+    def warmup_cost(self) -> float:
+        """Energy of one power-up (the amortized expense)."""
+        return self.active_watts * self.warmup_s
+
+
+class AccelState(Enum):
+    """Sensor power states."""
+
+    OFF = "off"
+    WARMING = "warming"
+    READY = "ready"
+
+
+@dataclass
+class Sample:
+    """One delivered reading (synthetic but deterministic)."""
+
+    taken_at: float
+    ax: float = 0.0
+    ay: float = 0.0
+    az: float = 9.81
+
+    @classmethod
+    def at(cls, now: float) -> "Sample":
+        # A deterministic, time-keyed synthetic motion signal: the
+        # same instant yields the same reading on every code path.
+        return cls(taken_at=now,
+                   ax=0.2 * math.sin(0.7 * now),
+                   ay=0.1 * math.cos(1.3 * now))
+
+
+class AccelDevice:
+    """The sensor state machine (physical side)."""
+
+    def __init__(self, params: Optional[AccelPowerParams] = None) -> None:
+        self.params = params if params is not None else AccelPowerParams()
+        self.state = AccelState.OFF
+        self.warmup_started = -float("inf")
+        self.last_use = -float("inf")
+        self.warmups = 0
+        self.samples_served = 0
+
+    def power_up(self, now: float) -> float:
+        """Start (or join) a warm-up; returns the ready instant."""
+        if self.state is AccelState.OFF:
+            self.state = AccelState.WARMING
+            self.warmup_started = now
+            self.warmups += 1
+        self.last_use = now
+        if self.state is AccelState.READY:
+            return now
+        return self.warmup_started + self.params.warmup_s
+
+    def tick(self, now: float) -> None:
+        """Advance the state machine (timestamp-driven, replay-free)."""
+        if (self.state is AccelState.WARMING
+                and now - self.warmup_started >= self.params.warmup_s):
+            self.state = AccelState.READY
+            # Becoming ready counts as use: the linger window runs
+            # from the first servable instant, not from power-on.
+            self.last_use = now
+            # The ready instant itself never also expires the linger
+            # (with linger_s=0 that would power off before the daemon
+            # delivers to the readers who paid for this warm-up).
+            return
+        if (self.state is AccelState.READY
+                and now - self.last_use >= self.params.linger_s):
+            self.state = AccelState.OFF
+
+    def power_above_baseline(self, now: float) -> float:
+        """Instantaneous extra draw (constant within each state)."""
+        if self.state is AccelState.OFF:
+            return 0.0
+        return self.params.active_watts
+
+
+class SampleOpState(Enum):
+    """Lifecycle of one sample request."""
+
+    WAITING_WARMUP = "waiting-warmup"
+    DONE = "done"
+
+
+@dataclass
+class SampleOp:
+    """One application's pending sample request."""
+
+    thread: Thread
+    owner: str
+    submitted_at: float
+    state: SampleOpState = SampleOpState.WAITING_WARMUP
+    sample: Optional[Sample] = None
+    billed_joules: float = 0.0
+
+
+class AccelDaemon:
+    """Blocking sample service over one shared sensor.
+
+    Also an event source (duck-typed, like netd and gpsd): a blocked
+    read waits only on the warm-up instant, which the daemon declares
+    via ``next_event``, so the engine macro-steps straight to the
+    delivery tick.  There is no per-tick accrual to replay — billing
+    is post-paid at power-up and delivery — so ``advance_span`` needs
+    no override and every answer is firm.
+    """
+
+    #: EventSource protocol: display name for horizon diagnostics.
+    name = "acceld"
+    #: Every instant this daemon reports is exact and time-invariant.
+    horizon_firm = True
+
+    def __init__(self, device: AccelDevice,
+                 clock: Callable[[], float]) -> None:
+        self.device = device
+        self._clock = clock
+        self._queue: List[SampleOp] = []
+        self.warmups_billed = 0
+        self.shared_samples = 0
+
+    # -- request path ---------------------------------------------------------------
+
+    def request_sample(self, thread: Thread, owner: str = "") -> SampleOp:
+        """Ask for a reading; blocks the thread until the sensor serves.
+
+        A READY sensor serves synchronously (the per-sample conversion
+        energy is debited, §5.5.2-style into debt if the reserve is
+        shallow); otherwise the caller joins — or starts, and is
+        billed for — the warm-up and is resumed at its exact end tick.
+        """
+        now = self._clock()
+        op = SampleOp(thread=thread, owner=owner or thread.name,
+                      submitted_at=now)
+        device = self.device
+        if device.state is AccelState.READY:
+            self._deliver(op, now)
+            self.shared_samples += 1
+            return op
+        starting = device.state is AccelState.OFF
+        device.power_up(now)
+        if starting:
+            cost = device.params.warmup_cost
+            thread.active_reserve.consume(cost, allow_debt=True)
+            op.billed_joules += cost
+            self.warmups_billed += 1
+        thread.state = ThreadState.BLOCKED
+        self._queue.append(op)
+        return op
+
+    def _deliver(self, op: SampleOp, now: float) -> None:
+        cost = self.device.params.sample_energy_j
+        op.thread.active_reserve.consume(cost, allow_debt=True)
+        op.billed_joules += cost
+        op.sample = Sample.at(now)
+        op.state = SampleOpState.DONE
+        self.device.last_use = now
+        self.device.samples_served += 1
+
+    def step(self, now: float) -> None:
+        """Advance the sensor and deliver to ready waiters (stepper)."""
+        self.device.tick(now)
+        if self.device.state is AccelState.READY and self._queue:
+            for op in list(self._queue):
+                self._deliver(op, now)
+            self._queue.clear()
+
+    @property
+    def waiting_count(self) -> int:
+        """Requests blocked on the warm-up."""
+        return len(self._queue)
+
+    # -- event-source interface (engine idle fast-forward) ---------------------------
+
+    def quiescent(self, now: float) -> bool:
+        """True iff skipping ticks cannot change the daemon's behavior.
+
+        A warming sensor changes only at its declared ready instant; a
+        ready sensor with no pending reads changes only at the linger
+        expiry.  Undelivered ops on a ready sensor (one boundary tick)
+        veto so the pending delivery executes.
+        """
+        if self._queue and self.device.state is not AccelState.WARMING:
+            return False
+        return True
+
+    def next_event(self, now: float) -> Optional[float]:
+        """The next instant the daemon's state or draw can change."""
+        device = self.device
+        if device.state is AccelState.WARMING:
+            return device.warmup_started + device.params.warmup_s
+        if device.state is AccelState.READY:
+            return device.last_use + device.params.linger_s
+        return None
+
+    def span_frozen_taps(self, now: float):
+        """No self-integrated taps: billing is event-instant only."""
+        return ()
+
+    def advance_span(self, now: float, span: float) -> None:
+        """Nothing accrues per tick; state is timestamp-derived."""
+
+
+def sample_request(daemon: AccelDaemon, owner: str = ""):
+    """A yieldable blocking sample read (macro-step friendly).
+
+    Returns a :class:`~repro.sim.process.ServiceCall` that submits
+    through :meth:`AccelDaemon.request_sample` and resumes the program
+    with the delivered :class:`Sample` — the accelerometer analogue of
+    :func:`repro.sensors.gps.fix_request`.  Unlike polling
+    ``WaitFor(lambda: op.state ...)``, the wait does not veto the
+    engine's fast-forward, so warm-up waits macro-step to their exact
+    delivery tick.
+    """
+    from ..sim.process import ServiceCall
+    return ServiceCall(
+        submit=lambda thread: daemon.request_sample(thread, owner=owner),
+        poll=lambda op: (op.sample
+                         if op.state is SampleOpState.DONE else None))

@@ -141,9 +141,12 @@ class DeviceRuntime:
         #: engine ticked through them instead).  A refusal usually
         #: repeats on every retry until the state changes, so windows,
         #: not retries, are the meaningful count.  Chained topologies
-        #: used to land here wholesale; since the coupled span solver
-        #: only state-dependent refusals (mid-span clamp, capacity
-        #: pressure, debt) remain.
+        #: used to land here wholesale (until the coupled span solver)
+        #: and piecewise-linear switches — mid-span clamps, binding
+        #: capacities, debt repayment — after them (until the
+        #: segmented engine, which counts its work in
+        #: :attr:`span_segments` instead); only the residual
+        #: unsupported regimes remain.
         self.span_refusals = 0
         self._span_refusing = False
         # -- the event-source horizon: everything that can end (or
@@ -217,6 +220,31 @@ class DeviceRuntime:
                            clock=lambda: self.clock.now, margin=margin,
                            tick_s=self.clock.tick_s,
                            ticks=lambda: self.clock.ticks)
+        self.add_device(stepper=daemon.step,
+                        power=device.power_above_baseline, source=daemon)
+        return daemon
+
+    def attach_accel(self, device=None, params=None) -> "AccelDaemon":
+        """Attach a warm-up-amortized accelerometer as an event source.
+
+        Builds (or adopts) an :class:`~repro.sensors.accel.AccelDevice`,
+        wires an :class:`~repro.sensors.accel.AccelDaemon` onto this
+        runtime's clock, and registers it through :meth:`add_device`
+        with the daemon itself as the port's ``source`` — warm-up
+        waits declare their ready instant as an event and the sensor's
+        draw is constant between events, so blocked reads macro-step
+        to their exact delivery tick.  Programs block on a reading
+        with :func:`repro.sensors.accel.sample_request`.
+        """
+        from ..sensors.accel import AccelDaemon, AccelDevice
+        if device is not None and params is not None:
+            raise SimulationError(
+                "pass either a constructed AccelDevice or "
+                "AccelPowerParams, not both (the device already carries "
+                "its params)")
+        if device is None:
+            device = AccelDevice(params)
+        daemon = AccelDaemon(device, clock=lambda: self.clock.now)
         self.add_device(stepper=daemon.step,
                         power=device.power_above_baseline, source=daemon)
         return daemon
@@ -453,6 +481,19 @@ class DeviceRuntime:
             self._ff_refuse()
             return None
         return frozen
+
+    @property
+    def span_segments(self) -> int:
+        """Segments the switching span engine executed for this device.
+
+        The other half of the old ``span_refusals`` telemetry: spans
+        whose single-regime closed form would have refused (mid-span
+        clamp, binding capacity, debt repayment) now macro-step as
+        located segment chains, counted here (see
+        :attr:`~repro.core.graph.ResourceGraph.span_segments`), and
+        only residual refusals still land in :attr:`span_refusals`.
+        """
+        return self.graph.span_segments
 
     def _ff_refuse(self) -> None:
         """Book a refused span (window-counted, not retry-counted)."""

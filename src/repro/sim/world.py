@@ -104,10 +104,16 @@ class World:
         #: Telemetry: device-spans solved through a stacked cohort
         #: call, and devices that fell out of a cohort to the
         #: per-device path (topology divergence, span refusal, or a
-        #: group too small to batch).
+        #: group too small to batch).  A fallback whose scalar solve
+        #: still macro-stepped — the stacked kernel saw a switching
+        #: state (clamp, cap, debt) and demoted the device to the
+        #: scalar segmented engine — is additionally counted in
+        #: :attr:`cohort_demotions`: the device left the stacked call
+        #: but did not degrade to ticking.
         self.cohort_spans = 0
         self.cohort_ticks = 0
         self.cohort_fallbacks = 0
+        self.cohort_demotions = 0
         #: Telemetry: horizon polls skipped thanks to a cached firm
         #: target vs polls actually executed.
         self.horizon_cache_hits = 0
@@ -193,12 +199,19 @@ class World:
         """Degraded windows across the fleet: maximal tick runs whose
         spans a device's closed form refused (it ticked instead).
 
-        Chained topologies used to land here wholesale and drag the
-        whole fleet down to tick-by-tick; with the coupled span solver
-        only state-dependent refusals (mid-span clamp, capacity
-        pressure, debt repayment) remain.
+        Chained topologies used to land here wholesale (until the
+        coupled span solver) and piecewise-linear switching states —
+        mid-span clamps, binding capacities, debt repayment — after
+        them (until the segmented engine, whose work shows up in
+        :attr:`span_segments` instead); only residual unsupported
+        regimes still degrade to ticking.
         """
         return sum(d.span_refusals for d in self.devices)
+
+    @property
+    def span_segments(self) -> int:
+        """Switching-engine segments executed across the fleet."""
+        return sum(d.span_segments for d in self.devices)
 
     def uniform_grid(self) -> bool:
         """True iff every device shares the world's tick size."""
@@ -350,9 +363,22 @@ class World:
             for (i, plan), moved in zip(members, results):
                 device = devices[i]
                 if moved is None:
-                    device._ff_refuse()
-                    refused.append(i)
+                    # The stacked kernel saw a switching state (clamp,
+                    # cap, debt): demote this device to the scalar
+                    # path, whose segmented engine carries the span
+                    # across the switch — identical to what the
+                    # reference loop runs, so the fleet stays
+                    # bit-for-bit aligned.  Ticking remains the
+                    # fallback for residual refusals only.
                     self.cohort_fallbacks += 1
+                    moved = plan.execute_span(span)
+                    if moved is None:
+                        device._ff_refuse()
+                        refused.append(i)
+                    else:
+                        self.cohort_demotions += 1
+                        plan.graph.note_span(span)
+                        device._ff_commit(ticks)
                 else:
                     plan.graph.note_span(span)
                     device._ff_commit(ticks)

@@ -193,23 +193,34 @@ class TestClosedFormSpan:
             # O(tick) discretisation difference only.
             assert a_span.level == pytest.approx(a_tick.level, rel=2e-3)
 
-    def test_span_refuses_mid_span_clamp(self):
+    def test_span_segments_across_mid_span_clamp(self):
         g = ResourceGraph(1_000.0)
         g.decay_policy.enabled = False
         shallow = g.create_reserve(level=0.5, source=g.root, name="shallow")
         sink = g.create_reserve(name="sink")
         g.create_tap(shallow, sink, 1.0, name="drain")
-        # 0.5 J at 1 W clamps after 0.5 s; a 10 s closed form is wrong.
-        assert g.advance_span(10.0) is None
-        assert shallow.level == pytest.approx(0.5)  # untouched
-        assert g.advance_span(0.4) is not None      # safe sub-span is fine
+        # 0.5 J at 1 W clamps after 0.5 s; the segmented engine locates
+        # the clamp instant and integrates both regimes exactly.
+        moved = g.advance_span(10.0)
+        assert moved == pytest.approx(0.5, abs=1e-6)
+        assert shallow.level == pytest.approx(0.0, abs=1e-6)
+        assert sink.level == pytest.approx(0.5, abs=1e-6)
+        assert g.span_switches == 1
+        assert g.conservation_error() == pytest.approx(0.0, abs=1e-9)
 
-    def test_span_refuses_debt(self):
+    def test_span_segments_across_debt_repayment(self):
         g = ResourceGraph(1_000.0)
+        g.decay_policy.enabled = False
         r = g.create_reserve(name="r")
         r.consume(1.0, allow_debt=True)
         g.create_tap(g.root, r, 0.1, name="in")
-        assert g.advance_span(10.0) is None
+        # Repayment crosses zero at 10 s; the span carries straight
+        # through the max(L, 0) switch instead of refusing.
+        moved = g.advance_span(20.0)
+        assert moved == pytest.approx(0.1 * 20.0)
+        assert r.level == pytest.approx(1.0, rel=1e-6)
+        assert g.span_segments >= 2
+        assert g.conservation_error() == pytest.approx(0.0, abs=1e-9)
 
 
 class TestCreateReserveValidation:

@@ -1,0 +1,375 @@
+"""The segmented span engine: regime switches solve, residuals refuse.
+
+Differential/property contracts for the switching tier of
+:mod:`repro.core.spansolver` (see the switching-segment section of
+docs/performance.md):
+
+* spans crossing a **drain clamp** (a constant tap emptying its
+  reserve), a **binding capacity** (a fed, outflow-free reserve
+  filling up), or a **debt zero-crossing** (the ``max(L, 0)``
+  nonlinearity) solve closed-form as located segment chains and track
+  the ``step_reference`` tick loop — switch instants land within
+  solver tolerance of the tick path's clamp/fill/repay ticks;
+* conservation stays exact (< 1e-9) across any number of segments —
+  per-segment flows commit by mass balance, staged so a refused chain
+  mutates nothing;
+* randomized switching topologies (clamps, caps, debt, chains, decay
+  on/off) stay within tolerance or refuse cleanly;
+* the residual refusal classes (time-varying pass-through, a draining
+  capped reserve, over-long chains) still return None and mutate
+  nothing.
+
+Tolerances: levels near a switch differ from ticking by O(one tick of
+flow) — the tick path quantizes the switch instant to its grid — so
+the absolute tolerance scales with ``max_rate * tick`` on top of the
+documented relative 2e-3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import ResourceGraph
+from repro.core.tap import TapType
+
+REL_TOL = 2e-3
+TICK = 0.01
+
+
+def run_pair(build, span, tick=TICK):
+    """One graph fast-forwarded vs an identical one ticked."""
+    g_span = build()
+    g_tick = build()
+    moved_span = g_span.advance_span(span)
+    moved_tick = 0.0
+    for _ in range(int(round(span / tick))):
+        moved_tick += g_tick.step_reference(tick)
+    return g_span, g_tick, moved_span, moved_tick
+
+
+def assert_switching_match(g_span, g_tick, moved_span, moved_tick,
+                           abs_tol):
+    assert moved_span is not None
+    assert moved_span == pytest.approx(moved_tick, rel=REL_TOL,
+                                       abs=abs_tol)
+    for r_span, r_tick in zip(g_span.reserves, g_tick.reserves):
+        assert r_span.level == pytest.approx(r_tick.level, rel=REL_TOL,
+                                             abs=abs_tol), r_span.name
+    for t_span, t_tick in zip(g_span.taps, g_tick.taps):
+        assert t_span.total_flowed == pytest.approx(
+            t_tick.total_flowed, rel=REL_TOL, abs=abs_tol), t_span.name
+    assert g_span.conservation_error() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDrainClampSegments:
+    def test_clamp_instant_and_pass_through(self):
+        """Feed 20 mW against a 50 mW drain: the reserve empties at
+        exactly level / net-rate, after which the drain passes the
+        feed through — both regimes integrated exactly."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            a = g.create_reserve(level=3.0, source=g.root, name="a")
+            g.create_tap(g.root, a, 0.02, name="feed")
+            b = g.create_reserve(name="b")
+            g.create_tap(a, b, 0.05, name="drain")
+            return g
+        span = 500.0
+        clamp_at = 3.0 / (0.05 - 0.02)  # 100 s
+        pair = run_pair(build, span)
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        g = pair[0]
+        assert g.span_switches == 1
+        # Flow accounting pins the located instant: full rate before
+        # the clamp, pass-through after.
+        drain = g.taps[1]
+        expected = 0.05 * clamp_at + 0.02 * (span - clamp_at)
+        assert drain.total_flowed == pytest.approx(expected, rel=1e-6)
+
+    def test_chained_pass_through(self):
+        """A clamped reserve draining into a second reserve that then
+        clamps too: two located switches, conservation exact."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            a = g.create_reserve(level=2.0, source=g.root, name="a")
+            g.create_tap(g.root, a, 0.01, name="feed")
+            b = g.create_reserve(level=1.0, source=g.root, name="b")
+            g.create_tap(a, b, 0.04, name="d1")
+            c = g.create_reserve(name="c")
+            g.create_tap(b, c, 0.05, name="d2")
+            return g
+        pair = run_pair(build, 400.0)
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        assert pair[0].span_switches >= 2
+
+    def test_unfed_reserve_simply_stops(self):
+        """No inflow at all: after the clamp nothing flows (the empty
+        regime with a zero pass-through)."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            a = g.create_reserve(level=1.0, source=g.root, name="a")
+            b = g.create_reserve(name="b")
+            g.create_tap(a, b, 0.1, name="drain")
+            return g
+        pair = run_pair(build, 60.0)
+        assert_switching_match(*pair, abs_tol=3 * 0.1 * TICK)
+        assert pair[0].reserves[1].level == pytest.approx(0.0, abs=1e-6)
+        assert pair[0].reserves[2].level == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDebtRepaymentSegments:
+    @pytest.mark.parametrize("decay", [False, True])
+    def test_repayment_resumes_drains_and_decay(self, decay):
+        """A debt reserve repays linearly (outflows and decay off),
+        crosses zero, then its proportional drain and the global decay
+        resume — the acceptance nonlinearity."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = decay
+            d = g.create_reserve(level=4.0, source=g.root, name="d")
+            g.create_tap(g.root, d, 0.05, name="feed")
+            g.create_tap(d, g.root, 0.03, TapType.PROPORTIONAL,
+                         name="back")
+            d.consume(10.0, allow_debt=True)  # level -6
+            return g
+        pair = run_pair(build, 400.0)  # crossing at 120 s
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        g = pair[0]
+        assert g.span_switches >= 1
+        assert g.reserves[1].level > 0.5  # well past repayment
+
+    def test_starved_debt_stays_put(self):
+        """A debt reserve with no inflow never crosses: one segment,
+        nothing moves through it, debt preserved exactly."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            d = g.create_reserve(level=1.0, source=g.root, name="d")
+            g.create_tap(d, g.root, 0.05, TapType.PROPORTIONAL,
+                         name="back")
+            d.consume(5.0, allow_debt=True)  # level -4
+            return g
+        pair = run_pair(build, 120.0)
+        assert_switching_match(*pair, abs_tol=1e-6)
+        assert pair[0].reserves[1].level == pytest.approx(-4.0)
+
+    def test_debt_beside_live_chain(self):
+        """The rest of the graph keeps its coupled closed form while
+        one reserve repays: segments do not degrade the healthy rows."""
+        def build():
+            g = ResourceGraph(2_000.0)
+            g.decay_policy.enabled = False
+            app = g.create_reserve(level=30.0, source=g.root, name="app")
+            g.create_tap(g.root, app, 0.06, name="feed")
+            sub = g.create_reserve(level=3.0, source=g.root, name="sub")
+            g.create_tap(app, sub, 0.05, TapType.PROPORTIONAL, name="t1")
+            g.create_tap(sub, g.root, 0.04, TapType.PROPORTIONAL,
+                         name="t2")
+            d = g.create_reserve(name="debtor")
+            g.create_tap(g.root, d, 0.02, name="repay")
+            d.consume(6.0, allow_debt=True)
+            return g
+        pair = run_pair(build, 600.0)  # crossing at 300 s
+        assert_switching_match(*pair, abs_tol=3 * 0.06 * TICK)
+
+
+class TestCapacityFreezeSegments:
+    def test_fill_freezes_inflow(self):
+        """A capped, outflow-free reserve fills at a located instant;
+        past it the feed is rejected and the energy stays upstream."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            c = g.create_reserve(level=0.5, source=g.root, capacity=2.0,
+                                 name="buffer")
+            g.create_tap(g.root, c, 0.01, name="feed")
+            return g
+        span = 400.0  # fills at 150 s
+        pair = run_pair(build, span)
+        assert_switching_match(*pair, abs_tol=3 * 0.01 * TICK)
+        g = pair[0]
+        assert g.span_switches == 1
+        assert g.reserves[1].level == pytest.approx(2.0, abs=1e-6)
+        assert g.taps[0].total_flowed == pytest.approx(1.5, abs=1e-6)
+
+    def test_draining_capped_reserve_still_refuses(self):
+        """A capped reserve with an outflow hovers at the cap instead
+        of freezing — a residual refusal, nothing mutated."""
+        g = ResourceGraph(1_000.0)
+        g.decay_policy.enabled = False
+        c = g.create_reserve(level=1.9, source=g.root, capacity=2.0,
+                             name="buffer")
+        g.create_tap(g.root, c, 0.05, name="feed")
+        g.create_tap(c, g.root, 0.01, name="drip")
+        before = [r.level for r in g.reserves]
+        assert g.advance_span(100.0) is None
+        assert [r.level for r in g.reserves] == before
+
+
+class TestCombinedSwitching:
+    def test_clamp_plus_debt_plus_chain_in_one_span(self):
+        """The acceptance shape in one graph: a proportional chain, a
+        mid-span drain clamp, and a debt repayment all inside one
+        span, solved as one multi-segment chain with exact books."""
+        def build():
+            g = ResourceGraph(2_000.0)
+            g.decay_policy.enabled = False
+            app = g.create_reserve(level=20.0, source=g.root, name="app")
+            g.create_tap(g.root, app, 0.05, name="app.feed")
+            sub = g.create_reserve(level=2.0, source=g.root, name="sub")
+            g.create_tap(app, sub, 0.04, TapType.PROPORTIONAL,
+                         name="chain1")
+            g.create_tap(sub, g.root, 0.03, TapType.PROPORTIONAL,
+                         name="chain2")
+            task = g.create_reserve(level=4.0, source=g.root, name="task")
+            g.create_tap(g.root, task, 0.02, name="task.feed")
+            archive = g.create_reserve(name="archive")
+            g.create_tap(task, archive, 0.05, name="task.drain")
+            debtor = g.create_reserve(name="debtor")
+            g.create_tap(g.root, debtor, 0.03, name="repay")
+            debtor.consume(9.0, allow_debt=True)
+            return g
+        # task clamps at 4/(0.05-0.02) ~ 133 s; debtor crosses 300 s.
+        pair = run_pair(build, 500.0)
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        assert pair[0].span_switches >= 2
+        assert pair[0].span_segments >= 3
+
+    def test_sub_sample_cap_excursion_refuses(self):
+        """Certification soundness: a capped reserve that spikes over
+        its cap and back *between* event-scan samples (a ~1 s
+        transient inside a 600 s span) must refuse, not silently
+        commit flows the tick path would have rejected at the cap."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            u = g.create_reserve(level=200.0, source=g.root, name="u")
+            c = g.create_reserve(level=1.0, source=g.root,
+                                 capacity=40.0, name="c")
+            g.create_tap(u, c, 1.0, TapType.PROPORTIONAL, name="p1")
+            sink = g.create_reserve(name="sink")
+            g.create_tap(c, sink, 0.5, TapType.PROPORTIONAL, name="p2")
+            alt = g.create_reserve(name="alt")
+            g.create_tap(u, alt, 0.3, TapType.PROPORTIONAL, name="p3")
+            return g
+        g = build()
+        before = [r.level for r in g.reserves]
+        assert g.advance_span(600.0) is None
+        assert [r.level for r in g.reserves] == before
+        # Tick-by-tick handles it (clamping at the cap) and conserves.
+        g_tick = build()
+        for _ in range(5000):
+            g_tick.step_reference(TICK)
+        assert g_tick.conservation_error() == pytest.approx(0.0,
+                                                            abs=1e-9)
+
+    def test_refused_chain_mutates_nothing(self):
+        """Staging: a chain that hits a residual refusal mid-way (a
+        draining capped reserve binding after a clamp) must leave
+        every level untouched."""
+        g = ResourceGraph(1_000.0)
+        g.decay_policy.enabled = False
+        a = g.create_reserve(level=0.5, source=g.root, name="a")
+        g.create_tap(g.root, a, 0.01, name="feed")
+        b = g.create_reserve(name="b")
+        g.create_tap(a, b, 0.05, name="drain")   # clamps at ~12.5 s
+        c = g.create_reserve(level=0.9, source=g.root, capacity=1.0,
+                             name="capped")
+        g.create_tap(g.root, c, 0.01, name="c.feed")
+        g.create_tap(c, g.root, 0.002, name="c.drip")  # hover: refusal
+        before = [r.level for r in g.reserves]
+        assert g.advance_span(60.0) is None
+        assert [r.level for r in g.reserves] == before
+        assert g.span_segments == 0
+        # Tick-by-tick remains correct and conserves.
+        for _ in range(200):
+            g.step_reference(TICK)
+        assert g.conservation_error() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRandomizedSwitching:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_switching_graphs_match_ticks(self, seed):
+        """Property test: random graphs seeded with clamping drains,
+        repaying debts, filling caps, and proportional chains either
+        solve within tolerance or refuse without mutating."""
+        rng = np.random.default_rng(seed)
+        decay = bool(rng.random() < 0.4)
+        span = float(rng.choice([30.0, 120.0, 450.0]))
+        n = int(rng.integers(3, 8))
+
+        def build():
+            local = np.random.default_rng(seed + 2000)
+            g = ResourceGraph(5_000.0)
+            g.decay_policy.enabled = decay
+            reserves = []
+            for i in range(n):
+                r = g.create_reserve(level=float(local.uniform(0.5, 8.0)),
+                                     source=g.root, name=f"r{i}")
+                reserves.append(r)
+                # Feed first (creation order matters to pass-through).
+                if local.random() < 0.8:
+                    g.create_tap(g.root, r,
+                                 float(local.uniform(0.005, 0.04)),
+                                 name=f"feed{i}")
+                roll = local.random()
+                if roll < 0.4:
+                    # A drain that may outrun the feed: clamp material.
+                    g.create_tap(r, g.root,
+                                 float(local.uniform(0.02, 0.08)),
+                                 name=f"drain{i}")
+                elif roll < 0.7:
+                    g.create_tap(r, g.root,
+                                 float(local.uniform(0.01, 0.1)),
+                                 TapType.PROPORTIONAL, name=f"back{i}")
+                if local.random() < 0.25:
+                    r.consume(float(local.uniform(2.0, 12.0)),
+                              allow_debt=True)
+            return g
+
+        g_probe = build()
+        max_rate = max(t.rate for t in g_probe.taps) if g_probe.taps \
+            else 0.0
+        abs_tol = max(3 * max_rate * TICK, 1e-6)
+        g_span = build()
+        before = [r.level for r in g_span.reserves]
+        moved = g_span.advance_span(span)
+        if moved is None:
+            # A residual refusal is allowed — but it must be clean.
+            assert [r.level for r in g_span.reserves] == before
+            return
+        g_tick = build()
+        moved_tick = 0.0
+        for _ in range(int(round(span / TICK))):
+            moved_tick += g_tick.step_reference(TICK)
+        assert_switching_match(g_span, g_tick, moved, moved_tick,
+                               abs_tol)
+
+    def test_repeated_switching_spans_accumulate(self):
+        """Engine-style repeated macro-steps across a clamp and a
+        repayment stay within tolerance of one long tick run."""
+        def build():
+            g = ResourceGraph(2_000.0)
+            g.decay_policy.enabled = False
+            a = g.create_reserve(level=2.0, source=g.root, name="a")
+            g.create_tap(g.root, a, 0.01, name="feed")
+            b = g.create_reserve(name="b")
+            g.create_tap(a, b, 0.03, name="drain")
+            d = g.create_reserve(name="d")
+            g.create_tap(g.root, d, 0.02, name="repay")
+            d.consume(4.0, allow_debt=True)
+            return g
+        g_span = build()
+        g_tick = build()
+        for _ in range(40):
+            assert g_span.advance_span(10.0) is not None
+        for _ in range(int(round(400.0 / TICK))):
+            g_tick.step_reference(TICK)
+        for r_span, r_tick in zip(g_span.reserves, g_tick.reserves):
+            assert r_span.level == pytest.approx(
+                r_tick.level, rel=5e-3, abs=3 * 0.03 * TICK), r_span.name
+        assert g_span.conservation_error() == pytest.approx(0.0,
+                                                            abs=1e-9)

@@ -202,13 +202,17 @@ class TestRandomizedTopologies:
 
 
 class TestRefusalSoundness:
-    def test_debt_entry_refuses(self):
-        build = chain_graph(depth=3, decay=False)
-        g = build()
-        g.reserves[1].consume(100.0, allow_debt=True)
-        before = [r.level for r in g.reserves]
-        assert g.advance_span(5.0) is None
-        assert [r.level for r in g.reserves] == before  # untouched
+    def test_debt_entry_segments_and_matches_ticks(self):
+        """Debt is a regime, not a refusal: the repaying reserve's
+        outflows stay off until the zero crossing, exactly like the
+        tick path's max(L, 0)."""
+        def build():
+            g = chain_graph(depth=3, decay=False)()
+            g.reserves[1].consume(100.0, allow_debt=True)
+            return g
+        pair = run_pair(build, span=5.0)
+        assert_span_matches_ticks(*pair)
+        assert pair[0].span_segments >= 1
 
     def test_mid_span_clamp_refuses_and_mutates_nothing(self):
         """A constant drain that would empty its source mid-span has no
@@ -255,10 +259,16 @@ class TestRefusalSoundness:
 
     def test_refused_span_is_tickable(self):
         """The contract the engine relies on: a None return means
-        tick-by-tick still works and conserves."""
-        g = chain_graph(depth=3, decay=False)()
-        g.reserves[1].consume(100.0, allow_debt=True)
-        assert g.advance_span(5.0) is None
+        tick-by-tick still works and conserves.  A proportionally-fed
+        reserve clamping empty is a residual refusal (its pass-through
+        would be time-varying)."""
+        g = ResourceGraph(1_000.0)
+        g.decay_policy.enabled = False
+        a = g.create_reserve(level=10.0, source=g.root, name="a")
+        b = g.create_reserve(level=0.4, source=g.root, name="b")
+        g.create_tap(a, b, 0.1, TapType.PROPORTIONAL, name="p1")
+        g.create_tap(b, g.root, 1.0, name="drain")
+        assert g.advance_span(10.0) is None
         for _ in range(100):
             g.step_reference(TICK)
         assert g.conservation_error() == pytest.approx(0.0, abs=1e-9)

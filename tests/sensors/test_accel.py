@@ -1,0 +1,168 @@
+"""The accelerometer daemon: warm-up amortization, ServiceCall reads,
+and fast-forward parity.
+
+The contract mirrors the GPS daemon's: blocking ``sample_request``
+reads never veto the engine's idle fast-forward, warm-up completions
+land on the bit-identical tick in fast and tick-by-tick runs, and the
+billing (one warm-up per burst, per-sample conversion energy) is
+independent of the execution mode.
+"""
+
+import pytest
+
+from repro.sensors.accel import (AccelDaemon, AccelDevice,
+                                 AccelPowerParams, AccelState,
+                                 SampleOpState, sample_request)
+from repro.sim.process import Sleep
+
+from ..conftest import make_system
+
+
+class TestAccelDevice:
+    def test_warmup_timing(self):
+        device = AccelDevice()
+        ready = device.power_up(0.0)
+        assert ready == pytest.approx(device.params.warmup_s)
+        device.tick(device.params.warmup_s - 0.01)
+        assert device.state is AccelState.WARMING
+        device.tick(device.params.warmup_s)
+        assert device.state is AccelState.READY
+
+    def test_linger_then_off(self):
+        device = AccelDevice()
+        device.power_up(0.0)
+        device.tick(0.35)
+        device.tick(0.35 + device.params.linger_s - 0.1)
+        assert device.state is AccelState.READY
+        device.tick(0.35 + device.params.linger_s + 0.1)
+        assert device.state is AccelState.OFF
+
+    def test_power_by_state(self):
+        params = AccelPowerParams()
+        device = AccelDevice(params)
+        assert device.power_above_baseline(0.0) == 0.0
+        device.power_up(0.0)
+        assert device.power_above_baseline(0.1) == params.active_watts
+        device.tick(params.warmup_s)
+        assert device.power_above_baseline(0.5) == params.active_watts
+
+
+class TestAccelDaemonUnit:
+    def test_first_reader_pays_warmup_then_shares(self, system):
+        daemon = system.attach_accel()
+        reserve = system.powered_reserve(0.05, name="app")
+        system.battery_reserve.transfer_to(reserve, 5.0)
+        thread = system.kernel.create_thread(name="reader")
+        thread.set_active_reserve(reserve)
+        op = daemon.request_sample(thread)
+        assert op.state is SampleOpState.WAITING_WARMUP
+        assert op.billed_joules == pytest.approx(
+            daemon.device.params.warmup_cost)
+        # A second reader joins the same warm-up for free.
+        op2 = daemon.request_sample(thread)
+        assert op2.billed_joules == 0.0
+        assert daemon.waiting_count == 2
+        # The ready tick delivers to both.
+        daemon.step(daemon.device.params.warmup_s + 0.01)
+        assert op.state is SampleOpState.DONE
+        assert op2.state is SampleOpState.DONE
+        assert op.sample.taken_at == op2.sample.taken_at
+
+    def test_ready_sensor_serves_synchronously(self, system):
+        daemon = system.attach_accel()
+        reserve = system.powered_reserve(0.05, name="app")
+        system.battery_reserve.transfer_to(reserve, 5.0)
+        thread = system.kernel.create_thread(name="reader")
+        thread.set_active_reserve(reserve)
+        daemon.request_sample(thread)
+        daemon.step(daemon.device.params.warmup_s + 0.01)
+        op = daemon.request_sample(thread)
+        assert op.state is SampleOpState.DONE
+        assert op.billed_joules == pytest.approx(
+            daemon.device.params.sample_energy_j)
+        assert daemon.shared_samples == 1
+
+
+def _sampling_system(fast_forward: bool):
+    system = make_system(seed=9, record_interval_s=1.0,
+                         fast_forward=fast_forward)
+    daemon = system.attach_accel()
+    reserve = system.powered_reserve(0.05, name="sampler")
+    system.battery_reserve.transfer_to(reserve, 20.0)
+    delivered = []
+
+    def program(ctx):
+        for _ in range(3):
+            sample = yield sample_request(daemon)
+            delivered.append((ctx.now, sample.taken_at, sample.ax))
+            yield Sleep(10.0)
+
+    system.spawn(program, "sampler", reserve=reserve)
+    return system, daemon, delivered
+
+
+class TestAccelFastForwardParity:
+    def test_sample_timing_bit_identical_and_macro_stepped(self):
+        fast_sys, fast_daemon, fast_out = _sampling_system(True)
+        slow_sys, slow_daemon, slow_out = _sampling_system(False)
+        fast_sys.run(60.0)
+        slow_sys.run(60.0)
+        assert len(fast_out) == len(slow_out) == 3
+        # Delivery instants and sample contents are bit-identical:
+        # the warm-up end is a declared event the macro span lands on.
+        assert fast_out == slow_out
+        assert fast_daemon.device.warmups == slow_daemon.device.warmups
+        assert fast_daemon.warmups_billed == slow_daemon.warmups_billed
+        # The blocking reads did not veto fast-forward.
+        assert fast_sys.fast_forwarded_ticks > 3_000
+        assert fast_sys.span_refusals == 0
+        # Billing is mode-independent.
+        fast_reserve = fast_sys.graph.reserves[-1]
+        slow_reserve = slow_sys.graph.reserves[-1]
+        assert fast_reserve.level == pytest.approx(slow_reserve.level,
+                                                   rel=1e-9)
+        assert fast_sys.meter.total_energy_joules == pytest.approx(
+            slow_sys.meter.total_energy_joules, rel=1e-9)
+
+    def test_zero_linger_still_delivers(self):
+        """Regression: with linger_s=0 the ready tick must deliver to
+        the waiting readers before the sensor powers back off — the
+        ready transition must not also expire the linger."""
+        system = make_system(seed=2, record_interval_s=1.0)
+        daemon = system.attach_accel(
+            params=AccelPowerParams(linger_s=0.0))
+        got = []
+
+        def program(ctx):
+            sample = yield sample_request(daemon)
+            got.append(sample.taken_at)
+
+        reserve = system.powered_reserve(0.02, name="r")
+        system.battery_reserve.transfer_to(reserve, 2.0)
+        system.spawn(program, "reader", reserve=reserve)
+        system.run(5.0)
+        assert len(got) == 1
+        assert daemon.waiting_count == 0
+        assert daemon.device.state.value == "off"
+
+    def test_burst_amortizes_one_warmup(self):
+        system = make_system(seed=3, record_interval_s=1.0)
+        daemon = system.attach_accel()
+        results = []
+
+        def reader(name):
+            def program(ctx):
+                sample = yield sample_request(daemon)
+                results.append((name, ctx.now, sample.taken_at))
+            return program
+
+        for i in range(4):
+            reserve = system.powered_reserve(0.02, name=f"r{i}")
+            system.battery_reserve.transfer_to(reserve, 2.0)
+            system.spawn(reader(f"p{i}"), f"p{i}", reserve=reserve)
+        system.run(5.0)
+        assert len(results) == 4
+        assert daemon.device.warmups == 1
+        assert daemon.warmups_billed == 1
+        # Everyone rode the same warm-up: one shared delivery instant.
+        assert len({taken for _, _, taken in results}) == 1

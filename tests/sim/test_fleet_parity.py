@@ -53,12 +53,30 @@ def build_random_fleet(world: World, seed: int, devices: int = 8) -> None:
     routes them through the coupled solver.
     """
     rng = random.Random(seed)
-    kinds = [rng.choice(["poller", "sleeper", "chain"])
+    kinds = [rng.choice(["poller", "sleeper", "chain", "switcher"])
              for _ in range(devices)]
     for i, kind in enumerate(kinds):
         device = world.add_device(name=f"d{i}", record_interval_s=1.0,
                                   decay_enabled=False)
-        if kind == "poller":
+        if kind == "switcher":
+            # Piecewise-linear switching material: a drain that clamps
+            # mid-run and a reserve repaying out of debt — the stacked
+            # span kernel demotes these to the scalar segmented path.
+            task = device.new_reserve(name=f"d{i}.task")
+            device.battery_reserve.transfer_to(task, 2.0 + 0.5 * i)
+            device.kernel.create_tap(device.battery_reserve, task, 0.01,
+                                     name=f"d{i}.task.feed")
+            archive = device.new_reserve(name=f"d{i}.archive")
+            device.kernel.create_tap(task, archive, 0.03,
+                                     name=f"d{i}.task.drain")
+            debtor = device.new_reserve(name=f"d{i}.debtor")
+            device.kernel.create_tap(device.battery_reserve, debtor,
+                                     0.02, name=f"d{i}.repay")
+            debtor.consume(1.0 + 0.3 * i, allow_debt=True)
+            reserve = device.powered_reserve(0.2, name=f"d{i}.maint")
+            device.spawn(napper(50.0, 0.02), f"d{i}.maint",
+                         reserve=reserve)
+        elif kind == "poller":
             watts = rng.choice([0.02, 0.05])
             reserve = device.powered_reserve(watts, name=f"d{i}.net")
             device.spawn(
@@ -83,8 +101,18 @@ def build_random_fleet(world: World, seed: int, devices: int = 8) -> None:
                          reserve=reserve)
 
 
-def assert_fleets_match(fast: World, reference: World) -> None:
-    """Events bit-equal; meters and levels within solver tolerance."""
+def assert_fleets_match(fast: World, reference: World,
+                        exact_pool: bool = True) -> None:
+    """Events bit-equal; meters and levels within solver tolerance.
+
+    ``exact_pool=False`` compares pool levels at last-ulp tolerance:
+    schedulers that split spans at different instants (independent vs
+    lockstep, different barrier spacings) round the diagonal solver's
+    ``level + rate * span`` differently per split, so a waiter's
+    contribution at a crossing can differ by one ulp even though every
+    event lands on the identical tick (the same span-boundary rounding
+    the shard-semantics docs note for lockstep shard membership).
+    """
     assert len(fast.devices) == len(reference.devices)
     for a, b in zip(fast.devices, reference.devices):
         assert a.clock.ticks == b.clock.ticks
@@ -92,7 +120,11 @@ def assert_fleets_match(fast: World, reference: World) -> None:
         assert a.netd.stats.operations == b.netd.stats.operations
         assert (a.netd.stats.total_wait_seconds
                 == b.netd.stats.total_wait_seconds)
-        assert a.netd.pool.level == b.netd.pool.level
+        if exact_pool:
+            assert a.netd.pool.level == b.netd.pool.level
+        else:
+            assert a.netd.pool.level == pytest.approx(
+                b.netd.pool.level, rel=1e-12, abs=1e-12)
         assert len(a.meter.samples()[0]) == len(b.meter.samples()[0])
         assert a.meter.total_energy_joules == pytest.approx(
             b.meter.total_energy_joules, rel=1e-9)
@@ -127,8 +159,40 @@ class TestBatchedWorldParity:
         build_random_fleet(independent, seed)
         lockstep.run(400.0, independent=False)
         independent.run(400.0, independent=True)
-        assert_fleets_match(independent, lockstep)
+        assert_fleets_match(independent, lockstep, exact_pool=False)
         assert independent.barrier_rounds == 1
+
+    def test_switching_cohort_demotes_without_degrading(self):
+        """A homogeneous cohort whose members all hit a switching
+        state: the stacked kernel refuses them, the world demotes each
+        to the scalar segmented path (counted in cohort_demotions),
+        and nobody degrades to ticking — bit-identical to the
+        reference loop."""
+        def build(batched):
+            world = World(tick_s=0.01, seed=6, batched=batched)
+            for i in range(4):
+                device = world.add_device(name=f"s{i}",
+                                          record_interval_s=1.0,
+                                          decay_enabled=False)
+                task = device.new_reserve(name="task")
+                device.battery_reserve.transfer_to(task, 2.0)
+                device.kernel.create_tap(device.battery_reserve, task,
+                                         0.01, name="task.feed")
+                archive = device.new_reserve(name="archive")
+                device.kernel.create_tap(task, archive, 0.03,
+                                         name="task.drain")
+                reserve = device.powered_reserve(0.2, name="maint")
+                device.spawn(napper(40.0, 0.02), "maint",
+                             reserve=reserve)
+            return world
+        fast = build(True)
+        reference = build(False)
+        fast.run(300.0)       # every task clamps at 100 s
+        reference.run(300.0)
+        assert_fleets_match(fast, reference)
+        assert fast.degraded_spans == 0
+        assert fast.cohort_demotions > 0
+        assert fast.span_segments > 0
 
     def test_independent_with_barriers_matches_single_chunk(self):
         one = World(tick_s=0.01, seed=9)
@@ -138,7 +202,7 @@ class TestBatchedWorldParity:
         one.run(300.0, independent=True)
         many.run(300.0, barrier_s=50.0, independent=True)
         assert many.barrier_rounds == 6
-        assert_fleets_match(many, one)
+        assert_fleets_match(many, one, exact_pool=False)
 
 
 class TestMixedTickGrids:
