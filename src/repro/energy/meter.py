@@ -211,6 +211,13 @@ class PowerMeter:
         """Meter-local time (seconds of power fed so far)."""
         return self._now
 
+    @property
+    def sample_count(self) -> int:
+        """Emitted samples so far, without materializing the arrays
+        (:meth:`samples` copies the whole history — too heavy for the
+        per-barrier checkpoint digests that only need the count)."""
+        return len(self._sample_times)
+
     def samples(self) -> Tuple[np.ndarray, np.ndarray]:
         """(times, watts) arrays of emitted samples."""
         return (np.asarray(self._sample_times, dtype=float),

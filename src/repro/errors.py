@@ -74,6 +74,26 @@ class SimulationError(CinderError):
     """Engine-level failures (time going backward, double-registration)."""
 
 
+class ShardFailure(SimulationError):
+    """A fleet shard worker failed (crash, broken pool, worker raise).
+
+    Raised by the :class:`~repro.sim.shards.ShardedWorld` supervisor
+    when a shard cannot be recovered by retry, checkpoint restore,
+    rebuild-and-replay, *or* inline demotion; individual recovered
+    failures are recorded in :attr:`~repro.sim.shards.FleetReport.
+    shard_failures` instead of raising.
+    """
+
+
+class ShardTimeout(ShardFailure):
+    """A shard missed its per-barrier deadline (hung or overloaded)."""
+
+
+class CheckpointError(SimulationError):
+    """A world checkpoint could not be captured or faithfully restored
+    (unpicklable state, digest mismatch after a round-trip)."""
+
+
 class GateError(CinderError):
     """Gate call failures (no service bound, re-entrancy violations)."""
 

@@ -130,6 +130,25 @@ class NetdStats:
     debt_debits: int = 0
 
 
+class _GateService:
+    """The ``netd.send`` gate body, as a picklable callable.
+
+    A local function would pin the whole device graph as unpicklable
+    (gates live on the kernel), which the barrier checkpoints in
+    :mod:`repro.sim.checkpoint` cannot afford.
+    """
+
+    __slots__ = ("netd",)
+
+    def __init__(self, netd: "NetworkDaemon") -> None:
+        self.netd = netd
+
+    def __call__(self, thread: Thread, request: Any) -> PendingOp:
+        if not isinstance(request, NetRequest):
+            raise NetworkError("netd.send expects a NetRequest")
+        return self.netd.submit(thread, request, owner=thread.name)
+
+
 class NetworkDaemon:
     """The netd daemon: admission control plus the radio data path."""
 
@@ -190,11 +209,7 @@ class NetworkDaemon:
         (and everything netd debits) lands on the caller's active
         reserve — §5.5.1's accounting property.
         """
-        def service(thread: Thread, request: Any) -> PendingOp:
-            if not isinstance(request, NetRequest):
-                raise NetworkError("netd.send expects a NetRequest")
-            return self.submit(thread, request, owner=thread.name)
-        return kernel.create_gate(service, name=name)
+        return kernel.create_gate(_GateService(self), name=name)
 
     # -- submission ---------------------------------------------------------------
 

@@ -1,8 +1,11 @@
 """Discrete-time simulation: clock, processes, engine, worlds, traces."""
 
+from .checkpoint import (Checkpoint, restore_snapshot, snapshot_world,
+                         world_digest)
 from .clock import Clock
 from .engine import CinderSystem, DeviceRuntime
 from .events import EventSource, Horizon
+from .faults import FaultEvent, FaultPlan
 from .process import (CpuBurn, Exit, Fork, NetReply, NetRequest, Process,
                       ProcessContext, Request, ServiceCall, Sleep,
                       SleepUntil, WaitFor)
@@ -15,7 +18,9 @@ from .workload import (batch_downloader, fleet_of_pollers,
 from .world import World
 
 __all__ = [
-    "Clock", "CinderSystem", "DeviceRuntime", "EventSource", "Horizon",
+    "Checkpoint", "Clock", "CinderSystem", "DeviceRuntime", "EventSource",
+    "FaultEvent", "FaultPlan", "Horizon", "restore_snapshot",
+    "snapshot_world", "world_digest",
     "World", "CpuBurn", "Exit", "Fork", "NetReply", "NetRequest", "Process",
     "ProcessContext", "Request", "ServiceCall", "Sleep", "SleepUntil",
     "WaitFor", "TimeSeries", "TraceRecorder", "DeviceDigest", "FleetReport",

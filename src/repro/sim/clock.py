@@ -60,3 +60,33 @@ class Clock:
             return 0
         import math
         return math.ceil((deadline - self._now) / self.tick_s - 1e-9)
+
+
+class ClockNow:
+    """A picklable ``() -> clock.now`` accessor.
+
+    Components that need to read the clock (netd, ledgers, sensor
+    daemons) take a plain callable; a lambda closing over the clock
+    would make the whole device unpicklable, which the barrier
+    checkpoints in :mod:`repro.sim.checkpoint` cannot afford.
+    """
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: "Clock") -> None:
+        self.clock = clock
+
+    def __call__(self) -> float:
+        return self.clock.now
+
+
+class ClockTicks:
+    """A picklable ``() -> clock.ticks`` accessor (see :class:`ClockNow`)."""
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: "Clock") -> None:
+        self.clock = clock
+
+    def __call__(self) -> int:
+        return self.clock.ticks

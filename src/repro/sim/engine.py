@@ -58,7 +58,7 @@ from ..kernel.kernel import Kernel
 from ..net.netd import NetworkDaemon, PendingOp
 from ..net.radio import RadioDevice
 from ..net.remote import RemoteHosts
-from .clock import Clock
+from .clock import Clock, ClockNow, ClockTicks
 from .events import (DevicePort, EventSource, Horizon, ProcessTableSource,
                      RadioSource, SchedulerSource, SleeperHeapSource,
                      TimerHeapSource, TraceCadenceSource)
@@ -162,7 +162,7 @@ class DeviceRuntime:
         # netd implements the EventSource protocol itself (closed-form
         # pooled-wait accrual); wire it onto the engine's tick grid.
         self.netd.tick_s = self.clock.tick_s
-        self.netd._ticks = lambda: self.clock.ticks
+        self.netd._ticks = ClockTicks(self.clock)
         self.horizon.add(self.netd)
 
     def add_device(self,
@@ -217,9 +217,9 @@ class DeviceRuntime:
         if device is None:
             device = GpsDevice(params)
         daemon = GpsDaemon(self.graph, device,
-                           clock=lambda: self.clock.now, margin=margin,
+                           clock=ClockNow(self.clock), margin=margin,
                            tick_s=self.clock.tick_s,
-                           ticks=lambda: self.clock.ticks)
+                           ticks=ClockTicks(self.clock))
         self.add_device(stepper=daemon.step,
                         power=device.power_above_baseline, source=daemon)
         return daemon
@@ -244,7 +244,7 @@ class DeviceRuntime:
                 "its params)")
         if device is None:
             device = AccelDevice(params)
-        daemon = AccelDaemon(device, clock=lambda: self.clock.now)
+        daemon = AccelDaemon(device, clock=ClockNow(self.clock))
         self.add_device(stepper=daemon.step,
                         power=device.power_above_baseline, source=daemon)
         return daemon
@@ -695,12 +695,12 @@ class CinderSystem(DeviceRuntime):
         kernel = Kernel(battery_joules)
         kernel.energy_graph.decay_policy = DecayPolicy(decay_half_life_s,
                                                        decay_enabled)
-        ledger = ConsumptionLedger(clock=lambda: clock.now)
+        ledger = ConsumptionLedger(clock=ClockNow(clock))
         scheduler = EnergyAwareScheduler(model.cpu_active_watts, ledger)
         radio = RadioDevice(model.radio,
                             rng=np.random.default_rng(seed + 1))
         netd = NetworkDaemon(
-            kernel.energy_graph, radio, clock=lambda: clock.now,
+            kernel.energy_graph, radio, clock=ClockNow(clock),
             hosts=hosts, cooperative=cooperative_netd,
             unrestricted=unrestricted_netd, ledger=ledger)
         meter = PowerMeter(supply_voltage=model.supply_voltage,

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for sharded fleet chaos runs.
+
+Recovery code that is only exercised by real crashes is untestable;
+recovery code exercised by *seeded, replayable* crashes can be
+asserted bit-identical to the fault-free run.  A :class:`FaultPlan`
+is a fixed list of :class:`FaultEvent` records — worker crash at
+barrier *k*, hang-for-*T*, builder raise, corrupt-digest — drawn
+deterministically from a seed (:meth:`FaultPlan.seeded`) or written
+out explicitly.  The :class:`~repro.sim.shards.ShardedWorld`
+supervisor consumes events parent-side (:meth:`FaultPlan.take`), so
+each fault fires exactly once: the retried execution after recovery
+does not re-trip the same injection, and the whole chaos run is a
+pure function of ``(fleet seed, fault seed)``.
+
+Fault kinds:
+
+* ``crash`` — the worker process exits hard (``os._exit``) before
+  running the barrier chunk: the parent sees ``BrokenProcessPool``,
+  respawns the pool and restores from the last barrier checkpoint.
+* ``hang`` — the worker sleeps ``hang_s`` before the chunk: the
+  parent's per-barrier timeout fires, the pool is terminated and
+  recovery proceeds as for a crash.
+* ``build_raise`` — the shard's builder raises during initial world
+  construction: the parent retries the build.
+* ``corrupt_digest`` — the checkpoint captured at barrier *k* carries
+  a mangled digest: every later restore attempt fails validation
+  (:class:`~repro.errors.CheckpointError`), walking the shard down
+  the full degradation ladder to inline execution in the parent —
+  which rebuilds from scratch and stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Collection, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Fault kinds (see module docstring for semantics).
+CRASH = "crash"
+HANG = "hang"
+BUILD_RAISE = "build_raise"
+CORRUPT_DIGEST = "corrupt_digest"
+
+#: Kinds injected through the worker's barrier-run entry point.
+RUNTIME_KINDS = frozenset({CRASH, HANG, CORRUPT_DIGEST})
+#: Kinds injected through the worker's build entry point.
+BUILD_KINDS = frozenset({BUILD_RAISE})
+ALL_KINDS = RUNTIME_KINDS | BUILD_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: ``kind`` on ``shard`` at barrier ``barrier``.
+
+    ``barrier`` is the 0-based chunk index whose execution the fault
+    precedes (for ``build_raise`` it is ignored — builds happen once,
+    before barrier 0).  ``hang_s`` only applies to ``hang``.
+    """
+
+    shard: int
+    barrier: int
+    kind: str
+    hang_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise SimulationError(f"unknown fault kind {self.kind!r}")
+        if self.kind == HANG and self.hang_s <= 0:
+            raise SimulationError("a hang fault needs hang_s > 0")
+
+
+class FaultPlan:
+    """A replayable schedule of injected shard faults.
+
+    Events are consumed parent-side exactly once per run
+    (:meth:`take`); :meth:`reset` rewinds the plan so the same
+    ``ShardedWorld`` can re-run the identical chaos experiment.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = (),
+                 seed: Optional[int] = None) -> None:
+        self.events: List[FaultEvent] = list(events)
+        self.seed = seed
+        self._consumed: Set[int] = set()
+
+    @classmethod
+    def seeded(cls, seed: int, *, shards: int, barriers: int,
+               crashes: int = 1, hangs: int = 0,
+               corrupt_digests: int = 0, build_raises: int = 0,
+               hang_s: float = 30.0) -> "FaultPlan":
+        """Draw a plan deterministically from ``seed``.
+
+        Runtime faults land on distinct ``(shard, barrier)`` slots so
+        no single barrier submission carries two injections; build
+        raises land on distinct shards.  The same seed and shape
+        always produce the same plan.
+        """
+        if shards <= 0 or barriers <= 0:
+            raise SimulationError("need at least one shard and barrier")
+        runtime = crashes + hangs + corrupt_digests
+        slots = shards * barriers
+        if runtime > slots:
+            raise SimulationError(
+                f"{runtime} runtime faults do not fit {slots} "
+                f"(shard, barrier) slots")
+        if build_raises > shards:
+            raise SimulationError(
+                f"{build_raises} build faults do not fit {shards} shards")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        kinds = ([CRASH] * crashes + [HANG] * hangs
+                 + [CORRUPT_DIGEST] * corrupt_digests)
+        for pick, kind in zip(rng.choice(slots, size=runtime,
+                                         replace=False), kinds):
+            shard, barrier = divmod(int(pick), barriers)
+            events.append(FaultEvent(
+                shard=shard, barrier=barrier, kind=kind,
+                hang_s=hang_s if kind == HANG else 0.0))
+        if build_raises:
+            for shard in rng.choice(shards, size=build_raises,
+                                    replace=False):
+                events.append(FaultEvent(shard=int(shard), barrier=0,
+                                         kind=BUILD_RAISE))
+        return cls(events, seed=seed)
+
+    def reset(self) -> None:
+        """Rewind consumption; the next run replays every event."""
+        self._consumed.clear()
+
+    def take(self, shard: int, barrier: int,
+             kinds: Collection[str] = RUNTIME_KINDS
+             ) -> Optional[FaultEvent]:
+        """Consume and return the pending fault for this submission.
+
+        Returns ``None`` when nothing is scheduled here (or it already
+        fired — recovery retries must not re-trip the injection).
+        """
+        for index, event in enumerate(self.events):
+            if index in self._consumed:
+                continue
+            if event.kind not in kinds:
+                continue
+            if event.shard != shard:
+                continue
+            if event.kind not in BUILD_KINDS and event.barrier != barrier:
+                continue
+            self._consumed.add(index)
+            return event
+        return None
+
+    def pending(self) -> List[FaultEvent]:
+        """Events not yet consumed this run."""
+        return [event for index, event in enumerate(self.events)
+                if index not in self._consumed]
+
+    @property
+    def consumed(self) -> int:
+        """Events already injected this run."""
+        return len(self._consumed)
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` the plan schedules in total."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+
+def apply_runtime_fault(event: Optional[FaultEvent]) -> None:
+    """Worker-side: execute a runtime fault before the barrier chunk.
+
+    ``crash`` must bypass every ``finally``/atexit path — a real
+    segfaulted or OOM-killed worker does not unwind — hence
+    ``os._exit``.  ``corrupt_digest`` is applied to the checkpoint by
+    the caller, not here.
+    """
+    if event is None:
+        return
+    if event.kind == CRASH:
+        os._exit(23)
+    if event.kind == HANG:
+        time.sleep(event.hang_s)

@@ -25,6 +25,29 @@ them barrier-to-barrier:
   per-device counters and levels the parity tests and benches
   compare — aggregated into one :class:`FleetReport`.
 
+The barrier loop is a **supervisor**, not a bare gather: every shard
+future carries a per-barrier timeout, a worker that crashes
+(``BrokenProcessPool``), hangs past the deadline, or raises is
+recovered through a bounded-retry ladder —
+
+1. terminate + respawn the worker pool (counted in
+   :attr:`FleetReport.shard_restarts`),
+2. restore the shard to its last barrier checkpoint
+   (:mod:`repro.sim.checkpoint`: digest-validated pickle snapshot
+   when the state could capture, deterministic rebuild-and-replay
+   otherwise), and re-run the lost chunk,
+3. after ``max_shard_retries`` failed recoveries, **demote the
+   shard's device range to inline execution in the parent** (the
+   fleet-level mirror of the cohort scheduler's
+   ``cohort_demotions``): the slice is rebuilt from the builder,
+   replayed to the current barrier, and runs in-process for the rest
+   of the experiment — degraded, never diverged.
+
+Recovery is provably deterministic: the simulation draws no real
+entropy, so a restored-or-replayed shard is bit-identical to one
+that never failed, and the chaos suite asserts exactly that under
+seeded :class:`~repro.sim.faults.FaultPlan` injections.
+
 ``shards=0`` runs the identical partition logic inline (one world,
 no processes): the differential oracle that sharded execution is
 sample-identical to sequential execution.
@@ -32,17 +55,29 @@ sample-identical to sequential execution.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import SimulationError
+from ..errors import ShardFailure, ShardTimeout, SimulationError
+from . import checkpoint as _checkpoint
+from .faults import (BUILD_KINDS, CORRUPT_DIGEST, RUNTIME_KINDS, FaultPlan,
+                     apply_runtime_fault)
 from .world import World
 
 #: The module-global world a shard worker process owns.
 _SHARD_WORLD: Optional[World] = None
+#: Sticky capture method: None = untried, else whether pickle worked.
+#: A world running live programs refuses to pickle once and the
+#: worker stops re-paying the attempt every barrier.
+_SHARD_PICKLE_OK: Optional[bool] = None
 
 
 @dataclass
@@ -92,6 +127,15 @@ class FleetReport:
     wall_s: float
     shard_walls: List[float]
     reports: List[ShardReport]
+    #: Supervision telemetry: worker pools terminated and respawned
+    #: (crash or missed barrier deadline), barriers that completed
+    #: only after at least one recovery, shards demoted to inline
+    #: execution in the parent, and the per-shard failure causes
+    #: (human-readable ``"barrier k: cause"`` strings, in order).
+    shard_restarts: int = 0
+    recovered_barriers: int = 0
+    degraded_shards: List[int] = field(default_factory=list)
+    shard_failures: Dict[int, List[str]] = field(default_factory=dict)
 
     @property
     def digests(self) -> List[DeviceDigest]:
@@ -99,6 +143,28 @@ class FleetReport:
         out = [d for report in self.reports for d in report.digests]
         out.sort(key=lambda d: d.index)
         return out
+
+    def digest(self) -> str:
+        """A stable hash of every device's bit-exact outcome.
+
+        Two runs of the same fleet — fault-free or recovered through
+        any number of crashes — must agree on this string; the chaos
+        suite pins recovery on it.
+        """
+        digest = hashlib.sha256()
+        for d in self.digests:
+            for piece in (
+                    d.name, str(d.index), str(d.ticks), d.now.hex(),
+                    str(d.fast_forwarded_ticks), str(d.span_refusals),
+                    str(d.radio_activations), str(d.netd_operations),
+                    d.netd_wait_seconds.hex(), d.netd_pool_level.hex(),
+                    d.battery_charge_joules.hex(),
+                    d.meter_energy_joules.hex(), str(d.meter_samples),
+                    ",".join(level.hex() for level in d.reserve_levels)):
+                digest.update(piece.encode())
+                digest.update(b"\x1f")
+            digest.update(b"\x1e")
+        return digest.hexdigest()
 
     def total_metered_energy(self) -> float:
         return sum(d.meter_energy_joules for d in self.digests)
@@ -129,7 +195,7 @@ def _digest_devices(world: World, lo: int) -> List[DeviceDigest]:
             netd_pool_level=device.netd.pool.level,
             battery_charge_joules=device.battery.charge_joules,
             meter_energy_joules=device.meter.total_energy_joules,
-            meter_samples=len(device.meter.samples()[0]),
+            meter_samples=device.meter.sample_count,
             reserve_levels=[r.level for r in device.graph.reserves],
             conservation_error=device.graph.conservation_error(),
         ))
@@ -137,18 +203,55 @@ def _digest_devices(world: World, lo: int) -> List[DeviceDigest]:
 
 
 def _shard_build(builder: Callable, lo: int, hi: int,
-                 world_kwargs: Dict) -> int:
+                 world_kwargs: Dict, fault=None) -> int:
     """Worker-side: construct this shard's world slice."""
-    global _SHARD_WORLD
+    global _SHARD_WORLD, _SHARD_PICKLE_OK
+    if fault is not None and fault.kind in BUILD_KINDS:
+        raise ShardFailure(
+            f"injected builder fault (shard slice [{lo}, {hi}))")
     _SHARD_WORLD = World(**world_kwargs)
+    _SHARD_PICKLE_OK = None
     builder(_SHARD_WORLD, lo, hi)
     return len(_SHARD_WORLD.devices)
 
 
-def _shard_run(chunk_s: float, independent: Optional[bool]) -> float:
-    """Worker-side: advance this shard to the next barrier."""
+def _shard_run(chunk_s: float, independent: Optional[bool],
+               barrier: int, want_checkpoint: bool,
+               fault=None) -> Tuple[float, float, Optional[object]]:
+    """Worker-side: advance this shard to the next barrier.
+
+    Returns ``(now, wall_s, checkpoint)`` — the wall is measured
+    *here*, around this shard's own work, so shard *s* is no longer
+    charged for the time the parent spent blocked on shards
+    ``0..s-1``'s results.  The checkpoint (when requested) captures
+    the post-barrier state for crash recovery.
+    """
+    global _SHARD_PICKLE_OK
     assert _SHARD_WORLD is not None
+    apply_runtime_fault(fault)
+    begin = time.perf_counter()
     _SHARD_WORLD.run(chunk_s, independent=independent)
+    ckpt = None
+    if want_checkpoint:
+        ckpt = _checkpoint.capture(_SHARD_WORLD, barrier + 1,
+                                   try_pickle=_SHARD_PICKLE_OK is not False)
+        _SHARD_PICKLE_OK = ckpt.method == _checkpoint.METHOD_PICKLE
+        if fault is not None and fault.kind == CORRUPT_DIGEST:
+            ckpt = dataclasses.replace(
+                ckpt, digest="corrupt:" + ckpt.digest[8:])
+    wall = time.perf_counter() - begin
+    return _SHARD_WORLD.now, wall, ckpt
+
+
+def _shard_restore(ckpt, builder: Callable, lo: int, hi: int,
+                   world_kwargs: Dict, chunks: Sequence[float],
+                   independent: Optional[bool]) -> float:
+    """Worker-side: reload the last barrier state after a respawn."""
+    global _SHARD_WORLD, _SHARD_PICKLE_OK
+    _SHARD_WORLD = _checkpoint.restore(
+        ckpt, builder=builder, lo=lo, hi=hi, world_kwargs=world_kwargs,
+        chunks=chunks, independent=independent)
+    _SHARD_PICKLE_OK = None
     return _SHARD_WORLD.now
 
 
@@ -157,6 +260,11 @@ def _shard_finish(shard: int, lo: int, hi: int,
     """Worker-side: digest this shard's devices."""
     world = _SHARD_WORLD
     assert world is not None
+    return _world_report(world, shard, lo, hi, wall_s)
+
+
+def _world_report(world: World, shard: int, lo: int, hi: int,
+                  wall_s: float) -> ShardReport:
     return ShardReport(
         shard=shard, lo=lo, hi=hi, wall_s=wall_s,
         macro_steps=world.macro_steps, tick_steps=world.tick_steps,
@@ -164,6 +272,24 @@ def _shard_finish(shard: int, lo: int, hi: int,
         cohort_spans=world.cohort_spans,
         cohort_fallbacks=world.cohort_fallbacks,
         digests=_digest_devices(world, lo))
+
+
+class _Shard:
+    """Parent-side supervision state for one shard."""
+
+    __slots__ = ("index", "lo", "hi", "pool", "ckpt", "inline_world",
+                 "future")
+
+    def __init__(self, index: int, lo: int, hi: int) -> None:
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.pool: Optional[ProcessPoolExecutor] = None
+        #: Last completed barrier checkpoint (None until barrier 1).
+        self.ckpt = None
+        #: Set on demotion: the slice now runs in the parent.
+        self.inline_world: Optional[World] = None
+        self.future = None
 
 
 class ShardedWorld:
@@ -177,10 +303,33 @@ class ShardedWorld:
     :class:`~repro.sim.world.World` (tick, seed, fast-forward,
     batching); every shard gets identical values, which keeps
     index-derived seeds partition-independent.
+
+    Supervision knobs:
+
+    * ``barrier_timeout_s`` — per-barrier deadline on each shard
+      future; ``None`` (the default) waits forever, so only hard
+      crashes trigger recovery.  Restore futures scale the deadline
+      by the number of chunks they may replay.
+    * ``max_shard_retries`` — recoveries attempted per barrier before
+      the shard demotes to inline execution in the parent.
+    * ``retry_backoff_s`` — base of the exponential backoff between
+      recovery attempts.
+    * ``checkpoint`` — capture worker-side barrier checkpoints
+      (snapshot or replay recipe; see :mod:`repro.sim.checkpoint`).
+      Disabled, recovery still works — it rebuilds and replays from
+      time zero — but pays the full replay on every failure.
+    * ``fault_plan`` — a seeded :class:`~repro.sim.faults.FaultPlan`
+      injecting deterministic worker crashes/hangs/corruptions, for
+      chaos tests; the plan is rewound at the start of every run.
     """
 
     def __init__(self, builder: Callable, count: int,
                  shards: Optional[int] = None,
+                 barrier_timeout_s: Optional[float] = None,
+                 max_shard_retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 checkpoint: bool = True,
+                 fault_plan: Optional[FaultPlan] = None,
                  **world_kwargs) -> None:
         if count <= 0:
             raise SimulationError("fleet size must be positive")
@@ -189,9 +338,18 @@ class ShardedWorld:
         if shards < 0 or shards > count:
             raise SimulationError(
                 f"shard count {shards} must be in [0, {count}]")
+        if barrier_timeout_s is not None and barrier_timeout_s <= 0:
+            raise SimulationError("barrier timeout must be positive")
+        if max_shard_retries < 0:
+            raise SimulationError("retry count must be non-negative")
         self.builder = builder
         self.count = count
         self.shards = shards
+        self.barrier_timeout_s = barrier_timeout_s
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.checkpoint = checkpoint
+        self.fault_plan = fault_plan
         self.world_kwargs = dict(world_kwargs)
         #: Inline world (``shards=0``): built lazily on first run.
         self._inline: Optional[World] = None
@@ -240,16 +398,20 @@ class ShardedWorld:
 
     def _chunks(self, duration_s: float,
                 barrier_s: Optional[float]) -> List[float]:
+        """Barrier chunk sequence covering ``duration_s`` exactly.
+
+        The chunk count is derived integrally — repeated float
+        subtraction used to leave a ~1e-16 sliver that emitted a
+        spurious off-grid final chunk.  All chunks but the last are
+        exactly ``barrier_s``; the last absorbs the remainder.
+        """
         if barrier_s is None:
             return [duration_s]
         if barrier_s <= 0:
             raise SimulationError("barrier must be positive")
-        chunks = []
-        remaining = duration_s
-        while remaining > 1e-12:
-            chunk = min(barrier_s, remaining)
-            chunks.append(chunk)
-            remaining -= chunk
+        count = max(1, math.ceil(duration_s / barrier_s - 1e-9))
+        chunks = [barrier_s] * (count - 1)
+        chunks.append(duration_s - (count - 1) * barrier_s)
         return chunks
 
     def _run_inline(self, duration_s: float,
@@ -260,45 +422,263 @@ class ShardedWorld:
         self._inline = world
         for chunk in self._chunks(duration_s, barrier_s):
             world.run(chunk, independent=independent)
-        report = ShardReport(
-            shard=0, lo=0, hi=self.count, wall_s=0.0,
-            macro_steps=world.macro_steps, tick_steps=world.tick_steps,
-            fast_forwarded_ticks=world.fast_forwarded_ticks,
-            cohort_spans=world.cohort_spans,
-            cohort_fallbacks=world.cohort_fallbacks,
-            digests=_digest_devices(world, 0))
+        report = _world_report(world, 0, 0, self.count, 0.0)
         return FleetReport(devices=self.count, shards=0,
                            simulated_s=duration_s, wall_s=0.0,
                            shard_walls=[], reports=[report])
 
+    # -- the supervisor -----------------------------------------------------------
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate a (possibly hung or broken) single-worker pool.
+
+        ``shutdown`` alone would wait on a hung task forever; the
+        worker processes are terminated first, then joined, so no
+        worker leaks past the run.
+        """
+        processes = list(getattr(pool, "_processes", {}).values())
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor races
+            pass
+        for proc in processes:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - terminate ignored
+                proc.kill()
+                proc.join(timeout=5.0)
+
+    @staticmethod
+    def _failure_cause(exc: BaseException) -> str:
+        if isinstance(exc, _FutureTimeout):
+            return "timeout"
+        if isinstance(exc, BrokenProcessPool):
+            return "crash"
+        return f"{type(exc).__name__}: {exc}"
+
+    @staticmethod
+    def _note_failure(failures: Dict[int, List[str]], shard: int,
+                      phase: str, exc: BaseException) -> None:
+        failures.setdefault(shard, []).append(
+            f"{phase}: {ShardedWorld._failure_cause(exc)}")
+
+    def _respawn(self, state: _Shard, telemetry: Dict[str, int]) -> None:
+        self._kill_pool(state.pool)
+        state.pool = ProcessPoolExecutor(max_workers=1)
+        telemetry["shard_restarts"] += 1
+
+    def _restore_timeout(self, ckpt, k: int) -> Optional[float]:
+        """Restores may replay up to ``k`` chunks — scale the deadline
+        accordingly (pickle restores finish well inside one)."""
+        if self.barrier_timeout_s is None:
+            return None
+        barriers = k if ckpt is None else max(1, ckpt.barrier)
+        return self.barrier_timeout_s * (barriers + 1)
+
+    def _demote_inline(self, state: _Shard, chunks: Sequence[float],
+                       through: int, independent: Optional[bool],
+                       walls: List[float]) -> None:
+        """Graceful degradation: run the slice in the parent from now on.
+
+        The shard's device range is rebuilt from the builder and
+        deterministically replayed through chunk ``through`` —
+        checkpoints (possibly the corrupted thing that exhausted the
+        retries) are deliberately ignored; rebuild-and-replay in the
+        parent is the authoritative ground truth.  The fleet-level
+        mirror of the cohort scheduler's demote-don't-degrade idiom.
+        """
+        begin = time.perf_counter()
+        if state.pool is not None:
+            self._kill_pool(state.pool)
+            state.pool = None
+        state.inline_world = _checkpoint.rebuild_replay(
+            self.builder, state.lo, state.hi, self.world_kwargs,
+            chunks[:through + 1], independent)
+        walls[state.index] += time.perf_counter() - begin
+
+    def _await_barrier(self, state: _Shard, k: int, chunk: float,
+                       chunks: Sequence[float],
+                       independent: Optional[bool], want_ckpt: bool,
+                       walls: List[float],
+                       failures: Dict[int, List[str]],
+                       telemetry: Dict[str, int]) -> None:
+        """Collect one shard's barrier, recovering through the ladder:
+        retry (pool respawn + checkpoint restore + re-run), then
+        inline demotion once ``max_shard_retries`` is exhausted."""
+        future, state.future = state.future, None
+        attempt = 0
+        need_restore = False
+        recovered = False
+        while True:
+            try:
+                if need_restore:
+                    # The replay recipe is the chunks completed before
+                    # this barrier; a live checkpoint narrows it (or,
+                    # for pickle snapshots, skips it entirely).
+                    restore = state.pool.submit(
+                        _shard_restore, state.ckpt, self.builder,
+                        state.lo, state.hi, self.world_kwargs,
+                        list(chunks[:k]), independent)
+                    restore.result(
+                        timeout=self._restore_timeout(state.ckpt, k))
+                    future = state.pool.submit(
+                        _shard_run, chunk, independent, k, want_ckpt,
+                        None)
+                    need_restore = False
+                    recovered = True
+                _, wall, ckpt = future.result(
+                    timeout=self.barrier_timeout_s)
+                walls[state.index] += wall
+                if ckpt is not None:
+                    state.ckpt = ckpt
+                if recovered:
+                    telemetry["recovered_barriers"] += 1
+                return
+            except Exception as exc:
+                attempt += 1
+                self._note_failure(failures, state.index,
+                                   f"barrier {k}", exc)
+                if isinstance(exc, (_FutureTimeout, BrokenProcessPool)):
+                    self._respawn(state, telemetry)
+                need_restore = True
+                if attempt > self.max_shard_retries:
+                    self._demote_inline(state, chunks, k, independent,
+                                        walls)
+                    telemetry.setdefault("degraded", []).append(
+                        state.index)
+                    return
+                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+
+    def _build_shards(self, states: List[_Shard],
+                      failures: Dict[int, List[str]],
+                      telemetry: Dict[str, int]) -> None:
+        """Build every shard's world slice, with bounded retry."""
+        plan = self.fault_plan
+        for state in states:
+            state.pool = ProcessPoolExecutor(max_workers=1)
+            fault = (plan.take(state.index, 0, kinds=BUILD_KINDS)
+                     if plan is not None else None)
+            state.future = state.pool.submit(
+                _shard_build, self.builder, state.lo, state.hi,
+                self.world_kwargs, fault)
+        for state in states:
+            future, state.future = state.future, None
+            attempt = 0
+            while True:
+                try:
+                    built = future.result(timeout=self.barrier_timeout_s)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    self._note_failure(failures, state.index, "build",
+                                       exc)
+                    if isinstance(exc,
+                                  (_FutureTimeout, BrokenProcessPool)):
+                        self._respawn(state, telemetry)
+                    if attempt > self.max_shard_retries:
+                        kind = (ShardTimeout
+                                if isinstance(exc, _FutureTimeout)
+                                else ShardFailure)
+                        raise kind(
+                            f"shard {state.index} failed to build after "
+                            f"{attempt} attempts "
+                            f"({self._failure_cause(exc)})") from exc
+                    time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                    # A persistently broken builder keeps raising: the
+                    # retry consumes the next scheduled build fault too.
+                    fault = (plan.take(state.index, 0, kinds=BUILD_KINDS)
+                             if plan is not None else None)
+                    future = state.pool.submit(
+                        _shard_build, self.builder, state.lo, state.hi,
+                        self.world_kwargs, fault)
+            if built != state.hi - state.lo:
+                raise SimulationError(
+                    f"builder produced the wrong device count for "
+                    f"shard [{state.lo}, {state.hi})")
+
     def _run_processes(self, duration_s: float,
                        barrier_s: Optional[float],
                        independent: Optional[bool]) -> FleetReport:
+        chunks = self._chunks(duration_s, barrier_s)
         ranges = self.partitions()
-        pools = [ProcessPoolExecutor(max_workers=1) for _ in ranges]
+        states = [_Shard(s, lo, hi)
+                  for s, (lo, hi) in enumerate(ranges)]
         walls = [0.0] * len(ranges)
+        failures: Dict[int, List[str]] = {}
+        telemetry: Dict = {"shard_restarts": 0,
+                           "recovered_barriers": 0}
+        plan = self.fault_plan
+        if plan is not None:
+            plan.reset()
         try:
-            built = [pool.submit(_shard_build, self.builder, lo, hi,
-                                 self.world_kwargs)
-                     for pool, (lo, hi) in zip(pools, ranges)]
-            for future, (lo, hi) in zip(built, ranges):
-                if future.result() != hi - lo:
-                    raise SimulationError(
-                        f"builder produced the wrong device count for "
-                        f"shard [{lo}, {hi})")
-            for chunk in self._chunks(duration_s, barrier_s):
-                begin = time.perf_counter()
-                futures = [pool.submit(_shard_run, chunk, independent)
-                           for pool in pools]
-                for s, future in enumerate(futures):
-                    future.result()  # the clock barrier
-                    walls[s] += time.perf_counter() - begin
-            reports = [
-                pool.submit(_shard_finish, s, lo, hi, walls[s]).result()
-                for s, (pool, (lo, hi)) in enumerate(zip(pools, ranges))]
+            self._build_shards(states, failures, telemetry)
+            for k, chunk in enumerate(chunks):
+                # The checkpoint after the final barrier can never be
+                # restored from (nothing runs after it), so skip it —
+                # barrier-free runs pay zero capture cost.
+                want_ckpt = self.checkpoint and k + 1 < len(chunks)
+                pending = []
+                for state in states:
+                    if state.inline_world is not None:
+                        continue
+                    fault = (plan.take(state.index, k,
+                                       kinds=RUNTIME_KINDS)
+                             if plan is not None else None)
+                    state.future = state.pool.submit(
+                        _shard_run, chunk, independent, k, want_ckpt,
+                        fault)
+                    pending.append(state)
+                # Demoted slices advance in the parent while the
+                # worker shards run their chunk in parallel.
+                for state in states:
+                    if state.inline_world is None:
+                        continue
+                    begin = time.perf_counter()
+                    state.inline_world.run(chunk,
+                                           independent=independent)
+                    walls[state.index] += time.perf_counter() - begin
+                for state in pending:
+                    self._await_barrier(state, k, chunk, chunks,
+                                        independent, want_ckpt, walls,
+                                        failures, telemetry)
+            reports = []
+            for state in states:
+                if state.inline_world is not None:
+                    reports.append(_world_report(
+                        state.inline_world, state.index, state.lo,
+                        state.hi, walls[state.index]))
+                    continue
+                try:
+                    reports.append(state.pool.submit(
+                        _shard_finish, state.index, state.lo, state.hi,
+                        walls[state.index]).result(
+                            timeout=self.barrier_timeout_s))
+                except Exception as exc:
+                    # A crash between the last barrier and the digest:
+                    # rebuild the finished state in the parent.
+                    self._note_failure(failures, state.index, "finish",
+                                       exc)
+                    self._demote_inline(state, chunks, len(chunks) - 1,
+                                        independent, walls)
+                    telemetry.setdefault("degraded", []).append(
+                        state.index)
+                    reports.append(_world_report(
+                        state.inline_world, state.index, state.lo,
+                        state.hi, walls[state.index]))
         finally:
-            for pool in pools:
-                pool.shutdown(wait=False, cancel_futures=True)
-        return FleetReport(devices=self.count, shards=len(ranges),
-                           simulated_s=duration_s, wall_s=0.0,
-                           shard_walls=walls, reports=reports)
+            for state in states:
+                if state.pool is not None:
+                    self._kill_pool(state.pool)
+        return FleetReport(
+            devices=self.count, shards=len(ranges),
+            simulated_s=duration_s, wall_s=0.0, shard_walls=walls,
+            reports=reports,
+            shard_restarts=telemetry["shard_restarts"],
+            recovered_barriers=telemetry["recovered_barriers"],
+            degraded_shards=sorted(set(telemetry.get("degraded", []))),
+            shard_failures=failures)

@@ -564,6 +564,28 @@ class World:
                 self._advance_once(deadline)
         return self.now - start
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize this world to a digest-validated snapshot blob.
+
+        Delegates to :func:`repro.sim.checkpoint.snapshot_world`: the
+        returned bytes embed the fleet's bit-exact state digest and
+        :meth:`restore` refuses to load a blob that fails it.  Worlds
+        running live simulated programs (generators) cannot snapshot
+        and raise :class:`~repro.errors.CheckpointError` — recover
+        those by rebuild-and-replay instead (see
+        :mod:`repro.sim.checkpoint`).
+        """
+        from .checkpoint import snapshot_world
+        return snapshot_world(self)
+
+    @staticmethod
+    def restore(payload: bytes) -> "World":
+        """Load a :meth:`snapshot` blob, re-validating its digest."""
+        from .checkpoint import restore_snapshot
+        return restore_snapshot(payload)
+
     # -- fleet reporting -----------------------------------------------------------
 
     def total_metered_energy(self) -> float:
