@@ -51,6 +51,7 @@ _SRC = os.path.join(_REPO_ROOT, "src")
 if _SRC not in sys.path:  # allow `python benchmarks/run_bench.py`
     sys.path.insert(0, _SRC)
 
+from repro.core import segkernel                      # noqa: E402
 from repro.core.graph import ResourceGraph            # noqa: E402
 from repro.core.tap import TapType                    # noqa: E402
 from repro.sim.engine import CinderSystem             # noqa: E402
@@ -346,8 +347,109 @@ def run_switching_macro() -> dict:
         "span_refusals": fast.span_refusals,
         "span_segments": fast.span_segments,
         "span_switches": fast.graph.span_switches,
+        # The segmented wall split: switch *location* (sampling +
+        # bisection — the compiled-kernel target) vs segment
+        # *integration* (phi-function propagation).
+        "span_locate_wall_s": round(fast.graph.span_locate_wall_s, 4),
+        "span_integrate_wall_s": round(
+            fast.graph.span_integrate_wall_s, 4),
+        "segkernel_backend": segkernel.BACKEND,
         "worst_level_abs_err": worst_level_abs,
         "conservation_error_j": fast.graph.conservation_error(),
+    }
+
+
+BATCH_SWITCH_DEVICES = 32
+BATCH_SWITCH_SIM_S = 600.0
+BATCH_SWITCH_TICK_SLICE_S = 60.0
+
+
+def build_switching_fleet(fast_forward: bool,
+                          batched: bool = True) -> World:
+    """A one-cohort fleet where *every* span is switch-bound.
+
+    Each device carries the two switch classes (a task reserve whose
+    constant drain outruns its feed, and a debtor repaying out of
+    debt), with seed levels staggered per device so the cohort's
+    switch instants never coincide — the batched segment chain must
+    advance every device to its *own* next switch.
+    """
+    world = World(tick_s=TICK_S, seed=11, fast_forward=fast_forward,
+                  batched=batched)
+    for i in range(BATCH_SWITCH_DEVICES):
+        device = world.add_device(name=f"sw{i}", record_interval_s=5.0,
+                                  decay_enabled=False)
+        kernel = device.kernel
+        task = device.new_reserve(name="task")
+        device.battery_reserve.transfer_to(task, 2.0 + 0.11 * i)
+        kernel.create_tap(device.battery_reserve, task, 0.01,
+                          name="task.feed")
+        archive = device.new_reserve(name="archive")
+        kernel.create_tap(task, archive, 0.03, name="task.drain")
+        debtor = device.new_reserve(name="debtor")
+        kernel.create_tap(device.battery_reserve, debtor, 0.02,
+                          name="debtor.repay")
+        debtor.consume(3.0 + 0.17 * i, allow_debt=True)
+    return world
+
+
+def run_batched_switching() -> dict:
+    """Cohort-stacked segment chains vs scalar segmented vs ticking.
+
+    Three contracts at once: the switch-bound cohort must stay
+    batched (``cohort_demotions == 0``), the stacked solve must match
+    the scalar segmented reference within documented ulp tolerance
+    (stacked matrix products reorder a handful of float ops), and the
+    whole thing must keep the macro-step speedup class.
+    """
+    fast_wall = float("inf")
+    world = None
+    for _ in range(3):
+        candidate = build_switching_fleet(True)
+        start = time.perf_counter()
+        candidate.run(BATCH_SWITCH_SIM_S)
+        wall = time.perf_counter() - start
+        if wall < fast_wall:
+            fast_wall, world = wall, candidate
+
+    # The scalar segmented reference: same fleet, cohorts disabled.
+    scalar = build_switching_fleet(True, batched=False)
+    scalar.run(BATCH_SWITCH_SIM_S)
+    worst_rel = 0.0
+    for fast_dev, ref_dev in zip(world.devices, scalar.devices):
+        for rf, rs in zip(fast_dev.graph.reserves, ref_dev.graph.reserves):
+            denom = max(1.0, abs(rs.level))
+            worst_rel = max(worst_rel, abs(rf.level - rs.level) / denom)
+
+    slice_wall = float("inf")
+    for _ in range(3):
+        tick_world = build_switching_fleet(False)
+        start = time.perf_counter()
+        tick_world.run(BATCH_SWITCH_TICK_SLICE_S)
+        slice_wall = min(slice_wall, time.perf_counter() - start)
+    speedup = ((slice_wall / BATCH_SWITCH_TICK_SLICE_S)
+               / (fast_wall / BATCH_SWITCH_SIM_S))
+    locate_wall = sum(d.graph.span_locate_wall_s for d in world.devices)
+    integrate_wall = sum(d.graph.span_integrate_wall_s
+                         for d in world.devices)
+    return {
+        "devices": BATCH_SWITCH_DEVICES,
+        "simulated_s": BATCH_SWITCH_SIM_S,
+        "fast_forward_wall_s": round(fast_wall, 3),
+        "tick_slice_s": BATCH_SWITCH_TICK_SLICE_S,
+        "tick_slice_wall_s": round(slice_wall, 3),
+        "speedup_vs_tick": round(speedup, 2),
+        "cohort_spans": world.cohort_spans,
+        "cohort_demotions": world.cohort_demotions,
+        "cohort_fallbacks": world.cohort_fallbacks,
+        "span_refusals": sum(d.span_refusals for d in world.devices),
+        "span_segments": world.span_segments,
+        "span_locate_wall_s": round(locate_wall, 4),
+        "span_integrate_wall_s": round(integrate_wall, 4),
+        "segkernel_backend": segkernel.BACKEND,
+        "worst_batched_vs_scalar_rel": worst_rel,
+        "worst_conservation_error_j": max(
+            abs(d.graph.conservation_error()) for d in world.devices),
     }
 
 
@@ -420,9 +522,20 @@ def run_fleet_scaling() -> dict:
     """
     points = []
     for devices in FLEET_SCALING_DEVICES:
-        fleet = ShardedWorld(_scaling_builder(devices), devices, shards=0,
-                             tick_s=TICK_S, seed=7, fast_forward=True)
-        report = fleet.run(FLEET_1K_SIM_S, independent=True)
+        # Best-of-3 on the headline 1000-device point: a single run
+        # drifted tens of percent between bench invocations on a
+        # shared runner, and the *minimum* wall is the measurement
+        # least polluted by scheduler noise.  Small points stay
+        # single-run — they only feed the flatness ratio.
+        repeats = 3 if devices >= 1000 else 1
+        report = None
+        for _ in range(repeats):
+            fleet = ShardedWorld(_scaling_builder(devices), devices,
+                                 shards=0, tick_s=TICK_S, seed=7,
+                                 fast_forward=True)
+            candidate = fleet.run(FLEET_1K_SIM_S, independent=True)
+            if report is None or candidate.wall_s < report.wall_s:
+                report = candidate
         device_seconds = devices * FLEET_1K_SIM_S
         points.append({
             "devices": devices,
@@ -534,6 +647,7 @@ def collect() -> dict:
         "netd_macro": run_netd_macro(),
         "chain_macro": run_chain_macro(),
         "switching_macro": run_switching_macro(),
+        "batched_switching": run_batched_switching(),
         "fleet": run_fleet(),
         "fleet_scaling": scaling,
         "fleet_1k": fleet_1k,

@@ -10,8 +10,10 @@ hour >= 5x with bit-identical event timing; the coupled span solver
 must macro-step a 3-deep-chained hour >= 5x with zero span refusals
 and trajectories inside the documented tolerance; the segmented span
 engine must macro-step a regime-switching hour (mid-span drain
-clamps, debt zero-crossings) >= 5x with zero refusals and the
-switches actually located; the cohort-batched
+clamps, debt zero-crossings) >= 14x with zero refusals and the
+switches actually located; the cohort-stacked segment chain must
+carry a 32-device switch-bound fleet >= 18x with zero demotions and
+ulp-level parity against the scalar segmented path; the cohort-batched
 50-device World fleet must beat tick-slicing >= 12x (noise-proof
 floor; typically ~16-20x); the 1000-device
 ``fleet_1k`` run (independent scheduler, >= 600 simulated seconds)
@@ -34,6 +36,12 @@ FLEET_WALL_LIMIT_S = 60.0
 #: Wall-clock ceiling for the 1000-device, 600-simulated-second run
 #: (measured ~15 s locally on one core; CI runners are shared).
 FLEET_1K_WALL_LIMIT_S = 90.0
+
+#: Per-device-second cost ceiling for the same run.  Best-of-3
+#: measured ~42 us/device-second; the ceiling carries ~2.5x headroom
+#: because shared runners jitter, but pins the unit cost against the
+#: slow drift a coarse wall limit would never catch.
+FLEET_1K_US_PER_DEVICE_S = 110.0
 
 
 def test_bench_micro_vectorized_step(benchmark):
@@ -77,7 +85,11 @@ def test_bench_core_speedups_and_write_json(run_once):
     assert abs(chain["conservation_error_j"]) < 1e-6
 
     switching = results["switching_macro"]
-    assert switching["speedup"] >= 5.0, (
+    # 14x, not the ~22x measured: the certify-first fast path plus
+    # the compiled switch-location kernel lifted this from ~14x, and
+    # the floor trails the measurement by the same noise margin the
+    # fleet floor uses.
+    assert switching["speedup"] >= 14.0, (
         f"switching-topology fast-forward only {switching['speedup']}x "
         f"over ticking")
     assert switching["span_refusals"] == 0, (
@@ -90,6 +102,31 @@ def test_bench_core_speedups_and_write_json(run_once):
         "switching span trajectories drifted past the switch-instant "
         "quantization tolerance")
     assert abs(switching["conservation_error_j"]) < 1e-6
+    # The wall split must actually be recorded: a switching-heavy
+    # run spends measurable time in both halves of the segment loop.
+    assert switching["span_locate_wall_s"] > 0.0
+    assert switching["span_integrate_wall_s"] > 0.0
+
+    batched = results["batched_switching"]
+    assert batched["cohort_demotions"] == 0, (
+        "the stacked segment chain demoted switch-bound devices the "
+        "batched engine must carry")
+    assert batched["span_refusals"] == 0
+    assert batched["cohort_spans"] > 0
+    assert batched["span_segments"] > batched["cohort_spans"], (
+        "switch-bound cohort spans must split into multiple segments")
+    # 18x is the target class (netd/chain territory); measured ~50x
+    # with the numpy kernel on one core.
+    assert batched["speedup_vs_tick"] >= 18.0, (
+        f"cohort-stacked switching only {batched['speedup_vs_tick']}x "
+        f"over tick-slicing")
+    # Stacked matrix products reorder a handful of float additions
+    # relative to the per-device solve; parity holds to ulp-scale
+    # (measured exactly 0.0 on this fleet, bounded 1e-9 for slack).
+    assert batched["worst_batched_vs_scalar_rel"] < 1e-9, (
+        "batched segment chains drifted from the scalar segmented "
+        "reference beyond ulp tolerance")
+    assert batched["worst_conservation_error_j"] < 1e-8
 
     fleet = results["fleet"]
     assert fleet["devices"] >= 50
@@ -116,6 +153,13 @@ def test_bench_core_speedups_and_write_json(run_once):
         f"(limit {FLEET_1K_WALL_LIMIT_S}s)")
     assert fleet_1k["worst_conservation_error_j"] < 1e-8
     assert fleet_1k["radio_activations"] >= 1000
+    # Explicit per-device-second ceiling, best-of-3 measured at
+    # ~42 us on one shared core.  The wall limit above catches
+    # catastrophic regressions; this pins the unit cost the ROADMAP
+    # quotes (with ~2.5x headroom for runner noise).
+    assert fleet_1k["us_per_device_second"] <= FLEET_1K_US_PER_DEVICE_S, (
+        f"1000-device fleet costs {fleet_1k['us_per_device_second']} "
+        f"us per device-second (ceiling {FLEET_1K_US_PER_DEVICE_S})")
 
     points = {p["devices"]: p
               for p in results["fleet_scaling"]["points"]}

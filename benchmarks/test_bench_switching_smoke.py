@@ -4,17 +4,23 @@ The full bench suite's ``switching_macro`` runs a simulated hour; this
 file is the PR-gating smoke: a single device whose spans cross a
 mid-span drain clamp and a debt zero-crossing inside ten simulated
 minutes, floored on macro-step speedup over a tick slice, zero
-refusals, located switches, and conservation.  CI runs it in the same
-fast job as the fleet smoke so a segmented-engine regression fails
-pull requests before the full bench matrix finishes.
+refusals, located switches, and conservation.  A second smoke runs a
+small switch-bound *cohort* through the stacked segment chain and
+asserts it stays batched (zero demotions) with ulp-level parity
+against the scalar segmented path.  CI runs both in the same fast job
+as the fleet smoke so a segmented-engine regression fails pull
+requests before the full bench matrix finishes.
 """
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.core.tap import TapType
 from repro.sim.engine import CinderSystem
+from repro.sim.world import World
 
 SMOKE_SIM_S = 600.0
 SMOKE_TICK_SLICE_S = 60.0
@@ -89,3 +95,48 @@ def test_switching_smoke_floors():
     assert system.graph.span_switches >= 2
     assert system.span_segments > 0
     assert abs(system.graph.conservation_error()) < 1e-9
+
+
+BATCH_SMOKE_DEVICES = 8
+BATCH_SMOKE_SIM_S = 300.0
+
+
+def _build_cohort(batched: bool) -> World:
+    world = World(tick_s=0.01, seed=17, fast_forward=True,
+                  batched=batched)
+    for i in range(BATCH_SMOKE_DEVICES):
+        device = world.add_device(name=f"sw{i}", record_interval_s=5.0,
+                                  decay_enabled=False)
+        task = device.new_reserve(name="task")
+        # 0.21, not 0.20: a 0.2 stagger lands several clamp instants
+        # exactly on the 5 s record boundary, where the span *ends* at
+        # the switch and no mid-span segment split is counted.
+        device.battery_reserve.transfer_to(task, 1.0 + 0.21 * i)
+        device.kernel.create_tap(device.battery_reserve, task, 0.02,
+                                 name="task.feed")
+        archive = device.new_reserve(name="archive")
+        device.kernel.create_tap(task, archive, 0.05, name="task.drain")
+    return world
+
+
+def test_batched_switching_smoke():
+    """The stacked segment chain carries a staggered switch-bound
+    cohort: zero demotions, zero refusals, ulp parity vs scalar."""
+    world = _build_cohort(True)
+    world.run(BATCH_SMOKE_SIM_S)
+    assert world.cohort_demotions == 0, (
+        "the stacked chain demoted switch-bound devices it must carry")
+    assert world.cohort_spans > 0
+    assert world.span_segments > 0
+    assert sum(d.span_refusals for d in world.devices) == 0
+    assert sum(d.graph.span_switches for d in world.devices) \
+        >= BATCH_SMOKE_DEVICES
+
+    scalar = _build_cohort(False)
+    scalar.run(BATCH_SMOKE_SIM_S)
+    for fast_dev, ref_dev in zip(world.devices, scalar.devices):
+        for rf, rs in zip(fast_dev.graph.reserves,
+                          ref_dev.graph.reserves):
+            assert rf.level == pytest.approx(rs.level, rel=1e-9,
+                                             abs=1e-12), rf.name
+        assert abs(fast_dev.graph.conservation_error()) < 1e-9

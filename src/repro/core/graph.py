@@ -89,6 +89,12 @@ class ResourceGraph:
         #: per switching span).  See :mod:`repro.core.spansolver`.
         self.span_segments = 0
         self.span_switches = 0
+        #: Telemetry: wall seconds the segmented engine spent locating
+        #: switch instants (event scan + certificates) vs integrating
+        #: committed segments — flushed only on successful solves, so
+        #: the split always describes work that actually landed.
+        self.span_locate_wall_s = 0.0
+        self.span_integrate_wall_s = 0.0
         self.root._graph_hook = self._bump
 
     # -- plan/epoch machinery ----------------------------------------------------

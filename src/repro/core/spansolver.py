@@ -60,21 +60,36 @@ span is consumed.  Per-segment flows are staged and the whole chain
 commits by mass balance in one shot (or nothing commits at all), so
 conservation stays exact and a refusal still mutates nothing.
 
-Residual refusals are the regimes with no supported rewrite: an
-empty-draining reserve fed by a live proportional tap (its
-pass-through would be time-varying), a capacity binding on a reserve
-that also drains or decays (its level would hover, not freeze), a
-non-normal root, unlocatable or sub-resolution switch instants, and
-chains longer than :data:`MAX_SEGMENTS`.  Tick-by-tick is always
-correct, so the segmented engine never guesses.
+Two further regimes have exact rewrites.  An empty reserve fed by a
+**live proportional tap** pins at zero and forwards its time-varying
+inflow to its constant drains in creation order: the fully-fed prefix
+runs at nominal rate, one *marginal* drain carries the affine
+remainder ``c + Σ fⱼ·Lⱼ(t) - R`` (its row in ``A``/``b`` receives the
+forwarded terms), and a **saturation monitor** on the inflow
+functional ends the segment if the allocation pattern would change.
+A reserve **hovering at its capacity** (drains and/or decay while
+inflow exceeds outflow) pins at its level: outflows run at full rate
+served from inflow, and the surplus is rejected at the deposit taps —
+per-tap acceptance follows the steady per-tick cycle (headroom opened
+by drains, consumed by deposits in creation order, decay last).
+
+Residual refusals are the regimes with no supported rewrite:
+time-varying (proportional or forwarded) inflow into a binding
+capacity, pinned-to-pinned pass-through cascades, a non-normal root,
+unlocatable or sub-resolution switch instants, and chains longer than
+:data:`MAX_SEGMENTS`.  Tick-by-tick is always correct, so the
+segmented engine never guesses.
 """
 
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from . import segkernel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .flowplan import FlowPlan
@@ -100,7 +115,12 @@ MAX_SEGMENTS = 64
 EVENT_SAMPLES = 96
 
 # per-reserve regime modes inside one segment
-_NORMAL, _DEBT, _EMPTY, _FULL = 0, 1, 2, 3
+_NORMAL, _DEBT, _EMPTY, _FULL, _HOVER = 0, 1, 2, 3, 4
+
+#: Relative slack on a saturation monitor's flow-rate boundaries (the
+#: pass-through functional sits exactly on a boundary at derivation
+#: time; the monitor must not re-fire on that float noise).
+SAT_RTOL = 1e-9
 
 
 def _expm(a: np.ndarray) -> np.ndarray:
@@ -196,6 +216,51 @@ def _eig_state_integral(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
     end = (v @ (ez * c0 + t * (p1 * cb))).real
     integ = (v @ (t * (p1 * c0) + (t * t) * (p2 * cb))).real
     return end, integ
+
+
+def _eig_states_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                      b: np.ndarray, lvls: np.ndarray,
+                      ts: np.ndarray) -> np.ndarray:
+    """``L(t)`` over per-device grids: ``(g, n) x (g, k) -> (g, k, n)``.
+
+    The stacked form of :meth:`_SegmentPropagator.states` — the same
+    phi-function formula over a batch of initial conditions and a
+    batch of sample grids, one shared eigendecomposition.
+    """
+    w, v, vinv = eig
+    c0 = lvls @ vinv.T
+    cb = vinv @ b
+    z = ts[:, :, None] * w
+    out = (np.exp(z) * c0[:, None, :]
+           + ts[:, :, None] * (_phi1(z) * cb)) @ v.T
+    return out.real
+
+
+def _eig_state_at_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                        b: np.ndarray, lvls: np.ndarray,
+                        t: np.ndarray) -> np.ndarray:
+    """``L(t_i)`` per device (stacked bisection queries)."""
+    w, v, vinv = eig
+    z = t[:, None] * w
+    return ((np.exp(z) * (lvls @ vinv.T)
+             + t[:, None] * (_phi1(z) * (vinv @ b))) @ v.T).real
+
+
+def _eig_propagate_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                         b: np.ndarray, lvls: np.ndarray,
+                         t: np.ndarray) -> np.ndarray:
+    """``J(t_i) = ∫_0^{t_i} L dt`` per device (stacked integration).
+
+    The segmented engine commits levels by mass balance from the
+    integrated flows, so only the integral is needed here.
+    """
+    w, v, vinv = eig
+    c0 = lvls @ vinv.T
+    cb = vinv @ b
+    z = t[:, None] * w
+    tc = t[:, None]
+    return ((tc * (_phi1(z) * c0) + (tc * tc) * (_phi2(z) * cb))
+            @ v.T).real
 
 
 def _trusted_eig(a: np.ndarray
@@ -339,57 +404,41 @@ class _SegmentPropagator:
 class _SegmentRegime:
     """One piecewise-linear regime: pins, effective rates, monitors.
 
-    Everything here is a pure function of the per-reserve mode vector
-    (and the decay constant), so regimes are cached on the tier keyed
-    by ``(lam, mode bytes)`` — levels enter only as the propagator's
-    initial condition.
+    Everything here is a pure function of the per-reserve mode vector,
+    the decay constant, and the *pinned levels* (a hovering reserve's
+    proportional drains and decay loss turn into constants scaled by
+    its pinned level; a forwarded pass-through's allocation split is
+    set by the levels at derivation time), so regimes are cached on
+    the tier keyed by the full derived spec — levels enter the
+    propagator only as its initial condition.
     """
 
     __slots__ = ("mode", "eff", "const_idx", "prop_idx", "decay_rows",
                  "system", "clamp_rows", "cap_rows", "cap_limits",
-                 "debt_rows", "lam", "root", "out_eff", "in_eff",
-                 "f_row", "always_safe", "cin_snk", "cin_src", "cin_eff",
-                 "psrc", "psnk", "prate")
+                 "debt_rows", "debt_slope", "debt_linear", "lam",
+                 "root", "out_eff", "in_eff", "f_row", "always_safe",
+                 "cin_snk", "cin_src", "cin_eff", "psrc", "psnk",
+                 "prate", "hov_idx", "hov_rate", "pin_rows",
+                 "pin_rates", "fwd", "sat", "has_monitors")
 
-    def __init__(self, mode, eff, const_idx, prop_idx, decay_rows,
-                 system, clamp_rows, cap_rows, cap_limits,
-                 debt_rows, lam, root, out_eff, in_eff, f_row,
-                 always_safe, cin_snk, cin_src, cin_eff, psrc, psnk,
-                 prate) -> None:
-        self.mode = mode
-        self.eff = eff
-        self.const_idx = const_idx
-        self.prop_idx = prop_idx
-        self.decay_rows = decay_rows
-        self.system = system
-        self.clamp_rows = clamp_rows
-        self.cap_rows = cap_rows
-        self.cap_limits = cap_limits
-        self.debt_rows = debt_rows
-        self.lam = lam
-        self.root = root
-        self.out_eff = out_eff
-        self.in_eff = in_eff
-        self.f_row = f_row
-        self.always_safe = always_safe
-        self.cin_snk = cin_snk
-        self.cin_src = cin_src
-        self.cin_eff = cin_eff
-        self.psrc = psrc
-        self.psnk = psnk
-        self.prate = prate
+    def __init__(self, **kw) -> None:
+        for name in self.__slots__:
+            setattr(self, name, kw[name])
 
-    def certify(self, lvl: np.ndarray, t: float, ltol: float,
-                crossed: np.ndarray) -> bool:
-        """Sound no-switch certificate for ``[0, t]`` (crossing rows
-        excluded — their switch *is* the segment boundary).
+    def certify_batch(self, lvl: np.ndarray, t: np.ndarray,
+                      ltol: np.ndarray, crossed: np.ndarray,
+                      crossed_sat: np.ndarray) -> np.ndarray:
+        """Sound no-switch certificates for stacked ``[0, t_i]``.
 
-        The sampled event scan can miss a boundary excursion narrower
-        than its grid (a capped reserve spiking over the cap and back,
-        a drained reserve dipping below zero and recovering), which
-        would silently commit flows tick-by-tick execution clamps.  A
-        segment therefore only commits when these closed-form bounds
-        hold over its whole interval:
+        ``lvl`` is ``(g, n)``; ``t``/``ltol`` are per-device; crossing
+        rows/monitors are excluded per device — their switch *is* the
+        segment boundary.  The sampled event scan can miss a boundary
+        excursion narrower than its grid (a capped reserve spiking
+        over the cap and back, a drained reserve dipping below zero
+        and recovering), which would silently commit flows
+        tick-by-tick execution clamps.  A segment therefore only
+        commits when these closed-form bounds hold over its whole
+        interval:
 
         * **clamp rows** — the inflow-free lower bound, iteratively
           refined by crediting constant inflow from provably safe
@@ -398,93 +447,170 @@ class _SegmentRegime:
           ``early_feeds`` refinement);
         * **cap rows** — the iterated inflow upper bound (inflow at
           the previous bound, outflow ignored), the same bound the
-          coupled tier refuses on.
+          coupled tier refuses on;
+        * **saturation monitors** — the forwarded functional bounded
+          through the same row bounds: its sources' lower bounds keep
+          it above the fully-fed prefix, their upper bounds keep it
+          below the marginal drain's nominal rate.
 
         Debt rows need no certificate: their trajectories are monotone
         non-decreasing (inflow only), so the sampler cannot miss a
-        crossing.  A failed certificate refuses the span — ticking is
-        always correct.
+        crossing.  A failed certificate refuses the device — ticking
+        is always correct.
         """
-        n = lvl.shape[0]
+        g, n = lvl.shape
+        ok = np.ones(g, dtype=bool)
         normal = self.mode == _NORMAL
-        clamp = self.clamp_rows[~crossed[self.clamp_rows]]
-        if clamp.size:
-            safe = self.always_safe.copy()
+        tcol = t[:, None]
+        need_lower = self.sat[3].size > 0
+        clamp_sel = np.zeros((g, n), dtype=bool)
+        clamp_sel[:, self.clamp_rows] = True
+        clamp_sel &= ~crossed
+        safe = None
+        if clamp_sel.any() or need_lower:
+            safe = np.broadcast_to(self.always_safe, (g, n)).copy()
             f = self.f_row
             linear = f > 0.0
-            decay_f = np.exp(-f * t)
+            decay_f = np.exp(-f * tcol)
+            lower = np.zeros((g, n))
             for _ in range(4):
-                credit = np.zeros(n)
+                credit = np.zeros((g, n))
                 if self.cin_snk.size:
-                    np.add.at(credit, self.cin_snk,
-                              self.cin_eff * safe[self.cin_src])
+                    np.add.at(credit, (slice(None), self.cin_snk),
+                              self.cin_eff * safe[:, self.cin_src])
                 deficit = np.maximum(self.out_eff - credit, 0.0)
-                per_f = np.divide(deficit, f, out=np.zeros(n),
+                per_f = np.divide(deficit, f, out=np.zeros((g, n)),
                                   where=linear)
                 lower = np.where(linear,
                                  lvl * decay_f - per_f * (1.0 - decay_f),
-                                 lvl - deficit * t)
-                refined = self.always_safe | (normal
-                                              & (lower >= -4.0 * ltol))
+                                 lvl - deficit * tcol)
+                refined = (self.always_safe
+                           | (normal & (lower >= -4.0 * ltol[:, None])))
                 if (refined == safe).all():
                     break
                 safe = refined
-            if not safe[clamp].all():
-                return False
-        if self.cap_rows.size:
-            keep = ~crossed[self.cap_rows]
-            caps = self.cap_rows[keep]
-            limits = self.cap_limits[keep]
-            if caps.size:
-                mass = float(np.maximum(lvl, 0.0).sum())
-                best = np.full(n, mass)
-                for _ in range(6):
-                    inflow = self.in_eff.copy()
-                    if self.prate.size:
-                        np.add.at(inflow, self.psnk,
-                                  self.prate * best[self.psrc])
-                    if self.lam > 0.0 and self.decay_rows.size:
-                        inflow[self.root] += self.lam * float(
-                            best[self.decay_rows].sum())
-                    best = np.minimum(best, lvl + inflow * t)
-                if (best[caps] > limits).any():
-                    return False
-        return True
+            if clamp_sel.any():
+                ok &= ~(clamp_sel & ~safe).any(axis=1)
+        best = None
+        if self.cap_rows.size or need_lower:
+            mass = np.maximum(lvl, 0.0).sum(axis=1)
+            best = np.repeat(mass[:, None], n, axis=1)
+            for _ in range(6):
+                inflow = np.broadcast_to(self.in_eff, (g, n)).copy()
+                if self.prate.size:
+                    np.add.at(inflow, (slice(None), self.psnk),
+                              self.prate * best[:, self.psrc])
+                if self.lam > 0.0 and self.decay_rows.size:
+                    inflow[:, self.root] += self.lam * best[
+                        :, self.decay_rows].sum(axis=1)
+                best = np.minimum(best, lvl + inflow * tcol)
+            if self.cap_rows.size:
+                over = best[:, self.cap_rows] > self.cap_limits
+                over &= ~crossed[:, self.cap_rows]
+                ok &= ~over.any(axis=1)
+        sat_ptr, sat_src, sat_wts, sat_c, sat_lo, sat_hi, sat_tol = self.sat
+        for m_i in range(sat_c.shape[0]):
+            span_lo = np.full(g, sat_c[m_i])
+            span_hi = np.full(g, sat_c[m_i])
+            for ti in range(int(sat_ptr[m_i]), int(sat_ptr[m_i + 1])):
+                s = sat_src[ti]
+                w = sat_wts[ti]
+                span_lo += w * np.maximum(lower[:, s], 0.0)
+                span_hi += w * best[:, s]
+            good = ((span_lo >= sat_lo[m_i] - sat_tol[m_i])
+                    & (span_hi <= sat_hi[m_i] + sat_tol[m_i]))
+            ok &= good | crossed_sat[:, m_i]
+        return ok
+
+    def certify(self, lvl: np.ndarray, t: float, ltol: float,
+                crossed: np.ndarray,
+                crossed_sat: np.ndarray) -> bool:
+        """Scalar entry point over :meth:`certify_batch`."""
+        return bool(self.certify_batch(
+            lvl[None, :], np.array([t]), np.array([ltol]),
+            crossed[None, :], crossed_sat[None, :])[0])
 
     def _violated(self, states: np.ndarray, ltol: float) -> np.ndarray:
         """Per-sample ``True`` where any switch condition holds."""
-        hit = np.zeros(states.shape[0], dtype=bool)
+        return segkernel.violated_at(
+            states, self.clamp_rows, self.cap_rows, self.cap_limits,
+            self.debt_rows, np.full(states.shape[0], ltol), *self.sat)
+
+    def crossing_marks(self, state_hi: np.ndarray, ltol: float
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Which rows / saturation monitors violate at ``state_hi``."""
+        crossed = np.zeros(state_hi.shape[0], dtype=bool)
         if self.clamp_rows.size:
-            hit |= (states[:, self.clamp_rows] < -ltol).any(axis=1)
+            rows = self.clamp_rows
+            crossed[rows[state_hi[rows] < -ltol]] = True
         if self.cap_rows.size:
-            hit |= (states[:, self.cap_rows] > self.cap_limits).any(axis=1)
+            rows = self.cap_rows
+            crossed[rows[state_hi[rows] > self.cap_limits]] = True
         if self.debt_rows.size:
-            hit |= (states[:, self.debt_rows] > -ltol).any(axis=1)
-        return hit
+            rows = self.debt_rows
+            crossed[rows[state_hi[rows] > -ltol]] = True
+        sat_ptr, sat_src, sat_wts, sat_c, sat_lo, sat_hi, sat_tol = self.sat
+        crossed_sat = np.zeros(sat_c.shape[0], dtype=bool)
+        for m_i in range(sat_c.shape[0]):
+            y = sat_c[m_i]
+            for ti in range(int(sat_ptr[m_i]), int(sat_ptr[m_i + 1])):
+                y = y + sat_wts[ti] * state_hi[sat_src[ti]]
+            if (y < sat_lo[m_i] - sat_tol[m_i]
+                    or y > sat_hi[m_i] + sat_tol[m_i]):
+                crossed_sat[m_i] = True
+        return crossed, crossed_sat
+
+    def crossing_marks_batch(self, state_hi: np.ndarray,
+                             ltol: np.ndarray
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked :meth:`crossing_marks`: ``(g, n)`` states at once."""
+        g = state_hi.shape[0]
+        crossed = np.zeros(state_hi.shape, dtype=bool)
+        if self.clamp_rows.size:
+            rows = self.clamp_rows
+            crossed[:, rows] |= state_hi[:, rows] < -ltol[:, None]
+        if self.cap_rows.size:
+            rows = self.cap_rows
+            crossed[:, rows] |= state_hi[:, rows] > self.cap_limits
+        if self.debt_rows.size:
+            rows = self.debt_rows
+            crossed[:, rows] |= state_hi[:, rows] > -ltol[:, None]
+        sat_ptr, sat_src, sat_wts, sat_c, sat_lo, sat_hi, sat_tol = self.sat
+        crossed_sat = np.zeros((g, sat_c.shape[0]), dtype=bool)
+        for m_i in range(sat_c.shape[0]):
+            y = np.full(g, sat_c[m_i])
+            for ti in range(int(sat_ptr[m_i]), int(sat_ptr[m_i + 1])):
+                y = y + sat_wts[ti] * state_hi[:, sat_src[ti]]
+            crossed_sat[:, m_i] = ((y < sat_lo[m_i] - sat_tol[m_i])
+                                   | (y > sat_hi[m_i] + sat_tol[m_i]))
+        return crossed, crossed_sat
 
     def first_switch(self, lvl: np.ndarray, span: float, ltol: float
-                     ) -> Optional[Tuple[float, np.ndarray]]:
+                     ) -> Optional[Tuple[float, np.ndarray, np.ndarray]]:
         """Earliest instant in ``(0, span]`` a switch condition fires.
 
-        Samples the closed-form trajectory on a uniform grid, then
-        bisects the first violating bracket down to the propagator's
-        resolution.  Returns ``(instant, crossing-row mask)``: the
-        instant is the last *clean* time — integrating to it lands
-        exactly on the regime boundary — and the mask marks the rows
-        violating just past it, which :meth:`certify` excludes from
-        the segment's no-switch certificate (their switch *is* the
-        boundary).  None means no sampled condition fires; the caller
-        still certifies the whole interval before committing.
+        Samples the closed-form trajectory on a uniform grid (the scan
+        itself runs in :mod:`repro.core.segkernel` — compiled when
+        numba is available), then bisects the first violating bracket
+        down to the propagator's resolution.  Returns ``(instant,
+        crossing-row mask, crossing-monitor mask)``: the instant is
+        the last *clean* time — integrating to it lands exactly on the
+        regime boundary — and the masks mark the rows and saturation
+        monitors violating just past it, which :meth:`certify`
+        excludes from the segment's no-switch certificate (their
+        switch *is* the boundary).  None means no sampled condition
+        fires; the caller still certifies the whole interval before
+        committing.
         """
-        if not (self.clamp_rows.size or self.cap_rows.size
-                or self.debt_rows.size):
+        if not self.has_monitors:
             return None
         ts = np.linspace(span / EVENT_SAMPLES, span, EVENT_SAMPLES)
-        hit = self._violated(self.system.states(lvl, ts), ltol)
-        where = np.flatnonzero(hit)
-        if where.size == 0:
+        first = int(segkernel.first_hits(
+            self.system.states(lvl, ts)[None, :, :], self.clamp_rows,
+            self.cap_rows, self.cap_limits, self.debt_rows,
+            np.array([ltol]), *self.sat)[0])
+        if first < 0:
             return None
-        first = int(where[0])
         lo = 0.0 if first == 0 else float(ts[first - 1])
         hi = float(ts[first])
         floor = max(1e-12 * span, 1e-15)
@@ -497,18 +623,9 @@ class _SegmentRegime:
                 hi = mid
             else:
                 lo = mid
-        state_hi = self.system.state_at(lvl, hi)
-        crossed = np.zeros(lvl.shape[0], dtype=bool)
-        if self.clamp_rows.size:
-            rows = self.clamp_rows
-            crossed[rows[state_hi[rows] < -ltol]] = True
-        if self.cap_rows.size:
-            rows = self.cap_rows
-            crossed[rows[state_hi[rows] > self.cap_limits]] = True
-        if self.debt_rows.size:
-            rows = self.debt_rows
-            crossed[rows[state_hi[rows] > -ltol]] = True
-        return lo, crossed
+        crossed, crossed_sat = self.crossing_marks(
+            self.system.state_at(lvl, hi), ltol)
+        return lo, crossed, crossed_sat
 
 
 class SpanTier:
@@ -834,6 +951,8 @@ class SpanTier:
         remaining = float(span)
         segments = 0
         min_seg = max(1e-12, 1e-10 * span)
+        locate_wall = 0.0
+        integrate_wall = 0.0
         while remaining > 1e-9 * span:
             if segments >= MAX_SEGMENTS:
                 return None
@@ -841,17 +960,60 @@ class SpanTier:
             regime = self._regime_for(lvl, lam, ltol)
             if regime is None:
                 return None
-            switch = regime.first_switch(lvl, remaining, ltol)
-            if switch is None:
-                seg_span = remaining
+            t0 = perf_counter()
+            # Certify-first fast path: most segments are quiet (no
+            # switch inside them), and for those the no-switch
+            # certificate alone is enough — the 96-sample scan never
+            # needs to run.  Debt repayments are the one monitor the
+            # certificate does not cover, but a purely constant-fed
+            # debt row is linear (``L = L0 + b t``), so its crossing
+            # is analytic; the candidate boundary is the earliest
+            # such crossing (or the span end) and the certificate
+            # rules out every clamp/cap/saturation switch before it.
+            seg = None
+            if not regime.debt_rows.size or bool(regime.debt_linear.all()):
+                t_cand = remaining
+                for r_i in range(regime.debt_rows.shape[0]):
+                    slope = float(regime.debt_slope[r_i])
+                    if slope > 0.0:
+                        row = int(regime.debt_rows[r_i])
+                        t_star = (-ltol - lvl[row]) / slope
+                        if t_star < t_cand:
+                            t_cand = t_star
                 crossed = np.zeros(n, dtype=bool)
-            else:
-                seg_span, crossed = switch
-            if seg_span < min_seg:
-                return None  # coincident events: cannot make progress
-            if not regime.certify(lvl, seg_span, ltol, crossed):
-                return None  # a sub-sample excursion cannot be ruled out
+                if t_cand < remaining:
+                    for r_i in range(regime.debt_rows.shape[0]):
+                        slope = float(regime.debt_slope[r_i])
+                        if slope <= 0.0:
+                            continue
+                        row = int(regime.debt_rows[r_i])
+                        if ((-ltol - lvl[row]) / slope
+                                <= t_cand * (1.0 + 1e-12)):
+                            crossed[row] = True
+                crossed_sat = np.zeros(regime.sat[3].shape[0],
+                                       dtype=bool)
+                if t_cand >= min_seg and regime.certify(
+                        lvl, t_cand, ltol, crossed, crossed_sat):
+                    seg = (t_cand, crossed, crossed_sat,
+                           t_cand < remaining)
+            if seg is None:
+                switch = regime.first_switch(lvl, remaining, ltol)
+                if switch is None:
+                    seg = (remaining, np.zeros(n, dtype=bool),
+                           np.zeros(regime.sat[3].shape[0],
+                                    dtype=bool), False)
+                else:
+                    seg = (switch[0], switch[1], switch[2], True)
+                if seg[0] < min_seg:
+                    return None  # coincident events: no progress
+                if not regime.certify(lvl, seg[0], ltol, seg[1],
+                                      seg[2]):
+                    return None  # sub-sample excursion not ruled out
+            seg_span, crossed, crossed_sat, located = seg
+            locate_wall += perf_counter() - t0
+            t0 = perf_counter()
             step = self._integrate_segment(regime, lvl, seg_span, lam)
+            integrate_wall += perf_counter() - t0
             if step is None:
                 return None
             lvl, seg_moved, seg_lost, seg_reclaimed = step
@@ -859,44 +1021,70 @@ class SpanTier:
             lost += seg_lost
             reclaimed += seg_reclaimed
             segments += 1
-            remaining = 0.0 if switch is None else remaining - seg_span
+            remaining = remaining - seg_span if located else 0.0
         if segments == 0:
             return 0.0
         absorb_dust()
         graph = plan.graph
         graph.span_segments += segments
         graph.span_switches += segments - 1
+        graph.span_locate_wall_s += locate_wall
+        graph.span_integrate_wall_s += integrate_wall
         self.segmented_solves += 1
         return self._commit(lvl, moved, lost, reclaimed)
 
     def _regime_for(self, lvl: np.ndarray, lam: float,
                     ltol: float) -> Optional[_SegmentRegime]:
-        """The cached regime for the current levels (or None)."""
+        """The cached regime for the current levels (or None).
+
+        The key covers the whole derived spec, not just the mode
+        vector: hover pins and forwarded allocations fold *levels*
+        into effective rates, so two visits to the same mode vector
+        can still be different linear systems.  The common regimes
+        (no pins, or pins with purely rate-derived allocations) hash
+        to stable keys and hit every re-entry.
+        """
         derived = self._derive_modes(lvl, lam, ltol)
         if derived is None:
             return None
-        mode, eff = derived
-        key = (lam, mode.tobytes())
+        mode, eff, hov, pin_loss, fwd = derived
+        key = (lam, mode.tobytes(), eff.tobytes(), hov.tobytes(),
+               pin_loss.tobytes(), fwd)
         regime = self._regimes.get(key)
         if regime is None:
-            regime = self._build_regime(mode, eff, lam)
+            regime = self._build_regime(mode, eff, hov, pin_loss, fwd,
+                                        lam)
             if len(self._regimes) > 16:  # regime-churn safety valve
                 self._regimes.clear()
             self._regimes[key] = regime
         return regime
 
     def _derive_modes(self, lvl: np.ndarray, lam: float, ltol: float
-                      ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray, np.ndarray, tuple]]:
         """Classify every reserve into its regime mode, or None.
 
         Modes: NORMAL (full linear row), DEBT (level below zero —
         outflows and decay off, inflow repays), EMPTY (pinned at zero,
-        constant inflow passed through to its constant drains in
-        creation order), FULL (pinned at capacity, inflow rejected at
-        the taps — the energy stays in the sources).  ``eff`` is the
-        per-tap effective constant rate under those modes (the
-        pass-through distribution).  None marks the residual shapes
-        with no supported rewrite; the caller refuses the span.
+        inflow passed through to its constant drains in creation
+        order), FULL (pinned at capacity, inflow rejected at the taps
+        — the energy stays in the sources), HOVER (pinned at the cap
+        while draining — outflows run at full rate served from the
+        inflow, and the deposit taps accept only what the steady
+        per-tick cycle's headroom admits).
+
+        Returns ``(mode, eff, hov, pin_loss, fwd)``: ``eff`` is the
+        per-tap effective constant rate under the modes (pass-through
+        and hover-acceptance distributions folded in), ``hov`` the
+        constant effective rate of each proportional drain leaving a
+        hovering reserve (``rate * pinned level``), ``pin_loss`` the
+        per-reserve constant decay loss of a pinned-at-cap row, and
+        ``fwd`` the forwarded pass-through entries ``(tap, cpart,
+        sources, weights, tol)`` — the marginal drain of an empty
+        reserve fed by live proportional taps, carrying the affine
+        remainder ``cpart + Σ wⱼ·Lⱼ(t)`` into its sink.  None marks
+        the residual shapes with no supported rewrite; the caller
+        refuses the span.
         """
         plan = self.plan
         n = len(plan.reserves)
@@ -910,13 +1098,16 @@ class SpanTier:
         boundary = 4.0 * ltol
         mode = np.full(n, _NORMAL, dtype=np.int8)
         mode[lvl < 0.0] = _DEBT  # dust was clamped by the caller
+        hov = np.zeros(m)
+        pin_loss = np.zeros(n)
+        hover_rows: List[int] = []
 
         const_into = self.const_into
         const_from = self.const_from
         prop_into = self.prop_into
         prop_from = self.prop_from
 
-        # -- capacity pins: at the cap with live inflow -> freeze --
+        # -- capacity pins: at the cap with live inflow --
         for i in plan.finite_cap:
             i = int(i)
             if mode[i] != _NORMAL:
@@ -924,19 +1115,36 @@ class SpanTier:
             band = max(1e-9, 1e-11 * cap[i])
             if lvl[i] < cap[i] - 2.0 * band:
                 continue
-            inflow = any(mode[int(src[j])] != _DEBT
-                         for j in const_into.get(i, ()))
-            inflow = inflow or any(mode[int(src[j])] != _DEBT
-                                   for j in prop_into.get(i, ()))
-            inflow = inflow or (i == root and lam > 0.0
-                                and plan.any_decayable)
-            if not inflow:
+            c_in_rate = sum(rate[j] for j in const_into.get(i, ())
+                            if mode[int(src[j])] != _DEBT)
+            live_prop_in = any(mode[int(src[j])] == _NORMAL
+                               for j in prop_into.get(i, ()))
+            decay_in = (i == root and lam > 0.0 and plan.any_decayable)
+            if c_in_rate <= 0.0 and not live_prop_in and not decay_in:
                 continue  # nothing arrives: normal dynamics are exact
-            if const_from.get(i) or prop_from.get(i):
-                return None  # draining full reserve hovers, not freezes
-            if lam > 0.0 and plan.decay_mask[i]:
-                return None  # decay reopens headroom every tick
-            mode[i] = _FULL
+            drains = bool(const_from.get(i)) or bool(prop_from.get(i))
+            decays = lam > 0.0 and bool(plan.decay_mask[i])
+            if not drains and not decays:
+                mode[i] = _FULL
+                continue
+            # Draining (or decaying) at the cap.  Constant inflow that
+            # sustains the outflow pins the level — hover; otherwise
+            # the level descends and normal dynamics are exact (the
+            # descent-safe exclusion in _build_regime keeps the cap
+            # monitor from re-firing inside the band).
+            if live_prop_in:
+                # Time-varying inflow into a binding capacity has no
+                # constant rewrite; per-tick execution handles it.
+                return None
+            out_rate = sum(rate[j] for j in const_from.get(i, ()))
+            out_rate += sum(rate[j] for j in prop_from.get(i, ())) * lvl[i]
+            if decays:
+                out_rate += lam * lvl[i]
+            if c_in_rate >= out_rate * (1.0 - SAT_RTOL):
+                mode[i] = _HOVER
+                hover_rows.append(i)
+                if decays:
+                    pin_loss[i] = lam * lvl[i]
 
         # -- effective constant rates under the pins --
         eff = np.where(const, rate, 0.0)
@@ -946,19 +1154,75 @@ class SpanTier:
             if mode[int(src[j])] == _DEBT or mode[int(snk[j])] == _FULL:
                 eff[j] = 0.0
 
+        # -- hover acceptance: the steady per-tick cycle --
+        # At the pinned level every tick repeats the same pattern:
+        # drains (and decay, at the very end of the tick) open
+        # headroom, deposits consume it greedily in creation order,
+        # and whatever survives the cycle is the carry the next tick
+        # starts from.  The steady carry solves accepted(carry) ==
+        # produced; accepted is monotone in the carry, so bisect.
+        for i in hover_rows:
+            taps_i = sorted(set(list(const_from.get(i, ()))
+                                + list(prop_from.get(i, ()))
+                                + list(const_into.get(i, ()))))
+            for j in prop_from.get(i, ()):
+                if mode[int(snk[j])] != _FULL:
+                    hov[j] = rate[j] * lvl[i]
+            produced = (sum(eff[j] for j in const_from.get(i, ()))
+                        + sum(hov[j] for j in prop_from.get(i, ()))
+                        + pin_loss[i])
+
+            def _accepted(carry: float, i: int = i,
+                          taps_i: List[int] = taps_i) -> float:
+                h = carry
+                took = 0.0
+                for j in taps_i:
+                    if int(src[j]) == i:
+                        h += eff[j] if const[j] else hov[j]
+                    elif eff[j] > 0.0:
+                        a = min(eff[j], h)
+                        took += a
+                        h -= a
+                return took
+
+            hi_c = produced + sum(eff[j] for j in const_into.get(i, ()))
+            lo_c = 0.0
+            if _accepted(hi_c) < produced * (1.0 - SAT_RTOL):
+                return None  # deposits cannot sustain the hover
+            for _ in range(60):
+                mid = 0.5 * (lo_c + hi_c)
+                if _accepted(mid) >= produced:
+                    hi_c = mid
+                else:
+                    lo_c = mid
+            h = hi_c
+            for j in taps_i:
+                if int(src[j]) == i:
+                    h += eff[j] if const[j] else hov[j]
+                elif eff[j] > 0.0:
+                    a = min(eff[j], h)
+                    eff[j] = a
+                    h -= a
+
         # -- empty pins: fixpoint over the pass-through distribution --
-        # A reserve at zero whose constant drains outrun its constant
-        # inflow sits pinned: each tick deposits arrive first (creation
+        # A reserve at zero whose constant drains outrun its inflow
+        # sits pinned: each tick deposits arrive first (creation
         # order) and the drains clamp to them.  Effective drain rates
         # only shrink as upstream reserves pin, so the EMPTY set grows
-        # monotonically and the loop settles within n passes.
+        # monotonically and the loop settles within n passes.  Live
+        # proportional inflow makes the pass-through time-varying: the
+        # fully-fed prefix of drains still runs at nominal rate, and
+        # one *marginal* drain carries the affine remainder (a ``fwd``
+        # entry; its saturation monitor ends the segment if the
+        # allocation pattern would change).
+        fwd_map: Dict[int, tuple] = {}
         candidates = [i for i in range(n)
                       if i != root and mode[i] == _NORMAL
                       and lvl[i] <= boundary and const_from.get(i)]
         for _ in range(n + 2):
             changed = False
             for i in candidates:
-                if mode[i] == _FULL:
+                if mode[i] != _NORMAL and mode[i] != _EMPTY:
                     continue
                 drains = [j for j in const_from.get(i, ())
                           if mode[int(snk[j])] != _FULL]
@@ -966,6 +1230,8 @@ class SpanTier:
                 if out_rate <= 0.0:
                     continue
                 c_in = sum(eff[j] for j in const_into.get(i, ()))
+                c_in += sum(hov[j] for j in prop_into.get(i, ())
+                            if mode[int(src[j])] == _HOVER)
                 live_prop = [j for j in prop_into.get(i, ())
                              if mode[int(src[j])] == _NORMAL]
                 p_in = sum(rate[j] * max(0.0, lvl[int(src[j])])
@@ -974,35 +1240,92 @@ class SpanTier:
                     if mode[i] == _EMPTY:
                         mode[i] = _NORMAL
                         changed = True
+                    if fwd_map.pop(i, None) is not None:
+                        changed = True
                     for j in drains:
                         if eff[j] != rate[j]:
                             eff[j] = rate[j]
                             changed = True
                     continue
-                if live_prop:
-                    # A time-varying pass-through has no constant
-                    # rewrite; per-tick execution handles it.
-                    return None
                 if mode[i] != _EMPTY:
                     mode[i] = _EMPTY
                     changed = True
-                remainder = c_in
-                for j in drains:
-                    e = min(remainder, rate[j])
-                    if eff[j] != e:
-                        eff[j] = e
+                if not live_prop:
+                    if fwd_map.pop(i, None) is not None:
                         changed = True
-                    remainder -= e
+                    remainder = c_in
+                    for j in drains:
+                        e = min(remainder, rate[j])
+                        if eff[j] != e:
+                            eff[j] = e
+                            remainder -= e
+                            changed = True
+                        else:
+                            remainder -= e
+                    continue
+                # Forwarded pass-through: prefix at nominal rate, one
+                # marginal drain carries ``cpart + Σ w·L_src(t)``.
+                if any(rate[j] > 0.0 for j in prop_from.get(i, ())):
+                    # A proportional drain leaving the pinned row flows
+                    # O(tick) in the reference loop (each tick's deposit
+                    # lands before the drain reads the level), which no
+                    # tick-size-independent closed form reproduces at
+                    # figure tolerance.  Residual refusal.
+                    return None
+                i0 = c_in + p_in
+                r_prev = 0.0
+                marginal = -1
+                for j in drains:
+                    if marginal < 0 and r_prev + rate[j] <= i0:
+                        if eff[j] != rate[j]:
+                            eff[j] = rate[j]
+                            changed = True
+                        r_prev += rate[j]
+                    else:
+                        if marginal < 0:
+                            marginal = j
+                        if eff[j] != 0.0:
+                            eff[j] = 0.0
+                            changed = True
+                srcs = tuple(int(src[j]) for j in live_prop)
+                wts = tuple(float(rate[j]) for j in live_prop)
+                tol = (SAT_RTOL * max(1.0, rate[marginal])
+                       + 4.0 * ltol * sum(wts))
+                entry = (int(marginal), float(c_in - r_prev), srcs,
+                         wts, float(tol))
+                if fwd_map.get(i) != entry:
+                    fwd_map[i] = entry
+                    changed = True
             if not changed:
                 break
         else:
             return None  # pass-through cycle did not settle
         if mode[root] != _NORMAL:
             return None  # a non-normal battery has no rewrite
-        return mode, eff
+
+        # -- post-validation of the level-dependent pins --
+        for j, cpart, srcs, wts, tol in fwd_map.values():
+            if mode[int(snk[j])] != _NORMAL:
+                return None  # forwarded-into-pinned cascade
+            if any(mode[s] != _NORMAL for s in srcs):
+                return None  # settled modes invalidated the forwarding
+        for i in hover_rows:
+            for j in const_into.get(i, ()):
+                if eff[j] <= 0.0:
+                    continue
+                s = int(src[j])
+                if mode[s] != _NORMAL or lvl[s] <= boundary:
+                    return None  # acceptance split needs a firm source
+            for j in (list(const_from.get(i, ()))
+                      + list(prop_from.get(i, ()))):
+                if mode[int(snk[j])] == _HOVER:
+                    return None  # hover-to-hover adjacency
+        return mode, eff, hov, pin_loss, tuple(
+            sorted(fwd_map.values()))
 
     def _build_regime(self, mode: np.ndarray, eff: np.ndarray,
-                      lam: float) -> _SegmentRegime:
+                      hov: np.ndarray, pin_loss: np.ndarray,
+                      fwd: tuple, lam: float) -> _SegmentRegime:
         """Materialize the linear system and monitors for one regime."""
         plan = self.plan
         n = len(plan.reserves)
@@ -1015,19 +1338,28 @@ class SpanTier:
         normal = mode == _NORMAL
         active_row = normal | (mode == _DEBT)
 
-        prop_active = np.zeros(m, dtype=bool)
+        # Proportional taps: a *live* tap (normal source, accepting
+        # sink) drains its source; it also feeds its sink's row unless
+        # the sink is pinned empty — then the energy passes through
+        # the pin and re-enters via the forwarded entries below.
+        prop_live = np.zeros(m, dtype=bool)
+        prop_coupled = np.zeros(m, dtype=bool)
         for j in range(m):
             if const[j]:
                 continue
-            if (mode[int(src[j])] == _NORMAL
-                    and mode[int(snk[j])] != _FULL):
-                prop_active[j] = True
+            s_mode = mode[int(src[j])]
+            k_mode = mode[int(snk[j])]
+            if s_mode == _NORMAL and k_mode != _FULL:
+                prop_live[j] = True
+                if k_mode != _EMPTY:
+                    prop_coupled[j] = True
 
         a = np.zeros((n, n))
-        for j in np.flatnonzero(prop_active):
-            s, k, f = int(src[j]), int(snk[j]), rate[j]
+        for j in np.flatnonzero(prop_live):
+            s, f = int(src[j]), rate[j]
             a[s, s] -= f
-            a[k, s] += f
+            if prop_coupled[j]:
+                a[int(snk[j]), s] += f
         decay_rows = np.array([], dtype=np.intp)
         if lam > 0.0 and plan.any_decayable:
             decay_rows = np.flatnonzero(normal & plan.decay_mask)
@@ -1047,29 +1379,99 @@ class SpanTier:
                 b[s] -= eff[j]
             if active_row[k]:
                 b[k] += eff[j]
+        # Hover drains are constants at full rate (served from the
+        # pinned reserve's inflow); the pinned decay loss routes to
+        # the root like any other reclaim.
+        hov_idx = np.flatnonzero(hov > 0.0)
+        for j in hov_idx:
+            k = int(snk[j])
+            in_eff[k] += hov[j]
+            if active_row[k]:
+                b[k] += hov[j]
+        pin_rows = np.flatnonzero(pin_loss > 0.0)
+        if pin_rows.size:
+            b[root] += float(pin_loss[pin_rows].sum())
+        # Forwarded pass-through: the marginal drain's affine flow
+        # enters its (normal) sink's row; its nominal rate is the
+        # sink's sound inflow upper bound for the cap certificate.
+        fwd_entries = []
+        sat_ptr = [0]
+        sat_src: List[int] = []
+        sat_wts: List[float] = []
+        sat_c: List[float] = []
+        sat_lo: List[float] = []
+        sat_hi: List[float] = []
+        sat_tol: List[float] = []
+        for j, cpart, srcs, wts, tol in fwd:
+            k = int(snk[j])
+            b[k] += cpart
+            for s, w in zip(srcs, wts):
+                a[k, s] += w
+            in_eff[k] += rate[j]
+            fwd_entries.append((int(j), float(cpart),
+                               np.array(srcs, dtype=np.intp),
+                               np.array(wts)))
+            sat_src.extend(srcs)
+            sat_wts.extend(wts)
+            sat_ptr.append(len(sat_src))
+            sat_c.append(float(cpart))
+            sat_lo.append(0.0)
+            sat_hi.append(float(rate[j]))
+            sat_tol.append(float(tol))
+        if sat_c:
+            sat = (np.array(sat_ptr, dtype=np.int64),
+                   np.array(sat_src, dtype=np.int64),
+                   np.array(sat_wts), np.array(sat_c),
+                   np.array(sat_lo), np.array(sat_hi),
+                   np.array(sat_tol))
+        else:
+            sat = segkernel.EMPTY_SAT
 
         prop_in = np.zeros(n, dtype=bool)
-        for j in np.flatnonzero(prop_active):
+        for j in np.flatnonzero(prop_coupled):
             prop_in[int(snk[j])] = True
+        time_varying_in = prop_in.copy()
+        for j, cpart, srcs, wts in fwd_entries:
+            time_varying_in[int(snk[j])] = True
+        if decay_rows.size:
+            time_varying_in[root] = True
         clamp_rows = np.flatnonzero(normal & (out_eff > 0.0))
         has_in = (in_eff > 0.0) | prop_in
         if decay_rows.size:
             has_in[root] = True  # decay reclaim deposits into the root
         cap_mask = np.zeros(n, dtype=bool)
         cap_mask[plan.finite_cap] = True
-        cap_rows = np.flatnonzero(normal & cap_mask & has_in)
-        cap_limits = np.array([
-            plan.capacity[i] - max(1e-9, 1e-11 * plan.capacity[i])
-            for i in cap_rows])
+        cap_rows = []
+        cap_limits = []
+        f_row = -np.diag(a).copy()
+        for i in np.flatnonzero(normal & cap_mask & has_in):
+            i = int(i)
+            limit = plan.capacity[i] - max(1e-9, 1e-11 * plan.capacity[i])
+            # Descent-safe exclusion: with purely constant inflow and
+            # ``b <= f * limit`` the trajectory can never rise past
+            # the limit from below (at the limit ``L' <= 0``), so the
+            # monitor stays silent — this is what lets a reserve *at*
+            # its cap with net outflow descend through the band
+            # instead of refusing on an instant re-fire.
+            if not time_varying_in[i] and b[i] <= f_row[i] * limit:
+                continue
+            cap_rows.append(i)
+            cap_limits.append(limit)
+        cap_rows = np.array(cap_rows, dtype=np.intp)
+        cap_limits = np.array(cap_limits)
         debt_rows = np.flatnonzero((mode == _DEBT)
                                    & ((b > 0.0) | prop_in))
+        debt_slope = b[debt_rows]
+        debt_linear = ~prop_in[debt_rows]
         # Certificate inputs (see _SegmentRegime.certify): per-row net
         # linear decay rate, constant-inflow edges for the safe-source
         # credit iteration, and the proportional edges of the cap
-        # upper bound.
+        # upper bound.  Hover drains join the credit edges — their
+        # pinned source is always safe and their flow is constant.
         const_idx = np.flatnonzero(const & (eff > 0.0))
-        prop_idx = np.flatnonzero(prop_active)
-        f_row = -np.diag(a).copy()
+        prop_idx = np.flatnonzero(prop_live)
+        cp_idx = np.concatenate([const_idx, hov_idx])
+        cin_eff = np.concatenate([eff[const_idx], hov[hov_idx]])
         # Root is assumed never to run dry (the same assumption every
         # replay path makes); pinned rows pass through constants; rows
         # without constant drains have nothing to clamp.
@@ -1083,12 +1485,19 @@ class SpanTier:
             system=_SegmentPropagator(a, b),
             clamp_rows=clamp_rows, cap_rows=cap_rows,
             cap_limits=cap_limits, debt_rows=debt_rows,
+            debt_slope=debt_slope, debt_linear=debt_linear,
             lam=lam, root=root, out_eff=out_eff, in_eff=in_eff,
             f_row=f_row, always_safe=always_safe,
-            cin_snk=snk[const_idx], cin_src=src[const_idx],
-            cin_eff=eff[const_idx],
-            psrc=src[prop_idx], psnk=snk[prop_idx],
-            prate=rate[prop_idx])
+            cin_snk=snk[cp_idx], cin_src=src[cp_idx],
+            cin_eff=cin_eff,
+            psrc=src[prop_idx][prop_coupled[prop_idx]],
+            psnk=snk[prop_idx][prop_coupled[prop_idx]],
+            prate=rate[prop_idx][prop_coupled[prop_idx]],
+            hov_idx=hov_idx, hov_rate=hov[hov_idx],
+            pin_rows=pin_rows, pin_rates=pin_loss[pin_rows],
+            fwd=tuple(fwd_entries), sat=sat,
+            has_monitors=bool(clamp_rows.size or cap_rows.size
+                              or debt_rows.size or sat[3].size))
 
     def _integrate_segment(self, regime: _SegmentRegime, lvl: np.ndarray,
                            t: float, lam: float) -> Optional[Tuple]:
@@ -1102,10 +1511,17 @@ class SpanTier:
         if regime.prop_idx.size:
             psrc = plan.src[regime.prop_idx]
             moved[regime.prop_idx] = plan.rate[regime.prop_idx] * integ[psrc]
+        if regime.hov_idx.size:
+            moved[regime.hov_idx] = regime.hov_rate * t
+        for j, cpart, fsrc, fwts in regime.fwd:
+            moved[j] = cpart * t + float(fwts @ integ[fsrc])
         lost = np.zeros(n)
         reclaimed = 0.0
         if lam > 0.0 and regime.decay_rows.size:
             lost[regime.decay_rows] = lam * integ[regime.decay_rows]
+        if regime.pin_rows.size:
+            lost[regime.pin_rows] = regime.pin_rates * t
+        if lost.any():
             reclaimed = float(lost.sum())
         end = (lvl
                + np.bincount(plan.snk, weights=moved, minlength=n)
@@ -1250,10 +1666,14 @@ def execute_span_batch(tiers: List[SpanTier],
       balance, so conservation stays exact regardless of how the
       stacked linear algebra rounded.
 
-    Refusal bounds (mid-span clamp, capacity pressure, debt, negative
-    span-end dust) are evaluated **per device**: a refusing device is
-    reported as ``None`` — nothing of it mutated — and the caller
-    ticks it through the span instead, exactly like the scalar path.
+    Switching devices (mid-span clamp, capacity pressure, debt entry)
+    are no longer demoted wholesale: they collect into a **batched
+    segment chain** (:func:`_batch_segmented`) that runs the scalar
+    segmented engine's pipeline over the whole switching sub-cohort at
+    once, with per-device segment clocks.  Only genuinely unsupported
+    shapes come back ``None`` — nothing of those devices mutated — and
+    the caller falls back to the scalar path (which may itself refuse
+    into ticking), exactly as before.
     """
     lead = tiers[0]
     plan = lead.plan
@@ -1265,9 +1685,8 @@ def execute_span_batch(tiers: List[SpanTier],
     for i, tier in enumerate(tiers):
         lvl[i] = tier.plan._gather_levels()
     results: List[Optional[float]] = [None] * d
-    ok = ~np.any(lvl < 0.0, axis=1)  # debt repayment is tick-granular
-    if not ok.any():
-        return results
+    seg = np.any(lvl < 0.0, axis=1)  # debt entry: a regime, not a refusal
+    ok = ~seg
     f = lead.prop_out + (lam if lam > 0.0 else 0.0) * plan.decay_mask
     linear = f > 0.0
     varying_in = lead.prop_sink_mask.copy()
@@ -1275,23 +1694,30 @@ def execute_span_batch(tiers: List[SpanTier],
         varying_in[plan.root_index] = True
     coupled = bool(np.any(linear & varying_in))
     if not coupled:
-        # Capacity clamping has no closed form; this is a topology
-        # property, so the whole cohort passes or refuses together.
+        # A capacity that can bind has no single-regime closed form;
+        # this is a topology property, so every device runs the
+        # segment chain (which certifies or locates the binding).
         if plan.finite_cap.size:
             cap_idx = plan.finite_cap
             gets_inflow = (lead.const_in[cap_idx] > 0.0) | varying_in[cap_idx]
             if np.any(gets_inflow):
-                return results
-        ok &= lead.batch_clamp_ok(lvl, span, f, linear)
-        if not ok.any():
-            return results
-        _batch_diagonal(tiers, span, lam, lvl, f, linear, ok, results)
+                seg |= ok
+                ok[:] = False
+        if ok.any():
+            clamp_ok = lead.batch_clamp_ok(lvl, span, f, linear)
+            seg |= ok & ~clamp_ok
+            ok &= clamp_ok
+        if ok.any():
+            _batch_diagonal(tiers, span, lam, lvl, f, linear, ok, results)
+        if seg.any():
+            _batch_segmented(tiers, span, lam, lvl,
+                             np.flatnonzero(seg), results)
         return results
 
     # -- coupled cohort --------------------------------------------------------
-    if plan.finite_cap.size:
+    if plan.finite_cap.size and ok.any():
         cap_idx = plan.finite_cap
-        mass = lvl.sum(axis=1)  # all levels >= 0 on ok rows
+        mass = np.maximum(lvl, 0.0).sum(axis=1)
         psrc = plan.src[plan.prop_taps]
         psnk = plan.snk[plan.prop_taps]
         prate = plan.rate[plan.prop_taps]
@@ -1308,10 +1734,18 @@ def execute_span_batch(tiers: List[SpanTier],
                 inflow[:, plan.root_index] += lam * best[
                     :, plan.decay_mask].sum(axis=1)
             best = np.minimum(best, lvl + inflow * span)
-        ok &= ~np.any(best[:, cap_idx] > plan.capacity[cap_idx] - 1e-12,
-                      axis=1)
-    ok &= lead.batch_clamp_ok(lvl, span, f, linear)
+        cap_ok = ~np.any(best[:, cap_idx] > plan.capacity[cap_idx] - 1e-12,
+                         axis=1)
+        seg |= ok & ~cap_ok
+        ok &= cap_ok
+    if ok.any():
+        clamp_ok = lead.batch_clamp_ok(lvl, span, f, linear)
+        seg |= ok & ~clamp_ok
+        ok &= clamp_ok
     if not ok.any():
+        if seg.any():
+            _batch_segmented(tiers, span, lam, lvl,
+                             np.flatnonzero(seg), results)
         return results
 
     system = lead._coupled.get(lam)
@@ -1362,7 +1796,9 @@ def execute_span_batch(tiers: List[SpanTier],
     end[:, plan.root_index] += reclaimed
     neg = np.minimum(end, 0.0)
     neg_rows = neg.sum(axis=1)
-    ok &= ~(neg_rows < -NEGATIVE_LEVEL_SLACK)
+    neg_bad = neg_rows < -NEGATIVE_LEVEL_SLACK
+    seg |= ok & neg_bad
+    ok &= ~neg_bad
     dusty = neg.any(axis=1) & ok
     if dusty.any():
         # Float dust on near-empty reserves: clamp to zero and let the
@@ -1374,6 +1810,9 @@ def execute_span_batch(tiers: List[SpanTier],
             tier.coupled_solves += 1
     _commit_rows(tiers, ok, end, moved, lost, reclaimed, in_sum, out_sum,
                  results)
+    if seg.any():
+        _batch_segmented(tiers, span, lam, lvl, np.flatnonzero(seg),
+                         results)
     return results
 
 
@@ -1424,3 +1863,259 @@ def _batch_diagonal(tiers: List[SpanTier], span: float, lam: float,
             tier.diagonal_solves += 1
     _commit_rows(tiers, ok, end, moved, lost, reclaimed, in_sum, out_sum,
                  results)
+
+
+def _batch_segmented(tiers: List[SpanTier], span: float, lam: float,
+                     lvl: np.ndarray, idx: np.ndarray,
+                     results: List[Optional[float]]) -> None:
+    """Stacked segment-chain solve for a cohort's switching devices.
+
+    Runs the scalar segmented loop's exact pipeline — dust absorption,
+    regime derivation, the certify-first fast path, sampled switch
+    location with bisection, staged mass-balance integration — over a
+    ``(devices, reserves)`` stack.  Devices switch at different
+    instants, so each carries its own remaining-span clock and segment
+    count; every round groups the still-active devices by their
+    *derived regime* (cached on the lead tier, so one shared
+    eigendecomposition serves every device in the same regime) and
+    advances each group to its members' next switches in one stacked
+    sample/bisect/integrate pass.
+
+    Per-device drop-out covers only the genuinely unsupported shapes —
+    an underivable regime, a dense (Padé) regime propagator, a failed
+    no-switch certificate, a sub-resolution segment, or a chain past
+    :data:`MAX_SEGMENTS`.  A dropped device's ``results`` entry stays
+    ``None`` with nothing mutated: the caller's scalar path (which may
+    itself refuse into ticking) takes over, identical to before.
+
+    Stacked arithmetic reorders a handful of float operations relative
+    to the scalar engine (matrix-matrix instead of matrix-vector
+    products), so batched results agree with the scalar segmented
+    reference to documented ulp tolerance rather than bit-identically;
+    the parity suite pins that contract.
+    """
+    lead = tiers[0]
+    plan = lead.plan
+    n = len(plan.reserves)
+    m = len(plan.taps)
+    root = plan.root_index
+    g = idx.size
+    work = lvl[idx].copy()
+    scale = np.maximum(1.0, np.abs(work).max(axis=1))
+    ltol = 1e-11 * scale
+    acc_moved = np.zeros((g, m))
+    acc_lost = np.zeros((g, n))
+    acc_rec = np.zeros(g)
+    remaining = np.full(g, float(span))
+    segments = np.zeros(g, dtype=np.int64)
+    alive = np.ones(g, dtype=bool)
+    min_seg = max(1e-12, 1e-10 * span)
+    locate_wall = 0.0
+    integrate_wall = 0.0
+
+    while True:
+        active = alive & (remaining > 1e-9 * span)
+        if not active.any():
+            break
+        over = active & (segments >= MAX_SEGMENTS)
+        if over.any():
+            alive[over] = False
+            active &= ~over
+            if not active.any():
+                break
+        dust = active[:, None] & (work < 0.0) & (work >= -4.0
+                                                 * ltol[:, None])
+        if dust.any():
+            work[:, root] += np.where(dust, work, 0.0).sum(axis=1)
+            work[dust] = 0.0
+        groups: Dict[int, Tuple[_SegmentRegime, List[int]]] = {}
+        for i in np.flatnonzero(active):
+            regime = lead._regime_for(work[i], lam, float(ltol[i]))
+            if regime is None or regime.system.eig is None:
+                alive[i] = False
+                continue
+            groups.setdefault(id(regime), (regime, []))[1].append(i)
+        for regime, row_list in groups.values():
+            rows = np.asarray(row_list, dtype=np.intp)
+            gr = rows.size
+            lvls = work[rows]
+            lt = ltol[rows]
+            rem = remaining[rows]
+            n_sat = regime.sat[3].shape[0]
+            eig = regime.system.eig
+            b_sys = regime.system.b
+            t0 = perf_counter()
+            seg_t = rem.copy()
+            located = np.zeros(gr, dtype=bool)
+            crossed = np.zeros((gr, n), dtype=bool)
+            crossed_sat = np.zeros((gr, n_sat), dtype=bool)
+            drop = np.zeros(gr, dtype=bool)
+            fast = np.zeros(gr, dtype=bool)
+            # Certify-first fast path (same applicability rule as the
+            # scalar loop: no debt rows, or all of them linear).
+            if not regime.debt_rows.size or bool(regime.debt_linear.all()):
+                t_cand = rem.copy()
+                for r_i in range(regime.debt_rows.shape[0]):
+                    slope = float(regime.debt_slope[r_i])
+                    if slope > 0.0:
+                        row = int(regime.debt_rows[r_i])
+                        np.minimum(t_cand, (-lt - lvls[:, row]) / slope,
+                                   out=t_cand)
+                early = t_cand < rem
+                if early.any():
+                    for r_i in range(regime.debt_rows.shape[0]):
+                        slope = float(regime.debt_slope[r_i])
+                        if slope <= 0.0:
+                            continue
+                        row = int(regime.debt_rows[r_i])
+                        t_star = (-lt - lvls[:, row]) / slope
+                        crossed[:, row] = (early
+                                           & (t_star <= t_cand
+                                              * (1.0 + 1e-12)))
+                fast = ((t_cand >= min_seg)
+                        & regime.certify_batch(lvls, t_cand, lt,
+                                               crossed, crossed_sat))
+                seg_t = np.where(fast, t_cand, seg_t)
+                located = fast & early
+                crossed &= fast[:, None]
+            srs = np.flatnonzero(~fast)
+            if srs.size:
+                if regime.has_monitors:
+                    ts = np.linspace(rem[srs] / EVENT_SAMPLES, rem[srs],
+                                     EVENT_SAMPLES, axis=1)
+                    states = _eig_states_batch(eig, b_sys, lvls[srs], ts)
+                    first = segkernel.first_hits(
+                        states, regime.clamp_rows, regime.cap_rows,
+                        regime.cap_limits, regime.debt_rows, lt[srs],
+                        *regime.sat)
+                    hit = first >= 0
+                    if hit.any():
+                        hrows = srs[hit]
+                        f_i = first[hit]
+                        pos = np.flatnonzero(hit)
+                        lo_h = np.where(f_i == 0, 0.0,
+                                        ts[pos, np.maximum(f_i - 1, 0)])
+                        hi_h = ts[pos, f_i]
+                        floor = np.maximum(1e-12 * rem[hrows], 1e-15)
+                        sub_lvls = lvls[hrows]
+                        sub_lt = lt[hrows]
+                        for _ in range(64):
+                            open_ = (hi_h - lo_h) > floor
+                            if not open_.any():
+                                break
+                            mid = 0.5 * (lo_h + hi_h)
+                            st = _eig_state_at_batch(eig, b_sys,
+                                                     sub_lvls, mid)
+                            viol = segkernel.violated_at(
+                                st, regime.clamp_rows, regime.cap_rows,
+                                regime.cap_limits, regime.debt_rows,
+                                sub_lt, *regime.sat)
+                            hi_h = np.where(open_ & viol, mid, hi_h)
+                            lo_h = np.where(open_ & ~viol, mid, lo_h)
+                        st_hi = _eig_state_at_batch(eig, b_sys,
+                                                    sub_lvls, hi_h)
+                        c_rows, c_sat = regime.crossing_marks_batch(
+                            st_hi, sub_lt)
+                        seg_t[hrows] = lo_h
+                        located[hrows] = True
+                        crossed[hrows] = c_rows
+                        if n_sat:
+                            crossed_sat[hrows] = c_sat
+                drop[srs] = seg_t[srs] < min_seg
+                cert = regime.certify_batch(lvls[srs], seg_t[srs],
+                                            lt[srs], crossed[srs],
+                                            crossed_sat[srs])
+                drop[srs] |= ~cert
+            locate_wall += perf_counter() - t0
+            t0 = perf_counter()
+            keep = ~drop
+            if keep.any():
+                k_pos = np.flatnonzero(keep)
+                t_seg = seg_t[k_pos]
+                integ = np.maximum(
+                    _eig_propagate_batch(eig, b_sys, lvls[k_pos], t_seg),
+                    0.0)
+                gk = k_pos.size
+                seg_moved = np.zeros((gk, m))
+                if regime.const_idx.size:
+                    ci = regime.const_idx
+                    seg_moved[:, ci] = regime.eff[ci] * t_seg[:, None]
+                if regime.prop_idx.size:
+                    pi = regime.prop_idx
+                    seg_moved[:, pi] = (plan.rate[pi]
+                                        * integ[:, plan.src[pi]])
+                if regime.hov_idx.size:
+                    seg_moved[:, regime.hov_idx] = (regime.hov_rate
+                                                    * t_seg[:, None])
+                for j, cpart, fsrc, fwts in regime.fwd:
+                    seg_moved[:, j] = cpart * t_seg + integ[:, fsrc] @ fwts
+                seg_lost = np.zeros((gk, n))
+                if lam > 0.0 and regime.decay_rows.size:
+                    dr = regime.decay_rows
+                    seg_lost[:, dr] = lam * integ[:, dr]
+                if regime.pin_rows.size:
+                    seg_lost[:, regime.pin_rows] = (regime.pin_rates
+                                                    * t_seg[:, None])
+                seg_rec = seg_lost.sum(axis=1)
+                rb = (np.arange(gk) * n)[:, None]
+                in_sum = np.bincount(
+                    (rb + plan.snk).ravel(), weights=seg_moved.ravel(),
+                    minlength=gk * n).reshape(gk, n)
+                out_sum = np.bincount(
+                    (rb + plan.src).ravel(), weights=seg_moved.ravel(),
+                    minlength=gk * n).reshape(gk, n)
+                end = lvls[k_pos] + in_sum - out_sum - seg_lost
+                end[:, root] += seg_rec
+                neg = np.minimum(end, 0.0)
+                neg[:, regime.mode == _DEBT] = 0.0
+                bad = neg.sum(axis=1) < -NEGATIVE_LEVEL_SLACK
+                if bad.any():
+                    drop[k_pos[bad]] = True
+                    good = ~bad
+                    k_pos = k_pos[good]
+                    t_seg = t_seg[good]
+                    end = end[good]
+                    seg_moved = seg_moved[good]
+                    seg_lost = seg_lost[good]
+                    seg_rec = seg_rec[good]
+                krows = rows[k_pos]
+                work[krows] = end
+                acc_moved[krows] += seg_moved
+                acc_lost[krows] += seg_lost
+                acc_rec[krows] += seg_rec
+                segments[krows] += 1
+                remaining[krows] = np.where(
+                    located[k_pos], remaining[krows] - t_seg, 0.0)
+            integrate_wall += perf_counter() - t0
+            alive[rows[drop]] = False
+
+    solved = alive & (segments > 0) & ~(remaining > 1e-9 * span)
+    if not solved.any():
+        return
+    dust = solved[:, None] & (work < 0.0) & (work >= -4.0 * ltol[:, None])
+    if dust.any():
+        work[:, root] += np.where(dust, work, 0.0).sum(axis=1)
+        work[dust] = 0.0
+    rb = (np.arange(g) * n)[:, None]
+    in_sum = np.bincount((rb + plan.snk).ravel(),
+                         weights=acc_moved.ravel(),
+                         minlength=g * n).reshape(g, n)
+    out_sum = np.bincount((rb + plan.src).ravel(),
+                          weights=acc_moved.ravel(),
+                          minlength=g * n).reshape(g, n)
+    sub_tiers = [tiers[i] for i in idx]
+    sub_results: List[Optional[float]] = [None] * g
+    _commit_rows(sub_tiers, solved, work, acc_moved, acc_lost, acc_rec,
+                 in_sum, out_sum, sub_results)
+    n_solved = int(solved.sum())
+    loc_share = locate_wall / n_solved
+    int_share = integrate_wall / n_solved
+    for p in np.flatnonzero(solved):
+        tier = sub_tiers[p]
+        tier.segmented_solves += 1
+        graph = tier.plan.graph
+        graph.span_segments += int(segments[p])
+        graph.span_switches += int(segments[p]) - 1
+        graph.span_locate_wall_s += loc_share
+        graph.span_integrate_wall_s += int_share
+        results[int(idx[p])] = sub_results[p]

@@ -420,9 +420,12 @@ class DeviceRuntime:
         now = clock.now
         quiet, horizon, firm, executes = self.horizon.poll(now, deadline)
         if not quiet:
-            # No macro-step attempted: any refusal window is over (the
-            # next refusal, if one comes, is a distinct degradation).
-            self._span_refusing = False
+            # No macro-step attempted.  The refusal window deliberately
+            # stays open: a busy poll mid-stretch (a trace record, a
+            # task waking) does not end the degradation, and closing it
+            # here double-counted one contiguous degraded window as
+            # many.  Only a committed span (:meth:`_ff_commit`) ends
+            # the window.
             return 0, True, True
         if not math.isfinite(horizon) or horizon <= now:
             return 0, True, True  # e.g. the very first record is due

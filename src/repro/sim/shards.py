@@ -90,6 +90,8 @@ class DeviceDigest:
     now: float
     fast_forwarded_ticks: int
     span_refusals: int
+    span_segments: int
+    span_switches: int
     radio_activations: int
     netd_operations: int
     netd_wait_seconds: float
@@ -156,6 +158,7 @@ class FleetReport:
             for piece in (
                     d.name, str(d.index), str(d.ticks), d.now.hex(),
                     str(d.fast_forwarded_ticks), str(d.span_refusals),
+                    str(d.span_segments), str(d.span_switches),
                     str(d.radio_activations), str(d.netd_operations),
                     d.netd_wait_seconds.hex(), d.netd_pool_level.hex(),
                     d.battery_charge_joules.hex(),
@@ -189,6 +192,8 @@ def _digest_devices(world: World, lo: int) -> List[DeviceDigest]:
             now=device.clock.now,
             fast_forwarded_ticks=device.fast_forwarded_ticks,
             span_refusals=device.span_refusals,
+            span_segments=device.span_segments,
+            span_switches=device.graph.span_switches,
             radio_activations=device.radio.activation_count,
             netd_operations=device.netd.stats.operations,
             netd_wait_seconds=device.netd.stats.total_wait_seconds,

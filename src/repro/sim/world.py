@@ -102,14 +102,18 @@ class World:
         #: Telemetry: barrier rounds taken by the independent scheduler.
         self.barrier_rounds = 0
         #: Telemetry: device-spans solved through a stacked cohort
-        #: call, and devices that fell out of a cohort to the
-        #: per-device path (topology divergence, span refusal, or a
-        #: group too small to batch).  A fallback whose scalar solve
-        #: still macro-stepped — the stacked kernel saw a switching
-        #: state (clamp, cap, debt) and demoted the device to the
-        #: scalar segmented engine — is additionally counted in
+        #: call (switch-bound spans included — the batched segment
+        #: chain carries them in-batch), and devices that fell out of
+        #: a cohort to the per-device path (topology divergence, span
+        #: refusal, a genuinely unsupported shape, or a group too
+        #: small to batch).  A fallback whose scalar solve still
+        #: macro-stepped is additionally counted in
         #: :attr:`cohort_demotions`: the device left the stacked call
-        #: but did not degrade to ticking.
+        #: but did not degrade to ticking.  Demotions now count only
+        #: shapes the stacked chain cannot carry (residual-refusal
+        #: regimes the scalar path also refuses land in ticking, and
+        #: Padé-only propagators or failed batch certificates land
+        #: here), never plain switch-bound cohorts.
         self.cohort_spans = 0
         self.cohort_ticks = 0
         self.cohort_fallbacks = 0
@@ -363,13 +367,14 @@ class World:
             for (i, plan), moved in zip(members, results):
                 device = devices[i]
                 if moved is None:
-                    # The stacked kernel saw a switching state (clamp,
-                    # cap, debt): demote this device to the scalar
-                    # path, whose segmented engine carries the span
-                    # across the switch — identical to what the
-                    # reference loop runs, so the fleet stays
-                    # bit-for-bit aligned.  Ticking remains the
-                    # fallback for residual refusals only.
+                    # Switch-bound devices solve inside the stacked
+                    # call now (the batched segment chain), so a None
+                    # here is a genuine drop-out: a shape the chain
+                    # cannot carry (residual-refusal regime, Padé-only
+                    # propagator, failed certificate).  Demote it to
+                    # the scalar path, which may still macro-step it;
+                    # ticking remains the fallback for residual
+                    # refusals only.
                     self.cohort_fallbacks += 1
                     moved = plan.execute_span(span)
                     if moved is None:

@@ -195,18 +195,119 @@ class TestCapacityFreezeSegments:
         assert g.reserves[1].level == pytest.approx(2.0, abs=1e-6)
         assert g.taps[0].total_flowed == pytest.approx(1.5, abs=1e-6)
 
-    def test_draining_capped_reserve_still_refuses(self):
-        """A capped reserve with an outflow hovers at the cap instead
-        of freezing — a residual refusal, nothing mutated."""
-        g = ResourceGraph(1_000.0)
-        g.decay_policy.enabled = False
-        c = g.create_reserve(level=1.9, source=g.root, capacity=2.0,
-                             name="buffer")
-        g.create_tap(g.root, c, 0.05, name="feed")
-        g.create_tap(c, g.root, 0.01, name="drip")
-        before = [r.level for r in g.reserves]
-        assert g.advance_span(100.0) is None
-        assert [r.level for r in g.reserves] == before
+    def test_draining_capped_reserve_hovers(self):
+        """A capped reserve with an outflow hovers at the cap: the
+        fill instant is located, then the hover regime serves the drip
+        from the feed and rejects the surplus at the tap — tracked
+        against ticking, conservation exact."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            c = g.create_reserve(level=1.9, source=g.root, capacity=2.0,
+                                 name="buffer")
+            g.create_tap(g.root, c, 0.05, name="feed")
+            g.create_tap(c, g.root, 0.01, name="drip")
+            return g
+        span = 100.0  # fills at 2.5 s, hovers for the rest
+        pair = run_pair(build, span)
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        g = pair[0]
+        assert g.span_switches == 1
+        assert g.reserves[1].level == pytest.approx(2.0, abs=1e-6)
+        # Past the fill the feed only lands what the drip re-opens.
+        hover = span - 2.5
+        assert g.taps[0].total_flowed == pytest.approx(
+            0.05 * 2.5 + 0.01 * hover, rel=1e-6)
+        assert g.taps[1].total_flowed == pytest.approx(
+            0.01 * span, rel=1e-6)
+
+    def test_hover_from_start_no_switch_certificate(self):
+        """Starting *at* the cap, the whole span is one hover segment
+        — the no-switch certificate holds and no switch is counted."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            c = g.create_reserve(level=2.0, source=g.root, capacity=2.0,
+                                 name="buffer")
+            g.create_tap(g.root, c, 0.05, name="feed")
+            g.create_tap(c, g.root, 0.01, name="drip")
+            return g
+        pair = run_pair(build, 50.0)
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        g = pair[0]
+        assert g.span_segments == 1
+        assert g.span_switches == 0
+
+    def test_decaying_capped_reserve_hovers(self):
+        """Decay on a pinned-at-cap reserve keeps re-opening headroom;
+        the hover regime routes the reclaim to the root and accepts
+        exactly the loss from the feed."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = True
+            c = g.create_reserve(level=2.0, source=g.root, capacity=2.0,
+                                 name="buffer")
+            g.create_tap(g.root, c, 0.05, name="feed")
+            return g
+        pair = run_pair(build, 50.0)
+        assert_switching_match(*pair, abs_tol=3 * 0.05 * TICK)
+        g = pair[0]
+        assert g.span_segments == 1
+        assert g.span_switches == 0
+        # Accepted inflow matches the decay loss at the pin.
+        lam = g.decay_policy.lam
+        assert g.taps[0].total_flowed == pytest.approx(
+            lam * 2.0 * 50.0, rel=1e-2)
+
+
+class TestForwardedPassThrough:
+    def test_prop_fed_empty_reserve_forwards(self):
+        """An empty reserve fed only by a live proportional tap pins
+        at zero and forwards the decaying inflow to its drain — one
+        segment, no switch, conservation exact."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            u = g.create_reserve(level=100.0, source=g.root, name="u")
+            j = g.create_reserve(name="junction")
+            g.create_tap(u, j, 0.001, TapType.PROPORTIONAL, name="p")
+            sink = g.create_reserve(name="sink")
+            g.create_tap(j, sink, 0.5, name="drain")
+            return g
+        span = 200.0
+        pair = run_pair(build, span)
+        assert_switching_match(*pair, abs_tol=3 * 0.5 * TICK)
+        g = pair[0]
+        assert g.span_segments == 1
+        assert g.span_switches == 0
+        assert g.reserves[2].level == pytest.approx(0.0, abs=1e-9)
+        # The drain carried exactly the integrated upstream outflow.
+        expected = 100.0 * (1.0 - np.exp(-0.001 * span))
+        assert g.taps[1].total_flowed == pytest.approx(expected,
+                                                       rel=1e-6)
+
+    def test_forwarded_allocation_switch(self):
+        """Two drains on a forwarded junction: the fully-fed prefix
+        shrinks as the upstream source decays — the saturation monitor
+        locates the re-allocation instant."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            u = g.create_reserve(level=100.0, source=g.root, name="u")
+            j = g.create_reserve(name="junction")
+            g.create_tap(u, j, 0.002, TapType.PROPORTIONAL, name="p")
+            s1 = g.create_reserve(name="s1")
+            g.create_tap(j, s1, 0.1, name="d1")
+            s2 = g.create_reserve(name="s2")
+            g.create_tap(j, s2, 0.3, name="d2")
+            return g
+        # I(t) = 0.002 * 100 e^{-0.002 t} crosses d1's rate at ~347 s.
+        pair = run_pair(build, 500.0)
+        assert_switching_match(*pair, abs_tol=3 * 0.3 * TICK)
+        g = pair[0]
+        assert g.span_switches >= 1
+        assert g.reserves[2].level == pytest.approx(0.0, abs=1e-9)
+        assert g.conservation_error() == pytest.approx(0.0, abs=1e-9)
 
 
 class TestCombinedSwitching:
@@ -268,7 +369,7 @@ class TestCombinedSwitching:
 
     def test_refused_chain_mutates_nothing(self):
         """Staging: a chain that hits a residual refusal mid-way (a
-        draining capped reserve binding after a clamp) must leave
+        proportionally-fed capacity binding after a clamp) must leave
         every level untouched."""
         g = ResourceGraph(1_000.0)
         g.decay_policy.enabled = False
@@ -276,10 +377,14 @@ class TestCombinedSwitching:
         g.create_tap(g.root, a, 0.01, name="feed")
         b = g.create_reserve(name="b")
         g.create_tap(a, b, 0.05, name="drain")   # clamps at ~12.5 s
+        u = g.create_reserve(level=50.0, source=g.root, name="u")
         c = g.create_reserve(level=0.9, source=g.root, capacity=1.0,
                              name="capped")
-        g.create_tap(g.root, c, 0.01, name="c.feed")
-        g.create_tap(c, g.root, 0.002, name="c.drip")  # hover: refusal
+        # Time-varying inflow into a binding capacity that also
+        # drains (a would-be hover fed by a live proportional tap):
+        # still refused.
+        g.create_tap(u, c, 0.001, TapType.PROPORTIONAL, name="c.feed")
+        g.create_tap(c, g.root, 0.002, name="c.drip")
         before = [r.level for r in g.reserves]
         assert g.advance_span(60.0) is None
         assert [r.level for r in g.reserves] == before

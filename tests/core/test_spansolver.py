@@ -214,9 +214,11 @@ class TestRefusalSoundness:
         assert_span_matches_ticks(*pair)
         assert pair[0].span_segments >= 1
 
-    def test_mid_span_clamp_refuses_and_mutates_nothing(self):
-        """A constant drain that would empty its source mid-span has no
-        closed form even in a chain; the span must refuse whole."""
+    def test_clamp_with_prop_drain_refuses_and_mutates_nothing(self):
+        """A proportional drain leaving the emptied reserve flows
+        O(tick) in the reference loop (deposits land before the drain
+        each tick), which no closed form matches at figure tolerance —
+        the pinned pass-through stays a residual refusal."""
         def build():
             g = ResourceGraph(1_000.0)
             g.decay_policy.enabled = False
@@ -232,6 +234,22 @@ class TestRefusalSoundness:
         assert [r.level for r in g.reserves] == before
         # A short span before the clamp is solvable.
         assert g.advance_span(0.1) is not None
+
+    def test_mid_span_clamp_segments_into_pass_through(self):
+        """A constant drain empties its source ~0.4 s in; the reserve
+        then pins empty and forwards its live proportional inflow to
+        the drain — one switch, then a pass-through segment."""
+        def build():
+            g = ResourceGraph(1_000.0)
+            g.decay_policy.enabled = False
+            a = g.create_reserve(level=10.0, source=g.root, name="a")
+            b = g.create_reserve(level=0.4, source=g.root, name="b")
+            g.create_tap(a, b, 0.1, TapType.PROPORTIONAL, name="p1")
+            g.create_tap(b, g.root, 1.0, name="drain")  # clamps ~0.4 s in
+            return g
+        pair = run_pair(build, span=10.0)
+        assert_span_matches_ticks(*pair)
+        assert pair[0].span_switches >= 1
 
     def test_binding_capacity_refuses(self):
         def build(cap):
@@ -259,15 +277,16 @@ class TestRefusalSoundness:
 
     def test_refused_span_is_tickable(self):
         """The contract the engine relies on: a None return means
-        tick-by-tick still works and conserves.  A proportionally-fed
-        reserve clamping empty is a residual refusal (its pass-through
-        would be time-varying)."""
+        tick-by-tick still works and conserves.  A draining capped
+        reserve fed by a live proportional tap is a residual refusal
+        (time-varying inflow into a binding capacity)."""
         g = ResourceGraph(1_000.0)
         g.decay_policy.enabled = False
-        a = g.create_reserve(level=10.0, source=g.root, name="a")
-        b = g.create_reserve(level=0.4, source=g.root, name="b")
-        g.create_tap(a, b, 0.1, TapType.PROPORTIONAL, name="p1")
-        g.create_tap(b, g.root, 1.0, name="drain")
+        a = g.create_reserve(level=50.0, source=g.root, name="a")
+        b = g.create_reserve(level=0.9, source=g.root, capacity=1.0,
+                             name="b")
+        g.create_tap(a, b, 0.001, TapType.PROPORTIONAL, name="p1")
+        g.create_tap(b, g.root, 0.002, name="drip")
         assert g.advance_span(10.0) is None
         for _ in range(100):
             g.step_reference(TICK)

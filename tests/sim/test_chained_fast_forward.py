@@ -112,9 +112,9 @@ class TestChainedDeviceFastForward:
 
     def test_span_refusals_count_windows_not_retries(self):
         """A residual refusal (a proportionally-fed reserve clamping
-        empty: its pass-through would be time-varying) degrades one
-        contiguous window; the telemetry must not count every retried
-        tick."""
+        empty *with a proportional drain of its own* — the drain's
+        O(tick) flow has no closed form) degrades one contiguous
+        window; the telemetry must not count every retried tick."""
         system = CinderSystem(battery_joules=1_000.0, tick_s=0.01,
                               record_interval_s=1.0, decay_enabled=False,
                               fast_forward=True)
@@ -125,9 +125,12 @@ class TestChainedDeviceFastForward:
         sink = system.new_reserve(name="sink")
         system.kernel.create_tap(feeder, shallow, 0.1,
                                  TapType.PROPORTIONAL, name="p1")
-        # 0.4 J at 1 W clamps in ~0.4 s, and the proportional feed
-        # keeps the emptied reserve in the unsupported regime.
+        # 0.4 J at 1 W clamps in ~0.4 s; the proportional feed plus
+        # the proportional side-drain keep the emptied reserve in the
+        # unsupported regime.
         system.kernel.create_tap(shallow, sink, 1.0, name="drain")
+        system.kernel.create_tap(shallow, sink, 0.05,
+                                 TapType.PROPORTIONAL, name="p2")
         system.run(60.0)
         # A handful of maximal windows (short certified spans may
         # interleave before the clamp), never the thousands of

@@ -162,12 +162,12 @@ class TestBatchedWorldParity:
         assert_fleets_match(independent, lockstep, exact_pool=False)
         assert independent.barrier_rounds == 1
 
-    def test_switching_cohort_demotes_without_degrading(self):
+    def test_switching_cohort_stays_batched(self):
         """A homogeneous cohort whose members all hit a switching
-        state: the stacked kernel refuses them, the world demotes each
-        to the scalar segmented path (counted in cohort_demotions),
-        and nobody degrades to ticking — bit-identical to the
-        reference loop."""
+        state: the stacked kernel now carries them across the switch
+        itself (the batched segment chain), so nobody demotes to the
+        scalar path and nobody degrades to ticking — matching the
+        reference loop within figure tolerance."""
         def build(batched):
             world = World(tick_s=0.01, seed=6, batched=batched)
             for i in range(4):
@@ -191,7 +191,8 @@ class TestBatchedWorldParity:
         reference.run(300.0)
         assert_fleets_match(fast, reference)
         assert fast.degraded_spans == 0
-        assert fast.cohort_demotions > 0
+        assert fast.cohort_demotions == 0
+        assert fast.cohort_spans > 0
         assert fast.span_segments > 0
 
     def test_independent_with_barriers_matches_single_chunk(self):
