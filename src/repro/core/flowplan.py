@@ -438,9 +438,11 @@ def execute_tick_batch(plans: List[FlowPlan],
     d = len(plans)
     n = len(lead.reserves)
     m = len(lead.taps)
-    work = np.empty((d, n))
-    for i, plan in enumerate(plans):
-        work[i] = plan._gather_levels()
+    # One flat gather for the whole cohort: same values in the same
+    # order as per-plan _gather_levels calls, minus d-1 numpy setups.
+    work = np.fromiter(
+        (r._level for plan in plans for r in plan.reserves),
+        dtype=float, count=d * n).reshape(d, n)
     ok = np.ones(d, dtype=bool)
     moved = np.zeros((d, m))
     in_sum = np.zeros((d, n))

@@ -311,7 +311,13 @@ def replay_pooled_accrual(
                 batch = min(remaining, chunk_ticks)
                 seq = np.empty(batch * per_tick + 1)
                 seq[0] = pool_level
-                seq[1:] = np.tile(addends, batch)
+                if per_tick == 1:
+                    # One contributor (the common pooled wait): a
+                    # broadcast fill is the same repeated value
+                    # without tile's allocation.
+                    seq[1:] = addends[0]
+                else:
+                    seq[1:] = np.tile(addends, batch)
                 pool_level = float(np.cumsum(seq)[-1])
                 remaining -= batch
             pool._level = pool_level

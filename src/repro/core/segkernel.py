@@ -198,12 +198,109 @@ def _violated_at_loops(states, clamp_rows, cap_rows, cap_limits,
     return out
 
 
+def _derive_modes_loops(lvl, lam, ltol, sat_rtol, rate, const_mask, cap,
+                        src, snk, finite_cap, decay_mask, any_decayable,
+                        root, ci_ptr, ci_idx, cf_ptr, cf_idx,
+                        pi_ptr, pi_idx, pf_ptr, pf_idx, mode, eff):
+    """Fast-path regime-mode classification (the ``@njit`` source).
+
+    The common-case core of the segmented engine's per-segment
+    ``_derive_modes``: DEBT marking, capacity pins (FULL), and the
+    effective constant rates under those pins, over CSR tap adjacency
+    (``*_ptr``/``*_idx`` pairs in the exact order the Python dicts
+    iterate).  Fills ``mode`` (int8 regime codes) and ``eff`` in
+    place and returns 0 when the derivation is complete — every sum
+    accumulates in the same array order as the Python body, so the
+    outputs match it bit for bit.  Returns 1 — outputs unspecified,
+    caller must run the full Python derivation — whenever the state
+    needs machinery the kernel does not carry: a hovering cap pin, a
+    time-varying inflow into a binding capacity, an empty-pin
+    fixpoint candidate, or a non-normal root.
+    """
+    n = lvl.shape[0]
+    m = rate.shape[0]
+    for i in range(n):
+        if lvl[i] < 0.0:
+            mode[i] = 1  # DEBT
+        else:
+            mode[i] = 0  # NORMAL
+    # -- capacity pins: at the cap with live inflow --
+    for t in range(finite_cap.shape[0]):
+        i = finite_cap[t]
+        if mode[i] != 0:
+            continue
+        band = 1e-11 * cap[i]
+        if band < 1e-9:
+            band = 1e-9
+        if lvl[i] < cap[i] - 2.0 * band:
+            continue
+        c_in_rate = 0.0
+        for p in range(ci_ptr[i], ci_ptr[i + 1]):
+            j = ci_idx[p]
+            if mode[src[j]] != 1:
+                c_in_rate = c_in_rate + rate[j]
+        live_prop_in = False
+        for p in range(pi_ptr[i], pi_ptr[i + 1]):
+            if mode[src[pi_idx[p]]] == 0:
+                live_prop_in = True
+                break
+        decay_in = i == root and lam > 0.0 and any_decayable
+        if c_in_rate <= 0.0 and not live_prop_in and not decay_in:
+            continue  # nothing arrives: normal dynamics are exact
+        drains = (cf_ptr[i + 1] > cf_ptr[i]
+                  or pf_ptr[i + 1] > pf_ptr[i])
+        decays = lam > 0.0 and decay_mask[i]
+        if not drains and not decays:
+            mode[i] = 3  # FULL
+            continue
+        if live_prop_in:
+            return 1  # no constant rewrite: python refuses
+        out_rate = 0.0
+        for p in range(cf_ptr[i], cf_ptr[i + 1]):
+            out_rate = out_rate + rate[cf_idx[p]]
+        pf_sum = 0.0
+        for p in range(pf_ptr[i], pf_ptr[i + 1]):
+            pf_sum = pf_sum + rate[pf_idx[p]]
+        out_rate = out_rate + pf_sum * lvl[i]
+        if decays:
+            out_rate = out_rate + lam * lvl[i]
+        if c_in_rate >= out_rate * (1.0 - sat_rtol):
+            return 1  # hover: python runs the acceptance bisection
+        # else: descending through the band — normal dynamics exact
+    # -- effective constant rates under the pins --
+    for j in range(m):
+        if const_mask[j]:
+            if mode[src[j]] == 1 or mode[snk[j]] == 3:
+                eff[j] = 0.0
+            else:
+                eff[j] = rate[j]
+        else:
+            eff[j] = 0.0
+    # -- empty-pin candidates need the python fixpoint --
+    boundary = 4.0 * ltol
+    for i in range(n):
+        if (i != root and mode[i] == 0 and lvl[i] <= boundary
+                and cf_ptr[i + 1] > cf_ptr[i]):
+            return 1
+    if mode[root] != 0:
+        return 1  # python path refuses (non-normal battery)
+    return 0
+
+
+#: The fallback is the same loop, uncompiled: mode derivation runs on
+#: graphs of a handful of reserves, where a vectorized rewrite buys
+#: nothing — and sharing one source makes bit-identity trivial.
+derive_modes_numpy = _derive_modes_loops
+
+
 if _numba is not None:  # pragma: no cover - exercised on the numba CI leg
     first_hits = _numba.njit(cache=True)(_first_hits_loops)
     violated_at = _numba.njit(cache=True)(_violated_at_loops)
+    derive_modes = _numba.njit(cache=True)(_derive_modes_loops)
 else:
     first_hits = first_hits_numpy
     violated_at = violated_at_numpy
+    derive_modes = derive_modes_numpy
 
 #: Empty saturation-monitor pack (most regimes carry no saturation
 #: functionals; sharing the empties avoids per-call allocations).

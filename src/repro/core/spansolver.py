@@ -157,26 +157,61 @@ def _expm(a: np.ndarray) -> np.ndarray:
     return r
 
 
-def _phi1(z: np.ndarray) -> np.ndarray:
-    """``(e^z - 1) / z`` with the removable singularity handled."""
+def _phi1(z: np.ndarray, ez: Optional[np.ndarray] = None) -> np.ndarray:
+    """``(e^z - 1) / z`` with the removable singularity handled.
+
+    ``ez`` may pass a precomputed ``np.exp(z)`` so call sites that
+    already hold the exponential (every phi-propagation formula does)
+    do not evaluate it again; the quotient is bit-identical either
+    way since it consumes the very same ``exp`` values.
+    """
     out = np.ones_like(z)
     small = np.abs(z) < 1e-3
     zl = z[~small]
-    out[~small] = (np.exp(zl) - 1.0) / zl
+    el = np.exp(zl) if ez is None else ez[~small]
+    out[~small] = (el - 1.0) / zl
     zs = z[small]
     out[small] = 1.0 + zs / 2.0 + zs * zs / 6.0 + zs ** 3 / 24.0
     return out
 
 
-def _phi2(z: np.ndarray) -> np.ndarray:
+def _phi2(z: np.ndarray, ez: Optional[np.ndarray] = None) -> np.ndarray:
     """``(e^z - 1 - z) / z^2`` with the removable singularity handled."""
     out = np.full_like(z, 0.5)
     small = np.abs(z) < 1e-3
     zl = z[~small]
-    out[~small] = (np.exp(zl) - 1.0 - zl) / (zl * zl)
+    el = np.exp(zl) if ez is None else ez[~small]
+    out[~small] = (el - 1.0 - zl) / (zl * zl)
     zs = z[small]
     out[small] = 0.5 + zs / 6.0 + zs * zs / 24.0 + zs ** 3 / 120.0
     return out
+
+
+def _phi12(z: np.ndarray
+           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused ``(e^z, phi1(z), phi2(z))`` — one exponential, one mask.
+
+    Every propagation formula needs two or three of these on the same
+    ``z``; evaluated separately each helper pays its own ``exp`` (the
+    dominant cost on the stacked ``(devices, samples, n)`` grids of
+    the segmented engine).  The fused form computes ``exp(z)`` and the
+    small-``|z|`` mask once and feeds both quotients from them —
+    bit-identical to the separate calls, which divide the identical
+    ``exp`` values by the identical denominators.
+    """
+    ez = np.exp(z)
+    small = np.abs(z) < 1e-3
+    big = ~small
+    zl = z[big]
+    el = ez[big]
+    p1 = np.ones_like(z)
+    p1[big] = (el - 1.0) / zl
+    p2 = np.full_like(z, 0.5)
+    p2[big] = (el - 1.0 - zl) / (zl * zl)
+    zs = z[small]
+    p1[small] = 1.0 + zs / 2.0 + zs * zs / 6.0 + zs ** 3 / 24.0
+    p2[small] = 0.5 + zs / 6.0 + zs * zs / 24.0 + zs ** 3 / 120.0
+    return ez, p1, p2
 
 
 def _augmented(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -210,9 +245,7 @@ def _eig_state_integral(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
     c0 = vinv @ lvl
     cb = vinv @ b
     z = w * t
-    ez = np.exp(z)
-    p1 = _phi1(z)
-    p2 = _phi2(z)
+    ez, p1, p2 = _phi12(z)
     end = (v @ (ez * c0 + t * (p1 * cb))).real
     integ = (v @ (t * (p1 * c0) + (t * t) * (p2 * cb))).real
     return end, integ
@@ -231,8 +264,9 @@ def _eig_states_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
     c0 = lvls @ vinv.T
     cb = vinv @ b
     z = ts[:, :, None] * w
-    out = (np.exp(z) * c0[:, None, :]
-           + ts[:, :, None] * (_phi1(z) * cb)) @ v.T
+    ez = np.exp(z)
+    out = (ez * c0[:, None, :]
+           + ts[:, :, None] * (_phi1(z, ez) * cb)) @ v.T
     return out.real
 
 
@@ -242,8 +276,9 @@ def _eig_state_at_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
     """``L(t_i)`` per device (stacked bisection queries)."""
     w, v, vinv = eig
     z = t[:, None] * w
-    return ((np.exp(z) * (lvls @ vinv.T)
-             + t[:, None] * (_phi1(z) * (vinv @ b))) @ v.T).real
+    ez = np.exp(z)
+    return ((ez * (lvls @ vinv.T)
+             + t[:, None] * (_phi1(z, ez) * (vinv @ b))) @ v.T).real
 
 
 def _eig_propagate_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
@@ -259,7 +294,8 @@ def _eig_propagate_batch(eig: Tuple[np.ndarray, np.ndarray, np.ndarray],
     cb = vinv @ b
     z = t[:, None] * w
     tc = t[:, None]
-    return ((tc * (_phi1(z) * c0) + (tc * tc) * (_phi2(z) * cb))
+    _, p1, p2 = _phi12(z)
+    return ((tc * (p1 * c0) + (tc * tc) * (p2 * cb))
             @ v.T).real
 
 
@@ -369,7 +405,8 @@ class _SegmentPropagator:
             c0 = vinv @ lvl
             cb = vinv @ self.b
             z = np.multiply.outer(ts, w)
-            out = (np.exp(z) * c0 + ts[:, None] * (_phi1(z) * cb)) @ v.T
+            ez = np.exp(z)
+            out = (ez * c0 + ts[:, None] * (_phi1(z, ez) * cb)) @ v.T
             return out.real
         n = self.n
         dt = ts[0] if len(ts) == 1 else ts[1] - ts[0]
@@ -386,8 +423,9 @@ class _SegmentPropagator:
         if self.eig is not None:
             w, v, vinv = self.eig
             z = w * t
-            return (v @ (np.exp(z) * (vinv @ lvl)
-                         + t * (_phi1(z) * (vinv @ self.b)))).real
+            ez = np.exp(z)
+            return (v @ (ez * (vinv @ lvl)
+                         + t * (_phi1(z, ez) * (vinv @ self.b)))).real
         state = np.concatenate([lvl, [1.0], np.zeros(self.n)])
         return (_expm(_augmented(self.a, self.b) * t) @ state)[:self.n]
 
@@ -675,6 +713,10 @@ class SpanTier:
             else:
                 self.prop_into.setdefault(k, []).append(j)
                 self.prop_from.setdefault(s, []).append(j)
+        #: CSR tap adjacency for the compiled mode-derivation kernel
+        #: (:func:`repro.core.segkernel.derive_modes`), built lazily
+        #: from the dicts above in their exact iteration order.
+        self._modes_csr: Optional[tuple] = None
         #: lam -> the coupled linear system at that decay constant.
         self._coupled: Dict[float, CoupledSystem] = {}
         #: (lam, mode bytes) -> cached :class:`_SegmentRegime` (the
@@ -711,17 +753,26 @@ class SpanTier:
         sound: each iterate credits only feeds from reserves proven
         safe by the previous iterate, and tick execution delivers
         those deposits ahead of the drain by creation order.
+
+        ``span`` may be a scalar (the whole stack shares one horizon)
+        or a ``(d,)`` vector of per-row spans (the independent
+        scheduler's heterogeneous-horizon cohorts); the bound is
+        evaluated at each row's own span either way, bit-identically —
+        a vector of equal spans multiplies out to the exact same
+        products as the shared scalar.
         """
         d, n = lvl.shape
         const_out = self.const_out
         draining = const_out > 0.0
         if not draining.any():
             return np.ones(d, dtype=bool)
+        spans = np.broadcast_to(np.asarray(span, dtype=float),
+                                (d,))[:, None]
         per_f = np.divide(const_out, f, out=np.zeros(n), where=linear)
-        decay_f = np.exp(-f * span)
+        decay_f = np.exp(-spans * f)
         lower = np.where(linear,
                          lvl * decay_f - per_f * (1.0 - decay_f),
-                         lvl - const_out * span)
+                         lvl - const_out * spans)
         safe = (lower >= 0.0) | ~draining
         rows_ok = safe.all(axis=1)
         if rows_ok.all() or not self.early_feeds:
@@ -735,7 +786,7 @@ class SpanTier:
                               where=linear)
             lower = np.where(linear,
                              lvl * decay_f - per_f * (1.0 - decay_f),
-                             lvl - deficit * span)
+                             lvl - deficit * spans)
             refined = (lower >= 0.0) | ~draining
             if (refined == safe).all():
                 break
@@ -1059,9 +1110,65 @@ class SpanTier:
             self._regimes[key] = regime
         return regime
 
+    def _modes_csr_pack(self) -> tuple:
+        """CSR adjacency + typed scalars for the mode kernel."""
+        pack = self._modes_csr
+        if pack is None:
+            plan = self.plan
+            n = len(plan.reserves)
+
+            def csr(adj: Dict[int, List[int]]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+                ptr = np.zeros(n + 1, dtype=np.int64)
+                idx: List[int] = []
+                for i in range(n):
+                    entries = adj.get(i, ())
+                    ptr[i + 1] = ptr[i] + len(entries)
+                    idx.extend(entries)
+                return ptr, np.asarray(idx, dtype=np.int64)
+
+            pack = (np.asarray(plan.finite_cap, dtype=np.int64),
+                    np.asarray(plan.src, dtype=np.int64),
+                    np.asarray(plan.snk, dtype=np.int64),
+                    *csr(self.const_into), *csr(self.const_from),
+                    *csr(self.prop_into), *csr(self.prop_from))
+            self._modes_csr = pack
+        return pack
+
     def _derive_modes(self, lvl: np.ndarray, lam: float, ltol: float
                       ) -> Optional[Tuple[np.ndarray, np.ndarray,
                                           np.ndarray, np.ndarray, tuple]]:
+        """Classify every reserve into its regime mode, or None.
+
+        The common case — debt marks, FULL capacity pins, no hover,
+        no empty-pin fixpoint — runs through the compiled kernel
+        (:func:`repro.core.segkernel.derive_modes`; numpy fallback
+        when numba is absent), which fills the mode and effective-rate
+        arrays bit-identically to :meth:`_derive_modes_full` and
+        punts back to it for every richer regime.
+        """
+        plan = self.plan
+        finite_cap, src64, snk64, ci_ptr, ci_idx, cf_ptr, cf_idx, \
+            pi_ptr, pi_idx, pf_ptr, pf_idx = self._modes_csr_pack()
+        n = len(plan.reserves)
+        m = len(plan.taps)
+        mode = np.empty(n, dtype=np.int8)
+        eff = np.empty(m)
+        status = segkernel.derive_modes(
+            lvl, float(lam), float(ltol), SAT_RTOL, plan.rate,
+            plan.const_mask, plan.capacity, src64, snk64, finite_cap,
+            plan.decay_mask, bool(plan.any_decayable),
+            int(plan.root_index), ci_ptr, ci_idx, cf_ptr, cf_idx,
+            pi_ptr, pi_idx, pf_ptr, pf_idx, mode, eff)
+        if status == 0:
+            return mode, eff, np.zeros(m), np.zeros(n), ()
+        return self._derive_modes_full(lvl, lam, ltol)
+
+    def _derive_modes_full(self, lvl: np.ndarray, lam: float,
+                           ltol: float
+                           ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray,
+                                               tuple]]:
         """Classify every reserve into its regime mode, or None.
 
         Modes: NORMAL (full linear row), DEBT (level below zero —
@@ -1644,15 +1751,23 @@ def _commit_rows(tiers: List[SpanTier], ok: np.ndarray, end: np.ndarray,
 
 
 def execute_span_batch(tiers: List[SpanTier],
-                       span: float) -> List[Optional[float]]:
+                       span) -> List[Optional[float]]:
     """Solve one event-free span for a whole cohort in one stacked call.
 
     ``tiers`` belong to plans that share a
     :attr:`~repro.core.flowplan.FlowPlan.signature` and whose graphs
     run the same decay constant (the fleet batcher groups by both), so
     the continuous dynamics ``L' = A·L + b`` are literally the same
-    system over different initial conditions.  Levels stack into one
-    ``(n_devices, n_reserves)`` array:
+    system over different initial conditions.  ``span`` is either one
+    shared horizon (the lockstep scheduler) or a ``(n_devices,)``
+    vector of **per-device** horizons (the independent scheduler's
+    event-time buckets): devices at different clocks still share one
+    eigendecomposition and one stacked switch-location scan, because
+    every propagation formula is elementwise in ``t`` — only the
+    dense Padé fallback keys a propagator per span value and solves
+    per-span sub-stacks.  A vector of equal spans is bit-identical to
+    the scalar call.  Levels stack into one ``(n_devices,
+    n_reserves)`` array:
 
     * the **diagonal** tier runs PR 1's scalar closed form elementwise
       across the stack — bit-identical per device to the per-device
@@ -1681,6 +1796,8 @@ def execute_span_batch(tiers: List[SpanTier],
     n = len(plan.reserves)
     policy = plan.graph.decay_policy
     lam = policy.lam if policy.enabled else 0.0
+    spans = np.broadcast_to(np.asarray(span, dtype=float), (d,))
+    spans_c = spans[:, None]
     lvl = np.empty((d, n))
     for i, tier in enumerate(tiers):
         lvl[i] = tier.plan._gather_levels()
@@ -1704,13 +1821,13 @@ def execute_span_batch(tiers: List[SpanTier],
                 seg |= ok
                 ok[:] = False
         if ok.any():
-            clamp_ok = lead.batch_clamp_ok(lvl, span, f, linear)
+            clamp_ok = lead.batch_clamp_ok(lvl, spans, f, linear)
             seg |= ok & ~clamp_ok
             ok &= clamp_ok
         if ok.any():
-            _batch_diagonal(tiers, span, lam, lvl, f, linear, ok, results)
+            _batch_diagonal(tiers, spans, lam, lvl, f, linear, ok, results)
         if seg.any():
-            _batch_segmented(tiers, span, lam, lvl,
+            _batch_segmented(tiers, spans, lam, lvl,
                              np.flatnonzero(seg), results)
         return results
 
@@ -1733,18 +1850,18 @@ def execute_span_batch(tiers: List[SpanTier],
             if lam > 0.0 and plan.any_decayable:
                 inflow[:, plan.root_index] += lam * best[
                     :, plan.decay_mask].sum(axis=1)
-            best = np.minimum(best, lvl + inflow * span)
+            best = np.minimum(best, lvl + inflow * spans_c)
         cap_ok = ~np.any(best[:, cap_idx] > plan.capacity[cap_idx] - 1e-12,
                          axis=1)
         seg |= ok & ~cap_ok
         ok &= cap_ok
     if ok.any():
-        clamp_ok = lead.batch_clamp_ok(lvl, span, f, linear)
+        clamp_ok = lead.batch_clamp_ok(lvl, spans, f, linear)
         seg |= ok & ~clamp_ok
         ok &= clamp_ok
     if not ok.any():
         if seg.any():
-            _batch_segmented(tiers, span, lam, lvl,
+            _batch_segmented(tiers, spans, lam, lvl,
                              np.flatnonzero(seg), results)
         return results
 
@@ -1758,27 +1875,34 @@ def execute_span_batch(tiers: List[SpanTier],
         w, v, vinv = system.eig
         c0 = lvl @ vinv.T            # (d, n) in the eigenbasis
         cb = vinv @ system.b
-        z = w * span
-        p1 = _phi1(z)
-        p2 = _phi2(z)
-        integ = ((span * (p1 * c0)
-                  + (span * span) * (p2 * cb)) @ v.T).real
+        z = spans_c * w              # (d, n): per-row horizons
+        _, p1, p2 = _phi12(z)
+        integ = ((spans_c * (p1 * c0)
+                  + (spans_c * spans_c) * (p2 * cb)) @ v.T).real
     else:
-        propagator = system._dense_cache.get(span)
-        if propagator is None:
-            propagator = _expm(_augmented(system.a, system.b) * span)
-            if len(system._dense_cache) > 32:
-                system._dense_cache.clear()
-            system._dense_cache[span] = propagator
+        # The dense path has no elementwise-in-t form: one Padé
+        # propagator serves one span value, so heterogeneous-horizon
+        # stacks solve per span value (cohort buckets rarely carry
+        # more than a handful).
         state = np.concatenate(
             [lvl, np.ones((d, 1)), np.zeros((d, n))], axis=1)
-        integ = (state @ propagator.T)[:, n + 1:]
+        integ = np.empty((d, n))
+        for s_val in np.unique(spans):
+            s_val = float(s_val)
+            propagator = system._dense_cache.get(s_val)
+            if propagator is None:
+                propagator = _expm(_augmented(system.a, system.b) * s_val)
+                if len(system._dense_cache) > 32:
+                    system._dense_cache.clear()
+                system._dense_cache[s_val] = propagator
+            rows = spans == s_val
+            integ[rows] = (state[rows] @ propagator.T)[:, n + 1:]
     integ = np.maximum(integ, 0.0)
 
     m = len(plan.taps)
     moved = np.zeros((d, m))
     if plan.const_taps.size:
-        moved[:, plan.const_taps] = plan.rate[plan.const_taps] * span
+        moved[:, plan.const_taps] = plan.rate[plan.const_taps] * spans_c
     if plan.prop_taps.size:
         psrc = plan.src[plan.prop_taps]
         moved[:, plan.prop_taps] = plan.rate[plan.prop_taps] * integ[:, psrc]
@@ -1811,30 +1935,36 @@ def execute_span_batch(tiers: List[SpanTier],
     _commit_rows(tiers, ok, end, moved, lost, reclaimed, in_sum, out_sum,
                  results)
     if seg.any():
-        _batch_segmented(tiers, span, lam, lvl, np.flatnonzero(seg),
+        _batch_segmented(tiers, spans, lam, lvl, np.flatnonzero(seg),
                          results)
     return results
 
 
-def _batch_diagonal(tiers: List[SpanTier], span: float, lam: float,
+def _batch_diagonal(tiers: List[SpanTier], span, lam: float,
                     lvl: np.ndarray, f: np.ndarray, linear: np.ndarray,
                     ok: np.ndarray, results: List[Optional[float]]) -> None:
-    """The diagonal fast tier across stacked levels (elementwise)."""
+    """The diagonal fast tier across stacked levels (elementwise).
+
+    ``span`` is a shared scalar or per-row ``(d,)`` horizons — the
+    closed form is elementwise in both the levels and the span, so
+    heterogeneous horizons ride the identical expressions.
+    """
     lead = tiers[0]
     plan = lead.plan
     d, n = lvl.shape
-    decay_f = np.exp(-f * span)  # == 1 exactly where F == 0
+    spans_c = np.broadcast_to(np.asarray(span, dtype=float), (d,))[:, None]
+    decay_f = np.exp(-spans_c * f)  # == 1 exactly where F == 0
     net_const = lead.const_in - lead.const_out
     steady = np.divide(net_const, f, out=np.zeros(n), where=linear)
     end = np.where(linear, steady + (lvl - steady) * decay_f,
-                   lvl + net_const * span)
-    drain = np.where(linear, lvl - end + net_const * span, 0.0)
+                   lvl + net_const * spans_c)
+    drain = np.where(linear, lvl - end + net_const * spans_c, 0.0)
     drain = np.maximum(drain, 0.0)
 
     m = len(plan.taps)
     moved = np.zeros((d, m))
     if plan.const_taps.size:
-        moved[:, plan.const_taps] = plan.rate[plan.const_taps] * span
+        moved[:, plan.const_taps] = plan.rate[plan.const_taps] * spans_c
     if plan.prop_taps.size:
         psrc = plan.src[plan.prop_taps]
         share = np.divide(plan.rate[plan.prop_taps], f[psrc],
@@ -1865,10 +1995,17 @@ def _batch_diagonal(tiers: List[SpanTier], span: float, lam: float,
                  results)
 
 
-def _batch_segmented(tiers: List[SpanTier], span: float, lam: float,
+def _batch_segmented(tiers: List[SpanTier], span, lam: float,
                      lvl: np.ndarray, idx: np.ndarray,
                      results: List[Optional[float]]) -> None:
     """Stacked segment-chain solve for a cohort's switching devices.
+
+    ``span`` is a shared scalar or a full-stack ``(n_devices,)``
+    vector of per-device horizons (indexed by ``idx`` like ``lvl``):
+    every device already carries its own remaining-span clock through
+    the chain, so heterogeneous starting horizons only change each
+    clock's starting value and the per-device segment-resolution
+    thresholds derived from it.
 
     Runs the scalar segmented loop's exact pipeline — dust absorption,
     regime derivation, the certify-first fast path, sampled switch
@@ -1906,15 +2043,18 @@ def _batch_segmented(tiers: List[SpanTier], span: float, lam: float,
     acc_moved = np.zeros((g, m))
     acc_lost = np.zeros((g, n))
     acc_rec = np.zeros(g)
-    remaining = np.full(g, float(span))
+    rem0 = np.broadcast_to(np.asarray(span, dtype=float),
+                           (lvl.shape[0],))[idx]
+    remaining = rem0.copy()
     segments = np.zeros(g, dtype=np.int64)
     alive = np.ones(g, dtype=bool)
-    min_seg = max(1e-12, 1e-10 * span)
+    min_seg = np.maximum(1e-12, 1e-10 * rem0)
+    tail = 1e-9 * rem0
     locate_wall = 0.0
     integrate_wall = 0.0
 
     while True:
-        active = alive & (remaining > 1e-9 * span)
+        active = alive & (remaining > tail)
         if not active.any():
             break
         over = active & (segments >= MAX_SEGMENTS)
@@ -1972,7 +2112,7 @@ def _batch_segmented(tiers: List[SpanTier], span: float, lam: float,
                         crossed[:, row] = (early
                                            & (t_star <= t_cand
                                               * (1.0 + 1e-12)))
-                fast = ((t_cand >= min_seg)
+                fast = ((t_cand >= min_seg[rows])
                         & regime.certify_batch(lvls, t_cand, lt,
                                                crossed, crossed_sat))
                 seg_t = np.where(fast, t_cand, seg_t)
@@ -2021,7 +2161,7 @@ def _batch_segmented(tiers: List[SpanTier], span: float, lam: float,
                         crossed[hrows] = c_rows
                         if n_sat:
                             crossed_sat[hrows] = c_sat
-                drop[srs] = seg_t[srs] < min_seg
+                drop[srs] = seg_t[srs] < min_seg[rows[srs]]
                 cert = regime.certify_batch(lvls[srs], seg_t[srs],
                                             lt[srs], crossed[srs],
                                             crossed_sat[srs])
@@ -2089,7 +2229,7 @@ def _batch_segmented(tiers: List[SpanTier], span: float, lam: float,
             integrate_wall += perf_counter() - t0
             alive[rows[drop]] = False
 
-    solved = alive & (segments > 0) & ~(remaining > 1e-9 * span)
+    solved = alive & (segments > 0) & ~(remaining > tail)
     if not solved.any():
         return
     dust = solved[:, None] & (work < 0.0) & (work >= -4.0 * ltol[:, None])

@@ -128,6 +128,61 @@ class PowerMeter:
         while remaining > 0.0:
             remaining = self._feed_one(watts, remaining)
 
+    def feed_cohort(self, followers: List["PowerMeter"], watts: float,
+                    dt: float) -> None:
+        """Feed one constant-power span to this meter and ``followers``.
+
+        Fleet schedulers call this when a whole commit cohort shares
+        the same ``(watts, dt)`` and every meter is *phase-aligned*:
+        identical ``sample_interval_s``, ``noise_fraction == 0`` and
+        identical ``(_window_time, _window_energy, _now)``.  Under
+        those guards every meter's :meth:`feed` would emit the same
+        sample block and apply the same totalizer increment sequence
+        — only the starting totalizer differs — so the lead meter runs
+        the ordinary :meth:`feed` once and each follower extends its
+        sample arrays with the shared block and replays the exact
+        increment chain from its own total.  Bit-identical to feeding
+        each meter individually; callers must fall back to that when
+        any guard fails (noise draws consume per-meter rng streams).
+        """
+        mark = len(self._sample_times)
+        interval = self.sample_interval_s
+        t0 = self._window_time
+        self.feed(watts, dt)
+        times = self._sample_times[mark:]
+        sample_watts = self._sample_watts[mark:]
+        windows = self._sample_windows[mark:]
+        # The exact totalizer increments feed() applied, re-derived
+        # through the same float chain (each branch of feed() adds
+        # watts * step per reference iteration and watts * interval
+        # per whole window — including the cumsum bulk path, which is
+        # bit-identical to the repeated scalar chain by construction).
+        incs: List[float] = []
+        remaining = dt
+        if remaining > 0.0 and t0 > 0.0:
+            step = min(remaining, interval - t0)
+            incs.append(watts * step)
+            remaining -= step
+        while remaining >= interval:
+            incs.append(watts * interval)
+            remaining -= interval
+        if remaining > 0.0:
+            incs.append(watts * remaining)
+        window_time = self._window_time
+        window_energy = self._window_energy
+        now = self._now
+        for meter in followers:
+            meter._sample_times.extend(times)
+            meter._sample_watts.extend(sample_watts)
+            meter._sample_windows.extend(windows)
+            total = meter.total_energy_joules
+            for inc in incs:
+                total += inc
+            meter.total_energy_joules = total
+            meter._window_time = window_time
+            meter._window_energy = window_energy
+            meter._now = now
+
     def _feed_one(self, watts: float, remaining: float) -> float:
         """One reference iteration; returns the remaining time."""
         room = self.sample_interval_s - self._window_time

@@ -265,6 +265,12 @@ class NetworkDaemon:
         self._pump(now)
 
     def _complete_transfers(self, now: float) -> None:
+        for op in self._queue:
+            if op.state is not OpState.TRANSFERRING:
+                continue
+            break
+        else:
+            return  # the common blocked-wait tick: nothing in flight
         for op in [o for o in self._queue
                    if o.state is OpState.TRANSFERRING]:
             assert op.transfer is not None

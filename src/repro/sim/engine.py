@@ -149,6 +149,12 @@ class DeviceRuntime:
         #: unsupported regimes remain.
         self.span_refusals = 0
         self._span_refusing = False
+        #: Telemetry: spans this device solved inside a stacked cohort
+        #: call on a world's *independent* (frontier) scheduler.
+        #: Incremented by :meth:`repro.sim.world.World._run_independent`
+        #: — the engine itself never batches; the counter lives here so
+        #: sharded digests can carry it per device.
+        self.independent_cohort_spans = 0
         # -- the event-source horizon: everything that can end (or
         #    forbid) an idle span registers here; the engine itself is
         #    a generic min-over-sources loop --
@@ -336,7 +342,9 @@ class DeviceRuntime:
 
         # 5. physical power integration
         radio_watts = self.radio.power_above_baseline(now)
-        radio_watts += sum(source(now) for source in self._power_sources)
+        if self._power_sources:
+            radio_watts += sum(source(now)
+                               for source in self._power_sources)
         power = self.model.system_power(cpu_busy=ran is not None,
                                         backlight_on=self.backlight_on,
                                         radio_watts=radio_watts)
@@ -413,6 +421,12 @@ class DeviceRuntime:
         constant-power span (:attr:`~repro.sim.events.EventSource.
         horizon_executes`).  A 0 answer (must tick) is always firm —
         it has to be re-examined after the very next step anyway.
+
+        The poll itself never mutates device state, so a scheduler
+        that polls once and acts later (the frontier scheduler parks
+        the answer in a heap) sees exactly what an act-immediately
+        loop like :meth:`run` would — provided the device is untouched
+        in between.
         """
         if not self.fast_forward:
             return 0, True, True
@@ -511,7 +525,22 @@ class DeviceRuntime:
         or through a cohort-stacked solve); this replays each event
         source's own closed form, feeds the meter/battery at constant
         idle power, books scheduler idle time, and moves the clock.
+
+        Split into :meth:`_ff_commit_begin` (source replay + span
+        power) and :meth:`_ff_commit_finish` (battery, scheduler,
+        clock) so a fleet scheduler can interpose a cohort-batched
+        meter feed between them — the per-device operation order is
+        exactly this method's.
         """
+        power = self._ff_commit_begin(ticks)
+        self.meter.feed(power, ticks * self.clock.tick_s)
+        self._ff_commit_finish(ticks, power)
+
+    def _ff_commit_begin(self, ticks: int) -> float:
+        """First half of :meth:`_ff_commit`: replay the event sources
+        across the span and return the span's constant system power
+        (computed after the replay, exactly where the fused commit
+        computed it)."""
         clock = self.clock
         now = clock.now
         span = ticks * clock.tick_s
@@ -521,13 +550,17 @@ class DeviceRuntime:
         if self._power_sources:
             radio_watts += sum(source(now)
                                for source in self._power_sources)
-        power = self.model.system_power(cpu_busy=False,
-                                        backlight_on=self.backlight_on,
-                                        radio_watts=radio_watts)
-        self.meter.feed(power, span)
+        return self.model.system_power(cpu_busy=False,
+                                       backlight_on=self.backlight_on,
+                                       radio_watts=radio_watts)
+
+    def _ff_commit_finish(self, ticks: int, power: float) -> None:
+        """Second half of :meth:`_ff_commit`: the caller has fed the
+        meter (individually or through a cohort-batched feed)."""
+        span = ticks * self.clock.tick_s
         self.battery.drain(power * span)
         self.scheduler.advance_idle(span)
-        clock.advance_many(ticks)
+        self.clock.advance_many(ticks)
         self.fast_forwarded_ticks += ticks
 
     # -- process internals ----------------------------------------------------------------------

@@ -101,6 +101,12 @@ class DeviceDigest:
     meter_samples: int
     reserve_levels: List[float]
     conservation_error: float
+    #: Spans this device solved inside a stacked cohort call on the
+    #: independent (frontier) scheduler.  Excluded from equality (and
+    #: from :meth:`FleetReport.digest`): cohort membership depends on
+    #: which devices share a shard, so the count is partition-
+    #: *dependent* telemetry on a partition-*invariant* trajectory.
+    independent_cohort_spans: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -116,6 +122,12 @@ class ShardReport:
     fast_forwarded_ticks: int
     cohort_spans: int
     cohort_fallbacks: int
+    #: Frontier rounds and stacked-vs-scalar span counts from this
+    #: shard's independent scheduler (zero under lockstep or the
+    #: legacy per-device loop).
+    independent_rounds: int = 0
+    independent_cohort_spans: int = 0
+    independent_scalar_spans: int = 0
     digests: List[DeviceDigest] = field(default_factory=list)
 
 
@@ -169,6 +181,21 @@ class FleetReport:
             digest.update(b"\x1e")
         return digest.hexdigest()
 
+    @property
+    def independent_rounds(self) -> int:
+        """Frontier rounds summed across shards."""
+        return sum(r.independent_rounds for r in self.reports)
+
+    @property
+    def independent_cohort_spans(self) -> int:
+        """Stacked independent-path span solves summed across shards."""
+        return sum(r.independent_cohort_spans for r in self.reports)
+
+    @property
+    def independent_scalar_spans(self) -> int:
+        """Scalar independent-path span solves summed across shards."""
+        return sum(r.independent_scalar_spans for r in self.reports)
+
     def total_metered_energy(self) -> float:
         return sum(d.meter_energy_joules for d in self.digests)
 
@@ -203,6 +230,7 @@ def _digest_devices(world: World, lo: int) -> List[DeviceDigest]:
             meter_samples=device.meter.sample_count,
             reserve_levels=[r.level for r in device.graph.reserves],
             conservation_error=device.graph.conservation_error(),
+            independent_cohort_spans=device.independent_cohort_spans,
         ))
     return digests
 
@@ -276,6 +304,9 @@ def _world_report(world: World, shard: int, lo: int, hi: int,
         fast_forwarded_ticks=world.fast_forwarded_ticks,
         cohort_spans=world.cohort_spans,
         cohort_fallbacks=world.cohort_fallbacks,
+        independent_rounds=world.barrier_rounds,
+        independent_cohort_spans=world.independent_cohort_spans,
+        independent_scalar_spans=world.independent_scalar_spans,
         digests=_digest_devices(world, lo))
 
 

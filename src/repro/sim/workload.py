@@ -9,6 +9,7 @@ batch downloaders (Figures 10/11 use the richer viewer in
 from __future__ import annotations
 
 import math
+import random
 from typing import (TYPE_CHECKING, Any, Callable, Generator, List, Optional,
                     Tuple)
 
@@ -139,6 +140,56 @@ def poller_shard(
         reserve = device.powered_reserve(watts, name=f"{name_prefix}{i}.net")
         program = periodic_poller(destination, period_s=period_s,
                                   start_offset_s=i * stagger_s,
+                                  bytes_out=bytes_out, bytes_in=bytes_in,
+                                  max_polls=max_polls)
+        process = device.spawn(program, f"{name_prefix}{i}.poller",
+                               reserve=reserve)
+        fleet.append((device, process))
+    return fleet
+
+
+def staggered_poller_shard(
+    world: "World",
+    lo: int,
+    hi: int,
+    fleet_size: Optional[int] = None,
+    watts: float = 0.015,
+    period_s: float = 300.0,
+    bytes_out: int = 64,
+    bytes_in: int = 0,
+    destination: str = "echo",
+    max_polls: Optional[int] = None,
+    name_prefix: str = "dev",
+    **device_kwargs,
+) -> List[Tuple["CinderSystem", Process]]:
+    """Pollers with *randomized* phases — the honest independent case.
+
+    :func:`poller_shard` staggers starts evenly, which keeps the
+    fleet's wakes on a regular comb; a real deployment's poll phases
+    are arbitrary.  Here each device's start offset is drawn uniformly
+    in ``[0, period_s)`` from a deterministic stream keyed on the
+    world seed and the device's **global** index (partition-invariant
+    for :class:`~repro.sim.shards.ShardedWorld` builders, picklable
+    via :func:`functools.partial`).  No two devices share a wake
+    schedule unless their horizons genuinely coincide — the workload
+    the event-time-bucketed independent scheduler
+    (:meth:`~repro.sim.world.World._run_independent`) has to prove
+    itself on, and the ``fleet_1k_staggered`` bench entry's builder.
+    """
+    if fleet_size is None:
+        fleet_size = hi
+    if not 0 <= lo < hi <= fleet_size:
+        raise ValueError(f"bad shard range [{lo}, {hi}) of {fleet_size}")
+    fleet: List[Tuple["CinderSystem", Process]] = []
+    for i in range(lo, hi):
+        kwargs = dict(device_kwargs)
+        kwargs.setdefault("seed", world.seed + 101 * i)
+        device = world.add_device(name=f"{name_prefix}{i}", **kwargs)
+        reserve = device.powered_reserve(watts, name=f"{name_prefix}{i}.net")
+        phase = random.Random(
+            1_000_003 * world.seed + 101 * i).uniform(0.0, period_s)
+        program = periodic_poller(destination, period_s=period_s,
+                                  start_offset_s=phase,
                                   bytes_out=bytes_out, bytes_in=bytes_in,
                                   max_polls=max_polls)
         process = device.spawn(program, f"{name_prefix}{i}.poller",

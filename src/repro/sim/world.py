@@ -62,6 +62,7 @@ pin this).
 
 from __future__ import annotations
 
+import heapq
 import math
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
@@ -82,6 +83,7 @@ class World:
                  hosts: Optional[RemoteHosts] = None,
                  fast_forward: bool = True,
                  batched: bool = True,
+                 independent_cohorts: bool = True,
                  seed: int = 0) -> None:
         if tick_s <= 0:
             raise SimulationError("tick must be positive")
@@ -93,14 +95,34 @@ class World:
         #: work).  The reference per-device loop survives at
         #: ``batched=False`` as the differential oracle.
         self.batched = batched and fast_forward
+        #: Event-time-bucketed cohort scheduling on the *independent*
+        #: path (see :meth:`_run_independent`).  The plain per-device
+        #: ``device.run(chunk)`` loop survives at
+        #: ``independent_cohorts=False`` as the differential oracle,
+        #: and is also selected whenever the batched tier is off.
+        self.independent_cohorts = independent_cohorts and self.batched
         self.seed = seed
         self.devices: List[DeviceRuntime] = []
         self._by_name: Dict[str, DeviceRuntime] = {}
         #: Telemetry: world iterations that macro-stepped vs ticked.
         self.macro_steps = 0
         self.tick_steps = 0
-        #: Telemetry: barrier rounds taken by the independent scheduler.
+        #: Telemetry: rounds taken by the independent scheduler.  With
+        #: the bucketed scheduler this counts *actual frontier
+        #: iterations* — each pop-the-frontier-bucket-and-advance
+        #: round is one — so refusals and staggered horizons show up
+        #: as extra rounds.  The legacy per-device loop
+        #: (``independent_cohorts=False``) cannot observe its devices'
+        #: internal iterations and still counts one round per barrier
+        #: chunk (the historical approximation this counter had
+        #: fleet-wide before the frontier scheduler).
         self.barrier_rounds = 0
+        #: Telemetry, independent path only: device-spans solved
+        #: through a stacked cohort call vs scalar (a singleton
+        #: bucket/cohort, or a stacked drop-out whose scalar retry
+        #: still macro-stepped).
+        self.independent_cohort_spans = 0
+        self.independent_scalar_spans = 0
         #: Telemetry: device-spans solved through a stacked cohort
         #: call (switch-bound spans included — the batched segment
         #: chain carries them in-batch), and devices that fell out of
@@ -432,21 +454,31 @@ class World:
             return None
         return graph._current_plan()
 
-    def _fleet_tick(self) -> None:
-        """One tick for every device, cohort graphs stacked."""
+    def _fleet_tick(self, indices: Optional[List[int]] = None) -> None:
+        """One tick for the given devices (default: all), cohorts stacked.
+
+        The tick grid enters the cohort key (mixed-grid fleets reach
+        here through the independent scheduler's stepper buckets;
+        :func:`~repro.core.flowplan.execute_tick_batch` takes one
+        shared ``dt``); on the lockstep path the grid is uniform, so
+        the extra key component is inert.
+        """
         devices = self.devices
-        if len(devices) < 2:
-            for device in devices:
-                device.step()
+        idxs = range(len(devices)) if indices is None else indices
+        if len(idxs) < 2:
+            for i in idxs:
+                devices[i].step()
             return
-        groups: Dict[Tuple[int, float], List[Tuple[int, object]]] = {}
-        for i, device in enumerate(devices):
+        groups: Dict[Tuple[int, float, float],
+                     List[Tuple[int, object]]] = {}
+        for i in idxs:
+            device = devices[i]
             plan = self._tick_plan_for(device)
             if plan is None:
                 continue
             dt = device.clock.tick_s
             fraction = device.graph.decay_policy.fraction_for(dt)
-            groups.setdefault((self._cohort_token(plan), fraction),
+            groups.setdefault((self._cohort_token(plan), fraction, dt),
                               []).append((i, plan))
         done: Dict[int, bool] = {}
         for members in groups.values():
@@ -461,8 +493,217 @@ class World:
                 else:
                     done[i] = True
                     self.cohort_ticks += 1
-        for i, device in enumerate(devices):
-            device.step(graph_done=done.get(i, False))
+        for i in idxs:
+            devices[i].step(graph_done=done.get(i, False))
+
+    # -- the independent (frontier) scheduler -----------------------------------------
+
+    def _commit_cohort(self, commits: List[int],
+                       pending: List[int]) -> None:
+        """Commit stacked macro-spans, meter feeds batched per cohort.
+
+        Runs each member's :meth:`~repro.sim.engine.CinderSystem.
+        _ff_commit` in its three phases — source replay + span power,
+        meter feed, battery/scheduler/clock — with the middle phase
+        grouped: members sharing the same ``(power, span)`` and a
+        phase-aligned noiseless meter feed through one
+        :meth:`~repro.energy.meter.PowerMeter.feed_cohort` call (the
+        sample block is computed once; each follower replays only its
+        own totalizer chain).  Per-device operation order is exactly
+        the fused commit's, and devices share no state, so the
+        reordering across devices is invisible — bit-identical to
+        committing one device at a time.
+        """
+        devices = self.devices
+        if len(commits) < 2:
+            for i in commits:
+                devices[i]._ff_commit(pending[i])
+            return
+        entries: List[Tuple[int, float]] = []
+        feed_groups: Dict[Tuple[float, ...], List[int]] = {}
+        for i in commits:
+            device = devices[i]
+            power = device._ff_commit_begin(pending[i])
+            entries.append((i, power))
+            meter = device.meter
+            key = (power, pending[i] * device.clock.tick_s,
+                   meter.sample_interval_s, meter.noise_fraction,
+                   meter._window_time, meter._window_energy, meter._now)
+            feed_groups.setdefault(key, []).append(i)
+        for key, group in feed_groups.items():
+            power, span, _, noise = key[:4]
+            meters = [devices[i].meter for i in group]
+            if len(meters) >= 2 and noise == 0.0:
+                meters[0].feed_cohort(meters[1:], power, span)
+            else:
+                for meter in meters:
+                    meter.feed(power, span)
+        for i, power in entries:
+            devices[i]._ff_commit_finish(pending[i], power)
+
+    def _run_independent(self, chunk: float) -> None:
+        """Advance every device to the next barrier, cohorts stacked.
+
+        The event-time-bucketed frontier scheduler.  Each device's
+        next action is decided by its *own* horizon poll — exactly the
+        poll ``device.run(chunk)`` would make — and the fleet keeps a
+        min-heap of the resulting landing instants:
+
+        * **poll** — one :meth:`~repro.sim.engine.CinderSystem._ff_poll`
+          per device per action, against that device's own deadline
+          (``its clock.now + chunk``, bit-identical to ``device.run``).
+          A macro answer (``ticks >= 2``) lands the device at
+          ``(clock.ticks + ticks) * tick_s``; a must-tick answer lands
+          it one tick ahead.  The pending tick count is cached with
+          the heap entry — the device is untouched between push and
+          pop (devices share no mutable state between barriers), so
+          the cached answer is exactly what a fresh poll would return;
+        * **bucket** — each round pops every entry sharing the minimum
+          landing key.  Keys are quantized to integer nanoseconds
+          (``round(landing * 1e9)``) so mixed tick grids whose landing
+          instants agree physically but differ in float representation
+          still share a bucket.  Quantization only affects *grouping*:
+          the spans advanced come from each device's own tick count
+          and tick size, never from the key;
+        * **advance** — macro members are grouped by
+          ``(cohort_token, lam)`` exactly as :meth:`_fleet_macro` and
+          solved in one stacked
+          :func:`~repro.core.spansolver.execute_span_batch` call with
+          a **per-device span vector** (devices at different clocks
+          share one eigendecomposition and one switch-location scan).
+          Singleton groups solve scalar.  A stacked drop-out retries
+          scalar (:attr:`cohort_fallbacks` / :attr:`cohort_demotions`,
+          same as lockstep).  A refusal — frozen-tap arbitration or a
+          genuinely unsupported regime — takes **one** normal step and
+          re-polls, mirroring ``device.run``'s refusal fallthrough
+          (the lockstep scheduler instead ticks a refused device
+          through the whole fleet span; the independent path never
+          did, and the frontier keeps that contract).  Must-tick
+          members batch through :meth:`_fleet_tick` when two or more
+          share a bucket;
+        * **re-poll** — after its action each device re-enters the
+          heap unless it has landed on the barrier
+          (``now >= deadline - 1e-12``).
+
+        Every device therefore executes the *same sequence* of polls,
+        macro-commits and steps as the per-device loop — the frontier
+        is a pure reordering across devices — which the parity suite
+        pins bit-identically.  :attr:`barrier_rounds` counts each
+        frontier round; :attr:`independent_cohort_spans` /
+        :attr:`independent_scalar_spans` split the macro-solve counts.
+        """
+        devices = self.devices
+        n = len(devices)
+        deadlines = [d.clock.now + chunk for d in devices]
+        pending = [0] * n
+        #: Device's last macro poll was firm *and* executing: landing
+        #: on it, a fresh poll provably answers "tick now" (the same
+        #: shortcut the lockstep horizon cache takes), so the re-poll
+        #: after the commit is skipped — the poll is read-only, so
+        #: skipping a determined answer is invisible to the device.
+        must_step = [False] * n
+        skip_poll = [False] * n
+        heap: List[Tuple[int, int]] = []
+
+        def push(i: int) -> None:
+            device = devices[i]
+            clock = device.clock
+            if clock.now >= deadlines[i] - 1e-12:
+                return
+            if skip_poll[i]:
+                skip_poll[i] = False
+                ticks = 0
+                self.horizon_cache_hits += 1
+            else:
+                self.horizon_polls += 1
+                ticks, firm, executes = device._ff_poll(deadlines[i])
+                must_step[i] = ticks >= 2 and firm and executes
+            pending[i] = ticks
+            land = (clock.ticks + (ticks if ticks >= 2 else 1)) \
+                * clock.tick_s
+            heapq.heappush(heap, (round(land * 1e9), i))
+
+        for i in range(n):
+            push(i)
+        while heap:
+            key = heap[0][0]
+            bucket: List[int] = []
+            while heap and heap[0][0] == key:
+                bucket.append(heapq.heappop(heap)[1])
+            self.barrier_rounds += 1
+            refused: List[int] = []
+            steppers: List[int] = []
+            groups: Dict[Tuple[int, float],
+                         List[Tuple[int, object]]] = {}
+            singles: List[Tuple[int, object]] = []
+            for i in bucket:
+                if pending[i] < 2:
+                    steppers.append(i)
+                    continue
+                device = devices[i]
+                frozen = device._ff_begin()
+                if frozen is None:
+                    refused.append(i)
+                    continue
+                graph = device.graph
+                plan = graph.span_plan_handle(frozen)
+                policy = graph.decay_policy
+                lam = policy.lam if policy.enabled else 0.0
+                groups.setdefault((self._cohort_token(plan), lam),
+                                  []).append((i, plan))
+            for members in groups.values():
+                if len(members) < 2:
+                    singles.extend(members)
+                    continue
+                tiers = [plan.span_tier for _, plan in members]
+                spans = np.array([pending[i] * devices[i].clock.tick_s
+                                  for i, _ in members])
+                results = _spansolver.execute_span_batch(tiers, spans)
+                commits: List[int] = []
+                for (i, plan), moved in zip(members, results):
+                    device = devices[i]
+                    span_i = pending[i] * device.clock.tick_s
+                    if moved is None:
+                        self.cohort_fallbacks += 1
+                        moved = plan.execute_span(span_i)
+                        if moved is None:
+                            device._ff_refuse()
+                            refused.append(i)
+                        else:
+                            self.cohort_demotions += 1
+                            self.independent_scalar_spans += 1
+                            plan.graph.note_span(span_i)
+                            commits.append(i)
+                    else:
+                        plan.graph.note_span(span_i)
+                        commits.append(i)
+                        self.cohort_spans += 1
+                        self.independent_cohort_spans += 1
+                        device.independent_cohort_spans += 1
+                self._commit_cohort(commits, pending)
+                for i in commits:
+                    skip_poll[i] = must_step[i]
+            for i, plan in singles:
+                device = devices[i]
+                span_i = pending[i] * device.clock.tick_s
+                moved = plan.execute_span(span_i)
+                if moved is None:
+                    device._ff_refuse()
+                    refused.append(i)
+                else:
+                    self.independent_scalar_spans += 1
+                    plan.graph.note_span(span_i)
+                    device._ff_commit(pending[i])
+                    skip_poll[i] = must_step[i]
+            if len(steppers) >= 2:
+                self._fleet_tick(steppers)
+            else:
+                for i in steppers:
+                    devices[i].step()
+            for i in refused:
+                devices[i].step()
+            for i in bucket:
+                push(i)
 
     # -- running -------------------------------------------------------------------
 
@@ -487,7 +728,14 @@ class World:
           are sample-identical to lockstep — but one device's events
           no longer force a fleet-wide iteration, which is the
           difference between O(N · fleet-events) and O(N + own-events)
-          at 1000 devices of staggered pollers.
+          at 1000 devices of staggered pollers.  With
+          :attr:`independent_cohorts` (the default) the independent
+          path runs the event-time-bucketed frontier scheduler
+          (:meth:`_run_independent`): devices whose landing instants
+          coincide solve their spans in one stacked cohort call, so
+          staggered fleets keep the batch tier.
+          ``independent_cohorts=False`` keeps the plain
+          ``device.run(chunk)`` loop as the differential oracle.
 
         Barrier instants must land on every device's tick grid; the
         fleet's LCM tick period (:meth:`barrier_period`) is the
@@ -527,9 +775,16 @@ class World:
         while self.now < end - 1e-12:
             chunk = min(period, end - self.now)
             if independent:
-                for device in self.devices:
-                    device.run(chunk)
-                self.barrier_rounds += 1
+                if self.independent_cohorts:
+                    self._run_independent(chunk)
+                else:
+                    for device in self.devices:
+                        device.run(chunk)
+                    # The legacy loop cannot observe its devices'
+                    # internal iterations: one round per chunk (see
+                    # the counter's docstring for the frontier
+                    # scheduler's exact accounting).
+                    self.barrier_rounds += 1
             else:
                 deadline = self.now + chunk
                 if self.batched:

@@ -1,0 +1,182 @@
+"""The compiled mode-derivation kernel vs the full Python derivation.
+
+:func:`repro.core.segkernel.derive_modes` serves the common case of
+the segmented engine's per-segment regime classification — debt
+marks, FULL capacity pins, effective constant rates — and must agree
+**bit-identically** with :meth:`SpanTier._derive_modes_full` wherever
+it claims an answer (status 0), punting (status 1) for every regime
+it does not carry (hover, empty-pin fixpoints, non-normal root).
+These are the differential contracts the CI ``numba-kernel`` leg runs
+under both backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import segkernel
+from repro.core.graph import ResourceGraph
+from repro.core.spansolver import SAT_RTOL
+
+LTOL = 1e-9
+
+
+def tier_for(graph):
+    return graph.span_plan_handle().span_tier
+
+
+def kernel_status(tier, lvl, lam=0.0, ltol=LTOL):
+    """Invoke the kernel exactly as the dispatcher does."""
+    plan = tier.plan
+    (finite_cap, src64, snk64, ci_ptr, ci_idx, cf_ptr, cf_idx,
+     pi_ptr, pi_idx, pf_ptr, pf_idx) = tier._modes_csr_pack()
+    mode = np.empty(len(plan.reserves), dtype=np.int8)
+    eff = np.empty(len(plan.taps))
+    status = segkernel.derive_modes(
+        lvl, float(lam), float(ltol), SAT_RTOL, plan.rate,
+        plan.const_mask, plan.capacity, src64, snk64, finite_cap,
+        plan.decay_mask, bool(plan.any_decayable),
+        int(plan.root_index), ci_ptr, ci_idx, cf_ptr, cf_idx,
+        pi_ptr, pi_idx, pf_ptr, pf_idx, mode, eff)
+    return status, mode, eff
+
+
+def assert_same_derivation(tier, lvl, lam=0.0, ltol=LTOL):
+    """Dispatcher output must equal the full Python derivation."""
+    fast = tier._derive_modes(lvl.copy(), lam, ltol)
+    full = tier._derive_modes_full(lvl.copy(), lam, ltol)
+    if full is None:
+        assert fast is None
+        return
+    assert fast is not None
+    for a, b in zip(fast[:4], full[:4]):
+        assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+    assert fast[4] == full[4]
+
+
+def chain_graph():
+    g = ResourceGraph(1_000.0)
+    g.decay_policy.enabled = False
+    a = g.create_reserve(level=5.0, source=g.root, name="a")
+    g.create_tap(g.root, a, 0.02, name="feed_a")
+    b = g.create_reserve(level=1.0, source=a, name="b")
+    g.create_tap(a, b, 0.01, name="a_to_b")
+    c = g.create_reserve(name="c")
+    g.create_tap(b, c, 0.005, name="b_to_c")
+    return g
+
+
+def capped_graph(draining=False):
+    g = ResourceGraph(1_000.0)
+    g.decay_policy.enabled = False
+    a = g.create_reserve(level=2.0, capacity=2.0, source=g.root,
+                         name="a")
+    g.create_tap(g.root, a, 0.05, name="feed_a")
+    if draining:
+        sink = g.create_reserve(name="sink")
+        g.create_tap(a, sink, 0.03, name="drain_a")
+    return g
+
+
+class TestFastPathAgreement:
+    def test_plain_chain_matches_full(self):
+        tier = tier_for(chain_graph())
+        lvl = np.array([r._level for r in tier.plan.reserves])
+        status, mode, eff = kernel_status(tier, lvl)
+        assert status == 0  # the fast path must actually engage
+        full = tier._derive_modes_full(lvl, 0.0, LTOL)
+        assert full is not None
+        assert mode.tobytes() == full[0].tobytes()
+        assert eff.tobytes() == full[1].tobytes()
+        assert not full[2].any() and not full[3].any()
+        assert full[4] == ()
+        assert_same_derivation(tier, lvl)
+
+    def test_debt_rows_match_full(self):
+        tier = tier_for(chain_graph())
+        lvl = np.array([r._level for r in tier.plan.reserves])
+        lvl[2] = -0.25  # a repaying debtor
+        status, mode, eff = kernel_status(tier, lvl)
+        assert status == 0
+        full = tier._derive_modes_full(lvl, 0.0, LTOL)
+        assert mode.tobytes() == full[0].tobytes()
+        assert eff.tobytes() == full[1].tobytes()
+        assert_same_derivation(tier, lvl)
+
+    def test_full_capacity_pin_matches_full(self):
+        tier = tier_for(capped_graph(draining=False))
+        lvl = np.array([r._level for r in tier.plan.reserves])
+        status, mode, eff = kernel_status(tier, lvl)
+        assert status == 0
+        full = tier._derive_modes_full(lvl, 0.0, LTOL)
+        assert mode.tobytes() == full[0].tobytes()
+        assert 3 in mode  # the capped reserve pinned FULL
+        assert eff.tobytes() == full[1].tobytes()
+        assert_same_derivation(tier, lvl)
+
+    def test_randomized_levels_agree_exactly(self):
+        rng = np.random.default_rng(42)
+        tier = tier_for(chain_graph())
+        n = len(tier.plan.reserves)
+        engaged = 0
+        for _ in range(200):
+            lvl = rng.uniform(-1.0, 5.0, size=n)
+            lvl[int(tier.plan.root_index)] = abs(
+                lvl[int(tier.plan.root_index)]) + 1.0
+            status, mode, eff = kernel_status(tier, lvl)
+            if status == 0:
+                engaged += 1
+                full = tier._derive_modes_full(lvl, 0.0, LTOL)
+                assert full is not None
+                assert mode.tobytes() == full[0].tobytes()
+                assert eff.tobytes() == full[1].tobytes()
+            assert_same_derivation(tier, lvl)
+        assert engaged > 0
+
+
+class TestPunts:
+    def test_hover_punts_to_python(self):
+        """A capped, fed, draining reserve whose inflow sustains the
+        outflow is a hover — the kernel must not claim it."""
+        tier = tier_for(capped_graph(draining=True))
+        lvl = np.array([r._level for r in tier.plan.reserves])
+        status, _, _ = kernel_status(tier, lvl)
+        assert status == 1
+        assert_same_derivation(tier, lvl)
+
+    def test_empty_pin_candidate_punts_to_python(self):
+        """A drained-to-zero reserve with constant drains needs the
+        pass-through fixpoint — python's, not the kernel's."""
+        tier = tier_for(chain_graph())
+        lvl = np.array([r._level for r in tier.plan.reserves])
+        lvl[2] = 0.0  # b sits empty with a live constant drain
+        status, _, _ = kernel_status(tier, lvl)
+        assert status == 1
+        assert_same_derivation(tier, lvl)
+
+
+class TestBackends:
+    def test_fallback_is_exposed(self):
+        assert callable(segkernel.derive_modes_numpy)
+
+    def test_fallback_agrees_with_active_backend(self):
+        tier = tier_for(chain_graph())
+        plan = tier.plan
+        lvl = np.array([r._level for r in plan.reserves])
+        (finite_cap, src64, snk64, ci_ptr, ci_idx, cf_ptr, cf_idx,
+         pi_ptr, pi_idx, pf_ptr, pf_idx) = tier._modes_csr_pack()
+        args = (lvl, 0.0, LTOL, SAT_RTOL, plan.rate, plan.const_mask,
+                plan.capacity, src64, snk64, finite_cap,
+                plan.decay_mask, bool(plan.any_decayable),
+                int(plan.root_index), ci_ptr, ci_idx, cf_ptr, cf_idx,
+                pi_ptr, pi_idx, pf_ptr, pf_idx)
+        mode_a = np.empty(len(plan.reserves), dtype=np.int8)
+        eff_a = np.empty(len(plan.taps))
+        mode_b = np.empty(len(plan.reserves), dtype=np.int8)
+        eff_b = np.empty(len(plan.taps))
+        sa = segkernel.derive_modes(*args, mode_a, eff_a)
+        sb = segkernel.derive_modes_numpy(*args, mode_b, eff_b)
+        assert sa == sb
+        if sa == 0:
+            assert mode_a.tobytes() == mode_b.tobytes()
+            assert eff_a.tobytes() == eff_b.tobytes()

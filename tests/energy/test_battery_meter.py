@@ -103,6 +103,59 @@ class TestMeter:
             PowerMeter().feed(-1.0, 1.0)
 
 
+class TestFeedCohort:
+    """The cohort-batched feed must be float-identical to feeding
+    each meter alone — the independent scheduler's commit relies on
+    it for bit-exact fleet parity."""
+
+    @staticmethod
+    def _meters(count, prehistory=()):
+        meters = [PowerMeter() for _ in range(count)]
+        for meter in meters:
+            for watts, dt in prehistory:
+                meter.feed(watts, dt)
+        return meters
+
+    def _check(self, prehistory, watts, dt):
+        cohort = self._meters(3, prehistory)
+        solo = self._meters(3, prehistory)
+        cohort[0].feed_cohort(cohort[1:], watts, dt)
+        for meter in solo:
+            meter.feed(watts, dt)
+        for a, b in zip(cohort, solo):
+            assert a._sample_times == b._sample_times
+            assert a._sample_watts == b._sample_watts
+            assert a._sample_windows == b._sample_windows
+            assert a.total_energy_joules == b.total_energy_joules
+            assert a._window_time == b._window_time
+            assert a._window_energy == b._window_energy
+            assert a._now == b._now
+
+    def test_whole_windows_from_clean_state(self):
+        self._check((), 0.699, 1.0)
+
+    def test_partial_window_carry_in_and_out(self):
+        # 0.13 s of prehistory leaves a partial window; the cohort
+        # feed must replay the drain step and the new tail exactly.
+        self._check(((1.0, 0.13),), 0.3, 0.27)
+
+    def test_sub_window_feed(self):
+        self._check(((2.0, 0.05),), 0.7, 0.1)
+
+    def test_long_span_cumsum_path(self):
+        # >512 whole windows: feed() takes its vectorized branch;
+        # the replayed increment chain must still match exactly.
+        self._check(((1.0, 0.13),), 0.02, 200.0)
+
+    def test_lead_state_is_unaffected_by_followers(self):
+        lead_solo = self._meters(1, ((1.0, 0.13),))[0]
+        cohort = self._meters(2, ((1.0, 0.13),))
+        cohort[0].feed_cohort(cohort[1:], 0.5, 3.0)
+        lead_solo.feed(0.5, 3.0)
+        assert cohort[0].total_energy_joules == lead_solo.total_energy_joules
+        assert cohort[0]._sample_times == lead_solo._sample_times
+
+
 class TestCalibration:
     """§9: re-fitting the model from the coarse gauge."""
 

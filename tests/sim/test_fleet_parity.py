@@ -160,7 +160,10 @@ class TestBatchedWorldParity:
         lockstep.run(400.0, independent=False)
         independent.run(400.0, independent=True)
         assert_fleets_match(independent, lockstep, exact_pool=False)
-        assert independent.barrier_rounds == 1
+        # barrier_rounds counts actual frontier iterations now (one
+        # per popped bucket), not one per barrier chunk.
+        assert independent.barrier_rounds > 1
+        assert independent.independent_cohort_spans > 0
 
     def test_switching_cohort_stays_batched(self):
         """A homogeneous cohort whose members all hit a switching
@@ -202,8 +205,155 @@ class TestBatchedWorldParity:
         build_random_fleet(many, 9)
         one.run(300.0, independent=True)
         many.run(300.0, barrier_s=50.0, independent=True)
-        assert many.barrier_rounds == 6
+        # Frontier accounting: at least one round per barrier chunk.
+        # Extra barriers cannot *reduce* rounds (a barrier splits a
+        # span into landings the single chunk may already have).
+        assert many.barrier_rounds >= 6
+        assert many.barrier_rounds >= one.barrier_rounds
         assert_fleets_match(many, one, exact_pool=False)
+
+
+class TestFrontierSchedulerParity:
+    """The event-time-bucketed independent scheduler vs its oracle.
+
+    ``independent_cohorts=False`` preserves the plain per-device
+    ``device.run(chunk)`` loop; the frontier scheduler must be a pure
+    reordering of it — same polls, same spans, same steps per device
+    — with only the stacked-vs-scalar solve path differing, which the
+    span kernels keep bit-identical per row on diagonal topologies
+    and within the documented tolerance on coupled ones.
+    """
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_bucketed_matches_per_device_loop(self, seed):
+        legacy = World(tick_s=0.01, seed=seed,
+                       independent_cohorts=False)
+        build_random_fleet(legacy, seed)
+        bucketed = World(tick_s=0.01, seed=seed)
+        build_random_fleet(bucketed, seed)
+        legacy.run(400.0, independent=True)
+        bucketed.run(400.0, independent=True)
+        assert_fleets_match(bucketed, legacy)
+        # The scheduler must actually stack: the random fleet repeats
+        # device kinds, so same-shape devices share landing instants.
+        assert bucketed.independent_cohort_spans > 0
+        assert bucketed.barrier_rounds > 1
+        assert legacy.barrier_rounds == 1  # legacy: one per chunk
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_staggered_pollers_bit_identical(self, seed):
+        """Randomized poll phases, diagonal topologies: every field
+        bit-equal — the strongest form of the reordering claim."""
+        def build(independent_cohorts):
+            world = World(tick_s=0.01, seed=seed,
+                          independent_cohorts=independent_cohorts)
+            rng = random.Random(seed * 977)
+            for i in range(12):
+                device = world.add_device(name=f"p{i}",
+                                          record_interval_s=5.0,
+                                          decay_enabled=False)
+                reserve = device.powered_reserve(0.02, name="net")
+                device.spawn(
+                    periodic_poller(
+                        "echo", period_s=120.0,
+                        start_offset_s=rng.uniform(0.0, 120.0),
+                        bytes_out=64, bytes_in=0),
+                    "poller", reserve=reserve)
+            return world
+        legacy = build(False)
+        bucketed = build(True)
+        legacy.run(600.0, barrier_s=300.0, independent=True)
+        bucketed.run(600.0, barrier_s=300.0, independent=True)
+        for a, b in zip(bucketed.devices, legacy.devices):
+            assert a.clock.ticks == b.clock.ticks
+            assert a.netd.stats.operations == b.netd.stats.operations
+            assert (a.netd.stats.total_wait_seconds
+                    == b.netd.stats.total_wait_seconds)
+            assert a.netd.pool.level == b.netd.pool.level
+            assert a.battery.charge_joules == b.battery.charge_joules
+            assert np.array_equal(a.meter.samples()[0],
+                                  b.meter.samples()[0])
+            assert np.array_equal(a.meter.samples()[1],
+                                  b.meter.samples()[1])
+            for ra, rb in zip(a.graph.reserves, b.graph.reserves):
+                assert ra.level == rb.level
+        assert bucketed.independent_cohort_spans > 0
+
+    def test_switchers_bucketed_matches_per_device_loop(self):
+        """A fleet of switch-bound devices (clamps, debt repayment):
+        the stacked segment chain must carry them through the frontier
+        scheduler exactly as the scalar loop does."""
+        def build(independent_cohorts):
+            world = World(tick_s=0.01, seed=33,
+                          independent_cohorts=independent_cohorts)
+            for i in range(6):
+                device = world.add_device(name=f"s{i}",
+                                          record_interval_s=1.0,
+                                          decay_enabled=False)
+                task = device.new_reserve(name="task")
+                device.battery_reserve.transfer_to(task, 2.0 + 0.4 * i)
+                device.kernel.create_tap(device.battery_reserve, task,
+                                         0.01, name="task.feed")
+                archive = device.new_reserve(name="archive")
+                device.kernel.create_tap(task, archive, 0.03,
+                                         name="task.drain")
+                reserve = device.powered_reserve(0.2, name="maint")
+                device.spawn(napper(40.0 + 3.0 * i, 0.02), "maint",
+                             reserve=reserve)
+            return world
+        legacy = build(False)
+        bucketed = build(True)
+        legacy.run(300.0, independent=True)
+        bucketed.run(300.0, independent=True)
+        assert_fleets_match(bucketed, legacy)
+        assert bucketed.span_segments > 0
+        assert bucketed.degraded_spans == 0
+
+    def test_mixed_grid_cross_cohorts(self):
+        """Devices on 10 ms and 20 ms grids whose wakes coincide in
+        *time*: nanosecond key quantization must land them in one
+        bucket, and the per-device span vector carries their distinct
+        tick counts through one stacked solve."""
+        def build(independent_cohorts):
+            world = World(tick_s=0.01, seed=41,
+                          independent_cohorts=independent_cohorts)
+            for i in range(6):
+                device = world.add_device(name=f"m{i}",
+                                          tick_s=0.02 if i % 2 else 0.01,
+                                          record_interval_s=1.0,
+                                          decay_enabled=False)
+                reserve = device.powered_reserve(0.2, name="m")
+                device.spawn(napper(30.0, 0.02), "m", reserve=reserve)
+            return world
+        legacy = build(False)
+        bucketed = build(True)
+        legacy.run(120.0, barrier_s=60.0)
+        bucketed.run(120.0, barrier_s=60.0)
+        assert_fleets_match(bucketed, legacy)
+        assert bucketed.independent_cohort_spans > 0
+
+    def test_sharded_frontier_digests_bit_identical(self):
+        """Different shard partitions change cohort membership but
+        must not change any device's trajectory."""
+        builder = functools.partial(poller_shard, fleet_size=10,
+                                    watts=0.25, period_s=60.0,
+                                    stagger_s=13.0, bytes_out=64,
+                                    record_interval_s=1.0,
+                                    decay_enabled=False)
+        inline = ShardedWorld(builder, 10, shards=0, tick_s=0.01,
+                              seed=7)
+        sharded = ShardedWorld(builder, 10, shards=2, tick_s=0.01,
+                               seed=7)
+        a = inline.run(180.0, barrier_s=60.0)
+        b = sharded.run(180.0, barrier_s=60.0)
+        assert a.digest() == b.digest()
+        for x, y in zip(a.digests, b.digests):
+            assert x == y
+        # Both executions ran the frontier scheduler and stacked work.
+        assert a.independent_cohort_spans > 0
+        assert b.independent_cohort_spans > 0
+        assert a.independent_rounds > 1
+        assert b.independent_rounds > 1
 
 
 class TestMixedTickGrids:
