@@ -79,14 +79,38 @@ class ShardFailure(SimulationError):
 
     Raised by the :class:`~repro.sim.shards.ShardedWorld` supervisor
     when a shard cannot be recovered by retry, checkpoint restore,
-    rebuild-and-replay, *or* inline demotion; individual recovered
-    failures are recorded in :attr:`~repro.sim.shards.FleetReport.
-    shard_failures` instead of raising.
+    rebuild-and-replay, cross-host rescheduling, *or* inline demotion;
+    individual recovered failures are recorded in
+    :attr:`~repro.sim.shards.FleetReport.shard_failures` (and, with
+    full context — shard, barrier, attempt, host, recovery rung — in
+    :attr:`~repro.sim.shards.FleetReport.recovery_events`) instead of
+    raising.  Messages carry the shard id, the barrier index, the
+    attempt count and (when socketed) the host, so a surfaced failure
+    is diagnosable without re-running the chaos experiment.
     """
 
 
 class ShardTimeout(ShardFailure):
     """A shard missed its per-barrier deadline (hung or overloaded)."""
+
+
+class TransportError(SimulationError):
+    """A shard-transport socket operation failed (framing, I/O, peer
+    loss).  The supervisor treats these as recoverable shard failures
+    — reconnect, restore, reschedule — never as run aborts."""
+
+
+class TransportTimeout(TransportError):
+    """A transport send/recv missed its per-message deadline (lost
+    message, overloaded host, or a reply delayed past the timeout)."""
+
+
+class HostUnreachable(TransportError):
+    """A shard host is gone from this side of the network: its daemon
+    process died, it stopped answering heartbeats, or a partition cut
+    it off.  The supervisor responds by *rescheduling* the host's
+    shards onto surviving hosts (restore or rebuild-replay), demoting
+    to inline execution only when no healthy host remains."""
 
 
 class CheckpointError(SimulationError):

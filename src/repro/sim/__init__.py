@@ -9,7 +9,9 @@ from .faults import FaultEvent, FaultPlan
 from .process import (CpuBurn, Exit, Fork, NetReply, NetRequest, Process,
                       ProcessContext, Request, ServiceCall, Sleep,
                       SleepUntil, WaitFor)
-from .shards import DeviceDigest, FleetReport, ShardedWorld, ShardReport
+from .hostd import HostHandle
+from .shards import (DeviceDigest, FleetReport, RecoveryEvent,
+                     ShardedWorld, ShardReport)
 from .trace import TimeSeries, TraceRecorder
 from .workload import (batch_downloader, fleet_of_pollers,
                        foreground_poller, forking_spinner,
@@ -24,6 +26,7 @@ __all__ = [
     "World", "CpuBurn", "Exit", "Fork", "NetReply", "NetRequest", "Process",
     "ProcessContext", "Request", "ServiceCall", "Sleep", "SleepUntil",
     "WaitFor", "TimeSeries", "TraceRecorder", "DeviceDigest", "FleetReport",
+    "HostHandle", "RecoveryEvent",
     "ShardReport", "ShardedWorld", "batch_downloader", "fleet_of_pollers",
     "foreground_poller", "forking_spinner", "keepalive_sender",
     "periodic_poller", "poller_shard", "spinner", "timed_spinner",

@@ -27,6 +27,31 @@ Fault kinds:
   (:class:`~repro.errors.CheckpointError`), walking the shard down
   the full degradation ladder to inline execution in the parent —
   which rebuilds from scratch and stays bit-identical.
+
+Network fault kinds (socket transport only; see
+:mod:`repro.sim.transport` and :mod:`repro.sim.hostd`):
+
+* ``drop_msg`` — the host daemon executes the barrier request but its
+  reply is lost: the parent's recv deadline fires and recovery
+  restores the slot (rewinding the duplicated execution) before
+  re-running the chunk.
+* ``delay_msg`` — the reply is delayed ``delay_s``: shorter than the
+  deadline it is pure latency, longer it degenerates to ``drop_msg``.
+  Either way the digest is unchanged.
+* ``dup_msg`` — the reply is sent twice: the framing layer's sequence
+  numbers discard the duplicate, so nothing recovers because nothing
+  failed.
+* ``host_crash`` — the daemon process exits hard (``os._exit``): every
+  shard placed on it is *rescheduled* onto a surviving host.
+* ``partition`` — the network to the shard's current host is cut
+  (parent-side gate, permanent for the run): indistinguishable from a
+  dead host, so its shards reschedule the same way; the daemon
+  process itself survives until teardown.
+
+Like the process-mode kinds, every network fault is consumed
+parent-side exactly once (embedded in the one request it sabotages or
+applied to the one host link it cuts), so the chaos run stays a pure
+function of ``(fleet seed, fault seed)``.
 """
 
 from __future__ import annotations
@@ -45,12 +70,22 @@ CRASH = "crash"
 HANG = "hang"
 BUILD_RAISE = "build_raise"
 CORRUPT_DIGEST = "corrupt_digest"
+DROP_MSG = "drop_msg"
+DELAY_MSG = "delay_msg"
+DUP_MSG = "dup_msg"
+HOST_CRASH = "host_crash"
+PARTITION = "partition"
 
 #: Kinds injected through the worker's barrier-run entry point.
 RUNTIME_KINDS = frozenset({CRASH, HANG, CORRUPT_DIGEST})
 #: Kinds injected through the worker's build entry point.
 BUILD_KINDS = frozenset({BUILD_RAISE})
-ALL_KINDS = RUNTIME_KINDS | BUILD_KINDS
+#: Kinds only the socket transport can express: message-level faults
+#: sabotage one request/reply exchange, host-level faults take out a
+#: whole shard host (daemon exit or network partition).
+NETWORK_KINDS = frozenset({DROP_MSG, DELAY_MSG, DUP_MSG, HOST_CRASH,
+                           PARTITION})
+ALL_KINDS = RUNTIME_KINDS | BUILD_KINDS | NETWORK_KINDS
 
 
 @dataclass(frozen=True)
@@ -59,19 +94,23 @@ class FaultEvent:
 
     ``barrier`` is the 0-based chunk index whose execution the fault
     precedes (for ``build_raise`` it is ignored — builds happen once,
-    before barrier 0).  ``hang_s`` only applies to ``hang``.
+    before barrier 0).  ``hang_s`` only applies to ``hang``;
+    ``delay_s`` only to ``delay_msg``.
     """
 
     shard: int
     barrier: int
     kind: str
     hang_s: float = 0.0
+    delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in ALL_KINDS:
             raise SimulationError(f"unknown fault kind {self.kind!r}")
         if self.kind == HANG and self.hang_s <= 0:
             raise SimulationError("a hang fault needs hang_s > 0")
+        if self.kind == DELAY_MSG and self.delay_s <= 0:
+            raise SimulationError("a delay_msg fault needs delay_s > 0")
 
 
 class FaultPlan:
@@ -92,17 +131,21 @@ class FaultPlan:
     def seeded(cls, seed: int, *, shards: int, barriers: int,
                crashes: int = 1, hangs: int = 0,
                corrupt_digests: int = 0, build_raises: int = 0,
-               hang_s: float = 30.0) -> "FaultPlan":
+               drop_msgs: int = 0, delay_msgs: int = 0,
+               dup_msgs: int = 0, host_crashes: int = 0,
+               partitions: int = 0, hang_s: float = 30.0,
+               delay_s: float = 0.5) -> "FaultPlan":
         """Draw a plan deterministically from ``seed``.
 
-        Runtime faults land on distinct ``(shard, barrier)`` slots so
-        no single barrier submission carries two injections; build
-        raises land on distinct shards.  The same seed and shape
-        always produce the same plan.
+        Runtime and network faults land on distinct ``(shard,
+        barrier)`` slots so no single barrier submission carries two
+        injections; build raises land on distinct shards.  The same
+        seed and shape always produce the same plan.
         """
         if shards <= 0 or barriers <= 0:
             raise SimulationError("need at least one shard and barrier")
-        runtime = crashes + hangs + corrupt_digests
+        runtime = (crashes + hangs + corrupt_digests + drop_msgs
+                   + delay_msgs + dup_msgs + host_crashes + partitions)
         slots = shards * barriers
         if runtime > slots:
             raise SimulationError(
@@ -114,13 +157,17 @@ class FaultPlan:
         rng = np.random.default_rng(seed)
         events: List[FaultEvent] = []
         kinds = ([CRASH] * crashes + [HANG] * hangs
-                 + [CORRUPT_DIGEST] * corrupt_digests)
+                 + [CORRUPT_DIGEST] * corrupt_digests
+                 + [DROP_MSG] * drop_msgs + [DELAY_MSG] * delay_msgs
+                 + [DUP_MSG] * dup_msgs + [HOST_CRASH] * host_crashes
+                 + [PARTITION] * partitions)
         for pick, kind in zip(rng.choice(slots, size=runtime,
                                          replace=False), kinds):
             shard, barrier = divmod(int(pick), barriers)
             events.append(FaultEvent(
                 shard=shard, barrier=barrier, kind=kind,
-                hang_s=hang_s if kind == HANG else 0.0))
+                hang_s=hang_s if kind == HANG else 0.0,
+                delay_s=delay_s if kind == DELAY_MSG else 0.0))
         if build_raises:
             for shard in rng.choice(shards, size=build_raises,
                                     replace=False):

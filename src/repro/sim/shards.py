@@ -48,6 +48,24 @@ entropy, so a restored-or-replayed shard is bit-identical to one
 that never failed, and the chaos suite asserts exactly that under
 seeded :class:`~repro.sim.faults.FaultPlan` injections.
 
+``transport="sockets"`` lifts the same verbs onto TCP: shards become
+**slots** on shard-host daemons (:mod:`repro.sim.hostd`) reached
+through length-prefixed pickle frames (:mod:`repro.sim.transport`),
+placed by a **placement map** (shard → host) the supervisor owns.
+Hosts are a coarser failure domain than workers, so the ladder grows
+one rung between restore and inline demotion: when a *host* crashes,
+hangs, disconnects or partitions — detected by liveness heartbeats
+between barriers, not just barrier deadlines — every shard placed on
+it is **rescheduled** onto a surviving host (restored from its last
+barrier checkpoint, or rebuilt-and-replayed), and only a fleet with
+zero healthy hosts degrades to inline execution in the parent.
+Network faults (``drop_msg``/``delay_msg``/``dup_msg``/
+``host_crash``/``partition``) inject through the same fire-exactly-
+once plan machinery, so socketed chaos runs stay pure functions of
+``(fleet seed, fault seed)``.  One caveat: a lost *message* (as
+opposed to a lost host) is only detectable by a deadline, so
+``drop_msg`` chaos needs ``barrier_timeout_s`` set.
+
 ``shards=0`` runs the identical partition logic inline (one world,
 no processes): the differential oracle that sharded execution is
 sample-identical to sequential execution.
@@ -57,6 +75,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import math
 import os
 import time
@@ -66,10 +85,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ShardFailure, ShardTimeout, SimulationError
+from ..errors import (HostUnreachable, ShardFailure, ShardTimeout,
+                      SimulationError, TransportError, TransportTimeout)
 from . import checkpoint as _checkpoint
-from .faults import (BUILD_KINDS, CORRUPT_DIGEST, RUNTIME_KINDS, FaultPlan,
-                     apply_runtime_fault)
+from .faults import (BUILD_KINDS, CORRUPT_DIGEST, NETWORK_KINDS, PARTITION,
+                     RUNTIME_KINDS, FaultPlan, apply_runtime_fault)
 from .world import World
 
 #: The module-global world a shard worker process owns.
@@ -131,6 +151,27 @@ class ShardReport:
     digests: List[DeviceDigest] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One rung of the recovery ladder, taken by one shard.
+
+    The machine-readable companion to the human-readable
+    :attr:`FleetReport.shard_failures` strings: a degraded chaos run
+    is diagnosable from the report alone — which shard, at which
+    barrier (``-1`` for the build phase), on which attempt, for what
+    cause, and which rung the supervisor took in response.
+    """
+
+    shard: int
+    barrier: int
+    phase: str      #: ``"build"`` / ``"barrier"`` / ``"finish"``
+    attempt: int    #: retry-budget attempts consumed so far (host
+                    #: losses are mandatory moves and consume none)
+    cause: str      #: normalized failure cause (see ``_failure_cause``)
+    rung: str       #: ``"retry"`` / ``"reschedule"`` / ``"inline"``
+    host: Optional[int] = None  #: destination host (sockets only)
+
+
 @dataclass
 class FleetReport:
     """The aggregated result of a sharded run."""
@@ -150,6 +191,24 @@ class FleetReport:
     recovered_barriers: int = 0
     degraded_shards: List[int] = field(default_factory=list)
     shard_failures: Dict[int, List[str]] = field(default_factory=dict)
+    #: Which tier executed the fleet: ``"inline"`` (``shards=0``),
+    #: ``"processes"`` (worker pools) or ``"sockets"`` (shard-host
+    #: daemons), and — socketed — how many hosts served it.
+    transport: str = "processes"
+    hosts: int = 0
+    #: Cross-host supervision telemetry (socket transport): shards
+    #: moved to a surviving host after a host loss, the human-readable
+    #: host-loss log, and the final placement map (shard → host id).
+    shard_reschedules: int = 0
+    host_failures: List[str] = field(default_factory=list)
+    placement: Dict[int, int] = field(default_factory=dict)
+    #: Teardown drains that needed force (a worker ignoring SIGTERM
+    #: past ``drain_timeout_s``, or a partitioned/unresponsive host
+    #: daemon): previously dropped silently, now counted.
+    forced_terminations: int = 0
+    #: Every recovery-ladder rung taken, in the order the supervisor
+    #: took them — the structured mirror of :attr:`shard_failures`.
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def digests(self) -> List[DeviceDigest]:
@@ -328,6 +387,33 @@ class _Shard:
         self.future = None
 
 
+class _SocketShard:
+    """Parent-side supervision state for one socketed shard.
+
+    The socket analogue of :class:`_Shard`: instead of a pool it
+    holds the shard's current host and slot channel.  Every recovery
+    attempt gets a *fresh slot id* — a hung daemon thread may still be
+    mutating the abandoned slot's world, so retried state must never
+    share it (the stale slot leaks harmlessly in daemon memory).
+    """
+
+    __slots__ = ("index", "lo", "hi", "host", "client", "ckpt",
+                 "inline_world", "submitted", "submit_exc")
+
+    def __init__(self, index: int, lo: int, hi: int) -> None:
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.host = None
+        self.client = None
+        self.ckpt = None
+        self.inline_world: Optional[World] = None
+        #: Whether a request is in flight; a failed submission parks
+        #: its exception here for the collect loop to recover from.
+        self.submitted = False
+        self.submit_exc: Optional[BaseException] = None
+
+
 class ShardedWorld:
     """A fleet partitioned across single-worker process pools.
 
@@ -355,8 +441,23 @@ class ShardedWorld:
       Disabled, recovery still works — it rebuilds and replays from
       time zero — but pays the full replay on every failure.
     * ``fault_plan`` — a seeded :class:`~repro.sim.faults.FaultPlan`
-      injecting deterministic worker crashes/hangs/corruptions, for
-      chaos tests; the plan is rewound at the start of every run.
+      injecting deterministic worker crashes/hangs/corruptions (and,
+      socketed, network faults), for chaos tests; the plan is rewound
+      at the start of every run.
+    * ``transport`` — ``"processes"`` (single-worker pools, the
+      default) or ``"sockets"`` (shard slots on
+      :mod:`repro.sim.hostd` daemons reached over TCP).
+    * ``hosts`` — shard-host daemon count for the socket transport
+      (default: ``min(2, shards)``, so there is a failover target
+      whenever the fleet has one to give).
+    * ``heartbeat_s`` — liveness-probe cadence while a socketed reply
+      is pending: each heartbeat checks the partition gate, the
+      daemon process and a TCP ``ping``, so a dead host is detected
+      between barriers even with ``barrier_timeout_s=None``.
+    * ``drain_timeout_s`` — how long teardown waits for a worker
+      process (or host daemon) to exit before escalating to a forced
+      kill; forced kills are counted in
+      :attr:`FleetReport.forced_terminations`.
     """
 
     def __init__(self, builder: Callable, count: int,
@@ -366,6 +467,10 @@ class ShardedWorld:
                  retry_backoff_s: float = 0.05,
                  checkpoint: bool = True,
                  fault_plan: Optional[FaultPlan] = None,
+                 transport: str = "processes",
+                 hosts: Optional[int] = None,
+                 heartbeat_s: float = 0.5,
+                 drain_timeout_s: float = 5.0,
                  **world_kwargs) -> None:
         if count <= 0:
             raise SimulationError("fleet size must be positive")
@@ -378,6 +483,20 @@ class ShardedWorld:
             raise SimulationError("barrier timeout must be positive")
         if max_shard_retries < 0:
             raise SimulationError("retry count must be non-negative")
+        if transport not in ("processes", "sockets"):
+            raise SimulationError(
+                f"unknown transport {transport!r} "
+                f"(expected 'processes' or 'sockets')")
+        if hosts is not None:
+            if transport != "sockets":
+                raise SimulationError(
+                    "hosts is only meaningful with transport='sockets'")
+            if hosts <= 0:
+                raise SimulationError("host count must be positive")
+        if heartbeat_s <= 0:
+            raise SimulationError("heartbeat cadence must be positive")
+        if drain_timeout_s <= 0:
+            raise SimulationError("drain timeout must be positive")
         self.builder = builder
         self.count = count
         self.shards = shards
@@ -386,6 +505,10 @@ class ShardedWorld:
         self.retry_backoff_s = retry_backoff_s
         self.checkpoint = checkpoint
         self.fault_plan = fault_plan
+        self.transport = transport
+        self.hosts = hosts
+        self.heartbeat_s = heartbeat_s
+        self.drain_timeout_s = drain_timeout_s
         self.world_kwargs = dict(world_kwargs)
         #: Inline world (``shards=0``): built lazily on first run.
         self._inline: Optional[World] = None
@@ -426,6 +549,9 @@ class ShardedWorld:
         start = time.perf_counter()
         if self.shards == 0:
             report = self._run_inline(duration_s, barrier_s, independent)
+        elif self.transport == "sockets":
+            report = self._run_sockets(duration_s, barrier_s,
+                                       independent)
         else:
             report = self._run_processes(duration_s, barrier_s,
                                          independent)
@@ -461,17 +587,22 @@ class ShardedWorld:
         report = _world_report(world, 0, 0, self.count, 0.0)
         return FleetReport(devices=self.count, shards=0,
                            simulated_s=duration_s, wall_s=0.0,
-                           shard_walls=[], reports=[report])
+                           shard_walls=[], reports=[report],
+                           transport="inline")
 
     # -- the supervisor -----------------------------------------------------------
 
     @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    def _kill_pool(pool: ProcessPoolExecutor,
+                   drain_timeout_s: float = 5.0) -> int:
         """Terminate a (possibly hung or broken) single-worker pool.
 
         ``shutdown`` alone would wait on a hung task forever; the
-        worker processes are terminated first, then joined, so no
-        worker leaks past the run.
+        worker processes are terminated first, then joined within
+        ``drain_timeout_s``, so no worker leaks past the run.
+        Returns the number of workers that ignored SIGTERM and had to
+        be force-killed (counted in
+        :attr:`FleetReport.forced_terminations`).
         """
         processes = list(getattr(pool, "_processes", {}).values())
         for proc in processes:
@@ -483,11 +614,19 @@ class ShardedWorld:
             pool.shutdown(wait=False, cancel_futures=True)
         except Exception:  # pragma: no cover - broken executor races
             pass
+        forced = 0
         for proc in processes:
-            proc.join(timeout=5.0)
+            proc.join(timeout=drain_timeout_s)
             if proc.is_alive():  # pragma: no cover - terminate ignored
+                forced += 1
                 proc.kill()
-                proc.join(timeout=5.0)
+                proc.join(timeout=drain_timeout_s)
+        return forced
+
+    def _backoff_s(self, attempt: int) -> float:
+        """The exponential backoff before recovery attempt ``attempt``
+        (1-based): ``retry_backoff_s * 2**(attempt - 1)``."""
+        return self.retry_backoff_s * (2 ** (attempt - 1))
 
     @staticmethod
     def _failure_cause(exc: BaseException) -> str:
@@ -495,6 +634,12 @@ class ShardedWorld:
             return "timeout"
         if isinstance(exc, BrokenProcessPool):
             return "crash"
+        if isinstance(exc, HostUnreachable):
+            return f"host-unreachable: {exc}"
+        if isinstance(exc, TransportTimeout):
+            return f"transport-timeout: {exc}"
+        if isinstance(exc, TransportError):
+            return f"transport: {exc}"
         return f"{type(exc).__name__}: {exc}"
 
     @staticmethod
@@ -504,7 +649,8 @@ class ShardedWorld:
             f"{phase}: {ShardedWorld._failure_cause(exc)}")
 
     def _respawn(self, state: _Shard, telemetry: Dict[str, int]) -> None:
-        self._kill_pool(state.pool)
+        telemetry["forced_terminations"] += self._kill_pool(
+            state.pool, self.drain_timeout_s)
         state.pool = ProcessPoolExecutor(max_workers=1)
         telemetry["shard_restarts"] += 1
 
@@ -518,7 +664,8 @@ class ShardedWorld:
 
     def _demote_inline(self, state: _Shard, chunks: Sequence[float],
                        through: int, independent: Optional[bool],
-                       walls: List[float]) -> None:
+                       walls: List[float],
+                       telemetry: Dict[str, int]) -> None:
         """Graceful degradation: run the slice in the parent from now on.
 
         The shard's device range is rebuilt from the builder and
@@ -530,7 +677,8 @@ class ShardedWorld:
         """
         begin = time.perf_counter()
         if state.pool is not None:
-            self._kill_pool(state.pool)
+            telemetry["forced_terminations"] += self._kill_pool(
+                state.pool, self.drain_timeout_s)
             state.pool = None
         state.inline_world = _checkpoint.rebuild_replay(
             self.builder, state.lo, state.hi, self.world_kwargs,
@@ -582,13 +730,19 @@ class ShardedWorld:
                 if isinstance(exc, (_FutureTimeout, BrokenProcessPool)):
                     self._respawn(state, telemetry)
                 need_restore = True
+                rung = ("inline" if attempt > self.max_shard_retries
+                        else "retry")
+                telemetry["events"].append(RecoveryEvent(
+                    shard=state.index, barrier=k, phase="barrier",
+                    attempt=attempt, cause=self._failure_cause(exc),
+                    rung=rung))
                 if attempt > self.max_shard_retries:
                     self._demote_inline(state, chunks, k, independent,
-                                        walls)
+                                        walls, telemetry)
                     telemetry.setdefault("degraded", []).append(
                         state.index)
                     return
-                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                time.sleep(self._backoff_s(attempt))
 
     def _build_shards(self, states: List[_Shard],
                       failures: Dict[int, List[str]],
@@ -616,15 +770,20 @@ class ShardedWorld:
                     if isinstance(exc,
                                   (_FutureTimeout, BrokenProcessPool)):
                         self._respawn(state, telemetry)
+                    telemetry["events"].append(RecoveryEvent(
+                        shard=state.index, barrier=-1, phase="build",
+                        attempt=attempt,
+                        cause=self._failure_cause(exc), rung="retry"))
                     if attempt > self.max_shard_retries:
                         kind = (ShardTimeout
                                 if isinstance(exc, _FutureTimeout)
                                 else ShardFailure)
                         raise kind(
-                            f"shard {state.index} failed to build after "
-                            f"{attempt} attempts "
+                            f"shard {state.index} (devices "
+                            f"[{state.lo}, {state.hi})) failed to "
+                            f"build after {attempt} attempts "
                             f"({self._failure_cause(exc)})") from exc
-                    time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                    time.sleep(self._backoff_s(attempt))
                     # A persistently broken builder keeps raising: the
                     # retry consumes the next scheduled build fault too.
                     fault = (plan.take(state.index, 0, kinds=BUILD_KINDS)
@@ -647,7 +806,9 @@ class ShardedWorld:
         walls = [0.0] * len(ranges)
         failures: Dict[int, List[str]] = {}
         telemetry: Dict = {"shard_restarts": 0,
-                           "recovered_barriers": 0}
+                           "recovered_barriers": 0,
+                           "forced_terminations": 0,
+                           "events": []}
         plan = self.fault_plan
         if plan is not None:
             plan.reset()
@@ -699,8 +860,12 @@ class ShardedWorld:
                     # rebuild the finished state in the parent.
                     self._note_failure(failures, state.index, "finish",
                                        exc)
+                    telemetry["events"].append(RecoveryEvent(
+                        shard=state.index, barrier=len(chunks) - 1,
+                        phase="finish", attempt=1,
+                        cause=self._failure_cause(exc), rung="inline"))
                     self._demote_inline(state, chunks, len(chunks) - 1,
-                                        independent, walls)
+                                        independent, walls, telemetry)
                     telemetry.setdefault("degraded", []).append(
                         state.index)
                     reports.append(_world_report(
@@ -709,7 +874,8 @@ class ShardedWorld:
         finally:
             for state in states:
                 if state.pool is not None:
-                    self._kill_pool(state.pool)
+                    telemetry["forced_terminations"] += self._kill_pool(
+                        state.pool, self.drain_timeout_s)
         return FleetReport(
             devices=self.count, shards=len(ranges),
             simulated_s=duration_s, wall_s=0.0, shard_walls=walls,
@@ -717,4 +883,375 @@ class ShardedWorld:
             shard_restarts=telemetry["shard_restarts"],
             recovered_barriers=telemetry["recovered_barriers"],
             degraded_shards=sorted(set(telemetry.get("degraded", []))),
-            shard_failures=failures)
+            shard_failures=failures,
+            forced_terminations=telemetry["forced_terminations"],
+            recovery_events=list(telemetry["events"]))
+
+    # -- the socket transport -----------------------------------------------------
+
+    def _pick_host(self, state: _SocketShard, hosts: List,
+                   host_loss: bool):
+        """Choose where a failed shard runs next.
+
+        A healthy-host failure retries on the *same* host (fresh
+        slot); a host loss reschedules round-robin to the next usable
+        host.  Returns ``(host, moved)``; ``(None, True)`` means no
+        healthy host remains and the shard must demote inline.
+        """
+        if not host_loss and state.host is not None \
+                and state.host.usable():
+            return state.host, False
+        start = state.host.host_id + 1 if state.host is not None else 0
+        for offset in range(len(hosts)):
+            candidate = hosts[(start + offset) % len(hosts)]
+            if candidate is not state.host and candidate.usable():
+                return candidate, True
+        return None, True
+
+    def _socket_place(self, state: _SocketShard, host,
+                      telemetry: Dict) -> None:
+        """(Re)place a shard: new host binding, fresh slot channel."""
+        if state.client is not None:
+            state.client.close()
+        state.host = host
+        state.client = host.slot_client(next(telemetry["slot_seq"]))
+        telemetry["placement"][state.index] = host.host_id
+
+    def _socket_restore(self, state: _SocketShard, k: int,
+                        chunks: Sequence[float],
+                        independent: Optional[bool]) -> None:
+        """Reload the shard's last barrier state into its current slot."""
+        state.client.call(
+            "restore", timeout_s=self._restore_timeout(state.ckpt, k),
+            probe=state.host.probe, probe_interval_s=self.heartbeat_s,
+            ckpt=state.ckpt, builder=self.builder, lo=state.lo,
+            hi=state.hi, world_kwargs=self.world_kwargs,
+            chunks=list(chunks[:k]), independent=independent)
+
+    def _socket_demote(self, state: _SocketShard,
+                       chunks: Sequence[float], through: int,
+                       independent: Optional[bool], walls: List[float],
+                       telemetry: Dict) -> None:
+        """The ladder's last rung: the slice runs in the parent."""
+        begin = time.perf_counter()
+        if state.client is not None:
+            state.client.close()
+            state.client = None
+        state.host = None
+        state.inline_world = _checkpoint.rebuild_replay(
+            self.builder, state.lo, state.hi, self.world_kwargs,
+            chunks[:through + 1], independent)
+        telemetry.setdefault("degraded", []).append(state.index)
+        walls[state.index] += time.perf_counter() - begin
+
+    def _note_host_loss(self, state: _SocketShard, phase: str,
+                        cause: str, telemetry: Dict) -> None:
+        if state.host is not None:
+            telemetry["host_failures"].append(
+                f"shard {state.index} {phase}: host "
+                f"{state.host.host_id} lost ({cause})")
+
+    def _submit_socket_run(self, state: _SocketShard, k: int,
+                           chunk: float, independent: Optional[bool],
+                           want_ckpt: bool, fault=None) -> None:
+        try:
+            state.client.begin(
+                "run", chunk_s=chunk, independent=independent,
+                barrier=k, want_checkpoint=want_ckpt, fault=fault)
+            state.submitted = True
+            state.submit_exc = None
+        except Exception as exc:
+            state.submitted = False
+            state.submit_exc = exc
+
+    def _await_socket_barrier(self, state: _SocketShard, hosts: List,
+                              k: int, chunk: float,
+                              chunks: Sequence[float],
+                              independent: Optional[bool],
+                              want_ckpt: bool, walls: List[float],
+                              failures: Dict[int, List[str]],
+                              telemetry: Dict) -> None:
+        """Collect one socketed shard's barrier through the extended
+        ladder: retry on the same host (restore into a fresh slot +
+        re-run), **reschedule** onto a surviving host when this one is
+        lost, and demote inline only when the retry budget is spent or
+        no healthy host remains.  Host losses are mandatory moves and
+        do not consume the retry budget."""
+        attempt = 0
+        losses = 0
+        recovered = False
+        pending_exc = None if state.submitted else state.submit_exc
+        while True:
+            try:
+                if pending_exc is not None:
+                    raise pending_exc
+                _, wall, ckpt = state.client.collect(
+                    timeout_s=self.barrier_timeout_s,
+                    probe=state.host.probe,
+                    probe_interval_s=self.heartbeat_s)
+                walls[state.index] += wall
+                if ckpt is not None:
+                    state.ckpt = ckpt
+                if recovered:
+                    telemetry["recovered_barriers"] += 1
+                return
+            except Exception as exc:
+                pending_exc = None
+                cause = self._failure_cause(exc)
+                self._note_failure(failures, state.index,
+                                   f"barrier {k}", exc)
+                host_loss = (isinstance(exc, HostUnreachable)
+                             or state.host is None
+                             or not state.host.usable())
+                if host_loss:
+                    losses += 1
+                    self._note_host_loss(state, f"barrier {k}", cause,
+                                         telemetry)
+                else:
+                    attempt += 1
+                exhausted = (attempt > self.max_shard_retries
+                             or losses > len(hosts))
+                host, moved = ((None, True) if exhausted
+                               else self._pick_host(state, hosts,
+                                                    host_loss))
+                if host is None:
+                    telemetry["events"].append(RecoveryEvent(
+                        shard=state.index, barrier=k, phase="barrier",
+                        attempt=attempt, cause=cause, rung="inline"))
+                    self._socket_demote(state, chunks, k, independent,
+                                        walls, telemetry)
+                    return
+                if moved:
+                    telemetry["shard_reschedules"] += 1
+                telemetry["events"].append(RecoveryEvent(
+                    shard=state.index, barrier=k, phase="barrier",
+                    attempt=attempt, cause=cause,
+                    rung="reschedule" if moved else "retry",
+                    host=host.host_id))
+                if not host_loss:
+                    time.sleep(self._backoff_s(attempt))
+                try:
+                    self._socket_place(state, host, telemetry)
+                    # Always restore before re-running: a drop_msg
+                    # means the chunk already ran once — re-running
+                    # without rewinding would diverge.
+                    self._socket_restore(state, k, chunks, independent)
+                    state.client.begin(
+                        "run", chunk_s=chunk, independent=independent,
+                        barrier=k, want_checkpoint=want_ckpt,
+                        fault=None)
+                    recovered = True
+                except Exception as recovery_exc:
+                    pending_exc = recovery_exc
+
+    def _build_socket_shards(self, states: List[_SocketShard],
+                             hosts: List, chunks: Sequence[float],
+                             independent: Optional[bool],
+                             walls: List[float],
+                             failures: Dict[int, List[str]],
+                             telemetry: Dict) -> None:
+        """Build every slot's world slice, with the same ladder."""
+        plan = self.fault_plan
+        for state in states:
+            fault = (plan.take(state.index, 0, kinds=BUILD_KINDS)
+                     if plan is not None else None)
+            try:
+                state.client.begin(
+                    "build", builder=self.builder, lo=state.lo,
+                    hi=state.hi, world_kwargs=self.world_kwargs,
+                    fault=fault)
+                state.submitted = True
+            except Exception as exc:
+                state.submitted = False
+                state.submit_exc = exc
+        for state in states:
+            attempt = 0
+            losses = 0
+            built = None
+            pending_exc = None if state.submitted else state.submit_exc
+            while True:
+                try:
+                    if pending_exc is not None:
+                        raise pending_exc
+                    built = state.client.collect(
+                        timeout_s=self.barrier_timeout_s,
+                        probe=state.host.probe,
+                        probe_interval_s=self.heartbeat_s)
+                    break
+                except Exception as exc:
+                    pending_exc = None
+                    cause = self._failure_cause(exc)
+                    self._note_failure(failures, state.index, "build",
+                                       exc)
+                    host_loss = (isinstance(exc, HostUnreachable)
+                                 or state.host is None
+                                 or not state.host.usable())
+                    if host_loss:
+                        losses += 1
+                        self._note_host_loss(state, "build", cause,
+                                             telemetry)
+                    else:
+                        attempt += 1
+                    if attempt > self.max_shard_retries \
+                            or losses > len(hosts):
+                        kind = (ShardTimeout
+                                if isinstance(exc, TransportTimeout)
+                                else ShardFailure)
+                        raise kind(
+                            f"shard {state.index} (devices "
+                            f"[{state.lo}, {state.hi})) failed to "
+                            f"build after {attempt} attempts and "
+                            f"{losses} host losses ({cause})") from exc
+                    host, moved = self._pick_host(state, hosts,
+                                                  host_loss)
+                    if host is None:
+                        telemetry["events"].append(RecoveryEvent(
+                            shard=state.index, barrier=-1,
+                            phase="build", attempt=attempt,
+                            cause=cause, rung="inline"))
+                        self._socket_demote(state, chunks, -1,
+                                            independent, walls,
+                                            telemetry)
+                        break
+                    if moved:
+                        telemetry["shard_reschedules"] += 1
+                    telemetry["events"].append(RecoveryEvent(
+                        shard=state.index, barrier=-1, phase="build",
+                        attempt=attempt, cause=cause,
+                        rung="reschedule" if moved else "retry",
+                        host=host.host_id))
+                    if not host_loss:
+                        time.sleep(self._backoff_s(attempt))
+                    fault = (plan.take(state.index, 0,
+                                       kinds=BUILD_KINDS)
+                             if plan is not None else None)
+                    try:
+                        self._socket_place(state, host, telemetry)
+                        state.client.begin(
+                            "build", builder=self.builder, lo=state.lo,
+                            hi=state.hi,
+                            world_kwargs=self.world_kwargs,
+                            fault=fault)
+                    except Exception as recovery_exc:
+                        pending_exc = recovery_exc
+            if state.inline_world is None \
+                    and built != state.hi - state.lo:
+                raise SimulationError(
+                    f"builder produced the wrong device count for "
+                    f"shard [{state.lo}, {state.hi})")
+
+    def _run_sockets(self, duration_s: float,
+                     barrier_s: Optional[float],
+                     independent: Optional[bool]) -> FleetReport:
+        from . import hostd  # deferred: hostd imports this module
+        chunks = self._chunks(duration_s, barrier_s)
+        ranges = self.partitions()
+        n_hosts = (self.hosts if self.hosts is not None
+                   else min(2, len(ranges)))
+        states = [_SocketShard(s, lo, hi)
+                  for s, (lo, hi) in enumerate(ranges)]
+        walls = [0.0] * len(ranges)
+        failures: Dict[int, List[str]] = {}
+        telemetry: Dict = {"shard_restarts": 0,
+                           "recovered_barriers": 0,
+                           "shard_reschedules": 0,
+                           "forced_terminations": 0,
+                           "host_failures": [], "events": [],
+                           "placement": {},
+                           "slot_seq": itertools.count()}
+        plan = self.fault_plan
+        if plan is not None:
+            plan.reset()
+        hosts = [hostd.HostHandle(h) for h in range(n_hosts)]
+        try:
+            for host in hosts:
+                host.spawn()
+            for state in states:
+                self._socket_place(state, hosts[state.index % n_hosts],
+                                   telemetry)
+            self._build_socket_shards(states, hosts, chunks,
+                                      independent, walls, failures,
+                                      telemetry)
+            for k, chunk in enumerate(chunks):
+                want_ckpt = self.checkpoint and k + 1 < len(chunks)
+                pending = []
+                for state in states:
+                    if state.inline_world is not None:
+                        continue
+                    fault = (plan.take(state.index, k,
+                                       kinds=RUNTIME_KINDS
+                                       | NETWORK_KINDS)
+                             if plan is not None else None)
+                    if fault is not None and fault.kind == PARTITION:
+                        # Parent-side and permanent: the daemon lives
+                        # on, unreachable, until teardown forces it.
+                        telemetry["host_failures"].append(
+                            f"shard {state.index} barrier {k}: host "
+                            f"{state.host.host_id} partitioned "
+                            f"(injected)")
+                        state.host.partition()
+                        fault = None
+                    self._submit_socket_run(state, k, chunk,
+                                            independent, want_ckpt,
+                                            fault)
+                    pending.append(state)
+                for state in states:
+                    if state.inline_world is None:
+                        continue
+                    begin = time.perf_counter()
+                    state.inline_world.run(chunk,
+                                           independent=independent)
+                    walls[state.index] += time.perf_counter() - begin
+                for state in pending:
+                    self._await_socket_barrier(
+                        state, hosts, k, chunk, chunks, independent,
+                        want_ckpt, walls, failures, telemetry)
+            reports = []
+            for state in states:
+                if state.inline_world is not None:
+                    reports.append(_world_report(
+                        state.inline_world, state.index, state.lo,
+                        state.hi, walls[state.index]))
+                    continue
+                try:
+                    reports.append(state.client.call(
+                        "finish", timeout_s=self.barrier_timeout_s,
+                        probe=state.host.probe,
+                        probe_interval_s=self.heartbeat_s,
+                        shard=state.index, lo=state.lo, hi=state.hi,
+                        wall_s=walls[state.index]))
+                except Exception as exc:
+                    self._note_failure(failures, state.index,
+                                       "finish", exc)
+                    telemetry["events"].append(RecoveryEvent(
+                        shard=state.index, barrier=len(chunks) - 1,
+                        phase="finish", attempt=1,
+                        cause=self._failure_cause(exc), rung="inline",
+                        host=(state.host.host_id
+                              if state.host is not None else None)))
+                    self._socket_demote(state, chunks,
+                                        len(chunks) - 1, independent,
+                                        walls, telemetry)
+                    reports.append(_world_report(
+                        state.inline_world, state.index, state.lo,
+                        state.hi, walls[state.index]))
+        finally:
+            for state in states:
+                if state.client is not None:
+                    state.client.close()
+            for host in hosts:
+                telemetry["forced_terminations"] += host.stop(
+                    self.drain_timeout_s)
+        return FleetReport(
+            devices=self.count, shards=len(ranges),
+            simulated_s=duration_s, wall_s=0.0, shard_walls=walls,
+            reports=reports, transport="sockets", hosts=n_hosts,
+            shard_restarts=telemetry["shard_restarts"],
+            recovered_barriers=telemetry["recovered_barriers"],
+            degraded_shards=sorted(set(telemetry.get("degraded", []))),
+            shard_failures=failures,
+            shard_reschedules=telemetry["shard_reschedules"],
+            host_failures=telemetry["host_failures"],
+            placement=dict(telemetry["placement"]),
+            forced_terminations=telemetry["forced_terminations"],
+            recovery_events=list(telemetry["events"]))

@@ -55,6 +55,9 @@ def clean_digest():
     assert report.recovered_barriers == 0
     assert not report.degraded_shards
     assert not report.shard_failures
+    assert not report.recovery_events
+    assert report.forced_terminations == 0
+    assert report.transport == "processes"
     return report.digest()
 
 
@@ -78,6 +81,13 @@ class TestChaosRecovery:
         causes = [c for cs in report.shard_failures.values() for c in cs]
         assert sum("crash" in c for c in causes) == 2
         assert sum("timeout" in c for c in causes) == 1
+        # The structured mirror: one "retry" rung per injection, each
+        # carrying shard, barrier, attempt and cause.
+        events = report.recovery_events
+        assert [(e.shard, e.barrier, e.rung) for e in events] == \
+            [(0, 1, "retry"), (1, 3, "retry"), (0, 4, "retry")]
+        assert all(e.attempt == 1 and e.phase == "barrier"
+                   for e in events)
         _assert_no_leaked_workers()
 
     def test_seeded_chaos_sweep(self, clean_digest):
@@ -157,6 +167,9 @@ class TestGracefulDegradation:
         causes = report.shard_failures[1]
         assert any("crash" in c for c in causes)
         assert any("CheckpointError" in c for c in causes)
+        # The ladder's last rung is recorded as such.
+        assert report.recovery_events[-1].rung == "inline"
+        assert report.recovery_events[-1].shard == 1
         _assert_no_leaked_workers()
 
     def test_demoted_shard_finishes_remaining_barriers(self,
@@ -180,6 +193,16 @@ class TestSupervisionKnobs:
             _fleet(barrier_timeout_s=0.0)
         with pytest.raises(SimulationError):
             _fleet(max_shard_retries=-1)
+        with pytest.raises(SimulationError):
+            _fleet(drain_timeout_s=0.0)
+
+    def test_drain_timeout_is_configurable(self):
+        # The pool-teardown join budget used to be a hard-coded 5 s;
+        # a custom budget must drain a healthy fleet without force.
+        report = _fleet(count=4, shards=2,
+                        drain_timeout_s=2.0).run(60.0, barrier_s=30.0)
+        assert report.forced_terminations == 0
+        _assert_no_leaked_workers()
 
     def test_per_shard_walls_are_worker_side(self):
         # Walls are measured inside each worker around its own chunk,

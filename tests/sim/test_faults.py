@@ -13,8 +13,9 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.faults import (ALL_KINDS, BUILD_KINDS, BUILD_RAISE, CRASH,
-                              CORRUPT_DIGEST, HANG, RUNTIME_KINDS,
-                              FaultEvent, FaultPlan)
+                              CORRUPT_DIGEST, DELAY_MSG, DROP_MSG, HANG,
+                              HOST_CRASH, NETWORK_KINDS, PARTITION,
+                              RUNTIME_KINDS, FaultEvent, FaultPlan)
 
 
 class TestFaultEvent:
@@ -28,8 +29,15 @@ class TestFaultEvent:
         FaultEvent(shard=0, barrier=0, kind=HANG, hang_s=5.0)
 
     def test_kind_partition(self):
-        assert RUNTIME_KINDS | BUILD_KINDS == ALL_KINDS
+        assert RUNTIME_KINDS | BUILD_KINDS | NETWORK_KINDS == ALL_KINDS
         assert not RUNTIME_KINDS & BUILD_KINDS
+        assert not RUNTIME_KINDS & NETWORK_KINDS
+        assert not BUILD_KINDS & NETWORK_KINDS
+
+    def test_delay_needs_duration(self):
+        with pytest.raises(SimulationError):
+            FaultEvent(shard=0, barrier=0, kind=DELAY_MSG)
+        FaultEvent(shard=0, barrier=0, kind=DELAY_MSG, delay_s=0.25)
 
 
 class TestSeededPlans:
@@ -64,6 +72,21 @@ class TestSeededPlans:
         assert plan.count(BUILD_RAISE) == 2
         assert all(e.hang_s == 9.0 for e in plan.events
                    if e.kind == HANG)
+
+    def test_network_kinds_drawn_from_seed(self):
+        kwargs = dict(shards=3, barriers=4, crashes=0, drop_msgs=1,
+                      delay_msgs=1, dup_msgs=1, host_crashes=1,
+                      partitions=1, delay_s=0.75)
+        plan = FaultPlan.seeded(11, **kwargs)
+        for kind in (DROP_MSG, DELAY_MSG, HOST_CRASH, PARTITION):
+            assert plan.count(kind) == 1
+        assert all(e.delay_s == 0.75 for e in plan.events
+                   if e.kind == DELAY_MSG)
+        assert all(e.delay_s == 0.0 for e in plan.events
+                   if e.kind != DELAY_MSG)
+        slots = [(e.shard, e.barrier) for e in plan.events]
+        assert len(slots) == len(set(slots)) == 5
+        assert FaultPlan.seeded(11, **kwargs).events == plan.events
 
     def test_overfull_plans_refused(self):
         with pytest.raises(SimulationError):

@@ -1,0 +1,102 @@
+"""Supervisor retry arithmetic, pinned as units.
+
+The backoff schedule and restore-deadline scaling were previously
+only exercised implicitly by chaos runs — a regression (say, ``2 **
+attempt`` instead of ``2 ** (attempt - 1)``) would merely have made
+recovery slower, and no test would have noticed.  These tests pin the
+arithmetic itself:
+
+* exponential backoff before recovery attempt *n* (1-based) is
+  exactly ``retry_backoff_s * 2**(n - 1)``, and that schedule is what
+  the supervisor actually sleeps between real recovery attempts;
+* the restore deadline scales with the barriers a restore may replay:
+  ``barrier_timeout_s * (replayed_barriers + 1)``, where a live
+  checkpoint narrows the replay to ``max(1, ckpt.barrier)`` and no
+  checkpoint means all ``k`` chunks.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import pytest
+
+from repro.sim.checkpoint import Checkpoint
+from repro.sim.faults import BUILD_RAISE, FaultEvent, FaultPlan
+from repro.sim.shards import ShardedWorld
+from repro.sim.workload import poller_shard
+
+
+def _fleet(**kwargs) -> ShardedWorld:
+    builder = functools.partial(poller_shard, fleet_size=4, watts=0.25,
+                                period_s=60.0, bytes_out=64,
+                                record_interval_s=1.0,
+                                decay_enabled=False)
+    return ShardedWorld(builder, 4, shards=2, tick_s=0.01, seed=7,
+                        **kwargs)
+
+
+def _ckpt(barrier: int) -> Checkpoint:
+    return Checkpoint(barrier=barrier, now=float(barrier), digest="x",
+                      payload=None, method="replay")
+
+
+class TestBackoffSchedule:
+    def test_schedule_is_base_times_doubling(self):
+        fleet = _fleet(retry_backoff_s=0.05)
+        assert [fleet._backoff_s(n) for n in (1, 2, 3, 4, 5)] == \
+            [0.05, 0.1, 0.2, 0.4, 0.8]
+
+    def test_base_scales_linearly(self):
+        assert _fleet(retry_backoff_s=0.2)._backoff_s(3) == \
+            pytest.approx(0.8)
+        assert _fleet(retry_backoff_s=0.01)._backoff_s(1) == \
+            pytest.approx(0.01)
+
+    def test_supervisor_sleeps_the_pinned_schedule(self, monkeypatch):
+        # Two injected builder raises on the same shard force recovery
+        # attempts 1 and 2; the sleeps between them must follow the
+        # schedule exactly (not, e.g., 2**attempt).
+        base = 0.03
+        plan = FaultPlan([
+            FaultEvent(shard=0, barrier=0, kind=BUILD_RAISE),
+            FaultEvent(shard=0, barrier=0, kind=BUILD_RAISE),
+        ])
+        fleet = _fleet(retry_backoff_s=base, max_shard_retries=3,
+                       fault_plan=plan)
+        recorded = []
+        real_sleep = time.sleep
+        monkeypatch.setattr(
+            time, "sleep",
+            lambda s: (recorded.append(s), real_sleep(0))[1])
+        report = fleet.run(30.0, barrier_s=30.0)
+        assert not report.degraded_shards
+        backoffs = [s for s in recorded if s >= base]
+        assert backoffs == [base * 1, base * 2]
+
+
+class TestRestoreTimeoutScaling:
+    def test_no_checkpoint_replays_every_chunk(self):
+        fleet = _fleet(barrier_timeout_s=2.0)
+        # Failure at barrier k with nothing to restore from: the
+        # recovery replays all k completed chunks, plus one slack.
+        assert fleet._restore_timeout(None, 5) == pytest.approx(12.0)
+        assert fleet._restore_timeout(None, 1) == pytest.approx(4.0)
+
+    def test_checkpoint_narrows_the_replay(self):
+        fleet = _fleet(barrier_timeout_s=2.0)
+        # A checkpoint at barrier b replays at most b chunks.
+        assert fleet._restore_timeout(_ckpt(3), 9) == pytest.approx(8.0)
+        assert fleet._restore_timeout(_ckpt(1), 9) == pytest.approx(4.0)
+
+    def test_pickle_floor_is_one_barrier(self):
+        fleet = _fleet(barrier_timeout_s=2.0)
+        # Even a barrier-0 checkpoint gets the max(1, .) floor: the
+        # deadline never shrinks below two barrier timeouts.
+        assert fleet._restore_timeout(_ckpt(0), 9) == pytest.approx(4.0)
+
+    def test_no_deadline_means_no_scaling(self):
+        fleet = _fleet(barrier_timeout_s=None)
+        assert fleet._restore_timeout(None, 5) is None
+        assert fleet._restore_timeout(_ckpt(3), 5) is None
